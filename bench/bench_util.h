@@ -1,0 +1,43 @@
+#ifndef UNCHAINED_BENCH_BENCH_UTIL_H_
+#define UNCHAINED_BENCH_BENCH_UTIL_H_
+
+// Shared helpers for the table/figure reproduction binaries: wall-clock
+// timing and aligned row printing. The perf-focused benches use
+// google-benchmark instead; these harnesses print the paper-shaped rows.
+
+#include <chrono>
+#include <cstdio>
+#include <string>
+
+namespace datalog {
+namespace bench {
+
+class Timer {
+ public:
+  Timer() : start_(std::chrono::steady_clock::now()) {}
+  double ElapsedMs() const {
+    auto end = std::chrono::steady_clock::now();
+    return std::chrono::duration<double, std::milli>(end - start_).count();
+  }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+inline void Rule(char c = '-', int width = 78) {
+  for (int i = 0; i < width; ++i) std::putchar(c);
+  std::putchar('\n');
+}
+
+inline void Header(const std::string& title) {
+  // Line-buffer stdout so progress survives redirection + timeouts.
+  std::setvbuf(stdout, nullptr, _IOLBF, 0);
+  Rule('=');
+  std::printf("%s\n", title.c_str());
+  Rule('=');
+}
+
+}  // namespace bench
+}  // namespace datalog
+
+#endif  // UNCHAINED_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,92 @@
+// Ablation: incremental view maintenance with active (delta) rules vs full
+// recomputation, for a transitive-closure view under single-edge
+// insertions — the data-driven reactive-systems adoption story of
+// Sections 1/6, measured for correctness (maintained view == recomputed
+// view after every update) and cost (see the honest engineering note the
+// binary prints: value-semantics state snapshots make the two paths
+// comparable in this implementation).
+
+#include <cstdio>
+
+#include "active/eca.h"
+
+#include "bench_util.h"
+#include "core/engine.h"
+#include "workload/graphs.h"
+
+int main() {
+  using datalog::Engine;
+  using datalog::GraphBuilder;
+  using datalog::Instance;
+  using datalog::PredId;
+
+  datalog::bench::Header(
+      "Incremental TC maintenance (active rules) vs full recomputation");
+
+  std::printf("%8s %12s %14s %16s %8s\n", "n", "updates",
+              "incr total(ms)", "recompute(ms)", "agree");
+  for (int n : {16, 32, 64, 128}) {
+    Engine engine;
+    auto rules = engine.Parse(
+        "tc(X, Y) :- ins_g(X, Y).\n"
+        "tc(X, Y) :- ins_tc(X, Z), tc(Z, Y).\n"
+        "tc(X, Y) :- tc(X, Z), ins_tc(Z, Y).\n");
+    auto full = engine.Parse(
+        "tc2(X, Y) :- g(X, Y).\n"
+        "tc2(X, Y) :- g(X, Z), tc2(Z, Y).\n");
+    if (!rules.ok() || !full.ok()) return 1;
+    GraphBuilder graphs(&engine.catalog(), &engine.symbols());
+    PredId g = graphs.edge_pred();
+    PredId tc = *engine.catalog().Declare("tc", 2);
+    PredId tc2 = engine.catalog().Find("tc2");
+
+    // Base: a chain, view precomputed.
+    Instance db = graphs.Chain(n);
+    {
+      auto base = engine.MinimumModel(*full, db);
+      if (!base.ok()) return 1;
+      for (const auto& t : base->Rel(tc2)) db.Insert(tc, t);
+    }
+
+    // Stream of updates extending the chain at its tip: each insertion
+    // adds O(n) new closure pairs — the honest case for incrementality.
+    // (An adversarial edge closing a large cycle makes the delta itself
+    // Θ(n²), and full recomputation wins; no free lunch.)
+    const int updates = 8;
+    double incr_ms = 0, full_ms = 0;
+    bool agree = true;
+    for (int u = 0; u < updates; ++u) {
+      datalog::Value from = graphs.Node(n - 1 + u);
+      datalog::Value to = graphs.Node(n + u);
+      Instance ins = engine.NewInstance();
+      ins.Insert(g, {from, to});
+      Instance del = engine.NewInstance();
+
+      datalog::bench::Timer t1;
+      auto r = datalog::RunActiveRules(*rules, &engine.catalog(), db, ins,
+                                       del);
+      incr_ms += t1.ElapsedMs();
+      if (!r.ok()) return 1;
+      db = r->instance;
+
+      datalog::bench::Timer t2;
+      auto recomputed = engine.MinimumModel(*full, db);
+      full_ms += t2.ElapsedMs();
+      if (!recomputed.ok()) return 1;
+      agree = agree && db.Rel(tc) == recomputed->Rel(tc2);
+    }
+    std::printf("%8d %12d %14.2f %16.2f %8s\n", n, updates, incr_ms,
+                full_ms, agree ? "yes" : "NO");
+    if (!agree) return 1;
+  }
+  std::printf(
+      "\nShape check: the maintained view stays exactly equal to the\n"
+      "recomputed one after every update. Honest engineering note: in\n"
+      "this engine the active-rule path snapshots the full state per\n"
+      "stage (value-semantics instances + revisit detection), so its\n"
+      "per-update cost is O(|view|) rather than O(|delta|) and full\n"
+      "semi-naive recomputation stays competitive; the asymptotic delta\n"
+      "advantage would need copy-on-write state, which the library\n"
+      "deliberately trades for simplicity (see DESIGN.md).\n");
+  return 0;
+}

@@ -1,0 +1,118 @@
+// Example 4.1 reproduction: the `closer` query computed by stage
+// arithmetic under the inflationary semantics. The number of stages tracks
+// the graph diameter; the bench prints stages and derived-fact counts as
+// the chain length (diameter) grows, then validates `closer` against a BFS
+// oracle on random graphs.
+
+#include <cstdio>
+#include <map>
+#include <queue>
+#include <set>
+
+#include "bench_util.h"
+#include "core/engine.h"
+#include "workload/graphs.h"
+
+namespace {
+
+using datalog::Engine;
+using datalog::GraphBuilder;
+using datalog::Instance;
+using datalog::PredId;
+using datalog::Tuple;
+using datalog::Value;
+
+constexpr const char* kCloser =
+    "t(X, Y) :- g(X, Y).\n"
+    "t(X, Y) :- t(X, Z), g(Z, Y).\n"
+    "closer(X, Y, X2, Y2) :- t(X, Y), !t(X2, Y2).\n";
+
+std::map<std::pair<Value, Value>, int> Distances(
+    const datalog::Relation& edges) {
+  std::map<Value, std::vector<Value>> adj;
+  std::set<Value> nodes;
+  for (const Tuple& t : edges) {
+    adj[t[0]].push_back(t[1]);
+    nodes.insert(t[0]);
+    nodes.insert(t[1]);
+  }
+  std::map<std::pair<Value, Value>, int> dist;
+  for (Value s : nodes) {
+    std::queue<std::pair<Value, int>> q;
+    std::set<Value> seen;
+    for (Value n : adj[s]) {
+      if (seen.insert(n).second) q.emplace(n, 1);
+    }
+    while (!q.empty()) {
+      auto [n, d] = q.front();
+      q.pop();
+      dist[{s, n}] = d;
+      for (Value m : adj[n]) {
+        if (seen.insert(m).second) q.emplace(m, d + 1);
+      }
+    }
+  }
+  return dist;
+}
+
+}  // namespace
+
+int main() {
+  datalog::bench::Header(
+      "Example 4.1 — closer(x,y,x',y') via inflationary stage arithmetic");
+
+  std::printf("%10s %10s %10s %14s %12s\n", "chain n", "diameter", "stages",
+              "closer facts", "time(ms)");
+  for (int n : {4, 8, 12, 16, 24, 32}) {
+    Engine engine;
+    auto p = engine.Parse(kCloser);
+    GraphBuilder graphs(&engine.catalog(), &engine.symbols());
+    Instance db = graphs.Chain(n);
+    datalog::bench::Timer timer;
+    auto r = engine.Inflationary(*p, db);
+    double ms = timer.ElapsedMs();
+    if (!r.ok()) return 1;
+    PredId closer = engine.catalog().Find("closer");
+    std::printf("%10d %10d %10d %14zu %12.2f\n", n, n - 1, r->stages,
+                r->instance.Rel(closer).size(), ms);
+  }
+  std::printf(
+      "\nShape check: stages = diameter + 1 (t saturates at stage d, the\n"
+      "last closer facts land one stage later), matching the paper's\n"
+      "stage-counting argument.\n\n");
+
+  // Validation on random graphs: closer == strict distance comparison.
+  std::printf("validation vs BFS oracle (note: the program computes the\n"
+              "STRICT comparison d(x,y) < d(x',y'); see EXPERIMENTS.md):\n");
+  for (uint64_t seed = 1; seed <= 3; ++seed) {
+    Engine engine;
+    auto p = engine.Parse(kCloser);
+    GraphBuilder graphs(&engine.catalog(), &engine.symbols());
+    Instance db = graphs.RandomDigraph(8, 14, seed);
+    auto r = engine.Inflationary(*p, db);
+    if (!r.ok()) return 1;
+    PredId closer = engine.catalog().Find("closer");
+    auto dist = Distances(db.Rel(graphs.edge_pred()));
+    auto d = [&](Value a, Value b) {
+      auto it = dist.find({a, b});
+      return it == dist.end() ? INT32_MAX : it->second;
+    };
+    std::set<Value> dom_set = db.ActiveDomain();
+    std::vector<Value> dom(dom_set.begin(), dom_set.end());
+    long long mismatches = 0, total = 0;
+    for (Value x : dom)
+      for (Value y : dom)
+        for (Value x2 : dom)
+          for (Value y2 : dom) {
+            bool expected = d(x, y) != INT32_MAX && d(x, y) < d(x2, y2);
+            bool got = r->instance.Contains(closer, {x, y, x2, y2});
+            ++total;
+            if (expected != got) ++mismatches;
+          }
+    std::printf("  seed %llu: %lld/%lld quadruples correct\n",
+                static_cast<unsigned long long>(seed), total - mismatches,
+                total);
+    if (mismatches != 0) return 1;
+  }
+  return 0;
+}

@@ -1,0 +1,70 @@
+// Example 4.3 reproduction: complement of transitive closure in pure
+// inflationary Datalog¬ (the fixpoint-completion detection trick), checked
+// against the stratified evaluation and timed side by side.
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "core/engine.h"
+#include "workload/graphs.h"
+
+int main() {
+  using datalog::Engine;
+  using datalog::GraphBuilder;
+  using datalog::Instance;
+  using datalog::PredId;
+
+  datalog::bench::Header(
+      "Example 4.3 — complement of TC: inflationary Datalog¬ vs stratified");
+
+  std::printf("%6s %8s %10s %12s %12s %14s %8s\n", "n", "edges", "|ct|",
+              "infl(ms)", "strat(ms)", "infl stages", "agree");
+  // Sizes are modest on purpose: the completion-detection rule
+  // (old-t-except-final) quantifies over three extra variables, so its
+  // instantiation count grows like |t|² · degree — the real price of
+  // simulating control by timing, which this bench measures.
+  for (int n : {6, 10, 14, 18, 22}) {
+    const int m = 2 * n;
+    Engine engine;
+    auto infl_p = engine.Parse(
+        "t(X, Y) :- g(X, Y).\n"
+        "t(X, Y) :- g(X, Z), t(Z, Y).\n"
+        "old-t(X, Y) :- t(X, Y).\n"
+        "old-t-except-final(X, Y) :- t(X, Y), t(X2, Z2), t(Z2, Y2), "
+        "!t(X2, Y2).\n"
+        "ct(X, Y) :- !t(X, Y), old-t(X2, Y2), "
+        "!old-t-except-final(X2, Y2).\n");
+    auto strat_p = engine.Parse(
+        "st(X, Y) :- g(X, Y).\n"
+        "st(X, Y) :- g(X, Z), st(Z, Y).\n"
+        "sct(X, Y) :- !st(X, Y).\n");
+    if (!infl_p.ok() || !strat_p.ok()) return 1;
+    GraphBuilder graphs(&engine.catalog(), &engine.symbols());
+    Instance db = graphs.RandomDigraph(n, m, /*seed=*/n);
+
+    datalog::bench::Timer t1;
+    auto infl = engine.Inflationary(*infl_p, db);
+    double infl_ms = t1.ElapsedMs();
+    datalog::bench::Timer t2;
+    auto strat = engine.Stratified(*strat_p, db);
+    double strat_ms = t2.ElapsedMs();
+    if (!infl.ok() || !strat.ok()) return 1;
+
+    PredId ct = engine.catalog().Find("ct");
+    PredId sct = engine.catalog().Find("sct");
+    bool agree = infl->instance.Rel(ct).Sorted() == strat->Rel(sct).Sorted();
+    std::printf("%6d %8d %10zu %12.2f %12.2f %14d %8s\n", n, m,
+                infl->instance.Rel(ct).size(), infl_ms, strat_ms,
+                infl->stages, agree ? "yes" : "NO");
+    if (!agree) return 1;
+  }
+  std::printf(
+      "\nShape check: both compute the same complement; the inflationary\n"
+      "encoding pays a polynomial-factor overhead — the completion-\n"
+      "detection rule re-derives old-t-except-final for every (pair,\n"
+      "incompleteness-witness) combination, |t|² · degree instantiations\n"
+      "per stage — the real price of simulating control by timing in a\n"
+      "control-free language, which the paper's construction accepts for\n"
+      "the sake of expressiveness, not efficiency.\n");
+  return 0;
+}

@@ -1,0 +1,79 @@
+// Example 4.4 reproduction: "nodes not reachable from a cycle", computed
+// (a) by the paper's inflationary Datalog¬ program with the timestamp
+// technique, and (b) by the equivalent *fixpoint* (while-with-cumulative-
+// assignment) program — the concrete face of Theorem 4.2.
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "core/engine.h"
+#include "while/while_lang.h"
+#include "workload/graphs.h"
+
+int main() {
+  using datalog::Engine;
+  using datalog::GraphBuilder;
+  using datalog::Instance;
+  using datalog::PredId;
+  using datalog::RaExprPtr;
+  using datalog::WhileProgram;
+
+  datalog::bench::Header(
+      "Example 4.4 — good nodes: timestamped Datalog¬ vs fixpoint program");
+
+  std::printf("%6s %8s %8s %14s %14s %8s\n", "n", "edges", "|good|",
+              "datalog(ms)", "fixpoint(ms)", "agree");
+  for (int n : {8, 16, 32, 64, 96}) {
+    const int m = (3 * n) / 2;
+    Engine engine;
+    auto dlog = engine.Parse(
+        "bad(X) :- g(Y, X), !good(Y).\n"
+        "delay.\n"
+        "good(X) :- delay, !bad(X).\n"
+        "bad-stamped(X, T) :- g(Y, X), !good(Y), good(T).\n"
+        "delay-stamped(T) :- good(T).\n"
+        "good(X) :- delay-stamped(T), !bad-stamped(X, T).\n");
+    if (!dlog.ok()) return 1;
+    GraphBuilder graphs(&engine.catalog(), &engine.symbols());
+    PredId g = graphs.edge_pred();
+    PredId good = engine.catalog().Find("good");
+    Instance db = graphs.RandomDigraph(n, m, /*seed=*/7 * n);
+
+    datalog::bench::Timer t1;
+    auto dres = engine.Inflationary(*dlog, db);
+    double dlog_ms = t1.ElapsedMs();
+    if (!dres.ok()) return 1;
+
+    // fixpoint program: good += adom − targets-of-edges-from-non-good.
+    WhileProgram wprog;
+    RaExprPtr good_source_edges = datalog::ra::Project(
+        datalog::ra::Join(datalog::ra::Scan(good, 1),
+                          datalog::ra::Scan(g, 2), {{0, 0}}),
+        {1, 2});
+    RaExprPtr blocked = datalog::ra::Project(
+        datalog::ra::Diff(datalog::ra::Scan(g, 2), good_source_edges), {1});
+    wprog.stmts.push_back(datalog::WhileChange({datalog::AssignCumulative(
+        good, datalog::ra::Diff(datalog::ra::Adom(1), blocked))}));
+
+    datalog::bench::Timer t2;
+    auto wres = datalog::RunWhile(wprog, db, datalog::WhileOptions{});
+    double while_ms = t2.ElapsedMs();
+    if (!wres.ok()) return 1;
+
+    // The Datalog program's `good` relation also contains the timestamp
+    // bookkeeping only over real nodes, so compare directly.
+    bool agree = dres->instance.Rel(good).Sorted() ==
+                 wres->Rel(good).Sorted();
+    std::printf("%6d %8d %8zu %14.2f %14.2f %8s\n", n, m,
+                wres->Rel(good).size(), dlog_ms, while_ms,
+                agree ? "yes" : "NO");
+    if (!agree) return 1;
+  }
+  std::printf(
+      "\nShape check (Theorem 4.2): the inflationary Datalog¬ encoding and\n"
+      "the fixpoint-language program compute identical answers; the\n"
+      "Datalog version pays for the timestamp simulation of iteration\n"
+      "(extra arity + delay bookkeeping), as the paper's construction\n"
+      "predicts.\n");
+  return 0;
+}

@@ -1,0 +1,201 @@
+// Figure 1 reproduction: the relative expressive power of the Datalog
+// variants, demonstrated empirically through witness queries.
+//
+//   Datalog¬new  ≡ all computable queries
+//       ⇑
+//   Datalog¬¬    ≡ while
+//       ↑ (strict iff ptime != pspace)
+//   well-founded Datalog¬ ≡ inflationary Datalog¬ ≡ fixpoint
+//       ⇑
+//   stratified Datalog¬
+//       ⇑
+//   Datalog
+//
+// Each strict step is witnessed by a query the lower language cannot
+// express but the upper one computes here, executed on concrete inputs:
+//   * complement-of-TC     — needs negation (not in Datalog);
+//   * game win             — not stratifiable; well-founded/inflationary ok;
+//   * 2-cycle deletion     — needs retraction (Datalog¬¬);
+//   * fresh-object tagging — needs invention (Datalog¬new);
+// plus the evenness query, inexpressible by ALL deterministic members
+// without order, computed (a) on ordered inputs by semi-positive Datalog¬
+// and (b) on unordered inputs by nondeterministic N-Datalog¬¬ — the two
+// escape hatches of Sections 4.4-5.
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "core/engine.h"
+#include "workload/graphs.h"
+#include "workload/ordered.h"
+
+namespace {
+
+using datalog::Dialect;
+using datalog::Engine;
+using datalog::GraphBuilder;
+using datalog::Instance;
+using datalog::PredId;
+using datalog::Program;
+using datalog::Result;
+using datalog::StatusCode;
+
+struct Row {
+  const char* query;
+  const char* dialect;
+  const char* outcome;
+};
+
+void PrintRow(const Row& row) {
+  std::printf("  %-28s %-24s %s\n", row.query, row.dialect, row.outcome);
+}
+
+}  // namespace
+
+int main() {
+  datalog::bench::Header(
+      "Figure 1 — expressiveness hierarchy, witnessed by executable queries");
+  std::printf("  %-28s %-24s %s\n", "witness query", "dialect", "outcome");
+  datalog::bench::Rule();
+
+  // --- Level 0->1: complement of TC needs negation. ---------------------
+  {
+    Engine engine;
+    auto p = engine.Parse(
+        "t(X, Y) :- g(X, Y).\n"
+        "t(X, Y) :- g(X, Z), t(Z, Y).\n"
+        "ct(X, Y) :- !t(X, Y).\n");
+    GraphBuilder graphs(&engine.catalog(), &engine.symbols());
+    Instance db = graphs.Chain(6);
+    bool rejected = engine.Validate(*p, Dialect::kDatalog).code() ==
+                    StatusCode::kInvalidProgram;
+    auto strat = engine.Stratified(*p, db);
+    PredId ct = engine.catalog().Find("ct");
+    std::printf("\n[Datalog  =>  stratified Datalog¬]\n");
+    PrintRow({"complement of TC", "Datalog",
+              rejected ? "rejected (no negation)" : "BUG: accepted"});
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "computed, |ct| = %zu",
+                  strat.ok() ? strat->Rel(ct).size() : 0);
+    PrintRow({"complement of TC", "stratified Datalog¬", buf});
+  }
+
+  // --- Level 1->2: the game query is not stratifiable. -------------------
+  {
+    Engine engine;
+    auto p = engine.Parse("win(X) :- moves(X, Y), !win(Y).\n");
+    Instance db =
+        datalog::PaperGameGraph(&engine.catalog(), &engine.symbols());
+    bool rejected = engine.Stratified(*p, db).status().code() ==
+                    StatusCode::kNotStratifiable;
+    auto wf = engine.WellFounded(*p, db);
+    std::printf("\n[stratified  =>  well-founded ≡ inflationary ≡ fixpoint]\n");
+    PrintRow({"game win (Example 3.2)", "stratified Datalog¬",
+              rejected ? "rejected (recursion thru neg)" : "BUG: accepted"});
+    if (wf.ok()) {
+      PredId win = engine.catalog().Find("win");
+      size_t t = wf->true_facts.Rel(win).size();
+      size_t u = wf->possible_facts.Rel(win).size() - t;
+      char buf[80];
+      std::snprintf(buf, sizeof(buf), "computed: %zu true, %zu unknown", t, u);
+      PrintRow({"game win (Example 3.2)", "well-founded Datalog¬", buf});
+    }
+  }
+
+  // --- Level 2->3: retraction needs Datalog¬¬. ---------------------------
+  {
+    Engine engine;
+    auto p = engine.Parse("!g(X, Y) :- g(X, Y), g(Y, X).\n");
+    GraphBuilder graphs(&engine.catalog(), &engine.symbols());
+    Instance db = graphs.TwoCycles(3);
+    bool rejected = engine.Inflationary(*p, db).status().code() ==
+                    StatusCode::kInvalidProgram;
+    auto r = engine.NonInflationary(*p, db);
+    std::printf("\n[inflationary Datalog¬  =>  Datalog¬¬ ≡ while]\n");
+    PrintRow({"delete all 2-cycles", "inflationary Datalog¬",
+              rejected ? "rejected (no neg heads)" : "BUG: accepted"});
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "computed, %zu -> %zu edges",
+                  db.Rel(graphs.edge_pred()).size(),
+                  r.ok() ? r->instance.Rel(graphs.edge_pred()).size() : 0);
+    PrintRow({"delete all 2-cycles", "Datalog¬¬", buf});
+  }
+
+  // --- Level 3->4: invention breaks the pspace space barrier. ------------
+  {
+    Engine engine;
+    auto p = engine.Parse("edgeobj(O, X, Y) :- g(X, Y).\n");
+    GraphBuilder graphs(&engine.catalog(), &engine.symbols());
+    Instance db = graphs.Chain(5);
+    bool rejected = engine.Validate(*p, Dialect::kDatalogNeg).code() ==
+                    StatusCode::kInvalidProgram;
+    auto r = engine.Invention(p.value(), db);
+    std::printf("\n[Datalog¬¬  =>  Datalog¬new ≡ all computable queries]\n");
+    PrintRow({"fresh object ids per edge", "Datalog¬(¬)",
+              rejected ? "rejected (no invention)" : "BUG: accepted"});
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "computed, invented %lld values",
+                  r.ok() ? static_cast<long long>(r->invented_values) : -1);
+    PrintRow({"fresh object ids per edge", "Datalog¬new", buf});
+  }
+
+  // --- The evenness barrier and its two escapes (Sections 4.4-4.5, 5). ---
+  {
+    std::printf(
+        "\n[evenness: deterministic languages need order; nondeterminism "
+        "does not]\n");
+    // (a) ordered: semi-positive Datalog¬ with first/last.
+    for (int n : {6, 7}) {
+      Engine engine;
+      Instance db = datalog::MakeEvennessInstance(
+          &engine.catalog(), &engine.symbols(), n, /*with_order=*/true);
+      auto p = engine.Parse(
+          "odd(X) :- first(X).\n"
+          "odd(Y) :- even0(X), succ(X, Y).\n"
+          "even0(Y) :- odd(X), succ(X, Y).\n"
+          "iseven :- even0(X), last(X).\n");
+      auto r = engine.Stratified(*p, db);
+      PredId iseven = engine.catalog().Find("iseven");
+      char q[32], buf[64];
+      std::snprintf(q, sizeof(q), "even(|r|), |r| = %d, ordered", n);
+      std::snprintf(buf, sizeof(buf), "answer: %s",
+                    r.ok() && !r->Rel(iseven).empty() ? "even" : "odd");
+      PrintRow({q, "semi-positive Datalog¬", buf});
+    }
+    // (b) unordered: N-Datalog¬¬ parity flipping; all runs agree.
+    for (int n : {6, 7}) {
+      Engine engine;
+      Instance db = datalog::MakeEvennessInstance(
+          &engine.catalog(), &engine.symbols(), n, /*with_order=*/false);
+      auto p = engine.Parse(
+          "seen(X), par-odd, !par-even :- r(X), !seen(X), par-even.\n"
+          "seen(X), par-even, !par-odd :- r(X), !seen(X), par-odd.\n");
+      PredId par_even = engine.catalog().Find("par-even");
+      db.Insert(par_even, {});
+      auto eff = engine.NondetEnumerate(*p, Dialect::kNDatalogNegNeg, db);
+      bool all_agree = eff.ok() && !eff->images.empty();
+      bool even = false;
+      if (all_agree) {
+        even = eff->images[0].Contains(par_even, {});
+        for (const Instance& image : eff->images) {
+          if (image.Contains(par_even, {}) != even) all_agree = false;
+        }
+      }
+      char q[40], buf[80];
+      std::snprintf(q, sizeof(q), "even(|r|), |r| = %d, unordered", n);
+      std::snprintf(buf, sizeof(buf),
+                    "all orders converge (%zu image): %s "
+                    "(det query, nondet program)",
+                    eff.ok() ? eff->images.size() : 0,
+                    even ? "even" : "odd");
+      PrintRow({q, "N-Datalog¬¬", all_agree ? buf : "BUG: runs disagree"});
+    }
+  }
+
+  std::printf("\n");
+  datalog::bench::Rule('=');
+  std::printf(
+      "Shape check vs Figure 1: every inclusion is witnessed in the\n"
+      "expected direction (lower dialect rejects, upper dialect computes).\n");
+  return 0;
+}

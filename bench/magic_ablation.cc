@@ -1,0 +1,74 @@
+// Ablation: query-directed (magic sets) vs full bottom-up evaluation of
+// single-source reachability — the optimization tradition "developed
+// around Datalog" (Sections 3.1, 6). Not a paper table; documents the
+// design choice of shipping a rewriter rather than a top-down engine.
+
+#include <cstdio>
+
+#include "analysis/magic.h"
+#include "bench_util.h"
+#include "core/engine.h"
+#include "workload/graphs.h"
+
+int main() {
+  using datalog::Engine;
+  using datalog::EvalStats;
+  using datalog::GraphBuilder;
+  using datalog::Instance;
+  using datalog::MagicQuery;
+
+  datalog::bench::Header(
+      "Magic sets ablation — reachable(src, ?) on a chain, full vs magic");
+
+  std::printf("%8s %10s %12s %12s %12s %12s\n", "n", "src", "full facts",
+              "magic facts", "full(ms)", "magic(ms)");
+  for (int n : {64, 128, 256, 512}) {
+    Engine engine;
+    auto p = engine.Parse(
+        "t(X, Y) :- g(X, Y).\n"
+        "t(X, Y) :- g(X, Z), t(Z, Y).\n");
+    if (!p.ok()) return 1;
+    GraphBuilder graphs(&engine.catalog(), &engine.symbols());
+    Instance db = graphs.Chain(n);
+    const int src = n - 8;  // near the end: tiny relevant suffix
+
+    EvalStats full_stats;
+    datalog::bench::Timer t1;
+    auto full = engine.MinimumModel(*p, db, &full_stats);
+    double full_ms = t1.ElapsedMs();
+    if (!full.ok()) return 1;
+
+    MagicQuery query;
+    query.query_pred = engine.catalog().Find("t");
+    query.adornment = "bf";
+    query.bound_values = {graphs.Node(src)};
+    auto rewrite = datalog::MagicSetRewrite(*p, query, &engine.catalog());
+    if (!rewrite.ok()) return 1;
+    Instance input = db;
+    input.UnionWith(rewrite->seed);
+    EvalStats magic_stats;
+    datalog::bench::Timer t2;
+    auto magic = engine.MinimumModel(rewrite->program, input, &magic_stats);
+    double magic_ms = t2.ElapsedMs();
+    if (!magic.ok()) return 1;
+
+    // Same answer?
+    datalog::Relation expected(2);
+    for (const auto& t : full->Rel(query.query_pred)) {
+      if (t[0] == graphs.Node(src)) expected.Insert(t);
+    }
+    if (!(magic->Rel(rewrite->query_pred) == expected)) {
+      std::printf("MISMATCH at n=%d\n", n);
+      return 1;
+    }
+    std::printf("%8d %10d %12lld %12lld %12.2f %12.2f\n", n, src,
+                static_cast<long long>(full_stats.facts_derived),
+                static_cast<long long>(magic_stats.facts_derived), full_ms,
+                magic_ms);
+  }
+  std::printf(
+      "\nShape check: the rewritten program derives O(answer) facts where\n"
+      "full evaluation derives O(n²): binding propagation prunes the\n"
+      "irrelevant prefix of the chain entirely.\n");
+  return 0;
+}

@@ -1,0 +1,59 @@
+// Section 5 orientation experiment: `!g(X,Y) :- g(X,Y), g(Y,X)` under the
+// deterministic (Datalog¬¬) vs nondeterministic (N-Datalog¬¬) semantics.
+// Deterministically, both edges of every 2-cycle are deleted; nondeter-
+// ministically, exactly one survives per cycle and eff(P) has 2^k images.
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "core/engine.h"
+#include "workload/graphs.h"
+
+int main() {
+  using datalog::Dialect;
+  using datalog::Engine;
+  using datalog::GraphBuilder;
+  using datalog::Instance;
+
+  datalog::bench::Header(
+      "Orientation — deterministic vs nondeterministic semantics");
+
+  std::printf("%4s %8s %12s %12s %14s %12s\n", "k", "edges", "det edges",
+              "|eff(P)|", "states", "enum(ms)");
+  for (int k : {1, 2, 3, 4, 6, 8, 10}) {
+    Engine engine;
+    auto p = engine.Parse("!g(X, Y) :- g(X, Y), g(Y, X).\n");
+    if (!p.ok()) return 1;
+    GraphBuilder graphs(&engine.catalog(), &engine.symbols());
+    Instance db = graphs.TwoCycles(k);
+
+    auto det = engine.NonInflationary(*p, db);
+    if (!det.ok()) return 1;
+
+    datalog::NondetOptions options;
+    options.max_states = 5'000'000;
+    datalog::bench::Timer timer;
+    auto eff = engine.NondetEnumerate(*p, Dialect::kNDatalogNegNeg, db,
+                                      options);
+    double ms = timer.ElapsedMs();
+    if (!eff.ok()) {
+      std::printf("%4d %8d %12zu %12s\n", k, 2 * k,
+                  det->instance.Rel(graphs.edge_pred()).size(),
+                  eff.status().ToString().c_str());
+      continue;
+    }
+    std::printf("%4d %8d %12zu %12zu %14zu %12.2f\n", k, 2 * k,
+                det->instance.Rel(graphs.edge_pred()).size(),
+                eff->images.size(), eff->states_explored, ms);
+    if (eff->images.size() != (1u << k)) return 1;
+    if (!det->instance.Rel(graphs.edge_pred()).empty()) return 1;
+  }
+  std::printf(
+      "\nShape check (Section 5): deterministic firing deletes both edges\n"
+      "of every 2-cycle (0 remain); one-at-a-time firing keeps exactly one\n"
+      "per cycle, |eff(P)| = 2^k, with the state space growing as 3^k\n"
+      "(each cycle: intact, or oriented one of two ways) — exponential\n"
+      "enumeration cost is inherent to eff(P), which is why the library\n"
+      "also offers seeded single runs.\n");
+  return 0;
+}

@@ -1,0 +1,64 @@
+// Distributed forward chaining (Section 6's declarative-networking /
+// data-exchange adopters): convergence of gossip over a ring of peers.
+// Rounds to quiescence must track the ring diameter (asynchronous
+// one-hop delivery per round), and message volume is O(n²) facts for
+// all-to-all dissemination.
+
+#include <cstdio>
+#include <string>
+
+#include "bench_util.h"
+#include "core/engine.h"
+#include "dist/peers.h"
+
+int main() {
+  datalog::bench::Header(
+      "Peer-to-peer gossip on a ring — rounds vs diameter, message volume");
+
+  std::printf("%8s %10s %14s %12s %12s\n", "peers", "rounds",
+              "messages", "complete", "time(ms)");
+  for (int n : {2, 4, 8, 16, 32}) {
+    datalog::Engine engine;
+    datalog::PeerSystem system(&engine.catalog(), &engine.symbols());
+    for (int i = 0; i < n; ++i) {
+      std::string next = "p" + std::to_string((i + 1) % n);
+      std::string rules = "at_" + next + "_fact(X) :- fact(X).\n";
+      auto program = engine.Parse(rules);
+      if (!program.ok()) return 1;
+      datalog::Instance db = engine.NewInstance();
+      if (!engine.AddFacts("fact(v" + std::to_string(i) + ").", &db).ok()) {
+        return 1;
+      }
+      if (!system
+               .AddPeer("p" + std::to_string(i),
+                        std::move(program).value(), std::move(db))
+               .ok()) {
+        return 1;
+      }
+    }
+    datalog::bench::Timer timer;
+    auto rounds = system.Run(engine.options());
+    double ms = timer.ElapsedMs();
+    if (!rounds.ok()) {
+      std::printf("%8d %s\n", n, rounds.status().ToString().c_str());
+      return 1;
+    }
+    datalog::PredId fact = engine.catalog().Find("fact");
+    bool complete = true;
+    for (int i = 0; i < n; ++i) {
+      complete = complete &&
+                 system.LocalInstance(i).Rel(fact).size() ==
+                     static_cast<size_t>(n);
+    }
+    std::printf("%8d %10d %14lld %12s %12.2f\n", n, *rounds,
+                static_cast<long long>(system.messages_delivered()),
+                complete ? "yes" : "NO", ms);
+    if (!complete) return 1;
+  }
+  std::printf(
+      "\nShape check: a one-directional ring needs ~n rounds (its\n"
+      "diameter) for every fact to reach every peer, with Θ(n²) total\n"
+      "deliveries — the cost model of asynchronous bottom-up exchange the\n"
+      "declarative-networking literature analyzes.\n");
+  return 0;
+}

@@ -1,0 +1,80 @@
+// Definition 5.10 / Theorem 5.11 demonstration: possibility and certainty
+// semantics. For the orientation program, poss keeps every edge (each
+// survives in some image) and cert keeps none of the 2-cycle edges (none
+// survives in all). For a choice program with a forced fact, cert retains
+// exactly the forced part.
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "core/engine.h"
+#include "workload/graphs.h"
+
+int main() {
+  using datalog::Dialect;
+  using datalog::Engine;
+  using datalog::GraphBuilder;
+  using datalog::Instance;
+  using datalog::PredId;
+
+  datalog::bench::Header(
+      "poss/cert (Definition 5.10) on nondeterministic programs");
+
+  // --- Orientation. ------------------------------------------------------
+  std::printf("%-14s %8s %10s %10s %10s\n", "program", "images", "|poss g|",
+              "|cert g|", "time(ms)");
+  for (int k : {2, 3, 4, 5}) {
+    Engine engine;
+    auto p = engine.Parse("!g(X, Y) :- g(X, Y), g(Y, X).\n");
+    GraphBuilder graphs(&engine.catalog(), &engine.symbols());
+    Instance db = graphs.TwoCycles(k);
+    db.Insert(graphs.edge_pred(), {graphs.Node(0), graphs.Node(2)});
+    datalog::bench::Timer timer;
+    auto pc = engine.NondetPossCert(*p, Dialect::kNDatalogNegNeg, db);
+    double ms = timer.ElapsedMs();
+    if (!pc.ok()) return 1;
+    char label[32];
+    std::snprintf(label, sizeof(label), "orient k=%d", k);
+    std::printf("%-14s %8zu %10zu %10zu %10.2f\n", label, pc->image_count,
+                pc->poss.Rel(graphs.edge_pred()).size(),
+                pc->cert.Rel(graphs.edge_pred()).size(), ms);
+    // poss = all 2k+1 edges; cert = only the acyclic extra edge.
+    if (pc->poss.Rel(graphs.edge_pred()).size() != 2u * k + 1) return 1;
+    if (pc->cert.Rel(graphs.edge_pred()).size() != 1u) return 1;
+  }
+
+  // --- Choice with a forced element. --------------------------------------
+  // mark exactly one of s, but the element "fixed" is pre-marked: every
+  // image contains mark(fixed), so cert(mark) = {fixed} while
+  // poss(mark) = everything.
+  for (int n : {3, 5, 7}) {
+    Engine engine;
+    auto p = engine.Parse("mark(X), done :- s(X), !done.\n");
+    Instance db = engine.NewInstance();
+    PredId s = *engine.catalog().Declare("s", 1);
+    PredId mark = *engine.catalog().Declare("mark", 1);
+    for (int i = 0; i < n; ++i) {
+      db.Insert(s, {engine.symbols().InternInt(i)});
+    }
+    db.Insert(mark, {engine.symbols().Intern("fixed")});
+    datalog::bench::Timer timer;
+    auto pc = engine.NondetPossCert(*p, Dialect::kNDatalogNeg, db);
+    double ms = timer.ElapsedMs();
+    if (!pc.ok()) return 1;
+    char label[32];
+    std::snprintf(label, sizeof(label), "choice n=%d", n);
+    std::printf("%-14s %8zu %10zu %10zu %10.2f\n", label, pc->image_count,
+                pc->poss.Rel(mark).size(), pc->cert.Rel(mark).size(), ms);
+    if (pc->image_count != static_cast<size_t>(n)) return 1;
+    if (pc->poss.Rel(mark).size() != static_cast<size_t>(n) + 1) return 1;
+    if (pc->cert.Rel(mark).size() != 1u) return 1;
+  }
+
+  datalog::bench::Rule();
+  std::printf(
+      "Shape check (Thm 5.11): poss collects everything possible (union\n"
+      "over eff), cert only invariants (intersection); for N-Datalog¬¬,\n"
+      "poss and cert add no power over its deterministic fragment — both\n"
+      "reduce to set algebra over eff(P), computed here directly.\n");
+  return 0;
+}

@@ -1,0 +1,133 @@
+// Engineering benchmark (google-benchmark): naive vs semi-naive evaluation
+// of transitive closure, and engine overhead across semantics on the same
+// stratified query. Not a paper table — the paper has no performance
+// evaluation — but it documents the cost model of this implementation and
+// the classic asymptotic gap the deductive-database literature (Section 6)
+// optimizes.
+
+#include <benchmark/benchmark.h>
+
+#include "core/engine.h"
+#include "workload/graphs.h"
+
+namespace {
+
+using datalog::Engine;
+using datalog::GraphBuilder;
+using datalog::Instance;
+
+constexpr const char* kTc =
+    "t(X, Y) :- g(X, Y).\n"
+    "t(X, Y) :- g(X, Z), t(Z, Y).\n";
+
+void BM_NaiveTcChain(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  Engine engine;
+  auto p = engine.Parse(kTc);
+  GraphBuilder graphs(&engine.catalog(), &engine.symbols());
+  Instance db = graphs.Chain(n);
+  for (auto _ : state) {
+    auto r = engine.MinimumModelNaive(*p, db);
+    benchmark::DoNotOptimize(r);
+  }
+  state.SetComplexityN(n);
+}
+BENCHMARK(BM_NaiveTcChain)->Arg(16)->Arg(32)->Arg(64)->Arg(128)->Complexity();
+
+void BM_SemiNaiveTcChain(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  Engine engine;
+  auto p = engine.Parse(kTc);
+  GraphBuilder graphs(&engine.catalog(), &engine.symbols());
+  Instance db = graphs.Chain(n);
+  for (auto _ : state) {
+    auto r = engine.MinimumModel(*p, db);
+    benchmark::DoNotOptimize(r);
+  }
+  state.SetComplexityN(n);
+}
+BENCHMARK(BM_SemiNaiveTcChain)
+    ->Arg(16)
+    ->Arg(32)
+    ->Arg(64)
+    ->Arg(128)
+    ->Arg(256)
+    ->Complexity();
+
+void BM_SemiNaiveTcRandom(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  Engine engine;
+  auto p = engine.Parse(kTc);
+  GraphBuilder graphs(&engine.catalog(), &engine.symbols());
+  Instance db = graphs.RandomDigraph(n, 3 * n, /*seed=*/42);
+  for (auto _ : state) {
+    auto r = engine.MinimumModel(*p, db);
+    benchmark::DoNotOptimize(r);
+  }
+}
+BENCHMARK(BM_SemiNaiveTcRandom)->Arg(32)->Arg(64)->Arg(128)->Arg(256);
+
+void BM_StratifiedComplementTc(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  Engine engine;
+  auto p = engine.Parse(
+      "t(X, Y) :- g(X, Y).\n"
+      "t(X, Y) :- g(X, Z), t(Z, Y).\n"
+      "ct(X, Y) :- !t(X, Y).\n");
+  GraphBuilder graphs(&engine.catalog(), &engine.symbols());
+  Instance db = graphs.RandomDigraph(n, 2 * n, /*seed=*/7);
+  for (auto _ : state) {
+    auto r = engine.Stratified(*p, db);
+    benchmark::DoNotOptimize(r);
+  }
+}
+BENCHMARK(BM_StratifiedComplementTc)->Arg(16)->Arg(32)->Arg(64);
+
+void BM_WellFoundedWin(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  Engine engine;
+  auto p = engine.Parse("win(X) :- moves(X, Y), !win(Y).\n");
+  Instance db = datalog::RandomGameGraph(&engine.catalog(),
+                                         &engine.symbols(), n, 2 * n,
+                                         /*seed=*/13);
+  for (auto _ : state) {
+    auto r = engine.WellFounded(*p, db);
+    benchmark::DoNotOptimize(r);
+  }
+}
+BENCHMARK(BM_WellFoundedWin)->Arg(16)->Arg(32)->Arg(64)->Arg(128);
+
+void BM_InflationaryCloser(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  Engine engine;
+  auto p = engine.Parse(
+      "t(X, Y) :- g(X, Y).\n"
+      "t(X, Y) :- t(X, Z), g(Z, Y).\n"
+      "closer(X, Y, X2, Y2) :- t(X, Y), !t(X2, Y2).\n");
+  GraphBuilder graphs(&engine.catalog(), &engine.symbols());
+  Instance db = graphs.Chain(n);
+  for (auto _ : state) {
+    auto r = engine.Inflationary(*p, db);
+    benchmark::DoNotOptimize(r);
+  }
+}
+BENCHMARK(BM_InflationaryCloser)->Arg(8)->Arg(12)->Arg(16);
+
+void BM_NondetOrientationRun(benchmark::State& state) {
+  const int k = static_cast<int>(state.range(0));
+  Engine engine;
+  auto p = engine.Parse("!g(X, Y) :- g(X, Y), g(Y, X).\n");
+  GraphBuilder graphs(&engine.catalog(), &engine.symbols());
+  Instance db = graphs.TwoCycles(k);
+  uint64_t seed = 0;
+  for (auto _ : state) {
+    auto r = engine.NondetRun(*p, datalog::Dialect::kNDatalogNegNeg, db,
+                              ++seed);
+    benchmark::DoNotOptimize(r);
+  }
+}
+BENCHMARK(BM_NondetOrientationRun)->Arg(4)->Arg(8)->Arg(16);
+
+}  // namespace
+
+BENCHMARK_MAIN();

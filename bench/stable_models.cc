@@ -1,0 +1,84 @@
+// Stable-model structure (Section 3.3's stable/default semantics): counts
+// of stable models across the canonical game-graph shapes, bracketed by
+// the well-founded model's unknown set. Documents the classical facts the
+// test suite asserts: stratified => 1 model, even negative loops multiply
+// models, odd negative loops kill them all.
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "core/engine.h"
+#include "eval/stable.h"
+#include "workload/graphs.h"
+
+namespace {
+
+void Row(const char* workload, datalog::Engine* engine,
+         const datalog::Program& program, const datalog::Instance& db) {
+  datalog::bench::Timer timer;
+  auto r = datalog::StableModels(program, db, engine->options());
+  double ms = timer.ElapsedMs();
+  if (!r.ok()) {
+    std::printf("%-24s %s\n", workload, r.status().ToString().c_str());
+    return;
+  }
+  std::printf("%-24s %10lld %10zu %12lld %10.2f\n", workload,
+              static_cast<long long>(r->unknown_atoms), r->models.size(),
+              static_cast<long long>(r->candidates_checked), ms);
+}
+
+}  // namespace
+
+int main() {
+  using datalog::Engine;
+  using datalog::GraphBuilder;
+  using datalog::Instance;
+
+  datalog::bench::Header(
+      "Stable models of win(X) :- moves(X, Y), !win(Y) across game shapes");
+  std::printf("%-24s %10s %10s %12s %10s\n", "workload", "unknowns",
+              "models", "candidates", "time(ms)");
+
+  {
+    Engine engine;
+    auto p = engine.Parse("win(X) :- moves(X, Y), !win(Y).\n");
+    Instance db = datalog::PaperGameGraph(&engine.catalog(),
+                                          &engine.symbols());
+    Row("paper game (Ex. 3.2)", &engine, *p, db);
+  }
+  for (int k : {1, 2, 3, 4, 6, 8}) {
+    Engine engine;
+    auto p = engine.Parse("win(X) :- moves(X, Y), !win(Y).\n");
+    GraphBuilder graphs(&engine.catalog(), &engine.symbols(), "moves");
+    Instance db = graphs.TwoCycles(k);
+    char label[32];
+    std::snprintf(label, sizeof(label), "%d disjoint 2-cycles", k);
+    Row(label, &engine, *p, db);
+  }
+  for (int n : {3, 5, 7}) {
+    Engine engine;
+    auto p = engine.Parse("win(X) :- moves(X, Y), !win(Y).\n");
+    GraphBuilder graphs(&engine.catalog(), &engine.symbols(), "moves");
+    Instance db = graphs.Cycle(n);
+    char label[32];
+    std::snprintf(label, sizeof(label), "odd cycle n=%d", n);
+    Row(label, &engine, *p, db);
+  }
+  {
+    Engine engine;
+    auto p = engine.Parse(
+        "t(X, Y) :- g(X, Y).\n"
+        "t(X, Y) :- g(X, Z), t(Z, Y).\n"
+        "ct(X, Y) :- !t(X, Y).\n");
+    GraphBuilder graphs(&engine.catalog(), &engine.symbols());
+    Instance db = graphs.RandomDigraph(8, 14, /*seed=*/3);
+    Row("stratified complement", &engine, *p, db);
+  }
+
+  std::printf(
+      "\nShape check: 2^k models on k even negative loops, none on odd\n"
+      "loops, exactly one on stratified programs (= the stratified model);\n"
+      "the well-founded unknowns bound the search exactly as the theory\n"
+      "says (every stable model lies between WF-true and WF-possible).\n");
+  return 0;
+}

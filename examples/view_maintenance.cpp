@@ -1,0 +1,69 @@
+// Active rules for incremental view maintenance — the data-driven
+// reactive-systems adoption story of the paper's Sections 1 and 6.
+//
+// A transitive-closure view `tc` over an edge relation `g` is kept
+// consistent by delta-triggered rules: when edges arrive (ins_g), the
+// rules propagate exactly the new closure pairs, instead of recomputing
+// the view from scratch. The example applies a stream of edge insertions
+// and checks the maintained view against a full recomputation after each
+// update.
+
+#include <cstdio>
+
+#include "active/eca.h"
+#include "core/engine.h"
+#include "workload/graphs.h"
+
+int main() {
+  datalog::Engine engine;
+
+  // Maintenance rules: new edges seed new closure pairs, and new closure
+  // pairs compose with the existing view on both sides.
+  auto rules = engine.Parse(
+      "tc(X, Y) :- ins_g(X, Y).\n"
+      "tc(X, Y) :- ins_tc(X, Z), tc(Z, Y).\n"
+      "tc(X, Y) :- tc(X, Z), ins_tc(Z, Y).\n");
+  if (!rules.ok()) {
+    std::fprintf(stderr, "%s\n", rules.status().ToString().c_str());
+    return 1;
+  }
+  // Full recomputation (the oracle).
+  auto full = engine.Parse(
+      "tc2(X, Y) :- g(X, Y).\n"
+      "tc2(X, Y) :- g(X, Z), tc2(Z, Y).\n");
+  if (!full.ok()) return 1;
+
+  datalog::GraphBuilder graphs(&engine.catalog(), &engine.symbols());
+  datalog::PredId g = graphs.edge_pred();
+  datalog::PredId tc = engine.catalog().Find("tc");
+  datalog::PredId tc2 = engine.catalog().Find("tc2");
+
+  datalog::Instance db = engine.NewInstance();
+  const std::pair<int, int> stream[] = {{0, 1}, {2, 3}, {1, 2}, {3, 4},
+                                        {4, 0}, {5, 2}, {4, 5}};
+  std::printf("maintaining tc(g) under a stream of edge insertions:\n");
+  for (auto [from, to] : stream) {
+    datalog::Instance ins = engine.NewInstance();
+    ins.Insert(g, {graphs.Node(from), graphs.Node(to)});
+    datalog::Instance del = engine.NewInstance();
+    auto r = datalog::RunActiveRules(*rules, &engine.catalog(), db, ins, del);
+    if (!r.ok()) {
+      std::fprintf(stderr, "%s\n", r.status().ToString().c_str());
+      return 1;
+    }
+    db = r->instance;
+
+    // Check against full recomputation.
+    auto oracle = engine.MinimumModel(*full, db);
+    if (!oracle.ok()) return 1;
+    bool consistent = db.Rel(tc) == oracle->Rel(tc2);
+    std::printf(
+        "  +g(%d,%d): |g| = %zu, |tc| = %zu, maintained in %d stage(s), "
+        "matches recomputation: %s\n",
+        from, to, db.Rel(g).size(), db.Rel(tc).size(), r->stages,
+        consistent ? "yes" : "NO (bug!)");
+    if (!consistent) return 1;
+  }
+  std::printf("\nview stayed consistent across the whole stream.\n");
+  return 0;
+}

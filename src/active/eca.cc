@@ -1,0 +1,191 @@
+#include "active/eca.h"
+
+#include <map>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "eval/grounder.h"
+
+namespace datalog {
+namespace {
+
+/// True if `pred`'s name carries a delta prefix; sets `*base_name`.
+bool IsDeltaPred(const Catalog& catalog, PredId pred, std::string* base_name,
+                 bool* is_insertion) {
+  const std::string& name = catalog.NameOf(pred);
+  if (name.rfind("ins_", 0) == 0) {
+    *base_name = name.substr(4);
+    *is_insertion = true;
+    return true;
+  }
+  if (name.rfind("del_", 0) == 0) {
+    *base_name = name.substr(4);
+    *is_insertion = false;
+    return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+Result<ActiveResult> RunActiveRules(const Program& program, Catalog* catalog,
+                                    const Instance& db,
+                                    const Instance& insertions,
+                                    const Instance& deletions,
+                                    const ActiveOptions& options) {
+  // Map delta predicates to their base predicates, declaring bases that
+  // only occur under a delta prefix.
+  std::map<PredId, std::pair<PredId, bool>> delta_to_base;  // -> (base, ins?)
+  std::vector<RuleMatcher> matchers;
+  for (const Rule& rule : program.rules) {
+    for (const Literal& head : rule.heads) {
+      if (head.kind != Literal::Kind::kRelational) {
+        return Status::Unsupported("active rules use Datalog¬¬ heads");
+      }
+      std::string base;
+      bool is_ins;
+      if (IsDeltaPred(*catalog, head.atom.pred, &base, &is_ins)) {
+        return Status::InvalidProgram(
+            "rule head writes delta predicate '" +
+            catalog->NameOf(head.atom.pred) +
+            "'; deltas are maintained by the engine");
+      }
+    }
+    if (!rule.universal_vars.empty()) {
+      return Status::Unsupported("∀-rules are not part of active rules");
+    }
+    matchers.emplace_back(&rule);
+  }
+  for (const Rule& rule : program.rules) {
+    for (const Literal& lit : rule.body) {
+      if (lit.kind != Literal::Kind::kRelational) continue;
+      std::string base;
+      bool is_ins;
+      if (!IsDeltaPred(*catalog, lit.atom.pred, &base, &is_ins)) continue;
+      Result<PredId> base_pred =
+          catalog->Declare(base, catalog->ArityOf(lit.atom.pred));
+      if (!base_pred.ok()) return base_pred.status();
+      delta_to_base.emplace(lit.atom.pred,
+                            std::make_pair(*base_pred, is_ins));
+    }
+  }
+
+  ActiveResult result(db);
+  Instance& state = result.instance;
+
+  // Apply the external update; its effective changes seed the deltas.
+  auto clear_deltas = [&](Instance* s) {
+    for (const auto& [delta, base] : delta_to_base) {
+      (void)base;
+      s->MutableRel(delta)->Clear();
+    }
+  };
+  auto set_delta = [&](Instance* s, PredId base_pred, bool is_ins,
+                       const Tuple& t) {
+    for (const auto& [delta, base] : delta_to_base) {
+      if (base.first == base_pred && base.second == is_ins) {
+        s->Insert(delta, t);
+      }
+    }
+  };
+
+  clear_deltas(&state);
+  for (PredId p = 0; p < catalog->size(); ++p) {
+    for (const Tuple& t : insertions.Rel(p)) {
+      if (state.Insert(p, t)) set_delta(&state, p, /*is_ins=*/true, t);
+    }
+  }
+  for (PredId p = 0; p < catalog->size(); ++p) {
+    for (const Tuple& t : deletions.Rel(p)) {
+      if (state.Erase(p, t)) set_delta(&state, p, /*is_ins=*/false, t);
+    }
+  }
+
+  // Cycle detection over full states (user + delta relations).
+  std::unordered_map<uint64_t, std::vector<int>> seen_by_hash;
+  std::vector<Instance> history;
+  auto record_state = [&](const Instance& s) -> int {
+    uint64_t h = s.Fingerprint();
+    auto& bucket = seen_by_hash[h];
+    for (int idx : bucket) {
+      if (history[idx] == s) return idx;
+    }
+    bucket.push_back(static_cast<int>(history.size()));
+    history.push_back(s);
+    return -1;
+  };
+  if (options.base.detect_cycles) record_state(state);
+
+  while (true) {
+    if (result.stages + 1 > options.base.eval.max_rounds) {
+      return Status::BudgetExhausted("active rules exceeded stage budget");
+    }
+    // Parallel firing (positive-wins) against the frozen state.
+    Instance inserts(catalog);
+    Instance deletes(catalog);
+    IndexCache cache;
+    DbView view{&state, &state};
+    std::vector<Value> adom = ActiveDomain(program, state);
+    for (const RuleMatcher& matcher : matchers) {
+      const Rule& rule = matcher.rule();
+      matcher.ForEachMatch(view, adom, &cache,
+                           [&](const Valuation& val) -> bool {
+                             ++result.stats.instantiations;
+                             for (const Literal& head : rule.heads) {
+                               Tuple t = InstantiateAtom(head.atom, val);
+                               if (head.negative) {
+                                 deletes.Insert(head.atom.pred, std::move(t));
+                               } else {
+                                 inserts.Insert(head.atom.pred, std::move(t));
+                               }
+                             }
+                             return true;
+                           });
+    }
+
+    // Apply with positive priority, recording effective changes.
+    Instance next = state;
+    clear_deltas(&next);
+    bool changed = false;
+    for (PredId p = 0; p < catalog->size(); ++p) {
+      for (const Tuple& t : deletes.Rel(p)) {
+        if (inserts.Contains(p, t)) continue;
+        if (next.Erase(p, t)) {
+          set_delta(&next, p, /*is_ins=*/false, t);
+          changed = true;
+        }
+      }
+    }
+    for (PredId p = 0; p < catalog->size(); ++p) {
+      for (const Tuple& t : inserts.Rel(p)) {
+        if (next.Insert(p, t)) {
+          set_delta(&next, p, /*is_ins=*/true, t);
+          changed = true;
+        }
+      }
+    }
+
+    if (!changed) {
+      // Quiescent: no user-predicate changes. Clear any leftover deltas in
+      // the result.
+      clear_deltas(&state);
+      break;
+    }
+    ++result.stages;
+    ++result.stats.rounds;
+    state = std::move(next);
+    if (options.base.detect_cycles) {
+      int prev = record_state(state);
+      if (prev >= 0) {
+        return Status::NonTerminating(
+            "active rules revisit the state of stage " +
+            std::to_string(prev) + " (cycle length " +
+            std::to_string(history.size() - prev) + ")");
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace datalog

@@ -1,0 +1,248 @@
+#include "analysis/magic.h"
+
+#include <map>
+#include <set>
+#include <utility>
+#include <vector>
+
+namespace datalog {
+namespace {
+
+/// Key for the adorned-predicate worklist.
+using Adorned = std::pair<PredId, std::string>;
+
+struct RewriteState {
+  const Program* original;
+  Catalog* catalog;
+  /// (pred, adornment) -> adorned PredId.
+  std::map<Adorned, PredId> adorned_preds;
+  /// (pred, adornment) -> magic PredId.
+  std::map<Adorned, PredId> magic_preds;
+  std::vector<Adorned> worklist;
+  std::set<Adorned> processed;
+  Program rewritten;
+};
+
+Result<PredId> AdornedPred(RewriteState* state, PredId pred,
+                           const std::string& adornment) {
+  auto it = state->adorned_preds.find({pred, adornment});
+  if (it != state->adorned_preds.end()) return it->second;
+  std::string name =
+      state->catalog->NameOf(pred) + "_" + adornment;
+  Result<PredId> id =
+      state->catalog->Declare(name, state->catalog->ArityOf(pred));
+  if (!id.ok()) return id;
+  state->adorned_preds.emplace(Adorned{pred, adornment}, *id);
+  state->worklist.push_back({pred, adornment});
+  return id;
+}
+
+Result<PredId> MagicPred(RewriteState* state, PredId pred,
+                         const std::string& adornment) {
+  auto it = state->magic_preds.find({pred, adornment});
+  if (it != state->magic_preds.end()) return it->second;
+  int bound = 0;
+  for (char c : adornment) bound += c == 'b' ? 1 : 0;
+  std::string name = "magic_" + state->catalog->NameOf(pred) + "_" + adornment;
+  Result<PredId> id = state->catalog->Declare(name, bound);
+  if (!id.ok()) return id;
+  state->magic_preds.emplace(Adorned{pred, adornment}, *id);
+  return id;
+}
+
+/// The bound arguments of `atom` under `adornment`, in column order.
+std::vector<Term> BoundArgs(const Atom& atom, const std::string& adornment) {
+  std::vector<Term> out;
+  for (size_t i = 0; i < atom.terms.size(); ++i) {
+    if (adornment[i] == 'b') out.push_back(atom.terms[i]);
+  }
+  return out;
+}
+
+/// Adornment of `atom` given the currently bound variables: a column is
+/// bound if it holds a constant or a bound variable.
+std::string ComputeAdornment(const Atom& atom, const std::set<int>& bound) {
+  std::string adornment;
+  for (const Term& t : atom.terms) {
+    adornment += (!t.is_var() || bound.count(t.var)) ? 'b' : 'f';
+  }
+  return adornment;
+}
+
+/// Rewrites all rules defining (pred, adornment).
+Status ProcessAdorned(RewriteState* state, const Adorned& target) {
+  const auto& [pred, adornment] = target;
+  Result<PredId> adorned_head = AdornedPred(state, pred, adornment);
+  if (!adorned_head.ok()) return adorned_head.status();
+  Result<PredId> magic_head = MagicPred(state, pred, adornment);
+  if (!magic_head.ok()) return magic_head.status();
+
+  for (const Rule& rule : state->original->rules) {
+    if (rule.heads[0].atom.pred != pred) continue;
+    const Atom& head = rule.heads[0].atom;
+
+    // Variables bound at rule entry: those in bound head positions.
+    std::set<int> bound;
+    for (size_t i = 0; i < head.terms.size(); ++i) {
+      if (adornment[i] == 'b' && head.terms[i].is_var()) {
+        bound.insert(head.terms[i].var);
+      }
+    }
+
+    // The magic guard literal for this rule.
+    Atom guard;
+    guard.pred = *magic_head;
+    guard.terms = BoundArgs(head, adornment);
+
+    Rule rewritten;
+    rewritten.num_vars = rule.num_vars;
+    rewritten.var_names = rule.var_names;
+    Atom new_head = head;
+    new_head.pred = *adorned_head;
+    rewritten.heads.push_back(Literal::Positive(std::move(new_head)));
+    rewritten.body.push_back(Literal::Positive(guard));
+
+    // Left-to-right pass (full SIPS): emit magic rules for idb literals,
+    // replace them by their adorned versions, and extend the bound set.
+    for (size_t i = 0; i < rule.body.size(); ++i) {
+      const Literal& lit = rule.body[i];
+      // Positive Datalog only: every literal is a positive atom.
+      const Atom& atom = lit.atom;
+      if (state->original->IsIdb(atom.pred)) {
+        std::string body_adornment = ComputeAdornment(atom, bound);
+        Result<PredId> adorned_body =
+            AdornedPred(state, atom.pred, body_adornment);
+        if (!adorned_body.ok()) return adorned_body.status();
+        Result<PredId> magic_body =
+            MagicPred(state, atom.pred, body_adornment);
+        if (!magic_body.ok()) return magic_body.status();
+
+        // Magic rule: magic_q^b(bound args) <- guard, B_1..B_{i-1}. The
+        // body is exactly what has been placed in `rewritten.body` so far
+        // (the guard plus the rewritten B_1..B_{i-1}).
+        Rule magic_rule;
+        magic_rule.num_vars = rule.num_vars;
+        magic_rule.var_names = rule.var_names;
+        Atom magic_atom;
+        magic_atom.pred = *magic_body;
+        magic_atom.terms = BoundArgs(atom, body_adornment);
+        magic_rule.heads.push_back(Literal::Positive(std::move(magic_atom)));
+        magic_rule.body = rewritten.body;
+        state->rewritten.rules.push_back(std::move(magic_rule));
+
+        Atom adorned_atom = atom;
+        adorned_atom.pred = *adorned_body;
+        rewritten.body.push_back(Literal::Positive(std::move(adorned_atom)));
+      } else {
+        rewritten.body.push_back(lit);
+      }
+      for (const Term& t : atom.terms) {
+        if (t.is_var()) bound.insert(t.var);
+      }
+    }
+    state->rewritten.rules.push_back(std::move(rewritten));
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<MagicRewrite> MagicSetRewrite(const Program& program,
+                                     const MagicQuery& query,
+                                     Catalog* catalog) {
+  // Validate: positive Datalog, single positive heads.
+  for (const Rule& rule : program.rules) {
+    if (rule.heads.size() != 1 ||
+        rule.heads[0].kind != Literal::Kind::kRelational ||
+        rule.heads[0].negative) {
+      return Status::Unsupported(
+          "magic sets require single positive heads (positive Datalog)");
+    }
+    for (const Literal& lit : rule.body) {
+      if (lit.kind != Literal::Kind::kRelational || lit.negative) {
+        return Status::Unsupported(
+            "magic sets require a negation-free (positive Datalog) program");
+      }
+    }
+  }
+  if (query.query_pred < 0 ||
+      static_cast<int>(query.adornment.size()) !=
+          catalog->ArityOf(query.query_pred)) {
+    return Status::InvalidProgram(
+        "query adornment length must equal the query predicate arity");
+  }
+  size_t bound_count = 0;
+  for (char c : query.adornment) {
+    if (c != 'b' && c != 'f') {
+      return Status::InvalidProgram(
+          "adornment must consist of 'b' and 'f' only");
+    }
+    bound_count += c == 'b' ? 1 : 0;
+  }
+  if (query.bound_values.size() != bound_count) {
+    return Status::InvalidProgram(
+        "bound_values size must equal the number of 'b' positions");
+  }
+  if (!program.IsIdb(query.query_pred)) {
+    return Status::InvalidProgram("query predicate is not an idb predicate");
+  }
+
+  RewriteState state;
+  state.original = &program;
+  state.catalog = catalog;
+
+  Result<PredId> adorned_query =
+      AdornedPred(&state, query.query_pred, query.adornment);
+  if (!adorned_query.ok()) return adorned_query.status();
+  Result<PredId> magic_query =
+      MagicPred(&state, query.query_pred, query.adornment);
+  if (!magic_query.ok()) return magic_query.status();
+
+  while (!state.worklist.empty()) {
+    Adorned next = state.worklist.back();
+    state.worklist.pop_back();
+    if (!state.processed.insert(next).second) continue;
+    DATALOG_RETURN_IF_ERROR(ProcessAdorned(&state, next));
+  }
+
+  // The adorned query predicate holds answers for *every* relevant
+  // subquery reached by binding propagation; select the original query's
+  // answers (bound columns pinned to the query constants) into a final
+  // answer predicate.
+  std::string ans_name = "ans_" + catalog->NameOf(query.query_pred) + "_" +
+                         query.adornment;
+  Result<PredId> ans_pred =
+      catalog->Declare(ans_name, catalog->ArityOf(query.query_pred));
+  if (!ans_pred.ok()) return ans_pred.status();
+  Rule ans_rule;
+  Atom ans_head, ans_body;
+  ans_head.pred = *ans_pred;
+  ans_body.pred = *adorned_query;
+  size_t next_bound = 0;
+  int next_var = 0;
+  for (char c : query.adornment) {
+    Term t;
+    if (c == 'b') {
+      t = Term::Const(query.bound_values[next_bound++]);
+    } else {
+      t = Term::Var(next_var);
+      ans_rule.var_names.push_back("V" + std::to_string(next_var));
+      ++next_var;
+    }
+    ans_head.terms.push_back(t);
+    ans_body.terms.push_back(t);
+  }
+  ans_rule.num_vars = next_var;
+  ans_rule.heads.push_back(Literal::Positive(std::move(ans_head)));
+  ans_rule.body.push_back(Literal::Positive(std::move(ans_body)));
+  state.rewritten.rules.push_back(std::move(ans_rule));
+
+  MagicRewrite out(catalog);
+  out.program = std::move(state.rewritten);
+  out.program.RecomputeSchema();
+  out.query_pred = *ans_pred;
+  out.seed.Insert(*magic_query, query.bound_values);
+  return out;
+}
+
+}  // namespace datalog

@@ -1,0 +1,62 @@
+#ifndef UNCHAINED_ANALYSIS_MAGIC_H_
+#define UNCHAINED_ANALYSIS_MAGIC_H_
+
+#include <string>
+
+#include "ast/ast.h"
+#include "base/result.h"
+#include "ra/instance.h"
+
+namespace datalog {
+
+/// A query against a positive Datalog program with a binding pattern:
+/// `adornment[i]` is 'b' (bound) or 'f' (free) for column i of
+/// `query_pred`; `bound_values` supplies the values of the bound columns,
+/// in order. Example: reachability from a single source is the query
+/// (t, "bf", {a}) against the transitive-closure program.
+struct MagicQuery {
+  PredId query_pred = -1;
+  std::string adornment;
+  Tuple bound_values;
+};
+
+/// Result of the magic-sets transformation.
+struct MagicRewrite {
+  /// The rewritten program over adorned predicates (declared in the
+  /// catalog as "<pred>_<adornment>") guarded by magic predicates
+  /// ("magic_<pred>_<adornment>", arity = number of bound columns).
+  Program program;
+  /// The magic seed fact(s) for the query; union into the input before
+  /// evaluation.
+  Instance seed;
+  /// The answer predicate ("ans_<pred>_<adornment>", same arity as the
+  /// query predicate): after evaluating `program` on input ∪ seed, its
+  /// relation holds exactly the original query's answers. (The adorned
+  /// predicates themselves also hold answers to every relevant subquery
+  /// reached by binding propagation.)
+  PredId query_pred = -1;
+
+  explicit MagicRewrite(const Catalog* catalog) : seed(catalog) {}
+};
+
+/// The magic-sets rewriting for positive Datalog (the classic
+/// query-directed optimization developed "around Datalog" that Sections
+/// 3.1/6 of the paper refer to): specializes the program to derive only
+/// facts relevant to the query's bindings, propagating bindings
+/// left-to-right through rule bodies (full SIPS).
+///
+/// Guarantees: evaluating the rewritten program over input ∪ seed yields,
+/// in the adorned query predicate, exactly the answers of the original
+/// query — usually deriving far fewer irrelevant facts (see
+/// bench/magic_ablation and tests/magic_test).
+///
+/// Restrictions: the program must be positive Datalog with single-literal
+/// heads (kUnsupported otherwise); `adornment` must match the query
+/// predicate's arity.
+Result<MagicRewrite> MagicSetRewrite(const Program& program,
+                                     const MagicQuery& query,
+                                     Catalog* catalog);
+
+}  // namespace datalog
+
+#endif  // UNCHAINED_ANALYSIS_MAGIC_H_

@@ -1,0 +1,149 @@
+#include "analysis/stratify.h"
+
+#include <algorithm>
+#include <functional>
+
+namespace datalog {
+
+DependencyGraph BuildDependencyGraph(const Program& program,
+                                     const Catalog& catalog) {
+  DependencyGraph graph;
+  graph.num_preds = catalog.size();
+  for (const Rule& rule : program.rules) {
+    for (const Literal& head : rule.heads) {
+      if (head.kind != Literal::Kind::kRelational) continue;
+      for (const Literal& body : rule.body) {
+        if (body.kind != Literal::Kind::kRelational) continue;
+        graph.edges.push_back(
+            {body.atom.pred, head.atom.pred, body.negative});
+      }
+    }
+  }
+  return graph;
+}
+
+std::vector<int> DependencyGraph::SccComponents() const {
+  // Tarjan's algorithm, iterative to be safe on deep graphs.
+  std::vector<std::vector<int>> adj(num_preds);
+  for (const DepEdge& e : edges) adj[e.from].push_back(e.to);
+
+  std::vector<int> index(num_preds, -1), lowlink(num_preds, 0),
+      component(num_preds, -1);
+  std::vector<bool> on_stack(num_preds, false);
+  std::vector<int> stack;
+  int next_index = 0, next_component = 0;
+
+  struct Frame {
+    int node;
+    size_t edge;
+  };
+  for (int start = 0; start < num_preds; ++start) {
+    if (index[start] != -1) continue;
+    std::vector<Frame> frames;
+    frames.push_back({start, 0});
+    index[start] = lowlink[start] = next_index++;
+    stack.push_back(start);
+    on_stack[start] = true;
+    while (!frames.empty()) {
+      Frame& f = frames.back();
+      if (f.edge < adj[f.node].size()) {
+        int next = adj[f.node][f.edge++];
+        if (index[next] == -1) {
+          index[next] = lowlink[next] = next_index++;
+          stack.push_back(next);
+          on_stack[next] = true;
+          frames.push_back({next, 0});
+        } else if (on_stack[next]) {
+          lowlink[f.node] = std::min(lowlink[f.node], index[next]);
+        }
+      } else {
+        if (lowlink[f.node] == index[f.node]) {
+          while (true) {
+            int w = stack.back();
+            stack.pop_back();
+            on_stack[w] = false;
+            component[w] = next_component;
+            if (w == f.node) break;
+          }
+          ++next_component;
+        }
+        int done = f.node;
+        frames.pop_back();
+        if (!frames.empty()) {
+          int parent = frames.back().node;
+          lowlink[parent] = std::min(lowlink[parent], lowlink[done]);
+        }
+      }
+    }
+  }
+  return component;
+}
+
+Stratification Stratify(const Program& program, const Catalog& catalog) {
+  Stratification out;
+  DependencyGraph graph = BuildDependencyGraph(program, catalog);
+  std::vector<int> component = graph.SccComponents();
+
+  // Recursion through negation: a negative edge within one SCC.
+  for (const DepEdge& e : graph.edges) {
+    if (e.negative && component[e.from] == component[e.to]) {
+      out.error = "recursion through negation: predicate '" +
+                  catalog.NameOf(e.to) + "' depends negatively on '" +
+                  catalog.NameOf(e.from) + "' within a cycle";
+      return out;
+    }
+  }
+
+  // Longest path in the condensation, counting negative edges. Iterate to
+  // fixpoint; the condensation is acyclic so #preds rounds suffice.
+  std::vector<int> stratum(graph.num_preds, 0);
+  bool changed = true;
+  int rounds = 0;
+  while (changed) {
+    changed = false;
+    if (++rounds > graph.num_preds + 2) {
+      out.error = "internal: stratification did not converge";
+      return out;
+    }
+    for (const DepEdge& e : graph.edges) {
+      int need = stratum[e.from] + (e.negative ? 1 : 0);
+      if (stratum[e.to] < need) {
+        stratum[e.to] = need;
+        changed = true;
+      }
+    }
+  }
+
+  out.ok = true;
+  out.stratum_of_pred = stratum;
+  out.num_strata = 0;
+  for (PredId p : program.idb_preds) {
+    out.num_strata = std::max(out.num_strata, stratum[p] + 1);
+  }
+  if (out.num_strata == 0) out.num_strata = 1;
+  out.rules_by_stratum.assign(out.num_strata, {});
+  for (size_t i = 0; i < program.rules.size(); ++i) {
+    int s = 0;
+    for (const Literal& head : program.rules[i].heads) {
+      if (head.kind == Literal::Kind::kRelational) {
+        s = std::max(s, stratum[head.atom.pred]);
+      }
+    }
+    out.rules_by_stratum[s].push_back(static_cast<int>(i));
+  }
+  return out;
+}
+
+bool IsSemiPositive(const Program& program) {
+  for (const Rule& rule : program.rules) {
+    for (const Literal& body : rule.body) {
+      if (body.kind == Literal::Kind::kRelational && body.negative &&
+          program.IsIdb(body.atom.pred)) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+}  // namespace datalog

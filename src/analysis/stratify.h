@@ -1,0 +1,59 @@
+#ifndef UNCHAINED_ANALYSIS_STRATIFY_H_
+#define UNCHAINED_ANALYSIS_STRATIFY_H_
+
+#include <string>
+#include <vector>
+
+#include "ast/ast.h"
+#include "ra/catalog.h"
+
+namespace datalog {
+
+/// One edge of the predicate dependency graph: body predicate -> head
+/// predicate, marked negative when the body occurrence is negated.
+struct DepEdge {
+  PredId from;
+  PredId to;
+  bool negative;
+};
+
+/// The predicate dependency graph of a program (Section 3.2): an edge
+/// b -> h for every rule with head predicate h and body literal over b.
+struct DependencyGraph {
+  int num_preds = 0;
+  std::vector<DepEdge> edges;
+
+  /// Strongly connected components (Tarjan); `component[p]` is the SCC id
+  /// of predicate p, ids in reverse topological order of the condensation.
+  std::vector<int> SccComponents() const;
+};
+
+DependencyGraph BuildDependencyGraph(const Program& program,
+                                     const Catalog& catalog);
+
+/// Result of stratifying a program.
+struct Stratification {
+  bool ok = false;
+  /// Diagnostic when `!ok` (names the predicates in a negative cycle).
+  std::string error;
+  /// Stratum of each predicate (indexed by PredId; 0 for untouched preds).
+  std::vector<int> stratum_of_pred;
+  int num_strata = 0;
+  /// Rule indices grouped by stratum (a rule's stratum is the max over the
+  /// strata of its head predicates).
+  std::vector<std::vector<int>> rules_by_stratum;
+};
+
+/// Computes a stratification (Section 3.2): strata such that each rule's
+/// positive body predicates are in the same or an earlier stratum and each
+/// negated body predicate is in a strictly earlier stratum. Fails iff the
+/// program has recursion through negation (a negative edge inside an SCC).
+Stratification Stratify(const Program& program, const Catalog& catalog);
+
+/// True if every negated body literal is over an edb predicate
+/// (semi-positive Datalog¬, Section 4.5).
+bool IsSemiPositive(const Program& program);
+
+}  // namespace datalog
+
+#endif  // UNCHAINED_ANALYSIS_STRATIFY_H_

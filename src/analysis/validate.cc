@@ -1,0 +1,195 @@
+#include "analysis/validate.h"
+
+#include <set>
+#include <string>
+
+#include "analysis/stratify.h"
+
+namespace datalog {
+namespace {
+
+struct Features {
+  bool allow_negative_body = false;
+  bool allow_negative_head = false;
+  bool allow_multi_head = false;
+  bool allow_bottom = false;
+  bool allow_equality = false;
+  bool allow_forall = false;
+  bool allow_invention = false;
+  /// Nondeterministic dialects require head variables to be *positively*
+  /// bound; deterministic ones only require occurrence in the body.
+  bool require_positive_binding = false;
+};
+
+Features FeaturesOf(Dialect dialect) {
+  Features f;
+  switch (dialect) {
+    case Dialect::kDatalog:
+      break;
+    case Dialect::kSemiPositive:
+    case Dialect::kStratified:
+    case Dialect::kDatalogNeg:
+      f.allow_negative_body = true;
+      break;
+    case Dialect::kDatalogNegNeg:
+      f.allow_negative_body = true;
+      f.allow_negative_head = true;
+      break;
+    case Dialect::kDatalogNew:
+      f.allow_negative_body = true;
+      f.allow_invention = true;
+      break;
+    case Dialect::kNDatalogNeg:
+      f.allow_negative_body = true;
+      f.allow_multi_head = true;
+      f.allow_equality = true;
+      f.require_positive_binding = true;
+      break;
+    case Dialect::kNDatalogNegNeg:
+      f.allow_negative_body = true;
+      f.allow_negative_head = true;
+      f.allow_multi_head = true;
+      f.allow_equality = true;
+      f.require_positive_binding = true;
+      break;
+    case Dialect::kNDatalogBottom:
+      f.allow_negative_body = true;
+      f.allow_multi_head = true;
+      f.allow_equality = true;
+      f.allow_bottom = true;
+      f.require_positive_binding = true;
+      break;
+    case Dialect::kNDatalogForall:
+      f.allow_negative_body = true;
+      f.allow_multi_head = true;
+      f.allow_equality = true;
+      f.allow_forall = true;
+      f.require_positive_binding = true;
+      break;
+    case Dialect::kNDatalogNew:
+      f.allow_negative_body = true;
+      f.allow_multi_head = true;
+      f.allow_equality = true;
+      f.allow_invention = true;
+      f.require_positive_binding = true;
+      break;
+  }
+  return f;
+}
+
+/// Variables bound by a positive relational literal, closed under positive
+/// equalities with a bound side (Definition 5.1's "positively bound").
+std::set<int> PositivelyBoundVars(const Rule& rule) {
+  std::set<int> bound = rule.PositiveBodyVars();
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (const Literal& l : rule.body) {
+      if (l.kind != Literal::Kind::kEquality || l.negative) continue;
+      bool lhs_bound = !l.lhs.is_var() || bound.count(l.lhs.var) > 0;
+      bool rhs_bound = !l.rhs.is_var() || bound.count(l.rhs.var) > 0;
+      if (lhs_bound && l.rhs.is_var() && !rhs_bound) {
+        bound.insert(l.rhs.var);
+        changed = true;
+      }
+      if (rhs_bound && l.lhs.is_var() && !lhs_bound) {
+        bound.insert(l.lhs.var);
+        changed = true;
+      }
+    }
+  }
+  return bound;
+}
+
+}  // namespace
+
+Status ValidateProgram(const Program& program, const Catalog& catalog,
+                       Dialect dialect) {
+  const Features f = FeaturesOf(dialect);
+  // Diagnostics reference rules by 1-based index and variables by their
+  // source names (stored in the rule), so no symbol table is needed here.
+  for (size_t i = 0; i < program.rules.size(); ++i) {
+    const Rule& rule = program.rules[i];
+    auto fail = [&](const std::string& why) {
+      return Status::InvalidProgram("rule #" + std::to_string(i + 1) + ": " +
+                                    why + " (not allowed in " +
+                                    DialectName(dialect) + ")");
+    };
+
+    if (rule.heads.empty()) {
+      return Status::InvalidProgram("rule #" + std::to_string(i + 1) +
+                                    ": rule has no head");
+    }
+    if (rule.heads.size() > 1 && !f.allow_multi_head) {
+      return fail("multiple head literals");
+    }
+    for (const Literal& head : rule.heads) {
+      switch (head.kind) {
+        case Literal::Kind::kBottom:
+          if (!f.allow_bottom) return fail("'bottom' head");
+          if (rule.heads.size() != 1) {
+            return fail("'bottom' must be the only head literal");
+          }
+          break;
+        case Literal::Kind::kEquality:
+          return fail("equality literal in head");
+        case Literal::Kind::kRelational:
+          if (head.negative && !f.allow_negative_head) {
+            return fail("negative head literal");
+          }
+          break;
+      }
+    }
+    for (const Literal& body : rule.body) {
+      switch (body.kind) {
+        case Literal::Kind::kBottom:
+          return fail("'bottom' in body");
+        case Literal::Kind::kEquality:
+          if (!f.allow_equality) return fail("equality literal in body");
+          break;
+        case Literal::Kind::kRelational:
+          if (body.negative) {
+            if (!f.allow_negative_body) return fail("negation in body");
+            if (dialect == Dialect::kSemiPositive &&
+                program.IsIdb(body.atom.pred)) {
+              return fail("negation applied to idb predicate '" +
+                          catalog.NameOf(body.atom.pred) + "'");
+            }
+          }
+          break;
+      }
+    }
+
+    if (!rule.universal_vars.empty()) {
+      if (!f.allow_forall) return fail("'forall' prefix");
+      std::set<int> head_vars = rule.HeadVars();
+      for (int v : rule.universal_vars) {
+        if (head_vars.count(v)) {
+          return fail("universally quantified variable '" +
+                      rule.var_names[v] + "' occurs in the head");
+        }
+      }
+    }
+
+    // Safety / range restriction on head variables.
+    const std::set<int> binding =
+        f.require_positive_binding ? PositivelyBoundVars(rule)
+                                   : rule.BodyVars();
+    for (int v : rule.HeadVars()) {
+      if (binding.count(v)) continue;
+      if (f.allow_invention) continue;  // an invention variable
+      return fail(std::string("head variable '") + rule.var_names[v] +
+                  (f.require_positive_binding
+                       ? "' is not positively bound in the body"
+                       : "' does not occur in the body"));
+    }
+  }
+
+  if (dialect == Dialect::kStratified) {
+    Stratification s = Stratify(program, catalog);
+    if (!s.ok) return Status::NotStratifiable(s.error);
+  }
+  return Status::OK();
+}
+
+}  // namespace datalog

@@ -1,0 +1,37 @@
+#ifndef UNCHAINED_ANALYSIS_VALIDATE_H_
+#define UNCHAINED_ANALYSIS_VALIDATE_H_
+
+#include "ast/ast.h"
+#include "ast/dialect.h"
+#include "base/status.h"
+#include "ra/catalog.h"
+
+namespace datalog {
+
+/// Checks that `program` lies within `dialect`:
+///
+///  * kDatalog            — no negation, no equality, single positive heads,
+///                          head variables occur in the body;
+///  * kSemiPositive       — Datalog¬ with negation on edb predicates only;
+///  * kStratified         — Datalog¬ with no recursion through negation;
+///  * kDatalogNeg         — negation in bodies; head variables occur in the
+///                          body (possibly only in negative literals:
+///                          valuations range over the active domain);
+///  * kDatalogNegNeg      — additionally negative heads;
+///  * kDatalogNew         — Datalog¬ whose extra head variables invent
+///                          values;
+///  * kNDatalog*          — multi-head rules and (in)equality literals; head
+///                          variables must be positively bound (Def. 5.1);
+///                          ⊥ heads only in kNDatalogBottom (as sole head);
+///                          ∀ prefixes only in kNDatalogForall (over
+///                          variables that do not occur in the head);
+///                          invention only in kNDatalogNew.
+///
+/// Returns kInvalidProgram (or kNotStratifiable) with the offending rule
+/// rendered in the message.
+Status ValidateProgram(const Program& program, const Catalog& catalog,
+                       Dialect dialect);
+
+}  // namespace datalog
+
+#endif  // UNCHAINED_ANALYSIS_VALIDATE_H_

@@ -1,0 +1,92 @@
+#include "ast/ast.h"
+
+#include <algorithm>
+
+namespace datalog {
+
+namespace {
+void CollectTermVars(const Term& t, std::set<int>* out) {
+  if (t.is_var()) out->insert(t.var);
+}
+
+void CollectLiteralVars(const Literal& l, std::set<int>* out) {
+  switch (l.kind) {
+    case Literal::Kind::kRelational:
+      for (const Term& t : l.atom.terms) CollectTermVars(t, out);
+      break;
+    case Literal::Kind::kEquality:
+      CollectTermVars(l.lhs, out);
+      CollectTermVars(l.rhs, out);
+      break;
+    case Literal::Kind::kBottom:
+      break;
+  }
+}
+}  // namespace
+
+std::set<int> Rule::PositiveBodyVars() const {
+  std::set<int> vars;
+  for (const Literal& l : body) {
+    if (l.kind == Literal::Kind::kRelational && !l.negative) {
+      CollectLiteralVars(l, &vars);
+    }
+  }
+  return vars;
+}
+
+std::set<int> Rule::BodyVars() const {
+  std::set<int> vars;
+  for (const Literal& l : body) CollectLiteralVars(l, &vars);
+  return vars;
+}
+
+std::set<int> Rule::HeadVars() const {
+  std::set<int> vars;
+  for (const Literal& l : heads) CollectLiteralVars(l, &vars);
+  return vars;
+}
+
+std::vector<int> Rule::InventionVars() const {
+  std::set<int> body_vars = BodyVars();
+  std::vector<int> out;
+  for (int v : HeadVars()) {
+    if (!body_vars.count(v)) out.push_back(v);
+  }
+  return out;
+}
+
+bool Program::IsIdb(PredId p) const {
+  return std::find(idb_preds.begin(), idb_preds.end(), p) != idb_preds.end();
+}
+
+void Program::RecomputeSchema() {
+  std::set<PredId> idb, all;
+  constants.clear();
+  auto collect_consts = [this](const Literal& l) {
+    if (l.kind == Literal::Kind::kRelational) {
+      for (const Term& t : l.atom.terms) {
+        if (!t.is_var()) constants.insert(t.constant);
+      }
+    } else if (l.kind == Literal::Kind::kEquality) {
+      if (!l.lhs.is_var()) constants.insert(l.lhs.constant);
+      if (!l.rhs.is_var()) constants.insert(l.rhs.constant);
+    }
+  };
+  for (const Rule& r : rules) {
+    for (const Literal& l : r.heads) {
+      if (l.kind == Literal::Kind::kRelational) idb.insert(l.atom.pred);
+      collect_consts(l);
+    }
+    for (const Literal& l : r.body) {
+      if (l.kind == Literal::Kind::kRelational) all.insert(l.atom.pred);
+      collect_consts(l);
+    }
+  }
+  idb_preds.assign(idb.begin(), idb.end());
+  edb_preds.clear();
+  for (PredId p : all) {
+    if (!idb.count(p)) edb_preds.push_back(p);
+  }
+}
+
+}  // namespace datalog

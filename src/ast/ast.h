@@ -1,0 +1,141 @@
+#ifndef UNCHAINED_AST_AST_H_
+#define UNCHAINED_AST_AST_H_
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "base/symbols.h"
+#include "ra/catalog.h"
+
+namespace datalog {
+
+/// A term: a variable (identified by a dense per-rule index) or a constant.
+struct Term {
+  enum class Kind { kVariable, kConstant };
+
+  Kind kind = Kind::kConstant;
+  /// Variable index within the enclosing rule (0 .. Rule::num_vars-1).
+  int var = -1;
+  /// Domain value, when `kind == kConstant`.
+  Value constant = -1;
+
+  static Term Var(int index) {
+    Term t;
+    t.kind = Kind::kVariable;
+    t.var = index;
+    return t;
+  }
+  static Term Const(Value v) {
+    Term t;
+    t.kind = Kind::kConstant;
+    t.constant = v;
+    return t;
+  }
+
+  bool is_var() const { return kind == Kind::kVariable; }
+
+  bool operator==(const Term& o) const {
+    return kind == o.kind && (is_var() ? var == o.var : constant == o.constant);
+  }
+};
+
+/// A relational atom R(u): predicate symbol applied to a free tuple.
+struct Atom {
+  PredId pred = -1;
+  std::vector<Term> terms;
+};
+
+/// A literal of a rule head or body.
+///
+///  * `kRelational` — R(u) or ¬R(u). Negative body literals are Datalog¬;
+///    negative *head* literals are the retractions of Datalog¬¬.
+///  * `kEquality`   — x = y or x ≠ y between terms (N-Datalog¬¬ bodies).
+///  * `kBottom`     — the inconsistency symbol ⊥ (N-Datalog¬⊥ heads only).
+struct Literal {
+  enum class Kind { kRelational, kEquality, kBottom };
+
+  Kind kind = Kind::kRelational;
+  /// For kRelational: ¬R(u). For kEquality: x ≠ y.
+  bool negative = false;
+  Atom atom;       // kRelational
+  Term lhs, rhs;   // kEquality
+
+  static Literal Positive(Atom a) {
+    Literal l;
+    l.atom = std::move(a);
+    return l;
+  }
+  static Literal Negative(Atom a) {
+    Literal l;
+    l.negative = true;
+    l.atom = std::move(a);
+    return l;
+  }
+  static Literal Equality(Term lhs, Term rhs, bool negated) {
+    Literal l;
+    l.kind = Kind::kEquality;
+    l.negative = negated;
+    l.lhs = lhs;
+    l.rhs = rhs;
+    return l;
+  }
+  static Literal Bottom() {
+    Literal l;
+    l.kind = Kind::kBottom;
+    return l;
+  }
+};
+
+/// One rule `H1,...,Hk :- [forall ȳ:] B1,...,Bn.`
+///
+/// The general shape covers the whole family; each dialect's validator
+/// (analysis/validate.h) rejects the features that dialect lacks:
+///  * multiple heads / negative heads / equality literals — N-Datalog¬¬;
+///  * ⊥ heads — N-Datalog¬⊥;
+///  * `universal_vars` — N-Datalog¬∀ (the body is read under ∀ over them);
+///  * head variables absent from the body — invention in Datalog¬new.
+struct Rule {
+  std::vector<Literal> heads;
+  std::vector<Literal> body;
+
+  /// Number of distinct variables; indices are dense in [0, num_vars).
+  int num_vars = 0;
+  /// Source spelling of each variable (diagnostics, printing).
+  std::vector<std::string> var_names;
+  /// Variables under the ∀ of N-Datalog¬∀ (empty otherwise).
+  std::vector<int> universal_vars;
+
+  /// Variable indices occurring in a positive relational body literal.
+  std::set<int> PositiveBodyVars() const;
+  /// Variable indices occurring anywhere in the body.
+  std::set<int> BodyVars() const;
+  /// Variable indices occurring in any head literal.
+  std::set<int> HeadVars() const;
+  /// Head variables that occur in no body literal — the invention
+  /// variables of Datalog¬new (empty for all other dialects).
+  std::vector<int> InventionVars() const;
+};
+
+/// A parsed program: rules plus the derived edb/idb split (Section 3.1) and
+/// the constants mentioned in rules, adom(P).
+struct Program {
+  std::vector<Rule> rules;
+
+  /// Predicates occurring in some rule head — idb(P).
+  std::vector<PredId> idb_preds;
+  /// Predicates occurring only in bodies — edb(P).
+  std::vector<PredId> edb_preds;
+  /// Constants mentioned in the rules.
+  std::set<Value> constants;
+
+  bool IsIdb(PredId p) const;
+
+  /// Recomputes `idb_preds`, `edb_preds`, `constants` from `rules`. Called
+  /// by the parser; call again after programmatic rule edits.
+  void RecomputeSchema();
+};
+
+}  // namespace datalog
+
+#endif  // UNCHAINED_AST_AST_H_

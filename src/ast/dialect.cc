@@ -1,0 +1,46 @@
+#include "ast/dialect.h"
+
+namespace datalog {
+
+const char* DialectName(Dialect dialect) {
+  switch (dialect) {
+    case Dialect::kDatalog:
+      return "Datalog";
+    case Dialect::kSemiPositive:
+      return "semi-positive Datalog¬";
+    case Dialect::kStratified:
+      return "stratified Datalog¬";
+    case Dialect::kDatalogNeg:
+      return "Datalog¬";
+    case Dialect::kDatalogNegNeg:
+      return "Datalog¬¬";
+    case Dialect::kDatalogNew:
+      return "Datalog¬new";
+    case Dialect::kNDatalogNeg:
+      return "N-Datalog¬";
+    case Dialect::kNDatalogNegNeg:
+      return "N-Datalog¬¬";
+    case Dialect::kNDatalogBottom:
+      return "N-Datalog¬⊥";
+    case Dialect::kNDatalogForall:
+      return "N-Datalog¬∀";
+    case Dialect::kNDatalogNew:
+      return "N-Datalog¬new";
+  }
+  return "unknown dialect";
+}
+
+bool IsNondeterministic(Dialect dialect) {
+  switch (dialect) {
+    case Dialect::kNDatalogNeg:
+    case Dialect::kNDatalogNegNeg:
+    case Dialect::kNDatalogBottom:
+    case Dialect::kNDatalogForall:
+    case Dialect::kNDatalogNew:
+      return true;
+    default:
+      return false;
+  }
+}
+
+}  // namespace datalog

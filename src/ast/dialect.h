@@ -1,0 +1,48 @@
+#ifndef UNCHAINED_AST_DIALECT_H_
+#define UNCHAINED_AST_DIALECT_H_
+
+namespace datalog {
+
+/// The members of the language family surveyed in the paper. One shared
+/// AST covers all of them; `ValidateProgram` enforces the syntactic
+/// restrictions of the selected dialect, and each engine documents which
+/// dialects it evaluates.
+enum class Dialect {
+  /// Positive Datalog (Section 3.1): minimum-model / fixpoint semantics.
+  kDatalog,
+  /// Datalog¬ with negation applied to edb predicates only (Section 4.5).
+  kSemiPositive,
+  /// Stratified Datalog¬ (Section 3.2): no recursion through negation.
+  kStratified,
+  /// Full Datalog¬ (Sections 3.3 and 4.1): evaluated under the
+  /// well-founded or the inflationary semantics.
+  kDatalogNeg,
+  /// Datalog¬¬ (Section 4.2): negations in heads (retraction of facts);
+  /// edb predicates may appear in heads (updates).
+  kDatalogNegNeg,
+  /// Datalog¬new (Section 4.3): head variables absent from the body invent
+  /// fresh values.
+  kDatalogNew,
+  /// N-Datalog¬ (Section 5.1): nondeterministic firing, multi-head rules
+  /// and (in)equality body literals, no negative heads.
+  kNDatalogNeg,
+  /// N-Datalog¬¬ (Definition 5.1): N-Datalog¬ plus negative heads.
+  kNDatalogNegNeg,
+  /// N-Datalog¬⊥ (Section 5.2): N-Datalog¬ plus the ⊥ head literal that
+  /// abandons a computation.
+  kNDatalogBottom,
+  /// N-Datalog¬∀ (Section 5.2): N-Datalog¬ plus ∀-quantified rule bodies.
+  kNDatalogForall,
+  /// N-Datalog¬new (Theorem 5.7): N-Datalog¬ plus value invention.
+  kNDatalogNew,
+};
+
+/// Paper-style name, e.g. "Datalog^neg^neg" -> "Datalog¬¬".
+const char* DialectName(Dialect dialect);
+
+/// True for the nondeterministic members (N-Datalog family).
+bool IsNondeterministic(Dialect dialect);
+
+}  // namespace datalog
+
+#endif  // UNCHAINED_AST_DIALECT_H_

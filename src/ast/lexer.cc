@@ -1,0 +1,225 @@
+#include "ast/lexer.h"
+
+#include <cctype>
+
+namespace datalog {
+
+const char* TokenKindName(TokenKind kind) {
+  switch (kind) {
+    case TokenKind::kIdent:
+      return "identifier";
+    case TokenKind::kVariable:
+      return "variable";
+    case TokenKind::kInt:
+      return "integer";
+    case TokenKind::kString:
+      return "string";
+    case TokenKind::kLParen:
+      return "'('";
+    case TokenKind::kRParen:
+      return "')'";
+    case TokenKind::kComma:
+      return "','";
+    case TokenKind::kPeriod:
+      return "'.'";
+    case TokenKind::kImplies:
+      return "':-'";
+    case TokenKind::kColon:
+      return "':'";
+    case TokenKind::kBang:
+      return "'!'";
+    case TokenKind::kEq:
+      return "'='";
+    case TokenKind::kNeq:
+      return "'!='";
+    case TokenKind::kAmp:
+      return "'&'";
+    case TokenKind::kPipe:
+      return "'|'";
+    case TokenKind::kArrow:
+      return "'->'";
+    case TokenKind::kEof:
+      return "end of input";
+  }
+  return "token";
+}
+
+namespace {
+
+class Lexer {
+ public:
+  explicit Lexer(std::string_view source) : src_(source) {}
+
+  Result<std::vector<Token>> Run() {
+    std::vector<Token> tokens;
+    while (true) {
+      SkipWhitespaceAndComments();
+      int line = line_, col = col_;
+      if (AtEnd()) {
+        tokens.push_back({TokenKind::kEof, "", line, col});
+        return tokens;
+      }
+      char c = Peek();
+      if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+        std::string text = LexWord();
+        TokenKind kind = (std::isupper(static_cast<unsigned char>(text[0])) ||
+                          text[0] == '_')
+                             ? TokenKind::kVariable
+                             : TokenKind::kIdent;
+        tokens.push_back({kind, std::move(text), line, col});
+        continue;
+      }
+      if (std::isdigit(static_cast<unsigned char>(c)) ||
+          (c == '-' && pos_ + 1 < src_.size() &&
+           std::isdigit(static_cast<unsigned char>(src_[pos_ + 1])))) {
+        std::string text;
+        if (c == '-') text += Advance();
+        while (!AtEnd() && std::isdigit(static_cast<unsigned char>(Peek()))) {
+          text += Advance();
+        }
+        tokens.push_back({TokenKind::kInt, std::move(text), line, col});
+        continue;
+      }
+      if (c == '"' || c == '\'') {
+        char quote = Advance();
+        std::string text;
+        while (!AtEnd() && Peek() != quote && Peek() != '\n') text += Advance();
+        if (AtEnd() || Peek() != quote) {
+          return Error(line, col, "unterminated string literal");
+        }
+        Advance();
+        tokens.push_back({TokenKind::kString, std::move(text), line, col});
+        continue;
+      }
+      switch (c) {
+        case '(':
+          Advance();
+          tokens.push_back({TokenKind::kLParen, "(", line, col});
+          continue;
+        case ')':
+          Advance();
+          tokens.push_back({TokenKind::kRParen, ")", line, col});
+          continue;
+        case ',':
+          Advance();
+          tokens.push_back({TokenKind::kComma, ",", line, col});
+          continue;
+        case '.':
+          Advance();
+          tokens.push_back({TokenKind::kPeriod, ".", line, col});
+          continue;
+        case '=':
+          Advance();
+          tokens.push_back({TokenKind::kEq, "=", line, col});
+          continue;
+        case '&':
+          Advance();
+          tokens.push_back({TokenKind::kAmp, "&", line, col});
+          continue;
+        case '|':
+          Advance();
+          tokens.push_back({TokenKind::kPipe, "|", line, col});
+          continue;
+        case '-':
+          // A '-' not starting a negative integer (handled above): only
+          // '->' is legal here.
+          Advance();
+          if (!AtEnd() && Peek() == '>') {
+            Advance();
+            tokens.push_back({TokenKind::kArrow, "->", line, col});
+            continue;
+          }
+          return Error(line, col, "unexpected character '-'");
+        case '!':
+          Advance();
+          if (!AtEnd() && Peek() == '=') {
+            Advance();
+            tokens.push_back({TokenKind::kNeq, "!=", line, col});
+          } else {
+            tokens.push_back({TokenKind::kBang, "!", line, col});
+          }
+          continue;
+        case ':':
+          Advance();
+          if (!AtEnd() && Peek() == '-') {
+            Advance();
+            tokens.push_back({TokenKind::kImplies, ":-", line, col});
+          } else {
+            tokens.push_back({TokenKind::kColon, ":", line, col});
+          }
+          continue;
+        default:
+          return Error(line, col,
+                       std::string("unexpected character '") + c + "'");
+      }
+    }
+  }
+
+ private:
+  bool AtEnd() const { return pos_ >= src_.size(); }
+  char Peek() const { return src_[pos_]; }
+
+  char Advance() {
+    char c = src_[pos_++];
+    if (c == '\n') {
+      ++line_;
+      col_ = 1;
+    } else {
+      ++col_;
+    }
+    return c;
+  }
+
+  std::string LexWord() {
+    std::string text;
+    while (!AtEnd()) {
+      char c = Peek();
+      if (std::isalnum(static_cast<unsigned char>(c)) || c == '_') {
+        text += Advance();
+      } else if (c == '-' && pos_ + 1 < src_.size() &&
+                 (std::isalnum(static_cast<unsigned char>(src_[pos_ + 1])) ||
+                  src_[pos_ + 1] == '_')) {
+        // '-' inside identifiers supports the paper's hyphenated names
+        // ("old-T-except-final") — but only when followed by a word
+        // character, so "good->bad" lexes as good, '->', bad.
+        text += Advance();
+      } else {
+        break;
+      }
+    }
+    return text;
+  }
+
+  void SkipWhitespaceAndComments() {
+    while (!AtEnd()) {
+      char c = Peek();
+      if (std::isspace(static_cast<unsigned char>(c))) {
+        Advance();
+      } else if (c == '%') {
+        while (!AtEnd() && Peek() != '\n') Advance();
+      } else if (c == '/' && pos_ + 1 < src_.size() && src_[pos_ + 1] == '/') {
+        while (!AtEnd() && Peek() != '\n') Advance();
+      } else {
+        return;
+      }
+    }
+  }
+
+  Status Error(int line, int col, const std::string& message) {
+    return Status::ParseError(std::to_string(line) + ":" +
+                              std::to_string(col) + ": " + message);
+  }
+
+  std::string_view src_;
+  size_t pos_ = 0;
+  int line_ = 1;
+  int col_ = 1;
+};
+
+}  // namespace
+
+Result<std::vector<Token>> Tokenize(std::string_view source) {
+  return Lexer(source).Run();
+}
+
+}  // namespace datalog

@@ -1,0 +1,51 @@
+#ifndef UNCHAINED_AST_LEXER_H_
+#define UNCHAINED_AST_LEXER_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "base/result.h"
+#include "base/status.h"
+
+namespace datalog {
+
+/// Token kinds of the surface syntax shared by the whole language family.
+enum class TokenKind {
+  kIdent,     // lowercase-initial identifier: predicate or symbolic constant
+  kVariable,  // uppercase- or '_'-initial identifier
+  kInt,       // integer literal (optionally negative)
+  kString,    // quoted constant: "..." or '...'
+  kLParen,
+  kRParen,
+  kComma,
+  kPeriod,
+  kImplies,   // ":-"
+  kColon,     // ":" (terminates a forall prefix)
+  kBang,      // "!" (negation)
+  kEq,        // "="
+  kNeq,       // "!="
+  kAmp,       // "&"  (FO conjunction)
+  kPipe,      // "|"  (FO disjunction)
+  kArrow,     // "->" (FO implication)
+  kEof,
+};
+
+/// Printable name of a token kind for diagnostics.
+const char* TokenKindName(TokenKind kind);
+
+struct Token {
+  TokenKind kind;
+  std::string text;  // identifier/variable/int/string spelling
+  int line = 1;
+  int column = 1;
+};
+
+/// Tokenizes `source`. Supports `%` and `//` line comments. Returns a
+/// ParseError status with line:column context on an invalid character or
+/// unterminated string.
+Result<std::vector<Token>> Tokenize(std::string_view source);
+
+}  // namespace datalog
+
+#endif  // UNCHAINED_AST_LEXER_H_

@@ -1,0 +1,244 @@
+#include "ast/parser.h"
+
+#include <unordered_map>
+
+#include "ast/lexer.h"
+
+namespace datalog {
+namespace {
+
+class Parser {
+ public:
+  Parser(std::vector<Token> tokens, Catalog* catalog, SymbolTable* symbols)
+      : tokens_(std::move(tokens)), catalog_(catalog), symbols_(symbols) {}
+
+  Result<Program> Run() {
+    Program program;
+    while (!Check(TokenKind::kEof)) {
+      Rule rule;
+      Status st = ParseClause(&rule);
+      if (!st.ok()) return st;
+      program.rules.push_back(std::move(rule));
+    }
+    program.RecomputeSchema();
+    return program;
+  }
+
+ private:
+  // clause := headlist (":-" body)? "."
+  Status ParseClause(Rule* rule) {
+    vars_.clear();
+    DATALOG_RETURN_IF_ERROR(ParseHeadList(rule));
+    if (Match(TokenKind::kImplies)) {
+      DATALOG_RETURN_IF_ERROR(ParseBody(rule));
+    }
+    if (!Match(TokenKind::kPeriod)) return Expected("'.'");
+    rule->num_vars = static_cast<int>(rule->var_names.size());
+    return Status::OK();
+  }
+
+  Status ParseHeadList(Rule* rule) {
+    do {
+      Literal lit;
+      DATALOG_RETURN_IF_ERROR(ParseHeadLiteral(rule, &lit));
+      rule->heads.push_back(std::move(lit));
+    } while (Match(TokenKind::kComma));
+    return Status::OK();
+  }
+
+  // headlit := "bottom" | "!"? atom
+  Status ParseHeadLiteral(Rule* rule, Literal* out) {
+    if (Check(TokenKind::kIdent) && Peek().text == "bottom") {
+      Token tok = Advance();
+      *out = Literal::Bottom();
+      // ⊥ is materialized as a reserved 0-ary predicate: deriving it marks
+      // the computation as abandoned (N-Datalog¬⊥, Section 5.2).
+      Result<PredId> pred = catalog_->Declare("bottom", 0);
+      if (!pred.ok()) {
+        return Status::SchemaError(Where(tok) + ": " +
+                                   pred.status().message());
+      }
+      out->atom.pred = *pred;
+      return Status::OK();
+    }
+    bool negative = Match(TokenKind::kBang);
+    Atom atom;
+    DATALOG_RETURN_IF_ERROR(ParseAtom(rule, &atom));
+    *out = negative ? Literal::Negative(std::move(atom))
+                    : Literal::Positive(std::move(atom));
+    return Status::OK();
+  }
+
+  // body := ("forall" varlist ":")? bodylit ("," bodylit)*
+  Status ParseBody(Rule* rule) {
+    if (Check(TokenKind::kIdent) && Peek().text == "forall") {
+      Advance();
+      do {
+        if (!Check(TokenKind::kVariable)) return Expected("variable");
+        rule->universal_vars.push_back(VarIndex(rule, Advance().text));
+      } while (Match(TokenKind::kComma));
+      if (!Match(TokenKind::kColon)) return Expected("':'");
+    }
+    do {
+      Literal lit;
+      DATALOG_RETURN_IF_ERROR(ParseBodyLiteral(rule, &lit));
+      rule->body.push_back(std::move(lit));
+    } while (Match(TokenKind::kComma));
+    return Status::OK();
+  }
+
+  // bodylit := ("!" | "not") atom | atom | term ("=" | "!=") term
+  Status ParseBodyLiteral(Rule* rule, Literal* out) {
+    if (Check(TokenKind::kBang) ||
+        (Check(TokenKind::kIdent) && Peek().text == "not")) {
+      Advance();
+      Atom atom;
+      DATALOG_RETURN_IF_ERROR(ParseAtom(rule, &atom));
+      *out = Literal::Negative(std::move(atom));
+      return Status::OK();
+    }
+    // A positive atom starts with an identifier. A term can be a variable,
+    // an int, a string, or an identifier NOT followed by '(' (a constant in
+    // an equality). Disambiguate by one-token lookahead.
+    if (Check(TokenKind::kIdent) &&
+        (PeekAhead().kind == TokenKind::kLParen ||
+         PeekAhead().kind == TokenKind::kComma ||
+         PeekAhead().kind == TokenKind::kPeriod)) {
+      Atom atom;
+      DATALOG_RETURN_IF_ERROR(ParseAtom(rule, &atom));
+      *out = Literal::Positive(std::move(atom));
+      return Status::OK();
+    }
+    // Equality literal.
+    Term lhs, rhs;
+    DATALOG_RETURN_IF_ERROR(ParseTerm(rule, &lhs));
+    bool negated;
+    if (Match(TokenKind::kEq)) {
+      negated = false;
+    } else if (Match(TokenKind::kNeq)) {
+      negated = true;
+    } else {
+      return Expected("'=' or '!='");
+    }
+    DATALOG_RETURN_IF_ERROR(ParseTerm(rule, &rhs));
+    *out = Literal::Equality(lhs, rhs, negated);
+    return Status::OK();
+  }
+
+  // atom := ident ("(" term ("," term)* ")")?
+  Status ParseAtom(Rule* rule, Atom* out) {
+    if (!Check(TokenKind::kIdent)) return Expected("predicate name");
+    Token name = Advance();
+    if (name.text == "bottom" || name.text == "forall" || name.text == "not") {
+      return Status::ParseError(Where(name) + ": reserved word '" + name.text +
+                                "' cannot be a predicate name");
+    }
+    std::vector<Term> terms;
+    if (Match(TokenKind::kLParen)) {
+      do {
+        Term t;
+        DATALOG_RETURN_IF_ERROR(ParseTerm(rule, &t));
+        terms.push_back(t);
+      } while (Match(TokenKind::kComma));
+      if (!Match(TokenKind::kRParen)) return Expected("')'");
+    }
+    Result<PredId> pred =
+        catalog_->Declare(name.text, static_cast<int>(terms.size()));
+    if (!pred.ok()) {
+      return Status::SchemaError(Where(name) + ": " + pred.status().message());
+    }
+    out->pred = *pred;
+    out->terms = std::move(terms);
+    return Status::OK();
+  }
+
+  // term := variable | int | string | ident
+  Status ParseTerm(Rule* rule, Term* out) {
+    if (Check(TokenKind::kVariable)) {
+      *out = Term::Var(VarIndex(rule, Advance().text));
+      return Status::OK();
+    }
+    if (Check(TokenKind::kInt) || Check(TokenKind::kString) ||
+        Check(TokenKind::kIdent)) {
+      *out = Term::Const(symbols_->Intern(Advance().text));
+      return Status::OK();
+    }
+    return Expected("term");
+  }
+
+  int VarIndex(Rule* rule, const std::string& name) {
+    auto it = vars_.find(name);
+    if (it != vars_.end()) return it->second;
+    int index = static_cast<int>(rule->var_names.size());
+    rule->var_names.push_back(name);
+    vars_.emplace(name, index);
+    return index;
+  }
+
+  const Token& Peek() const { return tokens_[pos_]; }
+  const Token& PeekAhead() const {
+    return tokens_[pos_ + 1 < tokens_.size() ? pos_ + 1 : pos_];
+  }
+  bool Check(TokenKind kind) const { return Peek().kind == kind; }
+  Token Advance() { return tokens_[pos_++]; }
+
+  bool Match(TokenKind kind) {
+    if (!Check(kind)) return false;
+    Advance();
+    return true;
+  }
+
+  static std::string Where(const Token& t) {
+    return std::to_string(t.line) + ":" + std::to_string(t.column);
+  }
+
+  Status Expected(const std::string& what) {
+    const Token& t = Peek();
+    return Status::ParseError(Where(t) + ": expected " + what + ", found " +
+                              TokenKindName(t.kind) +
+                              (t.text.empty() ? "" : " '" + t.text + "'"));
+  }
+
+  std::vector<Token> tokens_;
+  size_t pos_ = 0;
+  Catalog* catalog_;
+  SymbolTable* symbols_;
+  std::unordered_map<std::string, int> vars_;
+};
+
+}  // namespace
+
+Result<Program> ParseProgram(std::string_view source, Catalog* catalog,
+                             SymbolTable* symbols) {
+  Result<std::vector<Token>> tokens = Tokenize(source);
+  if (!tokens.ok()) return tokens.status();
+  return Parser(std::move(tokens).value(), catalog, symbols).Run();
+}
+
+Status ParseFacts(std::string_view source, Catalog* catalog,
+                  SymbolTable* symbols, Instance* out) {
+  Result<Program> program = ParseProgram(source, catalog, symbols);
+  if (!program.ok()) return program.status();
+  for (const Rule& rule : program->rules) {
+    if (!rule.body.empty()) {
+      return Status::ParseError("fact list contains a rule with a body");
+    }
+    for (const Literal& head : rule.heads) {
+      if (head.kind != Literal::Kind::kRelational || head.negative) {
+        return Status::ParseError("fact list contains a non-positive head");
+      }
+      Tuple t;
+      t.reserve(head.atom.terms.size());
+      for (const Term& term : head.atom.terms) {
+        if (term.is_var()) {
+          return Status::ParseError("fact contains a variable");
+        }
+        t.push_back(term.constant);
+      }
+      out->Insert(head.atom.pred, t);
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace datalog

@@ -1,0 +1,44 @@
+#ifndef UNCHAINED_AST_PARSER_H_
+#define UNCHAINED_AST_PARSER_H_
+
+#include <string_view>
+
+#include "ast/ast.h"
+#include "base/result.h"
+#include "ra/instance.h"
+
+namespace datalog {
+
+/// Parses a program in the family's surface syntax:
+///
+///   t(X, Y) :- g(X, Y).
+///   t(X, Y) :- g(X, Z), t(Z, Y).
+///   ct(X, Y) :- !t(X, Y).                       % negation (Datalog¬)
+///   !g(X, Y) :- g(X, Y), g(Y, X).               % retraction (Datalog¬¬)
+///   a(X), b(X) :- c(X), X != d.                 % multi-head + ≠ (N-Datalog¬¬)
+///   bottom :- done, q(X, Y), !proj(X).          % ⊥ (N-Datalog¬⊥)
+///   answer(X) :- forall Y : p(X), !q(X, Y).     % ∀ (N-Datalog¬∀)
+///   r(X, N) :- s(X).                            % invention (Datalog¬new)
+///
+/// Conventions: uppercase-/underscore-initial words are variables;
+/// lowercase words are predicate symbols (before '(') or constants;
+/// `not p(X)` is accepted as a synonym of `!p(X)`; `%` and `//` start line
+/// comments. `bottom`, `forall` and `not` are reserved words.
+///
+/// Predicates are declared in `catalog` on first use (arity inferred);
+/// constants are interned in `symbols`. Errors carry line:column.
+///
+/// The parser is permissive: it accepts the union of all dialects' syntax.
+/// Use `ValidateProgram` (analysis/validate.h) to enforce one dialect.
+Result<Program> ParseProgram(std::string_view source, Catalog* catalog,
+                             SymbolTable* symbols);
+
+/// Parses a list of ground facts ("g(a, b). g(b, c).") into `out`,
+/// declaring predicates and interning constants as needed. Rejects clauses
+/// with bodies or non-ground terms.
+Status ParseFacts(std::string_view source, Catalog* catalog,
+                  SymbolTable* symbols, Instance* out);
+
+}  // namespace datalog
+
+#endif  // UNCHAINED_AST_PARSER_H_

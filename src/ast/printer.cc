@@ -1,0 +1,79 @@
+#include "ast/printer.h"
+
+namespace datalog {
+namespace {
+
+void AppendTerm(const Term& t, const Rule& rule, const SymbolTable& symbols,
+                std::string* out) {
+  if (t.is_var()) {
+    *out += rule.var_names[t.var];
+  } else {
+    *out += symbols.NameOf(t.constant);
+  }
+}
+
+void AppendLiteral(const Literal& l, const Rule& rule, const Catalog& catalog,
+                   const SymbolTable& symbols, std::string* out) {
+  switch (l.kind) {
+    case Literal::Kind::kBottom:
+      *out += "bottom";
+      return;
+    case Literal::Kind::kEquality:
+      AppendTerm(l.lhs, rule, symbols, out);
+      *out += l.negative ? " != " : " = ";
+      AppendTerm(l.rhs, rule, symbols, out);
+      return;
+    case Literal::Kind::kRelational:
+      if (l.negative) *out += '!';
+      *out += catalog.NameOf(l.atom.pred);
+      if (!l.atom.terms.empty()) {
+        *out += '(';
+        for (size_t i = 0; i < l.atom.terms.size(); ++i) {
+          if (i > 0) *out += ", ";
+          AppendTerm(l.atom.terms[i], rule, symbols, out);
+        }
+        *out += ')';
+      }
+      return;
+  }
+}
+
+}  // namespace
+
+std::string RuleToString(const Rule& rule, const Catalog& catalog,
+                         const SymbolTable& symbols) {
+  std::string out;
+  for (size_t i = 0; i < rule.heads.size(); ++i) {
+    if (i > 0) out += ", ";
+    AppendLiteral(rule.heads[i], rule, catalog, symbols, &out);
+  }
+  if (!rule.body.empty()) {
+    out += " :- ";
+    if (!rule.universal_vars.empty()) {
+      out += "forall ";
+      for (size_t i = 0; i < rule.universal_vars.size(); ++i) {
+        if (i > 0) out += ", ";
+        out += rule.var_names[rule.universal_vars[i]];
+      }
+      out += " : ";
+    }
+    for (size_t i = 0; i < rule.body.size(); ++i) {
+      if (i > 0) out += ", ";
+      AppendLiteral(rule.body[i], rule, catalog, symbols, &out);
+    }
+  }
+  out += '.';
+  return out;
+}
+
+std::string ProgramToString(const Program& program, const Catalog& catalog,
+                            const SymbolTable& symbols) {
+  std::string out;
+  for (const Rule& rule : program.rules) {
+    out += RuleToString(rule, catalog, symbols);
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace datalog

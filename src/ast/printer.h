@@ -1,0 +1,23 @@
+#ifndef UNCHAINED_AST_PRINTER_H_
+#define UNCHAINED_AST_PRINTER_H_
+
+#include <string>
+
+#include "ast/ast.h"
+#include "base/symbols.h"
+#include "ra/catalog.h"
+
+namespace datalog {
+
+/// Renders a rule back to surface syntax, e.g.
+/// "t(X, Y) :- g(X, Z), t(Z, Y)." — re-parseable round trip.
+std::string RuleToString(const Rule& rule, const Catalog& catalog,
+                         const SymbolTable& symbols);
+
+/// Renders the whole program, one rule per line.
+std::string ProgramToString(const Program& program, const Catalog& catalog,
+                            const SymbolTable& symbols);
+
+}  // namespace datalog
+
+#endif  // UNCHAINED_AST_PRINTER_H_

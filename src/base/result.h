@@ -1,0 +1,61 @@
+#ifndef UNCHAINED_BASE_RESULT_H_
+#define UNCHAINED_BASE_RESULT_H_
+
+#include <cassert>
+#include <optional>
+#include <utility>
+
+#include "base/status.h"
+
+namespace datalog {
+
+/// A value-or-error return type: either holds a `T` or a non-OK `Status`.
+/// Analogous to `absl::StatusOr<T>` / Arrow's `Result<T>`.
+template <typename T>
+class Result {
+ public:
+  /// Implicit from value: `return my_instance;`.
+  Result(T value) : value_(std::move(value)) {}
+  /// Implicit from error status: `return Status::ParseError(...);`.
+  /// `status` must not be OK.
+  Result(Status status) : status_(std::move(status)) {
+    assert(!status_.ok() && "Result constructed from OK status without value");
+  }
+
+  bool ok() const { return value_.has_value(); }
+  const Status& status() const { return status_; }
+
+  /// Requires `ok()`.
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+}  // namespace datalog
+
+/// Propagates a non-OK `Status` expression to the caller.
+#define DATALOG_RETURN_IF_ERROR(expr)              \
+  do {                                             \
+    ::datalog::Status _st = (expr);                \
+    if (!_st.ok()) return _st;                     \
+  } while (0)
+
+#endif  // UNCHAINED_BASE_RESULT_H_

@@ -1,0 +1,34 @@
+#ifndef UNCHAINED_BASE_RNG_H_
+#define UNCHAINED_BASE_RNG_H_
+
+#include <cstdint>
+#include <random>
+
+namespace datalog {
+
+/// Deterministic seeded RNG used by the nondeterministic engines and the
+/// workload generators. A thin wrapper so call sites never reach for global
+/// randomness: every nondeterministic run is reproducible from its seed.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) : engine_(seed) {}
+
+  /// Uniform integer in [0, bound). `bound` must be > 0.
+  size_t Uniform(size_t bound) {
+    return std::uniform_int_distribution<size_t>(0, bound - 1)(engine_);
+  }
+
+  /// Bernoulli draw with probability `p`.
+  bool Chance(double p) {
+    return std::bernoulli_distribution(p)(engine_);
+  }
+
+  uint64_t Next() { return engine_(); }
+
+ private:
+  std::mt19937_64 engine_;
+};
+
+}  // namespace datalog
+
+#endif  // UNCHAINED_BASE_RNG_H_

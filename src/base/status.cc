@@ -1,0 +1,43 @@
+#include "base/status.h"
+
+namespace datalog {
+
+const char* StatusCodeName(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk:
+      return "OK";
+    case StatusCode::kParseError:
+      return "ParseError";
+    case StatusCode::kInvalidProgram:
+      return "InvalidProgram";
+    case StatusCode::kNotStratifiable:
+      return "NotStratifiable";
+    case StatusCode::kSchemaError:
+      return "SchemaError";
+    case StatusCode::kConflict:
+      return "Conflict";
+    case StatusCode::kNonTerminating:
+      return "NonTerminating";
+    case StatusCode::kBudgetExhausted:
+      return "BudgetExhausted";
+    case StatusCode::kAbandoned:
+      return "Abandoned";
+    case StatusCode::kUnsupported:
+      return "Unsupported";
+    case StatusCode::kInternal:
+      return "Internal";
+  }
+  return "Unknown";
+}
+
+std::string Status::ToString() const {
+  if (ok()) return "OK";
+  std::string s = StatusCodeName(code_);
+  if (!message_.empty()) {
+    s += ": ";
+    s += message_;
+  }
+  return s;
+}
+
+}  // namespace datalog

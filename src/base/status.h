@@ -1,0 +1,102 @@
+#ifndef UNCHAINED_BASE_STATUS_H_
+#define UNCHAINED_BASE_STATUS_H_
+
+#include <string>
+#include <utility>
+
+namespace datalog {
+
+/// Error codes surfaced by the library. Modeled after the RocksDB `Status`
+/// idiom: operations that can fail return a `Status` (or `Result<T>`)
+/// instead of throwing.
+enum class StatusCode {
+  kOk = 0,
+  /// Lexer/parser failure; message carries line:column context.
+  kParseError,
+  /// Program violates the syntactic restrictions of the selected dialect
+  /// (e.g. negation in a pure-Datalog program, unsafe rule, multi-head
+  /// outside N-Datalog¬¬).
+  kInvalidProgram,
+  /// Program routed to the stratified engine has recursion through
+  /// negation.
+  kNotStratifiable,
+  /// A name (predicate, relation variable) is unknown or used with a
+  /// conflicting arity.
+  kSchemaError,
+  /// Datalog¬¬ evaluation with the `kUndefined` conflict policy derived a
+  /// fact and its negation in the same firing.
+  kConflict,
+  /// A Datalog¬¬/while computation revisited a previous state: no fixpoint
+  /// exists. Message carries the cycle length.
+  kNonTerminating,
+  /// A configured step / invented-value / enumeration budget was exhausted
+  /// before a fixpoint (or full effect set) was reached.
+  kBudgetExhausted,
+  /// A nondeterministic run derived ⊥ (N-Datalog¬⊥): the computation is
+  /// abandoned and produces no image.
+  kAbandoned,
+  /// An engine was asked to evaluate a program in a dialect it does not
+  /// support.
+  kUnsupported,
+  /// Internal invariant violation; indicates a library bug.
+  kInternal,
+};
+
+/// Human-readable name of a status code, e.g. "NotStratifiable".
+const char* StatusCodeName(StatusCode code);
+
+/// Lightweight success-or-error value. Cheap to copy on the OK path.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status OK() { return Status(); }
+  static Status ParseError(std::string m) {
+    return Status(StatusCode::kParseError, std::move(m));
+  }
+  static Status InvalidProgram(std::string m) {
+    return Status(StatusCode::kInvalidProgram, std::move(m));
+  }
+  static Status NotStratifiable(std::string m) {
+    return Status(StatusCode::kNotStratifiable, std::move(m));
+  }
+  static Status SchemaError(std::string m) {
+    return Status(StatusCode::kSchemaError, std::move(m));
+  }
+  static Status Conflict(std::string m) {
+    return Status(StatusCode::kConflict, std::move(m));
+  }
+  static Status NonTerminating(std::string m) {
+    return Status(StatusCode::kNonTerminating, std::move(m));
+  }
+  static Status BudgetExhausted(std::string m) {
+    return Status(StatusCode::kBudgetExhausted, std::move(m));
+  }
+  static Status Abandoned(std::string m) {
+    return Status(StatusCode::kAbandoned, std::move(m));
+  }
+  static Status Unsupported(std::string m) {
+    return Status(StatusCode::kUnsupported, std::move(m));
+  }
+  static Status Internal(std::string m) {
+    return Status(StatusCode::kInternal, std::move(m));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+}  // namespace datalog
+
+#endif  // UNCHAINED_BASE_STATUS_H_

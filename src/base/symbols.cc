@@ -1,0 +1,70 @@
+#include "base/symbols.h"
+
+#include <cassert>
+#include <cctype>
+#include <charconv>
+
+namespace datalog {
+
+namespace {
+
+// Returns true and sets `*out` if `name` spells a (possibly negative)
+// decimal integer.
+bool ParseInt(std::string_view name, int64_t* out) {
+  if (name.empty()) return false;
+  const char* begin = name.data();
+  const char* end = begin + name.size();
+  auto [ptr, ec] = std::from_chars(begin, end, *out);
+  return ec == std::errc() && ptr == end;
+}
+
+}  // namespace
+
+Value SymbolTable::Add(std::string name, bool invented) {
+  Value id = static_cast<Value>(names_.size());
+  by_name_.emplace(name, id);
+  names_.push_back(std::move(name));
+  invented_.push_back(invented);
+  return id;
+}
+
+Value SymbolTable::Intern(std::string_view name) {
+  // Canonicalize numeric spellings so Intern("03") == InternInt(3).
+  int64_t n;
+  if (ParseInt(name, &n)) return InternInt(n);
+  auto it = by_name_.find(std::string(name));
+  if (it != by_name_.end()) return it->second;
+  return Add(std::string(name), /*invented=*/false);
+}
+
+Value SymbolTable::InternInt(int64_t n) {
+  std::string name = std::to_string(n);
+  auto it = by_name_.find(name);
+  if (it != by_name_.end()) return it->second;
+  return Add(std::move(name), /*invented=*/false);
+}
+
+Value SymbolTable::Find(std::string_view name) const {
+  int64_t n;
+  std::string key = ParseInt(name, &n) ? std::to_string(n) : std::string(name);
+  auto it = by_name_.find(key);
+  return it == by_name_.end() ? -1 : it->second;
+}
+
+Value SymbolTable::Invent() {
+  std::string name = "@" + std::to_string(invent_counter_++);
+  // "@" cannot appear in user spellings, so no collision is possible.
+  return Add(std::move(name), /*invented=*/true);
+}
+
+bool SymbolTable::IsInvented(Value v) const {
+  assert(v >= 0 && v < static_cast<Value>(invented_.size()));
+  return invented_[v];
+}
+
+const std::string& SymbolTable::NameOf(Value v) const {
+  assert(v >= 0 && v < static_cast<Value>(names_.size()));
+  return names_[v];
+}
+
+}  // namespace datalog

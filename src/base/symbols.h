@@ -1,0 +1,67 @@
+#ifndef UNCHAINED_BASE_SYMBOLS_H_
+#define UNCHAINED_BASE_SYMBOLS_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace datalog {
+
+/// An element of the constant domain **dom** (Section 2 of the paper).
+/// Values are interned integers; a `SymbolTable` maps them to and from
+/// their external spelling. Invented values (Datalog¬new) are values with
+/// no user-provided spelling.
+using Value = int32_t;
+
+/// Interning table for the constant domain. Owns the bidirectional mapping
+/// spelling <-> `Value`, and mints globally fresh invented values.
+///
+/// Interned kinds:
+///  * symbols  — lowercase identifiers and quoted strings ("a", "n17");
+///  * integers — numeric literals, interned distinctly from symbols;
+///  * invented — fresh values created by `Invent()`, printed as "@<k>".
+class SymbolTable {
+ public:
+  SymbolTable() = default;
+
+  SymbolTable(const SymbolTable&) = delete;
+  SymbolTable& operator=(const SymbolTable&) = delete;
+
+  /// Interns a symbolic constant; idempotent.
+  Value Intern(std::string_view name);
+
+  /// Interns an integer constant; idempotent and distinct from any symbol
+  /// (Intern("3") and InternInt(3) produce the same value: numeric
+  /// spellings are canonicalized to integers).
+  Value InternInt(int64_t n);
+
+  /// Returns the value for `name` if already interned, or -1.
+  Value Find(std::string_view name) const;
+
+  /// Mints a value outside every spelling interned so far — the "invention
+  /// of new values" of Datalog¬new (Section 4.3). Printed as "@<k>".
+  Value Invent();
+
+  /// True if `v` was produced by `Invent()`.
+  bool IsInvented(Value v) const;
+
+  /// External spelling of `v`.
+  const std::string& NameOf(Value v) const;
+
+  /// Number of values interned or invented so far.
+  int size() const { return static_cast<int>(names_.size()); }
+
+ private:
+  Value Add(std::string name, bool invented);
+
+  std::vector<std::string> names_;
+  std::vector<bool> invented_;
+  std::unordered_map<std::string, Value> by_name_;
+  int64_t invent_counter_ = 0;
+};
+
+}  // namespace datalog
+
+#endif  // UNCHAINED_BASE_SYMBOLS_H_

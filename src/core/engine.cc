@@ -1,0 +1,106 @@
+#include "core/engine.h"
+
+#include "analysis/validate.h"
+#include "ast/parser.h"
+#include "eval/naive.h"
+#include "eval/seminaive.h"
+#include "eval/stratified.h"
+
+namespace datalog {
+
+Result<Program> Engine::Parse(std::string_view text) {
+  return ParseProgram(text, &catalog_, &symbols_);
+}
+
+Status Engine::AddFacts(std::string_view text, Instance* db) {
+  return ParseFacts(text, &catalog_, &symbols_, db);
+}
+
+Status Engine::Validate(const Program& program, Dialect dialect) const {
+  return ValidateProgram(program, catalog_, dialect);
+}
+
+Result<Instance> Engine::MinimumModel(const Program& program,
+                                      const Instance& input,
+                                      EvalStats* stats) const {
+  DATALOG_RETURN_IF_ERROR(Validate(program, Dialect::kDatalog));
+  return SemiNaiveDatalog(program, input, options_, stats);
+}
+
+Result<Instance> Engine::MinimumModelNaive(const Program& program,
+                                           const Instance& input,
+                                           EvalStats* stats) const {
+  DATALOG_RETURN_IF_ERROR(Validate(program, Dialect::kDatalog));
+  return NaiveLeastFixpoint(program, input, /*fixed_negation=*/nullptr,
+                            options_, stats);
+}
+
+Result<Instance> Engine::Stratified(const Program& program,
+                                    const Instance& input,
+                                    EvalStats* stats) const {
+  DATALOG_RETURN_IF_ERROR(Validate(program, Dialect::kStratified));
+  return StratifiedSemantics(program, catalog_, input, options_, stats);
+}
+
+Result<WellFoundedModel> Engine::WellFounded(const Program& program,
+                                             const Instance& input) const {
+  DATALOG_RETURN_IF_ERROR(Validate(program, Dialect::kDatalogNeg));
+  return WellFoundedSemantics(program, input, options_);
+}
+
+Result<InflationaryResult> Engine::Inflationary(
+    const Program& program, const Instance& input,
+    const StageObserver& observer) const {
+  DATALOG_RETURN_IF_ERROR(Validate(program, Dialect::kDatalogNeg));
+  return InflationaryFixpoint(program, input, options_, observer);
+}
+
+Result<NonInflationaryResult> Engine::NonInflationary(
+    const Program& program, const Instance& input,
+    const NonInflationaryOptions& options) const {
+  DATALOG_RETURN_IF_ERROR(Validate(program, Dialect::kDatalogNegNeg));
+  return NonInflationaryFixpoint(program, input, options);
+}
+
+Result<InventionResult> Engine::Invention(const Program& program,
+                                          const Instance& input) {
+  DATALOG_RETURN_IF_ERROR(Validate(program, Dialect::kDatalogNew));
+  return InventionFixpoint(program, input, &symbols_, options_);
+}
+
+Result<Instance> Engine::NondetRun(const Program& program, Dialect dialect,
+                                   const Instance& input, uint64_t seed,
+                                   const NondetOptions& options) {
+  if (!IsNondeterministic(dialect)) {
+    return Status::Unsupported("NondetRun requires an N-Datalog dialect");
+  }
+  DATALOG_RETURN_IF_ERROR(Validate(program, dialect));
+  NondetOptions opts = options;
+  if (dialect == Dialect::kNDatalogNew) opts.allow_invention = true;
+  NondetEvaluator evaluator(&program, &catalog_);
+  return evaluator.RunOnce(input, seed, &symbols_, opts);
+}
+
+Result<EffectSet> Engine::NondetEnumerate(const Program& program,
+                                          Dialect dialect,
+                                          const Instance& input,
+                                          const NondetOptions& options) const {
+  if (!IsNondeterministic(dialect)) {
+    return Status::Unsupported(
+        "NondetEnumerate requires an N-Datalog dialect");
+  }
+  DATALOG_RETURN_IF_ERROR(Validate(program, dialect));
+  NondetEvaluator evaluator(&program, &catalog_);
+  return evaluator.Enumerate(input, options);
+}
+
+Result<PossCert> Engine::NondetPossCert(const Program& program,
+                                        Dialect dialect, const Instance& input,
+                                        const NondetOptions& options) const {
+  Result<EffectSet> effects =
+      NondetEnumerate(program, dialect, input, options);
+  if (!effects.ok()) return effects.status();
+  return ComputePossCert(*effects, catalog_);
+}
+
+}  // namespace datalog

@@ -1,0 +1,124 @@
+#include "dist/peers.h"
+
+#include <map>
+
+#include "eval/grounder.h"
+
+namespace datalog {
+
+PeerSystem::PeerSystem(Catalog* catalog, SymbolTable* symbols)
+    : catalog_(catalog), symbols_(symbols) {}
+
+Result<int> PeerSystem::AddPeer(std::string name, Program program,
+                                Instance facts) {
+  for (const Peer& peer : peers_) {
+    if (peer.name == name) {
+      return Status::InvalidProgram("duplicate peer name '" + name + "'");
+    }
+  }
+  for (const Rule& rule : program.rules) {
+    for (const Literal& head : rule.heads) {
+      if (head.kind != Literal::Kind::kRelational || head.negative) {
+        return Status::Unsupported(
+            "peer rules are inflationary Datalog¬ (single positive heads)");
+      }
+    }
+    if (!rule.universal_vars.empty()) {
+      return Status::Unsupported("peer rules cannot use ∀");
+    }
+  }
+  peers_.push_back(Peer{std::move(name), std::move(program),
+                        std::move(facts)});
+  return static_cast<int>(peers_.size()) - 1;
+}
+
+Result<std::pair<int, PredId>> PeerSystem::ResolveHead(
+    PredId head_pred) const {
+  const std::string& name = catalog_->NameOf(head_pred);
+  if (name.rfind("at_", 0) != 0) return std::make_pair(-1, head_pred);
+  // at_<peer>_<pred>: the peer name is the longest prefix matching a
+  // registered peer (peer names may not contain '_' ambiguity by
+  // construction: we scan all peers).
+  for (int p = 0; p < num_peers(); ++p) {
+    const std::string& peer_name = peers_[p].name;
+    const std::string prefix = "at_" + peer_name + "_";
+    if (name.rfind(prefix, 0) == 0) {
+      std::string local = name.substr(prefix.size());
+      if (local.empty()) {
+        return Status::InvalidProgram("located head '" + name +
+                                      "' names no predicate");
+      }
+      Result<PredId> local_pred =
+          catalog_->Declare(local, catalog_->ArityOf(head_pred));
+      if (!local_pred.ok()) return local_pred.status();
+      return std::make_pair(p, *local_pred);
+    }
+  }
+  return Status::InvalidProgram("located head '" + name +
+                                "' references an unknown peer");
+}
+
+Result<int> PeerSystem::Run(const EvalOptions& options) {
+  messages_delivered_ = 0;
+
+  // Pre-resolve every head and build matchers once.
+  struct CompiledRule {
+    int peer;
+    const Rule* rule;
+    int destination;  // -1 = local
+    PredId local_pred;
+  };
+  std::vector<CompiledRule> compiled;
+  std::vector<RuleMatcher> matchers;
+  for (int p = 0; p < num_peers(); ++p) {
+    for (const Rule& rule : peers_[p].program.rules) {
+      Result<std::pair<int, PredId>> resolved =
+          ResolveHead(rule.heads[0].atom.pred);
+      if (!resolved.ok()) return resolved.status();
+      compiled.push_back(
+          CompiledRule{p, &rule, resolved->first, resolved->second});
+    }
+  }
+  matchers.reserve(compiled.size());
+  for (const CompiledRule& cr : compiled) matchers.emplace_back(cr.rule);
+
+  int rounds = 0;
+  while (true) {
+    if (rounds + 1 > options.max_rounds) {
+      return Status::BudgetExhausted("peer system exceeded round budget");
+    }
+    // One global round: every peer fires all its rules against its frozen
+    // local instance; derived facts are buffered per destination and
+    // delivered at the end of the round (asynchronous delivery).
+    std::map<int, Instance> outboxes;
+    std::vector<IndexCache> caches(num_peers());
+    bool any_new = false;
+    for (size_t i = 0; i < compiled.size(); ++i) {
+      const CompiledRule& cr = compiled[i];
+      const Peer& peer = peers_[cr.peer];
+      DbView view{&peer.db, &peer.db};
+      std::vector<Value> adom = ActiveDomain(peer.program, peer.db);
+      const Atom& head = cr.rule->heads[0].atom;
+      int dest = cr.destination < 0 ? cr.peer : cr.destination;
+      auto [it, created] = outboxes.try_emplace(dest, Instance(catalog_));
+      Instance& outbox = it->second;
+      matchers[i].ForEachMatch(
+          view, adom, &caches[cr.peer], [&](const Valuation& val) -> bool {
+            Tuple t = InstantiateAtom(head, val);
+            if (!peers_[dest].db.Contains(cr.local_pred, t)) {
+              bool fresh = outbox.Insert(cr.local_pred, std::move(t));
+              if (fresh && cr.destination >= 0) ++messages_delivered_;
+            }
+            return true;
+          });
+    }
+    for (auto& [dest, outbox] : outboxes) {
+      if (peers_[dest].db.UnionWith(outbox) > 0) any_new = true;
+    }
+    if (!any_new) break;
+    ++rounds;
+  }
+  return rounds;
+}
+
+}  // namespace datalog

@@ -1,0 +1,76 @@
+#ifndef UNCHAINED_DIST_PEERS_H_
+#define UNCHAINED_DIST_PEERS_H_
+
+#include <string>
+#include <vector>
+
+#include "ast/ast.h"
+#include "base/result.h"
+#include "base/symbols.h"
+#include "eval/common.h"
+#include "ra/instance.h"
+
+namespace datalog {
+
+/// Distributed forward chaining in the style of Webdamlog / declarative
+/// networking (Section 6, [11, 93]): a system of peers, each holding a
+/// local instance and local rules; rule heads may be *located* at another
+/// peer, in which case firing the rule sends the derived facts there.
+///
+/// Locations use a naming convention on predicates: a head over predicate
+/// `at_<peer>_<p>` derives `p`-facts delivered to `<peer>`'s relation `p`.
+/// (Bodies always read the local instance; there is no remote reading —
+/// exactly the "think global, act local" discipline of [16].)
+///
+/// Delivery is asynchronous: facts derived in round r become visible at
+/// the destination in round r+1. Evaluation is inflationary (facts are
+/// never retracted) and runs all peers round-robin until global
+/// quiescence; it therefore always terminates on finite domains.
+class PeerSystem {
+ public:
+  /// `catalog`/`symbols` are shared by all peers and must outlive the
+  /// system.
+  PeerSystem(Catalog* catalog, SymbolTable* symbols);
+
+  PeerSystem(const PeerSystem&) = delete;
+  PeerSystem& operator=(const PeerSystem&) = delete;
+
+  /// Adds a peer with the given name, rules and initial local facts.
+  /// Returns its index. Peer names must be unique and are referenced by
+  /// `at_<name>_<pred>` head predicates anywhere in the system.
+  Result<int> AddPeer(std::string name, Program program, Instance facts);
+
+  int num_peers() const { return static_cast<int>(peers_.size()); }
+  const std::string& PeerName(int peer) const { return peers_[peer].name; }
+
+  /// Runs to global quiescence. Returns the number of rounds executed.
+  Result<int> Run(const EvalOptions& options);
+
+  /// The local instance of a peer (valid after Run or before, for the
+  /// initial facts).
+  const Instance& LocalInstance(int peer) const { return peers_[peer].db; }
+
+  /// Total facts delivered across peers during the last Run.
+  int64_t messages_delivered() const { return messages_delivered_; }
+
+ private:
+  struct Peer {
+    std::string name;
+    Program program;
+    Instance db;
+  };
+
+  /// Resolves `at_<peer>_<pred>` heads to (destination peer, local pred);
+  /// returns {-1, pred} for plain local heads. Unknown destination names
+  /// yield an error at Run() start.
+  Result<std::pair<int, PredId>> ResolveHead(PredId head_pred) const;
+
+  Catalog* catalog_;
+  SymbolTable* symbols_;
+  std::vector<Peer> peers_;
+  int64_t messages_delivered_ = 0;
+};
+
+}  // namespace datalog
+
+#endif  // UNCHAINED_DIST_PEERS_H_

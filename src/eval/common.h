@@ -1,0 +1,40 @@
+#ifndef UNCHAINED_EVAL_COMMON_H_
+#define UNCHAINED_EVAL_COMMON_H_
+
+#include <cstdint>
+
+namespace datalog {
+
+class DerivationLog;
+
+/// Counters reported by the deterministic engines.
+struct EvalStats {
+  /// Number of evaluation rounds (the "stages" of Section 4.1, or
+  /// alternating-fixpoint outer iterations for the well-founded engine).
+  int rounds = 0;
+  /// Facts newly derived across the whole evaluation.
+  int64_t facts_derived = 0;
+  /// Rule-body matches found (successful instantiations).
+  int64_t instantiations = 0;
+};
+
+/// Budgets shared by the engines. The deterministic inflationary engines
+/// always terminate, so their default budgets are effectively unlimited;
+/// Datalog¬¬ and Datalog¬new can diverge and rely on these.
+struct EvalOptions {
+  /// Maximum number of stages/rounds before giving up (kBudgetExhausted).
+  int64_t max_rounds = 1'000'000;
+  /// Maximum total facts derived (guards invention blow-ups).
+  int64_t max_facts = 50'000'000;
+  /// Datalog¬new: maximum invented values (kBudgetExhausted beyond).
+  int64_t max_invented = 1'000'000;
+  /// When non-null, the semi-naive/stratified/inflationary engines record
+  /// the first derivation of every fact here (see eval/provenance.h). The
+  /// well-founded engine ignores it (its inner fixpoints run on
+  /// over-/under-estimates whose derivations would be misleading).
+  DerivationLog* provenance = nullptr;
+};
+
+}  // namespace datalog
+
+#endif  // UNCHAINED_EVAL_COMMON_H_

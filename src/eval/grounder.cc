@@ -1,0 +1,416 @@
+#include "eval/grounder.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace datalog {
+
+const IndexCache::Bucket* IndexCache::Lookup(const Instance& db, PredId pred,
+                                             uint32_t mask, const Tuple& key) {
+  auto map_key = std::make_pair(pred, mask);
+  auto it = indexes_.find(map_key);
+  if (it == indexes_.end()) {
+    // Build the index for this (pred, bound-columns) combination. Tuple
+    // pointers into the relation are stable while the instance is frozen,
+    // which the engines guarantee for the lifetime of a cache.
+    Index index;
+    const Relation& rel = db.Rel(pred);
+    const int arity = rel.arity();
+    Tuple k;
+    for (const Tuple& t : rel) {
+      k.clear();
+      for (int c = 0; c < arity; ++c) {
+        if (mask & (1u << c)) k.push_back(t[c]);
+      }
+      index.buckets[k].push_back(&t);
+    }
+    it = indexes_.emplace(map_key, std::move(index)).first;
+  }
+  const auto& buckets = it->second.buckets;
+  auto bit = buckets.find(key);
+  return bit == buckets.end() ? nullptr : &bit->second;
+}
+
+RuleMatcher::RuleMatcher(const Rule* rule) : rule_(rule) {
+  is_forall_ = !rule->universal_vars.empty();
+  for (size_t i = 0; i < rule->body.size(); ++i) {
+    const Literal& lit = rule->body[i];
+    if (lit.kind == Literal::Kind::kRelational && !lit.negative) {
+      assert(lit.atom.terms.size() <= 32 && "arity above index-mask limit");
+      positive_literals_.push_back(static_cast<int>(i));
+    } else {
+      check_literals_.push_back(static_cast<int>(i));
+    }
+  }
+  for (int v : rule->BodyVars()) enumerable_vars_.push_back(v);
+}
+
+namespace {
+
+/// Bindings made while matching one literal / applying checks; unwound on
+/// backtrack.
+struct Trail {
+  std::vector<int> vars;
+
+  void Bind(Valuation* val, int var, Value value) {
+    (*val)[var] = value;
+    vars.push_back(var);
+  }
+  void Undo(Valuation* val) {
+    for (int v : vars) (*val)[v] = kUnboundValue;
+    vars.clear();
+  }
+};
+
+/// Value of a term under a partial valuation, or kUnboundValue.
+Value TermValue(const Term& t, const Valuation& val) {
+  return t.is_var() ? val[t.var] : t.constant;
+}
+
+}  // namespace
+
+struct RuleMatcher::MatchState {
+  const DbView* view;
+  const std::vector<Value>* adom;
+  IndexCache* cache;
+  int delta_literal;
+  const Relation* delta;
+  const std::function<bool(const Valuation&)>* cb;
+  Valuation val;
+  std::vector<bool> literal_done;  // indexed like rule_->body
+  int positives_remaining;
+  bool aborted = false;
+};
+
+bool RuleMatcher::CheckLiteral(const Literal& lit, const Valuation& val,
+                               const DbView& view) const {
+  switch (lit.kind) {
+    case Literal::Kind::kEquality: {
+      Value l = TermValue(lit.lhs, val);
+      Value r = TermValue(lit.rhs, val);
+      assert(l != kUnboundValue && r != kUnboundValue);
+      return (l == r) != lit.negative;
+    }
+    case Literal::Kind::kRelational: {
+      Tuple t = InstantiateAtom(lit.atom, val);
+      if (lit.negative) return !view.negatives->Contains(lit.atom.pred, t);
+      return view.positives->Contains(lit.atom.pred, t);
+    }
+    case Literal::Kind::kBottom:
+      assert(false && "bottom cannot appear in a body");
+      return false;
+  }
+  return false;
+}
+
+/// Applies every pending check literal whose variables are bound; positive
+/// equalities with exactly one unbound side *bind* it. Records what was
+/// applied in `applied` (literal indexes) and binds through the valuation.
+/// Returns false if some check fails (branch dies).
+bool RuleMatcher::ApplyPendingChecks(MatchState* state,
+                                     std::vector<int>* applied) const {
+  bool progress = true;
+  while (progress) {
+    progress = false;
+    for (int li : check_literals_) {
+      if (state->literal_done[li]) continue;
+      const Literal& lit = rule_->body[li];
+      if (lit.kind == Literal::Kind::kEquality) {
+        Value l = TermValue(lit.lhs, state->val);
+        Value r = TermValue(lit.rhs, state->val);
+        if (l != kUnboundValue && r != kUnboundValue) {
+          if ((l == r) == lit.negative) return false;
+          state->literal_done[li] = true;
+          applied->push_back(li);
+          progress = true;
+        } else if (!lit.negative && l != kUnboundValue && lit.rhs.is_var()) {
+          state->val[lit.rhs.var] = l;
+          applied->push_back(~lit.rhs.var);  // negative marker: a binding
+          state->literal_done[li] = true;
+          applied->push_back(li);
+          progress = true;
+        } else if (!lit.negative && r != kUnboundValue && lit.lhs.is_var()) {
+          state->val[lit.lhs.var] = r;
+          applied->push_back(~lit.lhs.var);
+          state->literal_done[li] = true;
+          applied->push_back(li);
+          progress = true;
+        }
+      } else {  // negative relational literal
+        bool all_bound = true;
+        for (const Term& t : lit.atom.terms) {
+          if (TermValue(t, state->val) == kUnboundValue) {
+            all_bound = false;
+            break;
+          }
+        }
+        if (!all_bound) continue;
+        if (!CheckLiteral(lit, state->val, *state->view)) return false;
+        state->literal_done[li] = true;
+        applied->push_back(li);
+        progress = true;
+      }
+    }
+  }
+  return true;
+}
+
+namespace {
+/// Undoes the work recorded by ApplyPendingChecks.
+void UndoApplied(const std::vector<int>& applied,
+                 std::vector<bool>* literal_done, Valuation* val) {
+  for (int entry : applied) {
+    if (entry >= 0) {
+      (*literal_done)[entry] = false;
+    } else {
+      (*val)[~entry] = kUnboundValue;
+    }
+  }
+}
+}  // namespace
+
+bool RuleMatcher::MatchPositives(MatchState* state) const {
+  std::vector<int> applied;
+  if (!ApplyPendingChecks(state, &applied)) {
+    UndoApplied(applied, &state->literal_done, &state->val);
+    return true;  // this branch fails; continue exploring others
+  }
+  bool keep_going = true;
+  if (state->positives_remaining == 0) {
+    keep_going = EnumerateFree(state, 0);
+    UndoApplied(applied, &state->literal_done, &state->val);
+    return keep_going;
+  }
+
+  // Pick the next positive literal: the forced delta literal first,
+  // otherwise the one with the most bound columns (tie: smaller relation).
+  int best = -1;
+  uint32_t best_mask = 0;
+  int best_bound = -1;
+  size_t best_size = 0;
+  for (int li : positive_literals_) {
+    if (state->literal_done[li]) continue;
+    if (li == state->delta_literal) {
+      best = li;
+      best_mask = 0;  // recomputed below
+      break;
+    }
+    const Literal& lit = rule_->body[li];
+    uint32_t mask = 0;
+    int bound = 0;
+    for (size_t c = 0; c < lit.atom.terms.size(); ++c) {
+      if (TermValue(lit.atom.terms[c], state->val) != kUnboundValue) {
+        mask |= 1u << c;
+        ++bound;
+      }
+    }
+    size_t size = state->view->positives->Rel(lit.atom.pred).size();
+    if (bound > best_bound || (bound == best_bound && size < best_size)) {
+      best = li;
+      best_mask = mask;
+      best_bound = bound;
+      best_size = size;
+    }
+  }
+  assert(best >= 0);
+  const Literal& lit = rule_->body[best];
+  const Atom& atom = lit.atom;
+  const size_t arity = atom.terms.size();
+  state->literal_done[best] = true;
+  --state->positives_remaining;
+
+  // Unifies `tuple` with the atom under the current valuation; on success
+  // recurses. Returns false to stop all matching (callback said stop).
+  auto try_tuple = [&](const Tuple& tuple) -> bool {
+    Trail trail;
+    bool match = true;
+    for (size_t c = 0; c < arity; ++c) {
+      const Term& term = atom.terms[c];
+      Value bound_value = TermValue(term, state->val);
+      if (bound_value == kUnboundValue) {
+        trail.Bind(&state->val, term.var, tuple[c]);
+      } else if (bound_value != tuple[c]) {
+        match = false;
+        break;
+      }
+    }
+    bool cont = true;
+    if (match) cont = MatchPositives(state);
+    trail.Undo(&state->val);
+    return cont;
+  };
+
+  if (best == state->delta_literal) {
+    for (const Tuple& t : *state->delta) {
+      if (!try_tuple(t)) {
+        keep_going = false;
+        break;
+      }
+    }
+  } else {
+    // Recompute mask/key (cheap) — `best_mask` is valid here, but recompute
+    // the key values in column order.
+    Tuple key;
+    for (size_t c = 0; c < arity; ++c) {
+      Value v = TermValue(atom.terms[c], state->val);
+      if (v != kUnboundValue) key.push_back(v);
+    }
+    if (key.size() == arity) {
+      // Fully bound: membership test.
+      Tuple t = InstantiateAtom(atom, state->val);
+      if (state->view->positives->Contains(atom.pred, t)) {
+        keep_going = MatchPositives(state);
+      }
+    } else {
+      const IndexCache::Bucket* bucket = state->cache->Lookup(
+          *state->view->positives, atom.pred, best_mask, key);
+      if (bucket != nullptr) {
+        for (const Tuple* t : *bucket) {
+          if (!try_tuple(*t)) {
+            keep_going = false;
+            break;
+          }
+        }
+      }
+    }
+  }
+
+  ++state->positives_remaining;
+  state->literal_done[best] = false;
+  UndoApplied(applied, &state->literal_done, &state->val);
+  return keep_going;
+}
+
+bool RuleMatcher::EnumerateFree(MatchState* state, size_t next_var) const {
+  while (next_var < enumerable_vars_.size() &&
+         state->val[enumerable_vars_[next_var]] != kUnboundValue) {
+    ++next_var;
+  }
+  if (next_var == enumerable_vars_.size()) {
+    // Everything bound: apply remaining checks, then emit.
+    std::vector<int> applied;
+    bool pass = ApplyPendingChecks(state, &applied);
+    if (pass) {
+      // All checks must have been applicable now.
+      for (int li : check_literals_) {
+        (void)li;
+        assert(state->literal_done[li]);
+      }
+      if (!(*state->cb)(state->val)) state->aborted = true;
+    }
+    UndoApplied(applied, &state->literal_done, &state->val);
+    return !state->aborted;
+  }
+  int var = enumerable_vars_[next_var];
+  for (Value v : *state->adom) {
+    state->val[var] = v;
+    // Prune eagerly: checks that became decidable may already fail.
+    std::vector<int> applied;
+    bool pass = ApplyPendingChecks(state, &applied);
+    bool cont = true;
+    if (pass) cont = EnumerateFree(state, next_var + 1);
+    UndoApplied(applied, &state->literal_done, &state->val);
+    state->val[var] = kUnboundValue;
+    if (!cont) return false;
+  }
+  return true;
+}
+
+bool RuleMatcher::BodyHolds(const Valuation& val, const DbView& view) const {
+  for (const Literal& lit : rule_->body) {
+    if (!CheckLiteral(lit, val, view)) return false;
+  }
+  return true;
+}
+
+bool RuleMatcher::MatchForall(
+    const DbView& view, const std::vector<Value>& adom,
+    const std::function<bool(const Valuation&)>& cb) const {
+  // Free variables: body variables not under the ∀.
+  std::vector<int> free_vars;
+  std::set<int> universal(rule_->universal_vars.begin(),
+                          rule_->universal_vars.end());
+  for (int v : enumerable_vars_) {
+    if (!universal.count(v)) free_vars.push_back(v);
+  }
+  Valuation val(rule_->num_vars, kUnboundValue);
+
+  // Checks whether the body holds for every extension of the universal
+  // variables over adom (vacuously true when adom is empty).
+  std::function<bool(size_t)> all_extensions = [&](size_t i) -> bool {
+    if (i == rule_->universal_vars.size()) return BodyHolds(val, view);
+    int var = rule_->universal_vars[i];
+    for (Value v : adom) {
+      val[var] = v;
+      bool holds = all_extensions(i + 1);
+      val[var] = kUnboundValue;
+      if (!holds) return false;
+    }
+    return true;
+  };
+
+  std::function<bool(size_t)> enum_free = [&](size_t i) -> bool {
+    if (i == free_vars.size()) {
+      if (all_extensions(0)) {
+        if (!cb(val)) return false;
+      }
+      return true;
+    }
+    for (Value v : adom) {
+      val[free_vars[i]] = v;
+      bool cont = enum_free(i + 1);
+      val[free_vars[i]] = kUnboundValue;
+      if (!cont) return false;
+    }
+    return true;
+  };
+  return enum_free(0);
+}
+
+void RuleMatcher::ForEachMatch(
+    const DbView& view, const std::vector<Value>& adom, IndexCache* cache,
+    int delta_literal, const Relation* delta,
+    const std::function<bool(const Valuation&)>& cb) const {
+  if (is_forall_) {
+    assert(delta_literal < 0 && "semi-naive deltas unsupported for ∀ rules");
+    MatchForall(view, adom, cb);
+    return;
+  }
+  MatchState state;
+  state.view = &view;
+  state.adom = &adom;
+  state.cache = cache;
+  state.delta_literal = delta_literal;
+  state.delta = delta;
+  state.cb = &cb;
+  state.val.assign(rule_->num_vars, kUnboundValue);
+  state.literal_done.assign(rule_->body.size(), false);
+  state.positives_remaining = static_cast<int>(positive_literals_.size());
+  MatchPositives(&state);
+}
+
+void RuleMatcher::ForEachMatch(
+    const DbView& view, const std::vector<Value>& adom, IndexCache* cache,
+    const std::function<bool(const Valuation&)>& cb) const {
+  ForEachMatch(view, adom, cache, /*delta_literal=*/-1, /*delta=*/nullptr, cb);
+}
+
+Tuple InstantiateAtom(const Atom& atom, const Valuation& val) {
+  Tuple t;
+  t.reserve(atom.terms.size());
+  for (const Term& term : atom.terms) {
+    Value v = TermValue(term, val);
+    assert(v != kUnboundValue && "atom instantiated under partial valuation");
+    t.push_back(v);
+  }
+  return t;
+}
+
+std::vector<Value> ActiveDomain(const Program& program,
+                                const Instance& instance) {
+  std::set<Value> dom = instance.ActiveDomain();
+  dom.insert(program.constants.begin(), program.constants.end());
+  return std::vector<Value>(dom.begin(), dom.end());
+}
+
+}  // namespace datalog

@@ -1,0 +1,130 @@
+#ifndef UNCHAINED_EVAL_GROUNDER_H_
+#define UNCHAINED_EVAL_GROUNDER_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <unordered_map>
+#include <vector>
+
+#include "ast/ast.h"
+#include "ra/instance.h"
+
+namespace datalog {
+
+/// A (partial) valuation ν of a rule's variables: `valuation[v]` is the
+/// value bound to variable v, or `kUnboundValue`. After a successful body
+/// match, every variable is bound except invention variables (Datalog¬new),
+/// which the engines fill with fresh values.
+inline constexpr Value kUnboundValue = -1;
+using Valuation = std::vector<Value>;
+
+/// Where body literals are checked. Splitting positive from negative
+/// checking is what makes the alternating-fixpoint computation of the
+/// well-founded semantics (Section 3.3) expressible with the same matcher:
+/// there, negative idb literals are checked against a *fixed* instance
+/// while positive ones see the growing one. All other engines pass the same
+/// instance for both.
+struct DbView {
+  const Instance* positives;
+  /// ¬A holds iff A ∉ *negatives.
+  const Instance* negatives;
+};
+
+/// Per-round hash indexes over the relations of one frozen `Instance`.
+/// Keyed by (predicate, bitmask of bound column positions); buckets map the
+/// bound-column values to the matching tuples. Engines create a fresh cache
+/// whenever the instance they match against changes.
+class IndexCache {
+ public:
+  using Bucket = std::vector<const Tuple*>;
+
+  IndexCache() = default;
+  IndexCache(const IndexCache&) = delete;
+  IndexCache& operator=(const IndexCache&) = delete;
+
+  /// Returns the tuples of `db.Rel(pred)` whose columns selected by `mask`
+  /// (bit i = column i bound) equal `key` (the bound values, in column
+  /// order). Builds the index for (pred, mask) on first use. Returns
+  /// nullptr for an empty bucket.
+  const Bucket* Lookup(const Instance& db, PredId pred, uint32_t mask,
+                       const Tuple& key);
+
+ private:
+  struct Index {
+    std::unordered_map<Tuple, Bucket, TupleHash> buckets;
+  };
+  std::map<std::pair<PredId, uint32_t>, Index> indexes_;
+};
+
+/// Matches one rule's body against a database view, enumerating every
+/// satisfying valuation — the instantiations of the immediate consequence
+/// operator ΓP (Section 4.1).
+///
+/// Strategy: positive relational literals are joined greedily (most-bound
+/// first, smaller relation as tie-break) through `IndexCache`; equality and
+/// negative literals are applied as soon as their variables are bound;
+/// variables still unbound after all positive literals (e.g. variables
+/// occurring only under negation, as in `ct(X,Y) :- !t(X,Y)`) are
+/// enumerated over the active domain `adom`, matching the paper's
+/// active-domain semantics of ΓP.
+///
+/// Rules with a ∀-prefix (N-Datalog¬∀) take a brute-force path: free
+/// variables are enumerated over `adom`, and the body must hold for every
+/// extension of the universal variables over `adom`.
+class RuleMatcher {
+ public:
+  /// `rule` must outlive the matcher.
+  explicit RuleMatcher(const Rule* rule);
+
+  const Rule& rule() const { return *rule_; }
+
+  /// Invokes `cb` once per satisfying valuation. If `delta_literal` >= 0,
+  /// that body literal (which must be positive relational) is matched
+  /// against `*delta` instead of the view — the semi-naive rewriting.
+  /// Matching stops early if `cb` returns false.
+  void ForEachMatch(const DbView& view, const std::vector<Value>& adom,
+                    IndexCache* cache, int delta_literal,
+                    const Relation* delta,
+                    const std::function<bool(const Valuation&)>& cb) const;
+
+  /// Convenience: all-matches entry with no delta.
+  void ForEachMatch(const DbView& view, const std::vector<Value>& adom,
+                    IndexCache* cache,
+                    const std::function<bool(const Valuation&)>& cb) const;
+
+ private:
+  struct MatchState;
+
+  bool MatchPositives(MatchState* state) const;
+  bool EnumerateFree(MatchState* state, size_t next_var) const;
+  bool ApplyPendingChecks(MatchState* state, std::vector<int>* applied) const;
+  bool CheckLiteral(const Literal& lit, const Valuation& val,
+                    const DbView& view) const;
+  bool MatchForall(const DbView& view, const std::vector<Value>& adom,
+                   const std::function<bool(const Valuation&)>& cb) const;
+  bool BodyHolds(const Valuation& val, const DbView& view) const;
+
+  const Rule* rule_;
+  /// Indexes into rule_->body of positive relational literals.
+  std::vector<int> positive_literals_;
+  /// Indexes of equality + negative relational literals ("check" literals).
+  std::vector<int> check_literals_;
+  /// Variables needing enumeration if unbound after the positive join:
+  /// all body/head variables except invention variables.
+  std::vector<int> enumerable_vars_;
+  bool is_forall_ = false;
+};
+
+/// Instantiates `atom` under a complete-for-this-atom valuation. Asserts
+/// every variable in the atom is bound.
+Tuple InstantiateAtom(const Atom& atom, const Valuation& val);
+
+/// The active domain used for rule instantiation: adom(P, K) — every value
+/// in the instance plus every constant of the program (Section 4.1).
+std::vector<Value> ActiveDomain(const Program& program,
+                                const Instance& instance);
+
+}  // namespace datalog
+
+#endif  // UNCHAINED_EVAL_GROUNDER_H_

@@ -1,0 +1,78 @@
+#include "eval/inflationary.h"
+
+#include "eval/grounder.h"
+#include "eval/provenance.h"
+
+namespace datalog {
+
+Result<InflationaryResult> InflationaryFixpoint(const Program& program,
+                                                const Instance& input,
+                                                const EvalOptions& options,
+                                                const StageObserver& observer) {
+  std::vector<RuleMatcher> matchers;
+  matchers.reserve(program.rules.size());
+  for (const Rule& rule : program.rules) {
+    if (rule.heads.size() != 1 ||
+        rule.heads[0].kind != Literal::Kind::kRelational ||
+        rule.heads[0].negative) {
+      return Status::Unsupported(
+          "inflationary Datalog¬ requires single positive heads; use the "
+          "non-inflationary engine for Datalog¬¬");
+    }
+    if (!rule.universal_vars.empty()) {
+      return Status::Unsupported(
+          "∀-rules belong to N-Datalog¬∀ (nondeterministic engine)");
+    }
+    matchers.emplace_back(&rule);
+  }
+
+  InflationaryResult result(input);
+  Instance& db = result.instance;
+  // Rule heads cannot invent values, so the active domain is invariant
+  // across stages: compute it once.
+  const std::vector<Value> adom = ActiveDomain(program, input);
+  while (true) {
+    if (result.stages + 1 > options.max_rounds) {
+      return Status::BudgetExhausted("inflationary evaluation exceeded " +
+                                     std::to_string(options.max_rounds) +
+                                     " stages");
+    }
+    // One stage: fire every rule with every applicable instantiation
+    // against the frozen current instance (parallel firing), then add all
+    // inferred facts at once.
+    Instance fresh(&input.catalog());
+    IndexCache cache;
+    DbView view{&db, &db};
+    const int stage = result.stages + 1;
+    for (size_t ri = 0; ri < matchers.size(); ++ri) {
+      const RuleMatcher& matcher = matchers[ri];
+      const Atom& head = matcher.rule().heads[0].atom;
+      matcher.ForEachMatch(
+          view, adom, &cache, [&](const Valuation& val) -> bool {
+            ++result.stats.instantiations;
+            Tuple t = InstantiateAtom(head, val);
+            if (!db.Contains(head.pred, t)) {
+              if (options.provenance != nullptr) {
+                options.provenance->Record(
+                    head.pred, t, static_cast<int>(ri), stage,
+                    InstantiateBodyPremises(matcher.rule(), val));
+              }
+              fresh.Insert(head.pred, std::move(t));
+            }
+            return true;
+          });
+    }
+    if (fresh.TotalFacts() == 0) break;
+    ++result.stages;
+    ++result.stats.rounds;
+    if (observer) observer(result.stages, fresh);
+    result.stats.facts_derived += static_cast<int64_t>(db.UnionWith(fresh));
+    if (static_cast<int64_t>(db.TotalFacts()) > options.max_facts) {
+      return Status::BudgetExhausted(
+          "inflationary evaluation exceeded fact budget");
+    }
+  }
+  return result;
+}
+
+}  // namespace datalog

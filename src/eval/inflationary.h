@@ -1,0 +1,41 @@
+#ifndef UNCHAINED_EVAL_INFLATIONARY_H_
+#define UNCHAINED_EVAL_INFLATIONARY_H_
+
+#include <functional>
+
+#include "ast/ast.h"
+#include "base/result.h"
+#include "eval/common.h"
+#include "ra/instance.h"
+
+namespace datalog {
+
+/// Result of an inflationary (forward-chaining) evaluation.
+struct InflationaryResult {
+  /// The fixpoint Γω_P(I): input plus everything derived.
+  Instance instance;
+  /// Number of stages until the fixpoint (applications of ΓP that derived
+  /// at least one new fact).
+  int stages = 0;
+  EvalStats stats;
+
+  explicit InflationaryResult(Instance db) : instance(std::move(db)) {}
+};
+
+/// Observes the facts derived at each stage; receives the 1-based stage
+/// number and the instance of *new* facts of that stage. Used by tests and
+/// by the Example 4.1 bench (where `closer` is driven by stage numbers).
+using StageObserver = std::function<void(int stage, const Instance& fresh)>;
+
+/// The inflationary fixpoint semantics of Datalog¬ (Section 4.1, [5, 87]):
+/// all rules fire in parallel with every applicable instantiation; negative
+/// literals are checked against the *current* instance; inferred facts are
+/// accumulated (never retracted) until a fixpoint is reached. Always
+/// terminates in at most polynomially many stages.
+Result<InflationaryResult> InflationaryFixpoint(
+    const Program& program, const Instance& input, const EvalOptions& options,
+    const StageObserver& observer = nullptr);
+
+}  // namespace datalog
+
+#endif  // UNCHAINED_EVAL_INFLATIONARY_H_

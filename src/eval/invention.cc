@@ -1,0 +1,120 @@
+#include "eval/invention.h"
+
+#include <map>
+#include <utility>
+
+#include "eval/grounder.h"
+
+namespace datalog {
+
+Relation InventionResult::AnswerWithoutInvented(
+    PredId pred, const SymbolTable& symbols) const {
+  const Relation& rel = instance.Rel(pred);
+  Relation out(rel.arity());
+  for (const Tuple& t : rel) {
+    bool clean = true;
+    for (Value v : t) {
+      if (symbols.IsInvented(v)) {
+        clean = false;
+        break;
+      }
+    }
+    if (clean) out.Insert(t);
+  }
+  return out;
+}
+
+Result<InventionResult> InventionFixpoint(const Program& program,
+                                          const Instance& input,
+                                          SymbolTable* symbols,
+                                          const EvalOptions& options) {
+  std::vector<RuleMatcher> matchers;
+  std::vector<std::vector<int>> invention_vars;
+  std::vector<std::vector<int>> body_vars;
+  matchers.reserve(program.rules.size());
+  for (const Rule& rule : program.rules) {
+    if (rule.heads.size() != 1 ||
+        rule.heads[0].kind != Literal::Kind::kRelational ||
+        rule.heads[0].negative) {
+      return Status::Unsupported("Datalog¬new requires single positive heads");
+    }
+    if (!rule.universal_vars.empty()) {
+      return Status::Unsupported(
+          "∀-rules belong to N-Datalog¬∀ (nondeterministic engine)");
+    }
+    matchers.emplace_back(&rule);
+    invention_vars.push_back(rule.InventionVars());
+    std::set<int> bv = rule.BodyVars();
+    body_vars.emplace_back(bv.begin(), bv.end());
+  }
+
+  InventionResult result(input);
+  Instance& db = result.instance;
+
+  // Skolem memo: (rule index, body valuation) -> invented values for the
+  // rule's invention variables.
+  std::map<std::pair<int, Tuple>, std::vector<Value>> memo;
+
+  while (true) {
+    if (result.stages + 1 > options.max_rounds) {
+      return Status::BudgetExhausted("Datalog¬new evaluation exceeded " +
+                                     std::to_string(options.max_rounds) +
+                                     " stages");
+    }
+    Instance fresh(&input.catalog());
+    IndexCache cache;
+    DbView view{&db, &db};
+    std::vector<Value> adom = ActiveDomain(program, db);
+    Status budget = Status::OK();
+    for (size_t ri = 0; ri < matchers.size(); ++ri) {
+      const Atom& head = matchers[ri].rule().heads[0].atom;
+      const std::vector<int>& inv = invention_vars[ri];
+      const std::vector<int>& bvars = body_vars[ri];
+      matchers[ri].ForEachMatch(
+          view, adom, &cache, [&](const Valuation& val) -> bool {
+            ++result.stats.instantiations;
+            Valuation full = val;
+            if (!inv.empty()) {
+              Tuple key;
+              key.reserve(bvars.size());
+              for (int v : bvars) key.push_back(val[v]);
+              auto [it, inserted] =
+                  memo.try_emplace({static_cast<int>(ri), std::move(key)});
+              if (inserted) {
+                if (result.invented_values +
+                        static_cast<int64_t>(inv.size()) >
+                    options.max_invented) {
+                  budget = Status::BudgetExhausted(
+                      "Datalog¬new exceeded invented-value budget (" +
+                      std::to_string(options.max_invented) + ")");
+                  return false;
+                }
+                for (size_t k = 0; k < inv.size(); ++k) {
+                  it->second.push_back(symbols->Invent());
+                }
+                result.invented_values += static_cast<int64_t>(inv.size());
+              }
+              for (size_t k = 0; k < inv.size(); ++k) {
+                full[inv[k]] = it->second[k];
+              }
+            }
+            Tuple t = InstantiateAtom(head, full);
+            if (!db.Contains(head.pred, t)) {
+              fresh.Insert(head.pred, std::move(t));
+            }
+            return true;
+          });
+      if (!budget.ok()) return budget;
+    }
+    if (fresh.TotalFacts() == 0) break;
+    ++result.stages;
+    ++result.stats.rounds;
+    result.stats.facts_derived += static_cast<int64_t>(db.UnionWith(fresh));
+    if (static_cast<int64_t>(db.TotalFacts()) > options.max_facts) {
+      return Status::BudgetExhausted("Datalog¬new exceeded fact budget");
+    }
+  }
+  return result;
+}
+
+}  // namespace datalog

@@ -1,0 +1,47 @@
+#ifndef UNCHAINED_EVAL_INVENTION_H_
+#define UNCHAINED_EVAL_INVENTION_H_
+
+#include "ast/ast.h"
+#include "base/result.h"
+#include "base/symbols.h"
+#include "eval/common.h"
+#include "ra/instance.h"
+
+namespace datalog {
+
+struct InventionResult {
+  Instance instance;
+  int stages = 0;
+  /// Values minted during the evaluation.
+  int64_t invented_values = 0;
+  EvalStats stats;
+
+  explicit InventionResult(Instance db) : instance(std::move(db)) {}
+
+  /// Facts over `pred` containing no invented value — the paper's safety
+  /// restriction projects the answer onto input values; this is the
+  /// corresponding filter.
+  Relation AnswerWithoutInvented(PredId pred, const SymbolTable& symbols) const;
+};
+
+/// Inflationary semantics of Datalog¬new (Section 4.3): head variables
+/// absent from the body are valuated with globally fresh values, giving the
+/// language an unbounded workspace (it expresses all computable queries,
+/// Theorem 4.6).
+///
+/// Invention is Skolemized: each (rule, body-valuation) pair mints its
+/// fresh values once and reuses them at later stages (see DESIGN.md). This
+/// preserves the semantics on safe programs while keeping the inflationary
+/// stage sequence well defined; genuinely diverging programs (the language
+/// is Turing-complete) are stopped by `options.max_invented` /
+/// `options.max_rounds` with kBudgetExhausted.
+///
+/// Fresh values are drawn from `symbols` (printed "@k").
+Result<InventionResult> InventionFixpoint(const Program& program,
+                                          const Instance& input,
+                                          SymbolTable* symbols,
+                                          const EvalOptions& options);
+
+}  // namespace datalog
+
+#endif  // UNCHAINED_EVAL_INVENTION_H_

@@ -1,0 +1,75 @@
+#include "eval/naive.h"
+
+#include <cassert>
+
+#include "eval/grounder.h"
+
+namespace datalog {
+
+Result<Instance> NaiveLeastFixpoint(const Program& program,
+                                    const Instance& input,
+                                    const Instance* fixed_negation,
+                                    const EvalOptions& options,
+                                    EvalStats* stats) {
+  EvalStats local_stats;
+  EvalStats* st = stats != nullptr ? stats : &local_stats;
+
+  std::vector<RuleMatcher> matchers;
+  matchers.reserve(program.rules.size());
+  for (const Rule& rule : program.rules) {
+    if (rule.heads.size() != 1 ||
+        rule.heads[0].kind != Literal::Kind::kRelational ||
+        rule.heads[0].negative) {
+      return Status::Unsupported(
+          "naive least fixpoint requires single positive heads");
+    }
+    if (fixed_negation == nullptr) {
+      for (const Literal& body : rule.body) {
+        if (body.kind == Literal::Kind::kRelational && body.negative) {
+          return Status::Unsupported(
+              "naive least fixpoint without a fixed negation view requires "
+              "a negation-free program");
+        }
+      }
+    }
+    matchers.emplace_back(&rule);
+  }
+
+  Instance db = input;
+  // Rule heads cannot invent values, so adom(P, Γ^k(I)) = adom(P, I) for
+  // every stage: compute the active domain once.
+  const std::vector<Value> adom = ActiveDomain(program, input);
+  while (true) {
+    if (++st->rounds > options.max_rounds) {
+      return Status::BudgetExhausted("naive evaluation exceeded " +
+                                     std::to_string(options.max_rounds) +
+                                     " rounds");
+    }
+    // Freeze `db` for this round: buffer new facts separately so that the
+    // index cache's tuple pointers stay valid.
+    Instance fresh(&input.catalog());
+    IndexCache cache;
+    DbView view{&db, fixed_negation != nullptr ? fixed_negation : &db};
+    for (const RuleMatcher& matcher : matchers) {
+      const Atom& head = matcher.rule().heads[0].atom;
+      matcher.ForEachMatch(view, adom, &cache,
+                           [&](const Valuation& val) -> bool {
+                             ++st->instantiations;
+                             Tuple t = InstantiateAtom(head, val);
+                             if (!db.Contains(head.pred, t)) {
+                               fresh.Insert(head.pred, std::move(t));
+                             }
+                             return true;
+                           });
+    }
+    size_t added = db.UnionWith(fresh);
+    st->facts_derived += static_cast<int64_t>(added);
+    if (added == 0) break;
+    if (static_cast<int64_t>(db.TotalFacts()) > options.max_facts) {
+      return Status::BudgetExhausted("naive evaluation exceeded fact budget");
+    }
+  }
+  return db;
+}
+
+}  // namespace datalog

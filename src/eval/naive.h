@@ -1,0 +1,30 @@
+#ifndef UNCHAINED_EVAL_NAIVE_H_
+#define UNCHAINED_EVAL_NAIVE_H_
+
+#include "ast/ast.h"
+#include "base/result.h"
+#include "eval/common.h"
+#include "ra/instance.h"
+
+namespace datalog {
+
+/// Naive least-fixpoint evaluation (the minimum-model semantics of
+/// Section 3.1): starting from `input`, repeatedly adds all immediate
+/// consequences until nothing changes. Heads must be single positive
+/// literals.
+///
+/// `fixed_negation` generalizes the operator for the alternating-fixpoint
+/// computation of the well-founded semantics (Section 3.3): when non-null,
+/// negative body literals are checked against that *fixed* instance while
+/// positive literals see the growing one — the Gelfond–Lifschitz-style
+/// reduct evaluation. When null, the program must be negation-free
+/// (positive Datalog): the result is the minimum model P(I).
+Result<Instance> NaiveLeastFixpoint(const Program& program,
+                                    const Instance& input,
+                                    const Instance* fixed_negation,
+                                    const EvalOptions& options,
+                                    EvalStats* stats);
+
+}  // namespace datalog
+
+#endif  // UNCHAINED_EVAL_NAIVE_H_

@@ -1,0 +1,107 @@
+#ifndef UNCHAINED_EVAL_NONDET_H_
+#define UNCHAINED_EVAL_NONDET_H_
+
+#include <utility>
+#include <vector>
+
+#include "ast/ast.h"
+#include "base/result.h"
+#include "base/rng.h"
+#include "base/symbols.h"
+#include "eval/common.h"
+#include "ra/instance.h"
+
+namespace datalog {
+
+/// The effect of firing one rule instantiation (Definition 5.2): facts to
+/// insert (positive head literals) and to delete (negative head literals).
+/// Only *state-changing* consistent effects are produced as moves.
+struct Move {
+  std::vector<std::pair<PredId, Tuple>> inserts;
+  std::vector<std::pair<PredId, Tuple>> deletes;
+
+  /// The immediate successor of `state` under this move.
+  Instance ApplyTo(const Instance& state) const;
+};
+
+struct NondetOptions {
+  /// Per-run step budget (RunOnce) and fact budget.
+  EvalOptions eval;
+  /// Enumeration: maximum distinct states explored before giving up.
+  int64_t max_states = 200'000;
+  /// RunOnce only: allow invention variables (N-Datalog¬new); fresh values
+  /// are minted per firing. Enumeration rejects invention programs.
+  bool allow_invention = false;
+};
+
+/// The set of images eff(P) restricted to one input: every terminal
+/// instance J with (I, J) ∈ eff(P), each listed once.
+struct EffectSet {
+  std::vector<Instance> images;
+  /// Distinct states visited by the exhaustive search.
+  size_t states_explored = 0;
+  /// Branches abandoned because ⊥ was derived (N-Datalog¬⊥).
+  size_t abandoned_branches = 0;
+};
+
+/// Evaluator for the nondeterministic family N-Datalog¬(¬, ⊥, ∀, new)
+/// (Section 5): rules fire *one instantiation at a time*, in arbitrary
+/// order; a computation ends in a state with no state-changing immediate
+/// successor.
+class NondetEvaluator {
+ public:
+  /// `program` and `catalog` must outlive the evaluator. The program
+  /// should already be validated for its N-dialect.
+  NondetEvaluator(const Program* program, const Catalog* catalog);
+
+  NondetEvaluator(const NondetEvaluator&) = delete;
+  NondetEvaluator& operator=(const NondetEvaluator&) = delete;
+
+  /// All distinct state-changing moves available from `state`
+  /// (instantiations with true bodies and consistent heads whose
+  /// application changes the state). With `invent`, invention variables
+  /// are valuated with fresh values from `symbols` (one minting per
+  /// produced move).
+  std::vector<Move> Moves(const Instance& state, SymbolTable* symbols,
+                          bool invent) const;
+
+  /// One nondeterministic computation driven by `seed`: repeatedly picks a
+  /// uniformly random move until none applies; returns the terminal
+  /// instance. Returns kAbandoned as soon as ⊥ is derived.
+  Result<Instance> RunOnce(const Instance& input, uint64_t seed,
+                           SymbolTable* symbols,
+                           const NondetOptions& options) const;
+
+  /// Exhaustive DFS over the instance-transition graph, memoizing visited
+  /// states: computes every image of `input` under eff(P) (Definition
+  /// 5.2). Branches whose state contains ⊥ are abandoned. Exponential in
+  /// general — bounded by `options.max_states`. Rejects invention
+  /// programs (their state space is infinite).
+  Result<EffectSet> Enumerate(const Instance& input,
+                              const NondetOptions& options) const;
+
+ private:
+  const Program* program_;
+  const Catalog* catalog_;
+  PredId bottom_pred_;  // -1 when the program never derives ⊥
+  bool has_invention_ = false;
+};
+
+/// The possibility / certainty semantics of Definition 5.10:
+/// poss = union of all images, cert = intersection of all images.
+struct PossCert {
+  Instance poss;
+  Instance cert;
+  /// Number of images the semantics quantified over; if 0, poss and cert
+  /// are empty by convention (the program has no valid computation).
+  size_t image_count = 0;
+
+  PossCert(Instance p, Instance c) : poss(std::move(p)), cert(std::move(c)) {}
+};
+
+/// Computes poss/cert from an enumerated effect set.
+PossCert ComputePossCert(const EffectSet& effects, const Catalog& catalog);
+
+}  // namespace datalog
+
+#endif  // UNCHAINED_EVAL_NONDET_H_

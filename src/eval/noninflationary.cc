@@ -1,0 +1,153 @@
+#include "eval/noninflationary.h"
+
+#include <unordered_map>
+
+#include "eval/grounder.h"
+
+namespace datalog {
+
+Result<NonInflationaryResult> NonInflationaryFixpoint(
+    const Program& program, const Instance& input,
+    const NonInflationaryOptions& options) {
+  std::vector<RuleMatcher> matchers;
+  matchers.reserve(program.rules.size());
+  for (const Rule& rule : program.rules) {
+    for (const Literal& head : rule.heads) {
+      if (head.kind != Literal::Kind::kRelational) {
+        return Status::Unsupported(
+            "Datalog¬¬ heads must be (possibly negated) atoms");
+      }
+    }
+    if (!rule.universal_vars.empty()) {
+      return Status::Unsupported(
+          "∀-rules belong to N-Datalog¬∀ (nondeterministic engine)");
+    }
+    matchers.emplace_back(&rule);
+  }
+
+  NonInflationaryResult result(input);
+  Instance& db = result.instance;
+
+  // Cycle detection: fingerprints of every state seen, with the exact
+  // instances kept for confirmation (fingerprints may collide).
+  std::unordered_map<uint64_t, std::vector<int>> seen_by_hash;
+  std::vector<Instance> history;
+  auto record_state = [&](const Instance& state) -> int {
+    uint64_t h = state.Fingerprint();
+    auto it = seen_by_hash.find(h);
+    if (it != seen_by_hash.end()) {
+      for (int idx : it->second) {
+        if (history[idx] == state) return idx;
+      }
+    }
+    seen_by_hash[h].push_back(static_cast<int>(history.size()));
+    history.push_back(state);
+    return -1;
+  };
+  if (options.detect_cycles) record_state(db);
+
+  while (true) {
+    if (result.stages + 1 > options.eval.max_rounds) {
+      return Status::BudgetExhausted("Datalog¬¬ evaluation exceeded " +
+                                     std::to_string(options.eval.max_rounds) +
+                                     " stages");
+    }
+    // Parallel firing against the frozen instance: collect insertions and
+    // deletions separately, then reconcile.
+    Instance inserts(&input.catalog());
+    Instance deletes(&input.catalog());
+    IndexCache cache;
+    DbView view{&db, &db};
+    std::vector<Value> adom = ActiveDomain(program, db);
+    for (const RuleMatcher& matcher : matchers) {
+      const Rule& rule = matcher.rule();
+      matcher.ForEachMatch(view, adom, &cache,
+                           [&](const Valuation& val) -> bool {
+                             ++result.stats.instantiations;
+                             for (const Literal& head : rule.heads) {
+                               Tuple t = InstantiateAtom(head.atom, val);
+                               if (head.negative) {
+                                 deletes.Insert(head.atom.pred, std::move(t));
+                               } else {
+                                 inserts.Insert(head.atom.pred, std::move(t));
+                               }
+                             }
+                             return true;
+                           });
+    }
+
+    // Reconcile per the conflict policy to obtain the successor state.
+    Instance next = db;
+    auto for_each_fact = [](const Instance& src, const Catalog& catalog,
+                            const std::function<void(PredId, const Tuple&)>&
+                                fn) {
+      for (PredId p = 0; p < catalog.size(); ++p) {
+        for (const Tuple& t : src.Rel(p)) fn(p, t);
+      }
+    };
+    switch (options.policy) {
+      case ConflictPolicy::kPositiveWins:
+        for_each_fact(deletes, input.catalog(),
+                      [&](PredId p, const Tuple& t) {
+                        if (!inserts.Contains(p, t)) next.Erase(p, t);
+                      });
+        for_each_fact(inserts, input.catalog(),
+                      [&](PredId p, const Tuple& t) { next.Insert(p, t); });
+        break;
+      case ConflictPolicy::kNegativeWins:
+        for_each_fact(inserts, input.catalog(),
+                      [&](PredId p, const Tuple& t) {
+                        if (!deletes.Contains(p, t)) next.Insert(p, t);
+                      });
+        for_each_fact(deletes, input.catalog(),
+                      [&](PredId p, const Tuple& t) { next.Erase(p, t); });
+        break;
+      case ConflictPolicy::kNoOp:
+        for_each_fact(deletes, input.catalog(),
+                      [&](PredId p, const Tuple& t) {
+                        if (!inserts.Contains(p, t)) next.Erase(p, t);
+                      });
+        for_each_fact(inserts, input.catalog(),
+                      [&](PredId p, const Tuple& t) {
+                        if (!deletes.Contains(p, t)) next.Insert(p, t);
+                      });
+        break;
+      case ConflictPolicy::kUndefined: {
+        Status conflict = Status::OK();
+        for_each_fact(inserts, input.catalog(),
+                      [&](PredId p, const Tuple& t) {
+                        if (conflict.ok() && deletes.Contains(p, t)) {
+                          conflict = Status::Conflict(
+                              "fact and its negation inferred in the same "
+                              "firing for predicate '" +
+                              input.catalog().NameOf(p) + "'");
+                        }
+                      });
+        if (!conflict.ok()) return conflict;
+        for_each_fact(deletes, input.catalog(),
+                      [&](PredId p, const Tuple& t) { next.Erase(p, t); });
+        for_each_fact(inserts, input.catalog(),
+                      [&](PredId p, const Tuple& t) { next.Insert(p, t); });
+        break;
+      }
+    }
+
+    if (next == db) break;  // fixpoint reached
+    ++result.stages;
+    ++result.stats.rounds;
+    db = std::move(next);
+    if (options.detect_cycles) {
+      int prev = record_state(db);
+      if (prev >= 0) {
+        int cycle_len = static_cast<int>(history.size()) - prev;
+        return Status::NonTerminating(
+            "no fixpoint: state at stage " + std::to_string(result.stages) +
+            " revisits stage " + std::to_string(prev) + " (cycle length " +
+            std::to_string(cycle_len) + ")");
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace datalog

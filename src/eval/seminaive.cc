@@ -1,0 +1,147 @@
+#include "eval/seminaive.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "eval/grounder.h"
+#include "eval/provenance.h"
+
+namespace datalog {
+
+Result<int64_t> SemiNaiveStep(const Program& program,
+                              const std::vector<int>& rule_indexes,
+                              const std::vector<PredId>& recursive_preds,
+                              Instance* db, const EvalOptions& options,
+                              EvalStats* stats) {
+  EvalStats local_stats;
+  EvalStats* st = stats != nullptr ? stats : &local_stats;
+
+  std::vector<RuleMatcher> matchers;
+  std::vector<const Rule*> rules;
+  for (int idx : rule_indexes) {
+    const Rule& rule = program.rules[idx];
+    if (rule.heads.size() != 1 ||
+        rule.heads[0].kind != Literal::Kind::kRelational ||
+        rule.heads[0].negative) {
+      return Status::Unsupported(
+          "semi-naive evaluation requires single positive heads");
+    }
+    rules.push_back(&rule);
+    matchers.emplace_back(&rule);
+  }
+
+  auto is_recursive = [&](PredId p) {
+    return std::find(recursive_preds.begin(), recursive_preds.end(), p) !=
+           recursive_preds.end();
+  };
+
+  int64_t total_added = 0;
+  // No invention: the active domain is invariant across rounds.
+  const std::vector<Value> adom = ActiveDomain(program, *db);
+
+  // Round 0: full evaluation of every rule against the current database.
+  std::unordered_map<PredId, Relation> delta;
+  {
+    Instance fresh(&db->catalog());
+    IndexCache cache;
+    DbView view{db, db};
+    const int stage = st->rounds + 1;
+    for (size_t i = 0; i < matchers.size(); ++i) {
+      const Atom& head = rules[i]->heads[0].atom;
+      matchers[i].ForEachMatch(
+          view, adom, &cache, [&](const Valuation& val) -> bool {
+            ++st->instantiations;
+            Tuple t = InstantiateAtom(head, val);
+            if (!db->Contains(head.pred, t)) {
+              if (options.provenance != nullptr) {
+                options.provenance->Record(
+                    head.pred, t, rule_indexes[i], stage,
+                    InstantiateBodyPremises(*rules[i], val));
+              }
+              fresh.Insert(head.pred, std::move(t));
+            }
+            return true;
+          });
+    }
+    ++st->rounds;
+    for (PredId p : recursive_preds) {
+      const Relation& rel = fresh.Rel(p);
+      if (!rel.empty()) delta.emplace(p, rel);
+    }
+    total_added += static_cast<int64_t>(db->UnionWith(fresh));
+  }
+
+  // Delta rounds.
+  while (!delta.empty()) {
+    if (++st->rounds > options.max_rounds) {
+      return Status::BudgetExhausted("semi-naive evaluation exceeded " +
+                                     std::to_string(options.max_rounds) +
+                                     " rounds");
+    }
+    Instance fresh(&db->catalog());
+    IndexCache cache;
+    DbView view{db, db};
+    const int stage = st->rounds;
+    for (size_t i = 0; i < matchers.size(); ++i) {
+      const Rule& rule = *rules[i];
+      const Atom& head = rule.heads[0].atom;
+      auto sink = [&](const Valuation& val) -> bool {
+        ++st->instantiations;
+        Tuple t = InstantiateAtom(head, val);
+        if (!db->Contains(head.pred, t)) {
+          if (options.provenance != nullptr) {
+            options.provenance->Record(head.pred, t, rule_indexes[i], stage,
+                                       InstantiateBodyPremises(rule, val));
+          }
+          fresh.Insert(head.pred, std::move(t));
+        }
+        return true;
+      };
+      for (size_t li = 0; li < rule.body.size(); ++li) {
+        const Literal& lit = rule.body[li];
+        if (lit.kind != Literal::Kind::kRelational || lit.negative) continue;
+        if (!is_recursive(lit.atom.pred)) continue;
+        auto dit = delta.find(lit.atom.pred);
+        if (dit == delta.end()) continue;
+        matchers[i].ForEachMatch(view, adom, &cache, static_cast<int>(li),
+                                 &dit->second, sink);
+      }
+    }
+    delta.clear();
+    for (PredId p : recursive_preds) {
+      const Relation& rel = fresh.Rel(p);
+      if (!rel.empty()) delta.emplace(p, rel);
+    }
+    total_added += static_cast<int64_t>(db->UnionWith(fresh));
+    if (static_cast<int64_t>(db->TotalFacts()) > options.max_facts) {
+      return Status::BudgetExhausted(
+          "semi-naive evaluation exceeded fact budget");
+    }
+  }
+  st->facts_derived += total_added;
+  return total_added;
+}
+
+Result<Instance> SemiNaiveDatalog(const Program& program,
+                                  const Instance& input,
+                                  const EvalOptions& options,
+                                  EvalStats* stats) {
+  for (const Rule& rule : program.rules) {
+    for (const Literal& body : rule.body) {
+      if (body.kind == Literal::Kind::kRelational && body.negative) {
+        return Status::Unsupported(
+            "SemiNaiveDatalog requires a negation-free program; use the "
+            "stratified engine for Datalog¬");
+      }
+    }
+  }
+  std::vector<int> all_rules(program.rules.size());
+  for (size_t i = 0; i < all_rules.size(); ++i) all_rules[i] = static_cast<int>(i);
+  Instance db = input;
+  Result<int64_t> added = SemiNaiveStep(program, all_rules, program.idb_preds,
+                                        &db, options, stats);
+  if (!added.ok()) return added.status();
+  return db;
+}
+
+}  // namespace datalog

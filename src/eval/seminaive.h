@@ -1,0 +1,39 @@
+#ifndef UNCHAINED_EVAL_SEMINAIVE_H_
+#define UNCHAINED_EVAL_SEMINAIVE_H_
+
+#include <vector>
+
+#include "ast/ast.h"
+#include "base/result.h"
+#include "eval/common.h"
+#include "ra/instance.h"
+
+namespace datalog {
+
+/// Semi-naive (delta-driven) evaluation of a set of mutually recursive
+/// rules whose "recursive" predicates are `recursive_preds`: after a first
+/// full round, each subsequent round matches every rule once per positive
+/// body occurrence of a recursive predicate, with that occurrence bound to
+/// the previous round's newly derived tuples. Negative literals must refer
+/// only to predicates that are already fully computed in `db` (the caller
+/// guarantees this — e.g. lower strata).
+///
+/// Mutates `db` in place; returns the count of facts added.
+Result<int64_t> SemiNaiveStep(const Program& program,
+                              const std::vector<int>& rule_indexes,
+                              const std::vector<PredId>& recursive_preds,
+                              Instance* db, const EvalOptions& options,
+                              EvalStats* stats);
+
+/// Semi-naive evaluation of a positive Datalog program: the minimum model
+/// P(I) of Section 3.1, equal to `NaiveLeastFixpoint` but asymptotically
+/// faster on recursive programs. Heads must be single positive literals and
+/// bodies negation-free.
+Result<Instance> SemiNaiveDatalog(const Program& program,
+                                  const Instance& input,
+                                  const EvalOptions& options,
+                                  EvalStats* stats);
+
+}  // namespace datalog
+
+#endif  // UNCHAINED_EVAL_SEMINAIVE_H_

@@ -1,0 +1,63 @@
+#include "eval/stable.h"
+
+#include <utility>
+
+#include "eval/naive.h"
+#include "eval/wellfounded.h"
+
+namespace datalog {
+
+Result<StableModelsResult> StableModels(const Program& program,
+                                        const Instance& input,
+                                        const EvalOptions& options,
+                                        int64_t max_candidates) {
+  // Bracket the search with the well-founded model.
+  Result<WellFoundedModel> wf = WellFoundedSemantics(program, input, options);
+  if (!wf.ok()) return wf.status();
+
+  // The unknown atoms, listed per predicate.
+  std::vector<std::pair<PredId, Tuple>> unknown;
+  for (PredId p : program.idb_preds) {
+    for (const Tuple& t : wf->possible_facts.Rel(p)) {
+      if (!wf->true_facts.Contains(p, t)) unknown.emplace_back(p, t);
+    }
+  }
+
+  StableModelsResult out;
+  out.unknown_atoms = static_cast<int64_t>(unknown.size());
+  if (unknown.size() < 63 &&
+      (int64_t{1} << unknown.size()) > max_candidates) {
+    return Status::BudgetExhausted(
+        "stable-model search needs 2^" + std::to_string(unknown.size()) +
+        " candidates, above max_candidates = " +
+        std::to_string(max_candidates));
+  }
+  if (unknown.size() >= 63) {
+    return Status::BudgetExhausted(
+        "stable-model search space too large: " +
+        std::to_string(unknown.size()) + " unknown atoms");
+  }
+
+  const uint64_t combinations = uint64_t{1} << unknown.size();
+  for (uint64_t mask = 0; mask < combinations; ++mask) {
+    ++out.candidates_checked;
+    // Candidate M = well-founded true facts + selected unknowns.
+    Instance candidate = wf->true_facts;
+    for (size_t i = 0; i < unknown.size(); ++i) {
+      if (mask & (uint64_t{1} << i)) {
+        candidate.Insert(unknown[i].first, unknown[i].second);
+      }
+    }
+    // Gelfond–Lifschitz check: S(M) == M, where S evaluates the positive
+    // part to a least fixpoint with negations fixed against M.
+    Result<Instance> reduct_lfp =
+        NaiveLeastFixpoint(program, input, &candidate, options, nullptr);
+    if (!reduct_lfp.ok()) return reduct_lfp.status();
+    if (*reduct_lfp == candidate) {
+      out.models.push_back(std::move(candidate));
+    }
+  }
+  return out;
+}
+
+}  // namespace datalog

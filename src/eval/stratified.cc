@@ -1,0 +1,33 @@
+#include "eval/stratified.h"
+
+#include "analysis/stratify.h"
+#include "eval/seminaive.h"
+
+namespace datalog {
+
+Result<Instance> StratifiedSemantics(const Program& program,
+                                     const Catalog& catalog,
+                                     const Instance& input,
+                                     const EvalOptions& options,
+                                     EvalStats* stats) {
+  Stratification strat = Stratify(program, catalog);
+  if (!strat.ok) return Status::NotStratifiable(strat.error);
+
+  Instance db = input;
+  for (int s = 0; s < strat.num_strata; ++s) {
+    const std::vector<int>& rule_indexes = strat.rules_by_stratum[s];
+    if (rule_indexes.empty()) continue;
+    // The recursive predicates of this stratum: idb predicates whose
+    // defining rules live here.
+    std::vector<PredId> recursive;
+    for (PredId p : program.idb_preds) {
+      if (strat.stratum_of_pred[p] == s) recursive.push_back(p);
+    }
+    Result<int64_t> added = SemiNaiveStep(program, rule_indexes, recursive,
+                                          &db, options, stats);
+    if (!added.ok()) return added.status();
+  }
+  return db;
+}
+
+}  // namespace datalog

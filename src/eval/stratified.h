@@ -1,0 +1,27 @@
+#ifndef UNCHAINED_EVAL_STRATIFIED_H_
+#define UNCHAINED_EVAL_STRATIFIED_H_
+
+#include "ast/ast.h"
+#include "base/result.h"
+#include "eval/common.h"
+#include "ra/instance.h"
+
+namespace datalog {
+
+/// Stratified semantics for Datalog¬ (Section 3.2): computes a
+/// stratification and evaluates the strata bottom-up with semi-naive
+/// iteration; a stratum's negated predicates are fully computed before the
+/// stratum runs. Returns kNotStratifiable for programs with recursion
+/// through negation (e.g. the game program Pwin of Example 3.2).
+///
+/// Also evaluates semi-positive Datalog¬ (negation on edb only), which is
+/// trivially stratifiable.
+Result<Instance> StratifiedSemantics(const Program& program,
+                                     const Catalog& catalog,
+                                     const Instance& input,
+                                     const EvalOptions& options,
+                                     EvalStats* stats);
+
+}  // namespace datalog
+
+#endif  // UNCHAINED_EVAL_STRATIFIED_H_

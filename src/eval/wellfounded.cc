@@ -1,0 +1,45 @@
+#include "eval/wellfounded.h"
+
+#include "eval/naive.h"
+
+namespace datalog {
+
+Result<WellFoundedModel> WellFoundedSemantics(const Program& program,
+                                              const Instance& input,
+                                              const EvalOptions& options) {
+  EvalStats stats;
+  // The inner fixpoints run on over-/under-estimates whose derivations
+  // would be misleading as provenance: strip the log.
+  EvalOptions inner_options = options;
+  inner_options.provenance = nullptr;
+  // Alternating fixpoint: under_0 = input (no idb facts);
+  //   over_k  = S(under_k); under_{k+1} = S(over_k).
+  // The under-sequence is increasing, the over-sequence decreasing; stop
+  // when the under-sequence is stationary.
+  Instance under = input;
+  Instance over = input;
+  int64_t outer = 0;
+  while (true) {
+    if (++outer > options.max_rounds) {
+      return Status::BudgetExhausted(
+          "well-founded alternation exceeded round budget");
+    }
+    Result<Instance> next_over =
+        NaiveLeastFixpoint(program, input, &under, inner_options, &stats);
+    if (!next_over.ok()) return next_over.status();
+    over = std::move(next_over).value();
+
+    Result<Instance> next_under =
+        NaiveLeastFixpoint(program, input, &over, inner_options, &stats);
+    if (!next_under.ok()) return next_under.status();
+
+    if (*next_under == under) break;
+    under = std::move(next_under).value();
+  }
+  WellFoundedModel model(std::move(under), std::move(over));
+  model.stats = stats;
+  model.stats.rounds = static_cast<int>(outer);
+  return model;
+}
+
+}  // namespace datalog

@@ -1,0 +1,51 @@
+#ifndef UNCHAINED_EVAL_WELLFOUNDED_H_
+#define UNCHAINED_EVAL_WELLFOUNDED_H_
+
+#include "ast/ast.h"
+#include "base/result.h"
+#include "eval/common.h"
+#include "ra/instance.h"
+
+namespace datalog {
+
+/// Truth value of a fact under the 3-valued well-founded model.
+enum class TruthValue { kFalse, kUnknown, kTrue };
+
+/// The well-founded model of a Datalog¬ program (Section 3.3), represented
+/// by its two classical approximations:
+///  * `true_facts`     — facts true in the well-founded model;
+///  * `possible_facts` — facts true or unknown (so unknown =
+///    possible − true, and false = everything else over the active domain).
+struct WellFoundedModel {
+  Instance true_facts;
+  Instance possible_facts;
+  EvalStats stats;
+
+  WellFoundedModel(Instance t, Instance p)
+      : true_facts(std::move(t)), possible_facts(std::move(p)) {}
+
+  /// True if the model is total (no unknown facts) — e.g. for every
+  /// stratified program.
+  bool IsTotal() const { return true_facts == possible_facts; }
+
+  TruthValue Truth(PredId pred, const Tuple& t) const {
+    if (true_facts.Contains(pred, t)) return TruthValue::kTrue;
+    if (possible_facts.Contains(pred, t)) return TruthValue::kUnknown;
+    return TruthValue::kFalse;
+  }
+};
+
+/// Computes the well-founded model by the alternating-fixpoint method of
+/// Van Gelder (Section 3.3): iterate J ↦ S(J), where S(J) is the least
+/// fixpoint of the program with negative literals evaluated against the
+/// fixed instance J. Even iterates under-approximate the true facts, odd
+/// iterates over-approximate; both converge in polynomially many steps.
+///
+/// Accepts any Datalog¬ program (no stratifiability requirement).
+Result<WellFoundedModel> WellFoundedSemantics(const Program& program,
+                                              const Instance& input,
+                                              const EvalOptions& options);
+
+}  // namespace datalog
+
+#endif  // UNCHAINED_EVAL_WELLFOUNDED_H_

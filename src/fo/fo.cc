@@ -1,0 +1,398 @@
+#include "fo/fo.h"
+
+#include <functional>
+#include <set>
+#include <unordered_map>
+
+#include "ast/lexer.h"
+
+namespace datalog {
+
+namespace {
+
+using Node = FoQuery::Node;
+using FoTerm = Node::FoTerm;
+
+}  // namespace
+
+/// Recursive-descent parser over the shared token stream.
+class FoParser {
+ public:
+  FoParser(std::vector<Token> tokens, Catalog* catalog, SymbolTable* symbols)
+      : tokens_(std::move(tokens)), catalog_(catalog), symbols_(symbols) {}
+
+  Result<FoQuery> Run(const std::vector<std::string>& free_vars) {
+    FoQuery query;
+    // Pre-register the declared free variables so their ids are stable and
+    // in output order.
+    for (const std::string& name : free_vars) {
+      query.free_vars_.push_back(VarId(&query, name));
+    }
+    Result<std::shared_ptr<const Node>> root = ParseImplication(&query);
+    if (!root.ok()) return root.status();
+    if (!Check(TokenKind::kEof)) return Expected("end of formula");
+    query.root_ = std::move(root).value();
+    query.num_vars_ = static_cast<int>(query.var_names_.size());
+
+    // Verify the free variables are exactly the declared ones.
+    std::set<int> bound, used;
+    CollectFree(*query.root_, &bound, &used);
+    std::set<int> declared(query.free_vars_.begin(), query.free_vars_.end());
+    for (int v : used) {
+      if (!declared.count(v)) {
+        return Status::InvalidProgram("formula has undeclared free variable '" +
+                                      query.var_names_[v] + "'");
+      }
+    }
+    return query;
+  }
+
+ private:
+  // implication := disjunction ("->" implication)?
+  Result<std::shared_ptr<const Node>> ParseImplication(FoQuery* q) {
+    Result<std::shared_ptr<const Node>> left = ParseDisjunction(q);
+    if (!left.ok()) return left;
+    if (Match(TokenKind::kArrow)) {
+      Result<std::shared_ptr<const Node>> right = ParseImplication(q);
+      if (!right.ok()) return right;
+      auto node = std::make_shared<Node>();
+      node->kind = Node::Kind::kImplies;
+      node->left = std::move(left).value();
+      node->right = std::move(right).value();
+      return std::shared_ptr<const Node>(std::move(node));
+    }
+    return left;
+  }
+
+  Result<std::shared_ptr<const Node>> ParseDisjunction(FoQuery* q) {
+    Result<std::shared_ptr<const Node>> left = ParseConjunction(q);
+    if (!left.ok()) return left;
+    while (Match(TokenKind::kPipe)) {
+      Result<std::shared_ptr<const Node>> right = ParseConjunction(q);
+      if (!right.ok()) return right;
+      auto node = std::make_shared<Node>();
+      node->kind = Node::Kind::kOr;
+      node->left = std::move(left).value();
+      node->right = std::move(right).value();
+      left = std::shared_ptr<const Node>(std::move(node));
+    }
+    return left;
+  }
+
+  Result<std::shared_ptr<const Node>> ParseConjunction(FoQuery* q) {
+    Result<std::shared_ptr<const Node>> left = ParseUnary(q);
+    if (!left.ok()) return left;
+    while (Match(TokenKind::kAmp)) {
+      Result<std::shared_ptr<const Node>> right = ParseUnary(q);
+      if (!right.ok()) return right;
+      auto node = std::make_shared<Node>();
+      node->kind = Node::Kind::kAnd;
+      node->left = std::move(left).value();
+      node->right = std::move(right).value();
+      left = std::shared_ptr<const Node>(std::move(node));
+    }
+    return left;
+  }
+
+  Result<std::shared_ptr<const Node>> ParseUnary(FoQuery* q) {
+    if (Match(TokenKind::kBang)) {
+      Result<std::shared_ptr<const Node>> child = ParseUnary(q);
+      if (!child.ok()) return child;
+      auto node = std::make_shared<Node>();
+      node->kind = Node::Kind::kNot;
+      node->left = std::move(child).value();
+      return std::shared_ptr<const Node>(std::move(node));
+    }
+    if (Check(TokenKind::kIdent) &&
+        (Peek().text == "exists" || Peek().text == "forall")) {
+      bool is_forall = Peek().text == "forall";
+      Advance();
+      auto node = std::make_shared<Node>();
+      node->kind = is_forall ? Node::Kind::kForall : Node::Kind::kExists;
+      do {
+        if (!Check(TokenKind::kVariable)) return Expected("variable");
+        node->bound_vars.push_back(VarId(q, Advance().text));
+      } while (Match(TokenKind::kComma));
+      if (!Match(TokenKind::kLParen)) return Expected("'('");
+      Result<std::shared_ptr<const Node>> body = ParseImplication(q);
+      if (!body.ok()) return body;
+      if (!Match(TokenKind::kRParen)) return Expected("')'");
+      node->left = std::move(body).value();
+      return std::shared_ptr<const Node>(std::move(node));
+    }
+    if (Match(TokenKind::kLParen)) {
+      Result<std::shared_ptr<const Node>> inner = ParseImplication(q);
+      if (!inner.ok()) return inner;
+      if (!Match(TokenKind::kRParen)) return Expected("')'");
+      return inner;
+    }
+    // Atom or equality. An atom is ident followed by '('; a bare ident is
+    // a 0-ary atom unless followed by an (in)equality operator.
+    if (Check(TokenKind::kIdent) &&
+        PeekAhead().kind != TokenKind::kEq &&
+        PeekAhead().kind != TokenKind::kNeq) {
+      return ParseAtom(q);
+    }
+    // Equality between terms.
+    Result<FoTerm> lhs = ParseTerm(q);
+    if (!lhs.ok()) return lhs.status();
+    bool negated;
+    if (Match(TokenKind::kEq)) {
+      negated = false;
+    } else if (Match(TokenKind::kNeq)) {
+      negated = true;
+    } else {
+      return Expected("'=' or '!='");
+    }
+    Result<FoTerm> rhs = ParseTerm(q);
+    if (!rhs.ok()) return rhs.status();
+    auto node = std::make_shared<Node>();
+    node->kind = Node::Kind::kEquality;
+    node->lhs = *lhs;
+    node->rhs = *rhs;
+    node->negated = negated;
+    return std::shared_ptr<const Node>(std::move(node));
+  }
+
+  Result<std::shared_ptr<const Node>> ParseAtom(FoQuery* q) {
+    Token name = Advance();
+    std::vector<FoTerm> terms;
+    if (Match(TokenKind::kLParen)) {
+      do {
+        Result<FoTerm> t = ParseTerm(q);
+        if (!t.ok()) return t.status();
+        terms.push_back(*t);
+      } while (Match(TokenKind::kComma));
+      if (!Match(TokenKind::kRParen)) return Expected("')'");
+    }
+    Result<PredId> pred =
+        catalog_->Declare(name.text, static_cast<int>(terms.size()));
+    if (!pred.ok()) return pred.status();
+    auto node = std::make_shared<Node>();
+    node->kind = Node::Kind::kAtom;
+    node->pred = *pred;
+    node->terms = std::move(terms);
+    return std::shared_ptr<const Node>(std::move(node));
+  }
+
+  Result<FoTerm> ParseTerm(FoQuery* q) {
+    FoTerm t;
+    if (Check(TokenKind::kVariable)) {
+      t.is_var = true;
+      t.var = VarId(q, Advance().text);
+      return t;
+    }
+    if (Check(TokenKind::kIdent) || Check(TokenKind::kInt) ||
+        Check(TokenKind::kString)) {
+      t.constant = symbols_->Intern(Advance().text);
+      q_constants_.insert(t.constant);
+      return t;
+    }
+    return Expected("term");
+  }
+
+  int VarId(FoQuery* q, const std::string& name) {
+    auto it = vars_.find(name);
+    if (it != vars_.end()) return it->second;
+    int id = static_cast<int>(q->var_names_.size());
+    q->var_names_.push_back(name);
+    vars_.emplace(name, id);
+    return id;
+  }
+
+  static void CollectFree(const Node& node, std::set<int>* bound,
+                          std::set<int>* free) {
+    switch (node.kind) {
+      case Node::Kind::kAtom:
+        for (const FoTerm& t : node.terms) {
+          if (t.is_var && !bound->count(t.var)) free->insert(t.var);
+        }
+        return;
+      case Node::Kind::kEquality:
+        if (node.lhs.is_var && !bound->count(node.lhs.var)) {
+          free->insert(node.lhs.var);
+        }
+        if (node.rhs.is_var && !bound->count(node.rhs.var)) {
+          free->insert(node.rhs.var);
+        }
+        return;
+      case Node::Kind::kNot:
+        CollectFree(*node.left, bound, free);
+        return;
+      case Node::Kind::kAnd:
+      case Node::Kind::kOr:
+      case Node::Kind::kImplies:
+        CollectFree(*node.left, bound, free);
+        CollectFree(*node.right, bound, free);
+        return;
+      case Node::Kind::kExists:
+      case Node::Kind::kForall: {
+        std::vector<int> added;
+        for (int v : node.bound_vars) {
+          if (bound->insert(v).second) added.push_back(v);
+        }
+        CollectFree(*node.left, bound, free);
+        for (int v : added) bound->erase(v);
+        return;
+      }
+    }
+  }
+
+  const Token& Peek() const { return tokens_[pos_]; }
+  const Token& PeekAhead() const {
+    return tokens_[pos_ + 1 < tokens_.size() ? pos_ + 1 : pos_];
+  }
+  bool Check(TokenKind kind) const { return Peek().kind == kind; }
+  Token Advance() { return tokens_[pos_++]; }
+  bool Match(TokenKind kind) {
+    if (!Check(kind)) return false;
+    Advance();
+    return true;
+  }
+  Status Expected(const std::string& what) {
+    const Token& t = Peek();
+    return Status::ParseError(std::to_string(t.line) + ":" +
+                              std::to_string(t.column) + ": expected " +
+                              what + ", found " + TokenKindName(t.kind));
+  }
+
+ public:
+  std::set<Value> q_constants_;
+
+ private:
+  std::vector<Token> tokens_;
+  size_t pos_ = 0;
+  Catalog* catalog_;
+  SymbolTable* symbols_;
+  std::unordered_map<std::string, int> vars_;
+};
+
+Result<FoQuery> FoQuery::Parse(std::string_view formula,
+                               const std::vector<std::string>& free_vars,
+                               Catalog* catalog, SymbolTable* symbols) {
+  Result<std::vector<Token>> tokens = Tokenize(formula);
+  if (!tokens.ok()) return tokens.status();
+  FoParser parser(std::move(tokens).value(), catalog, symbols);
+  Result<FoQuery> query = parser.Run(free_vars);
+  if (!query.ok()) return query;
+  query->constants_.assign(parser.q_constants_.begin(),
+                           parser.q_constants_.end());
+  return query;
+}
+
+bool FoQuery::EvalNode(const Node& node, std::vector<Value>* valuation,
+                       const std::vector<Value>& adom,
+                       const Instance& db) const {
+  auto term_value = [&](const Node::FoTerm& t) {
+    return t.is_var ? (*valuation)[t.var] : t.constant;
+  };
+  switch (node.kind) {
+    case Node::Kind::kAtom: {
+      Tuple t;
+      t.reserve(node.terms.size());
+      for (const Node::FoTerm& term : node.terms) t.push_back(term_value(term));
+      return db.Contains(node.pred, t);
+    }
+    case Node::Kind::kEquality:
+      return (term_value(node.lhs) == term_value(node.rhs)) != node.negated;
+    case Node::Kind::kNot:
+      return !EvalNode(*node.left, valuation, adom, db);
+    case Node::Kind::kAnd:
+      return EvalNode(*node.left, valuation, adom, db) &&
+             EvalNode(*node.right, valuation, adom, db);
+    case Node::Kind::kOr:
+      return EvalNode(*node.left, valuation, adom, db) ||
+             EvalNode(*node.right, valuation, adom, db);
+    case Node::Kind::kImplies:
+      return !EvalNode(*node.left, valuation, adom, db) ||
+             EvalNode(*node.right, valuation, adom, db);
+    case Node::Kind::kExists:
+    case Node::Kind::kForall: {
+      const bool is_forall = node.kind == Node::Kind::kForall;
+      // Enumerate the bound variables over the active domain.
+      std::vector<Value> saved;
+      saved.reserve(node.bound_vars.size());
+      for (int v : node.bound_vars) saved.push_back((*valuation)[v]);
+      std::function<bool(size_t)> enumerate = [&](size_t i) -> bool {
+        if (i == node.bound_vars.size()) {
+          return EvalNode(*node.left, valuation, adom, db);
+        }
+        for (Value value : adom) {
+          (*valuation)[node.bound_vars[i]] = value;
+          bool holds = enumerate(i + 1);
+          if (holds != is_forall) return holds;  // short-circuit
+        }
+        return is_forall;
+      };
+      bool result = enumerate(0);
+      for (size_t i = 0; i < node.bound_vars.size(); ++i) {
+        (*valuation)[node.bound_vars[i]] = saved[i];
+      }
+      return result;
+    }
+  }
+  return false;
+}
+
+Relation FoQuery::Eval(const Instance& db) const {
+  std::set<Value> adom_set = db.ActiveDomain();
+  adom_set.insert(constants_.begin(), constants_.end());
+  std::vector<Value> adom(adom_set.begin(), adom_set.end());
+
+  Relation out(arity());
+  std::vector<Value> valuation(num_vars_, -1);
+  Tuple row(free_vars_.size());
+  std::function<void(size_t)> enumerate = [&](size_t i) {
+    if (i == free_vars_.size()) {
+      if (EvalNode(*root_, &valuation, adom, db)) {
+        for (size_t c = 0; c < free_vars_.size(); ++c) {
+          row[c] = valuation[free_vars_[c]];
+        }
+        out.Insert(row);
+      }
+      return;
+    }
+    for (Value value : adom) {
+      valuation[free_vars_[i]] = value;
+      enumerate(i + 1);
+    }
+  };
+  enumerate(0);
+  return out;
+}
+
+bool FoQuery::EvalSentence(const Instance& db) const {
+  std::set<Value> adom_set = db.ActiveDomain();
+  adom_set.insert(constants_.begin(), constants_.end());
+  std::vector<Value> adom(adom_set.begin(), adom_set.end());
+  std::vector<Value> valuation(num_vars_, -1);
+  return EvalNode(*root_, &valuation, adom, db);
+}
+
+namespace {
+
+/// RA leaf wrapping an FoQuery.
+class FoRaExpr final : public RaExpr {
+ public:
+  explicit FoRaExpr(FoQuery query)
+      : RaExpr(query.arity()), query_(std::move(query)) {}
+  Relation Eval(const Instance& db) const override { return query_.Eval(db); }
+
+ private:
+  FoQuery query_;
+};
+
+}  // namespace
+
+RaExprPtr FoQuery::AsRaExpr() const {
+  return std::make_shared<FoRaExpr>(*this);
+}
+
+Result<bool> EvalFoSentence(std::string_view formula, const Instance& db,
+                            Catalog* catalog, SymbolTable* symbols) {
+  Result<FoQuery> query = FoQuery::Parse(formula, {}, catalog, symbols);
+  if (!query.ok()) return query.status();
+  return query->EvalSentence(db);
+}
+
+}  // namespace datalog

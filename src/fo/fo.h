@@ -1,0 +1,130 @@
+#ifndef UNCHAINED_FO_FO_H_
+#define UNCHAINED_FO_FO_H_
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "base/result.h"
+#include "base/symbols.h"
+#include "ra/expr.h"
+#include "ra/instance.h"
+
+namespace datalog {
+
+/// First-order logic on relations — the relational calculus of Section 2,
+/// under the active-domain semantics the paper uses throughout. An
+/// `FoQuery` is a formula with a designated ordering of its free
+/// variables; evaluation returns the relation of satisfying assignments.
+///
+/// Formula syntax (parsed with the family lexer):
+///
+///   formula := implication
+///   implication := disjunction ("->" implication)?          (right assoc)
+///   disjunction := conjunction ("|" conjunction)*
+///   conjunction := unary ("&" unary)*
+///   unary := "!" unary
+///          | "exists" var ("," var)* "(" formula ")"
+///          | "forall" var ("," var)* "(" formula ")"
+///          | "(" formula ")"
+///          | atom | term ("=" | "!=") term
+///
+/// Example (the body of Example 4.4's fixpoint assignment):
+///
+///   forall Y (g(Y, X) -> good(Y))       with free variables {X}
+///
+/// Quantifiers range over the active domain of the database plus the
+/// formula's constants. Evaluation cost is O(adom^(free+quantified) ·
+/// |formula|) — the textbook bound for active-domain FO.
+class FoQuery {
+ public:
+  /// One node of the formula tree. Variables are dense ids scoped to the
+  /// whole query; a term is a variable id or a constant.
+  struct Node {
+    enum class Kind {
+      kAtom,
+      kEquality,  // lhs (!=)= rhs, negated flag
+      kNot,
+      kAnd,
+      kOr,
+      kImplies,
+      kExists,
+      kForall,
+    };
+
+    struct FoTerm {
+      bool is_var = false;
+      int var = -1;
+      Value constant = -1;
+    };
+
+    Kind kind = Kind::kAtom;
+    // kAtom:
+    PredId pred = -1;
+    std::vector<FoTerm> terms;
+    // kEquality:
+    FoTerm lhs, rhs;
+    bool negated = false;
+    // connectives / quantifiers:
+    std::shared_ptr<const Node> left, right;  // kNot/quantifiers use `left`
+    std::vector<int> bound_vars;              // quantifiers
+  };
+  /// Parses `formula` with the given free-variable output order.
+  /// `free_vars` must list exactly the formula's free variables (the
+  /// result relation has one column per entry, in order). Predicates are
+  /// declared in `catalog` on first use; constants interned in `symbols`.
+  static Result<FoQuery> Parse(std::string_view formula,
+                               const std::vector<std::string>& free_vars,
+                               Catalog* catalog, SymbolTable* symbols);
+
+  /// Number of free variables (= output arity).
+  int arity() const { return static_cast<int>(free_vars_.size()); }
+
+  /// All assignments of the free variables (over the active domain of
+  /// `db` plus the formula constants) satisfying the formula.
+  Relation Eval(const Instance& db) const;
+
+  /// For sentences (no free variables): truth value.
+  bool EvalSentence(const Instance& db) const;
+
+  /// Wraps this query as a relational-algebra leaf, so FO can appear
+  /// directly in while-language assignments, e.g.
+  ///   good += { X | forall Y (g(Y,X) -> good(Y)) }.
+  RaExprPtr AsRaExpr() const;
+
+  // Structure accessors (used by the FO -> RA compiler, fo_to_ra.h).
+  const Node& root() const { return *root_; }
+  const std::vector<int>& free_var_ids() const { return free_vars_; }
+  const std::vector<std::string>& var_names() const { return var_names_; }
+  const std::vector<Value>& formula_constants() const { return constants_; }
+  int num_vars() const { return num_vars_; }
+
+  // Movable and copyable (shares the immutable formula tree).
+  FoQuery(const FoQuery&) = default;
+  FoQuery& operator=(const FoQuery&) = default;
+  FoQuery(FoQuery&&) = default;
+  FoQuery& operator=(FoQuery&&) = default;
+
+ private:
+  friend class FoParser;
+
+  FoQuery() = default;
+
+  std::shared_ptr<const Node> root_;
+  std::vector<int> free_vars_;          // variable ids, in output order
+  std::vector<std::string> var_names_;  // id -> name
+  std::vector<Value> constants_;        // constants occurring in the formula
+  int num_vars_ = 0;
+
+  bool EvalNode(const Node& node, std::vector<Value>* valuation,
+                const std::vector<Value>& adom, const Instance& db) const;
+};
+
+/// Convenience: parse + evaluate a sentence ("is the graph symmetric?").
+Result<bool> EvalFoSentence(std::string_view formula, const Instance& db,
+                            Catalog* catalog, SymbolTable* symbols);
+
+}  // namespace datalog
+
+#endif  // UNCHAINED_FO_FO_H_

@@ -1,0 +1,294 @@
+#include "fo/fo_to_ra.h"
+
+#include <algorithm>
+#include <map>
+
+namespace datalog {
+namespace {
+
+using Node = FoQuery::Node;
+using FoTerm = Node::FoTerm;
+
+/// A compiled subformula: a relation whose columns are the subformula's
+/// free variables, listed in `vars` in strictly ascending id order.
+struct Compiled {
+  RaExprPtr expr;
+  std::vector<int> vars;
+};
+
+class Compiler {
+ public:
+  explicit Compiler(const FoQuery& query) : query_(query) {}
+
+  Result<RaExprPtr> Run() {
+    Result<Compiled> root = Compile(query_.root());
+    if (!root.ok()) return root.status();
+    Compiled out = std::move(root).value();
+    // Pad variables that are declared free but do not occur.
+    for (int v : query_.free_var_ids()) {
+      if (std::find(out.vars.begin(), out.vars.end(), v) == out.vars.end()) {
+        out = PadWith(std::move(out), v);
+      }
+    }
+    // Reorder columns to the declared free-variable order.
+    std::vector<int> cols;
+    for (int v : query_.free_var_ids()) {
+      cols.push_back(ColumnOf(out.vars, v));
+    }
+    return ra::Project(out.expr, cols);
+  }
+
+ private:
+  static int ColumnOf(const std::vector<int>& vars, int var) {
+    auto it = std::find(vars.begin(), vars.end(), var);
+    return static_cast<int>(it - vars.begin());
+  }
+
+  RaExprPtr AdomK(int k) const {
+    return ra::Adom(k, query_.formula_constants());
+  }
+
+  /// true / false as 0-ary relations.
+  static RaExprPtr Boolean(bool value) {
+    Relation r(0);
+    if (value) r.Insert({});
+    return ra::ConstRel(std::move(r));
+  }
+
+  /// Appends variable `v` (ranging over the whole domain) to a compiled
+  /// relation, keeping `vars` sorted.
+  Compiled PadWith(Compiled in, int v) const {
+    Compiled out;
+    out.expr = ra::Product(in.expr, AdomK(1));
+    std::vector<int> cols;
+    out.vars = in.vars;
+    out.vars.push_back(v);
+    std::sort(out.vars.begin(), out.vars.end());
+    for (int var : out.vars) {
+      cols.push_back(var == v ? static_cast<int>(in.vars.size())
+                              : ColumnOf(in.vars, var));
+    }
+    out.expr = ra::Project(out.expr, cols);
+    return out;
+  }
+
+  /// Active-domain complement over the same variable set.
+  Compiled Complement(Compiled in) const {
+    Compiled out;
+    out.vars = in.vars;
+    out.expr = ra::Diff(AdomK(static_cast<int>(in.vars.size())), in.expr);
+    return out;
+  }
+
+  /// Pads `in` to the variable superset `vars` (ascending, ⊇ in.vars).
+  Compiled PadTo(Compiled in, const std::vector<int>& vars) const {
+    for (int v : vars) {
+      if (std::find(in.vars.begin(), in.vars.end(), v) == in.vars.end()) {
+        in = PadWith(std::move(in), v);
+      }
+    }
+    return in;
+  }
+
+  /// Existentially projects away `bound` (variables not in `in.vars` are
+  /// quantified over the domain: they keep the relation iff the domain is
+  /// nonempty, matching the direct evaluator's semantics).
+  Compiled ProjectOut(Compiled in, const std::vector<int>& bound) const {
+    int absent = 0;
+    for (int v : bound) {
+      if (std::find(in.vars.begin(), in.vars.end(), v) == in.vars.end()) {
+        ++absent;
+      }
+    }
+    if (absent > 0) {
+      // ∃x φ with x not free in φ: conjoin a nonemptiness guard on the
+      // domain (false on an empty domain, φ otherwise).
+      RaExprPtr guard = ra::Project(AdomK(1), {});
+      in.expr = ra::Project(ra::Product(in.expr, guard),
+                            [&] {
+                              std::vector<int> cols(in.vars.size());
+                              for (size_t i = 0; i < in.vars.size(); ++i) {
+                                cols[i] = static_cast<int>(i);
+                              }
+                              return cols;
+                            }());
+    }
+    Compiled out;
+    std::vector<int> cols;
+    for (size_t i = 0; i < in.vars.size(); ++i) {
+      if (std::find(bound.begin(), bound.end(), in.vars[i]) == bound.end()) {
+        out.vars.push_back(in.vars[i]);
+        cols.push_back(static_cast<int>(i));
+      }
+    }
+    out.expr = ra::Project(in.expr, cols);
+    return out;
+  }
+
+  Result<Compiled> Compile(const Node& node) const {
+    switch (node.kind) {
+      case Node::Kind::kAtom:
+        return CompileAtom(node);
+      case Node::Kind::kEquality:
+        return CompileEquality(node);
+      case Node::Kind::kNot: {
+        Result<Compiled> child = Compile(*node.left);
+        if (!child.ok()) return child;
+        return Complement(std::move(child).value());
+      }
+      case Node::Kind::kAnd:
+      case Node::Kind::kOr: {
+        Result<Compiled> left = Compile(*node.left);
+        if (!left.ok()) return left;
+        Result<Compiled> right = Compile(*node.right);
+        if (!right.ok()) return right;
+        return Combine(std::move(left).value(), std::move(right).value(),
+                       node.kind == Node::Kind::kAnd);
+      }
+      case Node::Kind::kImplies: {
+        // φ -> ψ ≡ ¬φ ∨ ψ.
+        Result<Compiled> left = Compile(*node.left);
+        if (!left.ok()) return left;
+        Result<Compiled> right = Compile(*node.right);
+        if (!right.ok()) return right;
+        return Combine(Complement(std::move(left).value()),
+                       std::move(right).value(), /*conjunction=*/false);
+      }
+      case Node::Kind::kExists: {
+        Result<Compiled> child = Compile(*node.left);
+        if (!child.ok()) return child;
+        return ProjectOut(std::move(child).value(), node.bound_vars);
+      }
+      case Node::Kind::kForall: {
+        // ∀x̄ φ ≡ ¬∃x̄ ¬φ.
+        Result<Compiled> child = Compile(*node.left);
+        if (!child.ok()) return child;
+        return Complement(
+            ProjectOut(Complement(std::move(child).value()),
+                       node.bound_vars));
+      }
+    }
+    return Status::Internal("unknown FO node kind");
+  }
+
+  Result<Compiled> CompileAtom(const Node& node) const {
+    const int arity = static_cast<int>(node.terms.size());
+    RaExprPtr scan = ra::Scan(node.pred, arity);
+    std::vector<SelCondition> conds;
+    // First column holding each variable.
+    std::map<int, int> first_col;
+    for (int c = 0; c < arity; ++c) {
+      const FoTerm& t = node.terms[c];
+      if (!t.is_var) {
+        conds.push_back({SelOperand::Column(c),
+                         SelOperand::Const(t.constant), true});
+      } else if (auto it = first_col.find(t.var); it != first_col.end()) {
+        conds.push_back(
+            {SelOperand::Column(c), SelOperand::Column(it->second), true});
+      } else {
+        first_col.emplace(t.var, c);
+      }
+    }
+    if (!conds.empty()) scan = ra::Select(scan, std::move(conds));
+    Compiled out;
+    std::vector<int> cols;
+    for (const auto& [var, col] : first_col) {  // std::map: ascending vars
+      out.vars.push_back(var);
+      cols.push_back(col);
+    }
+    out.expr = ra::Project(scan, cols);
+    return out;
+  }
+
+  Result<Compiled> CompileEquality(const Node& node) const {
+    const FoTerm& l = node.lhs;
+    const FoTerm& r = node.rhs;
+    if (!l.is_var && !r.is_var) {
+      return Compiled{Boolean((l.constant == r.constant) != node.negated),
+                      {}};
+    }
+    if (l.is_var && r.is_var && l.var == r.var) {
+      // x = x over the domain (or empty for x != x).
+      Compiled out;
+      out.vars = {l.var};
+      out.expr = node.negated ? ra::ConstRel(Relation(1)) : AdomK(1);
+      return out;
+    }
+    if (l.is_var && r.is_var) {
+      Compiled out;
+      out.vars = {std::min(l.var, r.var), std::max(l.var, r.var)};
+      out.expr = ra::Select(
+          AdomK(2),
+          {{SelOperand::Column(0), SelOperand::Column(1), !node.negated}});
+      return out;
+    }
+    // Exactly one side is a variable.
+    const FoTerm& var_side = l.is_var ? l : r;
+    const FoTerm& const_side = l.is_var ? r : l;
+    Compiled out;
+    out.vars = {var_side.var};
+    out.expr = ra::Select(AdomK(1),
+                          {{SelOperand::Column(0),
+                            SelOperand::Const(const_side.constant),
+                            !node.negated}});
+    return out;
+  }
+
+  Result<Compiled> Combine(Compiled left, Compiled right,
+                           bool conjunction) const {
+    if (conjunction) {
+      // Equijoin on shared variables, then project to the ascending union.
+      std::vector<std::pair<int, int>> eq;
+      for (size_t i = 0; i < left.vars.size(); ++i) {
+        for (size_t j = 0; j < right.vars.size(); ++j) {
+          if (left.vars[i] == right.vars[j]) {
+            eq.emplace_back(static_cast<int>(i), static_cast<int>(j));
+          }
+        }
+      }
+      RaExprPtr joined = ra::Join(left.expr, right.expr, eq);
+      Compiled out;
+      std::vector<int> cols;
+      out.vars = left.vars;
+      for (int v : right.vars) {
+        if (std::find(out.vars.begin(), out.vars.end(), v) == out.vars.end()) {
+          out.vars.push_back(v);
+        }
+      }
+      std::sort(out.vars.begin(), out.vars.end());
+      for (int v : out.vars) {
+        auto it = std::find(left.vars.begin(), left.vars.end(), v);
+        if (it != left.vars.end()) {
+          cols.push_back(static_cast<int>(it - left.vars.begin()));
+        } else {
+          cols.push_back(static_cast<int>(left.vars.size()) +
+                         ColumnOf(right.vars, v));
+        }
+      }
+      out.expr = ra::Project(joined, cols);
+      return out;
+    }
+    // Disjunction: pad both sides to the union, then union.
+    std::vector<int> all = left.vars;
+    for (int v : right.vars) {
+      if (std::find(all.begin(), all.end(), v) == all.end()) all.push_back(v);
+    }
+    std::sort(all.begin(), all.end());
+    left = PadTo(std::move(left), all);
+    right = PadTo(std::move(right), all);
+    Compiled out;
+    out.vars = all;
+    out.expr = ra::Union(left.expr, right.expr);
+    return out;
+  }
+
+  const FoQuery& query_;
+};
+
+}  // namespace
+
+Result<RaExprPtr> CompileFoToRa(const FoQuery& query) {
+  return Compiler(query).Run();
+}
+
+}  // namespace datalog

@@ -1,0 +1,34 @@
+#ifndef UNCHAINED_FO_FO_TO_RA_H_
+#define UNCHAINED_FO_FO_TO_RA_H_
+
+#include "base/result.h"
+#include "fo/fo.h"
+#include "ra/expr.h"
+
+namespace datalog {
+
+/// Compiles an `FoQuery` into an equivalent relational-algebra expression —
+/// the algebraization of FO that Section 2 recalls (Codd's theorem), made
+/// constructive under the active-domain semantics:
+///
+///   atom        -> scan + select (constants / repeated variables) +
+///                  projection onto the free-variable order
+///   x = y, x = c -> selections over Adom products
+///   ¬φ          -> Adom^k − compile(φ)      (active-domain complement)
+///   φ ∧ ψ       -> equijoin on shared free variables + projection
+///   φ ∨ ψ       -> pad each side to the union of free variables with
+///                  Adom products, then union
+///   φ → ψ       -> ¬φ ∨ ψ
+///   ∃x φ        -> projection dropping x
+///   ∀x φ        -> ¬∃x ¬φ
+///
+/// The result evaluates to exactly `query.Eval(db)` on every database —
+/// asserted over randomized formulas and instances in fo_test. Negations
+/// and paddings materialize Adom^k products, so compiled plans are
+/// polynomially larger than the direct evaluator's recursion but expose
+/// the query to algebraic execution (the while language consumes either).
+Result<RaExprPtr> CompileFoToRa(const FoQuery& query);
+
+}  // namespace datalog
+
+#endif  // UNCHAINED_FO_FO_TO_RA_H_

@@ -1,0 +1,29 @@
+#include "ra/catalog.h"
+
+namespace datalog {
+
+Result<PredId> Catalog::Declare(std::string_view name, int arity) {
+  auto it = by_name_.find(std::string(name));
+  if (it != by_name_.end()) {
+    PredId id = it->second;
+    if (arities_[id] != arity) {
+      return Status::SchemaError("predicate '" + std::string(name) +
+                                 "' used with arity " + std::to_string(arity) +
+                                 " but declared with arity " +
+                                 std::to_string(arities_[id]));
+    }
+    return id;
+  }
+  PredId id = static_cast<PredId>(names_.size());
+  by_name_.emplace(std::string(name), id);
+  names_.emplace_back(name);
+  arities_.push_back(arity);
+  return id;
+}
+
+PredId Catalog::Find(std::string_view name) const {
+  auto it = by_name_.find(std::string(name));
+  return it == by_name_.end() ? -1 : it->second;
+}
+
+}  // namespace datalog

@@ -1,0 +1,47 @@
+#ifndef UNCHAINED_RA_CATALOG_H_
+#define UNCHAINED_RA_CATALOG_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "base/result.h"
+#include "base/status.h"
+
+namespace datalog {
+
+/// Identifier of a relation schema (predicate symbol). Dense, starting
+/// at 0, scoped to one `Catalog`.
+using PredId = int32_t;
+
+/// The database schema (Section 2): the set of relation symbols in play,
+/// each with a fixed arity. Shared by programs, instances and engines; a
+/// `Catalog` outlives the instances that reference it.
+class Catalog {
+ public:
+  Catalog() = default;
+  Catalog(const Catalog&) = delete;
+  Catalog& operator=(const Catalog&) = delete;
+
+  /// Registers (or looks up) predicate `name` with the given arity. Returns
+  /// `kSchemaError` if `name` is already registered with a different arity.
+  Result<PredId> Declare(std::string_view name, int arity);
+
+  /// Looks up `name`; returns -1 if unknown.
+  PredId Find(std::string_view name) const;
+
+  int ArityOf(PredId p) const { return arities_[p]; }
+  const std::string& NameOf(PredId p) const { return names_[p]; }
+  int size() const { return static_cast<int>(names_.size()); }
+
+ private:
+  std::vector<std::string> names_;
+  std::vector<int> arities_;
+  std::unordered_map<std::string, PredId> by_name_;
+};
+
+}  // namespace datalog
+
+#endif  // UNCHAINED_RA_CATALOG_H_

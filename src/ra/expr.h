@@ -1,0 +1,97 @@
+#ifndef UNCHAINED_RA_EXPR_H_
+#define UNCHAINED_RA_EXPR_H_
+
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "ra/instance.h"
+#include "ra/relation.h"
+
+namespace datalog {
+
+/// A column-or-constant operand of a selection predicate.
+struct SelOperand {
+  /// If `is_column`, `index` is a 0-based column position; otherwise
+  /// `constant` is a domain value.
+  bool is_column = true;
+  int index = 0;
+  Value constant = 0;
+
+  static SelOperand Column(int i) { return {true, i, 0}; }
+  static SelOperand Const(Value v) { return {false, 0, v}; }
+};
+
+/// One (in)equality condition of a selection: `lhs op rhs`.
+struct SelCondition {
+  SelOperand lhs;
+  SelOperand rhs;
+  bool equal = true;  // false => "not equal"
+};
+
+/// Relational-algebra expression tree (the algebraization of FO recalled in
+/// Section 2). Expressions are immutable after construction and evaluated
+/// by materialization against an `Instance`.
+///
+/// Construct trees with the factory functions in namespace `ra` below.
+class RaExpr {
+ public:
+  virtual ~RaExpr() = default;
+
+  /// Arity of the result relation.
+  int arity() const { return arity_; }
+
+  /// Materializes the result of the expression on database `db`.
+  virtual Relation Eval(const Instance& db) const = 0;
+
+ protected:
+  explicit RaExpr(int arity) : arity_(arity) {}
+
+ private:
+  int arity_;
+};
+
+using RaExprPtr = std::shared_ptr<const RaExpr>;
+
+namespace ra {
+
+/// The relation stored under predicate `p` (arity from `catalog`).
+RaExprPtr Scan(PredId p, int arity);
+
+/// A literal relation.
+RaExprPtr ConstRel(Relation rel);
+
+/// π / ρ: output column `i` is input column `cols[i]`; columns may be
+/// dropped, duplicated or reordered (this also subsumes attribute rename,
+/// since columns are positional).
+RaExprPtr Project(RaExprPtr child, std::vector<int> cols);
+
+/// σ: tuples of `child` satisfying every condition.
+RaExprPtr Select(RaExprPtr child, std::vector<SelCondition> conds);
+
+/// Cartesian product; output columns are left's then right's.
+RaExprPtr Product(RaExprPtr left, RaExprPtr right);
+
+/// Equijoin on column pairs (left_col == right_col); output columns are all
+/// of left's followed by all of right's. Implemented with a hash index on
+/// the right input.
+RaExprPtr Join(RaExprPtr left, RaExprPtr right,
+               std::vector<std::pair<int, int>> eq_cols);
+
+/// Set union (same arity).
+RaExprPtr Union(RaExprPtr left, RaExprPtr right);
+
+/// Set difference left − right (same arity).
+RaExprPtr Diff(RaExprPtr left, RaExprPtr right);
+
+/// (adom(I) ∪ extra)^k: the k-fold product of the active domain of the
+/// database, optionally enlarged with fixed constants (a query's own
+/// constants, matching the adom(q, I) convention). The building block for
+/// complements (e.g. CT := Adom(2) − T). Exponential in k; intended for
+/// small k.
+RaExprPtr Adom(int k, std::vector<Value> extra = {});
+
+}  // namespace ra
+}  // namespace datalog
+
+#endif  // UNCHAINED_RA_EXPR_H_

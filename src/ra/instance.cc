@@ -1,0 +1,127 @@
+#include "ra/instance.h"
+
+#include <algorithm>
+
+namespace datalog {
+
+namespace {
+const Relation& EmptyRelation(int arity) {
+  // Arities seen in practice are small; cache one empty relation per arity.
+  static std::vector<Relation>* cache = new std::vector<Relation>();
+  while (static_cast<int>(cache->size()) <= arity) {
+    cache->emplace_back(static_cast<int>(cache->size()));
+  }
+  return (*cache)[arity];
+}
+}  // namespace
+
+const Relation& Instance::Rel(PredId p) const {
+  auto it = relations_.find(p);
+  if (it != relations_.end()) return it->second;
+  return EmptyRelation(catalog_->ArityOf(p));
+}
+
+Relation* Instance::MutableRel(PredId p) {
+  auto it = relations_.find(p);
+  if (it == relations_.end()) {
+    it = relations_.emplace(p, Relation(catalog_->ArityOf(p))).first;
+  }
+  return &it->second;
+}
+
+bool Instance::Erase(PredId p, const Tuple& t) {
+  auto it = relations_.find(p);
+  return it != relations_.end() && it->second.Erase(t);
+}
+
+size_t Instance::UnionWith(const Instance& other) {
+  size_t added = 0;
+  for (const auto& [p, rel] : other.relations_) {
+    if (rel.empty()) continue;
+    added += MutableRel(p)->UnionWith(rel);
+  }
+  return added;
+}
+
+size_t Instance::TotalFacts() const {
+  size_t n = 0;
+  for (const auto& [p, rel] : relations_) n += rel.size();
+  return n;
+}
+
+std::set<Value> Instance::ActiveDomain() const {
+  std::set<Value> dom;
+  for (const auto& [p, rel] : relations_) {
+    for (const Tuple& t : rel) dom.insert(t.begin(), t.end());
+  }
+  return dom;
+}
+
+bool Instance::operator==(const Instance& other) const {
+  // Lazily absent relations equal empty ones, so compare via SubsetOf both
+  // ways rather than comparing the maps.
+  return SubsetOf(other) && other.SubsetOf(*this);
+}
+
+bool Instance::SubsetOf(const Instance& other) const {
+  for (const auto& [p, rel] : relations_) {
+    if (rel.empty()) continue;
+    const Relation& o = other.Rel(p);
+    if (o.size() < rel.size()) return false;
+    for (const Tuple& t : rel) {
+      if (!o.Contains(t)) return false;
+    }
+  }
+  return true;
+}
+
+uint64_t Instance::Fingerprint() const {
+  uint64_t h = 0;
+  for (const auto& [p, rel] : relations_) {
+    if (rel.empty()) continue;
+    uint64_t x = rel.ContentHash() + 0x9e3779b97f4a7c15ull *
+                                         static_cast<uint64_t>(p + 1);
+    x ^= x >> 29;
+    x *= 0xbf58476d1ce4e5b9ull;
+    x ^= x >> 32;
+    h ^= x;
+  }
+  return h;
+}
+
+std::string Instance::ToString(const SymbolTable& symbols) const {
+  // Predicates in catalog order, tuples in lexicographic order.
+  std::string out;
+  std::vector<PredId> preds;
+  preds.reserve(relations_.size());
+  for (const auto& [p, rel] : relations_) {
+    if (!rel.empty()) preds.push_back(p);
+  }
+  std::sort(preds.begin(), preds.end());
+  for (PredId p : preds) {
+    for (const Tuple& t : Rel(p).Sorted()) {
+      out += catalog_->NameOf(p);
+      if (!t.empty()) {
+        out += '(';
+        for (size_t i = 0; i < t.size(); ++i) {
+          if (i > 0) out += ", ";
+          out += symbols.NameOf(t[i]);
+        }
+        out += ')';
+      }
+      out += ".\n";
+    }
+  }
+  return out;
+}
+
+Instance Instance::Restrict(const std::vector<PredId>& preds) const {
+  Instance out(catalog_);
+  for (PredId p : preds) {
+    const Relation& rel = Rel(p);
+    if (!rel.empty()) *out.MutableRel(p) = rel;
+  }
+  return out;
+}
+
+}  // namespace datalog

@@ -1,0 +1,79 @@
+#ifndef UNCHAINED_RA_INSTANCE_H_
+#define UNCHAINED_RA_INSTANCE_H_
+
+#include <cstdint>
+#include <set>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "base/symbols.h"
+#include "ra/catalog.h"
+#include "ra/relation.h"
+
+namespace datalog {
+
+/// A database instance over a `Catalog` (Section 2): a mapping from each
+/// relation symbol to a finite relation of the declared arity. Relations
+/// are materialized lazily; an absent relation is the empty one.
+///
+/// Instances are value types (copyable) — the nondeterministic engines and
+/// the Datalog¬¬ cycle detector snapshot and compare them freely.
+class Instance {
+ public:
+  /// `catalog` must outlive the instance.
+  explicit Instance(const Catalog* catalog) : catalog_(catalog) {}
+
+  const Catalog& catalog() const { return *catalog_; }
+
+  /// Read access; returns a shared empty relation if `p` has no tuples.
+  const Relation& Rel(PredId p) const;
+
+  /// Mutable access; materializes an empty relation on first touch.
+  Relation* MutableRel(PredId p);
+
+  bool Contains(PredId p, const Tuple& t) const { return Rel(p).Contains(t); }
+
+  /// Inserts a fact; returns true if new.
+  bool Insert(PredId p, const Tuple& t) { return MutableRel(p)->Insert(t); }
+
+  /// Removes a fact; returns true if it was present.
+  bool Erase(PredId p, const Tuple& t);
+
+  /// Adds every fact of `other` (same catalog); returns #new facts.
+  size_t UnionWith(const Instance& other);
+
+  /// Total number of facts.
+  size_t TotalFacts() const;
+
+  /// The set of domain values occurring in any fact — adom(I).
+  std::set<Value> ActiveDomain() const;
+
+  /// Deep equality over all (possibly lazily absent) relations.
+  bool operator==(const Instance& other) const;
+  bool operator!=(const Instance& other) const { return !(*this == other); }
+
+  /// True if every fact of this instance is in `other`.
+  bool SubsetOf(const Instance& other) const;
+
+  /// Order-independent 64-bit fingerprint of the full contents. Equal
+  /// instances have equal fingerprints; collisions are possible, so cycle
+  /// detectors confirm with `operator==`.
+  uint64_t Fingerprint() const;
+
+  /// Canonical human-readable listing: facts sorted per predicate, e.g.
+  ///   "g(a, b). g(b, c). t(a, b)." — used by tests and examples.
+  std::string ToString(const SymbolTable& symbols) const;
+
+  /// Copy containing only the relations in `preds` — used to project the
+  /// answer/idb part of an evaluation result.
+  Instance Restrict(const std::vector<PredId>& preds) const;
+
+ private:
+  const Catalog* catalog_;
+  std::unordered_map<PredId, Relation> relations_;
+};
+
+}  // namespace datalog
+
+#endif  // UNCHAINED_RA_INSTANCE_H_

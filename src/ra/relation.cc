@@ -1,0 +1,50 @@
+#include "ra/relation.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace datalog {
+
+bool Relation::Insert(const Tuple& t) {
+  assert(static_cast<int>(t.size()) == arity_);
+  return tuples_.insert(t).second;
+}
+
+bool Relation::Insert(Tuple&& t) {
+  assert(static_cast<int>(t.size()) == arity_);
+  return tuples_.insert(std::move(t)).second;
+}
+
+bool Relation::Erase(const Tuple& t) { return tuples_.erase(t) > 0; }
+
+size_t Relation::UnionWith(const Relation& other) {
+  assert(arity_ == other.arity_);
+  size_t added = 0;
+  for (const Tuple& t : other.tuples_) {
+    if (tuples_.insert(t).second) ++added;
+  }
+  return added;
+}
+
+std::vector<Tuple> Relation::Sorted() const {
+  std::vector<Tuple> out(tuples_.begin(), tuples_.end());
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+uint64_t Relation::ContentHash() const {
+  // XOR keeps the fingerprint order-independent over the unordered set.
+  uint64_t h = 0x9e3779b97f4a7c15ull * static_cast<uint64_t>(arity_ + 1);
+  TupleHash th;
+  for (const Tuple& t : tuples_) {
+    // Mix each tuple hash before XOR to spread single-bit differences.
+    uint64_t x = th(t);
+    x ^= x >> 33;
+    x *= 0xff51afd7ed558ccdull;
+    x ^= x >> 33;
+    h ^= x;
+  }
+  return h;
+}
+
+}  // namespace datalog

@@ -1,0 +1,68 @@
+#ifndef UNCHAINED_RA_RELATION_H_
+#define UNCHAINED_RA_RELATION_H_
+
+#include <cstdint>
+#include <unordered_set>
+#include <vector>
+
+#include "ra/tuple.h"
+
+namespace datalog {
+
+/// A relation instance: a finite set of constant tuples of a fixed arity
+/// (Section 2). Insertion is idempotent; iteration order is unspecified —
+/// use `Sorted()` when a canonical order is needed.
+class Relation {
+ public:
+  using TupleSet = std::unordered_set<Tuple, TupleHash>;
+  using const_iterator = TupleSet::const_iterator;
+
+  /// Creates an empty relation of the given arity (>= 0; arity 0 models
+  /// propositional predicates such as `delay` in Example 4.4).
+  explicit Relation(int arity = 0) : arity_(arity) {}
+
+  int arity() const { return arity_; }
+  size_t size() const { return tuples_.size(); }
+  bool empty() const { return tuples_.empty(); }
+
+  /// Inserts `t` (whose size must equal `arity()`); returns true if the
+  /// tuple was not already present.
+  bool Insert(const Tuple& t);
+  bool Insert(Tuple&& t);
+
+  /// Removes `t`; returns true if it was present.
+  bool Erase(const Tuple& t);
+
+  bool Contains(const Tuple& t) const { return tuples_.count(t) > 0; }
+
+  /// Inserts every tuple of `other` (same arity); returns the number of
+  /// tuples that were new.
+  size_t UnionWith(const Relation& other);
+
+  void Clear() { tuples_.clear(); }
+
+  const_iterator begin() const { return tuples_.begin(); }
+  const_iterator end() const { return tuples_.end(); }
+
+  /// Tuples in lexicographic order — canonical form for printing, hashing
+  /// and equality-sensitive tests.
+  std::vector<Tuple> Sorted() const;
+
+  /// Set equality (arity and contents).
+  bool operator==(const Relation& other) const {
+    return arity_ == other.arity_ && tuples_ == other.tuples_;
+  }
+  bool operator!=(const Relation& other) const { return !(*this == other); }
+
+  /// Order-independent hash of the contents (XOR of per-tuple hashes), used
+  /// for instance-state fingerprinting in cycle detection.
+  uint64_t ContentHash() const;
+
+ private:
+  int arity_;
+  TupleSet tuples_;
+};
+
+}  // namespace datalog
+
+#endif  // UNCHAINED_RA_RELATION_H_

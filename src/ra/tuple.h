@@ -1,0 +1,31 @@
+#ifndef UNCHAINED_RA_TUPLE_H_
+#define UNCHAINED_RA_TUPLE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "base/symbols.h"
+
+namespace datalog {
+
+/// A constant tuple over a relation schema (Section 2): a fixed-length
+/// vector of domain values. Column identity is positional.
+using Tuple = std::vector<Value>;
+
+/// FNV-1a style hash over the tuple contents, usable as the hasher of
+/// `std::unordered_set<Tuple>`.
+struct TupleHash {
+  size_t operator()(const Tuple& t) const {
+    uint64_t h = 1469598103934665603ull;
+    for (Value v : t) {
+      h ^= static_cast<uint64_t>(static_cast<uint32_t>(v));
+      h *= 1099511628211ull;
+    }
+    return static_cast<size_t>(h);
+  }
+};
+
+}  // namespace datalog
+
+#endif  // UNCHAINED_RA_TUPLE_H_

@@ -1,0 +1,154 @@
+#include "while/while_lang.h"
+
+#include <unordered_map>
+
+namespace datalog {
+
+WhileStmt Assign(PredId target, RaExprPtr expr) {
+  WhileStmt s;
+  s.kind = WhileStmt::Kind::kAssign;
+  s.target = target;
+  s.cumulative = false;
+  s.expr = std::move(expr);
+  return s;
+}
+
+WhileStmt AssignCumulative(PredId target, RaExprPtr expr) {
+  WhileStmt s = Assign(target, std::move(expr));
+  s.cumulative = true;
+  return s;
+}
+
+WhileStmt WhileChange(std::vector<WhileStmt> body) {
+  WhileStmt s;
+  s.kind = WhileStmt::Kind::kWhileChange;
+  s.body = std::move(body);
+  return s;
+}
+
+WhileStmt WhileNonEmpty(RaExprPtr cond, std::vector<WhileStmt> body) {
+  WhileStmt s;
+  s.kind = WhileStmt::Kind::kWhileNonEmpty;
+  s.cond = std::move(cond);
+  s.body = std::move(body);
+  return s;
+}
+
+WhileStmt WhileEmpty(RaExprPtr cond, std::vector<WhileStmt> body) {
+  WhileStmt s = WhileNonEmpty(std::move(cond), std::move(body));
+  s.kind = WhileStmt::Kind::kWhileEmpty;
+  return s;
+}
+
+namespace {
+
+bool AllCumulative(const std::vector<WhileStmt>& stmts) {
+  for (const WhileStmt& s : stmts) {
+    if (s.kind == WhileStmt::Kind::kAssign) {
+      if (!s.cumulative) return false;
+    } else if (!AllCumulative(s.body)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+class WhileInterpreter {
+ public:
+  WhileInterpreter(const WhileOptions& options, Instance db)
+      : options_(options), db_(std::move(db)) {}
+
+  Status RunBlock(const std::vector<WhileStmt>& stmts) {
+    for (const WhileStmt& s : stmts) {
+      DATALOG_RETURN_IF_ERROR(RunStmt(s));
+    }
+    return Status::OK();
+  }
+
+  Instance&& TakeResult() { return std::move(db_); }
+
+ private:
+  Status RunStmt(const WhileStmt& s) {
+    switch (s.kind) {
+      case WhileStmt::Kind::kAssign: {
+        Relation value = s.expr->Eval(db_);
+        Relation* target = db_.MutableRel(s.target);
+        if (s.cumulative) {
+          target->UnionWith(value);
+        } else {
+          *target = std::move(value);
+        }
+        return Status::OK();
+      }
+      case WhileStmt::Kind::kWhileChange: {
+        // Iterate until one pass leaves the instance unchanged. A pass that
+        // returns to any *earlier* state (not the immediately preceding
+        // one) can never converge: report non-termination.
+        std::vector<Instance> history;
+        std::unordered_map<uint64_t, std::vector<size_t>> seen;
+        auto lookup_or_add = [&](const Instance& state) -> int {
+          uint64_t h = state.Fingerprint();
+          auto& bucket = seen[h];
+          for (size_t idx : bucket) {
+            if (history[idx] == state) return static_cast<int>(idx);
+          }
+          bucket.push_back(history.size());
+          history.push_back(state);
+          return -1;
+        };
+        if (options_.detect_cycles) lookup_or_add(db_);
+        for (int64_t iter = 0;; ++iter) {
+          if (iter >= options_.max_iterations) {
+            return Status::BudgetExhausted(
+                "while-change loop exceeded iteration budget");
+          }
+          Instance before = db_;
+          DATALOG_RETURN_IF_ERROR(RunBlock(s.body));
+          if (db_ == before) return Status::OK();
+          if (options_.detect_cycles) {
+            int prev = lookup_or_add(db_);
+            if (prev >= 0) {
+              return Status::NonTerminating(
+                  "while-change loop revisited the state of iteration " +
+                  std::to_string(prev) + " (cycle length " +
+                  std::to_string(history.size() - prev) + ")");
+            }
+          }
+        }
+      }
+      case WhileStmt::Kind::kWhileNonEmpty:
+      case WhileStmt::Kind::kWhileEmpty: {
+        bool want_nonempty = s.kind == WhileStmt::Kind::kWhileNonEmpty;
+        for (int64_t iter = 0;; ++iter) {
+          if (iter >= options_.max_iterations) {
+            return Status::BudgetExhausted(
+                "while loop exceeded iteration budget");
+          }
+          bool nonempty = !s.cond->Eval(db_).empty();
+          if (nonempty != want_nonempty) return Status::OK();
+          DATALOG_RETURN_IF_ERROR(RunBlock(s.body));
+        }
+      }
+    }
+    return Status::Internal("unknown while statement kind");
+  }
+
+  const WhileOptions& options_;
+  Instance db_;
+};
+
+}  // namespace
+
+bool IsFixpointProgram(const WhileProgram& program) {
+  return AllCumulative(program.stmts);
+}
+
+Result<Instance> RunWhile(const WhileProgram& program, const Instance& input,
+                          const WhileOptions& options) {
+  WhileInterpreter interp(options, input);
+  Status st = interp.RunBlock(program.stmts);
+  if (!st.ok()) return st;
+  return interp.TakeResult();
+}
+
+}  // namespace datalog

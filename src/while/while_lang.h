@@ -1,0 +1,70 @@
+#ifndef UNCHAINED_WHILE_WHILE_LANG_H_
+#define UNCHAINED_WHILE_WHILE_LANG_H_
+
+#include <vector>
+
+#include "base/result.h"
+#include "ra/expr.h"
+#include "ra/instance.h"
+
+namespace datalog {
+
+/// One statement of the *while* language of Section 2: relation-variable
+/// assignments over FO (relational algebra) expressions plus looping
+/// constructs. The *fixpoint* language is the sublanguage whose
+/// assignments are all cumulative (`R += E`), which guarantees
+/// polynomial-time termination.
+struct WhileStmt {
+  enum class Kind {
+    /// target := expr (destructive) or target += expr (cumulative).
+    kAssign,
+    /// while change do body — iterate while some relation changes.
+    kWhileChange,
+    /// while expr ≠ ∅ do body.
+    kWhileNonEmpty,
+    /// while expr = ∅ do body.
+    kWhileEmpty,
+  };
+
+  Kind kind = Kind::kAssign;
+  // kAssign:
+  PredId target = -1;
+  bool cumulative = false;
+  RaExprPtr expr;
+  // loops:
+  RaExprPtr cond;
+  std::vector<WhileStmt> body;
+};
+
+/// A while program over relation variables registered in a `Catalog`.
+struct WhileProgram {
+  std::vector<WhileStmt> stmts;
+};
+
+/// Builders.
+WhileStmt Assign(PredId target, RaExprPtr expr);
+WhileStmt AssignCumulative(PredId target, RaExprPtr expr);
+WhileStmt WhileChange(std::vector<WhileStmt> body);
+WhileStmt WhileNonEmpty(RaExprPtr cond, std::vector<WhileStmt> body);
+WhileStmt WhileEmpty(RaExprPtr cond, std::vector<WhileStmt> body);
+
+/// True iff every assignment in the program is cumulative — the program is
+/// in the *fixpoint* sublanguage (terminates in polynomial time;
+/// Section 2 and Theorem 4.2's other half).
+bool IsFixpointProgram(const WhileProgram& program);
+
+struct WhileOptions {
+  /// Iteration budget per loop (while programs may diverge).
+  int64_t max_iterations = 1'000'000;
+  /// Detect a revisited state inside a loop and report kNonTerminating.
+  bool detect_cycles = true;
+};
+
+/// Runs the program, mutating a copy of `input` statement by statement
+/// (sequential semantics), and returns the final instance.
+Result<Instance> RunWhile(const WhileProgram& program, const Instance& input,
+                          const WhileOptions& options);
+
+}  // namespace datalog
+
+#endif  // UNCHAINED_WHILE_WHILE_LANG_H_

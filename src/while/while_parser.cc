@@ -1,0 +1,191 @@
+#include "while/while_parser.h"
+
+#include <cctype>
+#include <string>
+#include <vector>
+
+#include "fo/fo.h"
+
+namespace datalog {
+namespace {
+
+/// Character-level scanner for statement syntax; comprehension bodies are
+/// sliced out as substrings and handed to the FO parser.
+class WhileParser {
+ public:
+  WhileParser(std::string_view source, Catalog* catalog, SymbolTable* symbols)
+      : src_(source), catalog_(catalog), symbols_(symbols) {}
+
+  Result<WhileProgram> Run() {
+    WhileProgram program;
+    Skip();
+    while (!AtEnd()) {
+      Result<WhileStmt> stmt = ParseStmt();
+      if (!stmt.ok()) return stmt.status();
+      program.stmts.push_back(std::move(stmt).value());
+      Skip();
+    }
+    return program;
+  }
+
+ private:
+  Result<WhileStmt> ParseStmt() {
+    std::string word = ReadWord();
+    if (word.empty()) return Error("expected a statement");
+    if (word == "while") {
+      Skip();
+      std::string kind = ReadWord();
+      if (kind == "change") {
+        Result<std::vector<WhileStmt>> body = ParseBlock();
+        if (!body.ok()) return body.status();
+        return WhileChange(std::move(body).value());
+      }
+      if (kind == "nonempty" || kind == "empty") {
+        Result<RaExprPtr> cond = ParseComprehension();
+        if (!cond.ok()) return cond.status();
+        Result<std::vector<WhileStmt>> body = ParseBlock();
+        if (!body.ok()) return body.status();
+        return kind == "nonempty"
+                   ? WhileNonEmpty(std::move(cond).value(),
+                                   std::move(body).value())
+                   : WhileEmpty(std::move(cond).value(),
+                                std::move(body).value());
+      }
+      return Error("expected 'change', 'nonempty' or 'empty' after 'while'");
+    }
+    // Assignment: <relation> (":=" | "+=") comprehension ";"
+    Skip();
+    bool cumulative;
+    if (TryConsume("+=")) {
+      cumulative = true;
+    } else if (TryConsume(":=")) {
+      cumulative = false;
+    } else {
+      return Error("expected ':=' or '+=' after relation name '" + word +
+                   "'");
+    }
+    Result<RaExprPtr> rhs = ParseComprehension();
+    if (!rhs.ok()) return rhs.status();
+    Skip();
+    if (!TryConsume(";")) return Error("expected ';' after assignment");
+    Result<PredId> target = catalog_->Declare(word, (*rhs)->arity());
+    if (!target.ok()) return target.status();
+    return cumulative ? AssignCumulative(*target, std::move(rhs).value())
+                      : Assign(*target, std::move(rhs).value());
+  }
+
+  Result<std::vector<WhileStmt>> ParseBlock() {
+    Skip();
+    if (!TryConsume("{")) return Error("expected '{'");
+    std::vector<WhileStmt> body;
+    Skip();
+    while (!AtEnd() && Peek() != '}') {
+      Result<WhileStmt> stmt = ParseStmt();
+      if (!stmt.ok()) return stmt.status();
+      body.push_back(std::move(stmt).value());
+      Skip();
+    }
+    if (!TryConsume("}")) return Error("expected '}'");
+    return body;
+  }
+
+  // "{" var ("," var)* "|" formula "}"  or  "{" "|" formula "}".
+  Result<RaExprPtr> ParseComprehension() {
+    Skip();
+    if (!TryConsume("{")) return Error("expected '{' starting a comprehension");
+    std::vector<std::string> free_vars;
+    Skip();
+    while (!AtEnd() && Peek() != '|') {
+      std::string var = ReadWord();
+      if (var.empty()) return Error("expected a variable or '|'");
+      free_vars.push_back(var);
+      Skip();
+      if (Peek() == ',') {
+        Advance();
+        Skip();
+      }
+    }
+    if (!TryConsume("|")) return Error("expected '|' in comprehension");
+    // The formula runs to the matching '}' (FO syntax contains no braces).
+    size_t start = pos_;
+    while (!AtEnd() && Peek() != '}') Advance();
+    if (!TryConsume("}")) return Error("unterminated comprehension");
+    std::string_view formula = src_.substr(start, pos_ - 1 - start);
+    Result<FoQuery> query =
+        FoQuery::Parse(formula, free_vars, catalog_, symbols_);
+    if (!query.ok()) return query.status();
+    return query->AsRaExpr();
+  }
+
+  // -- character-level helpers --------------------------------------
+
+  bool AtEnd() const { return pos_ >= src_.size(); }
+  char Peek() const { return src_[pos_]; }
+  char Advance() {
+    char c = src_[pos_++];
+    if (c == '\n') {
+      ++line_;
+      col_ = 1;
+    } else {
+      ++col_;
+    }
+    return c;
+  }
+
+  void Skip() {
+    while (!AtEnd()) {
+      char c = Peek();
+      if (std::isspace(static_cast<unsigned char>(c))) {
+        Advance();
+      } else if (c == '%' || (c == '/' && pos_ + 1 < src_.size() &&
+                              src_[pos_ + 1] == '/')) {
+        while (!AtEnd() && Peek() != '\n') Advance();
+      } else {
+        return;
+      }
+    }
+  }
+
+  std::string ReadWord() {
+    Skip();
+    std::string word;
+    while (!AtEnd()) {
+      char c = Peek();
+      if (std::isalnum(static_cast<unsigned char>(c)) || c == '_') {
+        word += Advance();
+      } else {
+        break;
+      }
+    }
+    return word;
+  }
+
+  bool TryConsume(std::string_view token) {
+    Skip();
+    if (src_.substr(pos_, token.size()) != token) return false;
+    for (size_t i = 0; i < token.size(); ++i) Advance();
+    return true;
+  }
+
+  Status Error(const std::string& message) const {
+    return Status::ParseError(std::to_string(line_) + ":" +
+                              std::to_string(col_) + ": " + message);
+  }
+
+  std::string_view src_;
+  size_t pos_ = 0;
+  int line_ = 1;
+  int col_ = 1;
+  Catalog* catalog_;
+  SymbolTable* symbols_;
+};
+
+}  // namespace
+
+Result<WhileProgram> ParseWhileProgram(std::string_view source,
+                                       Catalog* catalog,
+                                       SymbolTable* symbols) {
+  return WhileParser(source, catalog, symbols).Run();
+}
+
+}  // namespace datalog

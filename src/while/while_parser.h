@@ -1,0 +1,35 @@
+#ifndef UNCHAINED_WHILE_WHILE_PARSER_H_
+#define UNCHAINED_WHILE_WHILE_PARSER_H_
+
+#include <string_view>
+
+#include "base/result.h"
+#include "while/while_lang.h"
+
+namespace datalog {
+
+/// Parses the textual form of the *while* / *fixpoint* languages
+/// (Section 2), with FO comprehensions as assignment right-hand sides —
+/// exactly how the paper writes them:
+///
+///   t += { X, Y | g(X, Y) };
+///   while change {
+///     t += { X, Y | exists Z (t(X, Z) & g(Z, Y)) };
+///   }
+///   ct := { X, Y | !t(X, Y) };                    % destructive: while only
+///   while nonempty { X | frontier(X) } { ... }
+///   while empty { X | done(X) } { ... }
+///
+/// `R += E` is the cumulative assignment of the fixpoint language; a
+/// program whose assignments are all cumulative satisfies
+/// `IsFixpointProgram`. Relation variables are declared in `catalog` on
+/// first use with the comprehension's arity; formulas are parsed by the
+/// FO layer (fo/fo.h) and evaluated under active-domain semantics.
+/// `%` and `//` start line comments.
+Result<WhileProgram> ParseWhileProgram(std::string_view source,
+                                       Catalog* catalog,
+                                       SymbolTable* symbols);
+
+}  // namespace datalog
+
+#endif  // UNCHAINED_WHILE_WHILE_PARSER_H_

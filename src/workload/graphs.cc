@@ -1,0 +1,101 @@
+#include "workload/graphs.h"
+
+#include <cassert>
+#include <unordered_set>
+
+#include "base/rng.h"
+
+namespace datalog {
+
+GraphBuilder::GraphBuilder(Catalog* catalog, SymbolTable* symbols,
+                           std::string_view edge_pred)
+    : catalog_(catalog), symbols_(symbols) {
+  Result<PredId> pred = catalog->Declare(edge_pred, 2);
+  assert(pred.ok() && "edge predicate declared with a different arity");
+  edge_pred_ = *pred;
+}
+
+Value GraphBuilder::Node(int i) { return symbols_->InternInt(i); }
+
+Instance GraphBuilder::Empty() { return Instance(catalog_); }
+
+void GraphBuilder::Edge(Instance* db, int a, int b) {
+  db->Insert(edge_pred_, {Node(a), Node(b)});
+}
+
+Instance GraphBuilder::Chain(int n) {
+  Instance db = Empty();
+  for (int i = 0; i + 1 < n; ++i) Edge(&db, i, i + 1);
+  return db;
+}
+
+Instance GraphBuilder::Cycle(int n) {
+  Instance db = Chain(n);
+  if (n > 1) Edge(&db, n - 1, 0);
+  return db;
+}
+
+Instance GraphBuilder::RandomDigraph(int n, int m, uint64_t seed) {
+  assert(n >= 2);
+  assert(static_cast<int64_t>(m) <= static_cast<int64_t>(n) * (n - 1));
+  Instance db = Empty();
+  Rng rng(seed);
+  std::unordered_set<int64_t> used;
+  while (static_cast<int>(used.size()) < m) {
+    int a = static_cast<int>(rng.Uniform(n));
+    int b = static_cast<int>(rng.Uniform(n));
+    if (a == b) continue;
+    if (!used.insert(static_cast<int64_t>(a) * n + b).second) continue;
+    Edge(&db, a, b);
+  }
+  return db;
+}
+
+Instance GraphBuilder::RandomDag(int n, int m, uint64_t seed) {
+  assert(n >= 2);
+  assert(static_cast<int64_t>(m) <=
+         static_cast<int64_t>(n) * (n - 1) / 2);
+  Instance db = Empty();
+  Rng rng(seed);
+  std::unordered_set<int64_t> used;
+  while (static_cast<int>(used.size()) < m) {
+    int a = static_cast<int>(rng.Uniform(n));
+    int b = static_cast<int>(rng.Uniform(n));
+    if (a == b) continue;
+    if (a > b) std::swap(a, b);
+    if (!used.insert(static_cast<int64_t>(a) * n + b).second) continue;
+    Edge(&db, a, b);
+  }
+  return db;
+}
+
+Instance GraphBuilder::TwoCycles(int k) {
+  Instance db = Empty();
+  for (int i = 0; i < k; ++i) {
+    Edge(&db, 2 * i, 2 * i + 1);
+    Edge(&db, 2 * i + 1, 2 * i);
+  }
+  return db;
+}
+
+Instance PaperGameGraph(Catalog* catalog, SymbolTable* symbols) {
+  Result<PredId> moves = catalog->Declare("moves", 2);
+  assert(moves.ok());
+  Instance db(catalog);
+  auto v = [&](const char* name) { return symbols->Intern(name); };
+  const std::pair<const char*, const char*> edges[] = {
+      {"b", "c"}, {"c", "a"}, {"a", "b"}, {"a", "d"},
+      {"d", "e"}, {"d", "f"}, {"f", "g"}};
+  for (const auto& [from, to] : edges) {
+    db.Insert(*moves, {v(from), v(to)});
+  }
+  return db;
+}
+
+Instance RandomGameGraph(Catalog* catalog, SymbolTable* symbols, int n, int m,
+                         uint64_t seed) {
+  GraphBuilder builder(catalog, symbols, "moves");
+  return builder.RandomDigraph(n, m, seed);
+}
+
+}  // namespace datalog

@@ -1,0 +1,64 @@
+#ifndef UNCHAINED_WORKLOAD_GRAPHS_H_
+#define UNCHAINED_WORKLOAD_GRAPHS_H_
+
+#include <string>
+#include <string_view>
+
+#include "base/symbols.h"
+#include "ra/instance.h"
+
+namespace datalog {
+
+/// Generates the graph instances used by the tests, examples and benches:
+/// binary edge relations over integer-named nodes. Nodes are the interned
+/// integers 0..n-1.
+class GraphBuilder {
+ public:
+  /// Declares (or reuses) the binary edge predicate `edge_pred` in
+  /// `catalog`. Both pointers must outlive the builder and any instance it
+  /// produces.
+  GraphBuilder(Catalog* catalog, SymbolTable* symbols,
+               std::string_view edge_pred = "g");
+
+  PredId edge_pred() const { return edge_pred_; }
+
+  /// 0 -> 1 -> ... -> n-1.
+  Instance Chain(int n);
+
+  /// Chain plus the closing edge n-1 -> 0.
+  Instance Cycle(int n);
+
+  /// `m` distinct directed edges over n nodes, no self-loops, uniformly
+  /// seeded. Isolated nodes do not appear anywhere: the paper's
+  /// active-domain semantics only sees values occurring in facts.
+  Instance RandomDigraph(int n, int m, uint64_t seed);
+
+  /// Random DAG: m distinct edges i -> j with i < j.
+  Instance RandomDag(int n, int m, uint64_t seed);
+
+  /// k disjoint 2-cycles: (2i <-> 2i+1) for i in 0..k-1 — the orientation
+  /// workload of Section 5.
+  Instance TwoCycles(int k);
+
+  Value Node(int i);
+
+ private:
+  Catalog* catalog_;
+  SymbolTable* symbols_;
+  PredId edge_pred_;
+  Instance Empty();
+  void Edge(Instance* db, int a, int b);
+};
+
+/// The exact `moves` instance of Example 3.2:
+///   {<b,c>, <c,a>, <a,b>, <a,d>, <d,e>, <d,f>, <f,g>}
+/// using the symbolic constants a..g, with the predicate named `moves`.
+Instance PaperGameGraph(Catalog* catalog, SymbolTable* symbols);
+
+/// A random game graph over n states and m moves (predicate `moves`).
+Instance RandomGameGraph(Catalog* catalog, SymbolTable* symbols, int n, int m,
+                         uint64_t seed);
+
+}  // namespace datalog
+
+#endif  // UNCHAINED_WORKLOAD_GRAPHS_H_

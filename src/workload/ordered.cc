@@ -1,0 +1,49 @@
+#include "workload/ordered.h"
+
+namespace datalog {
+
+Status AddOrderRelations(Catalog* catalog, const std::vector<Value>& universe,
+                         Instance* db) {
+  Result<PredId> succ = catalog->Declare("succ", 2);
+  if (!succ.ok()) return succ.status();
+  Result<PredId> lt = catalog->Declare("lt", 2);
+  if (!lt.ok()) return lt.status();
+  Result<PredId> first = catalog->Declare("first", 1);
+  if (!first.ok()) return first.status();
+  Result<PredId> last = catalog->Declare("last", 1);
+  if (!last.ok()) return last.status();
+
+  if (universe.empty()) return Status::OK();
+  for (size_t i = 0; i + 1 < universe.size(); ++i) {
+    db->Insert(*succ, {universe[i], universe[i + 1]});
+  }
+  for (size_t i = 0; i < universe.size(); ++i) {
+    for (size_t j = i + 1; j < universe.size(); ++j) {
+      db->Insert(*lt, {universe[i], universe[j]});
+    }
+  }
+  db->Insert(*first, {universe.front()});
+  db->Insert(*last, {universe.back()});
+  return Status::OK();
+}
+
+Instance MakeEvennessInstance(Catalog* catalog, SymbolTable* symbols, int n,
+                              bool with_order) {
+  Result<PredId> r = catalog->Declare("r", 1);
+  Instance db(catalog);
+  if (!r.ok()) return db;
+  std::vector<Value> universe;
+  universe.reserve(n);
+  for (int i = 0; i < n; ++i) {
+    Value v = symbols->InternInt(i);
+    universe.push_back(v);
+    db.Insert(*r, {v});
+  }
+  if (with_order) {
+    Status st = AddOrderRelations(catalog, universe, &db);
+    (void)st;  // declarations cannot conflict here
+  }
+  return db;
+}
+
+}  // namespace datalog

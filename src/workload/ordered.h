@@ -1,0 +1,33 @@
+#ifndef UNCHAINED_WORKLOAD_ORDERED_H_
+#define UNCHAINED_WORKLOAD_ORDERED_H_
+
+#include <vector>
+
+#include "base/result.h"
+#include "base/symbols.h"
+#include "ra/instance.h"
+
+namespace datalog {
+
+/// Makes `db` an *ordered database* (Section 4.5): adds
+///   succ(x, y) — y immediately follows x in `universe`'s order,
+///   lt(x, y)   — x strictly precedes y,
+///   first(x)   — the minimum element, and
+///   last(x)    — the maximum element
+/// over the given universe (typically the active domain). With these,
+/// stratified / inflationary / well-founded Datalog¬ express exactly
+/// db-ptime, and semi-positive Datalog¬ does too thanks to the explicit
+/// min/max constants (Theorem 4.7).
+Status AddOrderRelations(Catalog* catalog, const std::vector<Value>& universe,
+                         Instance* db);
+
+/// The evenness workload (Section 4.4): a unary relation `r` with n
+/// elements; with `with_order`, the order relations above over those
+/// elements. The evenness query — inexpressible by every deterministic
+/// language in the family on unordered inputs — becomes expressible.
+Instance MakeEvennessInstance(Catalog* catalog, SymbolTable* symbols, int n,
+                              bool with_order);
+
+}  // namespace datalog
+
+#endif  // UNCHAINED_WORKLOAD_ORDERED_H_

@@ -1,0 +1,239 @@
+// Tests for the static analyses: dependency graph, SCCs, stratification,
+// semi-positivity, and per-dialect validation.
+
+#include <gtest/gtest.h>
+
+#include "analysis/stratify.h"
+#include "analysis/validate.h"
+#include "ast/parser.h"
+
+namespace datalog {
+namespace {
+
+class AnalysisTest : public ::testing::Test {
+ protected:
+  Program MustParse(std::string_view text) {
+    Result<Program> p = ParseProgram(text, &catalog_, &symbols_);
+    EXPECT_TRUE(p.ok()) << p.status().ToString();
+    return std::move(p).value();
+  }
+  Catalog catalog_;
+  SymbolTable symbols_;
+};
+
+TEST_F(AnalysisTest, DependencyGraphEdges) {
+  Program p = MustParse(
+      "t(X, Y) :- g(X, Y).\n"
+      "ct(X, Y) :- !t(X, Y), n(X), n(Y).\n");
+  DependencyGraph graph = BuildDependencyGraph(p, catalog_);
+  PredId g = catalog_.Find("g"), t = catalog_.Find("t"),
+         ct = catalog_.Find("ct"), n = catalog_.Find("n");
+  // Edges: g->t (pos), t->ct (neg), n->ct (pos, twice).
+  int pos = 0, neg = 0;
+  for (const DepEdge& e : graph.edges) {
+    if (e.negative) {
+      ++neg;
+      EXPECT_EQ(e.from, t);
+      EXPECT_EQ(e.to, ct);
+    } else {
+      ++pos;
+      EXPECT_TRUE((e.from == g && e.to == t) || (e.from == n && e.to == ct));
+    }
+  }
+  EXPECT_EQ(neg, 1);
+  EXPECT_EQ(pos, 3);
+}
+
+TEST_F(AnalysisTest, SccGroupsMutualRecursion) {
+  Program p = MustParse(
+      "even(X) :- zero(X).\n"
+      "even(X) :- succ(Y, X), odd(Y).\n"
+      "odd(X) :- succ(Y, X), even(X2), X2 = X.\n");  // odd depends on even
+  (void)p;
+  // Direct graph: build a mutual recursion explicitly.
+  Program q = MustParse(
+      "a(X) :- b(X).\n"
+      "b(X) :- a(X).\n"
+      "c(X) :- b(X).\n");
+  DependencyGraph graph = BuildDependencyGraph(q, catalog_);
+  std::vector<int> comp = graph.SccComponents();
+  PredId a = catalog_.Find("a"), b = catalog_.Find("b"), c = catalog_.Find("c");
+  EXPECT_EQ(comp[a], comp[b]);
+  EXPECT_NE(comp[a], comp[c]);
+}
+
+TEST_F(AnalysisTest, StratifiesComplementOfTc) {
+  Program p = MustParse(
+      "t(X, Y) :- g(X, Y).\n"
+      "t(X, Y) :- g(X, Z), t(Z, Y).\n"
+      "ct(X, Y) :- !t(X, Y).\n");
+  Stratification s = Stratify(p, catalog_);
+  ASSERT_TRUE(s.ok) << s.error;
+  PredId t = catalog_.Find("t"), ct = catalog_.Find("ct");
+  EXPECT_LT(s.stratum_of_pred[t], s.stratum_of_pred[ct]);
+  EXPECT_EQ(s.num_strata, 2);
+  EXPECT_EQ(s.rules_by_stratum[0].size(), 2u);
+  EXPECT_EQ(s.rules_by_stratum[1].size(), 1u);
+}
+
+TEST_F(AnalysisTest, WinProgramNotStratifiable) {
+  // Example 3.2: win(x) <- moves(x,y), !win(y) — recursion through
+  // negation.
+  Program p = MustParse("win(X) :- moves(X, Y), !win(Y).\n");
+  Stratification s = Stratify(p, catalog_);
+  EXPECT_FALSE(s.ok);
+  EXPECT_NE(s.error.find("win"), std::string::npos);
+}
+
+TEST_F(AnalysisTest, IndirectRecursionThroughNegationDetected) {
+  Program p = MustParse(
+      "a(X) :- b(X).\n"
+      "b(X) :- !a(X), d(X).\n");
+  Stratification s = Stratify(p, catalog_);
+  EXPECT_FALSE(s.ok);
+}
+
+TEST_F(AnalysisTest, ThreeStrataChain) {
+  Program p = MustParse(
+      "a(X) :- e(X).\n"
+      "b(X) :- !a(X), e(X).\n"
+      "c(X) :- !b(X), e(X).\n");
+  Stratification s = Stratify(p, catalog_);
+  ASSERT_TRUE(s.ok) << s.error;
+  EXPECT_EQ(s.num_strata, 3);
+}
+
+TEST_F(AnalysisTest, SemiPositiveDetection) {
+  Program sp = MustParse("p(X) :- e(X), !edge(X, X).\n");
+  EXPECT_TRUE(IsSemiPositive(sp));
+  Program not_sp = MustParse(
+      "q(X) :- e(X).\n"
+      "r(X) :- e(X), !q(X).\n");
+  EXPECT_FALSE(IsSemiPositive(not_sp));
+}
+
+// ---- Validation matrix ------------------------------------------------
+
+class ValidateTest : public AnalysisTest {
+ protected:
+  Status Check(std::string_view text, Dialect dialect) {
+    Program p = MustParse(text);
+    return ValidateProgram(p, catalog_, dialect);
+  }
+};
+
+TEST_F(ValidateTest, PureDatalogRejectsNegation) {
+  EXPECT_TRUE(Check("t(X, Y) :- g(X, Y).", Dialect::kDatalog).ok());
+  Status st = Check("ct(X, Y) :- !t2(X, Y), n(X), n(Y).", Dialect::kDatalog);
+  EXPECT_EQ(st.code(), StatusCode::kInvalidProgram);
+}
+
+TEST_F(ValidateTest, DatalogRequiresHeadVarsInBody) {
+  Status st = Check("p(X, Y) :- q(X).", Dialect::kDatalog);
+  EXPECT_EQ(st.code(), StatusCode::kInvalidProgram);
+  EXPECT_NE(st.message().find("Y"), std::string::npos);
+}
+
+TEST_F(ValidateTest, DatalogNegAllowsVarsOnlyUnderNegation) {
+  // ct(X,Y) :- !t(X,Y): legal in Datalog¬ — valuations range over the
+  // active domain (Section 4.1).
+  EXPECT_TRUE(Check("ct(X, Y) :- !tz(X, Y).", Dialect::kDatalogNeg).ok());
+  // But not in N-Datalog¬, which requires positive binding (Def. 5.1).
+  Status st = Check("ct2(X, Y) :- !tz(X, Y).", Dialect::kNDatalogNeg);
+  EXPECT_EQ(st.code(), StatusCode::kInvalidProgram);
+}
+
+TEST_F(ValidateTest, SemiPositiveRestriction) {
+  EXPECT_TRUE(
+      Check("p(X) :- n(X), !edge(X, X).", Dialect::kSemiPositive).ok());
+  Status st = Check(
+      "q2(X) :- n(X).\n"
+      "r2(X) :- n(X), !q2(X).",
+      Dialect::kSemiPositive);
+  EXPECT_EQ(st.code(), StatusCode::kInvalidProgram);
+}
+
+TEST_F(ValidateTest, StratifiedRejectsWin) {
+  Status st = Check("win(X) :- moves(X, Y), !win(Y).", Dialect::kStratified);
+  EXPECT_EQ(st.code(), StatusCode::kNotStratifiable);
+  // ...but Datalog¬ (inflationary / well-founded) accepts it.
+  EXPECT_TRUE(
+      Check("win(X) :- moves(X, Y), !win(Y).", Dialect::kDatalogNeg).ok());
+}
+
+TEST_F(ValidateTest, NegativeHeadsOnlyInNegNegDialects) {
+  const char* prog = "!g(X, Y) :- g(X, Y), g(Y, X).";
+  EXPECT_EQ(Check(prog, Dialect::kDatalogNeg).code(),
+            StatusCode::kInvalidProgram);
+  EXPECT_TRUE(Check(prog, Dialect::kDatalogNegNeg).ok());
+  EXPECT_TRUE(Check(prog, Dialect::kNDatalogNegNeg).ok());
+  EXPECT_EQ(Check(prog, Dialect::kNDatalogNeg).code(),
+            StatusCode::kInvalidProgram);
+}
+
+TEST_F(ValidateTest, MultiHeadOnlyInNDialects) {
+  const char* prog = "a(X), b(X) :- c(X).";
+  EXPECT_EQ(Check(prog, Dialect::kDatalogNegNeg).code(),
+            StatusCode::kInvalidProgram);
+  EXPECT_TRUE(Check(prog, Dialect::kNDatalogNeg).ok());
+}
+
+TEST_F(ValidateTest, EqualityOnlyInNDialects) {
+  const char* prog = "a(X) :- c(X, Y), X != Y.";
+  EXPECT_EQ(Check(prog, Dialect::kDatalogNeg).code(),
+            StatusCode::kInvalidProgram);
+  EXPECT_TRUE(Check(prog, Dialect::kNDatalogNeg).ok());
+}
+
+TEST_F(ValidateTest, BottomOnlyInBottomDialect) {
+  const char* prog = "bottom :- done2, q(X, Y), !proj(X).";
+  EXPECT_TRUE(Check(prog, Dialect::kNDatalogBottom).ok());
+  EXPECT_EQ(Check(prog, Dialect::kNDatalogNeg).code(),
+            StatusCode::kInvalidProgram);
+  EXPECT_EQ(Check(prog, Dialect::kDatalogNegNeg).code(),
+            StatusCode::kInvalidProgram);
+}
+
+TEST_F(ValidateTest, ForallOnlyInForallDialect) {
+  const char* prog = "answer(X) :- forall Y : p(X), !q(X, Y).";
+  EXPECT_TRUE(Check(prog, Dialect::kNDatalogForall).ok());
+  EXPECT_EQ(Check(prog, Dialect::kNDatalogNeg).code(),
+            StatusCode::kInvalidProgram);
+}
+
+TEST_F(ValidateTest, ForallVarMustNotOccurInHead) {
+  Status st =
+      Check("answer(X, Y) :- forall Y : p(X), !q(X, Y).",
+            Dialect::kNDatalogForall);
+  EXPECT_EQ(st.code(), StatusCode::kInvalidProgram);
+}
+
+TEST_F(ValidateTest, InventionOnlyInNewDialects) {
+  const char* prog = "r(X, N) :- s(X).";
+  EXPECT_TRUE(Check(prog, Dialect::kDatalogNew).ok());
+  EXPECT_TRUE(Check(prog, Dialect::kNDatalogNew).ok());
+  EXPECT_EQ(Check(prog, Dialect::kDatalogNeg).code(),
+            StatusCode::kInvalidProgram);
+  EXPECT_EQ(Check(prog, Dialect::kNDatalogNeg).code(),
+            StatusCode::kInvalidProgram);
+}
+
+TEST_F(ValidateTest, PositiveBindingThroughEqualityChains) {
+  // X bound positively; Y bound through the equality X = Y (Def. 5.1).
+  EXPECT_TRUE(
+      Check("a(Y) :- c(X), X = Y.", Dialect::kNDatalogNeg).ok());
+  // Z is only in a negative literal: not positively bound.
+  Status st = Check("a(Z) :- c(X), !d(Z).", Dialect::kNDatalogNeg);
+  EXPECT_EQ(st.code(), StatusCode::kInvalidProgram);
+  // Binding via a constant equality.
+  EXPECT_TRUE(Check("a(Y) :- c(X), Y = q7.", Dialect::kNDatalogNeg).ok());
+}
+
+TEST_F(ValidateTest, DialectNamesAndNondeterminismFlags) {
+  EXPECT_STREQ(DialectName(Dialect::kDatalogNegNeg), "Datalog¬¬");
+  EXPECT_TRUE(IsNondeterministic(Dialect::kNDatalogForall));
+  EXPECT_FALSE(IsNondeterministic(Dialect::kStratified));
+}
+
+}  // namespace
+}  // namespace datalog

@@ -1,0 +1,173 @@
+// Edge-case and failure-injection sweep across every engine: empty
+// programs, empty instances, propositional (0-ary) programs, budget
+// exhaustion paths, and domain corner cases.
+
+#include <gtest/gtest.h>
+
+#include "core/engine.h"
+#include "eval/stable.h"
+#include "workload/graphs.h"
+
+namespace datalog {
+namespace {
+
+class EdgeCasesTest : public ::testing::Test {
+ protected:
+  Program MustParse(std::string_view text) {
+    Result<Program> p = engine_.Parse(text);
+    EXPECT_TRUE(p.ok()) << p.status().ToString();
+    return std::move(p).value();
+  }
+  Engine engine_;
+};
+
+TEST_F(EdgeCasesTest, EmptyProgramOnEveryEngine) {
+  Program empty;
+  Instance db = engine_.NewInstance();
+  ASSERT_TRUE(engine_.AddFacts("g(a, b).", &db).ok());
+  EXPECT_EQ(*engine_.MinimumModel(empty, db), db);
+  EXPECT_EQ(*engine_.Stratified(empty, db), db);
+  EXPECT_EQ(engine_.WellFounded(empty, db)->true_facts, db);
+  EXPECT_EQ(engine_.Inflationary(empty, db)->instance, db);
+  EXPECT_EQ(engine_.NonInflationary(empty, db)->instance, db);
+  Result<StableModelsResult> stable =
+      StableModels(empty, db, engine_.options());
+  ASSERT_TRUE(stable.ok());
+  ASSERT_EQ(stable->models.size(), 1u);
+  EXPECT_EQ(stable->models[0], db);
+}
+
+TEST_F(EdgeCasesTest, EmptyInstanceOnEveryEngine) {
+  Program p = MustParse(
+      "t(X, Y) :- g(X, Y).\n"
+      "t(X, Y) :- g(X, Z), t(Z, Y).\n");
+  Instance empty = engine_.NewInstance();
+  EXPECT_EQ(engine_.MinimumModel(p, empty)->TotalFacts(), 0u);
+  EXPECT_EQ(engine_.Inflationary(p, empty)->instance.TotalFacts(), 0u);
+  EXPECT_EQ(engine_.WellFounded(p, empty)->possible_facts.TotalFacts(), 0u);
+}
+
+TEST_F(EdgeCasesTest, PropositionalProgram) {
+  // 0-ary predicates only — rules as a propositional inference system.
+  Program p = MustParse(
+      "b :- a.\n"
+      "c :- b, a.\n"
+      "d :- c, !e.\n");
+  Instance db = engine_.NewInstance();
+  ASSERT_TRUE(engine_.AddFacts("a.", &db).ok());
+  Result<InflationaryResult> r = engine_.Inflationary(p, db);
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r->instance.Contains(engine_.catalog().Find("d"), {}));
+  EXPECT_EQ(r->stages, 3);
+
+  Result<Instance> strat = engine_.Stratified(p, db);
+  ASSERT_TRUE(strat.ok());
+  EXPECT_EQ(*strat, r->instance);
+}
+
+TEST_F(EdgeCasesTest, FactOnlyProgram) {
+  Program p = MustParse("g(a, b). g(b, c). h(a).");
+  Instance db = engine_.NewInstance();
+  Result<Instance> model = engine_.MinimumModel(p, db);
+  ASSERT_TRUE(model.ok());
+  EXPECT_EQ(model->TotalFacts(), 3u);
+}
+
+TEST_F(EdgeCasesTest, SelfLoopGraph) {
+  Program p = MustParse(
+      "t(X, Y) :- g(X, Y).\n"
+      "t(X, Y) :- g(X, Z), t(Z, Y).\n");
+  Instance db = engine_.NewInstance();
+  ASSERT_TRUE(engine_.AddFacts("g(a, a).", &db).ok());
+  Result<Instance> model = engine_.MinimumModel(p, db);
+  ASSERT_TRUE(model.ok());
+  PredId t = engine_.catalog().Find("t");
+  EXPECT_EQ(model->Rel(t).size(), 1u);
+}
+
+TEST_F(EdgeCasesTest, NegationOverEntireDomain) {
+  // A rule whose body is a single negative literal over a completely
+  // unrelated predicate: fires for the whole adom² grid.
+  Program p = MustParse("pairs(X, Y) :- !unrelated(X, Y).\n");
+  Instance db = engine_.NewInstance();
+  ASSERT_TRUE(engine_.AddFacts("m(1). m(2). m(3).", &db).ok());
+  Result<InflationaryResult> r = engine_.Inflationary(p, db);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->instance.Rel(engine_.catalog().Find("pairs")).size(), 9u);
+}
+
+TEST_F(EdgeCasesTest, NondetOnInputWithNoApplicableRules) {
+  Program p = MustParse("a(X), done :- s(X), !done.\n");
+  Instance db = engine_.NewInstance();  // s empty: no moves at all
+  Result<EffectSet> eff =
+      engine_.NondetEnumerate(p, Dialect::kNDatalogNeg, db);
+  ASSERT_TRUE(eff.ok());
+  ASSERT_EQ(eff->images.size(), 1u);
+  EXPECT_EQ(eff->images[0], db);
+}
+
+TEST_F(EdgeCasesTest, InflationaryBudgetExhaustion) {
+  Program p = MustParse(
+      "t(X, Y) :- g(X, Y).\n"
+      "t(X, Y) :- t(X, Z), g(Z, Y).\n");
+  GraphBuilder graphs(&engine_.catalog(), &engine_.symbols());
+  Instance db = graphs.Chain(30);
+  engine_.options().max_rounds = 5;
+  Result<InflationaryResult> r = engine_.Inflationary(p, db);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kBudgetExhausted);
+}
+
+TEST_F(EdgeCasesTest, FactBudgetExhaustion) {
+  Program p = MustParse("pairs4(X, Y, Z, W) :- m(X), m(Y), m(Z), m(W).\n");
+  Instance db = engine_.NewInstance();
+  std::string facts;
+  for (int i = 0; i < 12; ++i) facts += "m(" + std::to_string(i) + ").\n";
+  ASSERT_TRUE(engine_.AddFacts(facts, &db).ok());
+  engine_.options().max_facts = 1000;  // 12^4 = 20736 > 1000
+  Result<Instance> r = engine_.MinimumModel(p, db);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kBudgetExhausted);
+}
+
+TEST_F(EdgeCasesTest, ConstantsOnlyRule) {
+  // Rule with a fully ground body: fires iff the body fact is present.
+  Program p = MustParse("alarm :- reading(sensor1, critical).\n");
+  Instance db = engine_.NewInstance();
+  Result<Instance> none = engine_.MinimumModel(p, db);
+  ASSERT_TRUE(none.ok());
+  EXPECT_TRUE(none->Rel(engine_.catalog().Find("alarm")).empty());
+  ASSERT_TRUE(engine_.AddFacts("reading(sensor1, critical).", &db).ok());
+  Result<Instance> fired = engine_.MinimumModel(p, db);
+  ASSERT_TRUE(fired.ok());
+  EXPECT_EQ(fired->Rel(engine_.catalog().Find("alarm")).size(), 1u);
+}
+
+TEST_F(EdgeCasesTest, WideTuplesAndManyVariables) {
+  // A 8-ary head with an 8-variable body: stresses the valuation paths.
+  Program p = MustParse(
+      "wide(A, B, C, D, E, F, G, H) :- "
+      "e(A, B), e(B, C), e(C, D), e(D, E), e(E, F), e(F, G), e(G, H).\n");
+  GraphBuilder graphs(&engine_.catalog(), &engine_.symbols(), "e");
+  Instance db = graphs.Chain(8);
+  Result<Instance> r = engine_.MinimumModel(p, db);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->Rel(engine_.catalog().Find("wide")).size(), 1u);
+}
+
+TEST_F(EdgeCasesTest, QuotedAndNumericConstantsRoundTrip) {
+  Program p = MustParse("pair(X, Y) :- src(X), dst(Y).\n");
+  Instance db = engine_.NewInstance();
+  ASSERT_TRUE(
+      engine_.AddFacts("src(\"hello world\"). dst(-42).", &db).ok());
+  Result<Instance> r = engine_.MinimumModel(p, db);
+  ASSERT_TRUE(r.ok());
+  PredId pair = engine_.catalog().Find("pair");
+  ASSERT_EQ(r->Rel(pair).size(), 1u);
+  Tuple t = *r->Rel(pair).begin();
+  EXPECT_EQ(engine_.symbols().NameOf(t[0]), "hello world");
+  EXPECT_EQ(engine_.symbols().NameOf(t[1]), "-42");
+}
+
+}  // namespace
+}  // namespace datalog

@@ -1,0 +1,125 @@
+// Tests for the Engine facade: dialect routing, validation-before-
+// evaluation, budget plumbing, and cross-engine sanity on one shared query.
+
+#include <gtest/gtest.h>
+
+#include "core/engine.h"
+#include "workload/graphs.h"
+
+namespace datalog {
+namespace {
+
+TEST(EngineTest, EveryEngineValidatesItsDialect) {
+  Engine engine;
+  // A Datalog¬¬ program must be rejected by the Datalog/stratified/
+  // inflationary entry points and accepted by NonInflationary.
+  Result<Program> p = engine.Parse("!g(X, Y) :- g(X, Y), g(Y, X).\n");
+  ASSERT_TRUE(p.ok());
+  Instance db = engine.NewInstance();
+  ASSERT_TRUE(engine.AddFacts("g(a, b). g(b, a).", &db).ok());
+
+  EXPECT_EQ(engine.MinimumModel(*p, db).status().code(),
+            StatusCode::kInvalidProgram);
+  EXPECT_EQ(engine.Stratified(*p, db).status().code(),
+            StatusCode::kInvalidProgram);
+  EXPECT_EQ(engine.Inflationary(*p, db).status().code(),
+            StatusCode::kInvalidProgram);
+  EXPECT_EQ(engine.WellFounded(*p, db).status().code(),
+            StatusCode::kInvalidProgram);
+  EXPECT_TRUE(engine.NonInflationary(*p, db).ok());
+}
+
+TEST(EngineTest, BudgetsPlumbThrough) {
+  Engine engine;
+  Result<Program> p = engine.Parse(
+      "t(X, Y) :- g(X, Y).\n"
+      "t(X, Y) :- g(X, Z), t(Z, Y).\n");
+  ASSERT_TRUE(p.ok());
+  GraphBuilder graphs(&engine.catalog(), &engine.symbols());
+  Instance db = graphs.Chain(50);
+  engine.options().max_rounds = 3;  // the chain needs ~49 rounds
+  Result<Instance> r = engine.MinimumModel(*p, db);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kBudgetExhausted);
+  engine.options().max_rounds = 1'000'000;
+  EXPECT_TRUE(engine.MinimumModel(*p, db).ok());
+}
+
+TEST(EngineTest, CrossEngineAgreementOnStratifiedQuery) {
+  // One stratified query evaluated under every deterministic semantics
+  // that accepts it: all four answers must coincide (Figure 1's collapse
+  // on stratified programs).
+  Engine engine;
+  Result<Program> p = engine.Parse(
+      "t(X, Y) :- g(X, Y).\n"
+      "t(X, Y) :- g(X, Z), t(Z, Y).\n"
+      "ct(X, Y) :- !t(X, Y).\n");
+  ASSERT_TRUE(p.ok());
+  GraphBuilder graphs(&engine.catalog(), &engine.symbols());
+  Instance db = graphs.RandomDigraph(8, 15, /*seed=*/21);
+
+  Result<Instance> strat = engine.Stratified(*p, db);
+  Result<WellFoundedModel> wf = engine.WellFounded(*p, db);
+  Result<InflationaryResult> infl = engine.Inflationary(*p, db);
+  Result<NonInflationaryResult> noninfl = engine.NonInflationary(*p, db);
+  ASSERT_TRUE(strat.ok());
+  ASSERT_TRUE(wf.ok());
+  ASSERT_TRUE(infl.ok());
+  ASSERT_TRUE(noninfl.ok());
+
+  // Well-founded is total here and equals the stratified model; the
+  // inflationary program as written computes the same complement only via
+  // the Example 4.3 rewriting, so compare just stratified vs well-founded
+  // vs Datalog¬¬ (which subsumes Datalog¬ run inflationarily on this
+  // program: both make ct fire against the *final* t only in the
+  // stratified reading — the raw inflationary run of this program derives
+  // a larger ct; that difference is itself asserted below).
+  EXPECT_TRUE(wf->IsTotal());
+  EXPECT_EQ(wf->true_facts, *strat);
+  EXPECT_EQ(infl->instance, noninfl->instance);
+  PredId ct = engine.catalog().Find("ct");
+  EXPECT_GE(infl->instance.Rel(ct).size(), strat->Rel(ct).size())
+      << "inflationary ct starts firing before t completes, so it is a "
+         "superset of the stratified complement";
+}
+
+TEST(EngineTest, SchemaSharedAcrossProgramsAndInstances) {
+  Engine engine;
+  Result<Program> p1 = engine.Parse("t(X, Y) :- g(X, Y).\n");
+  Result<Program> p2 = engine.Parse("s(X) :- g(X, X).\n");
+  ASSERT_TRUE(p1.ok());
+  ASSERT_TRUE(p2.ok());
+  // Same catalog: g is the same predicate in both programs.
+  EXPECT_EQ(p1->edb_preds, p2->edb_preds);
+}
+
+TEST(EngineTest, ValidateIsSideEffectFree) {
+  Engine engine;
+  Result<Program> p = engine.Parse("t(X, Y) :- g(X, Y).\n");
+  ASSERT_TRUE(p.ok());
+  EXPECT_TRUE(engine.Validate(*p, Dialect::kDatalog).ok());
+  EXPECT_TRUE(engine.Validate(*p, Dialect::kStratified).ok());
+  EXPECT_TRUE(engine.Validate(*p, Dialect::kNDatalogNeg).ok());
+  // Still evaluates fine afterwards.
+  Instance db = engine.NewInstance();
+  ASSERT_TRUE(engine.AddFacts("g(a, b).", &db).ok());
+  EXPECT_TRUE(engine.MinimumModel(*p, db).ok());
+}
+
+TEST(EngineTest, StatsAreReported) {
+  Engine engine;
+  Result<Program> p = engine.Parse(
+      "t(X, Y) :- g(X, Y).\n"
+      "t(X, Y) :- g(X, Z), t(Z, Y).\n");
+  ASSERT_TRUE(p.ok());
+  GraphBuilder graphs(&engine.catalog(), &engine.symbols());
+  Instance db = graphs.Chain(10);
+  EvalStats stats;
+  ASSERT_TRUE(engine.MinimumModel(*p, db, &stats).ok());
+  EXPECT_GT(stats.rounds, 0);
+  EXPECT_EQ(stats.facts_derived, 45);  // C(10,2) closure tuples
+  EXPECT_GT(stats.instantiations, 0);
+}
+
+}  // namespace
+}  // namespace datalog

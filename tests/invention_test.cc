@@ -1,0 +1,157 @@
+// Tests for Datalog¬new (Section 4.3): value invention, Skolemized
+// re-firing, budgets, and the list-building pattern behind Theorem 4.6.
+
+#include <gtest/gtest.h>
+
+#include "core/engine.h"
+#include "test_util.h"
+#include "workload/graphs.h"
+
+namespace datalog {
+namespace {
+
+class InventionTest : public ::testing::Test {
+ protected:
+  Program MustParse(std::string_view text) {
+    Result<Program> p = engine_.Parse(text);
+    EXPECT_TRUE(p.ok()) << p.status().ToString();
+    return std::move(p).value();
+  }
+  Engine engine_;
+};
+
+TEST_F(InventionTest, OneFreshValuePerBodyInstantiation) {
+  // r(X, N) :- s(X): every s element gets exactly one fresh companion.
+  Program p = MustParse("r(X, N) :- s(X).\n");
+  Instance db = engine_.NewInstance();
+  ASSERT_TRUE(engine_.AddFacts("s(a). s(b). s(c).", &db).ok());
+  Result<InventionResult> r = engine_.Invention(p, db);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  PredId rp = engine_.catalog().Find("r");
+  EXPECT_EQ(r->instance.Rel(rp).size(), 3u);
+  EXPECT_EQ(r->invented_values, 3);
+  std::set<Value> fresh;
+  for (const Tuple& t : r->instance.Rel(rp)) {
+    EXPECT_FALSE(engine_.symbols().IsInvented(t[0]));
+    EXPECT_TRUE(engine_.symbols().IsInvented(t[1]));
+    fresh.insert(t[1]);
+  }
+  EXPECT_EQ(fresh.size(), 3u) << "fresh values must be pairwise distinct";
+}
+
+TEST_F(InventionTest, SkolemizationStopsRefiring) {
+  // Re-firing the same instantiation at later stages must reuse the same
+  // invented value — otherwise evaluation never terminates.
+  Program p = MustParse(
+      "r(X, N) :- s(X).\n"
+      "t(N) :- r(X, N).\n");
+  Instance db = engine_.NewInstance();
+  ASSERT_TRUE(engine_.AddFacts("s(a).", &db).ok());
+  Result<InventionResult> r = engine_.Invention(p, db);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r->invented_values, 1);
+  PredId t = engine_.catalog().Find("t");
+  EXPECT_EQ(r->instance.Rel(t).size(), 1u);
+}
+
+TEST_F(InventionTest, InventedValuesFeedRecursion) {
+  // A bounded generator: attach a fresh successor to each element of a
+  // chain of markers, two levels deep.
+  Program p = MustParse(
+      "lvl1(X, N) :- base(X).\n"
+      "lvl2(N, M) :- lvl1(X, N).\n");
+  Instance db = engine_.NewInstance();
+  ASSERT_TRUE(engine_.AddFacts("base(a). base(b).", &db).ok());
+  Result<InventionResult> r = engine_.Invention(p, db);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->invented_values, 4);  // 2 for lvl1, 2 for lvl2
+  PredId lvl2 = engine_.catalog().Find("lvl2");
+  for (const Tuple& t : r->instance.Rel(lvl2)) {
+    EXPECT_TRUE(engine_.symbols().IsInvented(t[0]));
+    EXPECT_TRUE(engine_.symbols().IsInvented(t[1]));
+  }
+}
+
+TEST_F(InventionTest, DivergingProgramHitsInventionBudget) {
+  // succ-chain generator: every fresh value spawns another — genuinely
+  // diverging (the unbounded workspace of Theorem 4.6). The budget stops
+  // it.
+  Program p = MustParse(
+      "chain(X, N) :- seed(X).\n"
+      "chain(N, M) :- chain(X, N).\n");
+  Instance db = engine_.NewInstance();
+  ASSERT_TRUE(engine_.AddFacts("seed(a).", &db).ok());
+  engine_.options().max_invented = 100;
+  Result<InventionResult> r = engine_.Invention(p, db);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kBudgetExhausted);
+}
+
+TEST_F(InventionTest, CopyElementsViaInventedTags) {
+  // A common object-creation pattern (IQL, Section 4.3): give every edge
+  // an object id, then project attributes of the id.
+  Program p = MustParse(
+      "edgeobj(O, X, Y) :- g(X, Y).\n"
+      "src(O, X) :- edgeobj(O, X, Y).\n"
+      "dst(O, Y) :- edgeobj(O, X, Y).\n");
+  GraphBuilder graphs(&engine_.catalog(), &engine_.symbols());
+  Instance db = graphs.Chain(4);
+  Result<InventionResult> r = engine_.Invention(p, db);
+  ASSERT_TRUE(r.ok());
+  PredId src = engine_.catalog().Find("src");
+  PredId dst = engine_.catalog().Find("dst");
+  EXPECT_EQ(r->instance.Rel(src).size(), 3u);
+  EXPECT_EQ(r->instance.Rel(dst).size(), 3u);
+  EXPECT_EQ(r->invented_values, 3);
+}
+
+TEST_F(InventionTest, AnswerWithoutInventedFiltersCleanFacts) {
+  Program p = MustParse(
+      "r(X, N) :- s(X).\n"
+      "pair(X, Y) :- r(X, N), r(Y, N).\n");  // X paired with itself via N
+  Instance db = engine_.NewInstance();
+  ASSERT_TRUE(engine_.AddFacts("s(a). s(b).", &db).ok());
+  Result<InventionResult> r = engine_.Invention(p, db);
+  ASSERT_TRUE(r.ok());
+  PredId rp = engine_.catalog().Find("r");
+  PredId pair = engine_.catalog().Find("pair");
+  // r contains invented values; pair does not.
+  EXPECT_EQ(r->AnswerWithoutInvented(rp, engine_.symbols()).size(), 0u);
+  Relation clean = r->AnswerWithoutInvented(pair, engine_.symbols());
+  EXPECT_EQ(clean.size(), 2u);
+  EXPECT_EQ(clean.size(), r->instance.Rel(pair).size());
+}
+
+TEST_F(InventionTest, NoInventionDegeneratesToInflationary) {
+  // A Datalog¬ program run through the invention engine behaves exactly
+  // like the inflationary engine.
+  Program p = MustParse(
+      "t(X, Y) :- g(X, Y).\n"
+      "t(X, Y) :- g(X, Z), t(Z, Y).\n"
+      "ct(X, Y) :- !t(X, Y).\n");
+  GraphBuilder graphs(&engine_.catalog(), &engine_.symbols());
+  Instance db = graphs.RandomDigraph(6, 10, /*seed=*/9);
+  Result<InventionResult> inv = engine_.Invention(p, db);
+  Result<InflationaryResult> infl = engine_.Inflationary(p, db);
+  ASSERT_TRUE(inv.ok());
+  ASSERT_TRUE(infl.ok());
+  EXPECT_EQ(inv->instance, infl->instance);
+  EXPECT_EQ(inv->invented_values, 0);
+}
+
+TEST_F(InventionTest, InventedValuesEnlargeActiveDomain) {
+  // Negation ranges over the enlarged active domain: after inventing N for
+  // a, the rule seen(X) :- r(A, X) makes N visible to later rules.
+  Program p = MustParse(
+      "r(X, N) :- s(X).\n"
+      "invented0(Y) :- r(X, Y), !s(Y).\n");
+  Instance db = engine_.NewInstance();
+  ASSERT_TRUE(engine_.AddFacts("s(a).", &db).ok());
+  Result<InventionResult> r = engine_.Invention(p, db);
+  ASSERT_TRUE(r.ok());
+  PredId inv0 = engine_.catalog().Find("invented0");
+  EXPECT_EQ(r->instance.Rel(inv0).size(), 1u);
+}
+
+}  // namespace
+}  // namespace datalog

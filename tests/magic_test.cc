@@ -1,0 +1,321 @@
+// Tests for the magic-sets rewriting (query-directed evaluation of
+// positive Datalog, the optimization tradition around Datalog that
+// Sections 3.1/6 reference).
+
+#include <gtest/gtest.h>
+
+#include "analysis/magic.h"
+#include "base/rng.h"
+#include "core/engine.h"
+#include "test_util.h"
+#include "workload/graphs.h"
+
+namespace datalog {
+namespace {
+
+class MagicTest : public ::testing::Test {
+ protected:
+  Program MustParse(std::string_view text) {
+    Result<Program> p = engine_.Parse(text);
+    EXPECT_TRUE(p.ok()) << p.status().ToString();
+    return std::move(p).value();
+  }
+  Engine engine_;
+};
+
+constexpr const char* kTc =
+    "t(X, Y) :- g(X, Y).\n"
+    "t(X, Y) :- g(X, Z), t(Z, Y).\n";
+
+TEST_F(MagicTest, BoundSourceReachability) {
+  Program p = MustParse(kTc);
+  GraphBuilder graphs(&engine_.catalog(), &engine_.symbols());
+  Instance db = graphs.RandomDigraph(12, 20, /*seed=*/3);
+
+  MagicQuery query;
+  query.query_pred = engine_.catalog().Find("t");
+  query.adornment = "bf";
+  query.bound_values = {graphs.Node(0)};
+  Result<MagicRewrite> rewrite =
+      MagicSetRewrite(p, query, &engine_.catalog());
+  ASSERT_TRUE(rewrite.ok()) << rewrite.status().ToString();
+
+  Instance input = db;
+  input.UnionWith(rewrite->seed);
+  Result<Instance> rewritten_model =
+      engine_.MinimumModel(rewrite->program, input);
+  ASSERT_TRUE(rewritten_model.ok())
+      << rewritten_model.status().ToString();
+
+  // Oracle: full TC filtered to source 0.
+  Result<Instance> full = engine_.MinimumModel(p, db);
+  ASSERT_TRUE(full.ok());
+  PredId t = engine_.catalog().Find("t");
+  Relation expected(2);
+  for (const Tuple& tup : full->Rel(t)) {
+    if (tup[0] == graphs.Node(0)) expected.Insert(tup);
+  }
+  EXPECT_EQ(rewritten_model->Rel(rewrite->query_pred), expected);
+}
+
+TEST_F(MagicTest, DerivesFewerFactsThanFullEvaluation) {
+  Program p = MustParse(kTc);
+  GraphBuilder graphs(&engine_.catalog(), &engine_.symbols());
+  // Long chain, query bound to a node near the end: magic only explores
+  // the suffix.
+  const int n = 60;
+  Instance db = graphs.Chain(n);
+  MagicQuery query;
+  query.query_pred = engine_.catalog().Find("t");
+  query.adornment = "bf";
+  query.bound_values = {graphs.Node(n - 5)};
+  Result<MagicRewrite> rewrite =
+      MagicSetRewrite(p, query, &engine_.catalog());
+  ASSERT_TRUE(rewrite.ok());
+
+  Instance input = db;
+  input.UnionWith(rewrite->seed);
+  EvalStats magic_stats, full_stats;
+  Result<Instance> magic_model =
+      engine_.MinimumModel(rewrite->program, input, &magic_stats);
+  Result<Instance> full_model = engine_.MinimumModel(p, db, &full_stats);
+  ASSERT_TRUE(magic_model.ok());
+  ASSERT_TRUE(full_model.ok());
+  EXPECT_EQ(magic_model->Rel(rewrite->query_pred).size(), 4u);
+  EXPECT_LT(magic_stats.facts_derived, full_stats.facts_derived / 10)
+      << "magic should skip the irrelevant prefix of the chain";
+}
+
+TEST_F(MagicTest, BothColumnsBound) {
+  Program p = MustParse(kTc);
+  GraphBuilder graphs(&engine_.catalog(), &engine_.symbols());
+  Instance db = graphs.Chain(10);
+  MagicQuery query;
+  query.query_pred = engine_.catalog().Find("t");
+  query.adornment = "bb";
+  query.bound_values = {graphs.Node(2), graphs.Node(7)};
+  Result<MagicRewrite> rewrite =
+      MagicSetRewrite(p, query, &engine_.catalog());
+  ASSERT_TRUE(rewrite.ok());
+  Instance input = db;
+  input.UnionWith(rewrite->seed);
+  Result<Instance> model = engine_.MinimumModel(rewrite->program, input);
+  ASSERT_TRUE(model.ok());
+  // 2 -> 7 is reachable: the adorned query pred contains the pair.
+  EXPECT_TRUE(model->Contains(rewrite->query_pred,
+                              {graphs.Node(2), graphs.Node(7)}));
+}
+
+TEST_F(MagicTest, AllFreeAdornmentEqualsFullQuery) {
+  Program p = MustParse(kTc);
+  GraphBuilder graphs(&engine_.catalog(), &engine_.symbols());
+  Instance db = graphs.RandomDigraph(8, 14, /*seed=*/9);
+  MagicQuery query;
+  query.query_pred = engine_.catalog().Find("t");
+  query.adornment = "ff";
+  Result<MagicRewrite> rewrite =
+      MagicSetRewrite(p, query, &engine_.catalog());
+  ASSERT_TRUE(rewrite.ok());
+  Instance input = db;
+  input.UnionWith(rewrite->seed);
+  Result<Instance> model = engine_.MinimumModel(rewrite->program, input);
+  Result<Instance> full = engine_.MinimumModel(p, db);
+  ASSERT_TRUE(model.ok());
+  ASSERT_TRUE(full.ok());
+  PredId t = engine_.catalog().Find("t");
+  EXPECT_EQ(model->Rel(rewrite->query_pred), full->Rel(t));
+}
+
+TEST_F(MagicTest, SameGenerationBoundFirst) {
+  Program p = MustParse(
+      "sg(X, Y) :- flat(X, Y).\n"
+      "sg(X, Y) :- up(X, X1), sg(X1, Y1), down(Y1, Y).\n");
+  Instance db = engine_.NewInstance();
+  ASSERT_TRUE(engine_
+                  .AddFacts(
+                      "up(a, e). up(b, e). up(c, f). up(d, f).\n"
+                      "flat(e, f).\n"
+                      "down(e, a). down(e, b). down(f, c). down(f, d).",
+                      &db)
+                  .ok());
+  MagicQuery query;
+  query.query_pred = engine_.catalog().Find("sg");
+  query.adornment = "bf";
+  query.bound_values = {engine_.symbols().Find("a")};
+  Result<MagicRewrite> rewrite =
+      MagicSetRewrite(p, query, &engine_.catalog());
+  ASSERT_TRUE(rewrite.ok()) << rewrite.status().ToString();
+  Instance input = db;
+  input.UnionWith(rewrite->seed);
+  Result<Instance> model = engine_.MinimumModel(rewrite->program, input);
+  ASSERT_TRUE(model.ok()) << model.status().ToString();
+  auto v = [&](const char* s) { return engine_.symbols().Find(s); };
+  EXPECT_TRUE(model->Contains(rewrite->query_pred, {v("a"), v("c")}));
+  EXPECT_TRUE(model->Contains(rewrite->query_pred, {v("a"), v("d")}));
+  EXPECT_FALSE(model->Contains(rewrite->query_pred, {v("a"), v("b")}));
+}
+
+TEST_F(MagicTest, RandomGraphsMatchOracleAcrossSeeds) {
+  Program p = MustParse(kTc);
+  GraphBuilder graphs(&engine_.catalog(), &engine_.symbols());
+  PredId t = engine_.catalog().Find("t");
+  for (uint64_t seed = 0; seed < 6; ++seed) {
+    Instance db = graphs.RandomDigraph(10, 18, seed);
+    MagicQuery query;
+    query.query_pred = t;
+    query.adornment = "bf";
+    query.bound_values = {graphs.Node(static_cast<int>(seed) % 10)};
+    Result<MagicRewrite> rewrite =
+        MagicSetRewrite(p, query, &engine_.catalog());
+    ASSERT_TRUE(rewrite.ok());
+    Instance input = db;
+    input.UnionWith(rewrite->seed);
+    Result<Instance> model = engine_.MinimumModel(rewrite->program, input);
+    ASSERT_TRUE(model.ok());
+    auto oracle = testutil::ReachabilityOracle(db.Rel(graphs.edge_pred()));
+    Relation expected(2);
+    for (const auto& [x, y] : oracle) {
+      if (x == query.bound_values[0]) expected.Insert({x, y});
+    }
+    EXPECT_EQ(model->Rel(rewrite->query_pred), expected) << "seed " << seed;
+  }
+}
+
+// ---- Randomized property sweep: magic == filtered full evaluation ------
+
+class MagicSweep : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(MagicSweep, RandomProgramsAndAdornments) {
+  Rng rng(GetParam());
+  Engine engine;
+  // Declare the edb schema up front: a random program may not mention
+  // every predicate.
+  PredId e1 = *engine.catalog().Declare("e1", 2);
+  PredId e2 = *engine.catalog().Declare("e2", 1);
+  // Random positive program over edb {e1/2, e2/1} and idb {p1/1, p2/2}:
+  // head variables drawn from body variables, so always safe.
+  const char* idb_names[] = {"p1", "p2"};
+  const int idb_arity[] = {1, 2};
+  const char* pos_names[] = {"e1", "e2", "p1", "p2"};
+  const int pos_arity[] = {2, 1, 1, 2};
+  const char* vars[] = {"X", "Y", "Z"};
+  std::string text;
+  const int num_rules = 2 + static_cast<int>(rng.Uniform(3));
+  for (int r = 0; r < num_rules; ++r) {
+    std::string body;
+    std::vector<std::string> bound;
+    const int n_lits = 1 + static_cast<int>(rng.Uniform(2));
+    for (int i = 0; i < n_lits; ++i) {
+      size_t pi = rng.Uniform(4);
+      if (!body.empty()) body += ", ";
+      body += pos_names[pi];
+      body += "(";
+      for (int a = 0; a < pos_arity[pi]; ++a) {
+        const char* v = vars[rng.Uniform(3)];
+        if (a > 0) body += ", ";
+        body += v;
+        bound.push_back(v);
+      }
+      body += ")";
+    }
+    size_t hi = rng.Uniform(2);
+    std::string head = idb_names[hi];
+    head += "(";
+    for (int a = 0; a < idb_arity[hi]; ++a) {
+      if (a > 0) head += ", ";
+      head += bound[rng.Uniform(bound.size())];
+    }
+    head += ")";
+    text += head + " :- " + body + ".\n";
+  }
+  SCOPED_TRACE(text);
+  Result<Program> p = engine.Parse(text);
+  ASSERT_TRUE(p.ok()) << p.status().ToString();
+
+  // Random instance with values 0..4.
+  Instance db = engine.NewInstance();
+  for (int i = 0; i < 8; ++i) {
+    db.Insert(e1, {engine.symbols().InternInt(rng.Uniform(5)),
+                   engine.symbols().InternInt(rng.Uniform(5))});
+  }
+  for (int i = 0; i < 3; ++i) {
+    db.Insert(e2, {engine.symbols().InternInt(rng.Uniform(5))});
+  }
+
+  Result<Instance> full = engine.MinimumModel(*p, db);
+  ASSERT_TRUE(full.ok()) << full.status().ToString();
+
+  // Query a random idb pred with a random adornment and bound values.
+  for (PredId q : p->idb_preds) {
+    const int arity = engine.catalog().ArityOf(q);
+    MagicQuery query;
+    query.query_pred = q;
+    for (int a = 0; a < arity; ++a) {
+      bool b = rng.Chance(0.5);
+      query.adornment += b ? 'b' : 'f';
+      if (b) {
+        query.bound_values.push_back(
+            engine.symbols().InternInt(rng.Uniform(5)));
+      }
+    }
+    Result<MagicRewrite> rewrite =
+        MagicSetRewrite(*p, query, &engine.catalog());
+    ASSERT_TRUE(rewrite.ok()) << rewrite.status().ToString();
+    Instance input = db;
+    input.UnionWith(rewrite->seed);
+    Result<Instance> magic = engine.MinimumModel(rewrite->program, input);
+    ASSERT_TRUE(magic.ok()) << magic.status().ToString();
+
+    // Oracle: full model filtered by the bound positions.
+    Relation expected(arity);
+    for (const Tuple& t : full->Rel(q)) {
+      bool match = true;
+      size_t bi = 0;
+      for (int a = 0; a < arity; ++a) {
+        if (query.adornment[a] == 'b' &&
+            t[a] != query.bound_values[bi++]) {
+          match = false;
+          break;
+        }
+      }
+      if (match) expected.Insert(t);
+    }
+    EXPECT_EQ(magic->Rel(rewrite->query_pred), expected)
+        << "query " << engine.catalog().NameOf(q) << "^" << query.adornment;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MagicSweep,
+                         ::testing::Range(uint64_t{1}, uint64_t{31}),
+                         [](const ::testing::TestParamInfo<uint64_t>& info) {
+                           return "seed" + std::to_string(info.param);
+                         });
+
+TEST_F(MagicTest, RejectsNegationAndBadQueries) {
+  Program neg = MustParse("a(X) :- b(X), !c(X).\n");
+  MagicQuery query;
+  query.query_pred = engine_.catalog().Find("a");
+  query.adornment = "b";
+  query.bound_values = {engine_.symbols().Intern("z")};
+  EXPECT_EQ(MagicSetRewrite(neg, query, &engine_.catalog()).status().code(),
+            StatusCode::kUnsupported);
+
+  Program p = MustParse(kTc);
+  MagicQuery bad;
+  bad.query_pred = engine_.catalog().Find("t");
+  bad.adornment = "b";  // wrong length
+  bad.bound_values = {0};
+  EXPECT_EQ(MagicSetRewrite(p, bad, &engine_.catalog()).status().code(),
+            StatusCode::kInvalidProgram);
+
+  MagicQuery edb_query;
+  edb_query.query_pred = engine_.catalog().Find("g");
+  edb_query.adornment = "bf";
+  edb_query.bound_values = {0};
+  EXPECT_EQ(
+      MagicSetRewrite(p, edb_query, &engine_.catalog()).status().code(),
+      StatusCode::kInvalidProgram);
+}
+
+}  // namespace
+}  // namespace datalog

@@ -1,0 +1,232 @@
+// Tests for the lexer, parser, printer and program schema computation.
+
+#include <gtest/gtest.h>
+
+#include "ast/lexer.h"
+#include "ast/parser.h"
+#include "ast/printer.h"
+#include "core/engine.h"
+
+namespace datalog {
+namespace {
+
+TEST(LexerTest, BasicTokens) {
+  Result<std::vector<Token>> tokens =
+      Tokenize("t(X, y1) :- g(X), X != 3. % comment\n");
+  ASSERT_TRUE(tokens.ok()) << tokens.status().ToString();
+  std::vector<TokenKind> kinds;
+  for (const Token& t : *tokens) kinds.push_back(t.kind);
+  EXPECT_EQ(kinds,
+            (std::vector<TokenKind>{
+                TokenKind::kIdent, TokenKind::kLParen, TokenKind::kVariable,
+                TokenKind::kComma, TokenKind::kIdent, TokenKind::kRParen,
+                TokenKind::kImplies, TokenKind::kIdent, TokenKind::kLParen,
+                TokenKind::kVariable, TokenKind::kRParen, TokenKind::kComma,
+                TokenKind::kVariable, TokenKind::kNeq, TokenKind::kInt,
+                TokenKind::kPeriod, TokenKind::kEof}));
+}
+
+TEST(LexerTest, HyphenatedIdentifiersAndNegativeInts) {
+  Result<std::vector<Token>> tokens = Tokenize("old-t-except-final -12");
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_EQ((*tokens)[0].kind, TokenKind::kIdent);
+  EXPECT_EQ((*tokens)[0].text, "old-t-except-final");
+  EXPECT_EQ((*tokens)[1].kind, TokenKind::kInt);
+  EXPECT_EQ((*tokens)[1].text, "-12");
+}
+
+TEST(LexerTest, StringsAndLineComments) {
+  Result<std::vector<Token>> tokens =
+      Tokenize("p(\"hello world\") // trailing\n'x'");
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_EQ((*tokens)[2].kind, TokenKind::kString);
+  EXPECT_EQ((*tokens)[2].text, "hello world");
+  EXPECT_EQ((*tokens)[4].kind, TokenKind::kString);
+  EXPECT_EQ((*tokens)[4].text, "x");
+}
+
+TEST(LexerTest, ErrorsCarryLineColumn) {
+  Result<std::vector<Token>> tokens = Tokenize("p(x).\n  $");
+  ASSERT_FALSE(tokens.ok());
+  EXPECT_EQ(tokens.status().code(), StatusCode::kParseError);
+  EXPECT_NE(tokens.status().message().find("2:3"), std::string::npos)
+      << tokens.status().message();
+}
+
+TEST(LexerTest, UnterminatedString) {
+  Result<std::vector<Token>> tokens = Tokenize("p(\"oops");
+  ASSERT_FALSE(tokens.ok());
+  EXPECT_NE(tokens.status().message().find("unterminated"), std::string::npos);
+}
+
+class ParserTest : public ::testing::Test {
+ protected:
+  Result<Program> Parse(std::string_view text) {
+    return ParseProgram(text, &catalog_, &symbols_);
+  }
+  Catalog catalog_;
+  SymbolTable symbols_;
+};
+
+TEST_F(ParserTest, TransitiveClosure) {
+  Result<Program> p = Parse(
+      "t(X, Y) :- g(X, Y).\n"
+      "t(X, Y) :- g(X, Z), t(Z, Y).\n");
+  ASSERT_TRUE(p.ok()) << p.status().ToString();
+  ASSERT_EQ(p->rules.size(), 2u);
+  const Rule& r1 = p->rules[1];
+  EXPECT_EQ(r1.num_vars, 3);
+  EXPECT_EQ(r1.heads.size(), 1u);
+  EXPECT_EQ(r1.body.size(), 2u);
+  // Schema: t is idb, g is edb.
+  PredId t = catalog_.Find("t"), g = catalog_.Find("g");
+  EXPECT_EQ(p->idb_preds, std::vector<PredId>{t});
+  EXPECT_EQ(p->edb_preds, std::vector<PredId>{g});
+  EXPECT_TRUE(p->IsIdb(t));
+  EXPECT_FALSE(p->IsIdb(g));
+}
+
+TEST_F(ParserTest, NegationBothSyntaxes) {
+  Result<Program> p = Parse(
+      "ct(X, Y) :- !t(X, Y).\n"
+      "ct2(X, Y) :- not t(X, Y).\n");
+  ASSERT_TRUE(p.ok()) << p.status().ToString();
+  EXPECT_TRUE(p->rules[0].body[0].negative);
+  EXPECT_TRUE(p->rules[1].body[0].negative);
+}
+
+TEST_F(ParserTest, NegativeHeadsAndMultiHead) {
+  Result<Program> p = Parse(
+      "!g(X, Y) :- g(X, Y), g(Y, X).\n"
+      "a(X), !b(X) :- c(X).\n");
+  ASSERT_TRUE(p.ok()) << p.status().ToString();
+  EXPECT_TRUE(p->rules[0].heads[0].negative);
+  ASSERT_EQ(p->rules[1].heads.size(), 2u);
+  EXPECT_FALSE(p->rules[1].heads[0].negative);
+  EXPECT_TRUE(p->rules[1].heads[1].negative);
+}
+
+TEST_F(ParserTest, EqualityLiterals) {
+  Result<Program> p = Parse("r(X, Y) :- s(X, Y), X != Y, X = a.\n");
+  ASSERT_TRUE(p.ok()) << p.status().ToString();
+  const Rule& rule = p->rules[0];
+  ASSERT_EQ(rule.body.size(), 3u);
+  EXPECT_EQ(rule.body[1].kind, Literal::Kind::kEquality);
+  EXPECT_TRUE(rule.body[1].negative);
+  EXPECT_EQ(rule.body[2].kind, Literal::Kind::kEquality);
+  EXPECT_FALSE(rule.body[2].negative);
+  EXPECT_FALSE(rule.body[2].rhs.is_var());
+  EXPECT_EQ(rule.body[2].rhs.constant, symbols_.Find("a"));
+}
+
+TEST_F(ParserTest, BottomHeadDeclaresReservedPred) {
+  Result<Program> p = Parse("bottom :- done, q(X, Y), !proj(X).\n");
+  ASSERT_TRUE(p.ok()) << p.status().ToString();
+  EXPECT_EQ(p->rules[0].heads[0].kind, Literal::Kind::kBottom);
+  PredId bottom = catalog_.Find("bottom");
+  ASSERT_GE(bottom, 0);
+  EXPECT_EQ(catalog_.ArityOf(bottom), 0);
+  EXPECT_EQ(p->rules[0].heads[0].atom.pred, bottom);
+}
+
+TEST_F(ParserTest, ForallPrefix) {
+  Result<Program> p = Parse("answer(X) :- forall Y : p(X), !q(X, Y).\n");
+  ASSERT_TRUE(p.ok()) << p.status().ToString();
+  const Rule& rule = p->rules[0];
+  ASSERT_EQ(rule.universal_vars.size(), 1u);
+  EXPECT_EQ(rule.var_names[rule.universal_vars[0]], "Y");
+  EXPECT_EQ(rule.body.size(), 2u);
+}
+
+TEST_F(ParserTest, ZeroArityAtoms) {
+  Result<Program> p = Parse(
+      "delay :- .\n"  // not valid: empty body after ':-'
+  );
+  EXPECT_FALSE(p.ok());
+  p = Parse("delay.\n"
+            "good(X) :- delay, !bad(X).\n");
+  ASSERT_TRUE(p.ok()) << p.status().ToString();
+  EXPECT_TRUE(p->rules[0].body.empty());
+  PredId delay = catalog_.Find("delay");
+  EXPECT_EQ(catalog_.ArityOf(delay), 0);
+}
+
+TEST_F(ParserTest, InventionVariables) {
+  Result<Program> p = Parse("r(X, N) :- s(X).\n");
+  ASSERT_TRUE(p.ok()) << p.status().ToString();
+  std::vector<int> inv = p->rules[0].InventionVars();
+  ASSERT_EQ(inv.size(), 1u);
+  EXPECT_EQ(p->rules[0].var_names[inv[0]], "N");
+}
+
+TEST_F(ParserTest, ArityConflictReported) {
+  Result<Program> p = Parse("g(X, Y) :- g(X).\n");
+  ASSERT_FALSE(p.ok());
+  EXPECT_EQ(p.status().code(), StatusCode::kSchemaError);
+}
+
+TEST_F(ParserTest, ReservedWordAsPredicateRejected) {
+  Result<Program> p = Parse("p(X) :- forall(X).\n");
+  EXPECT_FALSE(p.ok());
+  p = Parse("not(X) :- q(X).\n");
+  EXPECT_FALSE(p.ok());
+}
+
+TEST_F(ParserTest, ParseErrorsCarryPosition) {
+  Result<Program> p = Parse("p(X) :- q(X)\nr(Y).\n");
+  // Missing period before r(Y): the parser reports where it got confused.
+  ASSERT_FALSE(p.ok());
+  EXPECT_EQ(p.status().code(), StatusCode::kParseError);
+}
+
+TEST_F(ParserTest, ConstantsCollectedIntoAdomP) {
+  Result<Program> p = Parse("p(X) :- q(X, a), X != 3.\n");
+  ASSERT_TRUE(p.ok());
+  EXPECT_EQ(p->constants.size(), 2u);
+  EXPECT_TRUE(p->constants.count(symbols_.Find("a")));
+  EXPECT_TRUE(p->constants.count(symbols_.Find("3")));
+}
+
+TEST_F(ParserTest, PrinterRoundTrips) {
+  const char* source =
+      "t(X, Y) :- g(X, Y).\n"
+      "t(X, Y) :- g(X, Z), t(Z, Y).\n"
+      "ct(X, Y) :- !t(X, Y).\n"
+      "!g(X, Y) :- g(X, Y), g(Y, X).\n"
+      "a(X), b(X) :- c(X), X != d.\n"
+      "answer(X) :- forall Y : p(X), !q(X, Y).\n";
+  Result<Program> p1 = Parse(source);
+  ASSERT_TRUE(p1.ok()) << p1.status().ToString();
+  std::string printed = ProgramToString(*p1, catalog_, symbols_);
+  Result<Program> p2 = Parse(printed);
+  ASSERT_TRUE(p2.ok()) << "re-parse of:\n" << printed;
+  EXPECT_EQ(printed, ProgramToString(*p2, catalog_, symbols_));
+}
+
+TEST_F(ParserTest, FactsParsing) {
+  Instance db(&catalog_);
+  Status st = ParseFacts("g(a, b). g(b, c). p(1).", &catalog_, &symbols_, &db);
+  ASSERT_TRUE(st.ok()) << st.ToString();
+  EXPECT_EQ(db.TotalFacts(), 3u);
+  PredId g = catalog_.Find("g");
+  EXPECT_TRUE(db.Contains(g, {symbols_.Find("a"), symbols_.Find("b")}));
+}
+
+TEST_F(ParserTest, FactsRejectRulesAndVariables) {
+  Instance db(&catalog_);
+  EXPECT_FALSE(
+      ParseFacts("g(a, b) :- x(a).", &catalog_, &symbols_, &db).ok());
+  EXPECT_FALSE(ParseFacts("g(X, b).", &catalog_, &symbols_, &db).ok());
+}
+
+TEST(EngineParseTest, EngineFacadeParses) {
+  Engine engine;
+  Result<Program> p = engine.Parse("t(X, Y) :- g(X, Y).");
+  ASSERT_TRUE(p.ok());
+  Instance db = engine.NewInstance();
+  ASSERT_TRUE(engine.AddFacts("g(a, b).", &db).ok());
+  EXPECT_EQ(db.TotalFacts(), 1u);
+}
+
+}  // namespace
+}  // namespace datalog

@@ -1,0 +1,166 @@
+// Tests for the distributed data-exchange module (dist/peers): located
+// heads, asynchronous delivery, global quiescence — the Webdamlog /
+// declarative-networking adoption story of Section 6.
+
+#include <gtest/gtest.h>
+
+#include "core/engine.h"
+#include "dist/peers.h"
+#include "test_util.h"
+#include "workload/graphs.h"
+
+namespace datalog {
+namespace {
+
+class PeersTest : public ::testing::Test {
+ protected:
+  Program MustParse(std::string_view text) {
+    Result<Program> p = engine_.Parse(text);
+    EXPECT_TRUE(p.ok()) << p.status().ToString();
+    return std::move(p).value();
+  }
+  Engine engine_;
+};
+
+TEST_F(PeersTest, LocalOnlyPeerBehavesLikeInflationary) {
+  PeerSystem system(&engine_.catalog(), &engine_.symbols());
+  Program tc = MustParse(
+      "t(X, Y) :- g(X, Y).\n"
+      "t(X, Y) :- g(X, Z), t(Z, Y).\n");
+  GraphBuilder graphs(&engine_.catalog(), &engine_.symbols());
+  Instance db = graphs.Chain(5);
+  ASSERT_TRUE(system.AddPeer("alice", tc, db).ok());
+  Result<int> rounds = system.Run(engine_.options());
+  ASSERT_TRUE(rounds.ok()) << rounds.status().ToString();
+  PredId t = engine_.catalog().Find("t");
+  EXPECT_EQ(system.LocalInstance(0).Rel(t).size(), 10u);
+  EXPECT_EQ(system.messages_delivered(), 0);
+}
+
+TEST_F(PeersTest, LocatedHeadsDeliverAcrossPeers) {
+  // alice streams her edges to bob; bob computes the closure of the union
+  // of what he hears with his own edges.
+  PeerSystem system(&engine_.catalog(), &engine_.symbols());
+  Program alice_rules = MustParse("at_bob_g(X, Y) :- local_edges(X, Y).\n");
+  Program bob_rules = MustParse(
+      "t(X, Y) :- g(X, Y).\n"
+      "t(X, Y) :- g(X, Z), t(Z, Y).\n");
+  Instance alice_db = engine_.NewInstance();
+  ASSERT_TRUE(
+      engine_.AddFacts("local_edges(a, b). local_edges(b, c).", &alice_db)
+          .ok());
+  Instance bob_db = engine_.NewInstance();
+  ASSERT_TRUE(engine_.AddFacts("g(c, d).", &bob_db).ok());
+  ASSERT_TRUE(system.AddPeer("alice", alice_rules, alice_db).ok());
+  ASSERT_TRUE(system.AddPeer("bob", bob_rules, bob_db).ok());
+
+  Result<int> rounds = system.Run(engine_.options());
+  ASSERT_TRUE(rounds.ok()) << rounds.status().ToString();
+  PredId t = engine_.catalog().Find("t");
+  const Instance& bob = system.LocalInstance(1);
+  auto v = [&](const char* s) { return engine_.symbols().Find(s); };
+  // Bob's closure spans the merged graph a->b->c->d.
+  EXPECT_TRUE(bob.Contains(t, {v("a"), v("d")}));
+  EXPECT_EQ(bob.Rel(t).size(), 6u);
+  EXPECT_EQ(system.messages_delivered(), 2);
+  // Alice never receives anything back.
+  EXPECT_TRUE(system.LocalInstance(0).Rel(t).empty());
+}
+
+TEST_F(PeersTest, RingGossipReachesEveryPeer) {
+  // Three peers forward everything they know around a ring; all end up
+  // with the union of the initial facts.
+  PeerSystem system(&engine_.catalog(), &engine_.symbols());
+  const char* forward[] = {
+      "at_p1_fact(X) :- fact(X).\n",
+      "at_p2_fact(X) :- fact(X).\n",
+      "at_p0_fact(X) :- fact(X).\n",
+  };
+  const char* names[] = {"p0", "p1", "p2"};
+  for (int i = 0; i < 3; ++i) {
+    Program rules = MustParse(forward[i]);
+    Instance db = engine_.NewInstance();
+    std::string fact = "fact(v" + std::to_string(i) + ").";
+    ASSERT_TRUE(engine_.AddFacts(fact, &db).ok());
+    ASSERT_TRUE(system.AddPeer(names[i], rules, db).ok());
+  }
+  Result<int> rounds = system.Run(engine_.options());
+  ASSERT_TRUE(rounds.ok());
+  PredId fact = engine_.catalog().Find("fact");
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_EQ(system.LocalInstance(i).Rel(fact).size(), 3u)
+        << "peer " << i;
+  }
+  // Delivery is asynchronous: a fact needs two rounds to cross two hops.
+  EXPECT_GE(*rounds, 2);
+}
+
+TEST_F(PeersTest, DistributedReachability) {
+  // The classic declarative-networking example: each peer owns the edges
+  // leaving its own node and they jointly compute reachability from a
+  // source by exchanging "reached" facts.
+  PeerSystem system(&engine_.catalog(), &engine_.symbols());
+  // Graph: n0 -> n1 -> n2, n0 -> n2. Peer i owns node i's out-edges.
+  struct Spec {
+    const char* name;
+    const char* rules;
+    const char* facts;
+  };
+  const Spec specs[] = {
+      {"n0",
+       "at_n1_reached(X) :- reached(X), edge_to_n1(X).\n"
+       "at_n2_reached(X) :- reached(X), edge_to_n2(X).\n",
+       "reached(n0). edge_to_n1(n0). edge_to_n2(n0)."},
+      {"n1",
+       "at_n2_reached(X) :- reached(X), edge_to_n2(X).\n"
+       "reached(n1) :- reached(X).\n",
+       "edge_to_n2(n1)."},
+      {"n2", "reached(n2) :- reached(X).\n", ""},
+  };
+  for (const Spec& spec : specs) {
+    Program rules = MustParse(spec.rules);
+    Instance db = engine_.NewInstance();
+    if (*spec.facts != '\0') {
+      ASSERT_TRUE(engine_.AddFacts(spec.facts, &db).ok());
+    }
+    ASSERT_TRUE(system.AddPeer(spec.name, rules, db).ok());
+  }
+  Result<int> rounds = system.Run(engine_.options());
+  ASSERT_TRUE(rounds.ok());
+  PredId reached = engine_.catalog().Find("reached");
+  auto v = [&](const char* s) { return engine_.symbols().Find(s); };
+  EXPECT_TRUE(system.LocalInstance(1).Contains(reached, {v("n1")}));
+  EXPECT_TRUE(system.LocalInstance(2).Contains(reached, {v("n2")}));
+}
+
+TEST_F(PeersTest, UnknownPeerRejected) {
+  PeerSystem system(&engine_.catalog(), &engine_.symbols());
+  Program rules = MustParse("at_nobody_f(X) :- fact2(X).\n");
+  Instance db = engine_.NewInstance();
+  ASSERT_TRUE(engine_.AddFacts("fact2(a).", &db).ok());
+  ASSERT_TRUE(system.AddPeer("solo", rules, db).ok());
+  Result<int> rounds = system.Run(engine_.options());
+  ASSERT_FALSE(rounds.ok());
+  EXPECT_EQ(rounds.status().code(), StatusCode::kInvalidProgram);
+}
+
+TEST_F(PeersTest, DuplicatePeerNameRejected) {
+  PeerSystem system(&engine_.catalog(), &engine_.symbols());
+  Program empty_p;
+  ASSERT_TRUE(
+      system.AddPeer("dup", empty_p, engine_.NewInstance()).ok());
+  Result<int> again =
+      system.AddPeer("dup", empty_p, engine_.NewInstance());
+  ASSERT_FALSE(again.ok());
+}
+
+TEST_F(PeersTest, RetractionRulesRejected) {
+  PeerSystem system(&engine_.catalog(), &engine_.symbols());
+  Program neg = MustParse("!g(X, Y) :- g(X, Y), g(Y, X).\n");
+  Result<int> r = system.AddPeer("p", neg, engine_.NewInstance());
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kUnsupported);
+}
+
+}  // namespace
+}  // namespace datalog

@@ -1,0 +1,164 @@
+// Tests for why-provenance (eval/provenance): first-derivation recording
+// across the semi-naive, stratified and inflationary engines, and the
+// Explain tree renderer.
+
+#include <gtest/gtest.h>
+
+#include "core/engine.h"
+#include "eval/provenance.h"
+#include "workload/graphs.h"
+
+namespace datalog {
+namespace {
+
+class ProvenanceTest : public ::testing::Test {
+ protected:
+  Program MustParse(std::string_view text) {
+    Result<Program> p = engine_.Parse(text);
+    EXPECT_TRUE(p.ok()) << p.status().ToString();
+    return std::move(p).value();
+  }
+  Engine engine_;
+};
+
+TEST_F(ProvenanceTest, RecordsFirstDerivationWithStage) {
+  Program p = MustParse(
+      "t(X, Y) :- g(X, Y).\n"
+      "t(X, Y) :- g(X, Z), t(Z, Y).\n");
+  GraphBuilder graphs(&engine_.catalog(), &engine_.symbols());
+  Instance db = graphs.Chain(4);
+  DerivationLog log;
+  engine_.options().provenance = &log;
+  Result<Instance> model = engine_.MinimumModel(p, db);
+  engine_.options().provenance = nullptr;
+  ASSERT_TRUE(model.ok());
+  PredId t = engine_.catalog().Find("t");
+  PredId g = graphs.edge_pred();
+
+  // Every derived t fact has an entry; edb facts have none.
+  EXPECT_EQ(log.size(), model->Rel(t).size());
+  EXPECT_EQ(log.Lookup(g, {graphs.Node(0), graphs.Node(1)}), nullptr);
+
+  // Direct edges derive via rule #1 at stage 1.
+  const DerivationLog::Entry* base =
+      log.Lookup(t, {graphs.Node(0), graphs.Node(1)});
+  ASSERT_NE(base, nullptr);
+  EXPECT_EQ(base->rule_index, 0);
+  EXPECT_EQ(base->stage, 1);
+  ASSERT_EQ(base->premises.size(), 1u);
+  EXPECT_EQ(base->premises[0].pred, g);
+
+  // The distance-3 pair derives via rule #2, premises g + t.
+  const DerivationLog::Entry* far =
+      log.Lookup(t, {graphs.Node(0), graphs.Node(3)});
+  ASSERT_NE(far, nullptr);
+  EXPECT_EQ(far->rule_index, 1);
+  ASSERT_EQ(far->premises.size(), 2u);
+  EXPECT_EQ(far->premises[0].pred, g);
+  EXPECT_EQ(far->premises[1].pred, t);
+  EXPECT_GT(far->stage, base->stage);
+}
+
+TEST_F(ProvenanceTest, ExplainRendersFullTree) {
+  Program p = MustParse(
+      "t(X, Y) :- g(X, Y).\n"
+      "t(X, Y) :- g(X, Z), t(Z, Y).\n");
+  Instance db = engine_.NewInstance();
+  ASSERT_TRUE(engine_.AddFacts("g(a, b). g(b, c).", &db).ok());
+  DerivationLog log;
+  engine_.options().provenance = &log;
+  Result<Instance> model = engine_.MinimumModel(p, db);
+  engine_.options().provenance = nullptr;
+  ASSERT_TRUE(model.ok());
+  PredId t = engine_.catalog().Find("t");
+  Value a = engine_.symbols().Find("a");
+  Value c = engine_.symbols().Find("c");
+  std::string tree = log.Explain(t, {a, c}, p, engine_.catalog(),
+                                 engine_.symbols());
+  // The tree mentions the recursive rule, both input edges, and the
+  // intermediate t(b, c).
+  EXPECT_NE(tree.find("t(a, c)"), std::string::npos) << tree;
+  EXPECT_NE(tree.find("rule #2"), std::string::npos) << tree;
+  EXPECT_NE(tree.find("g(a, b)   (input)"), std::string::npos) << tree;
+  EXPECT_NE(tree.find("t(b, c)"), std::string::npos) << tree;
+  EXPECT_NE(tree.find("rule #1"), std::string::npos) << tree;
+}
+
+TEST_F(ProvenanceTest, NegativePremisesRecorded) {
+  Program p = MustParse(
+      "t(X, Y) :- g(X, Y).\n"
+      "t(X, Y) :- g(X, Z), t(Z, Y).\n"
+      "ct(X, Y) :- !t(X, Y).\n");
+  GraphBuilder graphs(&engine_.catalog(), &engine_.symbols());
+  Instance db = graphs.Chain(3);
+  DerivationLog log;
+  engine_.options().provenance = &log;
+  Result<Instance> model = engine_.Stratified(p, db);
+  engine_.options().provenance = nullptr;
+  ASSERT_TRUE(model.ok());
+  PredId ct = engine_.catalog().Find("ct");
+  const DerivationLog::Entry* entry =
+      log.Lookup(ct, {graphs.Node(2), graphs.Node(0)});
+  ASSERT_NE(entry, nullptr);
+  ASSERT_EQ(entry->premises.size(), 1u);
+  EXPECT_TRUE(entry->premises[0].negative);
+  std::string tree = log.Explain(ct, {graphs.Node(2), graphs.Node(0)}, p,
+                                 engine_.catalog(), engine_.symbols());
+  EXPECT_NE(tree.find("¬t(2, 0)"), std::string::npos) << tree;
+  EXPECT_NE(tree.find("negative premise"), std::string::npos) << tree;
+}
+
+TEST_F(ProvenanceTest, InflationaryEngineRecordsStages) {
+  Program p = MustParse(
+      "t(X, Y) :- g(X, Y).\n"
+      "t(X, Y) :- t(X, Z), g(Z, Y).\n");
+  GraphBuilder graphs(&engine_.catalog(), &engine_.symbols());
+  const int n = 6;
+  Instance db = graphs.Chain(n);
+  DerivationLog log;
+  engine_.options().provenance = &log;
+  Result<InflationaryResult> r = engine_.Inflationary(p, db);
+  engine_.options().provenance = nullptr;
+  ASSERT_TRUE(r.ok());
+  PredId t = engine_.catalog().Find("t");
+  // Stage of the pair at distance k is exactly k.
+  for (int k = 1; k < n; ++k) {
+    const DerivationLog::Entry* entry =
+        log.Lookup(t, {graphs.Node(0), graphs.Node(k)});
+    ASSERT_NE(entry, nullptr) << "distance " << k;
+    EXPECT_EQ(entry->stage, k) << "distance " << k;
+  }
+}
+
+TEST_F(ProvenanceTest, ExplainUnknownFactSaysSo) {
+  Program p = MustParse("t(X, Y) :- g(X, Y).\n");
+  DerivationLog log;
+  PredId t = engine_.catalog().Find("t");
+  Value a = engine_.symbols().Intern("a");
+  Value b = engine_.symbols().Intern("b");
+  std::string tree = log.Explain(t, {a, b}, p, engine_.catalog(),
+                                 engine_.symbols());
+  EXPECT_NE(tree.find("input fact or not derived"), std::string::npos);
+}
+
+TEST_F(ProvenanceTest, FirstDerivationWins) {
+  // Two rules derive the same fact; the log keeps whichever fired first
+  // and never overwrites it.
+  Program p = MustParse(
+      "h(X) :- a(X).\n"
+      "h(X) :- b(X).\n");
+  Instance db = engine_.NewInstance();
+  ASSERT_TRUE(engine_.AddFacts("a(1). b(1).", &db).ok());
+  DerivationLog log;
+  engine_.options().provenance = &log;
+  ASSERT_TRUE(engine_.MinimumModel(p, db).ok());
+  engine_.options().provenance = nullptr;
+  PredId h = engine_.catalog().Find("h");
+  const DerivationLog::Entry* entry = log.Lookup(h, {engine_.symbols().Find("1")});
+  ASSERT_NE(entry, nullptr);
+  EXPECT_EQ(entry->stage, 1);
+  EXPECT_EQ(log.size(), 1u);
+}
+
+}  // namespace
+}  // namespace datalog

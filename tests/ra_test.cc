@@ -1,0 +1,264 @@
+// Unit tests for src/ra: Relation, Instance, Catalog, and the relational
+// algebra expression evaluator.
+
+#include <gtest/gtest.h>
+
+#include "base/symbols.h"
+#include "ra/catalog.h"
+#include "ra/expr.h"
+#include "ra/instance.h"
+#include "ra/relation.h"
+
+namespace datalog {
+namespace {
+
+TEST(RelationTest, InsertIsIdempotent) {
+  Relation r(2);
+  EXPECT_TRUE(r.Insert({1, 2}));
+  EXPECT_FALSE(r.Insert({1, 2}));
+  EXPECT_TRUE(r.Insert({2, 1}));
+  EXPECT_EQ(r.size(), 2u);
+  EXPECT_TRUE(r.Contains({1, 2}));
+  EXPECT_FALSE(r.Contains({2, 2}));
+}
+
+TEST(RelationTest, EraseAndClear) {
+  Relation r(1);
+  r.Insert({5});
+  EXPECT_TRUE(r.Erase({5}));
+  EXPECT_FALSE(r.Erase({5}));
+  r.Insert({6});
+  r.Clear();
+  EXPECT_TRUE(r.empty());
+}
+
+TEST(RelationTest, UnionWithCountsNewTuples) {
+  Relation a(1), b(1);
+  a.Insert({1});
+  a.Insert({2});
+  b.Insert({2});
+  b.Insert({3});
+  EXPECT_EQ(a.UnionWith(b), 1u);
+  EXPECT_EQ(a.size(), 3u);
+}
+
+TEST(RelationTest, SortedIsCanonical) {
+  Relation r(2);
+  r.Insert({3, 1});
+  r.Insert({1, 2});
+  r.Insert({1, 1});
+  std::vector<Tuple> sorted = r.Sorted();
+  ASSERT_EQ(sorted.size(), 3u);
+  EXPECT_EQ(sorted[0], (Tuple{1, 1}));
+  EXPECT_EQ(sorted[1], (Tuple{1, 2}));
+  EXPECT_EQ(sorted[2], (Tuple{3, 1}));
+}
+
+TEST(RelationTest, ContentHashOrderIndependent) {
+  Relation a(1), b(1);
+  a.Insert({1});
+  a.Insert({2});
+  b.Insert({2});
+  b.Insert({1});
+  EXPECT_EQ(a.ContentHash(), b.ContentHash());
+  b.Insert({3});
+  EXPECT_NE(a.ContentHash(), b.ContentHash());
+}
+
+TEST(RelationTest, ZeroArityRelation) {
+  Relation r(0);
+  EXPECT_TRUE(r.Insert({}));
+  EXPECT_FALSE(r.Insert({}));
+  EXPECT_EQ(r.size(), 1u);
+  EXPECT_TRUE(r.Contains({}));
+}
+
+TEST(CatalogTest, DeclareAndFind) {
+  Catalog catalog;
+  Result<PredId> g = catalog.Declare("g", 2);
+  ASSERT_TRUE(g.ok());
+  Result<PredId> g_again = catalog.Declare("g", 2);
+  ASSERT_TRUE(g_again.ok());
+  EXPECT_EQ(*g, *g_again);
+  EXPECT_EQ(catalog.Find("g"), *g);
+  EXPECT_EQ(catalog.Find("t"), -1);
+  EXPECT_EQ(catalog.ArityOf(*g), 2);
+  EXPECT_EQ(catalog.NameOf(*g), "g");
+}
+
+TEST(CatalogTest, ArityConflictRejected) {
+  Catalog catalog;
+  ASSERT_TRUE(catalog.Declare("g", 2).ok());
+  Result<PredId> bad = catalog.Declare("g", 3);
+  ASSERT_FALSE(bad.ok());
+  EXPECT_EQ(bad.status().code(), StatusCode::kSchemaError);
+}
+
+class InstanceTest : public ::testing::Test {
+ protected:
+  InstanceTest() {
+    g_ = *catalog_.Declare("g", 2);
+    p_ = *catalog_.Declare("p", 1);
+  }
+  Catalog catalog_;
+  SymbolTable symbols_;
+  PredId g_, p_;
+};
+
+TEST_F(InstanceTest, EmptyRelationsAreLazy) {
+  Instance db(&catalog_);
+  EXPECT_TRUE(db.Rel(g_).empty());
+  EXPECT_EQ(db.Rel(g_).arity(), 2);
+  EXPECT_EQ(db.TotalFacts(), 0u);
+}
+
+TEST_F(InstanceTest, InsertEraseContains) {
+  Instance db(&catalog_);
+  EXPECT_TRUE(db.Insert(g_, {1, 2}));
+  EXPECT_FALSE(db.Insert(g_, {1, 2}));
+  EXPECT_TRUE(db.Contains(g_, {1, 2}));
+  EXPECT_TRUE(db.Erase(g_, {1, 2}));
+  EXPECT_FALSE(db.Erase(g_, {1, 2}));
+}
+
+TEST_F(InstanceTest, EqualityIgnoresLazyEmptyRelations) {
+  Instance a(&catalog_), b(&catalog_);
+  a.Insert(g_, {1, 2});
+  b.Insert(g_, {1, 2});
+  // Touch p in `a` only: still equal since both are (lazily) empty.
+  a.MutableRel(p_);
+  EXPECT_EQ(a, b);
+  b.Insert(p_, {1});
+  EXPECT_NE(a, b);
+}
+
+TEST_F(InstanceTest, SubsetOf) {
+  Instance a(&catalog_), b(&catalog_);
+  a.Insert(g_, {1, 2});
+  b.Insert(g_, {1, 2});
+  b.Insert(g_, {2, 3});
+  EXPECT_TRUE(a.SubsetOf(b));
+  EXPECT_FALSE(b.SubsetOf(a));
+}
+
+TEST_F(InstanceTest, FingerprintMatchesEquality) {
+  Instance a(&catalog_), b(&catalog_);
+  a.Insert(g_, {1, 2});
+  a.Insert(p_, {3});
+  b.Insert(p_, {3});
+  b.Insert(g_, {1, 2});
+  EXPECT_EQ(a.Fingerprint(), b.Fingerprint());
+  b.Insert(g_, {9, 9});
+  EXPECT_NE(a.Fingerprint(), b.Fingerprint());
+}
+
+TEST_F(InstanceTest, ActiveDomain) {
+  Instance db(&catalog_);
+  db.Insert(g_, {1, 2});
+  db.Insert(p_, {7});
+  std::set<Value> dom = db.ActiveDomain();
+  EXPECT_EQ(dom, (std::set<Value>{1, 2, 7}));
+}
+
+TEST_F(InstanceTest, ToStringIsCanonical) {
+  Instance db(&catalog_);
+  Value a = symbols_.Intern("a");
+  Value b = symbols_.Intern("b");
+  db.Insert(g_, {b, a});
+  db.Insert(g_, {a, b});
+  db.Insert(p_, {a});
+  EXPECT_EQ(db.ToString(symbols_), "g(a, b).\ng(b, a).\np(a).\n");
+}
+
+TEST_F(InstanceTest, RestrictKeepsOnlyListedPreds) {
+  Instance db(&catalog_);
+  db.Insert(g_, {1, 2});
+  db.Insert(p_, {1});
+  Instance only_p = db.Restrict({p_});
+  EXPECT_TRUE(only_p.Rel(g_).empty());
+  EXPECT_EQ(only_p.Rel(p_).size(), 1u);
+}
+
+class RaExprTest : public InstanceTest {
+ protected:
+  RaExprTest() : db_(&catalog_) {
+    db_.Insert(g_, {1, 2});
+    db_.Insert(g_, {2, 3});
+    db_.Insert(g_, {3, 1});
+    db_.Insert(p_, {2});
+  }
+  Instance db_;
+};
+
+TEST_F(RaExprTest, ScanReadsRelation) {
+  Relation r = ra::Scan(g_, 2)->Eval(db_);
+  EXPECT_EQ(r.size(), 3u);
+  EXPECT_TRUE(r.Contains({1, 2}));
+}
+
+TEST_F(RaExprTest, ProjectReordersAndDuplicates) {
+  // swap columns
+  Relation swapped = ra::Project(ra::Scan(g_, 2), {1, 0})->Eval(db_);
+  EXPECT_TRUE(swapped.Contains({2, 1}));
+  // duplicate a column
+  Relation dup = ra::Project(ra::Scan(p_, 1), {0, 0})->Eval(db_);
+  EXPECT_TRUE(dup.Contains({2, 2}));
+  EXPECT_EQ(dup.arity(), 2);
+}
+
+TEST_F(RaExprTest, SelectByConstantAndColumn) {
+  std::vector<SelCondition> conds;
+  conds.push_back({SelOperand::Column(0), SelOperand::Const(2), true});
+  Relation sel = ra::Select(ra::Scan(g_, 2), conds)->Eval(db_);
+  EXPECT_EQ(sel.size(), 1u);
+  EXPECT_TRUE(sel.Contains({2, 3}));
+
+  // Column != column on the product g x g.
+  std::vector<SelCondition> neq;
+  neq.push_back({SelOperand::Column(0), SelOperand::Column(2), false});
+  Relation prod =
+      ra::Select(ra::Product(ra::Scan(g_, 2), ra::Scan(g_, 2)), neq)
+          ->Eval(db_);
+  EXPECT_EQ(prod.size(), 6u);  // 9 pairs minus the 3 equal-first-column ones
+}
+
+TEST_F(RaExprTest, JoinComposesEdges) {
+  // g(x, z) join g(z, y): paths of length 2.
+  Relation paths =
+      ra::Project(ra::Join(ra::Scan(g_, 2), ra::Scan(g_, 2), {{1, 0}}),
+                  {0, 3})
+          ->Eval(db_);
+  EXPECT_EQ(paths.size(), 3u);
+  EXPECT_TRUE(paths.Contains({1, 3}));
+  EXPECT_TRUE(paths.Contains({2, 1}));
+  EXPECT_TRUE(paths.Contains({3, 2}));
+}
+
+TEST_F(RaExprTest, UnionAndDiff) {
+  Relation extra(2);
+  extra.Insert({9, 9});
+  extra.Insert({1, 2});
+  Relation u = ra::Union(ra::Scan(g_, 2), ra::ConstRel(extra))->Eval(db_);
+  EXPECT_EQ(u.size(), 4u);
+  Relation d = ra::Diff(ra::Scan(g_, 2), ra::ConstRel(extra))->Eval(db_);
+  EXPECT_EQ(d.size(), 2u);
+  EXPECT_FALSE(d.Contains({1, 2}));
+}
+
+TEST_F(RaExprTest, AdomBuildsKFoldProduct) {
+  Relation adom1 = ra::Adom(1)->Eval(db_);
+  EXPECT_EQ(adom1.size(), 3u);  // values 1, 2, 3
+  Relation adom2 = ra::Adom(2)->Eval(db_);
+  EXPECT_EQ(adom2.size(), 9u);
+  EXPECT_TRUE(adom2.Contains({3, 1}));
+}
+
+TEST_F(RaExprTest, ComplementOfEdgesViaAdomDiff) {
+  Relation ct = ra::Diff(ra::Adom(2), ra::Scan(g_, 2))->Eval(db_);
+  EXPECT_EQ(ct.size(), 6u);
+  EXPECT_TRUE(ct.Contains({1, 1}));
+  EXPECT_FALSE(ct.Contains({1, 2}));
+}
+
+}  // namespace
+}  // namespace datalog

@@ -1,0 +1,110 @@
+#ifndef UNCHAINED_TESTS_TEST_UTIL_H_
+#define UNCHAINED_TESTS_TEST_UTIL_H_
+
+// Shared helpers for the engine test suites: graph oracles computed
+// independently of the Datalog engines (BFS and simple set algebra), so
+// that engine results are checked against ground truth.
+
+#include <map>
+#include <queue>
+#include <set>
+#include <utility>
+#include <vector>
+
+#include "ra/instance.h"
+#include "ra/relation.h"
+
+namespace datalog {
+namespace testutil {
+
+/// Edge list of a binary relation.
+inline std::vector<std::pair<Value, Value>> Edges(const Relation& rel) {
+  std::vector<std::pair<Value, Value>> out;
+  for (const Tuple& t : rel) out.emplace_back(t[0], t[1]);
+  return out;
+}
+
+/// All pairs (x, y) with a nonempty path x -> y (the oracle for transitive
+/// closure), computed by BFS from every node.
+inline std::set<std::pair<Value, Value>> ReachabilityOracle(
+    const Relation& edges) {
+  std::map<Value, std::vector<Value>> adj;
+  std::set<Value> nodes;
+  for (const Tuple& t : edges) {
+    adj[t[0]].push_back(t[1]);
+    nodes.insert(t[0]);
+    nodes.insert(t[1]);
+  }
+  std::set<std::pair<Value, Value>> closure;
+  for (Value start : nodes) {
+    std::queue<Value> q;
+    std::set<Value> seen;
+    for (Value n : adj[start]) {
+      if (seen.insert(n).second) q.push(n);
+    }
+    while (!q.empty()) {
+      Value n = q.front();
+      q.pop();
+      closure.emplace(start, n);
+      for (Value m : adj[n]) {
+        if (seen.insert(m).second) q.push(m);
+      }
+    }
+  }
+  return closure;
+}
+
+/// BFS distance d(x, y) for every reachable pair (infinite distances are
+/// simply absent) — the oracle for Example 4.1's `closer` query.
+inline std::map<std::pair<Value, Value>, int> DistanceOracle(
+    const Relation& edges) {
+  std::map<Value, std::vector<Value>> adj;
+  std::set<Value> nodes;
+  for (const Tuple& t : edges) {
+    adj[t[0]].push_back(t[1]);
+    nodes.insert(t[0]);
+    nodes.insert(t[1]);
+  }
+  std::map<std::pair<Value, Value>, int> dist;
+  for (Value start : nodes) {
+    std::queue<std::pair<Value, int>> q;
+    std::set<Value> seen;
+    for (Value n : adj[start]) {
+      if (seen.insert(n).second) q.emplace(n, 1);
+    }
+    while (!q.empty()) {
+      auto [n, d] = q.front();
+      q.pop();
+      dist[{start, n}] = d;
+      for (Value m : adj[n]) {
+        if (seen.insert(m).second) q.emplace(m, d + 1);
+      }
+    }
+  }
+  return dist;
+}
+
+/// The set of nodes reachable (in >= 0 steps) from some cycle — the
+/// complement of Example 4.4's `good` nodes.
+inline std::set<Value> ReachableFromCycleOracle(const Relation& edges) {
+  std::set<std::pair<Value, Value>> closure = ReachabilityOracle(edges);
+  std::set<Value> on_cycle;
+  for (const auto& [x, y] : closure) {
+    if (x == y) on_cycle.insert(x);
+  }
+  std::set<Value> out = on_cycle;
+  for (const auto& [x, y] : closure) {
+    if (on_cycle.count(x)) out.insert(y);
+  }
+  return out;
+}
+
+/// Relation as a set of tuples for readable gtest diffs.
+inline std::set<Tuple> AsSet(const Relation& rel) {
+  return std::set<Tuple>(rel.begin(), rel.end());
+}
+
+}  // namespace testutil
+}  // namespace datalog
+
+#endif  // UNCHAINED_TESTS_TEST_UTIL_H_

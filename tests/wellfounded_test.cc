@@ -1,0 +1,185 @@
+// Tests for the well-founded (3-valued) semantics (Section 3.3), including
+// the exact game of Example 3.2 and the agreement theorems with stratified
+// and inflationary semantics.
+
+#include <gtest/gtest.h>
+
+#include "core/engine.h"
+#include "test_util.h"
+#include "workload/graphs.h"
+
+namespace datalog {
+namespace {
+
+constexpr const char* kWinProgram = "win(X) :- moves(X, Y), !win(Y).\n";
+
+class WellFoundedTest : public ::testing::Test {
+ protected:
+  Program MustParse(std::string_view text) {
+    Result<Program> p = engine_.Parse(text);
+    EXPECT_TRUE(p.ok()) << p.status().ToString();
+    return std::move(p).value();
+  }
+  Engine engine_;
+};
+
+TEST_F(WellFoundedTest, Example32GameExactTruthValues) {
+  // K(moves) = {<b,c>, <c,a>, <a,b>, <a,d>, <d,e>, <d,f>, <f,g>}.
+  // Paper: win(d), win(f) true; win(e), win(g) false;
+  //        win(a), win(b), win(c) unknown.
+  Program p = MustParse(kWinProgram);
+  Instance db = PaperGameGraph(&engine_.catalog(), &engine_.symbols());
+  Result<WellFoundedModel> model = engine_.WellFounded(p, db);
+  ASSERT_TRUE(model.ok()) << model.status().ToString();
+  PredId win = engine_.catalog().Find("win");
+  auto v = [&](const char* s) { return engine_.symbols().Find(s); };
+
+  EXPECT_EQ(model->Truth(win, {v("d")}), TruthValue::kTrue);
+  EXPECT_EQ(model->Truth(win, {v("f")}), TruthValue::kTrue);
+  EXPECT_EQ(model->Truth(win, {v("e")}), TruthValue::kFalse);
+  EXPECT_EQ(model->Truth(win, {v("g")}), TruthValue::kFalse);
+  EXPECT_EQ(model->Truth(win, {v("a")}), TruthValue::kUnknown);
+  EXPECT_EQ(model->Truth(win, {v("b")}), TruthValue::kUnknown);
+  EXPECT_EQ(model->Truth(win, {v("c")}), TruthValue::kUnknown);
+  EXPECT_FALSE(model->IsTotal());
+}
+
+TEST_F(WellFoundedTest, WinSemanticsMatchesGameOracle) {
+  // For random game graphs, check the well-founded win/lose/draw labels
+  // against a direct game solver: a position is WON if some move leads to
+  // a LOST position; LOST if every move leads to a WON position (in
+  // particular, no moves); otherwise DRAWN.
+  Program p = MustParse(kWinProgram);
+  for (uint64_t seed = 1; seed <= 6; ++seed) {
+    Engine engine;
+    Result<Program> win_p = engine.Parse(kWinProgram);
+    ASSERT_TRUE(win_p.ok());
+    Instance db =
+        RandomGameGraph(&engine.catalog(), &engine.symbols(), 9, 14, seed);
+    Result<WellFoundedModel> model = engine.WellFounded(*win_p, db);
+    ASSERT_TRUE(model.ok());
+
+    // Backward-induction oracle over the (possibly cyclic) game graph:
+    // iterate labels to fixpoint.
+    PredId moves = engine.catalog().Find("moves");
+    std::set<Value> nodes;
+    std::map<Value, std::vector<Value>> adj;
+    for (const Tuple& t : db.Rel(moves)) {
+      nodes.insert(t[0]);
+      nodes.insert(t[1]);
+      adj[t[0]].push_back(t[1]);
+    }
+    std::map<Value, int> label;  // 0 unknown, 1 won, -1 lost
+    bool changed = true;
+    while (changed) {
+      changed = false;
+      for (Value n : nodes) {
+        if (label[n] != 0) continue;
+        bool all_won = true, some_lost = false;
+        for (Value m : adj[n]) {
+          if (label[m] != 1) all_won = false;
+          if (label[m] == -1) some_lost = true;
+        }
+        if (some_lost) {
+          label[n] = 1;
+          changed = true;
+        } else if (all_won) {  // includes the no-moves case
+          label[n] = -1;
+          changed = true;
+        }
+      }
+    }
+    PredId win = engine.catalog().Find("win");
+    for (Value n : nodes) {
+      TruthValue expected = label[n] == 1   ? TruthValue::kTrue
+                            : label[n] == -1 ? TruthValue::kFalse
+                                             : TruthValue::kUnknown;
+      EXPECT_EQ(model->Truth(win, {n}), expected)
+          << "seed " << seed << " node " << engine.symbols().NameOf(n);
+    }
+  }
+  (void)p;
+}
+
+TEST_F(WellFoundedTest, TotalOnStratifiedPrograms) {
+  // On stratified programs the well-founded model is total and coincides
+  // with the stratified semantics (its true facts are the stratified
+  // model).
+  Program p = MustParse(
+      "t(X, Y) :- g(X, Y).\n"
+      "t(X, Y) :- g(X, Z), t(Z, Y).\n"
+      "ct(X, Y) :- !t(X, Y).\n");
+  GraphBuilder graphs(&engine_.catalog(), &engine_.symbols());
+  for (uint64_t seed = 0; seed < 4; ++seed) {
+    Instance db = graphs.RandomDigraph(8, 14, seed);
+    Result<WellFoundedModel> wf = engine_.WellFounded(p, db);
+    Result<Instance> strat = engine_.Stratified(p, db);
+    ASSERT_TRUE(wf.ok());
+    ASSERT_TRUE(strat.ok());
+    EXPECT_TRUE(wf->IsTotal()) << "seed " << seed;
+    EXPECT_EQ(wf->true_facts, *strat) << "seed " << seed;
+  }
+}
+
+TEST_F(WellFoundedTest, PositiveProgramIsMinimumModel) {
+  Program p = MustParse(
+      "t(X, Y) :- g(X, Y).\n"
+      "t(X, Y) :- g(X, Z), t(Z, Y).\n");
+  GraphBuilder graphs(&engine_.catalog(), &engine_.symbols());
+  Instance db = graphs.Cycle(5);
+  Result<WellFoundedModel> wf = engine_.WellFounded(p, db);
+  Result<Instance> mm = engine_.MinimumModel(p, db);
+  ASSERT_TRUE(wf.ok());
+  ASSERT_TRUE(mm.ok());
+  EXPECT_TRUE(wf->IsTotal());
+  EXPECT_EQ(wf->true_facts, *mm);
+}
+
+TEST_F(WellFoundedTest, SingleLoopIsFullyUnknown) {
+  // moves(a, a): the player can move forever — win(a) is unknown.
+  Program p = MustParse(kWinProgram);
+  Instance db = engine_.NewInstance();
+  ASSERT_TRUE(engine_.AddFacts("moves(a, a).", &db).ok());
+  Result<WellFoundedModel> model = engine_.WellFounded(p, db);
+  ASSERT_TRUE(model.ok());
+  PredId win = engine_.catalog().Find("win");
+  Value a = engine_.symbols().Find("a");
+  EXPECT_EQ(model->Truth(win, {a}), TruthValue::kUnknown);
+}
+
+TEST_F(WellFoundedTest, ChainGameAlternates) {
+  // Chain a1 -> a2 -> ... -> an (no cycles): positions alternate
+  // lost/won from the end: last node lost, its predecessor won, etc.
+  Program p = MustParse(kWinProgram);
+  GraphBuilder graphs(&engine_.catalog(), &engine_.symbols(), "moves");
+  const int n = 7;
+  Instance db = graphs.Chain(n);
+  Result<WellFoundedModel> model = engine_.WellFounded(p, db);
+  ASSERT_TRUE(model.ok());
+  PredId win = engine_.catalog().Find("win");
+  for (int i = 0; i < n; ++i) {
+    // Distance to the dead end n-1 is n-1-i; odd distance => winning.
+    TruthValue expected =
+        ((n - 1 - i) % 2 == 1) ? TruthValue::kTrue : TruthValue::kFalse;
+    EXPECT_EQ(model->Truth(win, {graphs.Node(i)}), expected) << "node " << i;
+  }
+  EXPECT_TRUE(model->IsTotal());
+}
+
+TEST_F(WellFoundedTest, TrueFactsSubsetOfPossible) {
+  Program p = MustParse(kWinProgram);
+  for (uint64_t seed = 20; seed < 24; ++seed) {
+    Engine engine;
+    Result<Program> wp = engine.Parse(kWinProgram);
+    ASSERT_TRUE(wp.ok());
+    Instance db =
+        RandomGameGraph(&engine.catalog(), &engine.symbols(), 10, 20, seed);
+    Result<WellFoundedModel> model = engine.WellFounded(*wp, db);
+    ASSERT_TRUE(model.ok());
+    EXPECT_TRUE(model->true_facts.SubsetOf(model->possible_facts));
+  }
+  (void)p;
+}
+
+}  // namespace
+}  // namespace datalog

@@ -1,0 +1,151 @@
+// Tests for the textual while/fixpoint language parser
+// (while/while_parser.h).
+
+#include <gtest/gtest.h>
+
+#include "core/engine.h"
+#include "test_util.h"
+#include "while/while_parser.h"
+#include "workload/graphs.h"
+
+namespace datalog {
+namespace {
+
+class WhileParserTest : public ::testing::Test {
+ protected:
+  Result<WhileProgram> Parse(std::string_view text) {
+    return ParseWhileProgram(text, &engine_.catalog(), &engine_.symbols());
+  }
+  Engine engine_;
+};
+
+constexpr const char* kTcWhile =
+    "t += { X, Y | g(X, Y) };\n"
+    "while change {\n"
+    "  t += { X, Y | exists Z (t(X, Z) & g(Z, Y)) };\n"
+    "}\n";
+
+TEST_F(WhileParserTest, ParsesAndRunsTransitiveClosure) {
+  Result<WhileProgram> p = Parse(kTcWhile);
+  ASSERT_TRUE(p.ok()) << p.status().ToString();
+  ASSERT_EQ(p->stmts.size(), 2u);
+  EXPECT_TRUE(IsFixpointProgram(*p));
+
+  GraphBuilder graphs(&engine_.catalog(), &engine_.symbols());
+  Instance db = graphs.RandomDigraph(9, 16, /*seed=*/4);
+  Result<Instance> r = RunWhile(*p, db, WhileOptions{});
+  ASSERT_TRUE(r.ok());
+  PredId t = engine_.catalog().Find("t");
+  auto oracle = testutil::ReachabilityOracle(db.Rel(graphs.edge_pred()));
+  EXPECT_EQ(r->Rel(t).size(), oracle.size());
+}
+
+TEST_F(WhileParserTest, DestructiveAssignmentAndComplement) {
+  Result<WhileProgram> p = Parse(
+      "t += { X, Y | g(X, Y) };\n"
+      "while change { t += { X, Y | exists Z (t(X, Z) & g(Z, Y)) }; }\n"
+      "ct := { X, Y | !t(X, Y) };\n");
+  ASSERT_TRUE(p.ok()) << p.status().ToString();
+  EXPECT_FALSE(IsFixpointProgram(*p));
+  GraphBuilder graphs(&engine_.catalog(), &engine_.symbols());
+  Instance db = graphs.Chain(4);
+  Result<Instance> r = RunWhile(*p, db, WhileOptions{});
+  ASSERT_TRUE(r.ok());
+  PredId ct = engine_.catalog().Find("ct");
+  EXPECT_EQ(r->Rel(ct).size(), 10u);  // 16 - 6 closure pairs
+}
+
+TEST_F(WhileParserTest, PaperExample44) {
+  // good += { X | forall Y (g(Y, X) -> good(Y)) } — exactly the paper's
+  // fixpoint program, now as text.
+  Result<WhileProgram> p = Parse(
+      "good += { X | X != X };\n"  // ensure `good` exists with arity 1
+      "while change {\n"
+      "  good += { X | forall Y (g(Y, X) -> good(Y)) };\n"
+      "}\n");
+  ASSERT_TRUE(p.ok()) << p.status().ToString();
+  GraphBuilder graphs(&engine_.catalog(), &engine_.symbols());
+  PredId good = engine_.catalog().Find("good");
+  for (uint64_t seed = 0; seed < 3; ++seed) {
+    Instance db = graphs.RandomDigraph(8, 12, seed);
+    Result<Instance> r = RunWhile(*p, db, WhileOptions{});
+    ASSERT_TRUE(r.ok());
+    std::set<Value> bad =
+        testutil::ReachableFromCycleOracle(db.Rel(graphs.edge_pred()));
+    for (Value v : db.ActiveDomain()) {
+      EXPECT_EQ(r->Contains(good, {v}), !bad.count(v)) << "seed " << seed;
+    }
+  }
+}
+
+TEST_F(WhileParserTest, ConditionLoops) {
+  Result<WhileProgram> p = Parse(
+      "seen += { X | start(X) };\n"
+      "frontier += { X | start(X) };\n"
+      "while nonempty { X | frontier(X) } {\n"
+      "  frontier := { Y | exists X (frontier(X) & g(X, Y)) & !seen(Y) };\n"
+      "  seen += { X | frontier(X) };\n"
+      "}\n");
+  ASSERT_TRUE(p.ok()) << p.status().ToString();
+  GraphBuilder graphs(&engine_.catalog(), &engine_.symbols());
+  Instance db = graphs.Chain(6);
+  PredId start = *engine_.catalog().Declare("start", 1);
+  db.Insert(start, {graphs.Node(0)});
+  Result<Instance> r = RunWhile(*p, db, WhileOptions{});
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  PredId seen = engine_.catalog().Find("seen");
+  EXPECT_EQ(r->Rel(seen).size(), 6u);
+}
+
+TEST_F(WhileParserTest, SentenceComprehension) {
+  Result<WhileProgram> p = Parse(
+      "sym := { | forall X, Y (g(X, Y) -> g(Y, X)) };\n");
+  ASSERT_TRUE(p.ok()) << p.status().ToString();
+  GraphBuilder graphs(&engine_.catalog(), &engine_.symbols());
+  PredId sym = engine_.catalog().Find("sym");
+  Instance chain = graphs.Chain(3);
+  Result<Instance> r1 = RunWhile(*p, chain, WhileOptions{});
+  ASSERT_TRUE(r1.ok());
+  EXPECT_TRUE(r1->Rel(sym).empty());
+  Instance two = graphs.TwoCycles(2);
+  Result<Instance> r2 = RunWhile(*p, two, WhileOptions{});
+  ASSERT_TRUE(r2.ok());
+  EXPECT_EQ(r2->Rel(sym).size(), 1u);  // the 0-ary "true" tuple
+}
+
+TEST_F(WhileParserTest, ParseErrors) {
+  EXPECT_FALSE(Parse("t += { X | g(X, Y) };").ok());  // Y undeclared
+  EXPECT_FALSE(Parse("t = { X | p(X) };").ok());      // '=' not ':='
+  EXPECT_FALSE(Parse("t += { X | p(X) }").ok());      // missing ';'
+  EXPECT_FALSE(Parse("while change t += { X | p(X) };").ok());  // no '{'
+  EXPECT_FALSE(Parse("t += { X | p(X ;").ok());       // unterminated
+  EXPECT_FALSE(Parse("while sometimes { } ").ok());
+  // Arity conflict with a prior declaration.
+  ASSERT_TRUE(engine_.catalog().Declare("w2", 2).ok());
+  EXPECT_FALSE(Parse("w2 += { X | p(X) };").ok());
+}
+
+TEST_F(WhileParserTest, CommentsAreSkipped) {
+  Result<WhileProgram> p = Parse(
+      "% leading comment\n"
+      "t += { X, Y | g(X, Y) };  // trailing\n"
+      "% done\n");
+  ASSERT_TRUE(p.ok()) << p.status().ToString();
+  EXPECT_EQ(p->stmts.size(), 1u);
+}
+
+TEST_F(WhileParserTest, NonTerminatingWhileDetectedThroughParser) {
+  Result<WhileProgram> p = Parse(
+      "all += { X | e(X) };\n"
+      "while change { flag := { X | all(X) & !flag(X) }; }\n");
+  ASSERT_TRUE(p.ok()) << p.status().ToString();
+  Instance db = engine_.NewInstance();
+  PredId e = *engine_.catalog().Declare("e", 1);
+  db.Insert(e, {engine_.symbols().InternInt(1)});
+  Result<Instance> r = RunWhile(*p, db, WhileOptions{});
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNonTerminating);
+}
+
+}  // namespace
+}  // namespace datalog
