@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eca_incremental.dir/eca_incremental.cc.o"
+  "CMakeFiles/eca_incremental.dir/eca_incremental.cc.o.d"
+  "eca_incremental"
+  "eca_incremental.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eca_incremental.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ex32_win_game.dir/ex32_win_game.cc.o"
+  "CMakeFiles/ex32_win_game.dir/ex32_win_game.cc.o.d"
+  "ex32_win_game"
+  "ex32_win_game.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ex32_win_game.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

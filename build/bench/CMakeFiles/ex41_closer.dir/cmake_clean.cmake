@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ex41_closer.dir/ex41_closer.cc.o"
+  "CMakeFiles/ex41_closer.dir/ex41_closer.cc.o.d"
+  "ex41_closer"
+  "ex41_closer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ex41_closer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

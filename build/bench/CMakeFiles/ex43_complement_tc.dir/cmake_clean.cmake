@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ex43_complement_tc.dir/ex43_complement_tc.cc.o"
+  "CMakeFiles/ex43_complement_tc.dir/ex43_complement_tc.cc.o.d"
+  "ex43_complement_tc"
+  "ex43_complement_tc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ex43_complement_tc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ex44_good_nodes.dir/ex44_good_nodes.cc.o"
+  "CMakeFiles/ex44_good_nodes.dir/ex44_good_nodes.cc.o.d"
+  "ex44_good_nodes"
+  "ex44_good_nodes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ex44_good_nodes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

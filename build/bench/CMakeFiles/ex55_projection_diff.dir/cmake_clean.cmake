@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ex55_projection_diff.dir/ex55_projection_diff.cc.o"
+  "CMakeFiles/ex55_projection_diff.dir/ex55_projection_diff.cc.o.d"
+  "ex55_projection_diff"
+  "ex55_projection_diff.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ex55_projection_diff.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/magic_ablation.dir/magic_ablation.cc.o"
+  "CMakeFiles/magic_ablation.dir/magic_ablation.cc.o.d"
+  "magic_ablation"
+  "magic_ablation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/magic_ablation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

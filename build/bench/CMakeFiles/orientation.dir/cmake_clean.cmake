@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/orientation.dir/orientation.cc.o"
+  "CMakeFiles/orientation.dir/orientation.cc.o.d"
+  "orientation"
+  "orientation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/orientation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/peer_gossip.dir/peer_gossip.cc.o"
+  "CMakeFiles/peer_gossip.dir/peer_gossip.cc.o.d"
+  "peer_gossip"
+  "peer_gossip.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/peer_gossip.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

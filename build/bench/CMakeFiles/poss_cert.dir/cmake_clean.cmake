@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/poss_cert.dir/poss_cert.cc.o"
+  "CMakeFiles/poss_cert.dir/poss_cert.cc.o.d"
+  "poss_cert"
+  "poss_cert.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/poss_cert.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

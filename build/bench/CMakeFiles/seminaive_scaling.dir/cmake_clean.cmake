@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/seminaive_scaling.dir/seminaive_scaling.cc.o"
+  "CMakeFiles/seminaive_scaling.dir/seminaive_scaling.cc.o.d"
+  "seminaive_scaling"
+  "seminaive_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/seminaive_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stable_models.dir/stable_models.cc.o"
+  "CMakeFiles/stable_models.dir/stable_models.cc.o.d"
+  "stable_models"
+  "stable_models.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stable_models.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

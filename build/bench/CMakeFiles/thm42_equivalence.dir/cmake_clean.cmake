@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/thm42_equivalence.dir/thm42_equivalence.cc.o"
+  "CMakeFiles/thm42_equivalence.dir/thm42_equivalence.cc.o.d"
+  "thm42_equivalence"
+  "thm42_equivalence.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/thm42_equivalence.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/thm45_while.dir/thm45_while.cc.o"
+  "CMakeFiles/thm45_while.dir/thm45_while.cc.o.d"
+  "thm45_while"
+  "thm45_while.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/thm45_while.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

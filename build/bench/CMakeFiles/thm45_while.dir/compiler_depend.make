@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for thm45_while.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for thm45_while.
+# This may be replaced when dependencies are built.

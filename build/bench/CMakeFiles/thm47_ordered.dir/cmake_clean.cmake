@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/thm47_ordered.dir/thm47_ordered.cc.o"
+  "CMakeFiles/thm47_ordered.dir/thm47_ordered.cc.o.d"
+  "thm47_ordered"
+  "thm47_ordered.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/thm47_ordered.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/active_rules.dir/active_rules.cpp.o"
+  "CMakeFiles/active_rules.dir/active_rules.cpp.o.d"
+  "active_rules"
+  "active_rules.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/active_rules.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

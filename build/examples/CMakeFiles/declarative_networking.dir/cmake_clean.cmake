@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/declarative_networking.dir/declarative_networking.cpp.o"
+  "CMakeFiles/declarative_networking.dir/declarative_networking.cpp.o.d"
+  "declarative_networking"
+  "declarative_networking.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/declarative_networking.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

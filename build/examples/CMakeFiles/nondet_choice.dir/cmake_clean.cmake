@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nondet_choice.dir/nondet_choice.cpp.o"
+  "CMakeFiles/nondet_choice.dir/nondet_choice.cpp.o.d"
+  "nondet_choice"
+  "nondet_choice.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nondet_choice.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

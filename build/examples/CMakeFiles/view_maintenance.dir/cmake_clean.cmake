@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/view_maintenance.dir/view_maintenance.cpp.o"
+  "CMakeFiles/view_maintenance.dir/view_maintenance.cpp.o.d"
+  "view_maintenance"
+  "view_maintenance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/view_maintenance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

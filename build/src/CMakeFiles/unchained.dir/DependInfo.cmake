@@ -1,0 +1,52 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/active/eca.cc" "src/CMakeFiles/unchained.dir/active/eca.cc.o" "gcc" "src/CMakeFiles/unchained.dir/active/eca.cc.o.d"
+  "/root/repo/src/analysis/magic.cc" "src/CMakeFiles/unchained.dir/analysis/magic.cc.o" "gcc" "src/CMakeFiles/unchained.dir/analysis/magic.cc.o.d"
+  "/root/repo/src/analysis/stratify.cc" "src/CMakeFiles/unchained.dir/analysis/stratify.cc.o" "gcc" "src/CMakeFiles/unchained.dir/analysis/stratify.cc.o.d"
+  "/root/repo/src/analysis/validate.cc" "src/CMakeFiles/unchained.dir/analysis/validate.cc.o" "gcc" "src/CMakeFiles/unchained.dir/analysis/validate.cc.o.d"
+  "/root/repo/src/ast/ast.cc" "src/CMakeFiles/unchained.dir/ast/ast.cc.o" "gcc" "src/CMakeFiles/unchained.dir/ast/ast.cc.o.d"
+  "/root/repo/src/ast/dialect.cc" "src/CMakeFiles/unchained.dir/ast/dialect.cc.o" "gcc" "src/CMakeFiles/unchained.dir/ast/dialect.cc.o.d"
+  "/root/repo/src/ast/lexer.cc" "src/CMakeFiles/unchained.dir/ast/lexer.cc.o" "gcc" "src/CMakeFiles/unchained.dir/ast/lexer.cc.o.d"
+  "/root/repo/src/ast/parser.cc" "src/CMakeFiles/unchained.dir/ast/parser.cc.o" "gcc" "src/CMakeFiles/unchained.dir/ast/parser.cc.o.d"
+  "/root/repo/src/ast/printer.cc" "src/CMakeFiles/unchained.dir/ast/printer.cc.o" "gcc" "src/CMakeFiles/unchained.dir/ast/printer.cc.o.d"
+  "/root/repo/src/base/status.cc" "src/CMakeFiles/unchained.dir/base/status.cc.o" "gcc" "src/CMakeFiles/unchained.dir/base/status.cc.o.d"
+  "/root/repo/src/base/symbols.cc" "src/CMakeFiles/unchained.dir/base/symbols.cc.o" "gcc" "src/CMakeFiles/unchained.dir/base/symbols.cc.o.d"
+  "/root/repo/src/core/engine.cc" "src/CMakeFiles/unchained.dir/core/engine.cc.o" "gcc" "src/CMakeFiles/unchained.dir/core/engine.cc.o.d"
+  "/root/repo/src/dist/peers.cc" "src/CMakeFiles/unchained.dir/dist/peers.cc.o" "gcc" "src/CMakeFiles/unchained.dir/dist/peers.cc.o.d"
+  "/root/repo/src/eval/grounder.cc" "src/CMakeFiles/unchained.dir/eval/grounder.cc.o" "gcc" "src/CMakeFiles/unchained.dir/eval/grounder.cc.o.d"
+  "/root/repo/src/eval/inflationary.cc" "src/CMakeFiles/unchained.dir/eval/inflationary.cc.o" "gcc" "src/CMakeFiles/unchained.dir/eval/inflationary.cc.o.d"
+  "/root/repo/src/eval/invention.cc" "src/CMakeFiles/unchained.dir/eval/invention.cc.o" "gcc" "src/CMakeFiles/unchained.dir/eval/invention.cc.o.d"
+  "/root/repo/src/eval/naive.cc" "src/CMakeFiles/unchained.dir/eval/naive.cc.o" "gcc" "src/CMakeFiles/unchained.dir/eval/naive.cc.o.d"
+  "/root/repo/src/eval/nondet.cc" "src/CMakeFiles/unchained.dir/eval/nondet.cc.o" "gcc" "src/CMakeFiles/unchained.dir/eval/nondet.cc.o.d"
+  "/root/repo/src/eval/noninflationary.cc" "src/CMakeFiles/unchained.dir/eval/noninflationary.cc.o" "gcc" "src/CMakeFiles/unchained.dir/eval/noninflationary.cc.o.d"
+  "/root/repo/src/eval/provenance.cc" "src/CMakeFiles/unchained.dir/eval/provenance.cc.o" "gcc" "src/CMakeFiles/unchained.dir/eval/provenance.cc.o.d"
+  "/root/repo/src/eval/seminaive.cc" "src/CMakeFiles/unchained.dir/eval/seminaive.cc.o" "gcc" "src/CMakeFiles/unchained.dir/eval/seminaive.cc.o.d"
+  "/root/repo/src/eval/stable.cc" "src/CMakeFiles/unchained.dir/eval/stable.cc.o" "gcc" "src/CMakeFiles/unchained.dir/eval/stable.cc.o.d"
+  "/root/repo/src/eval/stratified.cc" "src/CMakeFiles/unchained.dir/eval/stratified.cc.o" "gcc" "src/CMakeFiles/unchained.dir/eval/stratified.cc.o.d"
+  "/root/repo/src/eval/wellfounded.cc" "src/CMakeFiles/unchained.dir/eval/wellfounded.cc.o" "gcc" "src/CMakeFiles/unchained.dir/eval/wellfounded.cc.o.d"
+  "/root/repo/src/fo/fo.cc" "src/CMakeFiles/unchained.dir/fo/fo.cc.o" "gcc" "src/CMakeFiles/unchained.dir/fo/fo.cc.o.d"
+  "/root/repo/src/fo/fo_to_ra.cc" "src/CMakeFiles/unchained.dir/fo/fo_to_ra.cc.o" "gcc" "src/CMakeFiles/unchained.dir/fo/fo_to_ra.cc.o.d"
+  "/root/repo/src/ra/catalog.cc" "src/CMakeFiles/unchained.dir/ra/catalog.cc.o" "gcc" "src/CMakeFiles/unchained.dir/ra/catalog.cc.o.d"
+  "/root/repo/src/ra/expr.cc" "src/CMakeFiles/unchained.dir/ra/expr.cc.o" "gcc" "src/CMakeFiles/unchained.dir/ra/expr.cc.o.d"
+  "/root/repo/src/ra/instance.cc" "src/CMakeFiles/unchained.dir/ra/instance.cc.o" "gcc" "src/CMakeFiles/unchained.dir/ra/instance.cc.o.d"
+  "/root/repo/src/ra/relation.cc" "src/CMakeFiles/unchained.dir/ra/relation.cc.o" "gcc" "src/CMakeFiles/unchained.dir/ra/relation.cc.o.d"
+  "/root/repo/src/while/while_lang.cc" "src/CMakeFiles/unchained.dir/while/while_lang.cc.o" "gcc" "src/CMakeFiles/unchained.dir/while/while_lang.cc.o.d"
+  "/root/repo/src/while/while_parser.cc" "src/CMakeFiles/unchained.dir/while/while_parser.cc.o" "gcc" "src/CMakeFiles/unchained.dir/while/while_parser.cc.o.d"
+  "/root/repo/src/workload/graphs.cc" "src/CMakeFiles/unchained.dir/workload/graphs.cc.o" "gcc" "src/CMakeFiles/unchained.dir/workload/graphs.cc.o.d"
+  "/root/repo/src/workload/ordered.cc" "src/CMakeFiles/unchained.dir/workload/ordered.cc.o" "gcc" "src/CMakeFiles/unchained.dir/workload/ordered.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

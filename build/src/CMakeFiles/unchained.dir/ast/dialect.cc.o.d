@@ -1,0 +1,3 @@
+src/CMakeFiles/unchained.dir/ast/dialect.cc.o: \
+ /root/repo/src/ast/dialect.cc /usr/include/stdc-predef.h \
+ /root/repo/src/ast/dialect.h

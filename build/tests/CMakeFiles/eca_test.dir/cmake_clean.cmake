@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eca_test.dir/eca_test.cc.o"
+  "CMakeFiles/eca_test.dir/eca_test.cc.o.d"
+  "eca_test"
+  "eca_test.pdb"
+  "eca_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eca_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

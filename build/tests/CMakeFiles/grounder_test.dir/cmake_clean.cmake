@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/grounder_test.dir/grounder_test.cc.o"
+  "CMakeFiles/grounder_test.dir/grounder_test.cc.o.d"
+  "grounder_test"
+  "grounder_test.pdb"
+  "grounder_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/grounder_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

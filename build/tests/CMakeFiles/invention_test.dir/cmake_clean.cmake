@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/invention_test.dir/invention_test.cc.o"
+  "CMakeFiles/invention_test.dir/invention_test.cc.o.d"
+  "invention_test"
+  "invention_test.pdb"
+  "invention_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/invention_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nondet_test.dir/nondet_test.cc.o"
+  "CMakeFiles/nondet_test.dir/nondet_test.cc.o.d"
+  "nondet_test"
+  "nondet_test.pdb"
+  "nondet_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nondet_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

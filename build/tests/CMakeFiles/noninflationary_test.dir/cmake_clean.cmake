@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/noninflationary_test.dir/noninflationary_test.cc.o"
+  "CMakeFiles/noninflationary_test.dir/noninflationary_test.cc.o.d"
+  "noninflationary_test"
+  "noninflationary_test.pdb"
+  "noninflationary_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/noninflationary_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/peers_test.dir/peers_test.cc.o"
+  "CMakeFiles/peers_test.dir/peers_test.cc.o.d"
+  "peers_test"
+  "peers_test.pdb"
+  "peers_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/peers_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

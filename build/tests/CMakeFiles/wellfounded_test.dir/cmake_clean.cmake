@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wellfounded_test.dir/wellfounded_test.cc.o"
+  "CMakeFiles/wellfounded_test.dir/wellfounded_test.cc.o.d"
+  "wellfounded_test"
+  "wellfounded_test.pdb"
+  "wellfounded_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wellfounded_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/while_parser_test.dir/while_parser_test.cc.o"
+  "CMakeFiles/while_parser_test.dir/while_parser_test.cc.o.d"
+  "while_parser_test"
+  "while_parser_test.pdb"
+  "while_parser_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/while_parser_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/while_test.dir/while_test.cc.o"
+  "CMakeFiles/while_test.dir/while_test.cc.o.d"
+  "while_test"
+  "while_test.pdb"
+  "while_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/while_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

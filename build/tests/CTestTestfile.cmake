@@ -1,0 +1,32 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/base_test[1]_include.cmake")
+include("/root/repo/build/tests/ra_test[1]_include.cmake")
+include("/root/repo/build/tests/parser_test[1]_include.cmake")
+include("/root/repo/build/tests/analysis_test[1]_include.cmake")
+include("/root/repo/build/tests/datalog_test[1]_include.cmake")
+include("/root/repo/build/tests/stratified_test[1]_include.cmake")
+include("/root/repo/build/tests/wellfounded_test[1]_include.cmake")
+include("/root/repo/build/tests/inflationary_test[1]_include.cmake")
+include("/root/repo/build/tests/noninflationary_test[1]_include.cmake")
+include("/root/repo/build/tests/invention_test[1]_include.cmake")
+include("/root/repo/build/tests/nondet_test[1]_include.cmake")
+include("/root/repo/build/tests/while_test[1]_include.cmake")
+include("/root/repo/build/tests/workload_test[1]_include.cmake")
+include("/root/repo/build/tests/engine_test[1]_include.cmake")
+include("/root/repo/build/tests/stable_test[1]_include.cmake")
+include("/root/repo/build/tests/fo_test[1]_include.cmake")
+include("/root/repo/build/tests/magic_test[1]_include.cmake")
+include("/root/repo/build/tests/eca_test[1]_include.cmake")
+include("/root/repo/build/tests/grounder_test[1]_include.cmake")
+include("/root/repo/build/tests/provenance_test[1]_include.cmake")
+include("/root/repo/build/tests/random_program_test[1]_include.cmake")
+include("/root/repo/build/tests/fo_to_ra_test[1]_include.cmake")
+include("/root/repo/build/tests/while_parser_test[1]_include.cmake")
+include("/root/repo/build/tests/peers_test[1]_include.cmake")
+include("/root/repo/build/tests/edge_cases_test[1]_include.cmake")
+include("/root/repo/build/tests/coverage_test[1]_include.cmake")

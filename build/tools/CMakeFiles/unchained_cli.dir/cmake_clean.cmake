@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/unchained_cli.dir/unchained_cli.cc.o"
+  "CMakeFiles/unchained_cli.dir/unchained_cli.cc.o.d"
+  "unchained_cli"
+  "unchained_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/unchained_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tools
+# Build directory: /root/repo/build/tools
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(cli_tc_datalog "/root/repo/build/tools/unchained_cli" "--semantics=datalog" "--program=/root/repo/tools/testdata/tc.dl" "--facts=/root/repo/tools/testdata/tc_facts.dl")
+set_tests_properties(cli_tc_datalog PROPERTIES  PASS_REGULAR_EXPRESSION "t\\(a, d\\)" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;7;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_win_wellfounded "/root/repo/build/tools/unchained_cli" "--semantics=wellfounded" "--program=/root/repo/tools/testdata/win.dl" "--facts=/root/repo/tools/testdata/win_facts.dl")
+set_tests_properties(cli_win_wellfounded PROPERTIES  PASS_REGULAR_EXPRESSION "% unknown facts" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;13;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_win_stratified_fails "/root/repo/build/tools/unchained_cli" "--semantics=stratified" "--program=/root/repo/tools/testdata/win.dl" "--facts=/root/repo/tools/testdata/win_facts.dl")
+set_tests_properties(cli_win_stratified_fails PROPERTIES  WILL_FAIL "TRUE" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;19;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_win_stable "/root/repo/build/tools/unchained_cli" "--semantics=stable" "--program=/root/repo/tools/testdata/win.dl" "--facts=/root/repo/tools/testdata/win_facts.dl")
+set_tests_properties(cli_win_stable PROPERTIES  PASS_REGULAR_EXPRESSION "% 0 stable model" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;24;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_orient_enum "/root/repo/build/tools/unchained_cli" "--semantics=nondet-enum" "--program=/root/repo/tools/testdata/orient.dl" "--facts=/root/repo/tools/testdata/orient_facts.dl")
+set_tests_properties(cli_orient_enum PROPERTIES  PASS_REGULAR_EXPRESSION "% 4 image" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;30;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_orient_noninflationary "/root/repo/build/tools/unchained_cli" "--semantics=noninflationary" "--program=/root/repo/tools/testdata/orient.dl" "--facts=/root/repo/tools/testdata/orient_facts.dl")
+set_tests_properties(cli_orient_noninflationary PROPERTIES  PASS_REGULAR_EXPRESSION "% 1 stages" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;36;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_bad_usage "/root/repo/build/tools/unchained_cli" "--semantics=bogus")
+set_tests_properties(cli_bad_usage PROPERTIES  WILL_FAIL "TRUE" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;42;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_while "/root/repo/build/tools/unchained_cli" "--semantics=while" "--program=/root/repo/tools/testdata/tc.while" "--facts=/root/repo/tools/testdata/tc_facts.dl")
+set_tests_properties(cli_while PROPERTIES  PASS_REGULAR_EXPRESSION "ct\\(b, a\\)" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;45;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_fixpoint_rejects_destructive "/root/repo/build/tools/unchained_cli" "--semantics=fixpoint" "--program=/root/repo/tools/testdata/tc.while" "--facts=/root/repo/tools/testdata/tc_facts.dl")
+set_tests_properties(cli_fixpoint_rejects_destructive PROPERTIES  WILL_FAIL "TRUE" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;51;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_explain "/root/repo/build/tools/unchained_cli" "--semantics=datalog" "--program=/root/repo/tools/testdata/tc.dl" "--facts=/root/repo/tools/testdata/tc_facts.dl" "--explain=t(a, d)")
+set_tests_properties(cli_explain PROPERTIES  PASS_REGULAR_EXPRESSION "rule #2" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;57;add_test;/root/repo/tools/CMakeLists.txt;0;")
