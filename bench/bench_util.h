@@ -2,12 +2,18 @@
 #define UNCHAINED_BENCH_BENCH_UTIL_H_
 
 // Shared helpers for the table/figure reproduction binaries: wall-clock
-// timing and aligned row printing. The perf-focused benches use
+// timing, aligned row printing, and an optional `--json=<path>` emitter
+// that dumps one JSON object per benchmark row (name, ms, and the
+// EvalStats counters of the run). The perf-focused benches use
 // google-benchmark instead; these harnesses print the paper-shaped rows.
 
 #include <chrono>
 #include <cstdio>
+#include <fstream>
 #include <string>
+#include <vector>
+
+#include "eval/common.h"
 
 namespace datalog {
 namespace bench {
@@ -36,6 +42,101 @@ inline void Header(const std::string& title) {
   std::printf("%s\n", title.c_str());
   Rule('=');
 }
+
+/// Scans argv for `--json=<path>` and returns the path, or "" when the
+/// flag is absent. Harness mains pass their raw (argc, argv).
+inline std::string JsonPathFromArgs(int argc, char** argv) {
+  const std::string flag = "--json=";
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind(flag, 0) == 0) return arg.substr(flag.size());
+  }
+  return "";
+}
+
+/// Collects benchmark rows and writes them as a JSON array on Flush (or
+/// destruction). Inactive when constructed with an empty path: Row() is
+/// then a no-op, so call sites don't need to branch on the flag.
+///
+/// Each row is one object:
+///   {"name": ..., "ms": ..., "rounds": ..., "facts": ...,
+///    "instantiations": ..., "index": {hits, builds, rebuilds, appended},
+///    "per_rule": [{"rule": i, "matches": ..., "tuples_produced": ...}]}
+class JsonEmitter {
+ public:
+  explicit JsonEmitter(std::string path) : path_(std::move(path)) {}
+  JsonEmitter(int argc, char** argv)
+      : JsonEmitter(JsonPathFromArgs(argc, argv)) {}
+  JsonEmitter(const JsonEmitter&) = delete;
+  JsonEmitter& operator=(const JsonEmitter&) = delete;
+  ~JsonEmitter() { Flush(); }
+
+  bool active() const { return !path_.empty(); }
+
+  void Row(const std::string& name, double ms, const EvalStats& stats) {
+    if (!active()) return;
+    std::string row = "  {\"name\": \"" + Escape(name) +
+                      "\", \"ms\": " + FormatMs(ms) +
+                      ", \"rounds\": " + std::to_string(stats.rounds) +
+                      ", \"facts\": " + std::to_string(stats.facts_derived) +
+                      ", \"instantiations\": " +
+                      std::to_string(stats.instantiations) +
+                      ", \"index\": {\"hits\": " +
+                      std::to_string(stats.index_hits) +
+                      ", \"builds\": " + std::to_string(stats.index_builds) +
+                      ", \"rebuilds\": " +
+                      std::to_string(stats.index_rebuilds) +
+                      ", \"appended\": " +
+                      std::to_string(stats.index_appended) +
+                      "}, \"per_rule\": [";
+    for (size_t i = 0; i < stats.per_rule.size(); ++i) {
+      if (i > 0) row += ", ";
+      row += "{\"rule\": " + std::to_string(i) +
+             ", \"matches\": " + std::to_string(stats.per_rule[i].matches) +
+             ", \"tuples_produced\": " +
+             std::to_string(stats.per_rule[i].tuples_produced) + "}";
+    }
+    row += "]}";
+    rows_.push_back(std::move(row));
+  }
+
+  /// Writes the accumulated array; safe to call more than once (later
+  /// calls rewrite the file with any rows added in between).
+  void Flush() {
+    if (!active() || rows_.empty()) return;
+    std::ofstream out(path_);
+    if (!out) {
+      std::fprintf(stderr, "bench: cannot write --json file %s\n",
+                   path_.c_str());
+      return;
+    }
+    out << "[\n";
+    for (size_t i = 0; i < rows_.size(); ++i) {
+      out << rows_[i] << (i + 1 < rows_.size() ? ",\n" : "\n");
+    }
+    out << "]\n";
+  }
+
+ private:
+  static std::string Escape(const std::string& s) {
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+      if (c == '"' || c == '\\') out.push_back('\\');
+      out.push_back(c);
+    }
+    return out;
+  }
+
+  static std::string FormatMs(double ms) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.3f", ms);
+    return buf;
+  }
+
+  std::string path_;
+  std::vector<std::string> rows_;
+};
 
 }  // namespace bench
 }  // namespace datalog

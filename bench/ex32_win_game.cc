@@ -9,7 +9,7 @@
 #include "core/engine.h"
 #include "workload/graphs.h"
 
-int main() {
+int main(int argc, char** argv) {
   using datalog::Engine;
   using datalog::Instance;
   using datalog::PredId;
@@ -17,6 +17,7 @@ int main() {
 
   datalog::bench::Header(
       "Example 3.2 — game win under the well-founded semantics");
+  datalog::bench::JsonEmitter json(argc, argv);
 
   // (a) Exact instance from the paper.
   {
@@ -52,6 +53,8 @@ int main() {
     datalog::bench::Timer timer;
     auto model = engine.WellFounded(*p, db);
     double ms = timer.ElapsedMs();
+    json.Row("ex32/wellfounded/n=" + std::to_string(n), ms,
+             engine.LastRunStats());
     if (!model.ok()) {
       std::printf("%8d: %s\n", n, model.status().ToString().c_str());
       continue;

@@ -8,7 +8,7 @@
 #include "core/engine.h"
 #include "workload/graphs.h"
 
-int main() {
+int main(int argc, char** argv) {
   using datalog::Engine;
   using datalog::GraphBuilder;
   using datalog::Instance;
@@ -16,6 +16,7 @@ int main() {
 
   datalog::bench::Header(
       "Example 4.3 — complement of TC: inflationary Datalog¬ vs stratified");
+  datalog::bench::JsonEmitter json(argc, argv);
 
   std::printf("%6s %8s %10s %12s %12s %14s %8s\n", "n", "edges", "|ct|",
               "infl(ms)", "strat(ms)", "infl stages", "agree");
@@ -45,9 +46,13 @@ int main() {
     datalog::bench::Timer t1;
     auto infl = engine.Inflationary(*infl_p, db);
     double infl_ms = t1.ElapsedMs();
+    json.Row("ex43/inflationary/n=" + std::to_string(n), infl_ms,
+             engine.LastRunStats());
     datalog::bench::Timer t2;
     auto strat = engine.Stratified(*strat_p, db);
     double strat_ms = t2.ElapsedMs();
+    json.Row("ex43/stratified/n=" + std::to_string(n), strat_ms,
+             engine.LastRunStats());
     if (!infl.ok() || !strat.ok()) return 1;
 
     PredId ct = engine.catalog().Find("ct");

@@ -5,8 +5,17 @@
 // the classic asymptotic gap the deductive-database literature (Section 6)
 // optimizes.
 
+// Pass `--json=<path>` (alongside the usual --benchmark_* flags) to also
+// run one instrumented repetition of each workload and dump its EvalStats
+// — rounds, facts, instantiations, index-maintenance counters, and
+// per-rule match/production counts — as a JSON array.
+
 #include <benchmark/benchmark.h>
 
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
 #include "core/engine.h"
 #include "workload/graphs.h"
 
@@ -128,6 +137,114 @@ void BM_NondetOrientationRun(benchmark::State& state) {
 }
 BENCHMARK(BM_NondetOrientationRun)->Arg(4)->Arg(8)->Arg(16);
 
+// One instrumented repetition per workload: wall-clock through
+// bench::Timer, counters through Engine::LastRunStats(). Kept separate
+// from the google-benchmark loops so the stats pass never perturbs the
+// timed iterations.
+void EmitStatsJson(const std::string& path) {
+  datalog::bench::JsonEmitter json(path);
+
+  for (int n : {64, 128}) {
+    Engine engine;
+    auto p = engine.Parse(kTc);
+    GraphBuilder graphs(&engine.catalog(), &engine.symbols());
+    Instance db = graphs.Chain(n);
+    datalog::bench::Timer t;
+    auto r = engine.MinimumModelNaive(*p, db);
+    if (r.ok()) {
+      json.Row("naive_tc_chain/" + std::to_string(n), t.ElapsedMs(),
+               engine.LastRunStats());
+    }
+  }
+  for (int n : {64, 128, 256}) {
+    Engine engine;
+    auto p = engine.Parse(kTc);
+    GraphBuilder graphs(&engine.catalog(), &engine.symbols());
+    Instance db = graphs.Chain(n);
+    datalog::bench::Timer t;
+    auto r = engine.MinimumModel(*p, db);
+    if (r.ok()) {
+      json.Row("seminaive_tc_chain/" + std::to_string(n), t.ElapsedMs(),
+               engine.LastRunStats());
+    }
+  }
+  for (int n : {128, 256}) {
+    Engine engine;
+    auto p = engine.Parse(kTc);
+    GraphBuilder graphs(&engine.catalog(), &engine.symbols());
+    Instance db = graphs.RandomDigraph(n, 3 * n, /*seed=*/42);
+    datalog::bench::Timer t;
+    auto r = engine.MinimumModel(*p, db);
+    if (r.ok()) {
+      json.Row("seminaive_tc_random/" + std::to_string(n), t.ElapsedMs(),
+               engine.LastRunStats());
+    }
+  }
+  for (int n : {64}) {
+    Engine engine;
+    auto p = engine.Parse(
+        "t(X, Y) :- g(X, Y).\n"
+        "t(X, Y) :- g(X, Z), t(Z, Y).\n"
+        "ct(X, Y) :- !t(X, Y).\n");
+    GraphBuilder graphs(&engine.catalog(), &engine.symbols());
+    Instance db = graphs.RandomDigraph(n, 2 * n, /*seed=*/7);
+    datalog::bench::Timer t;
+    auto r = engine.Stratified(*p, db);
+    if (r.ok()) {
+      json.Row("stratified_complement_tc/" + std::to_string(n),
+               t.ElapsedMs(), engine.LastRunStats());
+    }
+  }
+  for (int n : {128}) {
+    Engine engine;
+    auto p = engine.Parse("win(X) :- moves(X, Y), !win(Y).\n");
+    Instance db = datalog::RandomGameGraph(&engine.catalog(),
+                                           &engine.symbols(), n, 2 * n,
+                                           /*seed=*/13);
+    datalog::bench::Timer t;
+    auto r = engine.WellFounded(*p, db);
+    if (r.ok()) {
+      json.Row("wellfounded_win/" + std::to_string(n), t.ElapsedMs(),
+               engine.LastRunStats());
+    }
+  }
+  for (int n : {16}) {
+    Engine engine;
+    auto p = engine.Parse(
+        "t(X, Y) :- g(X, Y).\n"
+        "t(X, Y) :- t(X, Z), g(Z, Y).\n"
+        "closer(X, Y, X2, Y2) :- t(X, Y), !t(X2, Y2).\n");
+    GraphBuilder graphs(&engine.catalog(), &engine.symbols());
+    Instance db = graphs.Chain(n);
+    datalog::bench::Timer t;
+    auto r = engine.Inflationary(*p, db);
+    if (r.ok()) {
+      json.Row("inflationary_closer/" + std::to_string(n), t.ElapsedMs(),
+               engine.LastRunStats());
+    }
+  }
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  // Extract --json=<path> before google-benchmark sees the arguments (it
+  // rejects flags it doesn't recognize).
+  std::string json_path;
+  std::vector<char*> passthrough;
+  passthrough.reserve(argc);
+  for (int i = 0; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--json=", 0) == 0) {
+      json_path = arg.substr(7);
+    } else {
+      passthrough.push_back(argv[i]);
+    }
+  }
+  int bench_argc = static_cast<int>(passthrough.size());
+  benchmark::Initialize(&bench_argc, passthrough.data());
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  if (!json_path.empty()) EmitStatsJson(json_path);
+  return 0;
+}

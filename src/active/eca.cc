@@ -5,6 +5,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "eval/context.h"
 #include "eval/grounder.h"
 
 namespace datalog {
@@ -117,21 +118,26 @@ Result<ActiveResult> RunActiveRules(const Program& program, Catalog* catalog,
   };
   if (options.base.detect_cycles) record_state(state);
 
+  EvalContext ctx(options.base.eval);
+  ctx.stats.EnsureRuleSlots(program.rules.size());
   while (true) {
     if (result.stages + 1 > options.base.eval.max_rounds) {
       return Status::BudgetExhausted("active rules exceeded stage budget");
     }
-    // Parallel firing (positive-wins) against the frozen state.
+    ctx.StartRound();
+    // Parallel firing (positive-wins) against the frozen state. The state
+    // is replaced each round by deletion/reassignment, so the context's
+    // caches fall back to full rebuilds via the epoch check.
     Instance inserts(catalog);
     Instance deletes(catalog);
-    IndexCache cache;
     DbView view{&state, &state};
-    std::vector<Value> adom = ActiveDomain(program, state);
-    for (const RuleMatcher& matcher : matchers) {
+    const std::vector<Value>& adom = ctx.Adom(program, state);
+    for (size_t ri = 0; ri < matchers.size(); ++ri) {
+      const RuleMatcher& matcher = matchers[ri];
       const Rule& rule = matcher.rule();
-      matcher.ForEachMatch(view, adom, &cache,
+      matcher.ForEachMatch(view, adom, &ctx.index,
                            [&](const Valuation& val) -> bool {
-                             ++result.stats.instantiations;
+                             ctx.stats.CountMatch(ri, /*produced=*/false);
                              for (const Literal& head : rule.heads) {
                                Tuple t = InstantiateAtom(head.atom, val);
                                if (head.negative) {
@@ -170,11 +176,13 @@ Result<ActiveResult> RunActiveRules(const Program& program, Catalog* catalog,
       // Quiescent: no user-predicate changes. Clear any leftover deltas in
       // the result.
       clear_deltas(&state);
+      ctx.FinishRound();
       break;
     }
     ++result.stages;
-    ++result.stats.rounds;
+    ++ctx.stats.rounds;
     state = std::move(next);
+    ctx.FinishRound();
     if (options.base.detect_cycles) {
       int prev = record_state(state);
       if (prev >= 0) {
@@ -185,6 +193,8 @@ Result<ActiveResult> RunActiveRules(const Program& program, Catalog* catalog,
       }
     }
   }
+  ctx.Finalize();
+  result.stats = ctx.stats;
   return result;
 }
 

@@ -2,6 +2,7 @@
 
 #include "analysis/validate.h"
 #include "ast/parser.h"
+#include "eval/context.h"
 #include "eval/naive.h"
 #include "eval/seminaive.h"
 #include "eval/stratified.h"
@@ -24,48 +25,82 @@ Result<Instance> Engine::MinimumModel(const Program& program,
                                       const Instance& input,
                                       EvalStats* stats) const {
   DATALOG_RETURN_IF_ERROR(Validate(program, Dialect::kDatalog));
-  return SemiNaiveDatalog(program, input, options_, stats);
+  EvalContext ctx(options_);
+  Result<Instance> out = SemiNaiveDatalog(program, input, &ctx);
+  ctx.Finalize();
+  last_run_stats_ = ctx.stats;
+  if (stats != nullptr) *stats = ctx.stats;
+  return out;
 }
 
 Result<Instance> Engine::MinimumModelNaive(const Program& program,
                                            const Instance& input,
                                            EvalStats* stats) const {
   DATALOG_RETURN_IF_ERROR(Validate(program, Dialect::kDatalog));
-  return NaiveLeastFixpoint(program, input, /*fixed_negation=*/nullptr,
-                            options_, stats);
+  EvalContext ctx(options_);
+  Result<Instance> out =
+      NaiveLeastFixpoint(program, input, /*fixed_negation=*/nullptr, &ctx);
+  ctx.Finalize();
+  last_run_stats_ = ctx.stats;
+  if (stats != nullptr) *stats = ctx.stats;
+  return out;
 }
 
 Result<Instance> Engine::Stratified(const Program& program,
                                     const Instance& input,
                                     EvalStats* stats) const {
   DATALOG_RETURN_IF_ERROR(Validate(program, Dialect::kStratified));
-  return StratifiedSemantics(program, catalog_, input, options_, stats);
+  EvalContext ctx(options_);
+  Result<Instance> out = StratifiedSemantics(program, catalog_, input, &ctx);
+  ctx.Finalize();
+  last_run_stats_ = ctx.stats;
+  if (stats != nullptr) *stats = ctx.stats;
+  return out;
 }
 
 Result<WellFoundedModel> Engine::WellFounded(const Program& program,
                                              const Instance& input) const {
   DATALOG_RETURN_IF_ERROR(Validate(program, Dialect::kDatalogNeg));
-  return WellFoundedSemantics(program, input, options_);
+  EvalContext ctx(options_);
+  Result<WellFoundedModel> out = WellFoundedSemantics(program, input, &ctx);
+  ctx.Finalize();
+  last_run_stats_ = ctx.stats;
+  return out;
 }
 
 Result<InflationaryResult> Engine::Inflationary(
     const Program& program, const Instance& input,
     const StageObserver& observer) const {
   DATALOG_RETURN_IF_ERROR(Validate(program, Dialect::kDatalogNeg));
-  return InflationaryFixpoint(program, input, options_, observer);
+  EvalContext ctx(options_);
+  Result<InflationaryResult> out =
+      InflationaryFixpoint(program, input, &ctx, observer);
+  ctx.Finalize();
+  last_run_stats_ = ctx.stats;
+  return out;
 }
 
 Result<NonInflationaryResult> Engine::NonInflationary(
     const Program& program, const Instance& input,
     const NonInflationaryOptions& options) const {
   DATALOG_RETURN_IF_ERROR(Validate(program, Dialect::kDatalogNegNeg));
-  return NonInflationaryFixpoint(program, input, options);
+  EvalContext ctx(options.eval);
+  Result<NonInflationaryResult> out =
+      NonInflationaryFixpoint(program, input, options, &ctx);
+  ctx.Finalize();
+  last_run_stats_ = ctx.stats;
+  return out;
 }
 
 Result<InventionResult> Engine::Invention(const Program& program,
                                           const Instance& input) {
   DATALOG_RETURN_IF_ERROR(Validate(program, Dialect::kDatalogNew));
-  return InventionFixpoint(program, input, &symbols_, options_);
+  EvalContext ctx(options_);
+  Result<InventionResult> out =
+      InventionFixpoint(program, input, &symbols_, &ctx);
+  ctx.Finalize();
+  last_run_stats_ = ctx.stats;
+  return out;
 }
 
 Result<Instance> Engine::NondetRun(const Program& program, Dialect dialect,
@@ -78,7 +113,9 @@ Result<Instance> Engine::NondetRun(const Program& program, Dialect dialect,
   NondetOptions opts = options;
   if (dialect == Dialect::kNDatalogNew) opts.allow_invention = true;
   NondetEvaluator evaluator(&program, &catalog_);
-  return evaluator.RunOnce(input, seed, &symbols_, opts);
+  Result<Instance> out = evaluator.RunOnce(input, seed, &symbols_, opts);
+  last_run_stats_ = evaluator.last_stats();
+  return out;
 }
 
 Result<EffectSet> Engine::NondetEnumerate(const Program& program,
@@ -91,7 +128,9 @@ Result<EffectSet> Engine::NondetEnumerate(const Program& program,
   }
   DATALOG_RETURN_IF_ERROR(Validate(program, dialect));
   NondetEvaluator evaluator(&program, &catalog_);
-  return evaluator.Enumerate(input, options);
+  Result<EffectSet> out = evaluator.Enumerate(input, options);
+  last_run_stats_ = evaluator.last_stats();
+  return out;
 }
 
 Result<PossCert> Engine::NondetPossCert(const Program& program,

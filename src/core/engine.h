@@ -49,6 +49,12 @@ class Engine {
   /// Budgets applied by all deterministic evaluation methods.
   EvalOptions& options() { return options_; }
 
+  /// Stats of the most recent evaluation run through this facade
+  /// (whatever entry point it used): rounds, facts, instantiations,
+  /// index-maintenance counters, per-rule counters and wall-clock timings.
+  /// Overwritten by every evaluation call.
+  const EvalStats& LastRunStats() const { return last_run_stats_; }
+
   /// An empty instance over this engine's catalog.
   Instance NewInstance() const { return Instance(&catalog_); }
 
@@ -117,6 +123,8 @@ class Engine {
   Catalog catalog_;
   SymbolTable symbols_;
   EvalOptions options_;
+  /// Mutable so the const evaluation entry points can record their stats.
+  mutable EvalStats last_run_stats_;
 };
 
 }  // namespace datalog

@@ -82,6 +82,13 @@ Result<int> PeerSystem::Run(const EvalOptions& options) {
   matchers.reserve(compiled.size());
   for (const CompiledRule& cr : compiled) matchers.emplace_back(cr.rule);
 
+  // One persistent evaluation context per peer: each peer's indexes and
+  // active-domain cache live across every round of the run, refreshed
+  // incrementally as deliveries grow its local instance. (Peers share
+  // PredIds through the global catalog, so a single shared context would
+  // thrash between the peers' unrelated relations.)
+  std::vector<EvalContext> contexts(num_peers());
+
   int rounds = 0;
   while (true) {
     if (rounds + 1 > options.max_rounds) {
@@ -91,19 +98,20 @@ Result<int> PeerSystem::Run(const EvalOptions& options) {
     // local instance; derived facts are buffered per destination and
     // delivered at the end of the round (asynchronous delivery).
     std::map<int, Instance> outboxes;
-    std::vector<IndexCache> caches(num_peers());
     bool any_new = false;
     for (size_t i = 0; i < compiled.size(); ++i) {
       const CompiledRule& cr = compiled[i];
       const Peer& peer = peers_[cr.peer];
+      EvalContext& ctx = contexts[cr.peer];
       DbView view{&peer.db, &peer.db};
-      std::vector<Value> adom = ActiveDomain(peer.program, peer.db);
+      const std::vector<Value>& adom = ctx.Adom(peer.program, peer.db);
       const Atom& head = cr.rule->heads[0].atom;
       int dest = cr.destination < 0 ? cr.peer : cr.destination;
       auto [it, created] = outboxes.try_emplace(dest, Instance(catalog_));
       Instance& outbox = it->second;
       matchers[i].ForEachMatch(
-          view, adom, &caches[cr.peer], [&](const Valuation& val) -> bool {
+          view, adom, &ctx.index, [&](const Valuation& val) -> bool {
+            ++ctx.stats.instantiations;
             Tuple t = InstantiateAtom(head, val);
             if (!peers_[dest].db.Contains(cr.local_pred, t)) {
               bool fresh = outbox.Insert(cr.local_pred, std::move(t));
@@ -118,6 +126,13 @@ Result<int> PeerSystem::Run(const EvalOptions& options) {
     if (!any_new) break;
     ++rounds;
   }
+
+  last_run_stats_ = EvalStats{};
+  for (EvalContext& ctx : contexts) {
+    ctx.Finalize();
+    last_run_stats_.MergeFrom(ctx.stats);
+  }
+  last_run_stats_.rounds = rounds;
   return rounds;
 }
 

@@ -7,7 +7,7 @@
 #include "ast/ast.h"
 #include "base/result.h"
 #include "base/symbols.h"
-#include "eval/common.h"
+#include "eval/context.h"
 #include "ra/instance.h"
 
 namespace datalog {
@@ -53,6 +53,10 @@ class PeerSystem {
   /// Total facts delivered across peers during the last Run.
   int64_t messages_delivered() const { return messages_delivered_; }
 
+  /// Scalar counters aggregated over every peer's evaluation context
+  /// during the last Run (rounds = global rounds to quiescence).
+  const EvalStats& last_run_stats() const { return last_run_stats_; }
+
  private:
   struct Peer {
     std::string name;
@@ -69,6 +73,7 @@ class PeerSystem {
   SymbolTable* symbols_;
   std::vector<Peer> peers_;
   int64_t messages_delivered_ = 0;
+  EvalStats last_run_stats_;
 };
 
 }  // namespace datalog

@@ -2,12 +2,23 @@
 #define UNCHAINED_EVAL_COMMON_H_
 
 #include <cstdint>
+#include <vector>
 
 namespace datalog {
 
 class DerivationLog;
 
-/// Counters reported by the deterministic engines.
+/// Per-rule counters (indexed like `Program::rules`), collected by the
+/// engines that evaluate a program rule-by-rule. Units: `matches` counts
+/// satisfying body valuations found for the rule; `tuples_produced` counts
+/// facts the rule inserted that were not already in the database.
+struct RuleStats {
+  int64_t matches = 0;
+  int64_t tuples_produced = 0;
+};
+
+/// Counters reported by the engines through EvalContext. Times are
+/// wall-clock milliseconds.
 struct EvalStats {
   /// Number of evaluation rounds (the "stages" of Section 4.1, or
   /// alternating-fixpoint outer iterations for the well-founded engine).
@@ -16,6 +27,53 @@ struct EvalStats {
   int64_t facts_derived = 0;
   /// Rule-body matches found (successful instantiations).
   int64_t instantiations = 0;
+
+  // -- Index maintenance (mirrors IndexManager::Counters) --------------
+  /// Lookups served by an index that was already up to date.
+  int64_t index_hits = 0;
+  /// First-time (pred, mask) index builds.
+  int64_t index_builds = 0;
+  /// Full index rebuilds forced by non-monotone mutation.
+  int64_t index_rebuilds = 0;
+  /// Tuples appended incrementally from relation journals.
+  int64_t index_appended = 0;
+
+  // -- Timing ----------------------------------------------------------
+  /// Total wall-clock of the evaluation, set by EvalContext::Finalize.
+  double total_ms = 0;
+  /// Wall-clock per round, in round order; capped at kMaxRoundTimings
+  /// entries so budget-exhausting runs don't balloon memory.
+  std::vector<double> round_ms;
+  static constexpr size_t kMaxRoundTimings = 4096;
+
+  /// Per-rule counters, sized to the evaluated program on demand.
+  std::vector<RuleStats> per_rule;
+
+  /// Grows `per_rule` to cover `num_rules` entries.
+  void EnsureRuleSlots(size_t num_rules) {
+    if (per_rule.size() < num_rules) per_rule.resize(num_rules);
+  }
+
+  /// Adds one rule match (and optionally a produced tuple) to `rule`.
+  void CountMatch(size_t rule, bool produced) {
+    ++instantiations;
+    if (rule < per_rule.size()) {
+      ++per_rule[rule].matches;
+      if (produced) ++per_rule[rule].tuples_produced;
+    }
+  }
+
+  /// Accumulates the scalar counters of `other` (used when a semantics is
+  /// computed from sub-evaluations, e.g. stable models).
+  void MergeFrom(const EvalStats& other) {
+    rounds += other.rounds;
+    facts_derived += other.facts_derived;
+    instantiations += other.instantiations;
+    index_hits += other.index_hits;
+    index_builds += other.index_builds;
+    index_rebuilds += other.index_rebuilds;
+    index_appended += other.index_appended;
+  }
 };
 
 /// Budgets shared by the engines. The deterministic inflationary engines

@@ -1,0 +1,79 @@
+#include "eval/context.h"
+
+#include <algorithm>
+#include <set>
+
+namespace datalog {
+
+void AdomCache::Recompute(const Program& program, const Instance& instance) {
+  std::set<Value> dom = instance.ActiveDomain();
+  dom.insert(program.constants.begin(), program.constants.end());
+  adom_.assign(dom.begin(), dom.end());
+  rel_states_.clear();
+  for (const auto& [pred, rel] : instance.relations()) {
+    rel_states_[pred] = RelState{rel.epoch(), rel.journal().size()};
+  }
+  program_ = &program;
+  instance_ = &instance;
+}
+
+void AdomCache::MergeValues(std::vector<Value>* fresh) {
+  if (fresh->empty()) return;
+  std::sort(fresh->begin(), fresh->end());
+  fresh->erase(std::unique(fresh->begin(), fresh->end()), fresh->end());
+  const size_t old_size = adom_.size();
+  for (Value v : *fresh) {
+    if (!std::binary_search(adom_.begin(), adom_.begin() + old_size, v)) {
+      adom_.push_back(v);
+    }
+  }
+  if (adom_.size() != old_size) {
+    std::inplace_merge(adom_.begin(), adom_.begin() + old_size, adom_.end());
+  }
+}
+
+const std::vector<Value>& AdomCache::Get(const Program& program,
+                                         const Instance& instance) {
+  if (program_ != &program || instance_ != &instance) {
+    Recompute(program, instance);
+    return adom_;
+  }
+  // Walk the relations: if every previously seen relation is in the same
+  // epoch, the instance has only grown and the journal tails are exactly
+  // the new values. Any epoch change on a seen relation may have removed
+  // values — recompute. A newly materialized relation is safe to consume
+  // from journal position 0 only if its journal covers all its tuples.
+  // A tracked relation that vanished (a different instance reusing the
+  // same address) also forces a recompute, caught by counting matches.
+  const size_t tracked_before = rel_states_.size();
+  size_t matched = 0;
+  std::vector<Value> fresh;
+  for (const auto& [pred, rel] : instance.relations()) {
+    auto it = rel_states_.find(pred);
+    if (it == rel_states_.end()) {
+      if (!rel.journal_complete()) {
+        Recompute(program, instance);
+        return adom_;
+      }
+      it = rel_states_.emplace(pred, RelState{rel.epoch(), 0}).first;
+    } else if (it->second.epoch != rel.epoch()) {
+      Recompute(program, instance);
+      return adom_;
+    } else {
+      ++matched;
+    }
+    const std::vector<const Tuple*>& journal = rel.journal();
+    for (size_t i = it->second.journal_pos; i < journal.size(); ++i) {
+      fresh.insert(fresh.end(), journal[i]->begin(), journal[i]->end());
+    }
+    it->second.journal_pos = journal.size();
+  }
+  if (matched != tracked_before) {
+    Recompute(program, instance);
+    return adom_;
+  }
+  MergeValues(&fresh);
+  return adom_;
+}
+
+}  // namespace datalog

@@ -1,0 +1,112 @@
+#ifndef UNCHAINED_EVAL_CONTEXT_H_
+#define UNCHAINED_EVAL_CONTEXT_H_
+
+#include <chrono>
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "ast/ast.h"
+#include "eval/common.h"
+#include "ra/index.h"
+#include "ra/instance.h"
+
+namespace datalog {
+
+/// Incrementally maintained active domain adom(P, I): the sorted vector of
+/// every value in the instance plus every constant of the program
+/// (Section 4.1). The cache tracks per-relation (epoch, journal position)
+/// pairs, exactly like IndexManager: while the instance only grows, each
+/// refresh merges just the journal tail into the sorted vector; any
+/// non-monotone mutation (or a different instance/program) falls back to
+/// a full recompute. This replaces the per-round `std::set<Value>`
+/// materialization the engines used to pay.
+class AdomCache {
+ public:
+  /// The current active domain, sorted ascending. The reference is valid
+  /// until the next Get call on this cache.
+  const std::vector<Value>& Get(const Program& program,
+                                const Instance& instance);
+
+ private:
+  struct RelState {
+    uint64_t epoch = 0;
+    size_t journal_pos = 0;
+  };
+
+  void Recompute(const Program& program, const Instance& instance);
+  /// Inserts any of `fresh` not already present, keeping `adom_` sorted.
+  void MergeValues(std::vector<Value>* fresh);
+
+  const Program* program_ = nullptr;
+  const Instance* instance_ = nullptr;
+  std::unordered_map<PredId, RelState> rel_states_;
+  std::vector<Value> adom_;
+};
+
+/// Shared per-evaluation state threaded through every engine in the
+/// family: budgets, stats, the persistent index manager, the incremental
+/// active-domain cache, provenance, and wall-clock timers. One EvalContext
+/// corresponds to one evaluation (and is the intended unit of per-worker
+/// state for future parallel evaluation); the Engine facade constructs one
+/// per entry-point call and surfaces its stats via Engine::LastRunStats().
+class EvalContext {
+ public:
+  EvalContext() : start_(Clock::now()) {}
+  explicit EvalContext(const EvalOptions& opts)
+      : options(opts), provenance(opts.provenance), start_(Clock::now()) {}
+
+  EvalContext(const EvalContext&) = delete;
+  EvalContext& operator=(const EvalContext&) = delete;
+
+  EvalOptions options;
+  EvalStats stats;
+  IndexManager index;
+  AdomCache adom_cache;
+  /// When non-null, engines record first derivations here (mirrors
+  /// options.provenance; kept as a member so engines no longer thread a
+  /// third parameter around).
+  DerivationLog* provenance = nullptr;
+
+  /// The active domain for matching `program` against `instance`.
+  const std::vector<Value>& Adom(const Program& program,
+                                 const Instance& instance) {
+    return adom_cache.Get(program, instance);
+  }
+
+  /// Round timing: call StartRound at the top of a stage and FinishRound
+  /// once its new facts are merged; FinishRound appends to stats.round_ms
+  /// (up to EvalStats::kMaxRoundTimings entries).
+  void StartRound() { round_start_ = Clock::now(); }
+  void FinishRound() {
+    if (stats.round_ms.size() < EvalStats::kMaxRoundTimings) {
+      stats.round_ms.push_back(ElapsedMs(round_start_));
+    }
+  }
+
+  /// Folds the index counters and the total wall-clock into `stats`.
+  /// Engines call it on their success path; the Engine facade also calls
+  /// it defensively before copying stats out.
+  void Finalize() {
+    stats.total_ms = ElapsedMs(start_);
+    const IndexManager::Counters& c = index.counters();
+    stats.index_hits = c.hits;
+    stats.index_builds = c.builds;
+    stats.index_rebuilds = c.rebuilds;
+    stats.index_appended = c.appended;
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  static double ElapsedMs(Clock::time_point since) {
+    return std::chrono::duration<double, std::milli>(Clock::now() - since)
+        .count();
+  }
+
+  Clock::time_point start_;
+  Clock::time_point round_start_{};
+};
+
+}  // namespace datalog
+
+#endif  // UNCHAINED_EVAL_CONTEXT_H_

@@ -5,32 +5,6 @@
 
 namespace datalog {
 
-const IndexCache::Bucket* IndexCache::Lookup(const Instance& db, PredId pred,
-                                             uint32_t mask, const Tuple& key) {
-  auto map_key = std::make_pair(pred, mask);
-  auto it = indexes_.find(map_key);
-  if (it == indexes_.end()) {
-    // Build the index for this (pred, bound-columns) combination. Tuple
-    // pointers into the relation are stable while the instance is frozen,
-    // which the engines guarantee for the lifetime of a cache.
-    Index index;
-    const Relation& rel = db.Rel(pred);
-    const int arity = rel.arity();
-    Tuple k;
-    for (const Tuple& t : rel) {
-      k.clear();
-      for (int c = 0; c < arity; ++c) {
-        if (mask & (1u << c)) k.push_back(t[c]);
-      }
-      index.buckets[k].push_back(&t);
-    }
-    it = indexes_.emplace(map_key, std::move(index)).first;
-  }
-  const auto& buckets = it->second.buckets;
-  auto bit = buckets.find(key);
-  return bit == buckets.end() ? nullptr : &bit->second;
-}
-
 RuleMatcher::RuleMatcher(const Rule* rule) : rule_(rule) {
   is_forall_ = !rule->universal_vars.empty();
   for (size_t i = 0; i < rule->body.size(); ++i) {
@@ -72,7 +46,7 @@ Value TermValue(const Term& t, const Valuation& val) {
 struct RuleMatcher::MatchState {
   const DbView* view;
   const std::vector<Value>* adom;
-  IndexCache* cache;
+  IndexManager* index;
   int delta_literal;
   const Relation* delta;
   const std::function<bool(const Valuation&)>* cb;
@@ -262,7 +236,7 @@ bool RuleMatcher::MatchPositives(MatchState* state) const {
         keep_going = MatchPositives(state);
       }
     } else {
-      const IndexCache::Bucket* bucket = state->cache->Lookup(
+      const IndexManager::Bucket* bucket = state->index->Lookup(
           *state->view->positives, atom.pred, best_mask, key);
       if (bucket != nullptr) {
         for (const Tuple* t : *bucket) {
@@ -368,7 +342,7 @@ bool RuleMatcher::MatchForall(
 }
 
 void RuleMatcher::ForEachMatch(
-    const DbView& view, const std::vector<Value>& adom, IndexCache* cache,
+    const DbView& view, const std::vector<Value>& adom, IndexManager* index,
     int delta_literal, const Relation* delta,
     const std::function<bool(const Valuation&)>& cb) const {
   if (is_forall_) {
@@ -379,7 +353,7 @@ void RuleMatcher::ForEachMatch(
   MatchState state;
   state.view = &view;
   state.adom = &adom;
-  state.cache = cache;
+  state.index = index;
   state.delta_literal = delta_literal;
   state.delta = delta;
   state.cb = &cb;
@@ -390,9 +364,9 @@ void RuleMatcher::ForEachMatch(
 }
 
 void RuleMatcher::ForEachMatch(
-    const DbView& view, const std::vector<Value>& adom, IndexCache* cache,
+    const DbView& view, const std::vector<Value>& adom, IndexManager* index,
     const std::function<bool(const Valuation&)>& cb) const {
-  ForEachMatch(view, adom, cache, /*delta_literal=*/-1, /*delta=*/nullptr, cb);
+  ForEachMatch(view, adom, index, /*delta_literal=*/-1, /*delta=*/nullptr, cb);
 }
 
 Tuple InstantiateAtom(const Atom& atom, const Valuation& val) {

@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "ast/ast.h"
+#include "ra/index.h"
 #include "ra/instance.h"
 
 namespace datalog {
@@ -31,38 +32,12 @@ struct DbView {
   const Instance* negatives;
 };
 
-/// Per-round hash indexes over the relations of one frozen `Instance`.
-/// Keyed by (predicate, bitmask of bound column positions); buckets map the
-/// bound-column values to the matching tuples. Engines create a fresh cache
-/// whenever the instance they match against changes.
-class IndexCache {
- public:
-  using Bucket = std::vector<const Tuple*>;
-
-  IndexCache() = default;
-  IndexCache(const IndexCache&) = delete;
-  IndexCache& operator=(const IndexCache&) = delete;
-
-  /// Returns the tuples of `db.Rel(pred)` whose columns selected by `mask`
-  /// (bit i = column i bound) equal `key` (the bound values, in column
-  /// order). Builds the index for (pred, mask) on first use. Returns
-  /// nullptr for an empty bucket.
-  const Bucket* Lookup(const Instance& db, PredId pred, uint32_t mask,
-                       const Tuple& key);
-
- private:
-  struct Index {
-    std::unordered_map<Tuple, Bucket, TupleHash> buckets;
-  };
-  std::map<std::pair<PredId, uint32_t>, Index> indexes_;
-};
-
 /// Matches one rule's body against a database view, enumerating every
 /// satisfying valuation — the instantiations of the immediate consequence
 /// operator ΓP (Section 4.1).
 ///
 /// Strategy: positive relational literals are joined greedily (most-bound
-/// first, smaller relation as tie-break) through `IndexCache`; equality and
+/// first, smaller relation as tie-break) through `IndexManager`; equality and
 /// negative literals are applied as soon as their variables are bound;
 /// variables still unbound after all positive literals (e.g. variables
 /// occurring only under negation, as in `ct(X,Y) :- !t(X,Y)`) are
@@ -84,13 +59,13 @@ class RuleMatcher {
   /// against `*delta` instead of the view — the semi-naive rewriting.
   /// Matching stops early if `cb` returns false.
   void ForEachMatch(const DbView& view, const std::vector<Value>& adom,
-                    IndexCache* cache, int delta_literal,
+                    IndexManager* index, int delta_literal,
                     const Relation* delta,
                     const std::function<bool(const Valuation&)>& cb) const;
 
   /// Convenience: all-matches entry with no delta.
   void ForEachMatch(const DbView& view, const std::vector<Value>& adom,
-                    IndexCache* cache,
+                    IndexManager* index,
                     const std::function<bool(const Valuation&)>& cb) const;
 
  private:

@@ -1,5 +1,7 @@
 #include "eval/inflationary.h"
 
+#include <cassert>
+
 #include "eval/grounder.h"
 #include "eval/provenance.h"
 
@@ -7,8 +9,12 @@ namespace datalog {
 
 Result<InflationaryResult> InflationaryFixpoint(const Program& program,
                                                 const Instance& input,
-                                                const EvalOptions& options,
+                                                EvalContext* ctx,
                                                 const StageObserver& observer) {
+  assert(ctx != nullptr);
+  EvalStats& st = ctx->stats;
+  st.EnsureRuleSlots(program.rules.size());
+
   std::vector<RuleMatcher> matchers;
   matchers.reserve(program.rules.size());
   for (const Rule& rule : program.rules) {
@@ -28,32 +34,32 @@ Result<InflationaryResult> InflationaryFixpoint(const Program& program,
 
   InflationaryResult result(input);
   Instance& db = result.instance;
-  // Rule heads cannot invent values, so the active domain is invariant
-  // across stages: compute it once.
-  const std::vector<Value> adom = ActiveDomain(program, input);
   while (true) {
-    if (result.stages + 1 > options.max_rounds) {
+    if (result.stages + 1 > ctx->options.max_rounds) {
       return Status::BudgetExhausted("inflationary evaluation exceeded " +
-                                     std::to_string(options.max_rounds) +
+                                     std::to_string(ctx->options.max_rounds) +
                                      " stages");
     }
+    ctx->StartRound();
     // One stage: fire every rule with every applicable instantiation
     // against the frozen current instance (parallel firing), then add all
-    // inferred facts at once.
+    // inferred facts at once. Rule heads cannot invent values, so the
+    // cached active domain only refreshes with the database's journal.
+    const std::vector<Value>& adom = ctx->Adom(program, db);
     Instance fresh(&input.catalog());
-    IndexCache cache;
     DbView view{&db, &db};
     const int stage = result.stages + 1;
     for (size_t ri = 0; ri < matchers.size(); ++ri) {
       const RuleMatcher& matcher = matchers[ri];
       const Atom& head = matcher.rule().heads[0].atom;
       matcher.ForEachMatch(
-          view, adom, &cache, [&](const Valuation& val) -> bool {
-            ++result.stats.instantiations;
+          view, adom, &ctx->index, [&](const Valuation& val) -> bool {
             Tuple t = InstantiateAtom(head, val);
-            if (!db.Contains(head.pred, t)) {
-              if (options.provenance != nullptr) {
-                options.provenance->Record(
+            bool produced = !db.Contains(head.pred, t);
+            st.CountMatch(ri, produced);
+            if (produced) {
+              if (ctx->provenance != nullptr) {
+                ctx->provenance->Record(
                     head.pred, t, static_cast<int>(ri), stage,
                     InstantiateBodyPremises(matcher.rule(), val));
               }
@@ -62,16 +68,22 @@ Result<InflationaryResult> InflationaryFixpoint(const Program& program,
             return true;
           });
     }
-    if (fresh.TotalFacts() == 0) break;
+    if (fresh.TotalFacts() == 0) {
+      ctx->FinishRound();
+      break;
+    }
     ++result.stages;
-    ++result.stats.rounds;
+    ++st.rounds;
     if (observer) observer(result.stages, fresh);
-    result.stats.facts_derived += static_cast<int64_t>(db.UnionWith(fresh));
-    if (static_cast<int64_t>(db.TotalFacts()) > options.max_facts) {
+    st.facts_derived += static_cast<int64_t>(db.UnionWith(fresh));
+    ctx->FinishRound();
+    if (static_cast<int64_t>(db.TotalFacts()) > ctx->options.max_facts) {
       return Status::BudgetExhausted(
           "inflationary evaluation exceeded fact budget");
     }
   }
+  ctx->Finalize();
+  result.stats = st;
   return result;
 }
 

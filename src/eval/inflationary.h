@@ -5,7 +5,7 @@
 
 #include "ast/ast.h"
 #include "base/result.h"
-#include "eval/common.h"
+#include "eval/context.h"
 #include "ra/instance.h"
 
 namespace datalog {
@@ -17,6 +17,7 @@ struct InflationaryResult {
   /// Number of stages until the fixpoint (applications of ΓP that derived
   /// at least one new fact).
   int stages = 0;
+  /// Snapshot of the evaluation context's stats at completion.
   EvalStats stats;
 
   explicit InflationaryResult(Instance db) : instance(std::move(db)) {}
@@ -31,9 +32,9 @@ using StageObserver = std::function<void(int stage, const Instance& fresh)>;
 /// all rules fire in parallel with every applicable instantiation; negative
 /// literals are checked against the *current* instance; inferred facts are
 /// accumulated (never retracted) until a fixpoint is reached. Always
-/// terminates in at most polynomially many stages.
+/// terminates in at most polynomially many stages. `ctx` must be non-null.
 Result<InflationaryResult> InflationaryFixpoint(
-    const Program& program, const Instance& input, const EvalOptions& options,
+    const Program& program, const Instance& input, EvalContext* ctx,
     const StageObserver& observer = nullptr);
 
 }  // namespace datalog

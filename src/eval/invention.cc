@@ -1,5 +1,6 @@
 #include "eval/invention.h"
 
+#include <cassert>
 #include <map>
 #include <utility>
 
@@ -27,7 +28,11 @@ Relation InventionResult::AnswerWithoutInvented(
 Result<InventionResult> InventionFixpoint(const Program& program,
                                           const Instance& input,
                                           SymbolTable* symbols,
-                                          const EvalOptions& options) {
+                                          EvalContext* ctx) {
+  assert(ctx != nullptr);
+  EvalStats& st = ctx->stats;
+  st.EnsureRuleSlots(program.rules.size());
+
   std::vector<RuleMatcher> matchers;
   std::vector<std::vector<int>> invention_vars;
   std::vector<std::vector<int>> body_vars;
@@ -56,23 +61,22 @@ Result<InventionResult> InventionFixpoint(const Program& program,
   std::map<std::pair<int, Tuple>, std::vector<Value>> memo;
 
   while (true) {
-    if (result.stages + 1 > options.max_rounds) {
+    if (result.stages + 1 > ctx->options.max_rounds) {
       return Status::BudgetExhausted("Datalog¬new evaluation exceeded " +
-                                     std::to_string(options.max_rounds) +
+                                     std::to_string(ctx->options.max_rounds) +
                                      " stages");
     }
+    ctx->StartRound();
     Instance fresh(&input.catalog());
-    IndexCache cache;
     DbView view{&db, &db};
-    std::vector<Value> adom = ActiveDomain(program, db);
+    const std::vector<Value>& adom = ctx->Adom(program, db);
     Status budget = Status::OK();
     for (size_t ri = 0; ri < matchers.size(); ++ri) {
       const Atom& head = matchers[ri].rule().heads[0].atom;
       const std::vector<int>& inv = invention_vars[ri];
       const std::vector<int>& bvars = body_vars[ri];
       matchers[ri].ForEachMatch(
-          view, adom, &cache, [&](const Valuation& val) -> bool {
-            ++result.stats.instantiations;
+          view, adom, &ctx->index, [&](const Valuation& val) -> bool {
             Valuation full = val;
             if (!inv.empty()) {
               Tuple key;
@@ -83,10 +87,10 @@ Result<InventionResult> InventionFixpoint(const Program& program,
               if (inserted) {
                 if (result.invented_values +
                         static_cast<int64_t>(inv.size()) >
-                    options.max_invented) {
+                    ctx->options.max_invented) {
                   budget = Status::BudgetExhausted(
                       "Datalog¬new exceeded invented-value budget (" +
-                      std::to_string(options.max_invented) + ")");
+                      std::to_string(ctx->options.max_invented) + ")");
                   return false;
                 }
                 for (size_t k = 0; k < inv.size(); ++k) {
@@ -99,21 +103,29 @@ Result<InventionResult> InventionFixpoint(const Program& program,
               }
             }
             Tuple t = InstantiateAtom(head, full);
-            if (!db.Contains(head.pred, t)) {
+            bool produced = !db.Contains(head.pred, t);
+            st.CountMatch(ri, produced);
+            if (produced) {
               fresh.Insert(head.pred, std::move(t));
             }
             return true;
           });
       if (!budget.ok()) return budget;
     }
-    if (fresh.TotalFacts() == 0) break;
+    if (fresh.TotalFacts() == 0) {
+      ctx->FinishRound();
+      break;
+    }
     ++result.stages;
-    ++result.stats.rounds;
-    result.stats.facts_derived += static_cast<int64_t>(db.UnionWith(fresh));
-    if (static_cast<int64_t>(db.TotalFacts()) > options.max_facts) {
+    ++st.rounds;
+    st.facts_derived += static_cast<int64_t>(db.UnionWith(fresh));
+    ctx->FinishRound();
+    if (static_cast<int64_t>(db.TotalFacts()) > ctx->options.max_facts) {
       return Status::BudgetExhausted("Datalog¬new exceeded fact budget");
     }
   }
+  ctx->Finalize();
+  result.stats = st;
   return result;
 }
 

@@ -4,7 +4,7 @@
 #include "ast/ast.h"
 #include "base/result.h"
 #include "base/symbols.h"
-#include "eval/common.h"
+#include "eval/context.h"
 #include "ra/instance.h"
 
 namespace datalog {
@@ -36,11 +36,13 @@ struct InventionResult {
 /// is Turing-complete) are stopped by `options.max_invented` /
 /// `options.max_rounds` with kBudgetExhausted.
 ///
-/// Fresh values are drawn from `symbols` (printed "@k").
+/// Fresh values are drawn from `symbols` (printed "@k"). `ctx` must be
+/// non-null; the active domain *grows* as values are invented, which the
+/// context's journal-driven adom cache absorbs incrementally.
 Result<InventionResult> InventionFixpoint(const Program& program,
                                           const Instance& input,
                                           SymbolTable* symbols,
-                                          const EvalOptions& options);
+                                          EvalContext* ctx);
 
 }  // namespace datalog
 

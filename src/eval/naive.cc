@@ -9,10 +9,10 @@ namespace datalog {
 Result<Instance> NaiveLeastFixpoint(const Program& program,
                                     const Instance& input,
                                     const Instance* fixed_negation,
-                                    const EvalOptions& options,
-                                    EvalStats* stats) {
-  EvalStats local_stats;
-  EvalStats* st = stats != nullptr ? stats : &local_stats;
+                                    EvalContext* ctx) {
+  assert(ctx != nullptr);
+  EvalStats& st = ctx->stats;
+  st.EnsureRuleSlots(program.rules.size());
 
   std::vector<RuleMatcher> matchers;
   matchers.reserve(program.rules.size());
@@ -36,36 +36,38 @@ Result<Instance> NaiveLeastFixpoint(const Program& program,
   }
 
   Instance db = input;
-  // Rule heads cannot invent values, so adom(P, Γ^k(I)) = adom(P, I) for
-  // every stage: compute the active domain once.
-  const std::vector<Value> adom = ActiveDomain(program, input);
   while (true) {
-    if (++st->rounds > options.max_rounds) {
+    if (++st.rounds > ctx->options.max_rounds) {
       return Status::BudgetExhausted("naive evaluation exceeded " +
-                                     std::to_string(options.max_rounds) +
+                                     std::to_string(ctx->options.max_rounds) +
                                      " rounds");
     }
+    ctx->StartRound();
     // Freeze `db` for this round: buffer new facts separately so that the
-    // index cache's tuple pointers stay valid.
+    // persistent indexes' tuple pointers stay valid while matching. Rule
+    // heads cannot invent values, so the cached active domain only changes
+    // when `db` does — the journal-driven refresh handles both.
+    const std::vector<Value>& adom = ctx->Adom(program, db);
     Instance fresh(&input.catalog());
-    IndexCache cache;
     DbView view{&db, fixed_negation != nullptr ? fixed_negation : &db};
-    for (const RuleMatcher& matcher : matchers) {
-      const Atom& head = matcher.rule().heads[0].atom;
-      matcher.ForEachMatch(view, adom, &cache,
-                           [&](const Valuation& val) -> bool {
-                             ++st->instantiations;
-                             Tuple t = InstantiateAtom(head, val);
-                             if (!db.Contains(head.pred, t)) {
-                               fresh.Insert(head.pred, std::move(t));
-                             }
-                             return true;
-                           });
+    for (size_t i = 0; i < matchers.size(); ++i) {
+      const Atom& head = matchers[i].rule().heads[0].atom;
+      matchers[i].ForEachMatch(view, adom, &ctx->index,
+                               [&](const Valuation& val) -> bool {
+                                 Tuple t = InstantiateAtom(head, val);
+                                 bool produced = !db.Contains(head.pred, t);
+                                 st.CountMatch(i, produced);
+                                 if (produced) {
+                                   fresh.Insert(head.pred, std::move(t));
+                                 }
+                                 return true;
+                               });
     }
     size_t added = db.UnionWith(fresh);
-    st->facts_derived += static_cast<int64_t>(added);
+    st.facts_derived += static_cast<int64_t>(added);
+    ctx->FinishRound();
     if (added == 0) break;
-    if (static_cast<int64_t>(db.TotalFacts()) > options.max_facts) {
+    if (static_cast<int64_t>(db.TotalFacts()) > ctx->options.max_facts) {
       return Status::BudgetExhausted("naive evaluation exceeded fact budget");
     }
   }

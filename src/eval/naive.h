@@ -3,7 +3,7 @@
 
 #include "ast/ast.h"
 #include "base/result.h"
-#include "eval/common.h"
+#include "eval/context.h"
 #include "ra/instance.h"
 
 namespace datalog {
@@ -19,11 +19,13 @@ namespace datalog {
 /// positive literals see the growing one — the Gelfond–Lifschitz-style
 /// reduct evaluation. When null, the program must be negation-free
 /// (positive Datalog): the result is the minimum model P(I).
+///
+/// `ctx` must be non-null; it supplies budgets and provenance and collects
+/// stats and persistent indexes across rounds.
 Result<Instance> NaiveLeastFixpoint(const Program& program,
                                     const Instance& input,
                                     const Instance* fixed_negation,
-                                    const EvalOptions& options,
-                                    EvalStats* stats);
+                                    EvalContext* ctx);
 
 }  // namespace datalog
 

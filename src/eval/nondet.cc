@@ -59,18 +59,23 @@ NondetEvaluator::NondetEvaluator(const Program* program,
 }
 
 std::vector<Move> NondetEvaluator::Moves(const Instance& state,
-                                         SymbolTable* symbols,
-                                         bool invent) const {
+                                         SymbolTable* symbols, bool invent,
+                                         EvalContext* ctx) const {
+  EvalContext local_ctx;
+  if (ctx == nullptr) ctx = &local_ctx;
+  ctx->stats.EnsureRuleSlots(program_->rules.size());
   std::vector<Move> moves;
   std::unordered_map<uint64_t, std::vector<size_t>> dedup;
-  IndexCache cache;
   DbView view{&state, &state};
-  std::vector<Value> adom = ActiveDomain(*program_, state);
+  const std::vector<Value>& adom = ctx->Adom(*program_, state);
 
-  for (const Rule& rule : program_->rules) {
+  for (size_t ri = 0; ri < program_->rules.size(); ++ri) {
+    const Rule& rule = program_->rules[ri];
     RuleMatcher matcher(&rule);
     std::vector<int> inv = rule.InventionVars();
-    matcher.ForEachMatch(view, adom, &cache, [&](const Valuation& val) -> bool {
+    matcher.ForEachMatch(view, adom, &ctx->index,
+                         [&](const Valuation& val) -> bool {
+      ctx->stats.CountMatch(ri, /*produced=*/false);
       Valuation full = val;
       if (!inv.empty()) {
         if (!invent) return true;  // invention disabled: skip this rule
@@ -126,6 +131,8 @@ std::vector<Move> NondetEvaluator::Moves(const Instance& state,
       }
       bucket.push_back(moves.size());
       moves.push_back(std::move(move));
+      // "Produced" here means a distinct state-changing move.
+      ++ctx->stats.per_rule[ri].tuples_produced;
       return true;
     });
   }
@@ -140,6 +147,7 @@ Result<Instance> NondetEvaluator::RunOnce(const Instance& input, uint64_t seed,
         "program invents values; enable options.allow_invention");
   }
   Rng rng(seed);
+  EvalContext ctx(options.eval);
   Instance state = input;
   for (int64_t step = 0;; ++step) {
     if (step > options.eval.max_rounds) {
@@ -147,12 +155,17 @@ Result<Instance> NondetEvaluator::RunOnce(const Instance& input, uint64_t seed,
                                      std::to_string(options.eval.max_rounds) +
                                      " steps");
     }
+    ctx.StartRound();
     std::vector<Move> moves =
-        Moves(state, symbols, options.allow_invention && has_invention_);
+        Moves(state, symbols, options.allow_invention && has_invention_, &ctx);
+    ctx.FinishRound();
     if (moves.empty()) break;
+    ++ctx.stats.rounds;
     const Move& choice = moves[rng.Uniform(moves.size())];
     state = choice.ApplyTo(state);
     if (bottom_pred_ >= 0 && state.Contains(bottom_pred_, Tuple{})) {
+      ctx.Finalize();
+      last_stats_ = ctx.stats;
       return Status::Abandoned("computation derived ⊥ at step " +
                                std::to_string(step + 1));
     }
@@ -160,6 +173,8 @@ Result<Instance> NondetEvaluator::RunOnce(const Instance& input, uint64_t seed,
       return Status::BudgetExhausted("nondeterministic run exceeded facts");
     }
   }
+  ctx.Finalize();
+  last_stats_ = ctx.stats;
   return state;
 }
 
@@ -186,6 +201,7 @@ Result<EffectSet> NondetEvaluator::Enumerate(
     return {states.size() - 1, true};
   };
 
+  EvalContext ctx(options.eval);
   std::vector<size_t> stack;
   lookup_or_add(input);
   stack.push_back(0);
@@ -199,8 +215,11 @@ Result<EffectSet> NondetEvaluator::Enumerate(
       ++out.abandoned_branches;
       continue;
     }
+    ctx.StartRound();
     std::vector<Move> moves = Moves(state, /*symbols=*/nullptr,
-                                    /*invent=*/false);
+                                    /*invent=*/false, &ctx);
+    ctx.FinishRound();
+    ++ctx.stats.rounds;
     if (moves.empty()) {
       out.images.push_back(state);
       continue;
@@ -219,6 +238,8 @@ Result<EffectSet> NondetEvaluator::Enumerate(
     }
   }
   out.states_explored = states.size();
+  ctx.Finalize();
+  last_stats_ = ctx.stats;
   return out;
 }
 

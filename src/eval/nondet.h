@@ -8,7 +8,7 @@
 #include "base/result.h"
 #include "base/rng.h"
 #include "base/symbols.h"
-#include "eval/common.h"
+#include "eval/context.h"
 #include "ra/instance.h"
 
 namespace datalog {
@@ -61,9 +61,11 @@ class NondetEvaluator {
   /// (instantiations with true bodies and consistent heads whose
   /// application changes the state). With `invent`, invention variables
   /// are valuated with fresh values from `symbols` (one minting per
-  /// produced move).
+  /// produced move). When `ctx` is null an internal per-call context is
+  /// used; RunOnce/Enumerate pass a shared one so stats and indexes
+  /// persist across the steps of a computation.
   std::vector<Move> Moves(const Instance& state, SymbolTable* symbols,
-                          bool invent) const;
+                          bool invent, EvalContext* ctx = nullptr) const;
 
   /// One nondeterministic computation driven by `seed`: repeatedly picks a
   /// uniformly random move until none applies; returns the terminal
@@ -80,11 +82,16 @@ class NondetEvaluator {
   Result<EffectSet> Enumerate(const Instance& input,
                               const NondetOptions& options) const;
 
+  /// Stats of the most recent RunOnce/Enumerate call on this evaluator
+  /// (rounds counts steps taken / states expanded).
+  const EvalStats& last_stats() const { return last_stats_; }
+
  private:
   const Program* program_;
   const Catalog* catalog_;
   PredId bottom_pred_;  // -1 when the program never derives ⊥
   bool has_invention_ = false;
+  mutable EvalStats last_stats_;
 };
 
 /// The possibility / certainty semantics of Definition 5.10:

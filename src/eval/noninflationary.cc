@@ -8,7 +8,12 @@ namespace datalog {
 
 Result<NonInflationaryResult> NonInflationaryFixpoint(
     const Program& program, const Instance& input,
-    const NonInflationaryOptions& options) {
+    const NonInflationaryOptions& options, EvalContext* ctx) {
+  EvalContext local_ctx(options.eval);
+  if (ctx == nullptr) ctx = &local_ctx;
+  EvalStats& st = ctx->stats;
+  st.EnsureRuleSlots(program.rules.size());
+
   std::vector<RuleMatcher> matchers;
   matchers.reserve(program.rules.size());
   for (const Rule& rule : program.rules) {
@@ -47,31 +52,38 @@ Result<NonInflationaryResult> NonInflationaryFixpoint(
   if (options.detect_cycles) record_state(db);
 
   while (true) {
-    if (result.stages + 1 > options.eval.max_rounds) {
+    if (result.stages + 1 > ctx->options.max_rounds) {
       return Status::BudgetExhausted("Datalog¬¬ evaluation exceeded " +
-                                     std::to_string(options.eval.max_rounds) +
+                                     std::to_string(ctx->options.max_rounds) +
                                      " stages");
     }
+    ctx->StartRound();
     // Parallel firing against the frozen instance: collect insertions and
-    // deletions separately, then reconcile.
+    // deletions separately, then reconcile. Deletions below change relation
+    // epochs, so the index/adom caches rebuild per round — the correctness
+    // fallback for non-inflationary mutation.
     Instance inserts(&input.catalog());
     Instance deletes(&input.catalog());
-    IndexCache cache;
     DbView view{&db, &db};
-    std::vector<Value> adom = ActiveDomain(program, db);
-    for (const RuleMatcher& matcher : matchers) {
+    const std::vector<Value>& adom = ctx->Adom(program, db);
+    for (size_t ri = 0; ri < matchers.size(); ++ri) {
+      const RuleMatcher& matcher = matchers[ri];
       const Rule& rule = matcher.rule();
-      matcher.ForEachMatch(view, adom, &cache,
+      matcher.ForEachMatch(view, adom, &ctx->index,
                            [&](const Valuation& val) -> bool {
-                             ++result.stats.instantiations;
+                             bool produced = false;
                              for (const Literal& head : rule.heads) {
                                Tuple t = InstantiateAtom(head.atom, val);
                                if (head.negative) {
                                  deletes.Insert(head.atom.pred, std::move(t));
                                } else {
+                                 if (!db.Contains(head.atom.pred, t)) {
+                                   produced = true;
+                                 }
                                  inserts.Insert(head.atom.pred, std::move(t));
                                }
                              }
+                             st.CountMatch(ri, produced);
                              return true;
                            });
     }
@@ -132,10 +144,19 @@ Result<NonInflationaryResult> NonInflationaryFixpoint(
       }
     }
 
-    if (next == db) break;  // fixpoint reached
+    if (next == db) {  // fixpoint reached
+      ctx->FinishRound();
+      break;
+    }
     ++result.stages;
-    ++result.stats.rounds;
+    ++st.rounds;
+    // Net growth only: deletions can shrink the state, which is not
+    // "derivation" in the facts_derived sense.
+    int64_t delta = static_cast<int64_t>(next.TotalFacts()) -
+                    static_cast<int64_t>(db.TotalFacts());
+    if (delta > 0) st.facts_derived += delta;
     db = std::move(next);
+    ctx->FinishRound();
     if (options.detect_cycles) {
       int prev = record_state(db);
       if (prev >= 0) {
@@ -147,6 +168,8 @@ Result<NonInflationaryResult> NonInflationaryFixpoint(
       }
     }
   }
+  ctx->Finalize();
+  result.stats = st;
   return result;
 }
 

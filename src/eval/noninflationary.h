@@ -3,7 +3,7 @@
 
 #include "ast/ast.h"
 #include "base/result.h"
-#include "eval/common.h"
+#include "eval/context.h"
 #include "ra/instance.h"
 
 namespace datalog {
@@ -46,9 +46,13 @@ struct NonInflationaryResult {
 /// heads, so the language expresses updates. Unlike inflationary Datalog¬,
 /// a fixpoint need not exist — the engine reports kNonTerminating when the
 /// state sequence provably cycles.
+///
+/// When `ctx` is null the engine runs in an internal EvalContext built
+/// from `options.eval`; either way deletions change relation epochs, so
+/// the persistent indexes fall back to full rebuilds as needed.
 Result<NonInflationaryResult> NonInflationaryFixpoint(
     const Program& program, const Instance& input,
-    const NonInflationaryOptions& options);
+    const NonInflationaryOptions& options, EvalContext* ctx = nullptr);
 
 }  // namespace datalog
 

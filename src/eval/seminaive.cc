@@ -1,7 +1,8 @@
 #include "eval/seminaive.h"
 
-#include <algorithm>
+#include <cassert>
 #include <unordered_map>
+#include <unordered_set>
 
 #include "eval/grounder.h"
 #include "eval/provenance.h"
@@ -11,10 +12,10 @@ namespace datalog {
 Result<int64_t> SemiNaiveStep(const Program& program,
                               const std::vector<int>& rule_indexes,
                               const std::vector<PredId>& recursive_preds,
-                              Instance* db, const EvalOptions& options,
-                              EvalStats* stats) {
-  EvalStats local_stats;
-  EvalStats* st = stats != nullptr ? stats : &local_stats;
+                              Instance* db, EvalContext* ctx) {
+  assert(ctx != nullptr);
+  EvalStats& st = ctx->stats;
+  st.EnsureRuleSlots(program.rules.size());
 
   std::vector<RuleMatcher> matchers;
   std::vector<const Rule*> rules;
@@ -30,31 +31,29 @@ Result<int64_t> SemiNaiveStep(const Program& program,
     matchers.emplace_back(&rule);
   }
 
-  auto is_recursive = [&](PredId p) {
-    return std::find(recursive_preds.begin(), recursive_preds.end(), p) !=
-           recursive_preds.end();
-  };
+  const std::unordered_set<PredId> recursive(recursive_preds.begin(),
+                                             recursive_preds.end());
 
   int64_t total_added = 0;
-  // No invention: the active domain is invariant across rounds.
-  const std::vector<Value> adom = ActiveDomain(program, *db);
 
   // Round 0: full evaluation of every rule against the current database.
   std::unordered_map<PredId, Relation> delta;
   {
+    ctx->StartRound();
+    const std::vector<Value>& adom = ctx->Adom(program, *db);
     Instance fresh(&db->catalog());
-    IndexCache cache;
     DbView view{db, db};
-    const int stage = st->rounds + 1;
+    const int stage = st.rounds + 1;
     for (size_t i = 0; i < matchers.size(); ++i) {
       const Atom& head = rules[i]->heads[0].atom;
       matchers[i].ForEachMatch(
-          view, adom, &cache, [&](const Valuation& val) -> bool {
-            ++st->instantiations;
+          view, adom, &ctx->index, [&](const Valuation& val) -> bool {
             Tuple t = InstantiateAtom(head, val);
-            if (!db->Contains(head.pred, t)) {
-              if (options.provenance != nullptr) {
-                options.provenance->Record(
+            bool produced = !db->Contains(head.pred, t);
+            st.CountMatch(rule_indexes[i], produced);
+            if (produced) {
+              if (ctx->provenance != nullptr) {
+                ctx->provenance->Record(
                     head.pred, t, rule_indexes[i], stage,
                     InstantiateBodyPremises(*rules[i], val));
               }
@@ -63,35 +62,39 @@ Result<int64_t> SemiNaiveStep(const Program& program,
             return true;
           });
     }
-    ++st->rounds;
+    ++st.rounds;
     for (PredId p : recursive_preds) {
       const Relation& rel = fresh.Rel(p);
       if (!rel.empty()) delta.emplace(p, rel);
     }
     total_added += static_cast<int64_t>(db->UnionWith(fresh));
+    ctx->FinishRound();
   }
 
-  // Delta rounds.
+  // Delta rounds. The persistent indexes over `db` are refreshed by
+  // appending each round's journal tail — no per-round rebuild.
   while (!delta.empty()) {
-    if (++st->rounds > options.max_rounds) {
+    if (++st.rounds > ctx->options.max_rounds) {
       return Status::BudgetExhausted("semi-naive evaluation exceeded " +
-                                     std::to_string(options.max_rounds) +
+                                     std::to_string(ctx->options.max_rounds) +
                                      " rounds");
     }
+    ctx->StartRound();
+    const std::vector<Value>& adom = ctx->Adom(program, *db);
     Instance fresh(&db->catalog());
-    IndexCache cache;
     DbView view{db, db};
-    const int stage = st->rounds;
+    const int stage = st.rounds;
     for (size_t i = 0; i < matchers.size(); ++i) {
       const Rule& rule = *rules[i];
       const Atom& head = rule.heads[0].atom;
       auto sink = [&](const Valuation& val) -> bool {
-        ++st->instantiations;
         Tuple t = InstantiateAtom(head, val);
-        if (!db->Contains(head.pred, t)) {
-          if (options.provenance != nullptr) {
-            options.provenance->Record(head.pred, t, rule_indexes[i], stage,
-                                       InstantiateBodyPremises(rule, val));
+        bool produced = !db->Contains(head.pred, t);
+        st.CountMatch(rule_indexes[i], produced);
+        if (produced) {
+          if (ctx->provenance != nullptr) {
+            ctx->provenance->Record(head.pred, t, rule_indexes[i], stage,
+                                    InstantiateBodyPremises(rule, val));
           }
           fresh.Insert(head.pred, std::move(t));
         }
@@ -100,11 +103,11 @@ Result<int64_t> SemiNaiveStep(const Program& program,
       for (size_t li = 0; li < rule.body.size(); ++li) {
         const Literal& lit = rule.body[li];
         if (lit.kind != Literal::Kind::kRelational || lit.negative) continue;
-        if (!is_recursive(lit.atom.pred)) continue;
+        if (!recursive.count(lit.atom.pred)) continue;
         auto dit = delta.find(lit.atom.pred);
         if (dit == delta.end()) continue;
-        matchers[i].ForEachMatch(view, adom, &cache, static_cast<int>(li),
-                                 &dit->second, sink);
+        matchers[i].ForEachMatch(view, adom, &ctx->index,
+                                 static_cast<int>(li), &dit->second, sink);
       }
     }
     delta.clear();
@@ -113,19 +116,18 @@ Result<int64_t> SemiNaiveStep(const Program& program,
       if (!rel.empty()) delta.emplace(p, rel);
     }
     total_added += static_cast<int64_t>(db->UnionWith(fresh));
-    if (static_cast<int64_t>(db->TotalFacts()) > options.max_facts) {
+    ctx->FinishRound();
+    if (static_cast<int64_t>(db->TotalFacts()) > ctx->options.max_facts) {
       return Status::BudgetExhausted(
           "semi-naive evaluation exceeded fact budget");
     }
   }
-  st->facts_derived += total_added;
+  st.facts_derived += total_added;
   return total_added;
 }
 
 Result<Instance> SemiNaiveDatalog(const Program& program,
-                                  const Instance& input,
-                                  const EvalOptions& options,
-                                  EvalStats* stats) {
+                                  const Instance& input, EvalContext* ctx) {
   for (const Rule& rule : program.rules) {
     for (const Literal& body : rule.body) {
       if (body.kind == Literal::Kind::kRelational && body.negative) {
@@ -138,8 +140,8 @@ Result<Instance> SemiNaiveDatalog(const Program& program,
   std::vector<int> all_rules(program.rules.size());
   for (size_t i = 0; i < all_rules.size(); ++i) all_rules[i] = static_cast<int>(i);
   Instance db = input;
-  Result<int64_t> added = SemiNaiveStep(program, all_rules, program.idb_preds,
-                                        &db, options, stats);
+  Result<int64_t> added =
+      SemiNaiveStep(program, all_rules, program.idb_preds, &db, ctx);
   if (!added.ok()) return added.status();
   return db;
 }

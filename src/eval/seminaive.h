@@ -5,7 +5,7 @@
 
 #include "ast/ast.h"
 #include "base/result.h"
-#include "eval/common.h"
+#include "eval/context.h"
 #include "ra/instance.h"
 
 namespace datalog {
@@ -18,21 +18,20 @@ namespace datalog {
 /// only to predicates that are already fully computed in `db` (the caller
 /// guarantees this — e.g. lower strata).
 ///
-/// Mutates `db` in place; returns the count of facts added.
+/// Mutates `db` in place; returns the count of facts added. `ctx` must be
+/// non-null; its persistent indexes are maintained incrementally across
+/// every delta round (and across successive strata over the same `db`).
 Result<int64_t> SemiNaiveStep(const Program& program,
                               const std::vector<int>& rule_indexes,
                               const std::vector<PredId>& recursive_preds,
-                              Instance* db, const EvalOptions& options,
-                              EvalStats* stats);
+                              Instance* db, EvalContext* ctx);
 
 /// Semi-naive evaluation of a positive Datalog program: the minimum model
 /// P(I) of Section 3.1, equal to `NaiveLeastFixpoint` but asymptotically
 /// faster on recursive programs. Heads must be single positive literals and
 /// bodies negation-free.
 Result<Instance> SemiNaiveDatalog(const Program& program,
-                                  const Instance& input,
-                                  const EvalOptions& options,
-                                  EvalStats* stats);
+                                  const Instance& input, EvalContext* ctx);
 
 }  // namespace datalog
 

@@ -10,9 +10,12 @@ namespace datalog {
 Result<StableModelsResult> StableModels(const Program& program,
                                         const Instance& input,
                                         const EvalOptions& options,
-                                        int64_t max_candidates) {
+                                        int64_t max_candidates,
+                                        EvalContext* ctx) {
+  EvalContext local_ctx(options);
+  if (ctx == nullptr) ctx = &local_ctx;
   // Bracket the search with the well-founded model.
-  Result<WellFoundedModel> wf = WellFoundedSemantics(program, input, options);
+  Result<WellFoundedModel> wf = WellFoundedSemantics(program, input, ctx);
   if (!wf.ok()) return wf.status();
 
   // The unknown atoms, listed per predicate.
@@ -49,10 +52,18 @@ Result<StableModelsResult> StableModels(const Program& program,
       }
     }
     // Gelfond–Lifschitz check: S(M) == M, where S evaluates the positive
-    // part to a least fixpoint with negations fixed against M.
+    // part to a least fixpoint with negations fixed against M. Each
+    // candidate gets a fresh sub-context (indexes over one candidate are
+    // useless for the next); only its scalar counters are kept.
+    EvalContext cand_ctx(options);
+    cand_ctx.provenance = nullptr;
     Result<Instance> reduct_lfp =
-        NaiveLeastFixpoint(program, input, &candidate, options, nullptr);
+        NaiveLeastFixpoint(program, input, &candidate, &cand_ctx);
     if (!reduct_lfp.ok()) return reduct_lfp.status();
+    cand_ctx.Finalize();
+    int saved_rounds = ctx->stats.rounds;
+    ctx->stats.MergeFrom(cand_ctx.stats);
+    ctx->stats.rounds = saved_rounds;
     if (*reduct_lfp == candidate) {
       out.models.push_back(std::move(candidate));
     }

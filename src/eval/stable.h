@@ -5,7 +5,7 @@
 
 #include "ast/ast.h"
 #include "base/result.h"
-#include "eval/common.h"
+#include "eval/context.h"
 #include "ra/instance.h"
 
 namespace datalog {
@@ -41,10 +41,15 @@ struct StableModelsResult {
 ///  * the well-founded true facts are contained in every stable model;
 ///  * programs may have no stable model (win on a 3-cycle) or several
 ///    (win on a 2-cycle).
+/// When `ctx` is non-null it hosts the well-founded bracket and receives
+/// the merged scalar counters of every candidate check; otherwise an
+/// internal context is used. Each Gelfond–Lifschitz candidate is checked
+/// in its own sub-context (its indexes are specific to that candidate).
 Result<StableModelsResult> StableModels(const Program& program,
                                         const Instance& input,
                                         const EvalOptions& options,
-                                        int64_t max_candidates = 1 << 20);
+                                        int64_t max_candidates = 1 << 20,
+                                        EvalContext* ctx = nullptr);
 
 }  // namespace datalog
 

@@ -7,9 +7,7 @@ namespace datalog {
 
 Result<Instance> StratifiedSemantics(const Program& program,
                                      const Catalog& catalog,
-                                     const Instance& input,
-                                     const EvalOptions& options,
-                                     EvalStats* stats) {
+                                     const Instance& input, EvalContext* ctx) {
   Stratification strat = Stratify(program, catalog);
   if (!strat.ok) return Status::NotStratifiable(strat.error);
 
@@ -23,8 +21,8 @@ Result<Instance> StratifiedSemantics(const Program& program,
     for (PredId p : program.idb_preds) {
       if (strat.stratum_of_pred[p] == s) recursive.push_back(p);
     }
-    Result<int64_t> added = SemiNaiveStep(program, rule_indexes, recursive,
-                                          &db, options, stats);
+    Result<int64_t> added =
+        SemiNaiveStep(program, rule_indexes, recursive, &db, ctx);
     if (!added.ok()) return added.status();
   }
   return db;

@@ -3,7 +3,7 @@
 
 #include "ast/ast.h"
 #include "base/result.h"
-#include "eval/common.h"
+#include "eval/context.h"
 #include "ra/instance.h"
 
 namespace datalog {
@@ -15,12 +15,12 @@ namespace datalog {
 /// through negation (e.g. the game program Pwin of Example 3.2).
 ///
 /// Also evaluates semi-positive Datalog¬ (negation on edb only), which is
-/// trivially stratifiable.
+/// trivially stratifiable. `ctx` must be non-null; its indexes persist
+/// across strata (the database only grows between strata, so higher strata
+/// extend lower strata's indexes incrementally).
 Result<Instance> StratifiedSemantics(const Program& program,
                                      const Catalog& catalog,
-                                     const Instance& input,
-                                     const EvalOptions& options,
-                                     EvalStats* stats);
+                                     const Instance& input, EvalContext* ctx);
 
 }  // namespace datalog
 

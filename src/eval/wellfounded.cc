@@ -1,17 +1,21 @@
 #include "eval/wellfounded.h"
 
+#include <cassert>
+
 #include "eval/naive.h"
 
 namespace datalog {
 
 Result<WellFoundedModel> WellFoundedSemantics(const Program& program,
                                               const Instance& input,
-                                              const EvalOptions& options) {
-  EvalStats stats;
+                                              EvalContext* ctx) {
+  assert(ctx != nullptr);
   // The inner fixpoints run on over-/under-estimates whose derivations
-  // would be misleading as provenance: strip the log.
-  EvalOptions inner_options = options;
-  inner_options.provenance = nullptr;
+  // would be misleading as provenance: the naive engine never records any,
+  // so nothing to strip. Mask provenance for the duration regardless, in
+  // case a future inner engine consults it.
+  DerivationLog* saved_provenance = ctx->provenance;
+  ctx->provenance = nullptr;
   // Alternating fixpoint: under_0 = input (no idb facts);
   //   over_k  = S(under_k); under_{k+1} = S(over_k).
   // The under-sequence is increasing, the over-sequence decreasing; stop
@@ -20,25 +24,35 @@ Result<WellFoundedModel> WellFoundedSemantics(const Program& program,
   Instance over = input;
   int64_t outer = 0;
   while (true) {
-    if (++outer > options.max_rounds) {
+    if (++outer > ctx->options.max_rounds) {
+      ctx->provenance = saved_provenance;
       return Status::BudgetExhausted(
           "well-founded alternation exceeded round budget");
     }
     Result<Instance> next_over =
-        NaiveLeastFixpoint(program, input, &under, inner_options, &stats);
-    if (!next_over.ok()) return next_over.status();
+        NaiveLeastFixpoint(program, input, &under, ctx);
+    if (!next_over.ok()) {
+      ctx->provenance = saved_provenance;
+      return next_over.status();
+    }
     over = std::move(next_over).value();
 
     Result<Instance> next_under =
-        NaiveLeastFixpoint(program, input, &over, inner_options, &stats);
-    if (!next_under.ok()) return next_under.status();
+        NaiveLeastFixpoint(program, input, &over, ctx);
+    if (!next_under.ok()) {
+      ctx->provenance = saved_provenance;
+      return next_under.status();
+    }
 
     if (*next_under == under) break;
     under = std::move(next_under).value();
   }
+  ctx->provenance = saved_provenance;
+  // Report outer alternations, not the inner fixpoints' cumulative rounds.
+  ctx->stats.rounds = static_cast<int>(outer);
+  ctx->Finalize();
   WellFoundedModel model(std::move(under), std::move(over));
-  model.stats = stats;
-  model.stats.rounds = static_cast<int>(outer);
+  model.stats = ctx->stats;
   return model;
 }
 

@@ -3,7 +3,7 @@
 
 #include "ast/ast.h"
 #include "base/result.h"
-#include "eval/common.h"
+#include "eval/context.h"
 #include "ra/instance.h"
 
 namespace datalog {
@@ -41,10 +41,15 @@ struct WellFoundedModel {
 /// fixed instance J. Even iterates under-approximate the true facts, odd
 /// iterates over-approximate; both converge in polynomially many steps.
 ///
-/// Accepts any Datalog¬ program (no stratifiability requirement).
+/// Accepts any Datalog¬ program (no stratifiability requirement). `ctx`
+/// must be non-null; on return `ctx->stats.rounds` counts the *outer*
+/// alternations (the inner fixpoints' rounds are folded into round_ms and
+/// the instantiation counters). The engine never records provenance — the
+/// inner fixpoints run on over-/under-estimates whose derivations would be
+/// misleading.
 Result<WellFoundedModel> WellFoundedSemantics(const Program& program,
                                               const Instance& input,
-                                              const EvalOptions& options);
+                                              EvalContext* ctx);
 
 }  // namespace datalog
 

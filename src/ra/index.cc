@@ -1,0 +1,63 @@
+#include "ra/index.h"
+
+namespace datalog {
+
+namespace {
+
+/// The bound-column projection of `t` under `mask`, reusing `scratch`.
+void ProjectKey(const Tuple& t, uint32_t mask, Tuple* scratch) {
+  scratch->clear();
+  for (size_t c = 0; c < t.size(); ++c) {
+    if (mask & (1u << c)) scratch->push_back(t[c]);
+  }
+}
+
+}  // namespace
+
+void IndexManager::Append(const Relation& rel, uint32_t mask, Index* index) {
+  const std::vector<const Tuple*>& journal = rel.journal();
+  Tuple key;
+  for (size_t i = index->journal_pos; i < journal.size(); ++i) {
+    const Tuple* t = journal[i];
+    ProjectKey(*t, mask, &key);
+    index->buckets[key].push_back(t);
+    ++counters_.appended;
+  }
+  index->journal_pos = journal.size();
+}
+
+void IndexManager::Rebuild(const Relation& rel, uint32_t mask, Index* index) {
+  index->buckets.clear();
+  Tuple key;
+  for (const Tuple& t : rel) {
+    ProjectKey(t, mask, &key);
+    index->buckets[key].push_back(&t);
+  }
+  index->epoch = rel.epoch();
+  index->journal_pos = rel.journal().size();
+}
+
+const IndexManager::Bucket* IndexManager::Lookup(const Instance& db,
+                                                 PredId pred, uint32_t mask,
+                                                 const Tuple& key) {
+  const Relation& rel = db.Rel(pred);
+  auto [it, created] = indexes_.try_emplace(std::make_pair(pred, mask));
+  Index& index = it->second;
+  if (created) {
+    ++counters_.builds;
+    Rebuild(rel, mask, &index);
+  } else if (index.epoch != rel.epoch()) {
+    // Non-monotone mutation (or a different instance supplied the
+    // relation): the incremental view is unprovable — rebuild.
+    ++counters_.rebuilds;
+    Rebuild(rel, mask, &index);
+  } else if (index.journal_pos != rel.journal().size()) {
+    Append(rel, mask, &index);
+  } else {
+    ++counters_.hits;
+  }
+  auto bit = index.buckets.find(key);
+  return bit == index.buckets.end() ? nullptr : &bit->second;
+}
+
+}  // namespace datalog

@@ -1,27 +1,113 @@
 #include "ra/relation.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cassert>
+#include <utility>
 
 namespace datalog {
 
+uint64_t Relation::NextEpoch() {
+  static std::atomic<uint64_t> counter{1};
+  return counter.fetch_add(1, std::memory_order_relaxed);
+}
+
+Relation::Relation(const Relation& other)
+    : arity_(other.arity_),
+      tuples_(other.tuples_),
+      epoch_(NextEpoch()),
+      generation_(other.generation_),
+      journal_complete_(other.tuples_.empty()) {}
+
+Relation& Relation::operator=(const Relation& other) {
+  if (this == &other) return *this;
+  arity_ = other.arity_;
+  tuples_ = other.tuples_;
+  journal_.clear();
+  epoch_ = NextEpoch();
+  ++generation_;
+  journal_complete_ = tuples_.empty();
+  return *this;
+}
+
+Relation::Relation(Relation&& other) noexcept
+    : arity_(other.arity_),
+      tuples_(std::move(other.tuples_)),
+      journal_(std::move(other.journal_)),
+      epoch_(other.epoch_),
+      generation_(other.generation_),
+      journal_complete_(other.journal_complete_) {
+  // Leave the source empty with a fresh monotone phase of its own, so any
+  // cache still keyed on it rebuilds rather than reading stolen nodes.
+  other.tuples_.clear();
+  other.journal_.clear();
+  other.epoch_ = NextEpoch();
+  other.journal_complete_ = true;
+}
+
+Relation& Relation::operator=(Relation&& other) noexcept {
+  if (this == &other) return *this;
+  arity_ = other.arity_;
+  tuples_ = std::move(other.tuples_);
+  journal_ = std::move(other.journal_);
+  epoch_ = other.epoch_;
+  generation_ = other.generation_ + 1;
+  journal_complete_ = other.journal_complete_;
+  other.tuples_.clear();
+  other.journal_.clear();
+  other.epoch_ = NextEpoch();
+  other.journal_complete_ = true;
+  return *this;
+}
+
 bool Relation::Insert(const Tuple& t) {
   assert(static_cast<int>(t.size()) == arity_);
-  return tuples_.insert(t).second;
+  auto [it, inserted] = tuples_.insert(t);
+  if (inserted) {
+    ++generation_;
+    journal_.push_back(&*it);
+  }
+  return inserted;
 }
 
 bool Relation::Insert(Tuple&& t) {
   assert(static_cast<int>(t.size()) == arity_);
-  return tuples_.insert(std::move(t)).second;
+  auto [it, inserted] = tuples_.insert(std::move(t));
+  if (inserted) {
+    ++generation_;
+    journal_.push_back(&*it);
+  }
+  return inserted;
 }
 
-bool Relation::Erase(const Tuple& t) { return tuples_.erase(t) > 0; }
+bool Relation::Erase(const Tuple& t) {
+  if (tuples_.erase(t) == 0) return false;
+  ++generation_;
+  epoch_ = NextEpoch();
+  journal_.clear();
+  journal_complete_ = tuples_.empty();
+  return true;
+}
+
+void Relation::Clear() {
+  if (tuples_.empty()) return;
+  tuples_.clear();
+  journal_.clear();
+  ++generation_;
+  epoch_ = NextEpoch();
+  journal_complete_ = true;  // empty contents, empty journal: consistent
+}
 
 size_t Relation::UnionWith(const Relation& other) {
   assert(arity_ == other.arity_);
   size_t added = 0;
   for (const Tuple& t : other.tuples_) {
-    if (tuples_.insert(t).second) ++added;
+    auto [it, inserted] = tuples_.insert(t);
+    if (inserted) {
+      ++generation_;
+      journal_.push_back(&*it);
+      ++added;
+    }
   }
   return added;
 }

@@ -12,6 +12,20 @@ namespace datalog {
 /// A relation instance: a finite set of constant tuples of a fixed arity
 /// (Section 2). Insertion is idempotent; iteration order is unspecified —
 /// use `Sorted()` when a canonical order is needed.
+///
+/// Incremental-maintenance support: every relation carries
+///  * a `generation()` counter, bumped on every successful mutation, so
+///    caches can cheaply detect "nothing changed";
+///  * an insertion *journal* — stable pointers to every tuple inserted
+///    since the last non-monotone event — so index and active-domain
+///    caches can append just the new tuples instead of rebuilding;
+///  * a globally unique `epoch()`, refreshed on every non-monotone event
+///    (erase, clear, copy), so a cache holding (epoch, journal position)
+///    can prove its incremental view is still valid. Epochs are drawn from
+///    a process-wide counter: two distinct relation states never share an
+///    epoch by accident, which makes the check sound even when engines
+///    swap whole instances in and out (the caches then fall back to a full
+///    rebuild).
 class Relation {
  public:
   using TupleSet = std::unordered_set<Tuple, TupleHash>;
@@ -19,7 +33,17 @@ class Relation {
 
   /// Creates an empty relation of the given arity (>= 0; arity 0 models
   /// propositional predicates such as `delay` in Example 4.4).
-  explicit Relation(int arity = 0) : arity_(arity) {}
+  explicit Relation(int arity = 0) : arity_(arity), epoch_(NextEpoch()) {}
+
+  /// Copies take a fresh epoch and an empty journal: caches keyed on the
+  /// source must not treat the copy as incrementally-derivable.
+  Relation(const Relation& other);
+  Relation& operator=(const Relation& other);
+  /// Moves keep the epoch and journal (unordered_set nodes — and therefore
+  /// the journal's tuple pointers — survive a move); the source is left
+  /// empty with a fresh epoch.
+  Relation(Relation&& other) noexcept;
+  Relation& operator=(Relation&& other) noexcept;
 
   int arity() const { return arity_; }
   size_t size() const { return tuples_.size(); }
@@ -30,7 +54,8 @@ class Relation {
   bool Insert(const Tuple& t);
   bool Insert(Tuple&& t);
 
-  /// Removes `t`; returns true if it was present.
+  /// Removes `t`; returns true if it was present. A successful erase is a
+  /// non-monotone event: the epoch changes and the journal resets.
   bool Erase(const Tuple& t);
 
   bool Contains(const Tuple& t) const { return tuples_.count(t) > 0; }
@@ -39,7 +64,7 @@ class Relation {
   /// tuples that were new.
   size_t UnionWith(const Relation& other);
 
-  void Clear() { tuples_.clear(); }
+  void Clear();
 
   const_iterator begin() const { return tuples_.begin(); }
   const_iterator end() const { return tuples_.end(); }
@@ -58,9 +83,35 @@ class Relation {
   /// for instance-state fingerprinting in cycle detection.
   uint64_t ContentHash() const;
 
+  // -- Incremental-maintenance introspection ---------------------------
+
+  /// Monotonically increasing count of successful mutations.
+  uint64_t generation() const { return generation_; }
+
+  /// Globally unique id of the current monotone growth phase. Changes on
+  /// erase/clear/copy; caches compare it to decide append vs rebuild.
+  uint64_t epoch() const { return epoch_; }
+
+  /// Tuples inserted during the current epoch, in insertion order. The
+  /// pointers are stable for the relation's lifetime (unordered_set node
+  /// stability) while the epoch is unchanged.
+  const std::vector<const Tuple*>& journal() const { return journal_; }
+
+  /// True if the journal covers every tuple of the relation (no erase /
+  /// clear / copy lost history) — i.e. a consumer starting at journal
+  /// position 0 sees the full contents.
+  bool journal_complete() const { return journal_complete_; }
+
  private:
+  /// Next value of the process-wide epoch counter.
+  static uint64_t NextEpoch();
+
   int arity_;
   TupleSet tuples_;
+  std::vector<const Tuple*> journal_;
+  uint64_t epoch_;
+  uint64_t generation_ = 0;
+  bool journal_complete_ = true;
 };
 
 }  // namespace datalog

@@ -1,5 +1,5 @@
 // Direct unit tests of the rule-matching machinery (eval/grounder): index
-// cache, join ordering, active-domain enumeration of negation-only
+// manager, join ordering, active-domain enumeration of negation-only
 // variables, equality binding, delta-bound matching, ∀-rules, and early
 // termination through the callback.
 
@@ -27,7 +27,7 @@ class GrounderTest : public ::testing::Test {
 
   std::vector<Valuation> AllMatches(const Rule& rule) {
     RuleMatcher matcher(&rule);
-    IndexCache cache;
+    IndexManager cache;
     DbView view{&db_, &db_};
     std::vector<Value> adom = ActiveDomain(program_, db_);
     std::vector<Valuation> out;
@@ -125,7 +125,7 @@ TEST_F(GrounderTest, DeltaBoundLiteralRestrictsMatching) {
   Relation delta(2);
   delta.Insert({2, 3});
   RuleMatcher matcher(&rule);
-  IndexCache cache;
+  IndexManager cache;
   DbView view{&db_, &db_};
   std::vector<Value> adom = ActiveDomain(program_, db_);
   std::vector<Valuation> matches;
@@ -155,7 +155,7 @@ TEST_F(GrounderTest, CallbackCanStopMatching) {
     db_.Insert(e, {symbols_.InternInt(i), symbols_.InternInt(i + 100)});
   }
   RuleMatcher matcher(&rule);
-  IndexCache cache;
+  IndexManager cache;
   DbView view{&db_, &db_};
   std::vector<Value> adom = ActiveDomain(program_, db_);
   int count = 0;
@@ -192,19 +192,19 @@ TEST_F(GrounderTest, EmptyBodyFactRuleMatchesOnce) {
   EXPECT_EQ(matches.size(), 1u);
 }
 
-TEST_F(GrounderTest, IndexCacheLookupBuildsBuckets) {
+TEST_F(GrounderTest, IndexManagerLookupBuildsBuckets) {
   PredId e = *catalog_.Declare("e", 2);
   db_.Insert(e, {1, 2});
   db_.Insert(e, {1, 3});
   db_.Insert(e, {2, 3});
-  IndexCache cache;
+  IndexManager cache;
   // Mask 0b01: first column bound.
-  const IndexCache::Bucket* bucket = cache.Lookup(db_, e, 0b01, {1});
+  const IndexManager::Bucket* bucket = cache.Lookup(db_, e, 0b01, {1});
   ASSERT_NE(bucket, nullptr);
   EXPECT_EQ(bucket->size(), 2u);
   EXPECT_EQ(cache.Lookup(db_, e, 0b01, {9}), nullptr);
   // Mask 0b10: second column bound.
-  const IndexCache::Bucket* by_second = cache.Lookup(db_, e, 0b10, {3});
+  const IndexManager::Bucket* by_second = cache.Lookup(db_, e, 0b10, {3});
   ASSERT_NE(by_second, nullptr);
   EXPECT_EQ(by_second->size(), 2u);
 }

@@ -1,0 +1,218 @@
+// Incremental-maintenance correctness: (a) randomized equivalence of the
+// persistent IndexManager against a from-scratch rebuild across interleaved
+// inserts (and erases, which exercise the epoch-fallback path); (b) the
+// AdomCache against the reference ActiveDomain computation; (c) byte-exact
+// golden outputs of the paper's worked examples across the whole engine
+// family, guarding the evaluation substrate end to end.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <random>
+#include <vector>
+
+#include "ast/parser.h"
+#include "eval/context.h"
+#include "eval/grounder.h"
+#include "ra/index.h"
+#include "ra/instance.h"
+#include "worked_examples.h"
+#include "worked_examples_golden.h"
+
+namespace datalog {
+namespace {
+
+// Dereferences a bucket into sorted tuple values so persistent and fresh
+// managers can be compared regardless of pointer identity and order.
+std::vector<Tuple> Materialize(const IndexManager::Bucket* bucket) {
+  std::vector<Tuple> out;
+  if (bucket == nullptr) return out;
+  out.reserve(bucket->size());
+  for (const Tuple* t : *bucket) out.push_back(*t);
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+// The key a tuple contributes to under `mask`: the values of the bound
+// columns, in column order (the layout IndexManager::Lookup expects).
+Tuple KeyFor(const Tuple& t, uint32_t mask) {
+  Tuple key;
+  for (size_t col = 0; col < t.size(); ++col) {
+    if (mask & (1u << col)) key.push_back(t[col]);
+  }
+  return key;
+}
+
+class IndexIncrementalTest : public ::testing::Test {
+ protected:
+  IndexIncrementalTest() : db_(&catalog_) {
+    e_ = *catalog_.Declare("e", 2);
+    r_ = *catalog_.Declare("r", 3);
+  }
+
+  // Checks, for every (pred, mask, key) with the key drawn from the
+  // current contents plus a guaranteed-missing probe, that the persistent
+  // manager agrees with a manager built from scratch on the spot.
+  void ExpectMatchesFreshRebuild(IndexManager* persistent) {
+    for (PredId pred : {e_, r_}) {
+      const int arity = catalog_.ArityOf(pred);
+      const uint32_t full = (1u << arity) - 1;
+      for (uint32_t mask = 1; mask <= full; ++mask) {
+        IndexManager fresh;
+        std::vector<Tuple> keys;
+        for (const Tuple& t : db_.Rel(pred)) keys.push_back(KeyFor(t, mask));
+        std::sort(keys.begin(), keys.end());
+        keys.erase(std::unique(keys.begin(), keys.end()), keys.end());
+        // A probe that no tuple can produce (values are < 1000).
+        keys.push_back(Tuple(static_cast<size_t>(
+                                 __builtin_popcount(mask)),
+                             Value{100000}));
+        for (const Tuple& key : keys) {
+          ASSERT_EQ(Materialize(persistent->Lookup(db_, pred, mask, key)),
+                    Materialize(fresh.Lookup(db_, pred, mask, key)))
+              << "pred=" << catalog_.NameOf(pred) << " mask=" << mask;
+        }
+      }
+    }
+  }
+
+  Tuple RandomTuple(int arity, std::mt19937* rng) {
+    std::uniform_int_distribution<Value> value(0, 11);
+    Tuple t;
+    for (int i = 0; i < arity; ++i) t.push_back(value(*rng));
+    return t;
+  }
+
+  Catalog catalog_;
+  Instance db_;
+  PredId e_;
+  PredId r_;
+};
+
+TEST_F(IndexIncrementalTest, RandomInsertsMatchFreshRebuild) {
+  std::mt19937 rng(2024);
+  IndexManager persistent;
+  for (int step = 0; step < 40; ++step) {
+    // A batch of inserts (duplicates included on purpose), then a full
+    // cross-check while more inserts keep arriving next iteration.
+    for (int i = 0; i < 8; ++i) {
+      PredId pred = (rng() % 2 == 0) ? e_ : r_;
+      db_.Insert(pred, RandomTuple(catalog_.ArityOf(pred), &rng));
+    }
+    ExpectMatchesFreshRebuild(&persistent);
+  }
+  // An insert-only history must never force a full rebuild: everything
+  // beyond the first-touch builds arrives through journal appends.
+  EXPECT_EQ(persistent.counters().rebuilds, 0);
+  EXPECT_GT(persistent.counters().appended, 0);
+  EXPECT_GT(persistent.counters().hits, 0);
+}
+
+TEST_F(IndexIncrementalTest, InterleavedErasesFallBackToRebuild) {
+  std::mt19937 rng(7);
+  IndexManager persistent;
+  std::vector<std::pair<PredId, Tuple>> live;
+  for (int step = 0; step < 60; ++step) {
+    if (!live.empty() && rng() % 4 == 0) {
+      size_t victim = rng() % live.size();
+      db_.Erase(live[victim].first, live[victim].second);
+      live.erase(live.begin() + victim);
+    } else {
+      PredId pred = (rng() % 2 == 0) ? e_ : r_;
+      Tuple t = RandomTuple(catalog_.ArityOf(pred), &rng);
+      if (db_.Insert(pred, t)) live.emplace_back(pred, t);
+    }
+    if (step % 5 == 4) ExpectMatchesFreshRebuild(&persistent);
+  }
+  EXPECT_GT(persistent.counters().rebuilds, 0);
+}
+
+TEST_F(IndexIncrementalTest, InstanceCopyInvalidatesIncrementalView) {
+  IndexManager persistent;
+  db_.Insert(e_, {1, 2});
+  db_.Insert(e_, {1, 3});
+  ASSERT_EQ(Materialize(persistent.Lookup(db_, e_, 0b01, {1})).size(), 2u);
+  // A copied instance has fresh relation epochs: the manager must detect
+  // the swap and rebuild rather than trust (now meaningless) journals.
+  Instance copy = db_;
+  copy.Erase(e_, {1, 2});
+  copy.Insert(e_, {1, 4});
+  std::vector<Tuple> got = Materialize(persistent.Lookup(copy, e_, 0b01, {1}));
+  EXPECT_EQ(got, (std::vector<Tuple>{{1, 3}, {1, 4}}));
+  EXPECT_GT(persistent.counters().rebuilds, 0);
+}
+
+TEST_F(IndexIncrementalTest, AdomCacheMatchesReferenceActiveDomain) {
+  SymbolTable symbols;
+  Result<Program> p = ParseProgram("h(X) :- e(X, 9), !r(X, X, 7).",
+                                   &catalog_, &symbols);
+  ASSERT_TRUE(p.ok()) << p.status().ToString();
+  std::mt19937 rng(99);
+  AdomCache cache;
+  std::vector<std::pair<PredId, Tuple>> live;
+  for (int step = 0; step < 120; ++step) {
+    if (!live.empty() && rng() % 5 == 0) {
+      size_t victim = rng() % live.size();
+      db_.Erase(live[victim].first, live[victim].second);
+      live.erase(live.begin() + victim);
+    } else {
+      PredId pred = (rng() % 2 == 0) ? e_ : r_;
+      Tuple t = RandomTuple(catalog_.ArityOf(pred), &rng);
+      if (db_.Insert(pred, t)) live.emplace_back(pred, t);
+    }
+    // Reference: the uncached enumeration the engines used to run every
+    // round (instance values + program constants, sorted).
+    std::vector<Value> expected = ActiveDomain(*p, db_);
+    EXPECT_EQ(cache.Get(*p, db_), expected) << "step " << step;
+  }
+}
+
+TEST_F(IndexIncrementalTest, AdomCacheTracksInstanceSwaps) {
+  SymbolTable symbols;
+  Result<Program> p = ParseProgram("h(X) :- e(X, Y).", &catalog_, &symbols);
+  ASSERT_TRUE(p.ok());
+  AdomCache cache;
+  db_.Insert(e_, {1, 2});
+  EXPECT_EQ(cache.Get(*p, db_), (std::vector<Value>{1, 2}));
+  // The `db = std::move(next)` idiom of the noninflationary engines: the
+  // instance object survives but its relations are replaced wholesale.
+  Instance next(&catalog_);
+  next.Insert(e_, {5, 6});
+  db_ = std::move(next);
+  EXPECT_EQ(cache.Get(*p, db_), (std::vector<Value>{5, 6}));
+}
+
+// -- Golden worked examples -------------------------------------------
+
+TEST(WorkedExampleGoldens, Ex32WinGameWellFounded) {
+  EXPECT_EQ(worked_examples::Ex32WinGame(),
+            worked_examples::kGoldenEx32WinGame);
+}
+
+TEST(WorkedExampleGoldens, Ex41CloserInflationary) {
+  EXPECT_EQ(worked_examples::Ex41Closer(),
+            worked_examples::kGoldenEx41Closer);
+}
+
+TEST(WorkedExampleGoldens, Ex43ComplementTcInflationaryVsStratified) {
+  EXPECT_EQ(worked_examples::Ex43ComplementTc(),
+            worked_examples::kGoldenEx43ComplementTc);
+}
+
+TEST(WorkedExampleGoldens, Ex44GoodNodesDelay) {
+  EXPECT_EQ(worked_examples::Ex44GoodNodes(),
+            worked_examples::kGoldenEx44GoodNodes);
+}
+
+TEST(WorkedExampleGoldens, Ex54ProjectionDiffPossCert) {
+  EXPECT_EQ(worked_examples::Ex54ProjectionDiff(),
+            worked_examples::kGoldenEx54ProjectionDiff);
+}
+
+TEST(WorkedExampleGoldens, Ex55ProjectionDiffBottom) {
+  EXPECT_EQ(worked_examples::Ex55ProjectionDiffBottom(),
+            worked_examples::kGoldenEx55ProjectionDiffBottom);
+}
+
+}  // namespace
+}  // namespace datalog

@@ -1,0 +1,559 @@
+#ifndef UNCHAINED_TESTS_WORKED_EXAMPLES_GOLDEN_H_
+#define UNCHAINED_TESTS_WORKED_EXAMPLES_GOLDEN_H_
+
+// Byte-exact golden outputs for the worked examples of tests/
+// worked_examples.h, captured from the seed build. Regenerate only when a
+// deliberate semantics change is made, by printing the corresponding
+// worked_examples:: function; incidental diffs mean an evaluation-substrate
+// regression.
+
+namespace datalog {
+namespace worked_examples {
+
+inline constexpr const char* kGoldenEx32WinGame =
+    R"gold(true:
+win(d).
+win(f).
+moves(b, c).
+moves(c, a).
+moves(a, b).
+moves(a, d).
+moves(d, e).
+moves(d, f).
+moves(f, g).
+possible:
+win(b).
+win(c).
+win(a).
+win(d).
+win(f).
+moves(b, c).
+moves(c, a).
+moves(a, b).
+moves(a, d).
+moves(d, e).
+moves(d, f).
+moves(f, g).
+)gold";
+
+inline constexpr const char* kGoldenEx41Closer =
+    R"gold(stages=6
+t(0, 1).
+t(0, 2).
+t(0, 3).
+t(0, 4).
+t(0, 5).
+t(1, 2).
+t(1, 3).
+t(1, 4).
+t(1, 5).
+t(2, 3).
+t(2, 4).
+t(2, 5).
+t(3, 4).
+t(3, 5).
+t(4, 5).
+g(0, 1).
+g(1, 2).
+g(2, 3).
+g(3, 4).
+g(4, 5).
+closer(0, 1, 0, 0).
+closer(0, 1, 0, 2).
+closer(0, 1, 0, 3).
+closer(0, 1, 0, 4).
+closer(0, 1, 0, 5).
+closer(0, 1, 1, 0).
+closer(0, 1, 1, 1).
+closer(0, 1, 1, 3).
+closer(0, 1, 1, 4).
+closer(0, 1, 1, 5).
+closer(0, 1, 2, 0).
+closer(0, 1, 2, 1).
+closer(0, 1, 2, 2).
+closer(0, 1, 2, 4).
+closer(0, 1, 2, 5).
+closer(0, 1, 3, 0).
+closer(0, 1, 3, 1).
+closer(0, 1, 3, 2).
+closer(0, 1, 3, 3).
+closer(0, 1, 3, 5).
+closer(0, 1, 4, 0).
+closer(0, 1, 4, 1).
+closer(0, 1, 4, 2).
+closer(0, 1, 4, 3).
+closer(0, 1, 4, 4).
+closer(0, 1, 5, 0).
+closer(0, 1, 5, 1).
+closer(0, 1, 5, 2).
+closer(0, 1, 5, 3).
+closer(0, 1, 5, 4).
+closer(0, 1, 5, 5).
+closer(0, 2, 0, 0).
+closer(0, 2, 0, 3).
+closer(0, 2, 0, 4).
+closer(0, 2, 0, 5).
+closer(0, 2, 1, 0).
+closer(0, 2, 1, 1).
+closer(0, 2, 1, 4).
+closer(0, 2, 1, 5).
+closer(0, 2, 2, 0).
+closer(0, 2, 2, 1).
+closer(0, 2, 2, 2).
+closer(0, 2, 2, 5).
+closer(0, 2, 3, 0).
+closer(0, 2, 3, 1).
+closer(0, 2, 3, 2).
+closer(0, 2, 3, 3).
+closer(0, 2, 4, 0).
+closer(0, 2, 4, 1).
+closer(0, 2, 4, 2).
+closer(0, 2, 4, 3).
+closer(0, 2, 4, 4).
+closer(0, 2, 5, 0).
+closer(0, 2, 5, 1).
+closer(0, 2, 5, 2).
+closer(0, 2, 5, 3).
+closer(0, 2, 5, 4).
+closer(0, 2, 5, 5).
+closer(0, 3, 0, 0).
+closer(0, 3, 0, 4).
+closer(0, 3, 0, 5).
+closer(0, 3, 1, 0).
+closer(0, 3, 1, 1).
+closer(0, 3, 1, 5).
+closer(0, 3, 2, 0).
+closer(0, 3, 2, 1).
+closer(0, 3, 2, 2).
+closer(0, 3, 3, 0).
+closer(0, 3, 3, 1).
+closer(0, 3, 3, 2).
+closer(0, 3, 3, 3).
+closer(0, 3, 4, 0).
+closer(0, 3, 4, 1).
+closer(0, 3, 4, 2).
+closer(0, 3, 4, 3).
+closer(0, 3, 4, 4).
+closer(0, 3, 5, 0).
+closer(0, 3, 5, 1).
+closer(0, 3, 5, 2).
+closer(0, 3, 5, 3).
+closer(0, 3, 5, 4).
+closer(0, 3, 5, 5).
+closer(0, 4, 0, 0).
+closer(0, 4, 0, 5).
+closer(0, 4, 1, 0).
+closer(0, 4, 1, 1).
+closer(0, 4, 2, 0).
+closer(0, 4, 2, 1).
+closer(0, 4, 2, 2).
+closer(0, 4, 3, 0).
+closer(0, 4, 3, 1).
+closer(0, 4, 3, 2).
+closer(0, 4, 3, 3).
+closer(0, 4, 4, 0).
+closer(0, 4, 4, 1).
+closer(0, 4, 4, 2).
+closer(0, 4, 4, 3).
+closer(0, 4, 4, 4).
+closer(0, 4, 5, 0).
+closer(0, 4, 5, 1).
+closer(0, 4, 5, 2).
+closer(0, 4, 5, 3).
+closer(0, 4, 5, 4).
+closer(0, 4, 5, 5).
+closer(0, 5, 0, 0).
+closer(0, 5, 1, 0).
+closer(0, 5, 1, 1).
+closer(0, 5, 2, 0).
+closer(0, 5, 2, 1).
+closer(0, 5, 2, 2).
+closer(0, 5, 3, 0).
+closer(0, 5, 3, 1).
+closer(0, 5, 3, 2).
+closer(0, 5, 3, 3).
+closer(0, 5, 4, 0).
+closer(0, 5, 4, 1).
+closer(0, 5, 4, 2).
+closer(0, 5, 4, 3).
+closer(0, 5, 4, 4).
+closer(0, 5, 5, 0).
+closer(0, 5, 5, 1).
+closer(0, 5, 5, 2).
+closer(0, 5, 5, 3).
+closer(0, 5, 5, 4).
+closer(0, 5, 5, 5).
+closer(1, 2, 0, 0).
+closer(1, 2, 0, 2).
+closer(1, 2, 0, 3).
+closer(1, 2, 0, 4).
+closer(1, 2, 0, 5).
+closer(1, 2, 1, 0).
+closer(1, 2, 1, 1).
+closer(1, 2, 1, 3).
+closer(1, 2, 1, 4).
+closer(1, 2, 1, 5).
+closer(1, 2, 2, 0).
+closer(1, 2, 2, 1).
+closer(1, 2, 2, 2).
+closer(1, 2, 2, 4).
+closer(1, 2, 2, 5).
+closer(1, 2, 3, 0).
+closer(1, 2, 3, 1).
+closer(1, 2, 3, 2).
+closer(1, 2, 3, 3).
+closer(1, 2, 3, 5).
+closer(1, 2, 4, 0).
+closer(1, 2, 4, 1).
+closer(1, 2, 4, 2).
+closer(1, 2, 4, 3).
+closer(1, 2, 4, 4).
+closer(1, 2, 5, 0).
+closer(1, 2, 5, 1).
+closer(1, 2, 5, 2).
+closer(1, 2, 5, 3).
+closer(1, 2, 5, 4).
+closer(1, 2, 5, 5).
+closer(1, 3, 0, 0).
+closer(1, 3, 0, 3).
+closer(1, 3, 0, 4).
+closer(1, 3, 0, 5).
+closer(1, 3, 1, 0).
+closer(1, 3, 1, 1).
+closer(1, 3, 1, 4).
+closer(1, 3, 1, 5).
+closer(1, 3, 2, 0).
+closer(1, 3, 2, 1).
+closer(1, 3, 2, 2).
+closer(1, 3, 2, 5).
+closer(1, 3, 3, 0).
+closer(1, 3, 3, 1).
+closer(1, 3, 3, 2).
+closer(1, 3, 3, 3).
+closer(1, 3, 4, 0).
+closer(1, 3, 4, 1).
+closer(1, 3, 4, 2).
+closer(1, 3, 4, 3).
+closer(1, 3, 4, 4).
+closer(1, 3, 5, 0).
+closer(1, 3, 5, 1).
+closer(1, 3, 5, 2).
+closer(1, 3, 5, 3).
+closer(1, 3, 5, 4).
+closer(1, 3, 5, 5).
+closer(1, 4, 0, 0).
+closer(1, 4, 0, 4).
+closer(1, 4, 0, 5).
+closer(1, 4, 1, 0).
+closer(1, 4, 1, 1).
+closer(1, 4, 1, 5).
+closer(1, 4, 2, 0).
+closer(1, 4, 2, 1).
+closer(1, 4, 2, 2).
+closer(1, 4, 3, 0).
+closer(1, 4, 3, 1).
+closer(1, 4, 3, 2).
+closer(1, 4, 3, 3).
+closer(1, 4, 4, 0).
+closer(1, 4, 4, 1).
+closer(1, 4, 4, 2).
+closer(1, 4, 4, 3).
+closer(1, 4, 4, 4).
+closer(1, 4, 5, 0).
+closer(1, 4, 5, 1).
+closer(1, 4, 5, 2).
+closer(1, 4, 5, 3).
+closer(1, 4, 5, 4).
+closer(1, 4, 5, 5).
+closer(1, 5, 0, 0).
+closer(1, 5, 0, 5).
+closer(1, 5, 1, 0).
+closer(1, 5, 1, 1).
+closer(1, 5, 2, 0).
+closer(1, 5, 2, 1).
+closer(1, 5, 2, 2).
+closer(1, 5, 3, 0).
+closer(1, 5, 3, 1).
+closer(1, 5, 3, 2).
+closer(1, 5, 3, 3).
+closer(1, 5, 4, 0).
+closer(1, 5, 4, 1).
+closer(1, 5, 4, 2).
+closer(1, 5, 4, 3).
+closer(1, 5, 4, 4).
+closer(1, 5, 5, 0).
+closer(1, 5, 5, 1).
+closer(1, 5, 5, 2).
+closer(1, 5, 5, 3).
+closer(1, 5, 5, 4).
+closer(1, 5, 5, 5).
+closer(2, 3, 0, 0).
+closer(2, 3, 0, 2).
+closer(2, 3, 0, 3).
+closer(2, 3, 0, 4).
+closer(2, 3, 0, 5).
+closer(2, 3, 1, 0).
+closer(2, 3, 1, 1).
+closer(2, 3, 1, 3).
+closer(2, 3, 1, 4).
+closer(2, 3, 1, 5).
+closer(2, 3, 2, 0).
+closer(2, 3, 2, 1).
+closer(2, 3, 2, 2).
+closer(2, 3, 2, 4).
+closer(2, 3, 2, 5).
+closer(2, 3, 3, 0).
+closer(2, 3, 3, 1).
+closer(2, 3, 3, 2).
+closer(2, 3, 3, 3).
+closer(2, 3, 3, 5).
+closer(2, 3, 4, 0).
+closer(2, 3, 4, 1).
+closer(2, 3, 4, 2).
+closer(2, 3, 4, 3).
+closer(2, 3, 4, 4).
+closer(2, 3, 5, 0).
+closer(2, 3, 5, 1).
+closer(2, 3, 5, 2).
+closer(2, 3, 5, 3).
+closer(2, 3, 5, 4).
+closer(2, 3, 5, 5).
+closer(2, 4, 0, 0).
+closer(2, 4, 0, 3).
+closer(2, 4, 0, 4).
+closer(2, 4, 0, 5).
+closer(2, 4, 1, 0).
+closer(2, 4, 1, 1).
+closer(2, 4, 1, 4).
+closer(2, 4, 1, 5).
+closer(2, 4, 2, 0).
+closer(2, 4, 2, 1).
+closer(2, 4, 2, 2).
+closer(2, 4, 2, 5).
+closer(2, 4, 3, 0).
+closer(2, 4, 3, 1).
+closer(2, 4, 3, 2).
+closer(2, 4, 3, 3).
+closer(2, 4, 4, 0).
+closer(2, 4, 4, 1).
+closer(2, 4, 4, 2).
+closer(2, 4, 4, 3).
+closer(2, 4, 4, 4).
+closer(2, 4, 5, 0).
+closer(2, 4, 5, 1).
+closer(2, 4, 5, 2).
+closer(2, 4, 5, 3).
+closer(2, 4, 5, 4).
+closer(2, 4, 5, 5).
+closer(2, 5, 0, 0).
+closer(2, 5, 0, 4).
+closer(2, 5, 0, 5).
+closer(2, 5, 1, 0).
+closer(2, 5, 1, 1).
+closer(2, 5, 1, 5).
+closer(2, 5, 2, 0).
+closer(2, 5, 2, 1).
+closer(2, 5, 2, 2).
+closer(2, 5, 3, 0).
+closer(2, 5, 3, 1).
+closer(2, 5, 3, 2).
+closer(2, 5, 3, 3).
+closer(2, 5, 4, 0).
+closer(2, 5, 4, 1).
+closer(2, 5, 4, 2).
+closer(2, 5, 4, 3).
+closer(2, 5, 4, 4).
+closer(2, 5, 5, 0).
+closer(2, 5, 5, 1).
+closer(2, 5, 5, 2).
+closer(2, 5, 5, 3).
+closer(2, 5, 5, 4).
+closer(2, 5, 5, 5).
+closer(3, 4, 0, 0).
+closer(3, 4, 0, 2).
+closer(3, 4, 0, 3).
+closer(3, 4, 0, 4).
+closer(3, 4, 0, 5).
+closer(3, 4, 1, 0).
+closer(3, 4, 1, 1).
+closer(3, 4, 1, 3).
+closer(3, 4, 1, 4).
+closer(3, 4, 1, 5).
+closer(3, 4, 2, 0).
+closer(3, 4, 2, 1).
+closer(3, 4, 2, 2).
+closer(3, 4, 2, 4).
+closer(3, 4, 2, 5).
+closer(3, 4, 3, 0).
+closer(3, 4, 3, 1).
+closer(3, 4, 3, 2).
+closer(3, 4, 3, 3).
+closer(3, 4, 3, 5).
+closer(3, 4, 4, 0).
+closer(3, 4, 4, 1).
+closer(3, 4, 4, 2).
+closer(3, 4, 4, 3).
+closer(3, 4, 4, 4).
+closer(3, 4, 5, 0).
+closer(3, 4, 5, 1).
+closer(3, 4, 5, 2).
+closer(3, 4, 5, 3).
+closer(3, 4, 5, 4).
+closer(3, 4, 5, 5).
+closer(3, 5, 0, 0).
+closer(3, 5, 0, 3).
+closer(3, 5, 0, 4).
+closer(3, 5, 0, 5).
+closer(3, 5, 1, 0).
+closer(3, 5, 1, 1).
+closer(3, 5, 1, 4).
+closer(3, 5, 1, 5).
+closer(3, 5, 2, 0).
+closer(3, 5, 2, 1).
+closer(3, 5, 2, 2).
+closer(3, 5, 2, 5).
+closer(3, 5, 3, 0).
+closer(3, 5, 3, 1).
+closer(3, 5, 3, 2).
+closer(3, 5, 3, 3).
+closer(3, 5, 4, 0).
+closer(3, 5, 4, 1).
+closer(3, 5, 4, 2).
+closer(3, 5, 4, 3).
+closer(3, 5, 4, 4).
+closer(3, 5, 5, 0).
+closer(3, 5, 5, 1).
+closer(3, 5, 5, 2).
+closer(3, 5, 5, 3).
+closer(3, 5, 5, 4).
+closer(3, 5, 5, 5).
+closer(4, 5, 0, 0).
+closer(4, 5, 0, 2).
+closer(4, 5, 0, 3).
+closer(4, 5, 0, 4).
+closer(4, 5, 0, 5).
+closer(4, 5, 1, 0).
+closer(4, 5, 1, 1).
+closer(4, 5, 1, 3).
+closer(4, 5, 1, 4).
+closer(4, 5, 1, 5).
+closer(4, 5, 2, 0).
+closer(4, 5, 2, 1).
+closer(4, 5, 2, 2).
+closer(4, 5, 2, 4).
+closer(4, 5, 2, 5).
+closer(4, 5, 3, 0).
+closer(4, 5, 3, 1).
+closer(4, 5, 3, 2).
+closer(4, 5, 3, 3).
+closer(4, 5, 3, 5).
+closer(4, 5, 4, 0).
+closer(4, 5, 4, 1).
+closer(4, 5, 4, 2).
+closer(4, 5, 4, 3).
+closer(4, 5, 4, 4).
+closer(4, 5, 5, 0).
+closer(4, 5, 5, 1).
+closer(4, 5, 5, 2).
+closer(4, 5, 5, 3).
+closer(4, 5, 5, 4).
+closer(4, 5, 5, 5).
+)gold";
+
+inline constexpr const char* kGoldenEx43ComplementTc =
+    R"gold(ct:
+ct(4, 0).
+ct(4, 5).
+ct(3, 0).
+ct(3, 5).
+ct(2, 4).
+ct(2, 3).
+ct(2, 0).
+ct(2, 5).
+ct(1, 4).
+ct(1, 3).
+ct(1, 0).
+ct(1, 5).
+ct(0, 0).
+ct(5, 0).
+ct(5, 5).
+sct:
+sct(4, 0).
+sct(4, 5).
+sct(3, 0).
+sct(3, 5).
+sct(2, 4).
+sct(2, 3).
+sct(2, 0).
+sct(2, 5).
+sct(1, 4).
+sct(1, 3).
+sct(1, 0).
+sct(1, 5).
+sct(0, 0).
+sct(5, 0).
+sct(5, 5).
+)gold";
+
+inline constexpr const char* kGoldenEx44GoodNodes =
+    R"gold(bad(3).
+bad(0).
+bad(5).
+bad(2).
+good(4).
+good(5).
+good(1).
+)gold";
+
+inline constexpr const char* kGoldenEx54ProjectionDiff =
+    R"gold(images=4
+poss:
+p(x0).
+p(x1).
+p(x2).
+q(x0, y0).
+q(x2, y2).
+t(x0).
+t(x2).
+answer(x0).
+answer(x1).
+answer(x2).
+cert:
+p(x0).
+p(x1).
+p(x2).
+q(x0, y0).
+q(x2, y2).
+t(x0).
+t(x2).
+answer(x1).
+)gold";
+
+inline constexpr const char* kGoldenEx55ProjectionDiffBottom =
+    R"gold(images=1
+poss:
+p(x0).
+p(x1).
+p(x2).
+q(x0, y0).
+q(x2, y2).
+proj(x0).
+proj(x2).
+done-with-proj.
+answer(x1).
+cert:
+p(x0).
+p(x1).
+p(x2).
+q(x0, y0).
+q(x2, y2).
+proj(x0).
+proj(x2).
+done-with-proj.
+answer(x1).
+)gold";
+
+}  // namespace worked_examples
+}  // namespace datalog
+
+#endif  // UNCHAINED_TESTS_WORKED_EXAMPLES_GOLDEN_H_

@@ -1,0 +1,38 @@
+#!/usr/bin/env bash
+# Tier-1 verification: configure, build and run the full test suite, first
+# in the normal Release configuration, then (unless --no-sanitize) again
+# under ASan + UBSan (-DUNCHAINED_SANITIZE=ON) in a separate build tree.
+#
+# Usage: tools/check.sh [--no-sanitize] [-j N]
+
+set -euo pipefail
+
+repo="$(cd "$(dirname "$0")/.." && pwd)"
+jobs="$(nproc 2>/dev/null || echo 4)"
+sanitize=1
+
+while [[ $# -gt 0 ]]; do
+  case "$1" in
+    --no-sanitize) sanitize=0; shift ;;
+    -j) jobs="$2"; shift 2 ;;
+    *) echo "unknown argument: $1" >&2; exit 2 ;;
+  esac
+done
+
+run_suite() {
+  local build_dir="$1"; shift
+  echo "==> configure ${build_dir} ($*)"
+  cmake -B "${build_dir}" -S "${repo}" "$@" >/dev/null
+  echo "==> build ${build_dir}"
+  cmake --build "${build_dir}" -j "${jobs}"
+  echo "==> ctest ${build_dir}"
+  (cd "${build_dir}" && ctest --output-on-failure -j "${jobs}")
+}
+
+run_suite "${repo}/build"
+if [[ "${sanitize}" -eq 1 ]]; then
+  run_suite "${repo}/build-asan" -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+    -DUNCHAINED_SANITIZE=ON
+fi
+
+echo "==> all checks passed"
