@@ -9,6 +9,7 @@
 
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
 #include <string>
 #include <vector>
@@ -54,6 +55,30 @@ inline std::string JsonPathFromArgs(int argc, char** argv) {
   return "";
 }
 
+/// Scans argv for `--threads=N[,N...]` and returns the parsed thread-count
+/// sweep, empty when the flag is absent. 0 means "auto" (one worker per
+/// hardware thread), matching EvalOptions::num_threads.
+inline std::vector<int> ThreadsFromArgs(int argc, char** argv) {
+  std::vector<int> out;
+  const std::string flag = "--threads=";
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind(flag, 0) != 0) continue;
+    std::string list = arg.substr(flag.size());
+    size_t pos = 0;
+    while (pos <= list.size()) {
+      size_t comma = list.find(',', pos);
+      size_t end = comma == std::string::npos ? list.size() : comma;
+      if (end > pos) {
+        out.push_back(std::atoi(list.substr(pos, end - pos).c_str()));
+      }
+      if (comma == std::string::npos) break;
+      pos = comma + 1;
+    }
+  }
+  return out;
+}
+
 /// Collects benchmark rows and writes them as a JSON array on Flush (or
 /// destruction). Inactive when constructed with an empty path: Row() is
 /// then a no-op, so call sites don't need to branch on the flag.
@@ -62,6 +87,12 @@ inline std::string JsonPathFromArgs(int argc, char** argv) {
 ///   {"name": ..., "ms": ..., "rounds": ..., "facts": ...,
 ///    "instantiations": ..., "index": {hits, builds, rebuilds, appended},
 ///    "per_rule": [{"rule": i, "matches": ..., "tuples_produced": ...}]}
+///
+/// The threads-aware overload appends the worker-pool configuration and
+/// the (nondeterministic, telemetry-only) per-worker activity:
+///   ..., "threads": N,
+///   "per_worker": [{"worker": i, "busy_ms": ..., "chunks": ...,
+///                   "steals": ...}]
 class JsonEmitter {
  public:
   explicit JsonEmitter(std::string path) : path_(std::move(path)) {}
@@ -75,26 +106,24 @@ class JsonEmitter {
 
   void Row(const std::string& name, double ms, const EvalStats& stats) {
     if (!active()) return;
-    std::string row = "  {\"name\": \"" + Escape(name) +
-                      "\", \"ms\": " + FormatMs(ms) +
-                      ", \"rounds\": " + std::to_string(stats.rounds) +
-                      ", \"facts\": " + std::to_string(stats.facts_derived) +
-                      ", \"instantiations\": " +
-                      std::to_string(stats.instantiations) +
-                      ", \"index\": {\"hits\": " +
-                      std::to_string(stats.index_hits) +
-                      ", \"builds\": " + std::to_string(stats.index_builds) +
-                      ", \"rebuilds\": " +
-                      std::to_string(stats.index_rebuilds) +
-                      ", \"appended\": " +
-                      std::to_string(stats.index_appended) +
-                      "}, \"per_rule\": [";
-    for (size_t i = 0; i < stats.per_rule.size(); ++i) {
+    rows_.push_back(BaseRow(name, ms, stats) + "}");
+  }
+
+  /// Threads-sweep row: records the requested thread count and the pool's
+  /// per-worker activity alongside the deterministic counters.
+  void Row(const std::string& name, double ms, const EvalStats& stats,
+           int threads) {
+    if (!active()) return;
+    std::string row = BaseRow(name, ms, stats) +
+                      ", \"threads\": " + std::to_string(threads) +
+                      ", \"per_worker\": [";
+    for (size_t i = 0; i < stats.per_worker.size(); ++i) {
       if (i > 0) row += ", ";
-      row += "{\"rule\": " + std::to_string(i) +
-             ", \"matches\": " + std::to_string(stats.per_rule[i].matches) +
-             ", \"tuples_produced\": " +
-             std::to_string(stats.per_rule[i].tuples_produced) + "}";
+      row += "{\"worker\": " + std::to_string(i) +
+             ", \"busy_ms\": " + FormatMs(stats.per_worker[i].busy_ms) +
+             ", \"chunks\": " + std::to_string(stats.per_worker[i].chunks) +
+             ", \"steals\": " + std::to_string(stats.per_worker[i].steals) +
+             "}";
     }
     row += "]}";
     rows_.push_back(std::move(row));
@@ -118,6 +147,35 @@ class JsonEmitter {
   }
 
  private:
+  /// The shared prefix of every row object — everything but the optional
+  /// threads fields — without the closing brace.
+  static std::string BaseRow(const std::string& name, double ms,
+                             const EvalStats& stats) {
+    std::string row = "  {\"name\": \"" + Escape(name) +
+                      "\", \"ms\": " + FormatMs(ms) +
+                      ", \"rounds\": " + std::to_string(stats.rounds) +
+                      ", \"facts\": " + std::to_string(stats.facts_derived) +
+                      ", \"instantiations\": " +
+                      std::to_string(stats.instantiations) +
+                      ", \"index\": {\"hits\": " +
+                      std::to_string(stats.index_hits) +
+                      ", \"builds\": " + std::to_string(stats.index_builds) +
+                      ", \"rebuilds\": " +
+                      std::to_string(stats.index_rebuilds) +
+                      ", \"appended\": " +
+                      std::to_string(stats.index_appended) +
+                      "}, \"per_rule\": [";
+    for (size_t i = 0; i < stats.per_rule.size(); ++i) {
+      if (i > 0) row += ", ";
+      row += "{\"rule\": " + std::to_string(i) +
+             ", \"matches\": " + std::to_string(stats.per_rule[i].matches) +
+             ", \"tuples_produced\": " +
+             std::to_string(stats.per_rule[i].tuples_produced) + "}";
+    }
+    row += "]";
+    return row;
+  }
+
   static std::string Escape(const std::string& s) {
     std::string out;
     out.reserve(s.size());

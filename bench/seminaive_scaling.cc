@@ -9,6 +9,11 @@
 // run one instrumented repetition of each workload and dump its EvalStats
 // — rounds, facts, instantiations, index-maintenance counters, and
 // per-rule match/production counts — as a JSON array.
+//
+// Pass `--threads=N[,N...]` to run on the evaluation worker pool: the
+// timed google-benchmark loops use the first count, and the instrumented
+// JSON pass sweeps the whole list (row names gain a "/tN" suffix and rows
+// gain "threads" + "per_worker" fields). 0 means auto-size the pool.
 
 #include <benchmark/benchmark.h>
 
@@ -25,6 +30,16 @@ using datalog::Engine;
 using datalog::GraphBuilder;
 using datalog::Instance;
 
+// Thread counts from --threads=, empty when the flag is absent (engines
+// then keep the EvalOptions default and JSON rows stay in the old shape).
+std::vector<int> g_threads;
+
+// The timed loops run at one setting — the first of the sweep — so the
+// reported ms stay comparable across --benchmark_filter invocations.
+void ApplyThreads(Engine* engine) {
+  if (!g_threads.empty()) engine->options().num_threads = g_threads.front();
+}
+
 constexpr const char* kTc =
     "t(X, Y) :- g(X, Y).\n"
     "t(X, Y) :- g(X, Z), t(Z, Y).\n";
@@ -32,6 +47,7 @@ constexpr const char* kTc =
 void BM_NaiveTcChain(benchmark::State& state) {
   const int n = static_cast<int>(state.range(0));
   Engine engine;
+  ApplyThreads(&engine);
   auto p = engine.Parse(kTc);
   GraphBuilder graphs(&engine.catalog(), &engine.symbols());
   Instance db = graphs.Chain(n);
@@ -46,6 +62,7 @@ BENCHMARK(BM_NaiveTcChain)->Arg(16)->Arg(32)->Arg(64)->Arg(128)->Complexity();
 void BM_SemiNaiveTcChain(benchmark::State& state) {
   const int n = static_cast<int>(state.range(0));
   Engine engine;
+  ApplyThreads(&engine);
   auto p = engine.Parse(kTc);
   GraphBuilder graphs(&engine.catalog(), &engine.symbols());
   Instance db = graphs.Chain(n);
@@ -66,6 +83,7 @@ BENCHMARK(BM_SemiNaiveTcChain)
 void BM_SemiNaiveTcRandom(benchmark::State& state) {
   const int n = static_cast<int>(state.range(0));
   Engine engine;
+  ApplyThreads(&engine);
   auto p = engine.Parse(kTc);
   GraphBuilder graphs(&engine.catalog(), &engine.symbols());
   Instance db = graphs.RandomDigraph(n, 3 * n, /*seed=*/42);
@@ -79,6 +97,7 @@ BENCHMARK(BM_SemiNaiveTcRandom)->Arg(32)->Arg(64)->Arg(128)->Arg(256);
 void BM_StratifiedComplementTc(benchmark::State& state) {
   const int n = static_cast<int>(state.range(0));
   Engine engine;
+  ApplyThreads(&engine);
   auto p = engine.Parse(
       "t(X, Y) :- g(X, Y).\n"
       "t(X, Y) :- g(X, Z), t(Z, Y).\n"
@@ -95,6 +114,7 @@ BENCHMARK(BM_StratifiedComplementTc)->Arg(16)->Arg(32)->Arg(64);
 void BM_WellFoundedWin(benchmark::State& state) {
   const int n = static_cast<int>(state.range(0));
   Engine engine;
+  ApplyThreads(&engine);
   auto p = engine.Parse("win(X) :- moves(X, Y), !win(Y).\n");
   Instance db = datalog::RandomGameGraph(&engine.catalog(),
                                          &engine.symbols(), n, 2 * n,
@@ -109,6 +129,7 @@ BENCHMARK(BM_WellFoundedWin)->Arg(16)->Arg(32)->Arg(64)->Arg(128);
 void BM_InflationaryCloser(benchmark::State& state) {
   const int n = static_cast<int>(state.range(0));
   Engine engine;
+  ApplyThreads(&engine);
   auto p = engine.Parse(
       "t(X, Y) :- g(X, Y).\n"
       "t(X, Y) :- t(X, Z), g(Z, Y).\n"
@@ -125,6 +146,7 @@ BENCHMARK(BM_InflationaryCloser)->Arg(8)->Arg(12)->Arg(16);
 void BM_NondetOrientationRun(benchmark::State& state) {
   const int k = static_cast<int>(state.range(0));
   Engine engine;
+  ApplyThreads(&engine);
   auto p = engine.Parse("!g(X, Y) :- g(X, Y), g(Y, X).\n");
   GraphBuilder graphs(&engine.catalog(), &engine.symbols());
   Instance db = graphs.TwoCycles(k);
@@ -137,99 +159,117 @@ void BM_NondetOrientationRun(benchmark::State& state) {
 }
 BENCHMARK(BM_NondetOrientationRun)->Arg(4)->Arg(8)->Arg(16);
 
-// One instrumented repetition per workload: wall-clock through
-// bench::Timer, counters through Engine::LastRunStats(). Kept separate
-// from the google-benchmark loops so the stats pass never perturbs the
-// timed iterations.
+// One instrumented repetition per workload (per thread count when
+// --threads is given): wall-clock through bench::Timer, counters through
+// Engine::LastRunStats(). Kept separate from the google-benchmark loops
+// so the stats pass never perturbs the timed iterations. `body` sets up
+// and runs one evaluation on the given engine, returning its wall-clock
+// ms or a negative value on failure.
+template <typename Body>
+void SweepRow(datalog::bench::JsonEmitter* json, const std::string& name,
+              Body body) {
+  if (g_threads.empty()) {
+    Engine engine;
+    double ms = body(&engine);
+    if (ms >= 0) json->Row(name, ms, engine.LastRunStats());
+    return;
+  }
+  for (int th : g_threads) {
+    Engine engine;
+    engine.options().num_threads = th;
+    double ms = body(&engine);
+    if (ms >= 0) {
+      json->Row(name + "/t" + std::to_string(th), ms, engine.LastRunStats(),
+                th);
+    }
+  }
+}
+
 void EmitStatsJson(const std::string& path) {
   datalog::bench::JsonEmitter json(path);
 
   for (int n : {64, 128}) {
-    Engine engine;
-    auto p = engine.Parse(kTc);
-    GraphBuilder graphs(&engine.catalog(), &engine.symbols());
-    Instance db = graphs.Chain(n);
-    datalog::bench::Timer t;
-    auto r = engine.MinimumModelNaive(*p, db);
-    if (r.ok()) {
-      json.Row("naive_tc_chain/" + std::to_string(n), t.ElapsedMs(),
-               engine.LastRunStats());
-    }
+    SweepRow(&json, "naive_tc_chain/" + std::to_string(n),
+             [n](Engine* engine) -> double {
+               auto p = engine->Parse(kTc);
+               GraphBuilder graphs(&engine->catalog(), &engine->symbols());
+               Instance db = graphs.Chain(n);
+               datalog::bench::Timer t;
+               auto r = engine->MinimumModelNaive(*p, db);
+               return r.ok() ? t.ElapsedMs() : -1.0;
+             });
   }
   for (int n : {64, 128, 256}) {
-    Engine engine;
-    auto p = engine.Parse(kTc);
-    GraphBuilder graphs(&engine.catalog(), &engine.symbols());
-    Instance db = graphs.Chain(n);
-    datalog::bench::Timer t;
-    auto r = engine.MinimumModel(*p, db);
-    if (r.ok()) {
-      json.Row("seminaive_tc_chain/" + std::to_string(n), t.ElapsedMs(),
-               engine.LastRunStats());
-    }
+    SweepRow(&json, "seminaive_tc_chain/" + std::to_string(n),
+             [n](Engine* engine) -> double {
+               auto p = engine->Parse(kTc);
+               GraphBuilder graphs(&engine->catalog(), &engine->symbols());
+               Instance db = graphs.Chain(n);
+               datalog::bench::Timer t;
+               auto r = engine->MinimumModel(*p, db);
+               return r.ok() ? t.ElapsedMs() : -1.0;
+             });
   }
   for (int n : {128, 256}) {
-    Engine engine;
-    auto p = engine.Parse(kTc);
-    GraphBuilder graphs(&engine.catalog(), &engine.symbols());
-    Instance db = graphs.RandomDigraph(n, 3 * n, /*seed=*/42);
-    datalog::bench::Timer t;
-    auto r = engine.MinimumModel(*p, db);
-    if (r.ok()) {
-      json.Row("seminaive_tc_random/" + std::to_string(n), t.ElapsedMs(),
-               engine.LastRunStats());
-    }
+    SweepRow(&json, "seminaive_tc_random/" + std::to_string(n),
+             [n](Engine* engine) -> double {
+               auto p = engine->Parse(kTc);
+               GraphBuilder graphs(&engine->catalog(), &engine->symbols());
+               Instance db = graphs.RandomDigraph(n, 3 * n, /*seed=*/42);
+               datalog::bench::Timer t;
+               auto r = engine->MinimumModel(*p, db);
+               return r.ok() ? t.ElapsedMs() : -1.0;
+             });
   }
   for (int n : {64}) {
-    Engine engine;
-    auto p = engine.Parse(
-        "t(X, Y) :- g(X, Y).\n"
-        "t(X, Y) :- g(X, Z), t(Z, Y).\n"
-        "ct(X, Y) :- !t(X, Y).\n");
-    GraphBuilder graphs(&engine.catalog(), &engine.symbols());
-    Instance db = graphs.RandomDigraph(n, 2 * n, /*seed=*/7);
-    datalog::bench::Timer t;
-    auto r = engine.Stratified(*p, db);
-    if (r.ok()) {
-      json.Row("stratified_complement_tc/" + std::to_string(n),
-               t.ElapsedMs(), engine.LastRunStats());
-    }
+    SweepRow(&json, "stratified_complement_tc/" + std::to_string(n),
+             [n](Engine* engine) -> double {
+               auto p = engine->Parse(
+                   "t(X, Y) :- g(X, Y).\n"
+                   "t(X, Y) :- g(X, Z), t(Z, Y).\n"
+                   "ct(X, Y) :- !t(X, Y).\n");
+               GraphBuilder graphs(&engine->catalog(), &engine->symbols());
+               Instance db = graphs.RandomDigraph(n, 2 * n, /*seed=*/7);
+               datalog::bench::Timer t;
+               auto r = engine->Stratified(*p, db);
+               return r.ok() ? t.ElapsedMs() : -1.0;
+             });
   }
   for (int n : {128}) {
-    Engine engine;
-    auto p = engine.Parse("win(X) :- moves(X, Y), !win(Y).\n");
-    Instance db = datalog::RandomGameGraph(&engine.catalog(),
-                                           &engine.symbols(), n, 2 * n,
-                                           /*seed=*/13);
-    datalog::bench::Timer t;
-    auto r = engine.WellFounded(*p, db);
-    if (r.ok()) {
-      json.Row("wellfounded_win/" + std::to_string(n), t.ElapsedMs(),
-               engine.LastRunStats());
-    }
+    SweepRow(&json, "wellfounded_win/" + std::to_string(n),
+             [n](Engine* engine) -> double {
+               auto p =
+                   engine->Parse("win(X) :- moves(X, Y), !win(Y).\n");
+               Instance db = datalog::RandomGameGraph(
+                   &engine->catalog(), &engine->symbols(), n, 2 * n,
+                   /*seed=*/13);
+               datalog::bench::Timer t;
+               auto r = engine->WellFounded(*p, db);
+               return r.ok() ? t.ElapsedMs() : -1.0;
+             });
   }
   for (int n : {16}) {
-    Engine engine;
-    auto p = engine.Parse(
-        "t(X, Y) :- g(X, Y).\n"
-        "t(X, Y) :- t(X, Z), g(Z, Y).\n"
-        "closer(X, Y, X2, Y2) :- t(X, Y), !t(X2, Y2).\n");
-    GraphBuilder graphs(&engine.catalog(), &engine.symbols());
-    Instance db = graphs.Chain(n);
-    datalog::bench::Timer t;
-    auto r = engine.Inflationary(*p, db);
-    if (r.ok()) {
-      json.Row("inflationary_closer/" + std::to_string(n), t.ElapsedMs(),
-               engine.LastRunStats());
-    }
+    SweepRow(&json, "inflationary_closer/" + std::to_string(n),
+             [n](Engine* engine) -> double {
+               auto p = engine->Parse(
+                   "t(X, Y) :- g(X, Y).\n"
+                   "t(X, Y) :- t(X, Z), g(Z, Y).\n"
+                   "closer(X, Y, X2, Y2) :- t(X, Y), !t(X2, Y2).\n");
+               GraphBuilder graphs(&engine->catalog(), &engine->symbols());
+               Instance db = graphs.Chain(n);
+               datalog::bench::Timer t;
+               auto r = engine->Inflationary(*p, db);
+               return r.ok() ? t.ElapsedMs() : -1.0;
+             });
   }
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
-  // Extract --json=<path> before google-benchmark sees the arguments (it
-  // rejects flags it doesn't recognize).
+  // Extract --json=<path> and --threads=... before google-benchmark sees
+  // the arguments (it rejects flags it doesn't recognize).
+  g_threads = datalog::bench::ThreadsFromArgs(argc, argv);
   std::string json_path;
   std::vector<char*> passthrough;
   passthrough.reserve(argc);
@@ -237,7 +277,7 @@ int main(int argc, char** argv) {
     std::string arg = argv[i];
     if (arg.rfind("--json=", 0) == 0) {
       json_path = arg.substr(7);
-    } else {
+    } else if (arg.rfind("--threads=", 0) != 0) {
       passthrough.push_back(argv[i]);
     }
   }

@@ -1,0 +1,192 @@
+#include "base/thread_pool.h"
+
+#include <algorithm>
+#include <cassert>
+#include <chrono>
+
+namespace datalog {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double ElapsedMs(Clock::time_point since) {
+  return std::chrono::duration<double, std::milli>(Clock::now() - since)
+      .count();
+}
+
+/// True on threads currently inside RunWorker — nested ParallelFor calls
+/// from a worker run inline instead of deadlocking on the single-job pool.
+thread_local bool tls_in_worker = false;
+
+}  // namespace
+
+int ThreadPool::DefaultWorkers() {
+  unsigned n = std::thread::hardware_concurrency();
+  return n > 0 ? static_cast<int>(n) : 1;
+}
+
+ThreadPool::ThreadPool(int num_workers)
+    : num_workers_(std::max(1, num_workers)), stats_(num_workers_) {
+  threads_.reserve(num_workers_ - 1);
+  for (int w = 1; w < num_workers_; ++w) {
+    threads_.emplace_back([this, w] { WorkerLoop(w); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutdown_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& t : threads_) t.join();
+}
+
+void ThreadPool::ResetStats() {
+  for (WorkerStats& s : stats_) s = WorkerStats{};
+}
+
+bool ThreadPool::PopOwn(Span* span, uint32_t* chunk) {
+  uint64_t b = span->bounds.load(std::memory_order_relaxed);
+  for (;;) {
+    const uint32_t cursor = static_cast<uint32_t>(b >> 32);
+    const uint32_t end = static_cast<uint32_t>(b);
+    if (cursor >= end) return false;
+    if (span->bounds.compare_exchange_weak(b, Pack(cursor + 1, end),
+                                           std::memory_order_acq_rel,
+                                           std::memory_order_relaxed)) {
+      *chunk = cursor;
+      return true;
+    }
+  }
+}
+
+bool ThreadPool::StealChunk(Job* job, int self, uint32_t* chunk) {
+  // One scan over the other spans, taking from the fullest; a victim that
+  // empties between the scan and the CAS just fails the CAS and the next
+  // scan moves on.
+  for (;;) {
+    int victim = -1;
+    uint32_t best_left = 0;
+    for (int w = 0; w < static_cast<int>(job->spans.size()); ++w) {
+      if (w == self) continue;
+      const uint64_t b = job->spans[w].bounds.load(std::memory_order_relaxed);
+      const uint32_t cursor = static_cast<uint32_t>(b >> 32);
+      const uint32_t end = static_cast<uint32_t>(b);
+      if (end > cursor && end - cursor > best_left) {
+        best_left = end - cursor;
+        victim = w;
+      }
+    }
+    if (victim < 0) return false;
+    Span& span = job->spans[victim];
+    uint64_t b = span.bounds.load(std::memory_order_relaxed);
+    const uint32_t cursor = static_cast<uint32_t>(b >> 32);
+    const uint32_t end = static_cast<uint32_t>(b);
+    if (cursor >= end) continue;
+    if (span.bounds.compare_exchange_weak(b, Pack(cursor, end - 1),
+                                          std::memory_order_acq_rel,
+                                          std::memory_order_relaxed)) {
+      *chunk = end - 1;
+      return true;
+    }
+  }
+}
+
+void ThreadPool::RunWorker(Job* job, int worker) {
+  const auto start = Clock::now();
+  tls_in_worker = true;
+  WorkerStats& st = stats_[worker];
+  Span& own = job->spans[worker];
+  const size_t n = job->n;
+  const size_t chunk_size = job->chunk_size;
+  auto run_chunk = [&](uint32_t chunk) {
+    const size_t begin = static_cast<size_t>(chunk) * chunk_size;
+    const size_t end = std::min(n, begin + chunk_size);
+    (*job->body)(begin, end, worker);
+    ++st.chunks;
+  };
+  uint32_t chunk;
+  while (PopOwn(&own, &chunk)) run_chunk(chunk);
+  while (StealChunk(job, worker, &chunk)) {
+    ++st.steals;
+    run_chunk(chunk);
+  }
+  tls_in_worker = false;
+  st.busy_ms += ElapsedMs(start);
+}
+
+void ThreadPool::ParallelFor(
+    size_t n, size_t chunk_size,
+    const std::function<void(size_t, size_t, int)>& body) {
+  if (n == 0) return;
+  if (chunk_size == 0) chunk_size = 1;
+  const size_t num_chunks = (n + chunk_size - 1) / chunk_size;
+  assert(num_chunks <= UINT32_MAX && "iteration space above chunk-id limit");
+  if (num_workers_ == 1 || num_chunks == 1 || tls_in_worker) {
+    const auto start = Clock::now();
+    for (size_t c = 0; c < num_chunks; ++c) {
+      const size_t begin = c * chunk_size;
+      body(begin, std::min(n, begin + chunk_size), 0);
+      ++stats_[0].chunks;
+    }
+    stats_[0].busy_ms += ElapsedMs(start);
+    return;
+  }
+
+  Job job;
+  job.body = &body;
+  job.n = n;
+  job.chunk_size = chunk_size;
+  job.spans = std::vector<Span>(num_workers_);
+  const size_t per = num_chunks / num_workers_;
+  const size_t rem = num_chunks % num_workers_;
+  size_t next = 0;
+  for (int w = 0; w < num_workers_; ++w) {
+    const size_t count = per + (static_cast<size_t>(w) < rem ? 1 : 0);
+    job.spans[w].bounds.store(Pack(static_cast<uint32_t>(next),
+                                   static_cast<uint32_t>(next + count)),
+                              std::memory_order_relaxed);
+    next += count;
+  }
+
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    job_ = &job;
+    ++job_generation_;
+    workers_active_ = num_workers_ - 1;
+  }
+  work_cv_.notify_all();
+  RunWorker(&job, 0);
+  std::unique_lock<std::mutex> lock(mu_);
+  done_cv_.wait(lock, [&] { return workers_active_ == 0; });
+  job_ = nullptr;
+}
+
+void ThreadPool::WorkerLoop(int worker) {
+  uint64_t seen_generation = 0;
+  for (;;) {
+    Job* job;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_cv_.wait(lock, [&] {
+        return shutdown_ || job_generation_ != seen_generation;
+      });
+      if (shutdown_) return;
+      seen_generation = job_generation_;
+      job = job_;
+      // The job is cleared only after every background worker checked in,
+      // so a woken worker always sees it.
+      assert(job != nullptr);
+    }
+    RunWorker(job, worker);
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      --workers_active_;
+    }
+    done_cv_.notify_all();
+  }
+}
+
+}  // namespace datalog

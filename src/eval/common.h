@@ -1,6 +1,7 @@
 #ifndef UNCHAINED_EVAL_COMMON_H_
 #define UNCHAINED_EVAL_COMMON_H_
 
+#include <cstddef>
 #include <cstdint>
 #include <vector>
 
@@ -37,6 +38,22 @@ struct EvalStats {
   int64_t index_rebuilds = 0;
   /// Tuples appended incrementally from relation journals.
   int64_t index_appended = 0;
+
+  // -- Parallel execution ----------------------------------------------
+  /// Pool activity of one worker across the run's parallel regions.
+  struct WorkerActivity {
+    /// Wall-clock the worker spent inside parallel regions.
+    double busy_ms = 0;
+    /// Work chunks the worker executed.
+    int64_t chunks = 0;
+    /// Chunks the worker stole from another worker's span.
+    int64_t steals = 0;
+  };
+  /// Per-worker activity (index 0 = the evaluating thread), filled by
+  /// EvalContext::Finalize when the run used a worker pool; empty for
+  /// sequential runs. Unlike every counter above, this is scheduling
+  /// telemetry and is NOT deterministic across runs or thread counts.
+  std::vector<WorkerActivity> per_worker;
 
   // -- Timing ----------------------------------------------------------
   /// Total wall-clock of the evaluation, set by EvalContext::Finalize.
@@ -80,6 +97,15 @@ struct EvalStats {
 /// always terminate, so their default budgets are effectively unlimited;
 /// Datalog¬¬ and Datalog¬new can diverge and rely on these.
 struct EvalOptions {
+  /// Worker threads for data-parallel rule matching: 0 = one per hardware
+  /// thread, 1 = the exact sequential code path, N > 1 = a pool of N
+  /// workers (the calling thread plus N-1 spawned ones). Results and all
+  /// deterministic EvalStats counters are byte-identical at every
+  /// setting — parallel rounds stage per-chunk and merge in the
+  /// sequential order (see docs/execution.md). Engines that record
+  /// provenance fall back to the sequential path while a DerivationLog
+  /// is attached.
+  int num_threads = 0;
   /// Maximum number of stages/rounds before giving up (kBudgetExhausted).
   int64_t max_rounds = 1'000'000;
   /// Maximum total facts derived (guards invention blow-ups).

@@ -3,7 +3,35 @@
 #include <algorithm>
 #include <set>
 
+#include "base/thread_pool.h"
+
 namespace datalog {
+
+EvalContext::EvalContext() : start_(Clock::now()) {}
+
+EvalContext::EvalContext(const EvalOptions& opts)
+    : options(opts), provenance(opts.provenance), start_(Clock::now()) {}
+
+EvalContext::~EvalContext() = default;
+
+ThreadPool* EvalContext::pool() {
+  if (!pool_checked_) {
+    pool_checked_ = true;
+    int n = options.num_threads;
+    if (n <= 0) n = ThreadPool::DefaultWorkers();
+    if (n > 1) pool_ = std::make_unique<ThreadPool>(n);
+  }
+  return pool_.get();
+}
+
+void EvalContext::FoldWorkerStats() {
+  if (pool_ == nullptr) return;
+  stats.per_worker.clear();
+  for (const ThreadPool::WorkerStats& w : pool_->worker_stats()) {
+    stats.per_worker.push_back(
+        EvalStats::WorkerActivity{w.busy_ms, w.chunks, w.steals});
+  }
+}
 
 void AdomCache::Recompute(const Program& program, const Instance& instance) {
   std::set<Value> dom = instance.ActiveDomain();

@@ -3,6 +3,7 @@
 
 #include <chrono>
 #include <cstdint>
+#include <memory>
 #include <unordered_map>
 #include <vector>
 
@@ -12,6 +13,8 @@
 #include "ra/instance.h"
 
 namespace datalog {
+
+class ThreadPool;
 
 /// Incrementally maintained active domain adom(P, I): the sorted vector of
 /// every value in the instance plus every constant of the program
@@ -52,9 +55,9 @@ class AdomCache {
 /// per entry-point call and surfaces its stats via Engine::LastRunStats().
 class EvalContext {
  public:
-  EvalContext() : start_(Clock::now()) {}
-  explicit EvalContext(const EvalOptions& opts)
-      : options(opts), provenance(opts.provenance), start_(Clock::now()) {}
+  EvalContext();
+  explicit EvalContext(const EvalOptions& opts);
+  ~EvalContext();
 
   EvalContext(const EvalContext&) = delete;
   EvalContext& operator=(const EvalContext&) = delete;
@@ -74,6 +77,13 @@ class EvalContext {
     return adom_cache.Get(program, instance);
   }
 
+  /// The worker pool for data-parallel rule matching, created on first
+  /// call from options.num_threads (0 = hardware concurrency). Returns
+  /// nullptr when the evaluation is single-threaded — engines then take
+  /// the exact sequential code path. The pool lives as long as the
+  /// context, so strata/rounds reuse the same workers.
+  ThreadPool* pool();
+
   /// Round timing: call StartRound at the top of a stage and FinishRound
   /// once its new facts are merged; FinishRound appends to stats.round_ms
   /// (up to EvalStats::kMaxRoundTimings entries).
@@ -84,9 +94,9 @@ class EvalContext {
     }
   }
 
-  /// Folds the index counters and the total wall-clock into `stats`.
-  /// Engines call it on their success path; the Engine facade also calls
-  /// it defensively before copying stats out.
+  /// Folds the index counters, the worker-pool activity and the total
+  /// wall-clock into `stats`. Engines call it on their success path; the
+  /// Engine facade also calls it defensively before copying stats out.
   void Finalize() {
     stats.total_ms = ElapsedMs(start_);
     const IndexManager::Counters& c = index.counters();
@@ -94,6 +104,7 @@ class EvalContext {
     stats.index_builds = c.builds;
     stats.index_rebuilds = c.rebuilds;
     stats.index_appended = c.appended;
+    FoldWorkerStats();
   }
 
  private:
@@ -103,8 +114,12 @@ class EvalContext {
         .count();
   }
 
+  void FoldWorkerStats();
+
   Clock::time_point start_;
   Clock::time_point round_start_{};
+  std::unique_ptr<ThreadPool> pool_;
+  bool pool_checked_ = false;
 };
 
 }  // namespace datalog

@@ -49,6 +49,10 @@ struct RuleMatcher::MatchState {
   IndexManager* index;
   int delta_literal;
   const Relation* delta;
+  /// When non-null, the delta literal iterates this tuple span instead of
+  /// `*delta` — one chunk of a round's delta in a parallel fan-out.
+  const Tuple* const* delta_tuples = nullptr;
+  size_t delta_count = 0;
   const std::function<bool(const Valuation&)>* cb;
   Valuation val;
   std::vector<bool> literal_done;  // indexed like rule_->body
@@ -215,10 +219,19 @@ bool RuleMatcher::MatchPositives(MatchState* state) const {
   };
 
   if (best == state->delta_literal) {
-    for (const Tuple& t : *state->delta) {
-      if (!try_tuple(t)) {
-        keep_going = false;
-        break;
+    if (state->delta_tuples != nullptr) {
+      for (size_t i = 0; i < state->delta_count; ++i) {
+        if (!try_tuple(*state->delta_tuples[i])) {
+          keep_going = false;
+          break;
+        }
+      }
+    } else {
+      for (const Tuple& t : *state->delta) {
+        if (!try_tuple(t)) {
+          keep_going = false;
+          break;
+        }
       }
     }
   } else {
@@ -356,6 +369,27 @@ void RuleMatcher::ForEachMatch(
   state.index = index;
   state.delta_literal = delta_literal;
   state.delta = delta;
+  state.cb = &cb;
+  state.val.assign(rule_->num_vars, kUnboundValue);
+  state.literal_done.assign(rule_->body.size(), false);
+  state.positives_remaining = static_cast<int>(positive_literals_.size());
+  MatchPositives(&state);
+}
+
+void RuleMatcher::ForEachMatch(
+    const DbView& view, const std::vector<Value>& adom, IndexManager* index,
+    int delta_literal, const Tuple* const* delta_tuples, size_t delta_count,
+    const std::function<bool(const Valuation&)>& cb) const {
+  assert(!is_forall_ && "semi-naive deltas unsupported for ∀ rules");
+  assert(delta_literal >= 0);
+  MatchState state;
+  state.view = &view;
+  state.adom = &adom;
+  state.index = index;
+  state.delta_literal = delta_literal;
+  state.delta = nullptr;
+  state.delta_tuples = delta_tuples;
+  state.delta_count = delta_count;
   state.cb = &cb;
   state.val.assign(rule_->num_vars, kUnboundValue);
   state.literal_done.assign(rule_->body.size(), false);

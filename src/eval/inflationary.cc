@@ -3,6 +3,7 @@
 #include <cassert>
 
 #include "eval/grounder.h"
+#include "eval/parallel.h"
 #include "eval/provenance.h"
 
 namespace datalog {
@@ -32,6 +33,15 @@ Result<InflationaryResult> InflationaryFixpoint(const Program& program,
     matchers.emplace_back(&rule);
   }
 
+  // Provenance recording is sequential by nature; such runs take the
+  // exact sequential path below.
+  ThreadPool* pool = ctx->provenance == nullptr ? ctx->pool() : nullptr;
+  std::vector<MatchUnit> units(matchers.size());
+  for (size_t i = 0; i < matchers.size(); ++i) {
+    units[i].matcher = static_cast<int>(i);
+    units[i].rule_index = static_cast<int>(i);
+  }
+
   InflationaryResult result(input);
   Instance& db = result.instance;
   while (true) {
@@ -49,24 +59,32 @@ Result<InflationaryResult> InflationaryFixpoint(const Program& program,
     Instance fresh(&input.catalog());
     DbView view{&db, &db};
     const int stage = result.stages + 1;
-    for (size_t ri = 0; ri < matchers.size(); ++ri) {
-      const RuleMatcher& matcher = matchers[ri];
-      const Atom& head = matcher.rule().heads[0].atom;
-      matcher.ForEachMatch(
-          view, adom, &ctx->index, [&](const Valuation& val) -> bool {
-            Tuple t = InstantiateAtom(head, val);
-            bool produced = !db.Contains(head.pred, t);
-            st.CountMatch(ri, produced);
-            if (produced) {
-              if (ctx->provenance != nullptr) {
-                ctx->provenance->Record(
-                    head.pred, t, static_cast<int>(ri), stage,
-                    InstantiateBodyPremises(matcher.rule(), val));
+    if (pool != nullptr) {
+      std::vector<UnitOutput> outputs;
+      RunProductionUnits(pool, matchers, units, view, adom, &ctx->index,
+                         &outputs);
+      MergeProductionUnits(matchers, units, &outputs, &st, &fresh);
+    } else {
+      for (size_t ri = 0; ri < matchers.size(); ++ri) {
+        const RuleMatcher& matcher = matchers[ri];
+        const Atom& head = matcher.rule().heads[0].atom;
+        const Relation& head_rel = db.Rel(head.pred);
+        matcher.ForEachMatch(
+            view, adom, &ctx->index, [&](const Valuation& val) -> bool {
+              Tuple t = InstantiateAtom(head, val);
+              bool produced = !head_rel.Contains(t);
+              st.CountMatch(ri, produced);
+              if (produced) {
+                if (ctx->provenance != nullptr) {
+                  ctx->provenance->Record(
+                      head.pred, t, static_cast<int>(ri), stage,
+                      InstantiateBodyPremises(matcher.rule(), val));
+                }
+                fresh.Insert(head.pred, std::move(t));
               }
-              fresh.Insert(head.pred, std::move(t));
-            }
-            return true;
-          });
+              return true;
+            });
+      }
     }
     if (fresh.TotalFacts() == 0) {
       ctx->FinishRound();

@@ -3,6 +3,7 @@
 #include <cassert>
 
 #include "eval/grounder.h"
+#include "eval/parallel.h"
 
 namespace datalog {
 
@@ -35,6 +36,15 @@ Result<Instance> NaiveLeastFixpoint(const Program& program,
     matchers.emplace_back(&rule);
   }
 
+  // The naive engine never records provenance, so any configured pool
+  // applies; units are whole rules (no delta to chunk).
+  ThreadPool* pool = ctx->pool();
+  std::vector<MatchUnit> units(matchers.size());
+  for (size_t i = 0; i < matchers.size(); ++i) {
+    units[i].matcher = static_cast<int>(i);
+    units[i].rule_index = static_cast<int>(i);
+  }
+
   Instance db = input;
   while (true) {
     if (++st.rounds > ctx->options.max_rounds) {
@@ -50,18 +60,26 @@ Result<Instance> NaiveLeastFixpoint(const Program& program,
     const std::vector<Value>& adom = ctx->Adom(program, db);
     Instance fresh(&input.catalog());
     DbView view{&db, fixed_negation != nullptr ? fixed_negation : &db};
-    for (size_t i = 0; i < matchers.size(); ++i) {
-      const Atom& head = matchers[i].rule().heads[0].atom;
-      matchers[i].ForEachMatch(view, adom, &ctx->index,
-                               [&](const Valuation& val) -> bool {
-                                 Tuple t = InstantiateAtom(head, val);
-                                 bool produced = !db.Contains(head.pred, t);
-                                 st.CountMatch(i, produced);
-                                 if (produced) {
-                                   fresh.Insert(head.pred, std::move(t));
-                                 }
-                                 return true;
-                               });
+    if (pool != nullptr) {
+      std::vector<UnitOutput> outputs;
+      RunProductionUnits(pool, matchers, units, view, adom, &ctx->index,
+                         &outputs);
+      MergeProductionUnits(matchers, units, &outputs, &st, &fresh);
+    } else {
+      for (size_t i = 0; i < matchers.size(); ++i) {
+        const Atom& head = matchers[i].rule().heads[0].atom;
+        const Relation& head_rel = db.Rel(head.pred);
+        matchers[i].ForEachMatch(view, adom, &ctx->index,
+                                 [&](const Valuation& val) -> bool {
+                                   Tuple t = InstantiateAtom(head, val);
+                                   bool produced = !head_rel.Contains(t);
+                                   st.CountMatch(i, produced);
+                                   if (produced) {
+                                     fresh.Insert(head.pred, std::move(t));
+                                   }
+                                   return true;
+                                 });
+      }
     }
     size_t added = db.UnionWith(fresh);
     st.facts_derived += static_cast<int64_t>(added);

@@ -1,7 +1,9 @@
 #include "eval/noninflationary.h"
 
+#include <cassert>
 #include <unordered_map>
 
+#include "base/thread_pool.h"
 #include "eval/grounder.h"
 
 namespace datalog {
@@ -66,26 +68,93 @@ Result<NonInflationaryResult> NonInflationaryFixpoint(
     Instance deletes(&input.catalog());
     DbView view{&db, &db};
     const std::vector<Value>& adom = ctx->Adom(program, db);
-    for (size_t ri = 0; ri < matchers.size(); ++ri) {
-      const RuleMatcher& matcher = matchers[ri];
-      const Rule& rule = matcher.rule();
-      matcher.ForEachMatch(view, adom, &ctx->index,
-                           [&](const Valuation& val) -> bool {
-                             bool produced = false;
-                             for (const Literal& head : rule.heads) {
-                               Tuple t = InstantiateAtom(head.atom, val);
-                               if (head.negative) {
-                                 deletes.Insert(head.atom.pred, std::move(t));
-                               } else {
-                                 if (!db.Contains(head.atom.pred, t)) {
-                                   produced = true;
+    ThreadPool* pool = ctx->pool();
+    if (pool != nullptr) {
+      // Multi-head staging: record every head instantiation in match
+      // order (tagged insert/delete), then replay rule by rule so the
+      // inserts/deletes instances get the sequential insertion order.
+      struct RuleStage {
+        struct Head {
+          PredId pred;
+          Tuple tuple;
+          bool is_delete;
+        };
+        std::vector<Head> heads;
+        int64_t matches = 0;
+        int64_t produced = 0;
+      };
+      std::vector<RuleStage> staged(matchers.size());
+#ifndef NDEBUG
+      const uint64_t frozen_gen = db.Generation();
+#endif
+      ctx->index.BeginParallel();
+      pool->ParallelFor(
+          matchers.size(), /*chunk_size=*/1,
+          [&](size_t begin, size_t end, int /*worker*/) {
+            for (size_t ri = begin; ri < end; ++ri) {
+              const RuleMatcher& matcher = matchers[ri];
+              const Rule& rule = matcher.rule();
+              RuleStage& stage = staged[ri];
+              matcher.ForEachMatch(
+                  view, adom, &ctx->index, [&](const Valuation& val) -> bool {
+                    bool produced = false;
+                    for (const Literal& head : rule.heads) {
+                      Tuple t = InstantiateAtom(head.atom, val);
+                      if (!head.negative &&
+                          !db.Contains(head.atom.pred, t)) {
+                        produced = true;
+                      }
+                      stage.heads.push_back(RuleStage::Head{
+                          head.atom.pred, std::move(t), head.negative});
+                    }
+                    ++stage.matches;
+                    if (produced) ++stage.produced;
+                    return true;
+                  });
+            }
+          });
+      ctx->index.EndParallel();
+      assert(db.Generation() == frozen_gen &&
+             "frozen database mutated during a parallel matching region");
+      for (size_t ri = 0; ri < staged.size(); ++ri) {
+        RuleStage& stage = staged[ri];
+        st.instantiations += stage.matches;
+        if (ri < st.per_rule.size()) {
+          st.per_rule[ri].matches += stage.matches;
+          st.per_rule[ri].tuples_produced += stage.produced;
+        }
+        for (RuleStage::Head& h : stage.heads) {
+          if (h.is_delete) {
+            deletes.Insert(h.pred, std::move(h.tuple));
+          } else {
+            inserts.Insert(h.pred, std::move(h.tuple));
+          }
+        }
+      }
+    } else {
+      for (size_t ri = 0; ri < matchers.size(); ++ri) {
+        const RuleMatcher& matcher = matchers[ri];
+        const Rule& rule = matcher.rule();
+        matcher.ForEachMatch(view, adom, &ctx->index,
+                             [&](const Valuation& val) -> bool {
+                               bool produced = false;
+                               for (const Literal& head : rule.heads) {
+                                 Tuple t = InstantiateAtom(head.atom, val);
+                                 if (head.negative) {
+                                   deletes.Insert(head.atom.pred,
+                                                  std::move(t));
+                                 } else {
+                                   if (!db.Contains(head.atom.pred, t)) {
+                                     produced = true;
+                                   }
+                                   inserts.Insert(head.atom.pred,
+                                                  std::move(t));
                                  }
-                                 inserts.Insert(head.atom.pred, std::move(t));
                                }
-                             }
-                             st.CountMatch(ri, produced);
-                             return true;
-                           });
+                               st.CountMatch(ri, produced);
+                               return true;
+                             });
+      }
     }
 
     // Reconcile per the conflict policy to obtain the successor state.

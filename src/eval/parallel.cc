@@ -1,0 +1,108 @@
+#include "eval/parallel.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "base/thread_pool.h"
+
+namespace datalog {
+
+void RunProductionUnits(ThreadPool* pool,
+                        const std::vector<RuleMatcher>& matchers,
+                        const std::vector<MatchUnit>& units,
+                        const DbView& view, const std::vector<Value>& adom,
+                        IndexManager* index,
+                        std::vector<UnitOutput>* outputs) {
+  outputs->clear();
+  outputs->resize(units.size());
+  auto run_unit = [&](size_t u) {
+    const MatchUnit& unit = units[u];
+    UnitOutput& out = (*outputs)[u];
+    const RuleMatcher& matcher = matchers[unit.matcher];
+    const Atom& head = matcher.rule().heads[0].atom;
+    // One relation probe per unit instead of one per match: the head
+    // relation is frozen for the round, so the reference stays valid.
+    const Relation& head_rel = view.positives->Rel(head.pred);
+    auto sink = [&](const Valuation& val) -> bool {
+      Tuple t = InstantiateAtom(head, val);
+      ++out.matches;
+      if (!head_rel.Contains(t)) out.produced.push_back(std::move(t));
+      return true;
+    };
+    if (unit.delta_literal < 0) {
+      matcher.ForEachMatch(view, adom, index, sink);
+    } else {
+      matcher.ForEachMatch(view, adom, index, unit.delta_literal,
+                           unit.delta_begin, unit.delta_count, sink);
+    }
+  };
+
+  if (pool == nullptr) {
+    for (size_t u = 0; u < units.size(); ++u) run_unit(u);
+    return;
+  }
+
+#ifndef NDEBUG
+  const uint64_t gen_pos = view.positives->Generation();
+  const uint64_t gen_neg = view.negatives->Generation();
+#endif
+  index->BeginParallel();
+  pool->ParallelFor(units.size(), /*chunk_size=*/1,
+                    [&](size_t begin, size_t end, int /*worker*/) {
+                      for (size_t u = begin; u < end; ++u) run_unit(u);
+                    });
+  index->EndParallel();
+  assert(view.positives->Generation() == gen_pos &&
+         "frozen database mutated during a parallel matching region");
+  assert(view.negatives->Generation() == gen_neg &&
+         "frozen negation view mutated during a parallel matching region");
+}
+
+void MergeProductionUnits(const std::vector<RuleMatcher>& matchers,
+                          const std::vector<MatchUnit>& units,
+                          std::vector<UnitOutput>* outputs, EvalStats* st,
+                          Instance* fresh) {
+  for (size_t u = 0; u < units.size(); ++u) {
+    const MatchUnit& unit = units[u];
+    UnitOutput& out = (*outputs)[u];
+    st->instantiations += out.matches;
+    const size_t rule = static_cast<size_t>(unit.rule_index);
+    if (rule < st->per_rule.size()) {
+      st->per_rule[rule].matches += out.matches;
+      st->per_rule[rule].tuples_produced +=
+          static_cast<int64_t>(out.produced.size());
+    }
+    if (out.produced.empty()) continue;
+    const Atom& head = matchers[unit.matcher].rule().heads[0].atom;
+    Relation* dst = fresh->MutableRel(head.pred);
+    for (Tuple& t : out.produced) dst->Insert(std::move(t));
+  }
+}
+
+std::vector<const Tuple*> TupleList(const Relation& rel) {
+  std::vector<const Tuple*> list;
+  list.reserve(rel.size());
+  for (const Tuple& t : rel) list.push_back(&t);
+  return list;
+}
+
+void AppendDeltaUnits(int matcher, int rule_index, int delta_literal,
+                      const std::vector<const Tuple*>& list, int num_workers,
+                      std::vector<MatchUnit>* units) {
+  if (list.empty()) return;
+  // Several chunks per worker so stealing can balance skewed join costs,
+  // with a floor that keeps per-chunk staging overhead negligible.
+  const size_t target = static_cast<size_t>(std::max(1, num_workers)) * 8;
+  const size_t chunk = std::max<size_t>(16, (list.size() + target - 1) / target);
+  for (size_t off = 0; off < list.size(); off += chunk) {
+    MatchUnit unit;
+    unit.matcher = matcher;
+    unit.rule_index = rule_index;
+    unit.delta_literal = delta_literal;
+    unit.delta_begin = list.data() + off;
+    unit.delta_count = std::min(chunk, list.size() - off);
+    units->push_back(unit);
+  }
+}
+
+}  // namespace datalog

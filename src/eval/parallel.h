@@ -1,0 +1,81 @@
+#ifndef UNCHAINED_EVAL_PARALLEL_H_
+#define UNCHAINED_EVAL_PARALLEL_H_
+
+#include <vector>
+
+#include "eval/common.h"
+#include "eval/grounder.h"
+#include "ra/index.h"
+#include "ra/instance.h"
+
+namespace datalog {
+
+class ThreadPool;
+
+/// One unit of a round's matching work: one rule, optionally restricted to
+/// one contiguous chunk of a delta relation (the semi-naive rewriting).
+/// Units are constructed in exactly the order the sequential engine would
+/// enumerate their matches — rule ascending, delta body literal ascending,
+/// delta chunk ascending — which is what makes the staged merge replay the
+/// sequential insertion order bit for bit.
+struct MatchUnit {
+  /// Index into the engine's matcher vector.
+  int matcher = 0;
+  /// Program-level rule index, for per-rule stats.
+  int rule_index = 0;
+  /// Body literal matched against the delta chunk; < 0 = full match.
+  int delta_literal = -1;
+  /// The delta chunk (null/0 for full matches). Pointers must stay stable
+  /// for the round: they reference journal-backed tuples.
+  const Tuple* const* delta_begin = nullptr;
+  size_t delta_count = 0;
+};
+
+/// What one unit stages while the database is frozen: its head tuples that
+/// were absent from the frozen database, in match order (duplicates kept —
+/// the sequential engine counts each such match as "produced" too), plus
+/// its match count.
+struct UnitOutput {
+  std::vector<Tuple> produced;
+  int64_t matches = 0;
+};
+
+/// Runs every unit's matching, staging into `outputs` (resized and indexed
+/// like `units`). With a pool, units fan out across workers under the
+/// freeze-then-fan-out protocol: the view's instances must not be mutated
+/// until this returns (asserted via Instance::Generation), and the index
+/// manager is switched into its frozen parallel mode for the duration.
+/// With `pool == nullptr` the units run inline on the calling thread.
+/// Only single-positive-head rules are supported (the engines that share
+/// this path all enforce that already).
+void RunProductionUnits(ThreadPool* pool,
+                        const std::vector<RuleMatcher>& matchers,
+                        const std::vector<MatchUnit>& units,
+                        const DbView& view, const std::vector<Value>& adom,
+                        IndexManager* index,
+                        std::vector<UnitOutput>* outputs);
+
+/// Replays the staged outputs in unit order — the sequential insertion
+/// order — into `fresh` and the deterministic counters of `st`. After
+/// this, `fresh` and `st` are byte-identical to what the sequential
+/// engine's inline sink would have built.
+void MergeProductionUnits(const std::vector<RuleMatcher>& matchers,
+                          const std::vector<MatchUnit>& units,
+                          std::vector<UnitOutput>* outputs, EvalStats* st,
+                          Instance* fresh);
+
+/// The tuples of `rel` in its iteration order, as stable pointers (valid
+/// while `rel` lives and is not mutated) — the flattened delta a round
+/// chunks into MatchUnits.
+std::vector<const Tuple*> TupleList(const Relation& rel);
+
+/// Appends units covering `list` in order, chunked so each of
+/// `num_workers` workers sees several steal-able pieces. `list` must
+/// outlive the units (they point into it).
+void AppendDeltaUnits(int matcher, int rule_index, int delta_literal,
+                      const std::vector<const Tuple*>& list, int num_workers,
+                      std::vector<MatchUnit>* units);
+
+}  // namespace datalog
+
+#endif  // UNCHAINED_EVAL_PARALLEL_H_

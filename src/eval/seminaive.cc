@@ -4,7 +4,9 @@
 #include <unordered_map>
 #include <unordered_set>
 
+#include "base/thread_pool.h"
 #include "eval/grounder.h"
+#include "eval/parallel.h"
 #include "eval/provenance.h"
 
 namespace datalog {
@@ -34,6 +36,10 @@ Result<int64_t> SemiNaiveStep(const Program& program,
   const std::unordered_set<PredId> recursive(recursive_preds.begin(),
                                              recursive_preds.end());
 
+  // Provenance recording is inherently sequential (first-derivation order
+  // is the record); those runs take the exact sequential path below.
+  ThreadPool* pool = ctx->provenance == nullptr ? ctx->pool() : nullptr;
+
   int64_t total_added = 0;
 
   // Round 0: full evaluation of every rule against the current database.
@@ -44,23 +50,36 @@ Result<int64_t> SemiNaiveStep(const Program& program,
     Instance fresh(&db->catalog());
     DbView view{db, db};
     const int stage = st.rounds + 1;
-    for (size_t i = 0; i < matchers.size(); ++i) {
-      const Atom& head = rules[i]->heads[0].atom;
-      matchers[i].ForEachMatch(
-          view, adom, &ctx->index, [&](const Valuation& val) -> bool {
-            Tuple t = InstantiateAtom(head, val);
-            bool produced = !db->Contains(head.pred, t);
-            st.CountMatch(rule_indexes[i], produced);
-            if (produced) {
-              if (ctx->provenance != nullptr) {
-                ctx->provenance->Record(
-                    head.pred, t, rule_indexes[i], stage,
-                    InstantiateBodyPremises(*rules[i], val));
+    if (pool != nullptr) {
+      std::vector<MatchUnit> units(matchers.size());
+      for (size_t i = 0; i < matchers.size(); ++i) {
+        units[i].matcher = static_cast<int>(i);
+        units[i].rule_index = rule_indexes[i];
+      }
+      std::vector<UnitOutput> outputs;
+      RunProductionUnits(pool, matchers, units, view, adom, &ctx->index,
+                         &outputs);
+      MergeProductionUnits(matchers, units, &outputs, &st, &fresh);
+    } else {
+      for (size_t i = 0; i < matchers.size(); ++i) {
+        const Atom& head = rules[i]->heads[0].atom;
+        const Relation& head_rel = db->Rel(head.pred);
+        matchers[i].ForEachMatch(
+            view, adom, &ctx->index, [&](const Valuation& val) -> bool {
+              Tuple t = InstantiateAtom(head, val);
+              bool produced = !head_rel.Contains(t);
+              st.CountMatch(rule_indexes[i], produced);
+              if (produced) {
+                if (ctx->provenance != nullptr) {
+                  ctx->provenance->Record(
+                      head.pred, t, rule_indexes[i], stage,
+                      InstantiateBodyPremises(*rules[i], val));
+                }
+                fresh.Insert(head.pred, std::move(t));
               }
-              fresh.Insert(head.pred, std::move(t));
-            }
-            return true;
-          });
+              return true;
+            });
+      }
     }
     ++st.rounds;
     for (PredId p : recursive_preds) {
@@ -84,30 +103,57 @@ Result<int64_t> SemiNaiveStep(const Program& program,
     Instance fresh(&db->catalog());
     DbView view{db, db};
     const int stage = st.rounds;
-    for (size_t i = 0; i < matchers.size(); ++i) {
-      const Rule& rule = *rules[i];
-      const Atom& head = rule.heads[0].atom;
-      auto sink = [&](const Valuation& val) -> bool {
-        Tuple t = InstantiateAtom(head, val);
-        bool produced = !db->Contains(head.pred, t);
-        st.CountMatch(rule_indexes[i], produced);
-        if (produced) {
-          if (ctx->provenance != nullptr) {
-            ctx->provenance->Record(head.pred, t, rule_indexes[i], stage,
-                                    InstantiateBodyPremises(rule, val));
-          }
-          fresh.Insert(head.pred, std::move(t));
+    if (pool != nullptr) {
+      // Flatten each delta relation once; units chunk these lists in the
+      // sequential (rule, literal, chunk) order so the staged merge
+      // replays the sequential insertion order.
+      std::unordered_map<PredId, std::vector<const Tuple*>> delta_lists;
+      for (const auto& [p, rel] : delta) delta_lists.emplace(p, TupleList(rel));
+      std::vector<MatchUnit> units;
+      for (size_t i = 0; i < matchers.size(); ++i) {
+        const Rule& rule = *rules[i];
+        for (size_t li = 0; li < rule.body.size(); ++li) {
+          const Literal& lit = rule.body[li];
+          if (lit.kind != Literal::Kind::kRelational || lit.negative) continue;
+          if (!recursive.count(lit.atom.pred)) continue;
+          auto dit = delta_lists.find(lit.atom.pred);
+          if (dit == delta_lists.end()) continue;
+          AppendDeltaUnits(static_cast<int>(i), rule_indexes[i],
+                           static_cast<int>(li), dit->second,
+                           pool->num_workers(), &units);
         }
-        return true;
-      };
-      for (size_t li = 0; li < rule.body.size(); ++li) {
-        const Literal& lit = rule.body[li];
-        if (lit.kind != Literal::Kind::kRelational || lit.negative) continue;
-        if (!recursive.count(lit.atom.pred)) continue;
-        auto dit = delta.find(lit.atom.pred);
-        if (dit == delta.end()) continue;
-        matchers[i].ForEachMatch(view, adom, &ctx->index,
-                                 static_cast<int>(li), &dit->second, sink);
+      }
+      std::vector<UnitOutput> outputs;
+      RunProductionUnits(pool, matchers, units, view, adom, &ctx->index,
+                         &outputs);
+      MergeProductionUnits(matchers, units, &outputs, &st, &fresh);
+    } else {
+      for (size_t i = 0; i < matchers.size(); ++i) {
+        const Rule& rule = *rules[i];
+        const Atom& head = rule.heads[0].atom;
+        const Relation& head_rel = db->Rel(head.pred);
+        auto sink = [&](const Valuation& val) -> bool {
+          Tuple t = InstantiateAtom(head, val);
+          bool produced = !head_rel.Contains(t);
+          st.CountMatch(rule_indexes[i], produced);
+          if (produced) {
+            if (ctx->provenance != nullptr) {
+              ctx->provenance->Record(head.pred, t, rule_indexes[i], stage,
+                                      InstantiateBodyPremises(rule, val));
+            }
+            fresh.Insert(head.pred, std::move(t));
+          }
+          return true;
+        };
+        for (size_t li = 0; li < rule.body.size(); ++li) {
+          const Literal& lit = rule.body[li];
+          if (lit.kind != Literal::Kind::kRelational || lit.negative) continue;
+          if (!recursive.count(lit.atom.pred)) continue;
+          auto dit = delta.find(lit.atom.pred);
+          if (dit == delta.end()) continue;
+          matchers[i].ForEachMatch(view, adom, &ctx->index,
+                                   static_cast<int>(li), &dit->second, sink);
+        }
       }
     }
     delta.clear();

@@ -1,7 +1,12 @@
 #include "eval/stable.h"
 
+#include <algorithm>
+#include <map>
+#include <mutex>
 #include <utility>
+#include <vector>
 
+#include "base/thread_pool.h"
 #include "eval/naive.h"
 #include "eval/wellfounded.h"
 
@@ -42,15 +47,86 @@ Result<StableModelsResult> StableModels(const Program& program,
   }
 
   const uint64_t combinations = uint64_t{1} << unknown.size();
-  for (uint64_t mask = 0; mask < combinations; ++mask) {
-    ++out.candidates_checked;
-    // Candidate M = well-founded true facts + selected unknowns.
+
+  // Candidate M = well-founded true facts + selected unknowns.
+  auto build_candidate = [&](uint64_t mask) {
     Instance candidate = wf->true_facts;
     for (size_t i = 0; i < unknown.size(); ++i) {
       if (mask & (uint64_t{1} << i)) {
         candidate.Insert(unknown[i].first, unknown[i].second);
       }
     }
+    return candidate;
+  };
+
+  ThreadPool* pool = ctx->pool();
+  if (pool != nullptr) {
+    // Fan the Gelfond–Lifschitz checks over the pool: candidates are
+    // independent, so each worker evaluates its masks with a private
+    // sub-context (forced single-threaded — no nested pools) and stages
+    // the verdict plus the scalar counters the sequential loop would have
+    // merged. The merge below walks masks in ascending order, so models,
+    // stats, and the stop-at-first-error behaviour are byte-identical to
+    // the sequential loop.
+    struct CandTally {
+      int64_t facts_derived = 0;
+      int64_t instantiations = 0;
+      int64_t index_hits = 0;
+      int64_t index_builds = 0;
+      int64_t index_rebuilds = 0;
+      int64_t index_appended = 0;
+    };
+    std::vector<uint8_t> stable(combinations, 0);
+    std::vector<CandTally> tallies(combinations);
+    std::mutex failures_mu;
+    std::map<uint64_t, Status> failures;
+    EvalOptions cand_options = ctx->options;
+    cand_options.num_threads = 1;
+    cand_options.provenance = nullptr;
+    const size_t chunk = std::max<size_t>(
+        1, static_cast<size_t>(combinations) /
+               (static_cast<size_t>(pool->num_workers()) * 8));
+    pool->ParallelFor(
+        static_cast<size_t>(combinations), chunk,
+        [&](size_t begin, size_t end, int /*worker*/) {
+          for (size_t m = begin; m < end; ++m) {
+            const uint64_t mask = static_cast<uint64_t>(m);
+            Instance candidate = build_candidate(mask);
+            EvalContext cand_ctx(cand_options);
+            Result<Instance> reduct_lfp =
+                NaiveLeastFixpoint(program, input, &candidate, &cand_ctx);
+            if (!reduct_lfp.ok()) {
+              std::lock_guard<std::mutex> lock(failures_mu);
+              failures.emplace(mask, reduct_lfp.status());
+              continue;
+            }
+            cand_ctx.Finalize();
+            const EvalStats& cs = cand_ctx.stats;
+            tallies[m] = CandTally{cs.facts_derived,  cs.instantiations,
+                                   cs.index_hits,     cs.index_builds,
+                                   cs.index_rebuilds, cs.index_appended};
+            if (*reduct_lfp == candidate) stable[m] = 1;
+          }
+        });
+    for (uint64_t mask = 0; mask < combinations; ++mask) {
+      ++out.candidates_checked;
+      auto fit = failures.find(mask);
+      if (fit != failures.end()) return fit->second;
+      const CandTally& t = tallies[mask];
+      ctx->stats.facts_derived += t.facts_derived;
+      ctx->stats.instantiations += t.instantiations;
+      ctx->stats.index_hits += t.index_hits;
+      ctx->stats.index_builds += t.index_builds;
+      ctx->stats.index_rebuilds += t.index_rebuilds;
+      ctx->stats.index_appended += t.index_appended;
+      if (stable[mask]) out.models.push_back(build_candidate(mask));
+    }
+    return out;
+  }
+
+  for (uint64_t mask = 0; mask < combinations; ++mask) {
+    ++out.candidates_checked;
+    Instance candidate = build_candidate(mask);
     // Gelfond–Lifschitz check: S(M) == M, where S evaluates the positive
     // part to a least fixpoint with negations fixed against M. Each
     // candidate gets a fresh sub-context (indexes over one candidate are

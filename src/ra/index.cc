@@ -1,5 +1,7 @@
 #include "ra/index.h"
 
+#include <mutex>
+
 namespace datalog {
 
 namespace {
@@ -21,8 +23,10 @@ void IndexManager::Append(const Relation& rel, uint32_t mask, Index* index) {
     const Tuple* t = journal[i];
     ProjectKey(*t, mask, &key);
     index->buckets[key].push_back(t);
-    ++counters_.appended;
   }
+  counters_.appended.fetch_add(
+      static_cast<int64_t>(journal.size() - index->journal_pos),
+      std::memory_order_relaxed);
   index->journal_pos = journal.size();
 }
 
@@ -37,27 +41,53 @@ void IndexManager::Rebuild(const Relation& rel, uint32_t mask, Index* index) {
   index->journal_pos = rel.journal().size();
 }
 
-const IndexManager::Bucket* IndexManager::Lookup(const Instance& db,
-                                                 PredId pred, uint32_t mask,
-                                                 const Tuple& key) {
-  const Relation& rel = db.Rel(pred);
+const IndexManager::Bucket* IndexManager::LookupLocked(const Relation& rel,
+                                                       PredId pred,
+                                                       uint32_t mask,
+                                                       const Tuple& key) {
   auto [it, created] = indexes_.try_emplace(std::make_pair(pred, mask));
   Index& index = it->second;
   if (created) {
-    ++counters_.builds;
+    counters_.builds.fetch_add(1, std::memory_order_relaxed);
     Rebuild(rel, mask, &index);
   } else if (index.epoch != rel.epoch()) {
     // Non-monotone mutation (or a different instance supplied the
     // relation): the incremental view is unprovable — rebuild.
-    ++counters_.rebuilds;
+    counters_.rebuilds.fetch_add(1, std::memory_order_relaxed);
     Rebuild(rel, mask, &index);
   } else if (index.journal_pos != rel.journal().size()) {
     Append(rel, mask, &index);
   } else {
-    ++counters_.hits;
+    counters_.hits.fetch_add(1, std::memory_order_relaxed);
   }
   auto bit = index.buckets.find(key);
   return bit == index.buckets.end() ? nullptr : &bit->second;
+}
+
+const IndexManager::Bucket* IndexManager::Lookup(const Instance& db,
+                                                 PredId pred, uint32_t mask,
+                                                 const Tuple& key) {
+  const Relation& rel = db.Rel(pred);
+  if (!parallel_) return LookupLocked(rel, pred, mask, key);
+
+  // Frozen parallel mode. Fast path: an index already covering the
+  // relation's (frozen) state is immutable for the rest of the region, so
+  // a shared lock suffices and the bucket pointer stays valid after
+  // release. Slow path: build/refresh exactly once under the exclusive
+  // lock; a second thread racing here re-checks and lands in the hit
+  // branch, keeping counter totals identical to a sequential run.
+  {
+    std::shared_lock<std::shared_mutex> lock(mu_);
+    auto it = indexes_.find(std::make_pair(pred, mask));
+    if (it != indexes_.end() && it->second.epoch == rel.epoch() &&
+        it->second.journal_pos == rel.journal().size()) {
+      counters_.hits.fetch_add(1, std::memory_order_relaxed);
+      auto bit = it->second.buckets.find(key);
+      return bit == it->second.buckets.end() ? nullptr : &bit->second;
+    }
+  }
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  return LookupLocked(rel, pred, mask, key);
 }
 
 }  // namespace datalog

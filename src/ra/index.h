@@ -1,8 +1,10 @@
 #ifndef UNCHAINED_RA_INDEX_H_
 #define UNCHAINED_RA_INDEX_H_
 
+#include <atomic>
 #include <cstdint>
 #include <map>
+#include <shared_mutex>
 #include <unordered_map>
 #include <vector>
 
@@ -29,20 +31,33 @@ namespace datalog {
 /// Bucket tuple pointers stay valid because `Relation`'s journal pointers
 /// are node-stable for the lifetime of an epoch; an epoch change discards
 /// them before they can dangle.
+///
+/// Parallel rounds use the freeze-then-fan-out protocol: the evaluating
+/// thread calls BeginParallel() before fanning a round's matching across
+/// workers and EndParallel() after the barrier. In between, Lookup is
+/// safe to call concurrently *provided the indexed relations stay
+/// frozen* (the engines' round structure guarantees this and asserts on
+/// Instance::Generation): an up-to-date index is served under a shared
+/// lock, and a missing or stale one is built exactly once under an
+/// exclusive lock. Because relations only reach a new state between
+/// rounds, an index observed current stays current for the whole region,
+/// so returned bucket pointers never mutate under a reader.
 class IndexManager {
  public:
   using Bucket = std::vector<const Tuple*>;
 
-  /// Maintenance counters, surfaced through EvalStats.
+  /// Maintenance counters, surfaced through EvalStats. Atomic (relaxed)
+  /// so concurrent frozen-mode lookups can count; totals are sums and
+  /// therefore identical across thread counts.
   struct Counters {
     /// Lookups served by an index that was already up to date.
-    int64_t hits = 0;
+    std::atomic<int64_t> hits{0};
     /// First-time builds of a (pred, mask) index.
-    int64_t builds = 0;
+    std::atomic<int64_t> builds{0};
     /// Full rebuilds forced by an epoch change (non-monotone mutation).
-    int64_t rebuilds = 0;
+    std::atomic<int64_t> rebuilds{0};
     /// Tuples appended incrementally from relation journals.
-    int64_t appended = 0;
+    std::atomic<int64_t> appended{0};
   };
 
   IndexManager() = default;
@@ -55,6 +70,11 @@ class IndexManager {
   /// empty bucket.
   const Bucket* Lookup(const Instance& db, PredId pred, uint32_t mask,
                        const Tuple& key);
+
+  /// Enters frozen parallel mode: until EndParallel, Lookup may be called
+  /// from multiple threads (see class comment for the freeze contract).
+  void BeginParallel() { parallel_ = true; }
+  void EndParallel() { parallel_ = false; }
 
   /// Drops every index (used by tests; evaluation contexts simply let the
   /// manager go out of scope).
@@ -75,9 +95,14 @@ class IndexManager {
   void Append(const Relation& rel, uint32_t mask, Index* index);
   /// Rebuilds `index` from the full contents of `rel`.
   void Rebuild(const Relation& rel, uint32_t mask, Index* index);
+  /// The pre-parallel Lookup body; in parallel mode runs under `mu_`.
+  const Bucket* LookupLocked(const Relation& rel, PredId pred, uint32_t mask,
+                             const Tuple& key);
 
   std::map<std::pair<PredId, uint32_t>, Index> indexes_;
   Counters counters_;
+  bool parallel_ = false;
+  std::shared_mutex mu_;
 };
 
 }  // namespace datalog

@@ -1,17 +1,28 @@
 #include "ra/instance.h"
 
 #include <algorithm>
+#include <map>
+#include <mutex>
 
 namespace datalog {
 
 namespace {
 const Relation& EmptyRelation(int arity) {
-  // Arities seen in practice are small; cache one empty relation per arity.
-  static std::vector<Relation>* cache = new std::vector<Relation>();
-  while (static_cast<int>(cache->size()) <= arity) {
-    cache->emplace_back(static_cast<int>(cache->size()));
-  }
-  return (*cache)[arity];
+  // Pre-built past any arity the matcher supports (its index masks cap
+  // columns at 32), so concurrent Rel() calls from parallel workers are
+  // pure reads; the rare larger arity grows a mutex-guarded overflow.
+  constexpr int kPrebuilt = 64;
+  static const std::vector<Relation>* cache = [] {
+    auto* v = new std::vector<Relation>();
+    v->reserve(kPrebuilt);
+    for (int a = 0; a < kPrebuilt; ++a) v->emplace_back(a);
+    return v;
+  }();
+  if (arity < kPrebuilt) return (*cache)[arity];
+  static std::mutex overflow_mu;
+  static std::map<int, Relation>* overflow = new std::map<int, Relation>();
+  std::lock_guard<std::mutex> lock(overflow_mu);
+  return overflow->try_emplace(arity, arity).first->second;
 }
 }  // namespace
 

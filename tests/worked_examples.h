@@ -6,9 +6,12 @@
 // Engine API on a fixed input and renders the result with the canonical
 // `Instance::ToString` (predicates in catalog order, tuples sorted), so the
 // returned string is byte-stable across refactors of the evaluation
-// substrate. The golden strings in index_incremental_test.cc were captured
-// from the seed build; any engine change that alters them is a semantics
-// regression, not a formatting choice.
+// substrate. Each takes the evaluation thread count (default 1, the
+// sequential path); the parallel determinism test sweeps it and expects
+// the same bytes at every setting. The golden strings in
+// index_incremental_test.cc were captured from the seed build; any engine
+// change that alters them is a semantics regression, not a formatting
+// choice.
 
 #include <string>
 
@@ -20,8 +23,9 @@ namespace worked_examples {
 
 /// Example 3.2 — the win-move game under the well-founded semantics on the
 /// paper's 7-node instance (d, f true; e, g false; a, b, c unknown).
-inline std::string Ex32WinGame() {
+inline std::string Ex32WinGame(int num_threads = 1) {
   Engine engine;
+  engine.options().num_threads = num_threads;
   auto p = engine.Parse("win(X) :- moves(X, Y), !win(Y).\n");
   if (!p.ok()) return "parse error";
   Instance db = PaperGameGraph(&engine.catalog(), &engine.symbols());
@@ -33,8 +37,9 @@ inline std::string Ex32WinGame() {
 
 /// Example 4.1 — `closer` by stage arithmetic under the inflationary
 /// semantics on a 6-node chain.
-inline std::string Ex41Closer() {
+inline std::string Ex41Closer(int num_threads = 1) {
   Engine engine;
+  engine.options().num_threads = num_threads;
   auto p = engine.Parse(
       "t(X, Y) :- g(X, Y).\n"
       "t(X, Y) :- t(X, Z), g(Z, Y).\n"
@@ -51,8 +56,9 @@ inline std::string Ex41Closer() {
 /// Example 4.3 — complement of transitive closure in inflationary
 /// Datalog¬ (the stage-detection trick), cross-checked against the
 /// stratified formulation on the same random digraph.
-inline std::string Ex43ComplementTc() {
+inline std::string Ex43ComplementTc(int num_threads = 1) {
   Engine engine;
+  engine.options().num_threads = num_threads;
   auto infl_p = engine.Parse(
       "t(X, Y) :- g(X, Y).\n"
       "t(X, Y) :- g(X, Z), t(Z, Y).\n"
@@ -80,8 +86,9 @@ inline std::string Ex43ComplementTc() {
 
 /// Example 4.4 — good/bad nodes with the `delay` propositional timestamp,
 /// inflationary Datalog¬ on a fixed random digraph.
-inline std::string Ex44GoodNodes() {
+inline std::string Ex44GoodNodes(int num_threads = 1) {
   Engine engine;
+  engine.options().num_threads = num_threads;
   auto p = engine.Parse(
       "bad(X) :- g(Y, X), !good(Y).\n"
       "delay.\n"
@@ -118,8 +125,9 @@ inline Instance ProjectionDiffInput(Engine* engine, int np) {
 
 /// Example 5.4 — the naive N-Datalog¬ attempt at P − πA(Q): poss/cert over
 /// the full effect set (some images are wrong, which is the point).
-inline std::string Ex54ProjectionDiff() {
+inline std::string Ex54ProjectionDiff(int num_threads = 1) {
   Engine engine;
+  engine.options().num_threads = num_threads;
   Instance db = ProjectionDiffInput(&engine, 3);
   auto p = engine.Parse(
       "t(X) :- q(X, Y).\n"
@@ -134,8 +142,9 @@ inline std::string Ex54ProjectionDiff() {
 
 /// Example 5.5 — the N-Datalog¬⊥ version with abort control: every image
 /// computes exactly P − πA(Q).
-inline std::string Ex55ProjectionDiffBottom() {
+inline std::string Ex55ProjectionDiffBottom(int num_threads = 1) {
   Engine engine;
+  engine.options().num_threads = num_threads;
   Instance db = ProjectionDiffInput(&engine, 3);
   auto p = engine.Parse(
       "proj(X) :- !done-with-proj, q(X, Y).\n"

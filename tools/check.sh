@@ -1,19 +1,25 @@
 #!/usr/bin/env bash
 # Tier-1 verification: configure, build and run the full test suite, first
 # in the normal Release configuration, then (unless --no-sanitize) again
-# under ASan + UBSan (-DUNCHAINED_SANITIZE=ON) in a separate build tree.
+# under ASan + UBSan (-DUNCHAINED_SANITIZE=ON), and finally (unless
+# --no-tsan) the evaluation tests under ThreadSanitizer
+# (-DUNCHAINED_TSAN=ON) — the parallel rounds are the racy surface, so the
+# TSan pass filters to the eval/engine/parallel suites to stay fast.
+# Each configuration uses its own build tree.
 #
-# Usage: tools/check.sh [--no-sanitize] [-j N]
+# Usage: tools/check.sh [--no-sanitize] [--no-tsan] [-j N]
 
 set -euo pipefail
 
 repo="$(cd "$(dirname "$0")/.." && pwd)"
 jobs="$(nproc 2>/dev/null || echo 4)"
 sanitize=1
+tsan=1
 
 while [[ $# -gt 0 ]]; do
   case "$1" in
     --no-sanitize) sanitize=0; shift ;;
+    --no-tsan) tsan=0; shift ;;
     -j) jobs="$2"; shift 2 ;;
     *) echo "unknown argument: $1" >&2; exit 2 ;;
   esac
@@ -21,18 +27,34 @@ done
 
 run_suite() {
   local build_dir="$1"; shift
+  local filter=""
+  if [[ "${1:-}" == --tests-regex=* ]]; then
+    filter="${1#--tests-regex=}"; shift
+  fi
   echo "==> configure ${build_dir} ($*)"
   cmake -B "${build_dir}" -S "${repo}" "$@" >/dev/null
   echo "==> build ${build_dir}"
   cmake --build "${build_dir}" -j "${jobs}"
   echo "==> ctest ${build_dir}"
-  (cd "${build_dir}" && ctest --output-on-failure -j "${jobs}")
+  if [[ -n "${filter}" ]]; then
+    (cd "${build_dir}" && ctest --output-on-failure -j "${jobs}" \
+      --tests-regex "${filter}")
+  else
+    (cd "${build_dir}" && ctest --output-on-failure -j "${jobs}")
+  fi
 }
 
 run_suite "${repo}/build"
 if [[ "${sanitize}" -eq 1 ]]; then
   run_suite "${repo}/build-asan" -DCMAKE_BUILD_TYPE=RelWithDebInfo \
     -DUNCHAINED_SANITIZE=ON
+fi
+if [[ "${tsan}" -eq 1 ]]; then
+  # The evaluation-layer tests exercise every parallel code path (the
+  # determinism sweep runs all engines at 1/2/8 threads under TSan).
+  run_suite "${repo}/build-tsan" \
+    "--tests-regex=Parallel|Datalog|Stratified|WellFounded|Inflationary|NonInflationary|Stable|Engine|SemiNaive|Naive|RandomProgram" \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo -DUNCHAINED_TSAN=ON
 fi
 
 echo "==> all checks passed"
