@@ -1,0 +1,110 @@
+// Seed-corpus throughput: evaluates the differential fuzzer's generated
+// corpus (docs/testing.md) class by class under the stratified semi-naive
+// engine. This is the per-case cost the oracle pairs in
+// tools/unchained_fuzz pay before any cross-engine comparison, so it
+// tracks how harness throughput moves as the evaluator evolves.
+//
+// Usage: fuzz_corpus [--cases=N] [--seed=S] [--json=<path>]
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "base/rng.h"
+#include "bench_util.h"
+#include "core/engine.h"
+#include "testing/generator.h"
+
+namespace {
+
+using datalog::Engine;
+using datalog::EvalStats;
+using datalog::Instance;
+using datalog::Program;
+using datalog::Result;
+using datalog::Rng;
+namespace fuzz = datalog::fuzz;
+
+int64_t IntFlagFromArgs(int argc, char** argv, const std::string& name,
+                        int64_t fallback) {
+  const std::string flag = "--" + name + "=";
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind(flag, 0) == 0) {
+      return std::atoll(arg.substr(flag.size()).c_str());
+    }
+  }
+  return fallback;
+}
+
+void Accumulate(EvalStats* total, const EvalStats& run) {
+  total->rounds += run.rounds;
+  total->facts_derived += run.facts_derived;
+  total->instantiations += run.instantiations;
+  total->index_hits += run.index_hits;
+  total->index_builds += run.index_builds;
+  total->index_rebuilds += run.index_rebuilds;
+  total->index_appended += run.index_appended;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const int cases = static_cast<int>(IntFlagFromArgs(argc, argv, "cases", 200));
+  const uint64_t seed =
+      static_cast<uint64_t>(IntFlagFromArgs(argc, argv, "seed", 1));
+
+  datalog::bench::Header("Fuzz seed corpus — stratified semi-naive, " +
+                         std::to_string(cases) + " cases/class, seed " +
+                         std::to_string(seed));
+  std::printf("%-14s %8s %10s %12s %14s %10s\n", "class", "cases", "ms",
+              "rounds", "facts", "us/case");
+
+  datalog::bench::JsonEmitter json(argc, argv);
+  const fuzz::ProgramGenerator generator;
+  bool ok = true;
+
+  for (int c = 0; c < fuzz::kNumProgramClasses; ++c) {
+    const auto cls = static_cast<fuzz::ProgramClass>(c);
+    // Per-class stream so adding a class never reshuffles the others.
+    Rng rng(seed + static_cast<uint64_t>(c));
+    EvalStats total;
+    datalog::bench::Timer timer;
+    for (int i = 0; i < cases; ++i) {
+      fuzz::GeneratedCase gen = generator.GenerateCase(cls, &rng);
+      Engine engine;
+      Result<Program> program = engine.Parse(gen.program);
+      if (!program.ok()) {
+        std::fprintf(stderr, "fuzz_corpus: %s case %d fails to parse\n",
+                     fuzz::ClassName(cls), i);
+        ok = false;
+        break;
+      }
+      Instance db = engine.NewInstance();
+      if (!engine.AddFacts(gen.facts, &db).ok()) {
+        std::fprintf(stderr, "fuzz_corpus: %s case %d has bad facts\n",
+                     fuzz::ClassName(cls), i);
+        ok = false;
+        break;
+      }
+      EvalStats stats;
+      Result<Instance> model = engine.Stratified(*program, db, &stats);
+      if (!model.ok()) {
+        std::fprintf(stderr, "fuzz_corpus: %s case %d fails to evaluate\n",
+                     fuzz::ClassName(cls), i);
+        ok = false;
+        break;
+      }
+      Accumulate(&total, stats);
+    }
+    const double ms = timer.ElapsedMs();
+    std::printf("%-14s %8d %10.2f %12lld %14lld %10.1f\n",
+                fuzz::ClassName(cls), cases, ms,
+                static_cast<long long>(total.rounds),
+                static_cast<long long>(total.facts_derived),
+                cases > 0 ? 1000.0 * ms / cases : 0.0);
+    json.Row(std::string("corpus/") + fuzz::ClassName(cls), ms, total);
+  }
+
+  return ok ? 0 : 1;
+}

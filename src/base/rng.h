@@ -18,6 +18,13 @@ class Rng {
     return std::uniform_int_distribution<size_t>(0, bound - 1)(engine_);
   }
 
+  /// Uniform integer in [0, bound) as `int`. `bound` must be > 0. For call
+  /// sites that feed counts or sizes: keeps the signed/unsigned conversion
+  /// in one audited place instead of a narrowing cast at every caller.
+  int UniformInt(int bound) {
+    return static_cast<int>(Uniform(static_cast<size_t>(bound)));
+  }
+
   /// Bernoulli draw with probability `p`.
   bool Chance(double p) {
     return std::bernoulli_distribution(p)(engine_);

@@ -8,8 +8,13 @@
 #include "eval/grounder.h"
 #include "eval/parallel.h"
 #include "eval/provenance.h"
+#include "eval/test_hooks.h"
 
 namespace datalog {
+
+namespace internal {
+int g_seminaive_skip_delta_rule = -1;
+}  // namespace internal
 
 Result<int64_t> SemiNaiveStep(const Program& program,
                               const std::vector<int>& rule_indexes,
@@ -111,6 +116,7 @@ Result<int64_t> SemiNaiveStep(const Program& program,
       for (const auto& [p, rel] : delta) delta_lists.emplace(p, TupleList(rel));
       std::vector<MatchUnit> units;
       for (size_t i = 0; i < matchers.size(); ++i) {
+        if (rule_indexes[i] == internal::g_seminaive_skip_delta_rule) continue;
         const Rule& rule = *rules[i];
         for (size_t li = 0; li < rule.body.size(); ++li) {
           const Literal& lit = rule.body[li];
@@ -129,6 +135,7 @@ Result<int64_t> SemiNaiveStep(const Program& program,
       MergeProductionUnits(matchers, units, &outputs, &st, &fresh);
     } else {
       for (size_t i = 0; i < matchers.size(); ++i) {
+        if (rule_indexes[i] == internal::g_seminaive_skip_delta_rule) continue;
         const Rule& rule = *rules[i];
         const Atom& head = rule.heads[0].atom;
         const Relation& head_rel = db->Rel(head.pred);

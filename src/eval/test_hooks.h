@@ -1,0 +1,21 @@
+#ifndef UNCHAINED_EVAL_TEST_HOOKS_H_
+#define UNCHAINED_EVAL_TEST_HOOKS_H_
+
+// Fault-injection knobs for the fuzzing harness's end-to-end self-test
+// (tools/unchained_fuzz --inject-bug=...): deliberately planted engine
+// bugs that the differential oracles must catch and the shrinker must
+// minimize. Production code never sets these; the defaults are no-ops.
+
+namespace datalog {
+namespace internal {
+
+/// When >= 0, semi-naive evaluation silently drops the *delta rounds* of
+/// the program rule with this (program-global) index — round 0 still
+/// fires, so the bug only shows on recursive derivations reached after
+/// the first round: the canonical "forgot a delta rule" incompleteness.
+extern int g_seminaive_skip_delta_rule;
+
+}  // namespace internal
+}  // namespace datalog
+
+#endif  // UNCHAINED_EVAL_TEST_HOOKS_H_

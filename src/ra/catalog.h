@@ -32,8 +32,10 @@ class Catalog {
   /// Looks up `name`; returns -1 if unknown.
   PredId Find(std::string_view name) const;
 
-  int ArityOf(PredId p) const { return arities_[p]; }
-  const std::string& NameOf(PredId p) const { return names_[p]; }
+  int ArityOf(PredId p) const { return arities_[static_cast<size_t>(p)]; }
+  const std::string& NameOf(PredId p) const {
+    return names_[static_cast<size_t>(p)];
+  }
   int size() const { return static_cast<int>(names_.size()); }
 
  private:

@@ -1,0 +1,91 @@
+#ifndef UNCHAINED_TESTING_FUZZER_H_
+#define UNCHAINED_TESTING_FUZZER_H_
+
+// The fuzzing loop tying the pieces together: generate a case, run every
+// applicable oracle pair, run metamorphic mutants, shrink any failure to a
+// 1-minimal repro and write it to an artifacts directory. Fully
+// deterministic in (seed, options): a failing case number is a repro by
+// itself.
+
+#include <cstdint>
+#include <map>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "testing/generator.h"
+#include "testing/mutator.h"
+#include "testing/oracle.h"
+#include "testing/shrinker.h"
+
+namespace datalog {
+namespace fuzz {
+
+struct FuzzOptions {
+  int cases = 100;
+  uint64_t seed = 1;
+  /// Program classes cycled through case by case.
+  std::vector<ProgramClass> classes = {
+      ProgramClass::kPositive, ProgramClass::kSemiPositive,
+      ProgramClass::kStratified, ProgramClass::kTotal};
+  /// Oracle pairs run on each case (inapplicable pairs skip silently).
+  std::vector<OraclePair> pairs = AllOraclePairs();
+  /// Metamorphic mutants checked per case (0 disables).
+  int mutants_per_case = 2;
+  /// Minimize failures before reporting.
+  bool shrink = true;
+  /// Where repro files go; empty disables artifact writing.
+  std::string artifacts_dir = "fuzz-artifacts";
+  /// Progress / failure log; null silences.
+  std::ostream* log = nullptr;
+
+  GeneratorOptions generator;
+  OracleOptions oracle;
+  Shrinker::Options shrinker;
+};
+
+/// One disagreement, with its (possibly shrunk) repro.
+struct FuzzFailure {
+  int case_index = 0;
+  ProgramClass cls = ProgramClass::kSemiPositive;
+  /// Oracle pair name, or "metamorphic:<mutation>".
+  std::string check;
+  std::string detail;
+  std::string program;
+  std::string facts;
+  std::string shrunk_program;
+  std::string shrunk_facts;
+  int shrunk_rule_count = 0;
+  int shrink_oracle_calls = 0;
+  bool shrunk_one_minimal = false;
+  /// Path of the written repro file, empty when artifacts are disabled or
+  /// the write failed.
+  std::string artifact_path;
+};
+
+struct FuzzReport {
+  int cases_run = 0;
+  /// Applicable oracle checks executed, keyed by pair name.
+  std::map<std::string, int64_t> checks_by_name;
+  /// Metamorphic mutant checks executed, keyed by mutation name.
+  std::map<std::string, int64_t> mutants_by_name;
+  std::vector<FuzzFailure> failures;
+
+  int64_t TotalChecks() const;
+  bool ok() const { return failures.empty(); }
+};
+
+/// Runs the loop. Never throws; engine-level errors on generated inputs
+/// are themselves disagreements (the generator only emits legal programs).
+FuzzReport RunFuzz(const FuzzOptions& options);
+
+/// Writes `<dir>/case<k>-<check>.md` (a self-contained repro: shrunk
+/// program, facts, diagnostic, reproduction command) plus the shrunk
+/// `.dl` / `.facts` pair. Returns the .md path, or "" on I/O failure.
+std::string WriteRepro(const std::string& dir, const FuzzFailure& failure,
+                       uint64_t seed);
+
+}  // namespace fuzz
+}  // namespace datalog
+
+#endif  // UNCHAINED_TESTING_FUZZER_H_

@@ -1,0 +1,202 @@
+#include "testing/generator.h"
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace datalog {
+namespace fuzz {
+namespace {
+
+// The fixed generation schema. Predicate tables are split so each class
+// can restrict where a predicate may occur (positively, negatively, or as
+// a head) without re-deriving arities at every site.
+struct PredSpec {
+  const char* name;
+  int arity;
+};
+
+constexpr PredSpec kEdb[] = {{"e1", 2}, {"e2", 1}};
+constexpr PredSpec kIdb[] = {{"p1", 1}, {"p2", 2}, {"p3", 2}};
+constexpr const char* kVars[] = {"X", "Y", "Z", "W"};
+constexpr size_t kNumVars = 4;
+
+/// One argument position: a variable name, or an inline integer constant.
+std::string Argument(const std::vector<const char*>& bound, bool allow_const,
+                     const GeneratorOptions& options, Rng* rng) {
+  if (allow_const && rng->Chance(options.constant_prob)) {
+    return std::to_string(rng->UniformInt(options.num_values));
+  }
+  return bound[rng->Uniform(bound.size())];
+}
+
+/// Appends one atom `name(a1, ..., ak)` over already-bound variables
+/// (and, when `allow_const`, inline constants).
+void AppendBoundAtom(const PredSpec& pred,
+                     const std::vector<const char*>& bound, bool allow_const,
+                     const GeneratorOptions& options, Rng* rng,
+                     std::string* out) {
+  *out += pred.name;
+  *out += "(";
+  for (int a = 0; a < pred.arity; ++a) {
+    if (a > 0) *out += ", ";
+    *out += Argument(bound, allow_const, options, rng);
+  }
+  *out += ")";
+}
+
+/// Appends one positive atom with fresh-or-reused variables, recording the
+/// variables it binds.
+void AppendPositiveAtom(const PredSpec& pred, bool allow_const,
+                        const GeneratorOptions& options, Rng* rng,
+                        std::vector<const char*>* bound, std::string* out) {
+  *out += pred.name;
+  *out += "(";
+  bool bound_any = false;
+  for (int a = 0; a < pred.arity; ++a) {
+    if (a > 0) *out += ", ";
+    // The last argument falls back to a variable if the atom would
+    // otherwise bind nothing (an all-constant atom is legal but useless
+    // as the only positive literal of a rule).
+    bool want_const = allow_const && rng->Chance(options.constant_prob) &&
+                      (bound_any || a + 1 < pred.arity || !bound->empty());
+    if (want_const) {
+      *out += std::to_string(rng->UniformInt(options.num_values));
+    } else {
+      const char* v = kVars[rng->Uniform(kNumVars)];
+      *out += v;
+      bound->push_back(v);
+      bound_any = true;
+    }
+  }
+  *out += ")";
+}
+
+/// One rule: positive atoms drawn from `pos`, optional negated atoms drawn
+/// from `neg`, head drawn from `heads`. All negative and head arguments
+/// use positively bound variables (safety), plus constants when allowed.
+std::string GenerateRule(const std::vector<PredSpec>& pos,
+                         const std::vector<PredSpec>& neg,
+                         const std::vector<PredSpec>& heads, bool allow_const,
+                         const GeneratorOptions& options, Rng* rng) {
+  std::string body;
+  std::vector<const char*> bound;
+  const int num_pos = 1 + rng->UniformInt(options.max_extra_body_atoms + 1);
+  for (int i = 0; i < num_pos; ++i) {
+    if (!body.empty()) body += ", ";
+    AppendPositiveAtom(pos[rng->Uniform(pos.size())], allow_const, options,
+                       rng, &bound, &body);
+  }
+  if (!neg.empty() && rng->Chance(options.negation_prob)) {
+    body += ", !";
+    AppendBoundAtom(neg[rng->Uniform(neg.size())], bound, allow_const,
+                    options, rng, &body);
+  }
+  std::string head;
+  AppendBoundAtom(heads[rng->Uniform(heads.size())], bound, allow_const,
+                  options, rng, &head);
+  return head + " :- " + body + ".\n";
+}
+
+}  // namespace
+
+const char* ClassName(ProgramClass cls) {
+  switch (cls) {
+    case ProgramClass::kPositive:
+      return "positive";
+    case ProgramClass::kSemiPositive:
+      return "semi-positive";
+    case ProgramClass::kStratified:
+      return "stratified";
+    case ProgramClass::kTotal:
+      return "total";
+  }
+  return "unknown";
+}
+
+bool ClassFromName(std::string_view name, ProgramClass* out) {
+  for (int i = 0; i < kNumProgramClasses; ++i) {
+    ProgramClass cls = static_cast<ProgramClass>(i);
+    if (name == ClassName(cls)) {
+      *out = cls;
+      return true;
+    }
+  }
+  return false;
+}
+
+std::string ProgramGenerator::GenerateProgram(ProgramClass cls,
+                                              Rng* rng) const {
+  const std::vector<PredSpec> edb(std::begin(kEdb), std::end(kEdb));
+  const std::vector<PredSpec> idb(std::begin(kIdb), std::end(kIdb));
+  std::vector<PredSpec> all = edb;
+  all.insert(all.end(), idb.begin(), idb.end());
+  // The stratified class layers the idb: {p1, p2} form the lower stratum
+  // (no mention of p3 at all), p3 the upper one (may negate p1/p2). Every
+  // program of the class is stratifiable by construction.
+  const std::vector<PredSpec> lower_idb = {kIdb[0], kIdb[1]};
+  std::vector<PredSpec> lower_pos = edb;
+  lower_pos.insert(lower_pos.end(), lower_idb.begin(), lower_idb.end());
+  const std::vector<PredSpec> upper_heads = {kIdb[2]};
+
+  std::string program;
+  const int num_rules =
+      options_.min_rules + rng->UniformInt(options_.extra_rules + 1);
+  for (int r = 0; r < num_rules; ++r) {
+    switch (cls) {
+      case ProgramClass::kPositive:
+        program += GenerateRule(all, /*neg=*/{}, idb, /*allow_const=*/false,
+                                options_, rng);
+        break;
+      case ProgramClass::kSemiPositive:
+        program += GenerateRule(all, edb, idb, /*allow_const=*/false,
+                                options_, rng);
+        break;
+      case ProgramClass::kStratified:
+        if (rng->Chance(0.5)) {
+          program += GenerateRule(lower_pos, edb, lower_idb,
+                                  /*allow_const=*/false, options_, rng);
+        } else {
+          program += GenerateRule(all, lower_pos, upper_heads,
+                                  /*allow_const=*/false, options_, rng);
+        }
+        break;
+      case ProgramClass::kTotal:
+        program += GenerateRule(all, edb, idb, /*allow_const=*/true,
+                                options_, rng);
+        break;
+    }
+  }
+  return program;
+}
+
+std::string ProgramGenerator::GenerateFacts(Rng* rng) const {
+  return GenerateFacts(rng, options_.num_values, options_.e1_facts,
+                       options_.e2_facts);
+}
+
+std::string ProgramGenerator::GenerateFacts(Rng* rng, int num_values,
+                                            int e1_facts,
+                                            int e2_facts) const {
+  std::string facts;
+  for (int i = 0; i < e1_facts; ++i) {
+    facts += "e1(" + std::to_string(rng->UniformInt(num_values)) + ", " +
+             std::to_string(rng->UniformInt(num_values)) + ").\n";
+  }
+  for (int i = 0; i < e2_facts; ++i) {
+    facts += "e2(" + std::to_string(rng->UniformInt(num_values)) + ").\n";
+  }
+  return facts;
+}
+
+GeneratedCase ProgramGenerator::GenerateCase(ProgramClass cls,
+                                             Rng* rng) const {
+  GeneratedCase c;
+  c.cls = cls;
+  c.program = GenerateProgram(cls, rng);
+  c.facts = GenerateFacts(rng);
+  return c;
+}
+
+}  // namespace fuzz
+}  // namespace datalog

@@ -1,0 +1,105 @@
+#ifndef UNCHAINED_TESTING_GENERATOR_H_
+#define UNCHAINED_TESTING_GENERATOR_H_
+
+// Random-program generation for the differential / metamorphic fuzzing
+// harness (see docs/testing.md). Grown out of tests/random_programs.h:
+// that header now re-exports these generators, so the ad-hoc test sweeps
+// and the fuzzer draw from one implementation.
+//
+// Every generated program is *safe* (head variables occur in a positive
+// body literal; negated literals use only positively bound variables) and
+// round-trips exactly through Parser -> Printer -> Parser: the emitted
+// text is byte-identical to ProgramToString of its parse.
+
+#include <string>
+#include <string_view>
+
+#include "base/rng.h"
+
+namespace datalog {
+namespace fuzz {
+
+/// The classes of programs the generator can emit, keyed to the oracle
+/// pairs they feed (the paper's equivalence theorems; docs/testing.md):
+///
+///  * kPositive     — negation-free Datalog. Exercises naive vs semi-naive
+///                    (Section 3.1) and the magic-sets rewrite.
+///  * kSemiPositive — Datalog¬ with negation on edb predicates only. All
+///                    deterministic semantics provably coincide, and the
+///                    programs translate to the fixpoint (while) dialect.
+///  * kStratified   — Datalog¬ with idb negation, stratified by
+///                    construction (layered idb predicates). Exercises
+///                    well-founded == stratified on stratified programs.
+///  * kTotal        — semi-positive shapes enriched with inline constants
+///                    and repeated variables; the well-founded model is
+///                    provably total, so every engine pair applies.
+enum class ProgramClass { kPositive, kSemiPositive, kStratified, kTotal };
+
+inline constexpr int kNumProgramClasses = 4;
+
+/// Short stable name ("positive", "semi-positive", ...), used by the CLI
+/// and in artifact files.
+const char* ClassName(ProgramClass cls);
+
+/// Inverse of ClassName; returns false on an unknown name.
+bool ClassFromName(std::string_view name, ProgramClass* out);
+
+/// Knobs for program/instance shapes. Defaults match the historical
+/// tests/random_programs.h sweep (2-4 rules, bodies of 1-3 atoms, domain
+/// {0..4}, 8 e1 facts + 3 e2 facts).
+struct GeneratorOptions {
+  int min_rules = 2;
+  /// Rules per program: min_rules + U[0, extra_rules].
+  int extra_rules = 2;
+  /// Positive body atoms per rule: 1 + U[0, max_extra_body_atoms].
+  int max_extra_body_atoms = 2;
+  /// Probability of attaching a negated literal to a rule body (classes
+  /// with negation only).
+  double negation_prob = 0.5;
+  /// Instance values are drawn from [0, num_values).
+  int num_values = 5;
+  int e1_facts = 8;
+  int e2_facts = 3;
+  /// kTotal only: per-argument probability of an inline constant.
+  double constant_prob = 0.2;
+};
+
+/// A generated (program, instance) pair.
+struct GeneratedCase {
+  ProgramClass cls = ProgramClass::kSemiPositive;
+  std::string program;
+  std::string facts;
+};
+
+/// Emits random programs over the fixed schema edb {e1/2, e2/1} and idb
+/// {p1/1, p2/2, p3/2}. Generation is a pure function of the Rng state:
+/// identical seeds yield identical cases.
+class ProgramGenerator {
+ public:
+  ProgramGenerator() = default;
+  explicit ProgramGenerator(const GeneratorOptions& options)
+      : options_(options) {}
+
+  const GeneratorOptions& options() const { return options_; }
+
+  /// A random program of the given class.
+  std::string GenerateProgram(ProgramClass cls, Rng* rng) const;
+
+  /// A random instance over e1/2 and e2/1 using the option defaults.
+  std::string GenerateFacts(Rng* rng) const;
+
+  /// A random instance with explicit sizes (legacy RandomFacts shape).
+  std::string GenerateFacts(Rng* rng, int num_values, int e1_facts,
+                            int e2_facts) const;
+
+  /// Program plus instance in one call.
+  GeneratedCase GenerateCase(ProgramClass cls, Rng* rng) const;
+
+ private:
+  GeneratorOptions options_;
+};
+
+}  // namespace fuzz
+}  // namespace datalog
+
+#endif  // UNCHAINED_TESTING_GENERATOR_H_

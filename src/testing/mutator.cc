@@ -1,0 +1,117 @@
+#include "testing/mutator.h"
+
+#include <utility>
+
+#include "ast/ast.h"
+#include "ast/parser.h"
+#include "ast/printer.h"
+#include "base/symbols.h"
+#include "ra/catalog.h"
+
+namespace datalog {
+namespace fuzz {
+namespace {
+
+/// Fisher-Yates driven by the harness Rng (std::shuffle is not
+/// specified to be stable across standard libraries).
+template <typename T>
+void Shuffle(std::vector<T>* items, Rng* rng) {
+  for (size_t i = items->size(); i > 1; --i) {
+    std::swap((*items)[i - 1], (*items)[rng->Uniform(i)]);
+  }
+}
+
+}  // namespace
+
+const char* MutationName(Mutation m) {
+  switch (m) {
+    case Mutation::kShuffleRules:
+      return "shuffle-rules";
+    case Mutation::kShuffleLiterals:
+      return "shuffle-literals";
+    case Mutation::kRenamePredicates:
+      return "rename-predicates";
+    case Mutation::kAddSubsumedRule:
+      return "add-subsumed-rule";
+    case Mutation::kDuplicateRule:
+      return "duplicate-rule";
+  }
+  return "unknown";
+}
+
+std::string_view MutatedProgram::Renamed(std::string_view name) const {
+  for (const auto& [from, to] : renames) {
+    if (from == name) return to;
+  }
+  return name;
+}
+
+Result<MutatedProgram> MetamorphicMutator::Apply(
+    Mutation m, const std::string& program_text, Rng* rng) const {
+  Catalog catalog;
+  SymbolTable symbols;
+  Result<Program> parsed = ParseProgram(program_text, &catalog, &symbols);
+  if (!parsed.ok()) return parsed.status();
+  Program program = std::move(parsed).value();
+
+  MutatedProgram out;
+  switch (m) {
+    case Mutation::kShuffleRules:
+      Shuffle(&program.rules, rng);
+      break;
+
+    case Mutation::kShuffleLiterals:
+      for (Rule& rule : program.rules) Shuffle(&rule.body, rng);
+      break;
+
+    case Mutation::kRenamePredicates: {
+      // Rebuild the catalog with fresh idb spellings, declared in the same
+      // order: Declare assigns dense ids, so every PredId of the parsed
+      // program stays valid against the renamed catalog.
+      Catalog renamed;
+      for (PredId p = 0; p < catalog.size(); ++p) {
+        std::string name = catalog.NameOf(p);
+        if (program.IsIdb(p)) {
+          std::string fresh = name + "_m";
+          out.renames.emplace_back(name, fresh);
+          name = std::move(fresh);
+        }
+        Result<PredId> id = renamed.Declare(name, catalog.ArityOf(p));
+        if (!id.ok() || *id != p) {
+          return Status::Internal("predicate renaming lost id parity");
+        }
+      }
+      out.program = ProgramToString(program, renamed, symbols);
+      return out;
+    }
+
+    case Mutation::kAddSubsumedRule: {
+      // Copy a random rule and duplicate one of its body literals — the
+      // copy is logically equivalent to its source, so appending it
+      // changes no semantics.
+      std::vector<size_t> candidates;
+      for (size_t i = 0; i < program.rules.size(); ++i) {
+        if (!program.rules[i].body.empty()) candidates.push_back(i);
+      }
+      if (!candidates.empty()) {
+        Rule copy = program.rules[candidates[rng->Uniform(candidates.size())]];
+        copy.body.push_back(copy.body[rng->Uniform(copy.body.size())]);
+        program.rules.push_back(std::move(copy));
+      }
+      break;
+    }
+
+    case Mutation::kDuplicateRule:
+      if (!program.rules.empty()) {
+        program.rules.push_back(
+            program.rules[rng->Uniform(program.rules.size())]);
+      }
+      break;
+  }
+  program.RecomputeSchema();
+  out.program = ProgramToString(program, catalog, symbols);
+  return out;
+}
+
+}  // namespace fuzz
+}  // namespace datalog

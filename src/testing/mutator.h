@@ -1,0 +1,65 @@
+#ifndef UNCHAINED_TESTING_MUTATOR_H_
+#define UNCHAINED_TESTING_MUTATOR_H_
+
+// Metamorphic mutations: answer-preserving program transformations. For
+// every deterministic semantics this repo implements, each mutation below
+// provably leaves the computed idb relations unchanged (modulo the
+// returned predicate renaming) — so "evaluate original and mutant, diff"
+// is an oracle that needs no second engine.
+
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "base/result.h"
+#include "base/rng.h"
+
+namespace datalog {
+namespace fuzz {
+
+/// The mutation catalogue:
+///  * kShuffleRules     — random permutation of the rule list.
+///  * kShuffleLiterals  — random permutation of each rule body.
+///  * kRenamePredicates — consistent fresh names for every idb predicate.
+///  * kAddSubsumedRule  — append a copy of a random rule with one body
+///                        literal duplicated (logically equivalent, so the
+///                        added rule derives nothing new).
+///  * kDuplicateRule    — append a verbatim copy of a random rule.
+enum class Mutation {
+  kShuffleRules,
+  kShuffleLiterals,
+  kRenamePredicates,
+  kAddSubsumedRule,
+  kDuplicateRule,
+};
+
+inline constexpr int kNumMutations = 5;
+
+/// Short stable name ("shuffle-rules", ...).
+const char* MutationName(Mutation m);
+
+/// A mutated program plus the idb renaming that maps original predicate
+/// names to mutated ones (identity — empty — except for
+/// kRenamePredicates).
+struct MutatedProgram {
+  std::string program;
+  std::vector<std::pair<std::string, std::string>> renames;
+
+  /// The mutated spelling of original predicate `name`.
+  std::string_view Renamed(std::string_view name) const;
+};
+
+/// Applies mutations to program text: parse, transform the AST, print.
+/// Deterministic in the Rng state. Returns kInvalidProgram if the text
+/// does not parse.
+class MetamorphicMutator {
+ public:
+  Result<MutatedProgram> Apply(Mutation m, const std::string& program_text,
+                               Rng* rng) const;
+};
+
+}  // namespace fuzz
+}  // namespace datalog
+
+#endif  // UNCHAINED_TESTING_MUTATOR_H_

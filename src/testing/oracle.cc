@@ -1,0 +1,380 @@
+#include "testing/oracle.h"
+
+#include <optional>
+#include <utility>
+
+#include "analysis/magic.h"
+#include "base/rng.h"
+#include "core/engine.h"
+#include "testing/translate.h"
+#include "while/while_lang.h"
+
+namespace datalog {
+namespace fuzz {
+namespace {
+
+/// One parsed case: engine + program + database, the unit every pair
+/// evaluates in. Parse or validation failures mark the pair inapplicable —
+/// the shrinker feeds syntactically broken candidates on purpose and they
+/// must read as "not failing".
+struct ParsedCase {
+  Engine engine;
+  std::optional<Program> program;
+  std::optional<Instance> db;
+
+  bool Init(const std::string& program_text, const std::string& facts_text) {
+    Result<Program> p = engine.Parse(program_text);
+    if (!p.ok()) return false;
+    program.emplace(std::move(p).value());
+    db.emplace(engine.NewInstance());
+    return engine.AddFacts(facts_text, &*db).ok();
+  }
+
+  bool ValidDialect(Dialect dialect) const {
+    return engine.Validate(*program, dialect).ok();
+  }
+};
+
+std::string Truncate(std::string s, size_t limit = 600) {
+  if (s.size() > limit) {
+    s.resize(limit);
+    s += " ...";
+  }
+  return s;
+}
+
+/// "lhs and rhs differ" diagnostic over canonical instance listings.
+std::string DescribeDiff(const char* lhs_name, const Instance& lhs,
+                         const char* rhs_name, const Instance& rhs,
+                         const SymbolTable& symbols) {
+  return std::string(lhs_name) + ":\n  " + Truncate(lhs.ToString(symbols)) +
+         "\n" + rhs_name + ":\n  " + Truncate(rhs.ToString(symbols));
+}
+
+std::string DescribeRelDiff(const char* lhs_name, const Relation& lhs,
+                            const char* rhs_name, const Relation& rhs,
+                            const std::string& pred_name,
+                            const SymbolTable& symbols) {
+  auto render = [&](const Relation& rel) {
+    std::string out;
+    for (const Tuple& t : rel.Sorted()) {
+      out += pred_name + "(";
+      for (size_t i = 0; i < t.size(); ++i) {
+        if (i > 0) out += ", ";
+        out += symbols.NameOf(t[i]);
+      }
+      out += ") ";
+    }
+    return Truncate(std::move(out));
+  };
+  return std::string(lhs_name) + " " + pred_name + ": " + render(lhs) +
+         "\n" + rhs_name + " " + pred_name + ": " + render(rhs);
+}
+
+bool SameDeterministicStats(const EvalStats& a, const EvalStats& b,
+                            std::string* detail) {
+  if (a.rounds != b.rounds || a.facts_derived != b.facts_derived ||
+      a.instantiations != b.instantiations) {
+    *detail = "scalar stats diverge: rounds " + std::to_string(a.rounds) +
+              " vs " + std::to_string(b.rounds) + ", facts " +
+              std::to_string(a.facts_derived) + " vs " +
+              std::to_string(b.facts_derived) + ", instantiations " +
+              std::to_string(a.instantiations) + " vs " +
+              std::to_string(b.instantiations);
+    return false;
+  }
+  if (a.per_rule.size() != b.per_rule.size()) {
+    *detail = "per-rule stats sized " + std::to_string(a.per_rule.size()) +
+              " vs " + std::to_string(b.per_rule.size());
+    return false;
+  }
+  for (size_t i = 0; i < a.per_rule.size(); ++i) {
+    if (a.per_rule[i].matches != b.per_rule[i].matches ||
+        a.per_rule[i].tuples_produced != b.per_rule[i].tuples_produced) {
+      *detail = "per-rule stats diverge at rule " + std::to_string(i);
+      return false;
+    }
+  }
+  return true;
+}
+
+OracleVerdict Inapplicable() { return OracleVerdict{}; }
+
+OracleVerdict Agreed() {
+  OracleVerdict v;
+  v.applicable = true;
+  return v;
+}
+
+OracleVerdict Disagreed(std::string detail) {
+  OracleVerdict v;
+  v.applicable = true;
+  v.agreed = false;
+  v.detail = std::move(detail);
+  return v;
+}
+
+// ---- kNaiveVsSemiNaive --------------------------------------------------
+
+OracleVerdict RunNaiveVsSemiNaive(ParsedCase* c) {
+  if (!c->ValidDialect(Dialect::kDatalog)) return Inapplicable();
+  Result<Instance> naive = c->engine.MinimumModelNaive(*c->program, *c->db);
+  Result<Instance> seminaive = c->engine.MinimumModel(*c->program, *c->db);
+  if (!naive.ok()) return Disagreed("naive: " + naive.status().ToString());
+  if (!seminaive.ok()) {
+    return Disagreed("semi-naive: " + seminaive.status().ToString());
+  }
+  if (*naive != *seminaive) {
+    return Disagreed(DescribeDiff("naive", *naive, "semi-naive", *seminaive,
+                                  c->engine.symbols()));
+  }
+  return Agreed();
+}
+
+// ---- kMagicVsOriginal ---------------------------------------------------
+
+OracleVerdict RunMagicVsOriginal(ParsedCase* c, uint64_t salt) {
+  if (!c->ValidDialect(Dialect::kDatalog)) return Inapplicable();
+  Result<Instance> full = c->engine.MinimumModel(*c->program, *c->db);
+  if (!full.ok()) return Disagreed("full: " + full.status().ToString());
+
+  // Bound values are drawn from the case's own domain so roughly half the
+  // adorned queries are nonempty.
+  std::set<Value> domain = c->db->ActiveDomain();
+  domain.insert(c->program->constants.begin(), c->program->constants.end());
+  std::vector<Value> values(domain.begin(), domain.end());
+  if (values.empty()) values.push_back(c->engine.symbols().InternInt(0));
+
+  Rng rng(salt);
+  for (PredId q : c->program->idb_preds) {
+    const int arity = c->engine.catalog().ArityOf(q);
+    MagicQuery query;
+    query.query_pred = q;
+    for (int a = 0; a < arity; ++a) {
+      const bool bound = rng.Chance(0.5);
+      query.adornment += bound ? 'b' : 'f';
+      if (bound) {
+        query.bound_values.push_back(values[rng.Uniform(values.size())]);
+      }
+    }
+    Result<MagicRewrite> rewrite =
+        MagicSetRewrite(*c->program, query, &c->engine.catalog());
+    if (!rewrite.ok()) {
+      return Disagreed("rewrite: " + rewrite.status().ToString());
+    }
+    Instance input = *c->db;
+    input.UnionWith(rewrite->seed);
+
+    // Oracle answer: the full model filtered by the bound columns.
+    Relation expected(arity);
+    for (const Tuple& t : full->Rel(q)) {
+      bool match = true;
+      size_t bi = 0;
+      for (int a = 0; a < arity; ++a) {
+        if (query.adornment[static_cast<size_t>(a)] == 'b' &&
+            t[static_cast<size_t>(a)] != query.bound_values[bi++]) {
+          match = false;
+          break;
+        }
+      }
+      if (match) expected.Insert(t);
+    }
+
+    // The rewritten program must agree under both evaluation algorithms.
+    const std::string label = c->engine.catalog().NameOf(q) + "^" +
+                              query.adornment;
+    Result<Instance> magic_sn =
+        c->engine.MinimumModel(rewrite->program, input);
+    if (!magic_sn.ok()) {
+      return Disagreed("magic/semi-naive " + label + ": " +
+                       magic_sn.status().ToString());
+    }
+    if (magic_sn->Rel(rewrite->query_pred) != expected) {
+      return Disagreed(
+          "magic/semi-naive query " + label + "\n" +
+          DescribeRelDiff("magic", magic_sn->Rel(rewrite->query_pred),
+                          "filtered-full", expected, label,
+                          c->engine.symbols()));
+    }
+    Result<Instance> magic_naive =
+        c->engine.MinimumModelNaive(rewrite->program, input);
+    if (!magic_naive.ok()) {
+      return Disagreed("magic/naive " + label + ": " +
+                       magic_naive.status().ToString());
+    }
+    if (magic_naive->Rel(rewrite->query_pred) != expected) {
+      return Disagreed(
+          "magic/naive query " + label + "\n" +
+          DescribeRelDiff("magic", magic_naive->Rel(rewrite->query_pred),
+                          "filtered-full", expected, label,
+                          c->engine.symbols()));
+    }
+  }
+  return Agreed();
+}
+
+// ---- kInflationaryVsWhile -----------------------------------------------
+
+OracleVerdict RunInflationaryVsWhile(ParsedCase* c) {
+  if (!c->ValidDialect(Dialect::kSemiPositive)) return Inapplicable();
+  Result<InflationaryResult> infl = c->engine.Inflationary(*c->program, *c->db);
+  if (!infl.ok()) {
+    return Disagreed("inflationary: " + infl.status().ToString());
+  }
+  Result<WhileProgram> wprog =
+      DatalogToWhile(*c->program, c->engine.catalog());
+  if (!wprog.ok()) {
+    return Disagreed("translation: " + wprog.status().ToString());
+  }
+  Result<Instance> wres = RunWhile(*wprog, *c->db, WhileOptions{});
+  if (!wres.ok()) return Disagreed("while: " + wres.status().ToString());
+  Instance infl_idb = infl->instance.Restrict(c->program->idb_preds);
+  Instance while_idb = wres->Restrict(c->program->idb_preds);
+  if (infl_idb != while_idb) {
+    return Disagreed(DescribeDiff("inflationary", infl_idb, "while",
+                                  while_idb, c->engine.symbols()));
+  }
+  return Agreed();
+}
+
+// ---- kWellFoundedVsStratified -------------------------------------------
+
+OracleVerdict RunWellFoundedVsStratified(ParsedCase* c) {
+  if (!c->ValidDialect(Dialect::kStratified)) return Inapplicable();
+  Result<Instance> strat = c->engine.Stratified(*c->program, *c->db);
+  if (!strat.ok()) {
+    return Disagreed("stratified: " + strat.status().ToString());
+  }
+  Result<WellFoundedModel> wf = c->engine.WellFounded(*c->program, *c->db);
+  if (!wf.ok()) {
+    return Disagreed("well-founded: " + wf.status().ToString());
+  }
+  if (!wf->IsTotal()) {
+    return Disagreed(
+        "well-founded model of a stratified program is not total:\n" +
+        DescribeDiff("true", wf->true_facts, "possible", wf->possible_facts,
+                     c->engine.symbols()));
+  }
+  if (wf->true_facts != *strat) {
+    return Disagreed(DescribeDiff("well-founded", wf->true_facts,
+                                  "stratified", *strat,
+                                  c->engine.symbols()));
+  }
+  return Agreed();
+}
+
+// ---- kSequentialVsParallel ----------------------------------------------
+
+OracleVerdict RunSequentialVsParallel(ParsedCase* c,
+                                      const std::vector<int>& thread_counts) {
+  if (!c->ValidDialect(Dialect::kStratified)) return Inapplicable();
+  c->engine.options().num_threads = 1;
+  EvalStats seq_stats;
+  Result<Instance> seq = c->engine.Stratified(*c->program, *c->db, &seq_stats);
+  if (!seq.ok()) {
+    return Disagreed("sequential: " + seq.status().ToString());
+  }
+  Result<InflationaryResult> seq_infl =
+      c->engine.Inflationary(*c->program, *c->db);
+  if (!seq_infl.ok()) {
+    return Disagreed("sequential inflationary: " +
+                     seq_infl.status().ToString());
+  }
+  for (int t : thread_counts) {
+    c->engine.options().num_threads = t;
+    const std::string label = "t=" + std::to_string(t);
+    EvalStats par_stats;
+    Result<Instance> par =
+        c->engine.Stratified(*c->program, *c->db, &par_stats);
+    if (!par.ok()) {
+      return Disagreed(label + ": " + par.status().ToString());
+    }
+    if (*par != *seq) {
+      return Disagreed(label + " stratified result diverges\n" +
+                       DescribeDiff("sequential", *seq, label.c_str(), *par,
+                                    c->engine.symbols()));
+    }
+    std::string stats_detail;
+    if (!SameDeterministicStats(seq_stats, par_stats, &stats_detail)) {
+      return Disagreed(label + " stratified " + stats_detail);
+    }
+    Result<InflationaryResult> par_infl =
+        c->engine.Inflationary(*c->program, *c->db);
+    if (!par_infl.ok()) {
+      return Disagreed(label + " inflationary: " +
+                       par_infl.status().ToString());
+    }
+    if (par_infl->instance != seq_infl->instance ||
+        par_infl->stages != seq_infl->stages) {
+      return Disagreed(label + " inflationary result diverges\n" +
+                       DescribeDiff("sequential", seq_infl->instance,
+                                    label.c_str(), par_infl->instance,
+                                    c->engine.symbols()));
+    }
+    if (!SameDeterministicStats(seq_infl->stats, par_infl->stats,
+                                &stats_detail)) {
+      return Disagreed(label + " inflationary " + stats_detail);
+    }
+  }
+  return Agreed();
+}
+
+}  // namespace
+
+std::vector<OraclePair> AllOraclePairs() {
+  std::vector<OraclePair> pairs;
+  pairs.reserve(kNumOraclePairs);
+  for (int i = 0; i < kNumOraclePairs; ++i) {
+    pairs.push_back(static_cast<OraclePair>(i));
+  }
+  return pairs;
+}
+
+const char* PairName(OraclePair pair) {
+  switch (pair) {
+    case OraclePair::kNaiveVsSemiNaive:
+      return "naive-vs-seminaive";
+    case OraclePair::kMagicVsOriginal:
+      return "magic-vs-original";
+    case OraclePair::kInflationaryVsWhile:
+      return "inflationary-vs-while";
+    case OraclePair::kWellFoundedVsStratified:
+      return "wellfounded-vs-stratified";
+    case OraclePair::kSequentialVsParallel:
+      return "sequential-vs-parallel";
+  }
+  return "unknown";
+}
+
+bool PairFromName(std::string_view name, OraclePair* out) {
+  for (OraclePair pair : AllOraclePairs()) {
+    if (name == PairName(pair)) {
+      *out = pair;
+      return true;
+    }
+  }
+  return false;
+}
+
+OracleVerdict OracleRunner::Run(OraclePair pair, const std::string& program,
+                                const std::string& facts,
+                                uint64_t salt) const {
+  ParsedCase c;
+  if (!c.Init(program, facts)) return Inapplicable();
+  switch (pair) {
+    case OraclePair::kNaiveVsSemiNaive:
+      return RunNaiveVsSemiNaive(&c);
+    case OraclePair::kMagicVsOriginal:
+      return RunMagicVsOriginal(&c, salt);
+    case OraclePair::kInflationaryVsWhile:
+      return RunInflationaryVsWhile(&c);
+    case OraclePair::kWellFoundedVsStratified:
+      return RunWellFoundedVsStratified(&c);
+    case OraclePair::kSequentialVsParallel:
+      return RunSequentialVsParallel(&c, options_.thread_counts);
+  }
+  return Inapplicable();
+}
+
+}  // namespace fuzz
+}  // namespace datalog

@@ -1,0 +1,92 @@
+#ifndef UNCHAINED_TESTING_ORACLE_H_
+#define UNCHAINED_TESTING_ORACLE_H_
+
+// Differential oracles: each OraclePair names two independently implemented
+// evaluation routes that must agree on every legal input — the paper's
+// equivalence theorems turned into executable checks (docs/testing.md).
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace datalog {
+namespace fuzz {
+
+/// The engine pairs the fuzzer can diff:
+///
+///  * kNaiveVsSemiNaive     — Section 3.1: minimum model, naive vs
+///                            delta-driven evaluation (positive programs).
+///  * kMagicVsOriginal      — magic-sets rewrite vs filtered full model,
+///                            under both naive and semi-naive evaluation
+///                            (positive programs; random adornments).
+///  * kInflationaryVsWhile  — Theorem 4.2: inflationary fixpoint vs the
+///                            compiled fixpoint/while program
+///                            (semi-positive programs).
+///  * kWellFoundedVsStratified — Section 3.3: the well-founded model must
+///                            be total and equal the stratified semantics
+///                            on stratified programs.
+///  * kSequentialVsParallel — PR 2's determinism contract: results and the
+///                            deterministic EvalStats counters must be
+///                            identical at every worker-pool size.
+enum class OraclePair {
+  kNaiveVsSemiNaive,
+  kMagicVsOriginal,
+  kInflationaryVsWhile,
+  kWellFoundedVsStratified,
+  kSequentialVsParallel,
+};
+
+inline constexpr int kNumOraclePairs = 5;
+
+/// All five pairs, in declaration order.
+std::vector<OraclePair> AllOraclePairs();
+
+/// Short stable name ("naive-vs-seminaive", ...), used by the CLI and in
+/// artifact files.
+const char* PairName(OraclePair pair);
+
+/// Inverse of PairName; returns false on an unknown name.
+bool PairFromName(std::string_view name, OraclePair* out);
+
+struct OracleOptions {
+  /// Worker-pool sizes compared against the sequential run by
+  /// kSequentialVsParallel.
+  std::vector<int> thread_counts = {2, 4};
+};
+
+/// Outcome of one oracle run. A pair is *inapplicable* when the program
+/// lies outside its dialect (e.g. naive-vs-seminaive on a program with
+/// negation); inapplicable runs are vacuously ok.
+struct OracleVerdict {
+  bool applicable = false;
+  bool agreed = true;
+  /// Human-readable diff (first differing predicates/facts) when !agreed.
+  std::string detail;
+
+  bool ok() const { return !applicable || agreed; }
+};
+
+/// Runs oracle pairs on textual (program, facts) cases. Stateless apart
+/// from options; every run parses into a fresh Engine, so disagreements
+/// can never leak state between cases. `salt` seeds the pair's internal
+/// random choices (magic adornments): the same (case, salt) always runs
+/// the same comparison, which the shrinker relies on.
+class OracleRunner {
+ public:
+  OracleRunner() = default;
+  explicit OracleRunner(const OracleOptions& options) : options_(options) {}
+
+  const OracleOptions& options() const { return options_; }
+
+  OracleVerdict Run(OraclePair pair, const std::string& program,
+                    const std::string& facts, uint64_t salt) const;
+
+ private:
+  OracleOptions options_;
+};
+
+}  // namespace fuzz
+}  // namespace datalog
+
+#endif  // UNCHAINED_TESTING_ORACLE_H_

@@ -1,0 +1,143 @@
+#include "testing/shrinker.h"
+
+#include <algorithm>
+#include <cstddef>
+#include <vector>
+
+namespace datalog {
+namespace fuzz {
+namespace {
+
+std::vector<std::string> SplitLines(const std::string& text) {
+  std::vector<std::string> lines;
+  size_t start = 0;
+  while (start < text.size()) {
+    size_t end = text.find('\n', start);
+    if (end == std::string::npos) end = text.size();
+    if (end > start) lines.push_back(text.substr(start, end - start));
+    start = end + 1;
+  }
+  return lines;
+}
+
+std::string JoinLines(const std::vector<std::string>& lines) {
+  std::string out;
+  for (const std::string& line : lines) {
+    out += line;
+    out += '\n';
+  }
+  return out;
+}
+
+/// Drives the two line lists through the oracle under the call budget.
+class ShrinkDriver {
+ public:
+  ShrinkDriver(const Shrinker::Options& options, const ShrinkOracle& oracle)
+      : options_(options), oracle_(oracle) {}
+
+  int calls() const { return calls_; }
+  bool budget_exhausted() const { return budget_exhausted_; }
+
+  bool StillFails(const std::vector<std::string>& rules,
+                  const std::vector<std::string>& facts) {
+    if (calls_ >= options_.max_oracle_calls) {
+      budget_exhausted_ = true;
+      return false;
+    }
+    ++calls_;
+    return oracle_(JoinLines(rules), JoinLines(facts));
+  }
+
+  /// One ddmin sweep over `primary` with `other` held fixed: try removing
+  /// chunks, halving the chunk size until single-line removals stabilize.
+  /// `primary_first` selects the argument order for the oracle. Returns
+  /// true if anything was removed.
+  bool DdminPass(std::vector<std::string>* primary,
+                 const std::vector<std::string>& other, bool primary_is_rules) {
+    bool any_removed = false;
+    size_t chunk = std::max<size_t>(1, (primary->size() + 1) / 2);
+    while (!primary->empty() && !budget_exhausted_) {
+      bool removed_at_this_chunk = false;
+      for (size_t start = 0; start < primary->size() && !budget_exhausted_;) {
+        std::vector<std::string> candidate;
+        candidate.reserve(primary->size());
+        const size_t end = std::min(primary->size(), start + chunk);
+        candidate.insert(candidate.end(), primary->begin(),
+                         primary->begin() + static_cast<ptrdiff_t>(start));
+        candidate.insert(candidate.end(),
+                         primary->begin() + static_cast<ptrdiff_t>(end),
+                         primary->end());
+        const bool fails = primary_is_rules ? StillFails(candidate, other)
+                                            : StillFails(other, candidate);
+        if (fails) {
+          *primary = std::move(candidate);
+          removed_at_this_chunk = any_removed = true;
+          // Retry from the same position: the next chunk slid into it.
+        } else {
+          start += chunk;
+        }
+      }
+      if (chunk == 1) {
+        if (!removed_at_this_chunk) break;
+        // A single-line pass removed something; run another to confirm
+        // local minimality.
+        continue;
+      }
+      chunk = std::max<size_t>(1, chunk / 2);
+    }
+    return any_removed;
+  }
+
+ private:
+  const Shrinker::Options& options_;
+  const ShrinkOracle& oracle_;
+  int calls_ = 0;
+  bool budget_exhausted_ = false;
+};
+
+}  // namespace
+
+int ShrinkResult::RuleCount() const {
+  return static_cast<int>(SplitLines(program).size());
+}
+
+ShrinkResult Shrinker::Shrink(const std::string& program,
+                              const std::string& facts,
+                              const ShrinkOracle& oracle) const {
+  std::vector<std::string> rules = SplitLines(program);
+  std::vector<std::string> fact_lines = SplitLines(facts);
+  ShrinkDriver driver(options_, oracle);
+
+  ShrinkResult result;
+  if (!driver.StillFails(rules, fact_lines)) {
+    // The input does not fail (or the budget is zero): nothing to shrink.
+    result.program = JoinLines(rules);
+    result.facts = JoinLines(fact_lines);
+    result.oracle_calls = driver.calls();
+    result.budget_exhausted = driver.budget_exhausted();
+    return result;
+  }
+
+  // Alternate rule and fact passes until neither removes anything: rules
+  // shrink the search space for facts and vice versa (a dropped rule often
+  // strands facts that can then go too).
+  bool changed = true;
+  while (changed && !driver.budget_exhausted()) {
+    changed = driver.DdminPass(&rules, fact_lines, /*primary_is_rules=*/true);
+    changed |= driver.DdminPass(&fact_lines, rules,
+                                /*primary_is_rules=*/false);
+  }
+
+  result.program = JoinLines(rules);
+  result.facts = JoinLines(fact_lines);
+  result.oracle_calls = driver.calls();
+  result.budget_exhausted = driver.budget_exhausted();
+  // The loop above exits only after full single-granularity passes over
+  // both lists removed nothing (or the budget ran out) — that is exactly
+  // local 1-minimality.
+  result.one_minimal = !driver.budget_exhausted();
+  return result;
+}
+
+}  // namespace fuzz
+}  // namespace datalog

@@ -1,0 +1,62 @@
+#ifndef UNCHAINED_TESTING_SHRINKER_H_
+#define UNCHAINED_TESTING_SHRINKER_H_
+
+// Greedy delta-debugging minimizer for failing (program, instance) cases:
+// removes rules and facts in shrinking chunks (classic ddmin scheduling)
+// until the repro is locally 1-minimal — no single remaining rule or fact
+// can be removed without losing the failure.
+
+#include <functional>
+#include <string>
+
+namespace datalog {
+namespace fuzz {
+
+/// The failure predicate: returns true iff the candidate (program, facts)
+/// still exhibits the failure being minimized. Candidates may be
+/// syntactically invalid (the shrinker removes lines blindly); oracles
+/// must answer false for those, never crash.
+using ShrinkOracle =
+    std::function<bool(const std::string& program, const std::string& facts)>;
+
+struct ShrinkResult {
+  std::string program;
+  std::string facts;
+  /// Number of oracle invocations spent.
+  int oracle_calls = 0;
+  /// True when the result was verified locally 1-minimal: a full
+  /// single-line-removal pass over rules and facts found nothing to drop.
+  bool one_minimal = false;
+  /// True when minimization stopped on the call budget instead.
+  bool budget_exhausted = false;
+
+  /// Non-empty lines remaining in `program` — the repro's rule count.
+  int RuleCount() const;
+};
+
+class Shrinker {
+ public:
+  struct Options {
+    /// Hard cap on oracle invocations; ddmin on an n-line case needs
+    /// O(n^2) calls in the worst case, typically far fewer.
+    int max_oracle_calls = 2000;
+  };
+
+  Shrinker() = default;
+  explicit Shrinker(const Options& options) : options_(options) {}
+
+  /// Minimizes a failing case. `oracle(program, facts)` must be true on
+  /// entry (checked — if not, the input is returned unshrunk). Rules and
+  /// facts are minimized at line granularity, alternating until a fixed
+  /// point.
+  ShrinkResult Shrink(const std::string& program, const std::string& facts,
+                      const ShrinkOracle& oracle) const;
+
+ private:
+  Options options_;
+};
+
+}  // namespace fuzz
+}  // namespace datalog
+
+#endif  // UNCHAINED_TESTING_SHRINKER_H_

@@ -1,0 +1,185 @@
+#include "testing/translate.h"
+
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "analysis/stratify.h"
+#include "ra/expr.h"
+#include "ra/relation.h"
+
+namespace datalog {
+namespace fuzz {
+namespace {
+
+/// A scanned atom with constants and repeated variables compiled into
+/// selections, plus the first column of each distinct variable.
+struct AtomExpr {
+  RaExprPtr expr;
+  /// (variable index, first column holding it), in column order.
+  std::vector<std::pair<int, int>> var_cols;
+};
+
+AtomExpr BuildAtomExpr(const Atom& atom, const Catalog& catalog) {
+  AtomExpr out;
+  out.expr = ra::Scan(atom.pred, catalog.ArityOf(atom.pred));
+  std::vector<SelCondition> conds;
+  std::unordered_map<int, int> first;
+  for (size_t i = 0; i < atom.terms.size(); ++i) {
+    const Term& t = atom.terms[i];
+    const int col = static_cast<int>(i);
+    if (t.is_var()) {
+      auto [it, inserted] = first.emplace(t.var, col);
+      if (inserted) {
+        out.var_cols.emplace_back(t.var, col);
+      } else {
+        conds.push_back({SelOperand::Column(col),
+                         SelOperand::Column(it->second), /*equal=*/true});
+      }
+    } else {
+      conds.push_back({SelOperand::Column(col),
+                       SelOperand::Const(t.constant), /*equal=*/true});
+    }
+  }
+  if (!conds.empty()) out.expr = ra::Select(out.expr, std::move(conds));
+  return out;
+}
+
+/// Algebraizes one rule body into (expr, var -> column) and appends the
+/// head assignment to `stmts`.
+Status TranslateRule(const Rule& rule, const Program& program,
+                     const Catalog& catalog, std::vector<WhileStmt>* stmts) {
+  if (rule.heads.size() != 1 ||
+      rule.heads[0].kind != Literal::Kind::kRelational ||
+      rule.heads[0].negative) {
+    return Status::Unsupported(
+        "while translation requires single positive relational heads");
+  }
+  if (!rule.universal_vars.empty() || !rule.InventionVars().empty()) {
+    return Status::Unsupported(
+        "while translation covers semi-positive Datalog¬ only");
+  }
+
+  RaExprPtr acc;
+  int acc_arity = 0;
+  std::unordered_map<int, int> var_col;
+
+  // Positive relational literals, joined left to right.
+  for (const Literal& lit : rule.body) {
+    if (lit.kind != Literal::Kind::kRelational) {
+      return Status::Unsupported(
+          "while translation does not cover equality/⊥ literals");
+    }
+    if (lit.negative) continue;
+    AtomExpr a = BuildAtomExpr(lit.atom, catalog);
+    const int a_arity = a.expr->arity();
+    if (acc == nullptr) {
+      acc = a.expr;
+      for (const auto& [v, col] : a.var_cols) var_col.emplace(v, col);
+    } else {
+      std::vector<std::pair<int, int>> eq;
+      for (const auto& [v, col] : a.var_cols) {
+        auto it = var_col.find(v);
+        if (it != var_col.end()) eq.emplace_back(it->second, col);
+      }
+      acc = eq.empty() ? ra::Product(acc, a.expr)
+                       : ra::Join(acc, a.expr, std::move(eq));
+      for (const auto& [v, col] : a.var_cols) {
+        var_col.emplace(v, acc_arity + col);
+      }
+    }
+    acc_arity += a_arity;
+  }
+
+  // Variables not positively bound (negation-only or head-only) range over
+  // the active domain plus the program constants — the adom(P, I) of the
+  // engines. Collect them in index order for determinism.
+  std::vector<Value> extra(program.constants.begin(),
+                           program.constants.end());
+  for (int v = 0; v < rule.num_vars; ++v) {
+    if (var_col.count(v) > 0) continue;
+    RaExprPtr dom = ra::Adom(1, extra);
+    acc = acc == nullptr ? dom : ra::Product(acc, dom);
+    var_col.emplace(v, acc_arity);
+    ++acc_arity;
+  }
+
+  // Negated literals become anti-join differences: subtract the accumulated
+  // tuples that match the negated relation.
+  for (const Literal& lit : rule.body) {
+    if (lit.kind != Literal::Kind::kRelational || !lit.negative) continue;
+    if (program.IsIdb(lit.atom.pred)) {
+      return Status::Unsupported(
+          "while translation covers semi-positive Datalog¬ only "
+          "(negation over idb predicate " + catalog.NameOf(lit.atom.pred) +
+          ")");
+    }
+    if (acc == nullptr) {
+      return Status::Unsupported(
+          "while translation requires a nonempty body under negation");
+    }
+    AtomExpr a = BuildAtomExpr(lit.atom, catalog);
+    std::vector<std::pair<int, int>> eq;
+    for (const auto& [v, col] : a.var_cols) eq.emplace_back(var_col[v], col);
+    RaExprPtr joined = eq.empty() ? ra::Product(acc, a.expr)
+                                  : ra::Join(acc, a.expr, std::move(eq));
+    std::vector<int> keep(static_cast<size_t>(acc_arity));
+    for (int i = 0; i < acc_arity; ++i) keep[static_cast<size_t>(i)] = i;
+    acc = ra::Diff(acc, ra::Project(joined, std::move(keep)));
+  }
+
+  // Head: project the bound columns; inline head constants are appended as
+  // singleton products first.
+  const Atom& head = rule.heads[0].atom;
+  RaExprPtr expr = acc;
+  std::vector<int> cols;
+  int cur_arity = acc_arity;
+  for (const Term& t : head.terms) {
+    if (t.is_var()) {
+      cols.push_back(var_col[t.var]);
+    } else {
+      Relation singleton(1);
+      singleton.Insert({t.constant});
+      RaExprPtr one = ra::ConstRel(std::move(singleton));
+      expr = expr == nullptr ? one : ra::Product(expr, one);
+      cols.push_back(cur_arity);
+      ++cur_arity;
+    }
+  }
+  if (expr == nullptr) {
+    // Ground propositional rule, e.g. "delay." — assign the 0-ary
+    // singleton directly.
+    Relation unit(0);
+    unit.Insert({});
+    expr = ra::ConstRel(std::move(unit));
+  } else if (head.terms.empty()) {
+    // Propositional head over a nonempty body: project everything away
+    // (nonempty body result => the 0-ary fact holds).
+    cols.clear();
+    expr = ra::Project(expr, cols);
+  } else {
+    expr = ra::Project(expr, std::move(cols));
+  }
+  stmts->push_back(AssignCumulative(head.pred, expr));
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<WhileProgram> DatalogToWhile(const Program& program,
+                                    const Catalog& catalog) {
+  if (!IsSemiPositive(program)) {
+    return Status::Unsupported(
+        "while translation covers semi-positive Datalog¬ only");
+  }
+  std::vector<WhileStmt> body;
+  for (const Rule& rule : program.rules) {
+    DATALOG_RETURN_IF_ERROR(TranslateRule(rule, program, catalog, &body));
+  }
+  WhileProgram out;
+  out.stmts.push_back(WhileChange(std::move(body)));
+  return out;
+}
+
+}  // namespace fuzz
+}  // namespace datalog

@@ -1,0 +1,43 @@
+#ifndef UNCHAINED_TESTING_TRANSLATE_H_
+#define UNCHAINED_TESTING_TRANSLATE_H_
+
+// Datalog¬ -> while/fixpoint translation, the constructive half of the
+// Theorem 4.2 simulation the fuzzer uses as an oracle: a semi-positive
+// Datalog¬ program becomes a fixpoint program (one cumulative relational-
+// algebra assignment per rule inside a while-change loop) whose result
+// coincides with the inflationary fixpoint — and with every other
+// deterministic semantics, since on semi-positive programs they all agree.
+
+#include "ast/ast.h"
+#include "base/result.h"
+#include "ra/catalog.h"
+#include "while/while_lang.h"
+
+namespace datalog {
+namespace fuzz {
+
+/// Compiles a semi-positive Datalog¬ program into an equivalent fixpoint
+/// (all-cumulative while) program over the same catalog:
+///
+///   while change do { H_1 += E_1; ...; H_n += E_n }
+///
+/// where E_i algebraizes rule i's body — positive literals become joins
+/// (selections for inline constants and repeated variables), negated
+/// literals become anti-join differences, head constants are appended via
+/// singleton products, and variables bound only negatively (or only in the
+/// head) range over the active domain extended with the program constants,
+/// matching the engines' adom(P, I) convention.
+///
+/// Running the result with RunWhile on an input I yields exactly the
+/// inflationary fixpoint of the program on I, restricted to any predicate.
+///
+/// Returns kUnsupported for programs outside semi-positive Datalog¬
+/// (multiple or negative heads, equality/⊥ literals, ∀ prefixes, invention
+/// variables, idb negation).
+Result<WhileProgram> DatalogToWhile(const Program& program,
+                                    const Catalog& catalog);
+
+}  // namespace fuzz
+}  // namespace datalog
+
+#endif  // UNCHAINED_TESTING_TRANSLATE_H_

@@ -148,11 +148,11 @@ TEST_P(FoToRaSweep, CompiledEqualsDirect) {
   ASSERT_TRUE(e2.ok());
   Instance db = engine.NewInstance();
   for (int i = 0; i < 6; ++i) {
-    db.Insert(*e1, {engine.symbols().InternInt(rng.Uniform(4)),
-                    engine.symbols().InternInt(rng.Uniform(4))});
+    db.Insert(*e1, {engine.symbols().InternInt(rng.UniformInt(4)),
+                    engine.symbols().InternInt(rng.UniformInt(4))});
   }
   for (int i = 0; i < 2; ++i) {
-    db.Insert(*e2, {engine.symbols().InternInt(rng.Uniform(4))});
+    db.Insert(*e2, {engine.symbols().InternInt(rng.UniformInt(4))});
   }
 
   for (int trial = 0; trial < 5; ++trial) {

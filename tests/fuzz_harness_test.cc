@@ -1,0 +1,301 @@
+// Self-tests of the fuzzing harness (src/testing/): the generator's
+// round-trip and dialect guarantees, the Datalog->while translation used by
+// the Theorem 4.2 oracle, the metamorphic mutation catalogue, and an
+// all-pairs oracle sweep that must come back clean.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "ast/printer.h"
+#include "base/rng.h"
+#include "core/engine.h"
+#include "testing/generator.h"
+#include "testing/mutator.h"
+#include "testing/oracle.h"
+#include "testing/translate.h"
+#include "while/while_lang.h"
+
+namespace datalog {
+namespace {
+
+using fuzz::GeneratedCase;
+using fuzz::MetamorphicMutator;
+using fuzz::Mutation;
+using fuzz::MutatedProgram;
+using fuzz::OraclePair;
+using fuzz::OracleRunner;
+using fuzz::OracleVerdict;
+using fuzz::ProgramClass;
+using fuzz::ProgramGenerator;
+
+const ProgramClass kAllClasses[] = {
+    ProgramClass::kPositive, ProgramClass::kSemiPositive,
+    ProgramClass::kStratified, ProgramClass::kTotal};
+
+TEST(GeneratorTest, NamesRoundTrip) {
+  for (int i = 0; i < fuzz::kNumProgramClasses; ++i) {
+    const ProgramClass cls = static_cast<ProgramClass>(i);
+    ProgramClass back;
+    ASSERT_TRUE(fuzz::ClassFromName(fuzz::ClassName(cls), &back))
+        << fuzz::ClassName(cls);
+    EXPECT_EQ(back, cls);
+  }
+  ProgramClass ignored;
+  EXPECT_FALSE(fuzz::ClassFromName("bogus", &ignored));
+
+  for (OraclePair pair : fuzz::AllOraclePairs()) {
+    OraclePair back;
+    ASSERT_TRUE(fuzz::PairFromName(fuzz::PairName(pair), &back));
+    EXPECT_EQ(back, pair);
+  }
+  OraclePair ignored_pair;
+  EXPECT_FALSE(fuzz::PairFromName("bogus", &ignored_pair));
+}
+
+TEST(GeneratorTest, DeterministicInSeed) {
+  ProgramGenerator generator;
+  for (ProgramClass cls : kAllClasses) {
+    Rng a(42), b(42);
+    const GeneratedCase ca = generator.GenerateCase(cls, &a);
+    const GeneratedCase cb = generator.GenerateCase(cls, &b);
+    EXPECT_EQ(ca.program, cb.program);
+    EXPECT_EQ(ca.facts, cb.facts);
+  }
+}
+
+// Satellite #2 of the subsystem: generated programs must round-trip
+// Parser -> Printer -> Parser with byte-identical text, so shrunk repro
+// files and mutated programs never drift from the surface syntax.
+TEST(GeneratorTest, ProgramsRoundTripThroughParserAndPrinter) {
+  ProgramGenerator generator;
+  for (ProgramClass cls : kAllClasses) {
+    for (uint64_t seed = 1; seed <= 40; ++seed) {
+      Rng rng(seed);
+      const std::string text = generator.GenerateProgram(cls, &rng);
+      SCOPED_TRACE(std::string(fuzz::ClassName(cls)) + " seed " +
+                   std::to_string(seed) + ":\n" + text);
+      Engine engine;
+      Result<Program> program = engine.Parse(text);
+      ASSERT_TRUE(program.ok()) << program.status().ToString();
+      const std::string printed =
+          ProgramToString(*program, engine.catalog(), engine.symbols());
+      EXPECT_EQ(printed, text);
+
+      Engine reparse_engine;
+      Result<Program> reparsed = reparse_engine.Parse(printed);
+      ASSERT_TRUE(reparsed.ok()) << reparsed.status().ToString();
+      EXPECT_EQ(ProgramToString(*reparsed, reparse_engine.catalog(),
+                                reparse_engine.symbols()),
+                printed);
+    }
+  }
+}
+
+TEST(GeneratorTest, ClassesValidateAgainstTheirDialects) {
+  ProgramGenerator generator;
+  for (uint64_t seed = 1; seed <= 30; ++seed) {
+    for (ProgramClass cls : kAllClasses) {
+      Rng rng(seed);
+      const std::string text = generator.GenerateProgram(cls, &rng);
+      SCOPED_TRACE(std::string(fuzz::ClassName(cls)) + " seed " +
+                   std::to_string(seed) + ":\n" + text);
+      Engine engine;
+      Result<Program> program = engine.Parse(text);
+      ASSERT_TRUE(program.ok()) << program.status().ToString();
+      switch (cls) {
+        case ProgramClass::kPositive:
+          EXPECT_TRUE(engine.Validate(*program, Dialect::kDatalog).ok());
+          break;
+        case ProgramClass::kSemiPositive:
+        case ProgramClass::kTotal:
+          EXPECT_TRUE(engine.Validate(*program, Dialect::kSemiPositive).ok());
+          break;
+        case ProgramClass::kStratified:
+          EXPECT_TRUE(engine.Validate(*program, Dialect::kStratified).ok());
+          break;
+      }
+      // Every class is stratifiable: the whole catalogue feeds the
+      // wellfounded-vs-stratified and sequential-vs-parallel oracles.
+      EXPECT_TRUE(engine.Validate(*program, Dialect::kStratified).ok());
+    }
+  }
+}
+
+TEST(GeneratorTest, FactsUseDeclaredSchemaAndDomain) {
+  ProgramGenerator generator;
+  Rng rng(7);
+  const std::string facts = generator.GenerateFacts(&rng, 3, 10, 4);
+  Engine engine;
+  Instance db = engine.NewInstance();
+  ASSERT_TRUE(engine.AddFacts(facts, &db).ok());
+  EXPECT_EQ(engine.catalog().ArityOf(engine.catalog().Find("e1")), 2);
+  EXPECT_EQ(engine.catalog().ArityOf(engine.catalog().Find("e2")), 1);
+  for (Value v : db.ActiveDomain()) {
+    const std::string& name = engine.symbols().NameOf(v);
+    EXPECT_GE(std::stoi(name), 0);
+    EXPECT_LT(std::stoi(name), 3);
+  }
+}
+
+// The constructive half of Theorem 4.2, used by the inflationary-vs-while
+// oracle: the compiled fixpoint program computes exactly the inflationary
+// fixpoint on every generated semi-positive case.
+TEST(TranslateTest, CompiledWhileMatchesInflationaryFixpoint) {
+  ProgramGenerator generator;
+  const ProgramClass classes[] = {ProgramClass::kPositive,
+                                  ProgramClass::kSemiPositive,
+                                  ProgramClass::kTotal};
+  for (ProgramClass cls : classes) {
+    for (uint64_t seed = 1; seed <= 20; ++seed) {
+      Rng rng(seed);
+      const GeneratedCase c = generator.GenerateCase(cls, &rng);
+      SCOPED_TRACE(std::string(fuzz::ClassName(cls)) + " seed " +
+                   std::to_string(seed) + ":\n" + c.program + c.facts);
+      Engine engine;
+      Result<Program> program = engine.Parse(c.program);
+      ASSERT_TRUE(program.ok()) << program.status().ToString();
+      Instance db = engine.NewInstance();
+      ASSERT_TRUE(engine.AddFacts(c.facts, &db).ok());
+
+      Result<WhileProgram> wprog =
+          fuzz::DatalogToWhile(*program, engine.catalog());
+      ASSERT_TRUE(wprog.ok()) << wprog.status().ToString();
+      EXPECT_TRUE(IsFixpointProgram(*wprog));
+      Result<Instance> wres = RunWhile(*wprog, db, WhileOptions{});
+      ASSERT_TRUE(wres.ok()) << wres.status().ToString();
+
+      Result<InflationaryResult> infl = engine.Inflationary(*program, db);
+      ASSERT_TRUE(infl.ok()) << infl.status().ToString();
+      EXPECT_EQ(wres->Restrict(program->idb_preds),
+                infl->instance.Restrict(program->idb_preds));
+    }
+  }
+}
+
+TEST(TranslateTest, RejectsIdbNegation) {
+  Engine engine;
+  Result<Program> program = engine.Parse(
+      "p1(X) :- e2(X), !p2(X, X).\n"
+      "p2(X, X) :- e2(X).\n");
+  ASSERT_TRUE(program.ok());
+  Result<WhileProgram> wprog =
+      fuzz::DatalogToWhile(*program, engine.catalog());
+  EXPECT_FALSE(wprog.ok());
+  EXPECT_EQ(wprog.status().code(), StatusCode::kUnsupported);
+}
+
+// Every mutation in the catalogue is answer-preserving: original and
+// mutant agree relation by relation (modulo the declared renaming) under
+// the stratified semantics, in one shared engine.
+TEST(MutatorTest, MutationsPreserveAnswers) {
+  ProgramGenerator generator;
+  MetamorphicMutator mutator;
+  for (int m = 0; m < fuzz::kNumMutations; ++m) {
+    const Mutation mutation = static_cast<Mutation>(m);
+    for (ProgramClass cls : kAllClasses) {
+      for (uint64_t seed = 1; seed <= 10; ++seed) {
+        Rng rng(seed);
+        const GeneratedCase c = generator.GenerateCase(cls, &rng);
+        Rng mrng(seed * 977);
+        Result<MutatedProgram> mutated =
+            mutator.Apply(mutation, c.program, &mrng);
+        ASSERT_TRUE(mutated.ok()) << mutated.status().ToString();
+        SCOPED_TRACE(std::string(fuzz::MutationName(mutation)) + " on " +
+                     fuzz::ClassName(cls) + " seed " + std::to_string(seed) +
+                     ":\n" + c.program + "mutant:\n" + mutated->program);
+
+        Engine engine;
+        Result<Program> original = engine.Parse(c.program);
+        ASSERT_TRUE(original.ok());
+        Result<Program> mutant = engine.Parse(mutated->program);
+        ASSERT_TRUE(mutant.ok()) << mutant.status().ToString();
+        Instance db = engine.NewInstance();
+        ASSERT_TRUE(engine.AddFacts(c.facts, &db).ok());
+
+        Result<Instance> base = engine.Stratified(*original, db);
+        ASSERT_TRUE(base.ok()) << base.status().ToString();
+        Result<Instance> mut = engine.Stratified(*mutant, db);
+        ASSERT_TRUE(mut.ok()) << mut.status().ToString();
+        for (PredId p : original->idb_preds) {
+          const std::string& name = engine.catalog().NameOf(p);
+          PredId q = engine.catalog().Find(mutated->Renamed(name));
+          ASSERT_GE(q, 0) << "mutant lost predicate " << name;
+          EXPECT_EQ(base->Rel(p).Sorted(), mut->Rel(q).Sorted())
+              << "relation " << name << " changed";
+        }
+      }
+    }
+  }
+}
+
+TEST(MutatorTest, RenameReportsMapping) {
+  MetamorphicMutator mutator;
+  Rng rng(5);
+  Result<MutatedProgram> mutated = mutator.Apply(
+      Mutation::kRenamePredicates, "p1(X) :- e1(X, Y), !e2(Y).\n", &rng);
+  ASSERT_TRUE(mutated.ok()) << mutated.status().ToString();
+  EXPECT_EQ(mutated->Renamed("p1"), "p1_m");
+  EXPECT_EQ(mutated->Renamed("e1"), "e1");  // edb predicates keep their name
+  EXPECT_EQ(mutated->program, "p1_m(X) :- e1(X, Y), !e2(Y).\n");
+}
+
+TEST(MutatorTest, RejectsUnparseableInput) {
+  MetamorphicMutator mutator;
+  Rng rng(1);
+  Result<MutatedProgram> mutated =
+      mutator.Apply(Mutation::kShuffleRules, "p1(X :- e2(X).\n", &rng);
+  EXPECT_FALSE(mutated.ok());
+}
+
+// The full oracle battery over a seed sweep: every applicable pair must
+// agree on every generated case — the in-process version of the
+// `unchained_fuzz` acceptance run.
+TEST(OracleTest, AllPairsAgreeOnGeneratedCases) {
+  ProgramGenerator generator;
+  OracleRunner runner;
+  for (ProgramClass cls : kAllClasses) {
+    for (uint64_t seed = 1; seed <= 12; ++seed) {
+      Rng rng(seed);
+      const GeneratedCase c = generator.GenerateCase(cls, &rng);
+      for (OraclePair pair : fuzz::AllOraclePairs()) {
+        const OracleVerdict verdict =
+            runner.Run(pair, c.program, c.facts, seed * 31);
+        EXPECT_TRUE(verdict.ok())
+            << fuzz::PairName(pair) << " disagreed on "
+            << fuzz::ClassName(cls) << " seed " << seed << ":\n"
+            << verdict.detail << "\nprogram:\n"
+            << c.program << "facts:\n"
+            << c.facts;
+      }
+    }
+  }
+}
+
+TEST(OracleTest, PositiveClassFeedsEveryPair) {
+  // The positive class must be applicable to all five pairs (it sits in
+  // every dialect), so the sweep above cannot silently skip an oracle.
+  ProgramGenerator generator;
+  OracleRunner runner;
+  Rng rng(3);
+  const GeneratedCase c = generator.GenerateCase(ProgramClass::kPositive, &rng);
+  for (OraclePair pair : fuzz::AllOraclePairs()) {
+    const OracleVerdict verdict = runner.Run(pair, c.program, c.facts, 99);
+    EXPECT_TRUE(verdict.applicable) << fuzz::PairName(pair);
+    EXPECT_TRUE(verdict.ok()) << verdict.detail;
+  }
+}
+
+TEST(OracleTest, BrokenCandidatesAreInapplicable) {
+  OracleRunner runner;
+  for (OraclePair pair : fuzz::AllOraclePairs()) {
+    const OracleVerdict verdict =
+        runner.Run(pair, "p1(X :- e2(X).\n", "e2(0).\n", 1);
+    EXPECT_FALSE(verdict.applicable) << fuzz::PairName(pair);
+    EXPECT_TRUE(verdict.ok());
+  }
+}
+
+}  // namespace
+}  // namespace datalog

@@ -8,6 +8,7 @@
 #include "base/rng.h"
 #include "core/engine.h"
 #include "test_util.h"
+#include "testing/generator.h"
 #include "workload/graphs.h"
 
 namespace datalog {
@@ -200,11 +201,11 @@ TEST_P(MagicSweep, RandomProgramsAndAdornments) {
   const int pos_arity[] = {2, 1, 1, 2};
   const char* vars[] = {"X", "Y", "Z"};
   std::string text;
-  const int num_rules = 2 + static_cast<int>(rng.Uniform(3));
+  const int num_rules = 2 + rng.UniformInt(3);
   for (int r = 0; r < num_rules; ++r) {
     std::string body;
     std::vector<std::string> bound;
-    const int n_lits = 1 + static_cast<int>(rng.Uniform(2));
+    const int n_lits = 1 + rng.UniformInt(2);
     for (int i = 0; i < n_lits; ++i) {
       size_t pi = rng.Uniform(4);
       if (!body.empty()) body += ", ";
@@ -235,11 +236,11 @@ TEST_P(MagicSweep, RandomProgramsAndAdornments) {
   // Random instance with values 0..4.
   Instance db = engine.NewInstance();
   for (int i = 0; i < 8; ++i) {
-    db.Insert(e1, {engine.symbols().InternInt(rng.Uniform(5)),
-                   engine.symbols().InternInt(rng.Uniform(5))});
+    db.Insert(e1, {engine.symbols().InternInt(rng.UniformInt(5)),
+                   engine.symbols().InternInt(rng.UniformInt(5))});
   }
   for (int i = 0; i < 3; ++i) {
-    db.Insert(e2, {engine.symbols().InternInt(rng.Uniform(5))});
+    db.Insert(e2, {engine.symbols().InternInt(rng.UniformInt(5))});
   }
 
   Result<Instance> full = engine.MinimumModel(*p, db);
@@ -255,7 +256,7 @@ TEST_P(MagicSweep, RandomProgramsAndAdornments) {
       query.adornment += b ? 'b' : 'f';
       if (b) {
         query.bound_values.push_back(
-            engine.symbols().InternInt(rng.Uniform(5)));
+            engine.symbols().InternInt(rng.UniformInt(5)));
       }
     }
     Result<MagicRewrite> rewrite =
@@ -287,6 +288,88 @@ TEST_P(MagicSweep, RandomProgramsAndAdornments) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, MagicSweep,
                          ::testing::Range(uint64_t{1}, uint64_t{31}),
+                         [](const ::testing::TestParamInfo<uint64_t>& info) {
+                           return "seed" + std::to_string(info.param);
+                         });
+
+// ---- Differential sweep against the shared fuzzing generator -----------
+//
+// 50 seeds of the fuzzer's positive class, each queried with a random
+// adornment per idb predicate: the magic-transformed program must match
+// the filtered full model under BOTH evaluation algorithms, so a rewrite
+// bug cannot hide behind a compensating evaluator bug (and vice versa).
+
+class MagicDifferentialSweep : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(MagicDifferentialSweep, MagicMatchesFilteredFullUnderBothEvaluators) {
+  Rng rng(GetParam());
+  fuzz::ProgramGenerator generator;
+  const fuzz::GeneratedCase c =
+      generator.GenerateCase(fuzz::ProgramClass::kPositive, &rng);
+  SCOPED_TRACE("program:\n" + c.program + "facts:\n" + c.facts);
+
+  Engine engine;
+  Result<Program> p = engine.Parse(c.program);
+  ASSERT_TRUE(p.ok()) << p.status().ToString();
+  ASSERT_TRUE(engine.Validate(*p, Dialect::kDatalog).ok());
+  Instance db = engine.NewInstance();
+  ASSERT_TRUE(engine.AddFacts(c.facts, &db).ok());
+
+  Result<Instance> full_sn = engine.MinimumModel(*p, db);
+  Result<Instance> full_naive = engine.MinimumModelNaive(*p, db);
+  ASSERT_TRUE(full_sn.ok()) << full_sn.status().ToString();
+  ASSERT_TRUE(full_naive.ok()) << full_naive.status().ToString();
+  EXPECT_EQ(*full_sn, *full_naive);
+
+  for (PredId q : p->idb_preds) {
+    const int arity = engine.catalog().ArityOf(q);
+    MagicQuery query;
+    query.query_pred = q;
+    for (int a = 0; a < arity; ++a) {
+      const bool b = rng.Chance(0.5);
+      query.adornment += b ? 'b' : 'f';
+      if (b) {
+        query.bound_values.push_back(
+            engine.symbols().InternInt(rng.UniformInt(5)));
+      }
+    }
+    Result<MagicRewrite> rewrite =
+        MagicSetRewrite(*p, query, &engine.catalog());
+    ASSERT_TRUE(rewrite.ok()) << rewrite.status().ToString();
+    Instance input = db;
+    input.UnionWith(rewrite->seed);
+
+    Relation expected(arity);
+    for (const Tuple& t : full_sn->Rel(q)) {
+      bool match = true;
+      size_t bi = 0;
+      for (int a = 0; a < arity; ++a) {
+        if (query.adornment[static_cast<size_t>(a)] == 'b' &&
+            t[static_cast<size_t>(a)] != query.bound_values[bi++]) {
+          match = false;
+          break;
+        }
+      }
+      if (match) expected.Insert(t);
+    }
+
+    const std::string label =
+        engine.catalog().NameOf(q) + "^" + query.adornment;
+    Result<Instance> magic_sn = engine.MinimumModel(rewrite->program, input);
+    ASSERT_TRUE(magic_sn.ok()) << magic_sn.status().ToString();
+    EXPECT_EQ(magic_sn->Rel(rewrite->query_pred), expected)
+        << "semi-naive, query " << label;
+
+    Result<Instance> magic_naive =
+        engine.MinimumModelNaive(rewrite->program, input);
+    ASSERT_TRUE(magic_naive.ok()) << magic_naive.status().ToString();
+    EXPECT_EQ(magic_naive->Rel(rewrite->query_pred), expected)
+        << "naive, query " << label;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MagicDifferentialSweep,
+                         ::testing::Range(uint64_t{1}, uint64_t{51}),
                          [](const ::testing::TestParamInfo<uint64_t>& info) {
                            return "seed" + std::to_string(info.param);
                          });

@@ -1,16 +1,16 @@
 #ifndef UNCHAINED_TESTS_RANDOM_PROGRAMS_H_
 #define UNCHAINED_TESTS_RANDOM_PROGRAMS_H_
 
-// Random safe semi-positive Datalog¬ program/instance generators, shared
-// by the cross-engine agreement sweep (random_program_test.cc) and the
-// parallel determinism sweep (parallel_determinism_test.cc). Generation is
-// a pure function of the Rng state, so two tests seeding identically see
-// identical programs.
+// Back-compat shim: the random program/instance generators grew into the
+// reusable fuzzing library under src/testing/ (see docs/testing.md). The
+// helpers below delegate to fuzz::ProgramGenerator with its defaults, so
+// existing sweeps keep their seed->program mapping semantics (pure function
+// of the Rng state) while new code should use testing/generator.h directly.
 
 #include <string>
-#include <vector>
 
 #include "base/rng.h"
+#include "testing/generator.h"
 
 namespace datalog {
 namespace random_programs {
@@ -19,71 +19,13 @@ namespace random_programs {
 /// and idb {p1/1, p2/2, p3/2}: every head variable occurs in a positive
 /// body literal; negative literals only over edb predicates.
 inline std::string RandomProgram(Rng* rng) {
-  const char* idb_preds[] = {"p1", "p2", "p3"};
-  const int idb_arity[] = {1, 2, 2};
-  const char* pos_preds[] = {"e1", "e2", "p1", "p2", "p3"};
-  const int pos_arity[] = {2, 1, 1, 2, 2};
-  const char* neg_preds[] = {"e1", "e2"};
-  const int neg_arity[] = {2, 1};
-  const char* vars[] = {"X", "Y", "Z", "W"};
-
-  std::string program;
-  const int num_rules = 2 + static_cast<int>(rng->Uniform(3));
-  for (int r = 0; r < num_rules; ++r) {
-    // Body: 1-3 positive literals.
-    const int num_pos = 1 + static_cast<int>(rng->Uniform(3));
-    std::string body;
-    std::vector<std::string> bound_vars;
-    for (int i = 0; i < num_pos; ++i) {
-      size_t pi = rng->Uniform(5);
-      if (!body.empty()) body += ", ";
-      body += pos_preds[pi];
-      body += "(";
-      for (int a = 0; a < pos_arity[pi]; ++a) {
-        const char* v = vars[rng->Uniform(4)];
-        if (a > 0) body += ", ";
-        body += v;
-        bound_vars.push_back(v);
-      }
-      body += ")";
-    }
-    // Optionally one negative edb literal over bound variables.
-    if (rng->Chance(0.5)) {
-      size_t ni = rng->Uniform(2);
-      body += ", !";
-      body += neg_preds[ni];
-      body += "(";
-      for (int a = 0; a < neg_arity[ni]; ++a) {
-        if (a > 0) body += ", ";
-        body += bound_vars[rng->Uniform(bound_vars.size())];
-      }
-      body += ")";
-    }
-    // Head: random idb with variables drawn from the bound ones.
-    size_t hi = rng->Uniform(3);
-    std::string head = idb_preds[hi];
-    head += "(";
-    for (int a = 0; a < idb_arity[hi]; ++a) {
-      if (a > 0) head += ", ";
-      head += bound_vars[rng->Uniform(bound_vars.size())];
-    }
-    head += ")";
-    program += head + " :- " + body + ".\n";
-  }
-  return program;
+  return fuzz::ProgramGenerator().GenerateProgram(
+      fuzz::ProgramClass::kSemiPositive, rng);
 }
 
 /// Random instance over e1/2 and e2/1 with values 0..n-1.
 inline std::string RandomFacts(Rng* rng, int n, int m1, int m2) {
-  std::string facts;
-  for (int i = 0; i < m1; ++i) {
-    facts += "e1(" + std::to_string(rng->Uniform(n)) + ", " +
-             std::to_string(rng->Uniform(n)) + ").\n";
-  }
-  for (int i = 0; i < m2; ++i) {
-    facts += "e2(" + std::to_string(rng->Uniform(n)) + ").\n";
-  }
-  return facts;
+  return fuzz::ProgramGenerator().GenerateFacts(rng, n, m1, m2);
 }
 
 }  // namespace random_programs

@@ -44,10 +44,21 @@ run_suite() {
   fi
 }
 
+# Fixed-seed differential fuzzing sweep (docs/testing.md): all oracle
+# pairs + metamorphic mutants over 200 cases; any disagreement fails.
+fuzz_smoke() {
+  local build_dir="$1"
+  echo "==> fuzz-smoke ${build_dir}"
+  "${build_dir}/tools/unchained_fuzz" --cases=200 --seed=1 --quiet \
+    --artifacts="${build_dir}/fuzz-artifacts"
+}
+
 run_suite "${repo}/build"
+fuzz_smoke "${repo}/build"
 if [[ "${sanitize}" -eq 1 ]]; then
   run_suite "${repo}/build-asan" -DCMAKE_BUILD_TYPE=RelWithDebInfo \
     -DUNCHAINED_SANITIZE=ON
+  fuzz_smoke "${repo}/build-asan"
 fi
 if [[ "${tsan}" -eq 1 ]]; then
   # The evaluation-layer tests exercise every parallel code path (the
