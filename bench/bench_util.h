@@ -15,9 +15,17 @@
 #include <vector>
 
 #include "eval/common.h"
+#include "obs/export.h"
 
 namespace datalog {
 namespace bench {
+
+/// Observability toggles for the harness mains: constructing one of these
+/// at the top of main() gives the binary `--trace=<path>` (Chrome trace
+/// JSON of the whole run) and `--metrics` (registry dump on exit) for
+/// free — see docs/observability.md. Alias so harnesses only need this
+/// header.
+using ObsArgs = obs::ObsArgs;
 
 class Timer {
  public:

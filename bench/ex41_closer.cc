@@ -57,7 +57,8 @@ std::map<std::pair<Value, Value>, int> Distances(
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  datalog::bench::ObsArgs obs(argc, argv);
   datalog::bench::Header(
       "Example 4.1 — closer(x,y,x',y') via inflationary stage arithmetic");
 

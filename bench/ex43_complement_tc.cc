@@ -9,6 +9,7 @@
 #include "workload/graphs.h"
 
 int main(int argc, char** argv) {
+  datalog::bench::ObsArgs obs(argc, argv);
   using datalog::Engine;
   using datalog::GraphBuilder;
   using datalog::Instance;

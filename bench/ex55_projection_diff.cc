@@ -56,7 +56,8 @@ bool CheckImages(Engine* engine, const datalog::EffectSet& eff,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  datalog::bench::ObsArgs obs(argc, argv);
   datalog::bench::Header(
       "Examples 5.4/5.5 — P − πA(Q) across the nondeterministic family");
   bool all_ok = true;

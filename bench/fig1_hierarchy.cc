@@ -52,7 +52,8 @@ void PrintRow(const Row& row) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  datalog::bench::ObsArgs obs(argc, argv);
   datalog::bench::Header(
       "Figure 1 — expressiveness hierarchy, witnessed by executable queries");
   std::printf("  %-28s %-24s %s\n", "witness query", "dialect", "outcome");

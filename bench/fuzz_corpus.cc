@@ -50,6 +50,7 @@ void Accumulate(EvalStats* total, const EvalStats& run) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  datalog::bench::ObsArgs obs(argc, argv);
   const int cases = static_cast<int>(IntFlagFromArgs(argc, argv, "cases", 200));
   const uint64_t seed =
       static_cast<uint64_t>(IntFlagFromArgs(argc, argv, "seed", 1));

@@ -10,7 +10,8 @@
 #include "core/engine.h"
 #include "workload/graphs.h"
 
-int main() {
+int main(int argc, char** argv) {
+  datalog::bench::ObsArgs obs(argc, argv);
   using datalog::Engine;
   using datalog::EvalStats;
   using datalog::GraphBuilder;

@@ -9,7 +9,8 @@
 #include "core/engine.h"
 #include "workload/graphs.h"
 
-int main() {
+int main(int argc, char** argv) {
+  datalog::bench::ObsArgs obs(argc, argv);
   using datalog::Dialect;
   using datalog::Engine;
   using datalog::GraphBuilder;

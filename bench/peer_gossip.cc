@@ -11,7 +11,8 @@
 #include "core/engine.h"
 #include "dist/peers.h"
 
-int main() {
+int main(int argc, char** argv) {
+  datalog::bench::ObsArgs obs(argc, argv);
   datalog::bench::Header(
       "Peer-to-peer gossip on a ring — rounds vs diameter, message volume");
 

@@ -267,9 +267,11 @@ void EmitStatsJson(const std::string& path) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  // Extract --json=<path> and --threads=... before google-benchmark sees
-  // the arguments (it rejects flags it doesn't recognize).
+  // Extract --json=<path>, --threads=..., --trace=<path> and --metrics
+  // before google-benchmark sees the arguments (it rejects flags it
+  // doesn't recognize).
   g_threads = datalog::bench::ThreadsFromArgs(argc, argv);
+  datalog::bench::ObsArgs observability(argc, argv);
   std::string json_path;
   std::vector<char*> passthrough;
   passthrough.reserve(argc);
@@ -277,7 +279,8 @@ int main(int argc, char** argv) {
     std::string arg = argv[i];
     if (arg.rfind("--json=", 0) == 0) {
       json_path = arg.substr(7);
-    } else if (arg.rfind("--threads=", 0) != 0) {
+    } else if (arg.rfind("--threads=", 0) != 0 &&
+               arg.rfind("--trace=", 0) != 0 && arg != "--metrics") {
       passthrough.push_back(argv[i]);
     }
   }

@@ -50,6 +50,7 @@ void Row(const std::string& workload, datalog::Engine* engine,
 }  // namespace
 
 int main(int argc, char** argv) {
+  datalog::bench::ObsArgs obs(argc, argv);
   using datalog::Engine;
   using datalog::GraphBuilder;
   using datalog::Instance;

@@ -32,7 +32,8 @@ void Report(const char* query, bool ok, double dlog_ms, double while_ms) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  datalog::bench::ObsArgs obs(argc, argv);
   datalog::bench::Header(
       "Theorem 4.2 — inflationary Datalog¬ ≡ fixpoint, on query pairs");
   std::printf("%-18s %10s %12s %8s\n", "query", "dlog(ms)", "fixpoint(ms)",

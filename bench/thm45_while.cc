@@ -12,7 +12,8 @@
 #include "while/while_lang.h"
 #include "workload/graphs.h"
 
-int main() {
+int main(int argc, char** argv) {
+  datalog::bench::ObsArgs obs(argc, argv);
   using datalog::Engine;
   using datalog::GraphBuilder;
   using datalog::Instance;

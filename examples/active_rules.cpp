@@ -14,9 +14,12 @@
 #include <cstdio>
 
 #include "core/engine.h"
+#include "obs/export.h"
 #include "workload/graphs.h"
 
-int main() {
+int main(int argc, char** argv) {
+  // Gives every example --trace=<path> and --metrics (docs/observability.md).
+  datalog::obs::ObsArgs obs(argc, argv);
   datalog::Engine engine;
 
   // --- 1. Deterministic 2-cycle elimination. --------------------------

@@ -11,9 +11,12 @@
 #include <string>
 
 #include "core/engine.h"
+#include "obs/export.h"
 #include "dist/peers.h"
 
-int main() {
+int main(int argc, char** argv) {
+  // Gives every example --trace=<path> and --metrics (docs/observability.md).
+  datalog::obs::ObsArgs obs(argc, argv);
   datalog::Engine engine;
   datalog::PeerSystem system(&engine.catalog(), &engine.symbols());
 

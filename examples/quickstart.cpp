@@ -9,8 +9,11 @@
 #include <cstdio>
 
 #include "core/engine.h"
+#include "obs/export.h"
 
-int main() {
+int main(int argc, char** argv) {
+  // Gives every example --trace=<path> and --metrics (docs/observability.md).
+  datalog::obs::ObsArgs obs(argc, argv);
   datalog::Engine engine;
 
   // --- Positive Datalog: transitive closure (minimum model). ----------

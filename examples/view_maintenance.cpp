@@ -12,9 +12,12 @@
 
 #include "active/eca.h"
 #include "core/engine.h"
+#include "obs/export.h"
 #include "workload/graphs.h"
 
-int main() {
+int main(int argc, char** argv) {
+  // Gives every example --trace=<path> and --metrics (docs/observability.md).
+  datalog::obs::ObsArgs obs(argc, argv);
   datalog::Engine engine;
 
   // Maintenance rules: new edges seed new closure pairs, and new closure

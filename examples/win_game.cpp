@@ -16,9 +16,12 @@
 #include <cstdio>
 
 #include "core/engine.h"
+#include "obs/export.h"
 #include "workload/graphs.h"
 
-int main() {
+int main(int argc, char** argv) {
+  // Gives every example --trace=<path> and --metrics (docs/observability.md).
+  datalog::obs::ObsArgs obs(argc, argv);
   datalog::Engine engine;
   auto program = engine.Parse("win(X) :- moves(X, Y), !win(Y).\n");
   if (!program.ok()) {

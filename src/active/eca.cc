@@ -7,6 +7,7 @@
 
 #include "eval/context.h"
 #include "eval/grounder.h"
+#include "obs/trace.h"
 
 namespace datalog {
 namespace {
@@ -119,12 +120,16 @@ Result<ActiveResult> RunActiveRules(const Program& program, Catalog* catalog,
   if (options.base.detect_cycles) record_state(state);
 
   EvalContext ctx(options.base.eval);
+  OBS_SPAN("eca.eval");
   ctx.stats.EnsureRuleSlots(program.rules.size());
   while (true) {
     if (result.stages + 1 > options.base.eval.max_rounds) {
+      ctx.Finalize();
+      result.stats = ctx.stats;
       return Status::BudgetExhausted("active rules exceeded stage budget");
     }
     ctx.StartRound();
+    OBS_SPAN("eca.stage", {{"stage", result.stages + 1}});
     // Parallel firing (positive-wins) against the frozen state. The state
     // is replaced each round by deletion/reassignment, so the context's
     // caches fall back to full rebuilds via the epoch check.

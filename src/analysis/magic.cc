@@ -5,6 +5,8 @@
 #include <utility>
 #include <vector>
 
+#include "obs/trace.h"
+
 namespace datalog {
 namespace {
 
@@ -150,6 +152,8 @@ Status ProcessAdorned(RewriteState* state, const Adorned& target) {
 Result<MagicRewrite> MagicSetRewrite(const Program& program,
                                      const MagicQuery& query,
                                      Catalog* catalog) {
+  OBS_SPAN("magic.rewrite", {{"rules", static_cast<int64_t>(program.rules.size())},
+                             {"query", query.query_pred}});
   // Validate: positive Datalog, single positive heads.
   for (const Rule& rule : program.rules) {
     if (rule.heads.size() != 1 ||

@@ -3,6 +3,7 @@
 #include <unordered_map>
 
 #include "ast/lexer.h"
+#include "obs/trace.h"
 
 namespace datalog {
 namespace {
@@ -210,6 +211,7 @@ class Parser {
 
 Result<Program> ParseProgram(std::string_view source, Catalog* catalog,
                              SymbolTable* symbols) {
+  OBS_SPAN("parser.parse", {{"bytes", static_cast<int64_t>(source.size())}});
   Result<std::vector<Token>> tokens = Tokenize(source);
   if (!tokens.ok()) return tokens.status();
   return Parser(std::move(tokens).value(), catalog, symbols).Run();
@@ -217,6 +219,7 @@ Result<Program> ParseProgram(std::string_view source, Catalog* catalog,
 
 Status ParseFacts(std::string_view source, Catalog* catalog,
                   SymbolTable* symbols, Instance* out) {
+  OBS_SPAN("parser.facts", {{"bytes", static_cast<int64_t>(source.size())}});
   Result<Program> program = ParseProgram(source, catalog, symbols);
   if (!program.ok()) return program.status();
   for (const Rule& rule : program->rules) {

@@ -4,6 +4,8 @@
 #include <cassert>
 #include <chrono>
 
+#include "obs/trace.h"
+
 namespace datalog {
 
 namespace {
@@ -101,17 +103,18 @@ void ThreadPool::RunWorker(Job* job, int worker) {
   Span& own = job->spans[worker];
   const size_t n = job->n;
   const size_t chunk_size = job->chunk_size;
-  auto run_chunk = [&](uint32_t chunk) {
+  auto run_chunk = [&](uint32_t chunk, int64_t stolen) {
     const size_t begin = static_cast<size_t>(chunk) * chunk_size;
     const size_t end = std::min(n, begin + chunk_size);
+    OBS_SPAN("pool.chunk", {{"worker", worker}, {"stolen", stolen}});
     (*job->body)(begin, end, worker);
     ++st.chunks;
   };
   uint32_t chunk;
-  while (PopOwn(&own, &chunk)) run_chunk(chunk);
+  while (PopOwn(&own, &chunk)) run_chunk(chunk, /*stolen=*/0);
   while (StealChunk(job, worker, &chunk)) {
     ++st.steals;
-    run_chunk(chunk);
+    run_chunk(chunk, /*stolen=*/1);
   }
   tls_in_worker = false;
   st.busy_ms += ElapsedMs(start);
@@ -128,6 +131,7 @@ void ThreadPool::ParallelFor(
     const auto start = Clock::now();
     for (size_t c = 0; c < num_chunks; ++c) {
       const size_t begin = c * chunk_size;
+      OBS_SPAN("pool.chunk", {{"worker", 0}, {"stolen", 0}});
       body(begin, std::min(n, begin + chunk_size), 0);
       ++stats_[0].chunks;
     }

@@ -3,6 +3,7 @@
 #include <map>
 
 #include "eval/grounder.h"
+#include "obs/trace.h"
 
 namespace datalog {
 
@@ -89,11 +90,21 @@ Result<int> PeerSystem::Run(const EvalOptions& options) {
   // thrash between the peers' unrelated relations.)
   std::vector<EvalContext> contexts(num_peers());
 
+  OBS_SPAN("peers.run");
   int rounds = 0;
   while (true) {
     if (rounds + 1 > options.max_rounds) {
+      // Budget-exhausted runs still report the counters accumulated so
+      // far through last_run_stats() rather than leaving stale numbers.
+      last_run_stats_ = EvalStats{};
+      for (EvalContext& ctx : contexts) {
+        ctx.Finalize();
+        last_run_stats_.MergeFrom(ctx.stats);
+      }
+      last_run_stats_.rounds = rounds;
       return Status::BudgetExhausted("peer system exceeded round budget");
     }
+    OBS_SPAN("peers.round", {{"round", rounds + 1}});
     // One global round: every peer fires all its rules against its frozen
     // local instance; derived facts are buffered per destination and
     // delivered at the end of the round (asynchronous delivery).

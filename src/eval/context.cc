@@ -4,15 +4,76 @@
 #include <set>
 
 #include "base/thread_pool.h"
+#include "obs/metrics.h"
 
 namespace datalog {
+
+namespace {
+
+/// Registry handles for the evaluation-level metrics (one registration
+/// for the process lifetime). These are the fold of EvalStats into the
+/// metrics registry: `eval.*` and `index.*` mirror the deterministic
+/// counters, `threadpool.*` the per-worker telemetry, and
+/// `eval.round_us` the per-round latency distribution.
+struct EvalMetrics {
+  obs::CounterHandle runs{"eval.runs"};
+  obs::CounterHandle rounds{"eval.rounds"};
+  obs::CounterHandle facts_derived{"eval.facts_derived"};
+  obs::CounterHandle instantiations{"eval.instantiations"};
+  obs::CounterHandle index_hits{"index.hits"};
+  obs::CounterHandle index_builds{"index.builds"};
+  obs::CounterHandle index_rebuilds{"index.rebuilds"};
+  obs::CounterHandle index_appended{"index.appended"};
+  obs::CounterHandle pool_chunks{"threadpool.chunks"};
+  obs::CounterHandle pool_steals{"threadpool.steals"};
+  obs::CounterHandle pool_busy_us{"threadpool.busy_us"};
+  obs::HistogramHandle round_us{"eval.round_us"};
+};
+
+EvalMetrics& Metrics() {
+  static EvalMetrics metrics;
+  return metrics;
+}
+
+}  // namespace
 
 EvalContext::EvalContext() : start_(Clock::now()) {}
 
 EvalContext::EvalContext(const EvalOptions& opts)
     : options(opts), provenance(opts.provenance), start_(Clock::now()) {}
 
-EvalContext::~EvalContext() = default;
+EvalContext::~EvalContext() { PublishMetrics(); }
+
+void EvalContext::PublishMetrics() {
+  if (!publish_metrics || !obs::MetricsRegistry::Get().enabled()) return;
+  // Fold in anything an early (e.g. budget-exhausted) exit left behind.
+  Finalize();
+  // A context that was constructed but never evaluated through (such as
+  // the unused local fallback some engines keep) publishes nothing.
+  if (stats.rounds == 0 && stats.facts_derived == 0 &&
+      stats.instantiations == 0 && stats.round_ms.empty() &&
+      stats.index_hits == 0 && stats.index_builds == 0 &&
+      stats.index_rebuilds == 0 && stats.index_appended == 0) {
+    return;
+  }
+  EvalMetrics& m = Metrics();
+  m.runs.Add(1);
+  m.rounds.Add(stats.rounds);
+  m.facts_derived.Add(stats.facts_derived);
+  m.instantiations.Add(stats.instantiations);
+  m.index_hits.Add(stats.index_hits);
+  m.index_builds.Add(stats.index_builds);
+  m.index_rebuilds.Add(stats.index_rebuilds);
+  m.index_appended.Add(stats.index_appended);
+  for (const EvalStats::WorkerActivity& w : stats.per_worker) {
+    m.pool_chunks.Add(w.chunks);
+    m.pool_steals.Add(w.steals);
+    m.pool_busy_us.Add(static_cast<int64_t>(w.busy_ms * 1000.0));
+  }
+  for (double ms : stats.round_ms) {
+    m.round_us.Observe(static_cast<int64_t>(ms * 1000.0));
+  }
+}
 
 ThreadPool* EvalContext::pool() {
   if (!pool_checked_) {

@@ -70,6 +70,13 @@ class EvalContext {
   /// options.provenance; kept as a member so engines no longer thread a
   /// third parameter around).
   DerivationLog* provenance = nullptr;
+  /// Whether this context publishes its final stats to the global
+  /// obs::MetricsRegistry on destruction (when metrics collection is
+  /// enabled). Sub-contexts whose counters are merged into a parent —
+  /// e.g. stable-model candidate checks — set this false so registry
+  /// totals count each event exactly once and stay equal to the
+  /// LastRunStats of the enclosing run.
+  bool publish_metrics = true;
 
   /// The active domain for matching `program` against `instance`.
   const std::vector<Value>& Adom(const Program& program,
@@ -96,14 +103,22 @@ class EvalContext {
 
   /// Folds the index counters, the worker-pool activity and the total
   /// wall-clock into `stats`. Engines call it on their success path; the
-  /// Engine facade also calls it defensively before copying stats out.
+  /// Engine facade also calls it defensively before copying stats out,
+  /// and the destructor before publishing metrics. Idempotent: only the
+  /// not-yet-folded portion of the index counters is added, so counters
+  /// merged in from sub-evaluations (stable-model candidates) survive a
+  /// repeat call.
   void Finalize() {
     stats.total_ms = ElapsedMs(start_);
     const IndexManager::Counters& c = index.counters();
-    stats.index_hits = c.hits;
-    stats.index_builds = c.builds;
-    stats.index_rebuilds = c.rebuilds;
-    stats.index_appended = c.appended;
+    stats.index_hits += c.hits - folded_index_hits_;
+    stats.index_builds += c.builds - folded_index_builds_;
+    stats.index_rebuilds += c.rebuilds - folded_index_rebuilds_;
+    stats.index_appended += c.appended - folded_index_appended_;
+    folded_index_hits_ = c.hits;
+    folded_index_builds_ = c.builds;
+    folded_index_rebuilds_ = c.rebuilds;
+    folded_index_appended_ = c.appended;
     FoldWorkerStats();
   }
 
@@ -115,11 +130,20 @@ class EvalContext {
   }
 
   void FoldWorkerStats();
+  /// Folds the final stats into the global metrics registry (one call,
+  /// from the destructor) so registry counters equal the per-run stats
+  /// summed over every published evaluation.
+  void PublishMetrics();
 
   Clock::time_point start_;
   Clock::time_point round_start_{};
   std::unique_ptr<ThreadPool> pool_;
   bool pool_checked_ = false;
+  /// Index-counter values already folded into `stats` by Finalize.
+  int64_t folded_index_hits_ = 0;
+  int64_t folded_index_builds_ = 0;
+  int64_t folded_index_rebuilds_ = 0;
+  int64_t folded_index_appended_ = 0;
 };
 
 }  // namespace datalog

@@ -5,6 +5,7 @@
 #include "eval/grounder.h"
 #include "eval/parallel.h"
 #include "eval/provenance.h"
+#include "obs/trace.h"
 
 namespace datalog {
 
@@ -13,6 +14,7 @@ Result<InflationaryResult> InflationaryFixpoint(const Program& program,
                                                 EvalContext* ctx,
                                                 const StageObserver& observer) {
   assert(ctx != nullptr);
+  OBS_SPAN("inflationary.eval");
   EvalStats& st = ctx->stats;
   st.EnsureRuleSlots(program.rules.size());
 
@@ -51,6 +53,7 @@ Result<InflationaryResult> InflationaryFixpoint(const Program& program,
                                      " stages");
     }
     ctx->StartRound();
+    OBS_SPAN("inflationary.stage", {{"stage", result.stages + 1}});
     // One stage: fire every rule with every applicable instantiation
     // against the frozen current instance (parallel firing), then add all
     // inferred facts at once. Rule heads cannot invent values, so the

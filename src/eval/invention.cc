@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "eval/grounder.h"
+#include "obs/trace.h"
 
 namespace datalog {
 
@@ -30,6 +31,7 @@ Result<InventionResult> InventionFixpoint(const Program& program,
                                           SymbolTable* symbols,
                                           EvalContext* ctx) {
   assert(ctx != nullptr);
+  OBS_SPAN("invention.eval");
   EvalStats& st = ctx->stats;
   st.EnsureRuleSlots(program.rules.size());
 
@@ -62,11 +64,15 @@ Result<InventionResult> InventionFixpoint(const Program& program,
 
   while (true) {
     if (result.stages + 1 > ctx->options.max_rounds) {
+      // Budget-exhausted runs still get finalized stats (wall-clock,
+      // index counters) — callers read them to see how far the run got.
+      ctx->Finalize();
       return Status::BudgetExhausted("Datalog¬new evaluation exceeded " +
                                      std::to_string(ctx->options.max_rounds) +
                                      " stages");
     }
     ctx->StartRound();
+    OBS_SPAN("invention.stage", {{"stage", result.stages + 1}});
     Instance fresh(&input.catalog());
     DbView view{&db, &db};
     const std::vector<Value>& adom = ctx->Adom(program, db);
@@ -110,7 +116,13 @@ Result<InventionResult> InventionFixpoint(const Program& program,
             }
             return true;
           });
-      if (!budget.ok()) return budget;
+      if (!budget.ok()) {
+        // The invented-value budget trips mid-round: close the round's
+        // timing and finalize so the truncated run reports full stats.
+        ctx->FinishRound();
+        ctx->Finalize();
+        return budget;
+      }
     }
     if (fresh.TotalFacts() == 0) {
       ctx->FinishRound();
@@ -121,6 +133,7 @@ Result<InventionResult> InventionFixpoint(const Program& program,
     st.facts_derived += static_cast<int64_t>(db.UnionWith(fresh));
     ctx->FinishRound();
     if (static_cast<int64_t>(db.TotalFacts()) > ctx->options.max_facts) {
+      ctx->Finalize();
       return Status::BudgetExhausted("Datalog¬new exceeded fact budget");
     }
   }

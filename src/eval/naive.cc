@@ -4,6 +4,7 @@
 
 #include "eval/grounder.h"
 #include "eval/parallel.h"
+#include "obs/trace.h"
 
 namespace datalog {
 
@@ -12,6 +13,7 @@ Result<Instance> NaiveLeastFixpoint(const Program& program,
                                     const Instance* fixed_negation,
                                     EvalContext* ctx) {
   assert(ctx != nullptr);
+  OBS_SPAN("naive.fixpoint");
   EvalStats& st = ctx->stats;
   st.EnsureRuleSlots(program.rules.size());
 
@@ -53,6 +55,7 @@ Result<Instance> NaiveLeastFixpoint(const Program& program,
                                      " rounds");
     }
     ctx->StartRound();
+    OBS_SPAN("naive.round", {{"round", st.rounds}});
     // Freeze `db` for this round: buffer new facts separately so that the
     // persistent indexes' tuple pointers stay valid while matching. Rule
     // heads cannot invent values, so the cached active domain only changes

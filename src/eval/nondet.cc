@@ -5,6 +5,7 @@
 #include <unordered_set>
 
 #include "eval/grounder.h"
+#include "obs/trace.h"
 
 namespace datalog {
 
@@ -148,16 +149,22 @@ Result<Instance> NondetEvaluator::RunOnce(const Instance& input, uint64_t seed,
   }
   Rng rng(seed);
   EvalContext ctx(options.eval);
+  OBS_SPAN("nondet.run");
   Instance state = input;
   for (int64_t step = 0;; ++step) {
     if (step > options.eval.max_rounds) {
+      ctx.Finalize();
+      last_stats_ = ctx.stats;
       return Status::BudgetExhausted("nondeterministic run exceeded " +
                                      std::to_string(options.eval.max_rounds) +
                                      " steps");
     }
     ctx.StartRound();
-    std::vector<Move> moves =
-        Moves(state, symbols, options.allow_invention && has_invention_, &ctx);
+    std::vector<Move> moves = [&] {
+      OBS_SPAN("nondet.step", {{"step", step}});
+      return Moves(state, symbols, options.allow_invention && has_invention_,
+                   &ctx);
+    }();
     ctx.FinishRound();
     if (moves.empty()) break;
     ++ctx.stats.rounds;
@@ -170,6 +177,8 @@ Result<Instance> NondetEvaluator::RunOnce(const Instance& input, uint64_t seed,
                                std::to_string(step + 1));
     }
     if (static_cast<int64_t>(state.TotalFacts()) > options.eval.max_facts) {
+      ctx.Finalize();
+      last_stats_ = ctx.stats;
       return Status::BudgetExhausted("nondeterministic run exceeded facts");
     }
   }
@@ -202,6 +211,7 @@ Result<EffectSet> NondetEvaluator::Enumerate(
   };
 
   EvalContext ctx(options.eval);
+  OBS_SPAN("nondet.enumerate");
   std::vector<size_t> stack;
   lookup_or_add(input);
   stack.push_back(0);
@@ -229,6 +239,8 @@ Result<EffectSet> NondetEvaluator::Enumerate(
       auto [next_idx, fresh] = lookup_or_add(next);
       if (fresh) {
         if (static_cast<int64_t>(states.size()) > options.max_states) {
+          ctx.Finalize();
+          last_stats_ = ctx.stats;
           return Status::BudgetExhausted(
               "effect enumeration exceeded max_states = " +
               std::to_string(options.max_states));

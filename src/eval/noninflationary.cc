@@ -5,6 +5,7 @@
 
 #include "base/thread_pool.h"
 #include "eval/grounder.h"
+#include "obs/trace.h"
 
 namespace datalog {
 
@@ -13,6 +14,7 @@ Result<NonInflationaryResult> NonInflationaryFixpoint(
     const NonInflationaryOptions& options, EvalContext* ctx) {
   EvalContext local_ctx(options.eval);
   if (ctx == nullptr) ctx = &local_ctx;
+  OBS_SPAN("noninflationary.eval");
   EvalStats& st = ctx->stats;
   st.EnsureRuleSlots(program.rules.size());
 
@@ -55,11 +57,17 @@ Result<NonInflationaryResult> NonInflationaryFixpoint(
 
   while (true) {
     if (result.stages + 1 > ctx->options.max_rounds) {
+      // Budget-exhausted runs still get complete stats: fold the index
+      // counters, pool telemetry and wall-clock before returning, so a
+      // caller inspecting ctx->stats (or LastRunStats) sees the full
+      // picture of the truncated run.
+      ctx->Finalize();
       return Status::BudgetExhausted("Datalog¬¬ evaluation exceeded " +
                                      std::to_string(ctx->options.max_rounds) +
                                      " stages");
     }
     ctx->StartRound();
+    OBS_SPAN("noninflationary.stage", {{"stage", result.stages + 1}});
     // Parallel firing against the frozen instance: collect insertions and
     // deletions separately, then reconcile. Deletions below change relation
     // epochs, so the index/adom caches rebuild per round — the correctness

@@ -4,6 +4,7 @@
 #include <cassert>
 
 #include "base/thread_pool.h"
+#include "obs/trace.h"
 
 namespace datalog {
 
@@ -17,6 +18,7 @@ void RunProductionUnits(ThreadPool* pool,
   outputs->resize(units.size());
   auto run_unit = [&](size_t u) {
     const MatchUnit& unit = units[u];
+    OBS_SPAN("eval.unit", {{"rule", unit.rule_index}});
     UnitOutput& out = (*outputs)[u];
     const RuleMatcher& matcher = matchers[unit.matcher];
     const Atom& head = matcher.rule().heads[0].atom;

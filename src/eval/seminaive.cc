@@ -9,6 +9,7 @@
 #include "eval/parallel.h"
 #include "eval/provenance.h"
 #include "eval/test_hooks.h"
+#include "obs/trace.h"
 
 namespace datalog {
 
@@ -21,6 +22,7 @@ Result<int64_t> SemiNaiveStep(const Program& program,
                               const std::vector<PredId>& recursive_preds,
                               Instance* db, EvalContext* ctx) {
   assert(ctx != nullptr);
+  OBS_SPAN("seminaive.step");
   EvalStats& st = ctx->stats;
   st.EnsureRuleSlots(program.rules.size());
 
@@ -51,6 +53,7 @@ Result<int64_t> SemiNaiveStep(const Program& program,
   std::unordered_map<PredId, Relation> delta;
   {
     ctx->StartRound();
+    OBS_SPAN("seminaive.round", {{"round", st.rounds + 1}});
     const std::vector<Value>& adom = ctx->Adom(program, *db);
     Instance fresh(&db->catalog());
     DbView view{db, db};
@@ -67,6 +70,7 @@ Result<int64_t> SemiNaiveStep(const Program& program,
       MergeProductionUnits(matchers, units, &outputs, &st, &fresh);
     } else {
       for (size_t i = 0; i < matchers.size(); ++i) {
+        OBS_SPAN("seminaive.rule", {{"rule", rule_indexes[i]}});
         const Atom& head = rules[i]->heads[0].atom;
         const Relation& head_rel = db->Rel(head.pred);
         matchers[i].ForEachMatch(
@@ -99,11 +103,16 @@ Result<int64_t> SemiNaiveStep(const Program& program,
   // appending each round's journal tail — no per-round rebuild.
   while (!delta.empty()) {
     if (++st.rounds > ctx->options.max_rounds) {
+      // Budget-exhausted runs still report the facts derived so far:
+      // callers read LastRunStats to see how far the run got.
+      st.facts_derived += total_added;
+      ctx->Finalize();
       return Status::BudgetExhausted("semi-naive evaluation exceeded " +
                                      std::to_string(ctx->options.max_rounds) +
                                      " rounds");
     }
     ctx->StartRound();
+    OBS_SPAN("seminaive.round", {{"round", st.rounds}});
     const std::vector<Value>& adom = ctx->Adom(program, *db);
     Instance fresh(&db->catalog());
     DbView view{db, db};
@@ -136,6 +145,7 @@ Result<int64_t> SemiNaiveStep(const Program& program,
     } else {
       for (size_t i = 0; i < matchers.size(); ++i) {
         if (rule_indexes[i] == internal::g_seminaive_skip_delta_rule) continue;
+        OBS_SPAN("seminaive.rule", {{"rule", rule_indexes[i]}});
         const Rule& rule = *rules[i];
         const Atom& head = rule.heads[0].atom;
         const Relation& head_rel = db->Rel(head.pred);
@@ -171,6 +181,8 @@ Result<int64_t> SemiNaiveStep(const Program& program,
     total_added += static_cast<int64_t>(db->UnionWith(fresh));
     ctx->FinishRound();
     if (static_cast<int64_t>(db->TotalFacts()) > ctx->options.max_facts) {
+      st.facts_derived += total_added;
+      ctx->Finalize();
       return Status::BudgetExhausted(
           "semi-naive evaluation exceeded fact budget");
     }

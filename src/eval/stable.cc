@@ -9,6 +9,7 @@
 #include "base/thread_pool.h"
 #include "eval/naive.h"
 #include "eval/wellfounded.h"
+#include "obs/trace.h"
 
 namespace datalog {
 
@@ -19,6 +20,7 @@ Result<StableModelsResult> StableModels(const Program& program,
                                         EvalContext* ctx) {
   EvalContext local_ctx(options);
   if (ctx == nullptr) ctx = &local_ctx;
+  OBS_SPAN("stable.eval");
   // Bracket the search with the well-founded model.
   Result<WellFoundedModel> wf = WellFoundedSemantics(program, input, ctx);
   if (!wf.ok()) return wf.status();
@@ -91,8 +93,13 @@ Result<StableModelsResult> StableModels(const Program& program,
         [&](size_t begin, size_t end, int /*worker*/) {
           for (size_t m = begin; m < end; ++m) {
             const uint64_t mask = static_cast<uint64_t>(m);
+            OBS_SPAN("stable.candidate",
+                     {{"mask", static_cast<int64_t>(mask)}});
             Instance candidate = build_candidate(mask);
             EvalContext cand_ctx(cand_options);
+            // The tally merge below folds this sub-context into `ctx` —
+            // publishing it separately would double-count every event.
+            cand_ctx.publish_metrics = false;
             Result<Instance> reduct_lfp =
                 NaiveLeastFixpoint(program, input, &candidate, &cand_ctx);
             if (!reduct_lfp.ok()) {
@@ -126,6 +133,7 @@ Result<StableModelsResult> StableModels(const Program& program,
 
   for (uint64_t mask = 0; mask < combinations; ++mask) {
     ++out.candidates_checked;
+    OBS_SPAN("stable.candidate", {{"mask", static_cast<int64_t>(mask)}});
     Instance candidate = build_candidate(mask);
     // Gelfond–Lifschitz check: S(M) == M, where S evaluates the positive
     // part to a least fixpoint with negations fixed against M. Each
@@ -133,6 +141,9 @@ Result<StableModelsResult> StableModels(const Program& program,
     // useless for the next); only its scalar counters are kept.
     EvalContext cand_ctx(options);
     cand_ctx.provenance = nullptr;
+    // MergeFrom folds this sub-context into `ctx` — publishing it
+    // separately would double-count every event.
+    cand_ctx.publish_metrics = false;
     Result<Instance> reduct_lfp =
         NaiveLeastFixpoint(program, input, &candidate, &cand_ctx);
     if (!reduct_lfp.ok()) return reduct_lfp.status();

@@ -2,12 +2,14 @@
 
 #include "analysis/stratify.h"
 #include "eval/seminaive.h"
+#include "obs/trace.h"
 
 namespace datalog {
 
 Result<Instance> StratifiedSemantics(const Program& program,
                                      const Catalog& catalog,
                                      const Instance& input, EvalContext* ctx) {
+  OBS_SPAN("stratified.eval");
   Stratification strat = Stratify(program, catalog);
   if (!strat.ok) return Status::NotStratifiable(strat.error);
 
@@ -15,6 +17,7 @@ Result<Instance> StratifiedSemantics(const Program& program,
   for (int s = 0; s < strat.num_strata; ++s) {
     const std::vector<int>& rule_indexes = strat.rules_by_stratum[s];
     if (rule_indexes.empty()) continue;
+    OBS_SPAN("stratified.stratum", {{"stratum", s}});
     // The recursive predicates of this stratum: idb predicates whose
     // defining rules live here.
     std::vector<PredId> recursive;

@@ -3,6 +3,7 @@
 #include <cassert>
 
 #include "eval/naive.h"
+#include "obs/trace.h"
 
 namespace datalog {
 
@@ -10,6 +11,7 @@ Result<WellFoundedModel> WellFoundedSemantics(const Program& program,
                                               const Instance& input,
                                               EvalContext* ctx) {
   assert(ctx != nullptr);
+  OBS_SPAN("wellfounded.eval");
   // The inner fixpoints run on over-/under-estimates whose derivations
   // would be misleading as provenance: the naive engine never records any,
   // so nothing to strip. Mask provenance for the duration regardless, in
@@ -29,6 +31,7 @@ Result<WellFoundedModel> WellFoundedSemantics(const Program& program,
       return Status::BudgetExhausted(
           "well-founded alternation exceeded round budget");
     }
+    OBS_SPAN("wellfounded.alternation", {{"alternation", outer}});
     Result<Instance> next_over =
         NaiveLeastFixpoint(program, input, &under, ctx);
     if (!next_over.ok()) {

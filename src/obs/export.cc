@@ -1,0 +1,157 @@
+#include "obs/export.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <map>
+
+#include "obs/metrics.h"
+
+namespace datalog {
+namespace obs {
+namespace {
+
+std::string EscapeJson(const char* s) {
+  std::string out;
+  for (; *s != '\0'; ++s) {
+    char c = *s;
+    if (c == '"' || c == '\\') out.push_back('\\');
+    out.push_back(c);
+  }
+  return out;
+}
+
+struct Node {
+  const TraceEvent* event;
+  std::vector<Node> children;
+};
+
+void RenderNode(const Node& node, int indent, std::string* out) {
+  out->append(static_cast<size_t>(indent) * 2, ' ');
+  out->append(node.event->name);
+  for (uint32_t i = 0; i < node.event->num_args; ++i) {
+    out->push_back(' ');
+    out->append(node.event->args[i].key);
+    out->push_back('=');
+    out->append(std::to_string(node.event->args[i].value));
+  }
+  out->push_back('\n');
+  for (const Node& child : node.children) RenderNode(child, indent + 1, out);
+}
+
+}  // namespace
+
+std::string ChromeTraceJson(const std::vector<TraceEvent>& events) {
+  std::vector<const TraceEvent*> sorted;
+  sorted.reserve(events.size());
+  for (const TraceEvent& e : events) sorted.push_back(&e);
+  std::stable_sort(sorted.begin(), sorted.end(),
+                   [](const TraceEvent* a, const TraceEvent* b) {
+                     if (a->start_us != b->start_us) {
+                       return a->start_us < b->start_us;
+                     }
+                     if (a->tid != b->tid) return a->tid < b->tid;
+                     // Same thread, same microsecond: the outer span
+                     // completed later but must open first.
+                     return a->depth < b->depth;
+                   });
+  std::string out = "{\"displayTimeUnit\": \"ms\", \"traceEvents\": [";
+  bool first = true;
+  for (const TraceEvent* e : sorted) {
+    if (!first) out += ",";
+    first = false;
+    out += "\n  {\"name\": \"";
+    out += EscapeJson(e->name);
+    out += "\", \"ph\": \"X\", \"pid\": 1, \"tid\": ";
+    out += std::to_string(e->tid);
+    out += ", \"ts\": ";
+    out += std::to_string(e->start_us);
+    out += ", \"dur\": ";
+    out += std::to_string(e->dur_us);
+    if (e->num_args > 0) {
+      out += ", \"args\": {";
+      for (uint32_t i = 0; i < e->num_args; ++i) {
+        if (i > 0) out += ", ";
+        out += "\"";
+        out += EscapeJson(e->args[i].key);
+        out += "\": ";
+        out += std::to_string(e->args[i].value);
+      }
+      out += "}";
+    }
+    out += "}";
+  }
+  out += "\n]}\n";
+  return out;
+}
+
+bool WriteChromeTrace(const std::string& path) {
+  std::ofstream out(path);
+  if (!out) {
+    std::fprintf(stderr, "obs: cannot write trace file %s\n", path.c_str());
+    return false;
+  }
+  out << ChromeTraceJson(Tracer::Get().Snapshot());
+  return out.good();
+}
+
+std::string RenderSpanTree(const std::vector<TraceEvent>& events) {
+  // Partition by thread, keeping each thread's completion (seq) order.
+  std::map<uint32_t, std::vector<const TraceEvent*>> by_tid;
+  for (const TraceEvent& e : events) by_tid[e.tid].push_back(&e);
+  std::string out;
+  for (auto& [tid, list] : by_tid) {
+    std::stable_sort(list.begin(), list.end(),
+                     [](const TraceEvent* a, const TraceEvent* b) {
+                       return a->seq < b->seq;
+                     });
+    // Completion order is a post-order walk: when a span at depth d
+    // completes, every span it enclosed (depth d+1) has already
+    // completed and is waiting in pending[d+1].
+    std::vector<std::vector<Node>> pending;
+    for (const TraceEvent* e : list) {
+      const size_t d = e->depth;
+      if (pending.size() <= d + 1) pending.resize(d + 2);
+      Node node{e, std::move(pending[d + 1])};
+      pending[d + 1].clear();
+      pending[d].push_back(std::move(node));
+    }
+    out += "thread " + std::to_string(tid) + ":\n";
+    if (!pending.empty()) {
+      for (const Node& root : pending[0]) RenderNode(root, 1, &out);
+    }
+  }
+  return out;
+}
+
+ObsArgs::ObsArgs(int argc, char** argv) {
+  static constexpr char kTracePrefix[] = "--trace=";
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strncmp(arg, kTracePrefix, sizeof(kTracePrefix) - 1) == 0) {
+      trace_path_ = arg + sizeof(kTracePrefix) - 1;
+    } else if (std::strcmp(arg, "--metrics") == 0) {
+      metrics_ = true;
+    }
+  }
+  if (!trace_path_.empty()) Tracer::Get().Enable();
+  if (metrics_) {
+    MetricsRegistry::Get().Reset();
+    MetricsRegistry::Get().SetEnabled(true);
+  }
+}
+
+ObsArgs::~ObsArgs() {
+  if (metrics_) {
+    MetricsRegistry::Get().SetEnabled(false);
+    std::printf("%% metrics\n%s", MetricsRegistry::Get().DumpText().c_str());
+  }
+  if (!trace_path_.empty()) {
+    Tracer::Get().Disable();
+    WriteChromeTrace(trace_path_);
+  }
+}
+
+}  // namespace obs
+}  // namespace datalog

@@ -1,0 +1,63 @@
+#ifndef UNCHAINED_OBS_EXPORT_H_
+#define UNCHAINED_OBS_EXPORT_H_
+
+// Exporters for the observability subsystem (docs/observability.md):
+//   * Chrome trace-event JSON — load the file in Perfetto
+//     (https://ui.perfetto.dev) or chrome://tracing.
+//   * RenderSpanTree — a deterministic, timestamp-free text rendering of
+//     the span nesting, used by the golden-trace tests.
+//   * Metrics: the plain-text dump lives on MetricsRegistry::DumpText.
+
+#include <string>
+#include <vector>
+
+#include "obs/trace.h"
+
+namespace datalog {
+namespace obs {
+
+/// Renders `events` as Chrome trace-event JSON ("ph":"X" complete
+/// events, timestamps in microseconds, sorted ascending by start time).
+std::string ChromeTraceJson(const std::vector<TraceEvent>& events);
+
+/// Snapshots the global Tracer and writes Chrome trace JSON to `path`.
+/// Returns false (with a message on stderr) when the file can't be
+/// written.
+bool WriteChromeTrace(const std::string& path);
+
+/// Deterministic text rendering of the span forest: one `thread N:`
+/// block per recording thread, children indented two spaces below their
+/// parent, arguments appended as `key=value`. Timestamps and durations
+/// are omitted, so the output is stable run-to-run whenever the span
+/// structure is — the golden-trace tests compare against it verbatim.
+/// The tree is reconstructed from (tid, seq, depth) alone: per thread,
+/// events arrive in completion order, so a span's children are exactly
+/// the spans completed at depth+1 since the previous depth-or-shallower
+/// event. Threads whose ring overflowed would yield a partial forest;
+/// size capacities to the workload (Tracer::dropped() tells you).
+std::string RenderSpanTree(const std::vector<TraceEvent>& events);
+
+/// Command-line observability toggles shared by the benches, examples
+/// and tools: scans argv for `--trace=<path>` and `--metrics`, enables
+/// the tracer/registry for the object's lifetime, and exports on
+/// destruction (Chrome trace JSON to the path; the metrics dump to
+/// stdout). Unrelated arguments are ignored, so harnesses can hand over
+/// their raw (argc, argv) unfiltered. With neither flag present this is
+/// inert.
+class ObsArgs {
+ public:
+  ObsArgs(int argc, char** argv);
+  ~ObsArgs();
+
+  ObsArgs(const ObsArgs&) = delete;
+  ObsArgs& operator=(const ObsArgs&) = delete;
+
+ private:
+  std::string trace_path_;
+  bool metrics_ = false;
+};
+
+}  // namespace obs
+}  // namespace datalog
+
+#endif  // UNCHAINED_OBS_EXPORT_H_

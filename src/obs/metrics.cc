@@ -1,0 +1,232 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+
+namespace datalog {
+namespace obs {
+namespace {
+
+/// Single-writer relaxed increment: each slot is written by exactly one
+/// thread (its shard owner), so load+store beats an RMW on the hot path.
+inline void BumpRelaxed(std::atomic<int64_t>& slot, int64_t delta) {
+  slot.store(slot.load(std::memory_order_relaxed) + delta,
+             std::memory_order_relaxed);
+}
+
+/// Ties a shard's lifetime to its thread: when the thread exits, the
+/// shard's totals are folded into the registry's retired sums so no
+/// counts are lost and Snapshot never reads freed memory.
+struct ShardOwner {
+  MetricsRegistry::Shard* shard = nullptr;
+  ~ShardOwner() {
+    if (shard != nullptr) MetricsRegistry::Get().RetireShard(shard);
+  }
+};
+
+thread_local ShardOwner tls_shard;
+
+}  // namespace
+
+MetricsRegistry& MetricsRegistry::Get() {
+  // Leaky singleton: thread_local ShardOwner destructors may run during
+  // process teardown, after function-local statics would be destroyed.
+  static MetricsRegistry* instance = new MetricsRegistry();
+  return *instance;
+}
+
+MetricId MetricsRegistry::Register(const std::string& name, MetricKind kind,
+                                   uint32_t slots_needed) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (MetricId id = 0; id < metrics_.size(); ++id) {
+    if (metrics_[id].name != name) continue;
+    if (metrics_[id].kind != kind) {
+      std::fprintf(stderr,
+                   "obs: metric '%s' re-registered with a different kind\n",
+                   name.c_str());
+      std::abort();
+    }
+    return id;
+  }
+  if (metrics_.size() == kMaxMetrics) {
+    std::fprintf(stderr, "obs: metric id space exhausted at '%s'\n",
+                 name.c_str());
+    std::abort();
+  }
+  Metric m;
+  m.name = name;
+  m.kind = kind;
+  const MetricId id = static_cast<MetricId>(metrics_.size());
+  if (kind == MetricKind::kGauge) {
+    m.gauge_index = static_cast<uint32_t>(gauges_.size());
+    gauges_.push_back(std::make_unique<std::atomic<int64_t>>(0));
+    hot_[id].gauge = gauges_.back().get();
+  } else {
+    if (next_slot_ + slots_needed > kMaxSlots) {
+      std::fprintf(stderr, "obs: metric slot space exhausted at '%s'\n",
+                   name.c_str());
+      std::abort();
+    }
+    m.slot = next_slot_;
+    hot_[id].slot = next_slot_;
+    next_slot_ += slots_needed;
+  }
+  metrics_.push_back(std::move(m));
+  return id;
+}
+
+MetricId MetricsRegistry::Counter(const std::string& name) {
+  return Register(name, MetricKind::kCounter, 1);
+}
+
+MetricId MetricsRegistry::Gauge(const std::string& name) {
+  return Register(name, MetricKind::kGauge, 0);
+}
+
+MetricId MetricsRegistry::Histogram(const std::string& name) {
+  return Register(name, MetricKind::kHistogram, kHistogramBuckets + 1);
+}
+
+MetricsRegistry::Shard* MetricsRegistry::LocalShard() {
+  if (tls_shard.shard == nullptr) {
+    auto* shard = new Shard();
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      shards_.push_back(shard);
+    }
+    tls_shard.shard = shard;
+  }
+  return tls_shard.shard;
+}
+
+void MetricsRegistry::RetireShard(Shard* shard) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (uint32_t i = 0; i < kMaxSlots; ++i) {
+    retired_[i] += shard->slots[i].load(std::memory_order_relaxed);
+  }
+  shards_.erase(std::remove(shards_.begin(), shards_.end(), shard),
+                shards_.end());
+  delete shard;
+}
+
+void MetricsRegistry::Add(MetricId id, int64_t delta) {
+  if (!enabled()) return;
+  BumpRelaxed(LocalShard()->slots[hot_[id].slot], delta);
+}
+
+void MetricsRegistry::Set(MetricId id, int64_t value) {
+  if (!enabled()) return;
+  hot_[id].gauge->store(value, std::memory_order_relaxed);
+}
+
+uint32_t MetricsRegistry::BucketFor(int64_t micros) {
+  if (micros <= 0) return 0;
+  uint32_t bucket = 1;
+  int64_t upper = 1;  // bucket i covers [2^(i-1), 2^i) µs
+  while (bucket < kHistogramBuckets - 1 && micros >= upper * 2) {
+    upper *= 2;
+    ++bucket;
+  }
+  return bucket;
+}
+
+void MetricsRegistry::Observe(MetricId id, int64_t micros) {
+  if (!enabled()) return;
+  Shard* shard = LocalShard();
+  const uint32_t slot = hot_[id].slot;
+  BumpRelaxed(shard->slots[slot + BucketFor(micros)], 1);
+  BumpRelaxed(shard->slots[slot + kHistogramBuckets], micros);
+}
+
+int64_t MetricsRegistry::SumSlotLocked(uint32_t slot) const {
+  int64_t total = retired_[slot];
+  for (const Shard* shard : shards_) {
+    total += shard->slots[slot].load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+MetricValue MetricsRegistry::ReadLocked(const Metric& m) const {
+  MetricValue out;
+  out.name = m.name;
+  out.kind = m.kind;
+  switch (m.kind) {
+    case MetricKind::kCounter:
+      out.value = SumSlotLocked(m.slot);
+      break;
+    case MetricKind::kGauge:
+      out.value = gauges_[m.gauge_index]->load(std::memory_order_relaxed);
+      break;
+    case MetricKind::kHistogram: {
+      out.buckets.resize(kHistogramBuckets);
+      for (uint32_t b = 0; b < kHistogramBuckets; ++b) {
+        out.buckets[b] = SumSlotLocked(m.slot + b);
+        out.value += out.buckets[b];
+      }
+      out.sum_us = SumSlotLocked(m.slot + kHistogramBuckets);
+      break;
+    }
+  }
+  return out;
+}
+
+std::vector<MetricValue> MetricsRegistry::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<MetricValue> out;
+  out.reserve(metrics_.size());
+  for (const Metric& m : metrics_) out.push_back(ReadLocked(m));
+  std::sort(out.begin(), out.end(),
+            [](const MetricValue& a, const MetricValue& b) {
+              return a.name < b.name;
+            });
+  return out;
+}
+
+int64_t MetricsRegistry::Value(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const Metric& m : metrics_) {
+    if (m.name == name) return ReadLocked(m).value;
+  }
+  return 0;
+}
+
+std::string MetricsRegistry::DumpText() const {
+  std::string out;
+  for (const MetricValue& m : Snapshot()) {
+    out += m.name;
+    switch (m.kind) {
+      case MetricKind::kCounter:
+        out += " counter " + std::to_string(m.value);
+        break;
+      case MetricKind::kGauge:
+        out += " gauge " + std::to_string(m.value);
+        break;
+      case MetricKind::kHistogram: {
+        out += " histogram count=" + std::to_string(m.value) +
+               " sum_us=" + std::to_string(m.sum_us) + " buckets=";
+        for (size_t b = 0; b < m.buckets.size(); ++b) {
+          if (b > 0) out += ",";
+          out += std::to_string(m.buckets[b]);
+        }
+        break;
+      }
+    }
+    out += "\n";
+  }
+  return out;
+}
+
+void MetricsRegistry::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::fill(retired_.begin(), retired_.end(), 0);
+  for (Shard* shard : shards_) {
+    for (uint32_t i = 0; i < kMaxSlots; ++i) {
+      shard->slots[i].store(0, std::memory_order_relaxed);
+    }
+  }
+  for (auto& gauge : gauges_) gauge->store(0, std::memory_order_relaxed);
+}
+
+}  // namespace obs
+}  // namespace datalog

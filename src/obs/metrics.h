@@ -1,0 +1,199 @@
+#ifndef UNCHAINED_OBS_METRICS_H_
+#define UNCHAINED_OBS_METRICS_H_
+
+// Process-wide metrics registry: named counters, gauges and fixed-bucket
+// latency histograms (docs/observability.md).
+//
+// Design goals, in order:
+//   1. A disabled registry must be near-free at every call site: one
+//      relaxed atomic load and a predictable branch, no locks, no
+//      allocation.
+//   2. The enabled hot path must be lock-free and contention-free:
+//      counters and histogram buckets live in per-thread shards (each
+//      slot written by exactly one thread, so increments are a relaxed
+//      load + relaxed store, never an RMW), merged only when a reader
+//      asks for a snapshot.
+//   3. Deterministic totals: merging shards is pure addition, so the
+//      summed counters are independent of scheduling — the
+//      metrics-exactness tests compare them against LastRunStats at
+//      num_threads ∈ {1, 2, 8}.
+//
+// Registration (name → dense MetricId) takes a mutex and is expected at
+// setup time; call sites cache the id (usually in a function-local
+// static). Gauges are last-write-wins process globals, not sharded.
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace datalog {
+namespace obs {
+
+/// Dense id of a registered metric; stable for the process lifetime.
+using MetricId = uint32_t;
+
+enum class MetricKind : uint8_t { kCounter, kGauge, kHistogram };
+
+/// Histograms use fixed power-of-two microsecond buckets: bucket 0 holds
+/// observations in [0, 1) µs, bucket i in [2^(i-1), 2^i) µs, and the last
+/// bucket is the overflow sink (>= ~32 ms).
+inline constexpr uint32_t kHistogramBuckets = 16;
+
+/// One merged metric in a registry snapshot.
+struct MetricValue {
+  std::string name;
+  MetricKind kind = MetricKind::kCounter;
+  /// Counter total or gauge value; for histograms the observation count.
+  int64_t value = 0;
+  /// Histograms only: per-bucket counts and the sum of raw observations.
+  std::vector<int64_t> buckets;
+  int64_t sum_us = 0;
+};
+
+class MetricsRegistry {
+ public:
+  /// The process-wide registry. Never destroyed (thread shards retire
+  /// into it from thread_local destructors).
+  static MetricsRegistry& Get();
+
+  /// Registration is idempotent: the same name returns the same id. A
+  /// kind mismatch on re-registration aborts — metric names are a
+  /// process-global namespace.
+  MetricId Counter(const std::string& name);
+  MetricId Gauge(const std::string& name);
+  MetricId Histogram(const std::string& name);
+
+  /// Collection gate. While disabled, Add/Set/Observe are no-ops after
+  /// one relaxed load.
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+  void SetEnabled(bool on) {
+    enabled_.store(on, std::memory_order_relaxed);
+  }
+
+  // -- Hot path --------------------------------------------------------
+
+  /// Adds `delta` to a counter.
+  void Add(MetricId id, int64_t delta);
+  /// Sets a gauge (last write wins across threads).
+  void Set(MetricId id, int64_t value);
+  /// Records one latency observation, in microseconds.
+  void Observe(MetricId id, int64_t micros);
+
+  // -- Readers (take the registry mutex; not for hot paths) ------------
+
+  /// Merged values of every registered metric, sorted by name.
+  std::vector<MetricValue> Snapshot() const;
+  /// Merged value of one counter/gauge by name; 0 when unregistered.
+  int64_t Value(const std::string& name) const;
+  /// Plain-text dump, one `name kind value` line per metric, sorted.
+  std::string DumpText() const;
+  /// Zeroes every metric (live shards, retired totals, gauges). Intended
+  /// for tests; concurrent writers may lose in-flight increments.
+  void Reset();
+
+  /// The bucket index Observe files `micros` under (exposed for tests).
+  static uint32_t BucketFor(int64_t micros);
+
+  // -- Internal (public only for the thread-exit hook in metrics.cc) ---
+
+  // Counters occupy one slot per shard; histograms occupy
+  // kHistogramBuckets + 1 consecutive slots (buckets, then the µs sum).
+  // A shard is a fixed-size slab so registration never resizes memory
+  // that another thread is writing through.
+  static constexpr uint32_t kMaxSlots = 4096;
+  static constexpr uint32_t kMaxMetrics = 512;
+
+  struct Shard {
+    std::atomic<int64_t> slots[kMaxSlots] = {};
+  };
+
+  /// Folds a dying thread's shard into the retired totals and frees it.
+  void RetireShard(Shard* shard);
+
+ private:
+  struct Metric {
+    std::string name;
+    MetricKind kind;
+    uint32_t slot = 0;        // first shard slot (counters, histograms)
+    uint32_t gauge_index = 0; // gauges only
+  };
+
+  /// Hot-path lookup table, indexed by MetricId. Entries are written
+  /// under `mu_` before the id is handed out, and a call site can only
+  /// hold an id whose registration completed (handle construction
+  /// synchronizes-with its users), so reads need no lock.
+  struct HotInfo {
+    uint32_t slot = 0;
+    std::atomic<int64_t>* gauge = nullptr;
+  };
+
+  MetricsRegistry() = default;
+  ~MetricsRegistry() = delete;  // leaky singleton
+
+  MetricId Register(const std::string& name, MetricKind kind,
+                    uint32_t slots_needed);
+  /// This thread's shard, created and registered on first use.
+  Shard* LocalShard();
+  /// Sums `slot` across live shards and the retired totals. Caller holds
+  /// `mu_`.
+  int64_t SumSlotLocked(uint32_t slot) const;
+  MetricValue ReadLocked(const Metric& m) const;
+
+  std::atomic<bool> enabled_{false};
+  HotInfo hot_[kMaxMetrics] = {};
+
+  mutable std::mutex mu_;
+  std::vector<Metric> metrics_;
+  uint32_t next_slot_ = 0;
+  std::vector<Shard*> shards_;
+  /// Totals folded in from shards of exited threads.
+  std::vector<int64_t> retired_ = std::vector<int64_t>(kMaxSlots, 0);
+  std::vector<std::unique_ptr<std::atomic<int64_t>>> gauges_;
+};
+
+// -- Cached-handle convenience -----------------------------------------
+//
+// Call sites bump metrics through small handle objects that cache the
+// MetricId, so the steady state is: relaxed load of `enabled_`, branch,
+// and (when enabled) one shard-slot store. Typical use:
+//
+//   static obs::CounterHandle rounds("eval.rounds");
+//   rounds.Add(1);
+
+class CounterHandle {
+ public:
+  explicit CounterHandle(const char* name)
+      : id_(MetricsRegistry::Get().Counter(name)) {}
+  void Add(int64_t delta) { MetricsRegistry::Get().Add(id_, delta); }
+
+ private:
+  MetricId id_;
+};
+
+class GaugeHandle {
+ public:
+  explicit GaugeHandle(const char* name)
+      : id_(MetricsRegistry::Get().Gauge(name)) {}
+  void Set(int64_t value) { MetricsRegistry::Get().Set(id_, value); }
+
+ private:
+  MetricId id_;
+};
+
+class HistogramHandle {
+ public:
+  explicit HistogramHandle(const char* name)
+      : id_(MetricsRegistry::Get().Histogram(name)) {}
+  void Observe(int64_t micros) { MetricsRegistry::Get().Observe(id_, micros); }
+
+ private:
+  MetricId id_;
+};
+
+}  // namespace obs
+}  // namespace datalog
+
+#endif  // UNCHAINED_OBS_METRICS_H_

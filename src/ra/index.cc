@@ -2,6 +2,8 @@
 
 #include <mutex>
 
+#include "obs/trace.h"
+
 namespace datalog {
 
 namespace {
@@ -47,15 +49,20 @@ const IndexManager::Bucket* IndexManager::LookupLocked(const Relation& rel,
                                                        const Tuple& key) {
   auto [it, created] = indexes_.try_emplace(std::make_pair(pred, mask));
   Index& index = it->second;
+  // Spans cover only the maintenance paths; the hit path is far too hot
+  // to trace per lookup (it is counted, not spanned).
   if (created) {
     counters_.builds.fetch_add(1, std::memory_order_relaxed);
+    OBS_SPAN("index.build", {{"pred", pred}, {"mask", mask}});
     Rebuild(rel, mask, &index);
   } else if (index.epoch != rel.epoch()) {
     // Non-monotone mutation (or a different instance supplied the
     // relation): the incremental view is unprovable — rebuild.
     counters_.rebuilds.fetch_add(1, std::memory_order_relaxed);
+    OBS_SPAN("index.rebuild", {{"pred", pred}, {"mask", mask}});
     Rebuild(rel, mask, &index);
   } else if (index.journal_pos != rel.journal().size()) {
+    OBS_SPAN("index.append", {{"pred", pred}, {"mask", mask}});
     Append(rel, mask, &index);
   } else {
     counters_.hits.fetch_add(1, std::memory_order_relaxed);

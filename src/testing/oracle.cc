@@ -6,6 +6,8 @@
 #include "analysis/magic.h"
 #include "base/rng.h"
 #include "core/engine.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "testing/translate.h"
 #include "while/while_lang.h"
 
@@ -319,6 +321,52 @@ OracleVerdict RunSequentialVsParallel(ParsedCase* c,
   return Agreed();
 }
 
+// ---- kTraceOnVsTraceOff -------------------------------------------------
+
+/// Scope guard turning the process-wide tracer and metrics registry on
+/// for one comparison, restoring the previous metrics gate (a --metrics
+/// sweep may have it on) and disabling the tracer on exit — a
+/// disagreement must not leave a tracing session open for later cases.
+class ObsSession {
+ public:
+  ObsSession() : metrics_was_enabled_(obs::MetricsRegistry::Get().enabled()) {
+    obs::Tracer::Get().Enable(/*events_per_thread=*/size_t{1} << 12);
+    obs::MetricsRegistry::Get().SetEnabled(true);
+  }
+  ~ObsSession() {
+    obs::MetricsRegistry::Get().SetEnabled(metrics_was_enabled_);
+    obs::Tracer::Get().Disable();
+  }
+
+ private:
+  const bool metrics_was_enabled_;
+};
+
+OracleVerdict RunTraceOnVsTraceOff(ParsedCase* c) {
+  if (!c->ValidDialect(Dialect::kStratified)) return Inapplicable();
+  EvalStats off_stats;
+  Result<Instance> off = c->engine.Stratified(*c->program, *c->db, &off_stats);
+  if (!off.ok()) return Disagreed("trace-off: " + off.status().ToString());
+
+  EvalStats on_stats;
+  std::optional<Result<Instance>> on;
+  {
+    ObsSession session;
+    on.emplace(c->engine.Stratified(*c->program, *c->db, &on_stats));
+  }
+  if (!on->ok()) return Disagreed("trace-on: " + on->status().ToString());
+  if (**on != *off) {
+    return Disagreed("tracing changed the stratified model\n" +
+                     DescribeDiff("trace-off", *off, "trace-on", **on,
+                                  c->engine.symbols()));
+  }
+  std::string stats_detail;
+  if (!SameDeterministicStats(off_stats, on_stats, &stats_detail)) {
+    return Disagreed("trace-on " + stats_detail);
+  }
+  return Agreed();
+}
+
 }  // namespace
 
 std::vector<OraclePair> AllOraclePairs() {
@@ -342,6 +390,8 @@ const char* PairName(OraclePair pair) {
       return "wellfounded-vs-stratified";
     case OraclePair::kSequentialVsParallel:
       return "sequential-vs-parallel";
+    case OraclePair::kTraceOnVsTraceOff:
+      return "trace-on-vs-trace-off";
   }
   return "unknown";
 }
@@ -372,6 +422,8 @@ OracleVerdict OracleRunner::Run(OraclePair pair, const std::string& program,
       return RunWellFoundedVsStratified(&c);
     case OraclePair::kSequentialVsParallel:
       return RunSequentialVsParallel(&c, options_.thread_counts);
+    case OraclePair::kTraceOnVsTraceOff:
+      return RunTraceOnVsTraceOff(&c);
   }
   return Inapplicable();
 }

@@ -29,17 +29,23 @@ namespace fuzz {
 ///  * kSequentialVsParallel — PR 2's determinism contract: results and the
 ///                            deterministic EvalStats counters must be
 ///                            identical at every worker-pool size.
+///  * kTraceOnVsTraceOff    — observability must be inert: running with
+///                            tracing spans and the metrics registry
+///                            enabled must produce instances and
+///                            deterministic EvalStats identical to a run
+///                            with observability off (stratified programs).
 enum class OraclePair {
   kNaiveVsSemiNaive,
   kMagicVsOriginal,
   kInflationaryVsWhile,
   kWellFoundedVsStratified,
   kSequentialVsParallel,
+  kTraceOnVsTraceOff,
 };
 
-inline constexpr int kNumOraclePairs = 5;
+inline constexpr int kNumOraclePairs = 6;
 
-/// All five pairs, in declaration order.
+/// All pairs, in declaration order.
 std::vector<OraclePair> AllOraclePairs();
 
 /// Short stable name ("naive-vs-seminaive", ...), used by the CLI and in

@@ -274,7 +274,7 @@ TEST(OracleTest, AllPairsAgreeOnGeneratedCases) {
 }
 
 TEST(OracleTest, PositiveClassFeedsEveryPair) {
-  // The positive class must be applicable to all five pairs (it sits in
+  // The positive class must be applicable to all six pairs (it sits in
   // every dialect), so the sweep above cannot silently skip an oracle.
   ProgramGenerator generator;
   OracleRunner runner;

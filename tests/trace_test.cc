@@ -1,0 +1,110 @@
+// Golden-trace tests (docs/observability.md): run two worked examples
+// with tracing enabled and compare the deterministic span-tree rendering
+// (RenderSpanTree — names, nesting and arguments only, no timestamps)
+// against checked-in goldens. Any change to where the engines open spans
+// shows up here as a readable tree diff.
+//
+// Determinism notes: both runs force num_threads = 1 so every span lands
+// on thread 0 in program order, and tracing is enabled only after
+// parsing, so parser spans are not part of the tree.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "core/engine.h"
+#include "obs/export.h"
+#include "obs/trace.h"
+
+namespace datalog {
+namespace {
+
+/// Runs `body` under a fresh tracing session and renders the span tree.
+template <typename Fn>
+std::string TraceTree(Fn&& body) {
+  obs::Tracer::Get().Enable();
+  body();
+  obs::Tracer::Get().Disable();
+  std::vector<obs::TraceEvent> events = obs::Tracer::Get().Snapshot();
+  EXPECT_EQ(obs::Tracer::Get().dropped(), 0);
+  return obs::RenderSpanTree(events);
+}
+
+TEST(GoldenTraceTest, TransitiveClosureSpanTree) {
+  // The quickstart TC program on a 4-edge chain: one seminaive.step with
+  // round 1 (the base round) and the delta rounds walking the chain.
+  Engine engine;
+  engine.options().num_threads = 1;
+  Result<Program> program = engine.Parse(
+      "t(X, Y) :- g(X, Y).\n"
+      "t(X, Y) :- g(X, Z), t(Z, Y).\n");
+  ASSERT_TRUE(program.ok()) << program.status().ToString();
+  Instance db = engine.NewInstance();
+  ASSERT_TRUE(
+      engine.AddFacts("g(a, b). g(b, c). g(c, d). g(d, e).", &db).ok());
+
+  const std::string tree = TraceTree([&] {
+    Result<Instance> out = engine.MinimumModel(*program, db);
+    ASSERT_TRUE(out.ok()) << out.status().ToString();
+  });
+  const std::string golden =
+      "thread 0:\n"
+      "  seminaive.step\n"
+      "    seminaive.round round=1\n"
+      "      seminaive.rule rule=0\n"
+      "        index.build pred=1 mask=0\n"
+      "      seminaive.rule rule=1\n"
+      "        index.build pred=0 mask=0\n"
+      "    seminaive.round round=2\n"
+      "      seminaive.rule rule=0\n"
+      "      seminaive.rule rule=1\n"
+      "        index.build pred=1 mask=2\n"
+      "    seminaive.round round=3\n"
+      "      seminaive.rule rule=0\n"
+      "      seminaive.rule rule=1\n"
+      "    seminaive.round round=4\n"
+      "      seminaive.rule rule=0\n"
+      "      seminaive.rule rule=1\n"
+      "    seminaive.round round=5\n"
+      "      seminaive.rule rule=0\n"
+      "      seminaive.rule rule=1\n";
+  EXPECT_EQ(tree, golden) << "actual tree:\n" << tree;
+}
+
+TEST(GoldenTraceTest, FlipFlopBudgetExhaustionSpanTree) {
+  // The Section 4.2 flip-flop under noninflationary semantics with cycle
+  // detection off: stages alternate until the 4-round budget, and the
+  // budget-exhausted exit must still leave a well-formed trace.
+  Engine engine;
+  Result<Program> program = engine.Parse(
+      "tf(0) :- tf(1).\n"
+      "!tf(1) :- tf(1).\n"
+      "tf(1) :- tf(0).\n"
+      "!tf(0) :- tf(0).\n");
+  ASSERT_TRUE(program.ok()) << program.status().ToString();
+  Instance db = engine.NewInstance();
+  ASSERT_TRUE(engine.AddFacts("tf(0).", &db).ok());
+  NonInflationaryOptions options;
+  options.detect_cycles = false;
+  options.eval.max_rounds = 4;
+  options.eval.num_threads = 1;
+
+  const std::string tree = TraceTree([&] {
+    Result<NonInflationaryResult> r =
+        engine.NonInflationary(*program, db, options);
+    ASSERT_FALSE(r.ok());
+    EXPECT_EQ(r.status().code(), StatusCode::kBudgetExhausted);
+  });
+  const std::string golden =
+      "thread 0:\n"
+      "  noninflationary.eval\n"
+      "    noninflationary.stage stage=1\n"
+      "    noninflationary.stage stage=2\n"
+      "    noninflationary.stage stage=3\n"
+      "    noninflationary.stage stage=4\n";
+  EXPECT_EQ(tree, golden) << "actual tree:\n" << tree;
+}
+
+}  // namespace
+}  // namespace datalog

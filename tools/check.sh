@@ -53,18 +53,34 @@ fuzz_smoke() {
     --artifacts="${build_dir}/fuzz-artifacts"
 }
 
+# Traced end-to-end run (docs/observability.md): --trace must produce a
+# Chrome trace file that the schema/monotonic-timestamp checker accepts.
+trace_check() {
+  local build_dir="$1"
+  echo "==> trace-check ${build_dir}"
+  "${build_dir}/tools/unchained_cli" --semantics=datalog \
+    --program="${repo}/tools/testdata/tc.dl" \
+    --facts="${repo}/tools/testdata/tc_facts.dl" \
+    --trace="${build_dir}/check_tc_trace.json" >/dev/null
+  "${build_dir}/tools/unchained_trace_check" \
+    "${build_dir}/check_tc_trace.json"
+}
+
 run_suite "${repo}/build"
 fuzz_smoke "${repo}/build"
+trace_check "${repo}/build"
 if [[ "${sanitize}" -eq 1 ]]; then
   run_suite "${repo}/build-asan" -DCMAKE_BUILD_TYPE=RelWithDebInfo \
     -DUNCHAINED_SANITIZE=ON
   fuzz_smoke "${repo}/build-asan"
+  trace_check "${repo}/build-asan"
 fi
 if [[ "${tsan}" -eq 1 ]]; then
   # The evaluation-layer tests exercise every parallel code path (the
-  # determinism sweep runs all engines at 1/2/8 threads under TSan).
+  # determinism sweep runs all engines at 1/2/8 threads under TSan);
+  # Trace/Obs covers the observability ring buffers and shard merges.
   run_suite "${repo}/build-tsan" \
-    "--tests-regex=Parallel|Datalog|Stratified|WellFounded|Inflationary|NonInflationary|Stable|Engine|SemiNaive|Naive|RandomProgram" \
+    "--tests-regex=Parallel|Datalog|Stratified|WellFounded|Inflationary|NonInflationary|Stable|Engine|SemiNaive|Naive|RandomProgram|Trace|Obs|Metrics|Tracer" \
     -DCMAKE_BUILD_TYPE=RelWithDebInfo -DUNCHAINED_TSAN=ON
 fi
 

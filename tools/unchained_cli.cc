@@ -3,6 +3,7 @@
 // Usage:
 //   unchained_cli --semantics=NAME --program=FILE [--facts=FILE]
 //                 [--seed=N] [--policy=POLICY] [--max-candidates=N]
+//                 [--threads=N] [--trace=FILE] [--metrics]
 //
 //   NAME:   datalog | naive | stratified | wellfounded | inflationary |
 //           noninflationary | invention | stable |
@@ -24,6 +25,9 @@
 #include "core/engine.h"
 #include "eval/provenance.h"
 #include "eval/stable.h"
+#include "obs/export.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "while/while_parser.h"
 
 namespace {
@@ -38,9 +42,43 @@ struct Args {
   uint64_t seed = 1;
   std::string policy = "positive";
   int64_t max_candidates = 1 << 20;
+  /// Worker-pool size (0 = auto, one worker per hardware thread);
+  /// -1 leaves the engine default untouched.
+  int threads = -1;
   /// A ground fact ("t(a, c).") whose derivation tree to print after a
   /// datalog / stratified / inflationary evaluation.
   std::string explain;
+  /// When nonempty, write a Chrome trace-event JSON of the run here.
+  std::string trace_path;
+  /// Print the metrics-registry dump after the run.
+  bool metrics = false;
+};
+
+/// Turns tracing/metrics on for the process and exports them when the
+/// program exits `main` through any path (RAII, so error returns still
+/// flush a partial trace).
+struct ObsSession {
+  std::string trace_path;
+  bool metrics = false;
+
+  void Start() {
+    if (!trace_path.empty()) datalog::obs::Tracer::Get().Enable();
+    if (metrics) {
+      datalog::obs::MetricsRegistry::Get().Reset();
+      datalog::obs::MetricsRegistry::Get().SetEnabled(true);
+    }
+  }
+  ~ObsSession() {
+    if (metrics) {
+      datalog::obs::MetricsRegistry::Get().SetEnabled(false);
+      std::printf("%% metrics\n%s",
+                  datalog::obs::MetricsRegistry::Get().DumpText().c_str());
+    }
+    if (!trace_path.empty()) {
+      datalog::obs::Tracer::Get().Disable();
+      datalog::obs::WriteChromeTrace(trace_path);
+    }
+  }
 };
 
 bool ParseArg(const char* arg, const char* name, std::string* out) {
@@ -58,7 +96,8 @@ int Usage() {
       "usage: unchained_cli --semantics=NAME --program=FILE [--facts=FILE]\n"
       "                     [--seed=N] [--policy=positive|negative|noop|"
       "undefined]\n"
-      "                     [--explain=\"fact(a, b)\"]\n"
+      "                     [--explain=\"fact(a, b)\"] [--threads=N]\n"
+      "                     [--trace=FILE] [--metrics]\n"
       "  NAME: datalog | naive | stratified | wellfounded | inflationary |\n"
       "        noninflationary | invention | stable | nondet-run |\n"
       "        nondet-enum | poss-cert\n");
@@ -95,6 +134,15 @@ int main(int argc, char** argv) {
     }
     if (ParseArg(argv[i], "policy", &args.policy)) continue;
     if (ParseArg(argv[i], "explain", &args.explain)) continue;
+    if (ParseArg(argv[i], "threads", &value)) {
+      args.threads = std::atoi(value.c_str());
+      continue;
+    }
+    if (ParseArg(argv[i], "trace", &args.trace_path)) continue;
+    if (std::strcmp(argv[i], "--metrics") == 0) {
+      args.metrics = true;
+      continue;
+    }
     if (ParseArg(argv[i], "max-candidates", &value)) {
       args.max_candidates = std::stoll(value);
       continue;
@@ -104,6 +152,11 @@ int main(int argc, char** argv) {
   }
   if (args.semantics.empty() || args.program_path.empty()) return Usage();
 
+  ObsSession obs;
+  obs.trace_path = args.trace_path;
+  obs.metrics = args.metrics;
+  obs.Start();
+
   std::string program_text;
   if (!ReadFile(args.program_path, &program_text)) {
     std::fprintf(stderr, "cannot read program file '%s'\n",
@@ -112,6 +165,7 @@ int main(int argc, char** argv) {
   }
 
   Engine engine;
+  if (args.threads >= 0) engine.options().num_threads = args.threads;
 
   // The while/fixpoint languages use their own surface syntax; everything
   // else goes through the Datalog-family parser.

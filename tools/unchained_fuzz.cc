@@ -4,11 +4,16 @@
 //   unchained_fuzz [--cases=N] [--seed=S] [--classes=a,b,...]
 //                  [--pairs=a,b,...] [--mutants=N] [--artifacts=DIR]
 //                  [--no-shrink] [--inject-bug=NAME[:RULE]] [--quiet]
+//                  [--trace=FILE] [--metrics]
 //
 //   classes: positive | semi-positive | stratified | total
 //   pairs:   naive-vs-seminaive | magic-vs-original | inflationary-vs-while
 //            | wellfounded-vs-stratified | sequential-vs-parallel
+//            | trace-on-vs-trace-off
 //   bugs:    seminaive-skip-delta (optional :RULE index, default 1)
+//
+// --trace writes a Chrome trace-event JSON of the whole sweep (load it in
+// Perfetto); --metrics prints the metrics-registry dump after the sweep.
 //
 // Generates `cases` random (program, instance) pairs, runs every
 // applicable oracle pair and `mutants` metamorphic mutants on each, shrinks
@@ -17,6 +22,7 @@
 // --seed. --inject-bug plants a deliberate engine bug so the whole
 // find->diff->shrink->report pipeline can prove itself end to end.
 
+#include <algorithm>
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
@@ -26,6 +32,9 @@
 #include <vector>
 
 #include "eval/test_hooks.h"
+#include "obs/export.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "testing/fuzzer.h"
 
 namespace {
@@ -61,7 +70,7 @@ int Usage() {
       "                      [--pairs=a,b,...] [--mutants=N]\n"
       "                      [--artifacts=DIR] [--no-shrink]\n"
       "                      [--inject-bug=seminaive-skip-delta[:RULE]]\n"
-      "                      [--quiet]\n");
+      "                      [--quiet] [--trace=FILE] [--metrics]\n");
   return 2;
 }
 
@@ -70,6 +79,8 @@ int Usage() {
 int main(int argc, char** argv) {
   FuzzOptions options;
   bool quiet = false;
+  std::string trace_path;
+  bool metrics = false;
   std::string value;
   for (int i = 1; i < argc; ++i) {
     const char* arg = argv[i];
@@ -114,6 +125,10 @@ int main(int argc, char** argv) {
         std::fprintf(stderr, "unknown bug: %s\n", name.c_str());
         return Usage();
       }
+    } else if (ParseArg(arg, "trace", &trace_path)) {
+      // handled below
+    } else if (std::strcmp(arg, "--metrics") == 0) {
+      metrics = true;
     } else if (std::strcmp(arg, "--no-shrink") == 0) {
       options.shrink = false;
     } else if (std::strcmp(arg, "--quiet") == 0) {
@@ -129,9 +144,32 @@ int main(int argc, char** argv) {
   }
   if (!quiet) options.log = &std::cerr;
 
+  if (!trace_path.empty()) {
+    // The trace-on-vs-trace-off pair drives the tracer itself and would
+    // clobber the session a --trace run opens; drop it from the sweep.
+    options.pairs.erase(
+        std::remove(options.pairs.begin(), options.pairs.end(),
+                    datalog::fuzz::OraclePair::kTraceOnVsTraceOff),
+        options.pairs.end());
+    datalog::obs::Tracer::Get().Enable();
+  }
+  if (metrics) {
+    datalog::obs::MetricsRegistry::Get().Reset();
+    datalog::obs::MetricsRegistry::Get().SetEnabled(true);
+  }
+
   std::printf("unchained_fuzz: %d cases, seed %llu\n", options.cases,
               static_cast<unsigned long long>(options.seed));
   const FuzzReport report = datalog::fuzz::RunFuzz(options);
+
+  if (metrics) {
+    datalog::obs::MetricsRegistry::Get().SetEnabled(false);
+    std::printf("%s", datalog::obs::MetricsRegistry::Get().DumpText().c_str());
+  }
+  if (!trace_path.empty()) {
+    datalog::obs::Tracer::Get().Disable();
+    datalog::obs::WriteChromeTrace(trace_path);
+  }
 
   for (const auto& [name, count] : report.checks_by_name) {
     std::printf("  pair %-28s %8lld checks\n", name.c_str(),

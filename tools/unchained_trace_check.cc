@@ -1,0 +1,339 @@
+// unchained_trace_check — validates a Chrome trace-event JSON file
+// produced by --trace / obs::WriteChromeTrace (docs/observability.md).
+//
+// Usage: unchained_trace_check FILE
+//
+// Checks, with a tiny dependency-free JSON parser:
+//   * the file is well-formed JSON: one object with a "traceEvents" array;
+//   * every event is a complete event ("ph": "X") with a nonempty string
+//     "name" and integer "pid", "tid", "ts" and "dur" (dur >= 0);
+//   * "args", when present, is an object of integer values;
+//   * the "ts" sequence is monotonically non-decreasing (the exporter
+//     sorts by start time — Perfetto relies on it being loadable either
+//     way, but our writer promises sorted output).
+//
+// Prints a summary line and exits 0 on success, 1 with a diagnostic on
+// the first violation. Used by tools/check.sh after a traced CLI run.
+
+#include <cctype>
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace {
+
+// ---- Minimal JSON parser ------------------------------------------------
+
+struct JsonValue {
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+  Kind kind = Kind::kNull;
+  bool boolean = false;
+  double number = 0;
+  bool number_is_integer = false;
+  std::string string;
+  std::vector<JsonValue> array;
+  std::map<std::string, JsonValue> object;
+};
+
+class JsonParser {
+ public:
+  explicit JsonParser(const std::string& text) : text_(text) {}
+
+  bool Parse(JsonValue* out, std::string* error) {
+    if (!ParseValue(out)) {
+      *error = error_ + " at offset " + std::to_string(pos_);
+      return false;
+    }
+    SkipWs();
+    if (pos_ != text_.size()) {
+      *error = "trailing characters at offset " + std::to_string(pos_);
+      return false;
+    }
+    return true;
+  }
+
+ private:
+  void SkipWs() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  bool Fail(const std::string& message) {
+    if (error_.empty()) error_ = message;
+    return false;
+  }
+
+  bool Literal(const char* word, JsonValue::Kind kind, bool boolean) {
+    const size_t len = std::char_traits<char>::length(word);
+    if (text_.compare(pos_, len, word) != 0) return Fail("invalid literal");
+    pos_ += len;
+    current_->kind = kind;
+    current_->boolean = boolean;
+    return true;
+  }
+
+  bool ParseValue(JsonValue* out) {
+    current_ = out;
+    SkipWs();
+    if (pos_ >= text_.size()) return Fail("unexpected end of input");
+    switch (text_[pos_]) {
+      case '{':
+        return ParseObject(out);
+      case '[':
+        return ParseArray(out);
+      case '"':
+        out->kind = JsonValue::Kind::kString;
+        return ParseString(&out->string);
+      case 't':
+        return Literal("true", JsonValue::Kind::kBool, true);
+      case 'f':
+        return Literal("false", JsonValue::Kind::kBool, false);
+      case 'n':
+        return Literal("null", JsonValue::Kind::kNull, false);
+      default:
+        return ParseNumber(out);
+    }
+  }
+
+  bool ParseObject(JsonValue* out) {
+    out->kind = JsonValue::Kind::kObject;
+    ++pos_;  // '{'
+    SkipWs();
+    if (pos_ < text_.size() && text_[pos_] == '}') {
+      ++pos_;
+      return true;
+    }
+    for (;;) {
+      SkipWs();
+      std::string key;
+      if (!ParseString(&key)) return Fail("expected object key");
+      SkipWs();
+      if (pos_ >= text_.size() || text_[pos_] != ':') {
+        return Fail("expected ':'");
+      }
+      ++pos_;
+      JsonValue value;
+      if (!ParseValue(&value)) return false;
+      out->object.emplace(std::move(key), std::move(value));
+      SkipWs();
+      if (pos_ >= text_.size()) return Fail("unterminated object");
+      if (text_[pos_] == ',') {
+        ++pos_;
+        continue;
+      }
+      if (text_[pos_] == '}') {
+        ++pos_;
+        return true;
+      }
+      return Fail("expected ',' or '}'");
+    }
+  }
+
+  bool ParseArray(JsonValue* out) {
+    out->kind = JsonValue::Kind::kArray;
+    ++pos_;  // '['
+    SkipWs();
+    if (pos_ < text_.size() && text_[pos_] == ']') {
+      ++pos_;
+      return true;
+    }
+    for (;;) {
+      JsonValue value;
+      if (!ParseValue(&value)) return false;
+      out->array.push_back(std::move(value));
+      SkipWs();
+      if (pos_ >= text_.size()) return Fail("unterminated array");
+      if (text_[pos_] == ',') {
+        ++pos_;
+        continue;
+      }
+      if (text_[pos_] == ']') {
+        ++pos_;
+        return true;
+      }
+      return Fail("expected ',' or ']'");
+    }
+  }
+
+  bool ParseString(std::string* out) {
+    if (pos_ >= text_.size() || text_[pos_] != '"') {
+      return Fail("expected string");
+    }
+    ++pos_;
+    out->clear();
+    while (pos_ < text_.size() && text_[pos_] != '"') {
+      char c = text_[pos_++];
+      if (c == '\\') {
+        if (pos_ >= text_.size()) return Fail("unterminated escape");
+        char e = text_[pos_++];
+        switch (e) {
+          case '"': out->push_back('"'); break;
+          case '\\': out->push_back('\\'); break;
+          case '/': out->push_back('/'); break;
+          case 'b': out->push_back('\b'); break;
+          case 'f': out->push_back('\f'); break;
+          case 'n': out->push_back('\n'); break;
+          case 'r': out->push_back('\r'); break;
+          case 't': out->push_back('\t'); break;
+          case 'u': {
+            if (pos_ + 4 > text_.size()) return Fail("short \\u escape");
+            // Validated but folded to '?': the checker only needs
+            // well-formedness, not the decoded code point.
+            for (int i = 0; i < 4; ++i) {
+              if (!std::isxdigit(static_cast<unsigned char>(text_[pos_]))) {
+                return Fail("invalid \\u escape");
+              }
+              ++pos_;
+            }
+            out->push_back('?');
+            break;
+          }
+          default:
+            return Fail("invalid escape");
+        }
+      } else {
+        out->push_back(c);
+      }
+    }
+    if (pos_ >= text_.size()) return Fail("unterminated string");
+    ++pos_;  // closing '"'
+    return true;
+  }
+
+  bool ParseNumber(JsonValue* out) {
+    const size_t start = pos_;
+    if (pos_ < text_.size() && text_[pos_] == '-') ++pos_;
+    bool integer = true;
+    while (pos_ < text_.size()) {
+      char c = text_[pos_];
+      if (std::isdigit(static_cast<unsigned char>(c))) {
+        ++pos_;
+      } else if (c == '.' || c == 'e' || c == 'E' || c == '+' || c == '-') {
+        integer = false;
+        ++pos_;
+      } else {
+        break;
+      }
+    }
+    if (pos_ == start) return Fail("expected value");
+    try {
+      out->number = std::stod(text_.substr(start, pos_ - start));
+    } catch (...) {
+      return Fail("malformed number");
+    }
+    out->kind = JsonValue::Kind::kNumber;
+    out->number_is_integer = integer;
+    return true;
+  }
+
+  const std::string& text_;
+  size_t pos_ = 0;
+  std::string error_;
+  JsonValue* current_ = nullptr;
+};
+
+// ---- Trace-schema checks ------------------------------------------------
+
+int Violation(size_t index, const std::string& message) {
+  std::fprintf(stderr, "trace event %zu: %s\n", index, message.c_str());
+  return 1;
+}
+
+const JsonValue* Field(const JsonValue& event, const std::string& key) {
+  auto it = event.object.find(key);
+  return it == event.object.end() ? nullptr : &it->second;
+}
+
+bool IsInteger(const JsonValue* v) {
+  return v != nullptr && v->kind == JsonValue::Kind::kNumber &&
+         v->number_is_integer;
+}
+
+int CheckTrace(const JsonValue& root) {
+  if (root.kind != JsonValue::Kind::kObject) {
+    std::fprintf(stderr, "top-level value is not an object\n");
+    return 1;
+  }
+  const JsonValue* events = Field(root, "traceEvents");
+  if (events == nullptr || events->kind != JsonValue::Kind::kArray) {
+    std::fprintf(stderr, "missing \"traceEvents\" array\n");
+    return 1;
+  }
+  double prev_ts = 0;
+  for (size_t i = 0; i < events->array.size(); ++i) {
+    const JsonValue& e = events->array[i];
+    if (e.kind != JsonValue::Kind::kObject) {
+      return Violation(i, "event is not an object");
+    }
+    const JsonValue* name = Field(e, "name");
+    if (name == nullptr || name->kind != JsonValue::Kind::kString ||
+        name->string.empty()) {
+      return Violation(i, "missing or empty \"name\"");
+    }
+    const JsonValue* ph = Field(e, "ph");
+    if (ph == nullptr || ph->kind != JsonValue::Kind::kString ||
+        ph->string != "X") {
+      return Violation(i, "\"ph\" is not \"X\" (complete event)");
+    }
+    for (const char* key : {"pid", "tid", "ts", "dur"}) {
+      if (!IsInteger(Field(e, key))) {
+        return Violation(i, std::string("missing integer \"") + key + "\"");
+      }
+    }
+    if (Field(e, "dur")->number < 0) {
+      return Violation(i, "negative \"dur\"");
+    }
+    const double ts = Field(e, "ts")->number;
+    if (i > 0 && ts < prev_ts) {
+      return Violation(i, "timestamps not monotonically non-decreasing (" +
+                              std::to_string(ts) + " after " +
+                              std::to_string(prev_ts) + ")");
+    }
+    prev_ts = ts;
+    const JsonValue* args = Field(e, "args");
+    if (args != nullptr) {
+      if (args->kind != JsonValue::Kind::kObject) {
+        return Violation(i, "\"args\" is not an object");
+      }
+      for (const auto& [key, value] : args->object) {
+        if (!IsInteger(&value)) {
+          return Violation(i, "arg \"" + key + "\" is not an integer");
+        }
+      }
+    }
+  }
+  std::printf("ok: %zu trace events, timestamps sorted\n",
+              events->array.size());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc != 2) {
+    std::fprintf(stderr, "usage: unchained_trace_check FILE\n");
+    return 2;
+  }
+  std::ifstream in(argv[1]);
+  if (!in) {
+    std::fprintf(stderr, "cannot read '%s'\n", argv[1]);
+    return 1;
+  }
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  const std::string text = ss.str();
+
+  JsonValue root;
+  std::string error;
+  if (!JsonParser(text).Parse(&root, &error)) {
+    std::fprintf(stderr, "%s: invalid JSON: %s\n", argv[1], error.c_str());
+    return 1;
+  }
+  return CheckTrace(root);
+}
