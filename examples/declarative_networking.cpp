@@ -6,17 +6,44 @@
 //
 // This is the textbook "declarative networking" example ([93]) executed
 // on the library's PeerSystem (Webdamlog-style located heads).
+//
+// Fault injection (docs/distribution.md): --faults=<spec> runs the same
+// protocol over the unreliable transport (e.g.
+// --faults="drop=0.3,dup=0.2,reorder=0.5,crash=1:2:2"), --seed=N picks
+// the deterministic fault stream, and --deadline-ms=N bounds the run —
+// an exhausted run still prints its finalized stats. Routing converges
+// to the same tables under any schedule: the protocol is monotone (CALM).
 
+#include <cstdint>
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
 #include <string>
 
 #include "core/engine.h"
+#include "dist/transport.h"
 #include "obs/export.h"
 #include "dist/peers.h"
 
 int main(int argc, char** argv) {
   // Gives every example --trace=<path> and --metrics (docs/observability.md).
   datalog::obs::ObsArgs obs(argc, argv);
+
+  std::string fault_spec;
+  uint64_t seed = 1;
+  int64_t deadline_ms = 0;
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strncmp(arg, "--faults=", 9) == 0) {
+      fault_spec = arg + 9;
+    } else if (std::strncmp(arg, "--seed=", 7) == 0) {
+      seed = std::strtoull(arg + 7, nullptr, 10);
+    } else if (std::strncmp(arg, "--deadline-ms=", 14) == 0) {
+      deadline_ms = std::strtoll(arg + 14, nullptr, 10);
+    }
+  }
+
   datalog::Engine engine;
   datalog::PeerSystem system(&engine.catalog(), &engine.symbols());
 
@@ -53,9 +80,40 @@ int main(int argc, char** argv) {
     }
   }
 
-  auto rounds = system.Run(engine.options());
+  datalog::PeerRunOptions run_options;
+  run_options.eval = engine.options();
+  run_options.eval.deadline_ms = deadline_ms;
+  datalog::Result<datalog::FaultSpec> spec = datalog::Status::OK();
+  std::unique_ptr<datalog::UnreliableTransport> unreliable;
+  if (!fault_spec.empty()) {
+    spec = datalog::ParseFaultSpec(fault_spec);
+    if (!spec.ok()) {
+      std::fprintf(stderr, "--faults: %s\n", spec.status().ToString().c_str());
+      return 1;
+    }
+    unreliable = std::make_unique<datalog::UnreliableTransport>(
+        &engine.catalog(),
+        [&system](int peer) -> const datalog::Instance& {
+          return system.LocalInstance(peer);
+        },
+        spec->faults, seed);
+    run_options.transport = unreliable.get();
+    run_options.crashes = &spec->crashes;
+  }
+
+  auto rounds = system.Run(run_options);
   if (!rounds.ok()) {
     std::fprintf(stderr, "%s\n", rounds.status().ToString().c_str());
+    // Interrupted runs (deadline, cancellation, budget) still finalize
+    // their stats; report how far the protocol got instead of garbage.
+    const datalog::EvalStats& st = system.last_run_stats();
+    std::fprintf(stderr,
+                 "interrupted after %lld round(s), %lld fact(s) derived, "
+                 "%lld advertisement(s) delivered, %.3f ms\n",
+                 static_cast<long long>(st.rounds),
+                 static_cast<long long>(st.facts_derived),
+                 static_cast<long long>(system.messages_delivered()),
+                 st.total_ms);
     return 1;
   }
 
@@ -64,6 +122,18 @@ int main(int argc, char** argv) {
       "path-vector routing converged in %d round(s), %lld route "
       "advertisements delivered\n\n",
       *rounds, static_cast<long long>(system.messages_delivered()));
+  if (unreliable != nullptr) {
+    const datalog::TransportStats& t = system.last_dist_stats().transport;
+    const datalog::DistStats& d = system.last_dist_stats();
+    std::printf(
+        "unreliable transport (seed %llu): %lld sent, %lld dropped, "
+        "%lld duplicated, %lld retries, %lld crashes, %lld restarts\n\n",
+        static_cast<unsigned long long>(seed),
+        static_cast<long long>(t.sent), static_cast<long long>(t.dropped),
+        static_cast<long long>(t.duplicated),
+        static_cast<long long>(t.retries), static_cast<long long>(d.crashes),
+        static_cast<long long>(d.restarts));
+  }
   bool complete = true;
   for (int p = 0; p < system.num_peers(); ++p) {
     const datalog::Relation& table = system.LocalInstance(p).Rel(route);

@@ -123,6 +123,11 @@ Result<ActiveResult> RunActiveRules(const Program& program, Catalog* catalog,
   OBS_SPAN("eca.eval");
   ctx.stats.EnsureRuleSlots(program.rules.size());
   while (true) {
+    if (Status interrupted = ctx.CheckInterrupt(); !interrupted.ok()) {
+      ctx.Finalize();
+      result.stats = ctx.stats;
+      return interrupted;
+    }
     if (result.stages + 1 > options.base.eval.max_rounds) {
       ctx.Finalize();
       result.stats = ctx.stats;

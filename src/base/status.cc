@@ -20,6 +20,8 @@ const char* StatusCodeName(StatusCode code) {
       return "NonTerminating";
     case StatusCode::kBudgetExhausted:
       return "BudgetExhausted";
+    case StatusCode::kCancelled:
+      return "Cancelled";
     case StatusCode::kAbandoned:
       return "Abandoned";
     case StatusCode::kUnsupported:

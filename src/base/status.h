@@ -29,9 +29,14 @@ enum class StatusCode {
   /// A Datalog¬¬/while computation revisited a previous state: no fixpoint
   /// exists. Message carries the cycle length.
   kNonTerminating,
-  /// A configured step / invented-value / enumeration budget was exhausted
-  /// before a fixpoint (or full effect set) was reached.
+  /// A configured step / invented-value / enumeration budget — or a
+  /// wall-clock deadline (EvalOptions::deadline_ms) — was exhausted before
+  /// a fixpoint (or full effect set) was reached.
   kBudgetExhausted,
+  /// The evaluation was cancelled cooperatively through a CancelToken
+  /// before reaching a fixpoint. Stats are finalized at the point of
+  /// cancellation, exactly like kBudgetExhausted.
+  kCancelled,
   /// A nondeterministic run derived ⊥ (N-Datalog¬⊥): the computation is
   /// abandoned and produces no image.
   kAbandoned,
@@ -74,6 +79,9 @@ class Status {
   }
   static Status BudgetExhausted(std::string m) {
     return Status(StatusCode::kBudgetExhausted, std::move(m));
+  }
+  static Status Cancelled(std::string m) {
+    return Status(StatusCode::kCancelled, std::move(m));
   }
   static Status Abandoned(std::string m) {
     return Status(StatusCode::kAbandoned, std::move(m));

@@ -104,6 +104,9 @@ void ThreadPool::RunWorker(Job* job, int worker) {
   const size_t n = job->n;
   const size_t chunk_size = job->chunk_size;
   auto run_chunk = [&](uint32_t chunk, int64_t stolen) {
+    // An interrupted job drains its remaining chunks without running
+    // their bodies, so ParallelFor unblocks promptly.
+    if (job->stop != nullptr && (*job->stop)()) return;
     const size_t begin = static_cast<size_t>(chunk) * chunk_size;
     const size_t end = std::min(n, begin + chunk_size);
     OBS_SPAN("pool.chunk", {{"worker", worker}, {"stolen", stolen}});
@@ -122,7 +125,8 @@ void ThreadPool::RunWorker(Job* job, int worker) {
 
 void ThreadPool::ParallelFor(
     size_t n, size_t chunk_size,
-    const std::function<void(size_t, size_t, int)>& body) {
+    const std::function<void(size_t, size_t, int)>& body,
+    const std::function<bool()>& stop) {
   if (n == 0) return;
   if (chunk_size == 0) chunk_size = 1;
   const size_t num_chunks = (n + chunk_size - 1) / chunk_size;
@@ -130,6 +134,7 @@ void ThreadPool::ParallelFor(
   if (num_workers_ == 1 || num_chunks == 1 || tls_in_worker) {
     const auto start = Clock::now();
     for (size_t c = 0; c < num_chunks; ++c) {
+      if (stop && stop()) break;
       const size_t begin = c * chunk_size;
       OBS_SPAN("pool.chunk", {{"worker", 0}, {"stolen", 0}});
       body(begin, std::min(n, begin + chunk_size), 0);
@@ -141,6 +146,7 @@ void ThreadPool::ParallelFor(
 
   Job job;
   job.body = &body;
+  job.stop = stop ? &stop : nullptr;
   job.n = n;
   job.chunk_size = chunk_size;
   job.spans = std::vector<Span>(num_workers_);

@@ -61,8 +61,17 @@ class ThreadPool {
   /// workers is nondeterministic (stealing); callers that need
   /// deterministic output must stage per-chunk results and merge in
   /// chunk order themselves.
+  ///
+  /// When `stop` is non-empty it is polled at every chunk boundary; once
+  /// it returns true the remaining chunks are drained without running
+  /// their bodies (cooperative cancellation — see EvalContext::StopProbe).
+  /// ParallelFor still blocks until the drain completes, and the caller
+  /// is responsible for noticing the interruption afterwards; skipped
+  /// chunks leave their staged outputs empty, which is safe because an
+  /// interrupted evaluation discards the round.
   void ParallelFor(size_t n, size_t chunk_size,
-                   const std::function<void(size_t, size_t, int)>& body);
+                   const std::function<void(size_t, size_t, int)>& body,
+                   const std::function<bool()>& stop = {});
 
   /// Snapshot of the per-worker counters (index 0 = calling thread).
   /// Call only while no job is running.
@@ -79,6 +88,7 @@ class ThreadPool {
   };
   struct Job {
     const std::function<void(size_t, size_t, int)>* body = nullptr;
+    const std::function<bool()>* stop = nullptr;
     size_t n = 0;
     size_t chunk_size = 0;
     std::vector<Span> spans;

@@ -1,0 +1,102 @@
+#include "dist/convergence.h"
+
+#include <memory>
+
+#include "core/engine.h"
+
+namespace datalog {
+namespace {
+
+struct RunOutput {
+  std::vector<std::string> listings;
+  DistStats dist;
+};
+
+/// Builds the system from source against a fresh Engine and runs it once:
+/// reliably when `spec` is null, over an UnreliableTransport seeded with
+/// `seed` otherwise.
+Result<RunOutput> RunOnce(const std::vector<PeerSpec>& peers,
+                          const ConvergenceOptions& options,
+                          const FaultSpec* spec, uint64_t seed) {
+  Engine engine;
+  PeerSystem system(&engine.catalog(), &engine.symbols());
+  for (const PeerSpec& peer : peers) {
+    Result<Program> program = engine.Parse(peer.rules);
+    if (!program.ok()) return program.status();
+    Instance db = engine.NewInstance();
+    if (!peer.facts.empty()) {
+      if (Status added = engine.AddFacts(peer.facts, &db); !added.ok()) {
+        return added;
+      }
+    }
+    Result<int> index =
+        system.AddPeer(peer.name, std::move(program).value(), std::move(db));
+    if (!index.ok()) return index.status();
+  }
+
+  PeerRunOptions run;
+  run.eval = options.eval;
+  run.checkpoint_every_rounds = options.checkpoint_every_rounds;
+  std::unique_ptr<UnreliableTransport> transport;
+  if (spec != nullptr) {
+    transport = std::make_unique<UnreliableTransport>(
+        &engine.catalog(),
+        [&system](int p) -> const Instance& {
+          return system.LocalInstance(p);
+        },
+        spec->faults, seed);
+    run.transport = transport.get();
+    if (!spec->crashes.empty()) run.crashes = &spec->crashes;
+  }
+
+  Result<int> rounds = system.Run(run);
+  if (!rounds.ok()) return rounds.status();
+
+  RunOutput out;
+  out.dist = system.last_dist_stats();
+  out.listings.reserve(static_cast<size_t>(system.num_peers()));
+  for (int p = 0; p < system.num_peers(); ++p) {
+    // ToString is canonical (predicates and tuples sorted) and renders
+    // symbol names, so listings compare across engines even though each
+    // run rebuilds its own catalog and symbol table.
+    out.listings.push_back(
+        system.LocalInstance(p).ToString(engine.symbols()));
+  }
+  return out;
+}
+
+}  // namespace
+
+Result<ConvergenceReport> CheckConvergence(const std::vector<PeerSpec>& peers,
+                                           const ConvergenceOptions& options) {
+  ConvergenceReport report;
+
+  Result<RunOutput> baseline =
+      RunOnce(peers, options, /*spec=*/nullptr, /*seed=*/0);
+  if (!baseline.ok()) return baseline.status();
+  report.baseline = baseline->listings;
+  report.runs = 1;
+  report.converged = true;
+
+  for (size_t m = 0; m < options.schedules.size(); ++m) {
+    Result<RunOutput> faulty =
+        RunOnce(peers, options, &options.schedules[m],
+                options.seed + static_cast<uint64_t>(m));
+    if (!faulty.ok()) return faulty.status();
+    ++report.runs;
+    report.faulty_stats.push_back(faulty->dist);
+    if (!report.converged) continue;  // keep counting runs, report first
+    for (size_t p = 0; p < report.baseline.size(); ++p) {
+      if (faulty->listings[p] == report.baseline[p]) continue;
+      report.converged = false;
+      report.divergence =
+          "schedule " + std::to_string(m) + ", peer '" + peers[p].name +
+          "': faulty run diverged from the reliable baseline.\n-- reliable:\n" +
+          report.baseline[p] + "-- faulty:\n" + faulty->listings[p];
+      break;
+    }
+  }
+  return report;
+}
+
+}  // namespace datalog

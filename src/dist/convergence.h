@@ -1,0 +1,78 @@
+#ifndef UNCHAINED_DIST_CONVERGENCE_H_
+#define UNCHAINED_DIST_CONVERGENCE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "base/result.h"
+#include "dist/peers.h"
+#include "dist/transport.h"
+
+namespace datalog {
+
+// Empirical CALM checker (docs/distribution.md): the peer dialect is
+// monotone (inflationary single-positive-head rules), so by the CALM
+// principle its fixpoint must not depend on message timing, loss,
+// duplication, reordering, partitions or peer crashes — any fault
+// schedule under which every message is eventually delivered converges
+// to the reliable run's instances. CheckConvergence tests exactly that:
+// one reliable baseline run plus one faulty run per schedule, asserting
+// byte-identical final instances peer by peer.
+//
+// Each run gets a fresh Engine (catalog + symbols), because resolving
+// located heads declares predicates in the shared catalog; rebuilding
+// from source keeps the runs fully independent.
+
+/// One peer, given by source text so every run can rebuild it against a
+/// fresh catalog.
+struct PeerSpec {
+  std::string name;
+  /// Rule source in the peer dialect (see PeerSystem::AddPeer).
+  std::string rules;
+  /// Initial facts, as fact-statement source; may be empty.
+  std::string facts;
+};
+
+struct ConvergenceOptions {
+  /// Budgets for every run. Faulty runs execute more rounds than the
+  /// reliable baseline (retries, backoff, crash recovery), so max_rounds
+  /// must leave room beyond the reliable round count.
+  EvalOptions eval;
+  /// The faulty runs: one UnreliableTransport run per schedule (plus its
+  /// crash events). An empty list checks only that the reliable run is
+  /// reproducible.
+  std::vector<FaultSpec> schedules;
+  /// Base RNG seed; the m-th faulty run uses seed + m.
+  uint64_t seed = 1;
+  /// Checkpoint cadence for runs whose schedule includes crashes.
+  int checkpoint_every_rounds = 4;
+};
+
+/// The outcome of one CheckConvergence call. `converged` is the CALM
+/// verdict; on divergence, `divergence` pins the first mismatching peer
+/// with both listings.
+struct ConvergenceReport {
+  bool converged = false;
+  /// Total runs executed (1 reliable + schedules.size() faulty).
+  int runs = 0;
+  /// Empty when converged; otherwise a human-readable description of the
+  /// first mismatch.
+  std::string divergence;
+  /// Canonical listing of every peer's final instance in the reliable
+  /// baseline run, in peer order (Instance::ToString).
+  std::vector<std::string> baseline;
+  /// Distribution counters of each faulty run, in schedule order.
+  std::vector<DistStats> faulty_stats;
+};
+
+/// Runs the system reliably once, then once per fault schedule, and
+/// compares final instances. Errors (parse failures, exhausted budgets,
+/// invalid schedules) surface as a non-OK status; a clean run that merely
+/// diverges reports converged = false.
+Result<ConvergenceReport> CheckConvergence(const std::vector<PeerSpec>& peers,
+                                           const ConvergenceOptions& options);
+
+}  // namespace datalog
+
+#endif  // UNCHAINED_DIST_CONVERGENCE_H_

@@ -1,17 +1,98 @@
 #include "dist/peers.h"
 
-#include <map>
+#include <algorithm>
 
 #include "eval/grounder.h"
+#include "obs/metrics.h"
 #include "obs/trace.h"
 
 namespace datalog {
+
+namespace {
+
+/// Registry handles for the distribution counters (one registration for
+/// the process lifetime), folded in once per Run like the eval.* metrics.
+struct DistMetrics {
+  obs::CounterHandle sent{"dist.sent"};
+  obs::CounterHandle delivered{"dist.delivered"};
+  obs::CounterHandle dropped{"dist.dropped"};
+  obs::CounterHandle duplicated{"dist.duplicated"};
+  obs::CounterHandle reordered{"dist.reordered"};
+  obs::CounterHandle delayed{"dist.delayed"};
+  obs::CounterHandle retries{"dist.retries"};
+  obs::CounterHandle redeliveries{"dist.redeliveries"};
+  obs::CounterHandle acks{"dist.acks"};
+  obs::CounterHandle expired{"dist.expired"};
+  obs::CounterHandle crashes{"dist.crashes"};
+  obs::CounterHandle restarts{"dist.restarts"};
+  obs::CounterHandle checkpoints{"dist.checkpoints"};
+  obs::CounterHandle checkpoint_bytes{"dist.checkpoint_bytes"};
+};
+
+void PublishDistMetrics(const DistStats& s) {
+  if (!obs::MetricsRegistry::Get().enabled()) return;
+  static DistMetrics m;
+  m.sent.Add(s.transport.sent);
+  m.delivered.Add(s.transport.delivered);
+  m.dropped.Add(s.transport.dropped);
+  m.duplicated.Add(s.transport.duplicated);
+  m.reordered.Add(s.transport.reordered);
+  m.delayed.Add(s.transport.delayed);
+  m.retries.Add(s.transport.retries);
+  m.redeliveries.Add(s.transport.redeliveries);
+  m.acks.Add(s.transport.acks);
+  m.expired.Add(s.transport.expired);
+  m.crashes.Add(s.crashes);
+  m.restarts.Add(s.restarts);
+  m.checkpoints.Add(s.checkpoints);
+  m.checkpoint_bytes.Add(s.checkpoint_bytes);
+}
+
+/// Validates a crash schedule against the system: peers in range, rounds
+/// positive, and no peer crashing again before its previous restart.
+Status ValidateCrashes(const CrashSchedule& crashes, int num_peers) {
+  std::vector<CrashEvent> sorted = crashes.events;
+  std::sort(sorted.begin(), sorted.end(),
+            [](const CrashEvent& a, const CrashEvent& b) {
+              return a.at_round != b.at_round ? a.at_round < b.at_round
+                                              : a.peer < b.peer;
+            });
+  std::vector<int> up_again(num_peers, 0);
+  for (const CrashEvent& ev : sorted) {
+    if (ev.peer < 0 || ev.peer >= num_peers) {
+      return Status::InvalidProgram("crash schedule names peer " +
+                                    std::to_string(ev.peer) +
+                                    " of a system with " +
+                                    std::to_string(num_peers) + " peers");
+    }
+    if (ev.at_round < 1 || ev.down_rounds < 1) {
+      return Status::InvalidProgram(
+          "crash schedule rounds must be positive");
+    }
+    if (ev.at_round < up_again[ev.peer]) {
+      return Status::InvalidProgram("crash schedule overlaps for peer " +
+                                    std::to_string(ev.peer));
+    }
+    up_again[ev.peer] = ev.at_round + ev.down_rounds;
+  }
+  return Status::OK();
+}
+
+}  // namespace
 
 PeerSystem::PeerSystem(Catalog* catalog, SymbolTable* symbols)
     : catalog_(catalog), symbols_(symbols) {}
 
 Result<int> PeerSystem::AddPeer(std::string name, Program program,
                                 Instance facts) {
+  if (name.empty() || name.find('_') != std::string::npos) {
+    // With '_' in a peer name the at_<peer>_<pred> convention is
+    // ambiguous: peers "a" and "a_b" would both claim the head
+    // `at_a_b_p`. Reject at registration, where the fix is obvious.
+    return Status::InvalidProgram("peer name '" + name +
+                                  "' must be non-empty and must not "
+                                  "contain '_'");
+  }
   for (const Peer& peer : peers_) {
     if (peer.name == name) {
       return Status::InvalidProgram("duplicate peer name '" + name + "'");
@@ -37,9 +118,8 @@ Result<std::pair<int, PredId>> PeerSystem::ResolveHead(
     PredId head_pred) const {
   const std::string& name = catalog_->NameOf(head_pred);
   if (name.rfind("at_", 0) != 0) return std::make_pair(-1, head_pred);
-  // at_<peer>_<pred>: the peer name is the longest prefix matching a
-  // registered peer (peer names may not contain '_' ambiguity by
-  // construction: we scan all peers).
+  // at_<peer>_<pred>: peer names contain no '_' (enforced by AddPeer), so
+  // at most one registered peer matches the prefix.
   for (int p = 0; p < num_peers(); ++p) {
     const std::string& peer_name = peers_[p].name;
     const std::string prefix = "at_" + peer_name + "_";
@@ -60,7 +140,15 @@ Result<std::pair<int, PredId>> PeerSystem::ResolveHead(
 }
 
 Result<int> PeerSystem::Run(const EvalOptions& options) {
+  PeerRunOptions run_options;
+  run_options.eval = options;
+  return Run(run_options);
+}
+
+Result<int> PeerSystem::Run(const PeerRunOptions& run_options) {
+  const EvalOptions& options = run_options.eval;
   messages_delivered_ = 0;
+  dist_stats_ = DistStats{};
 
   // Pre-resolve every head and build matchers once.
   struct CompiledRule {
@@ -83,67 +171,172 @@ Result<int> PeerSystem::Run(const EvalOptions& options) {
   matchers.reserve(compiled.size());
   for (const CompiledRule& cr : compiled) matchers.emplace_back(cr.rule);
 
+  static const CrashSchedule kNoCrashes;
+  const CrashSchedule& crashes =
+      run_options.crashes != nullptr ? *run_options.crashes : kNoCrashes;
+  if (Status valid = ValidateCrashes(crashes, num_peers()); !valid.ok()) {
+    return valid;
+  }
+
+  ReliableTransport reliable(
+      catalog_, [this](int p) -> const Instance& { return peers_[p].db; });
+  Transport* transport =
+      run_options.transport != nullptr ? run_options.transport : &reliable;
+
   // One persistent evaluation context per peer: each peer's indexes and
   // active-domain cache live across every round of the run, refreshed
   // incrementally as deliveries grow its local instance. (Peers share
   // PredIds through the global catalog, so a single shared context would
   // thrash between the peers' unrelated relations.)
   std::vector<EvalContext> contexts(num_peers());
+  // Deadline/cancellation gate for the global round loop. It evaluates
+  // nothing itself — the per-peer contexts carry all counters — so it
+  // never publishes metrics.
+  EvalContext gate(options);
+  gate.publish_metrics = false;
+
+  // The transport hands arrivals back through this sink; local classes in
+  // a member function may touch `peers_`.
+  struct DbSink final : Transport::Sink {
+    std::vector<Peer>* peers;
+    explicit DbSink(std::vector<Peer>* p) : peers(p) {}
+    bool Deliver(int dest, PredId pred, const Tuple& tuple) override {
+      return (*peers)[dest].db.Insert(pred, tuple);
+    }
+    size_t DeliverAll(int dest, const Instance& outbox) override {
+      return (*peers)[dest].db.UnionWith(outbox);
+    }
+  };
+  DbSink sink(&peers_);
+
+  // Crash/recovery bookkeeping. down_until[p] is the round at which the
+  // peer restarts (0 = up); checkpoints hold the latest snapshot bytes.
+  const bool simulate_crashes = !crashes.empty();
+  std::vector<int> down_until(num_peers(), 0);
+  std::vector<std::string> checkpoints(num_peers());
+  auto log_event = [&](std::string line) {
+    if (run_options.event_log != nullptr) {
+      run_options.event_log->push_back(std::move(line));
+    }
+  };
+
+  // All exits — quiescence, budget, deadline, cancellation — report the
+  // counters accumulated so far through last_run_stats()/last_dist_stats()
+  // and fold them into the metrics registry.
+  auto finish = [&](int quiesced_rounds) {
+    last_run_stats_ = EvalStats{};
+    for (EvalContext& ctx : contexts) {
+      ctx.Finalize();
+      last_run_stats_.MergeFrom(ctx.stats);
+    }
+    last_run_stats_.rounds = quiesced_rounds;
+    dist_stats_.transport = transport->stats();
+    messages_delivered_ = dist_stats_.transport.delivered;
+    PublishDistMetrics(dist_stats_);
+  };
 
   OBS_SPAN("peers.run");
-  int rounds = 0;
+  int round = 0;   // global 1-based round clock (all executed rounds)
+  int rounds = 0;  // rounds that delivered new facts — the return value
   while (true) {
-    if (rounds + 1 > options.max_rounds) {
-      // Budget-exhausted runs still report the counters accumulated so
-      // far through last_run_stats() rather than leaving stale numbers.
-      last_run_stats_ = EvalStats{};
-      for (EvalContext& ctx : contexts) {
-        ctx.Finalize();
-        last_run_stats_.MergeFrom(ctx.stats);
-      }
-      last_run_stats_.rounds = rounds;
+    if (Status interrupted = gate.CheckInterrupt(); !interrupted.ok()) {
+      finish(rounds);
+      return interrupted;
+    }
+    if (round + 1 > options.max_rounds) {
+      finish(rounds);
       return Status::BudgetExhausted("peer system exceeded round budget");
     }
-    OBS_SPAN("peers.round", {{"round", rounds + 1}});
-    // One global round: every peer fires all its rules against its frozen
-    // local instance; derived facts are buffered per destination and
-    // delivered at the end of the round (asynchronous delivery).
-    std::map<int, Instance> outboxes;
-    bool any_new = false;
+    ++round;
+    OBS_SPAN("peers.round", {{"round", round}});
+
+    if (simulate_crashes) {
+      // Restarts due this round: restore the latest checkpoint; the
+      // transport already reset the peer's links when it went down, so
+      // senders re-offer everything the restored instance is missing.
+      for (int p = 0; p < num_peers(); ++p) {
+        if (down_until[p] != round) continue;
+        down_until[p] = 0;
+        if (Status restored = peers_[p].db.RestoreSnapshot(checkpoints[p]);
+            !restored.ok()) {
+          finish(rounds);
+          return restored;
+        }
+        transport->OnPeerRestart(p);
+        ++dist_stats_.restarts;
+        OBS_SPAN("dist.restart", {{"peer", p}, {"round", round}});
+        log_event("round " + std::to_string(round) + ": " + peers_[p].name +
+                  " restarted from checkpoint (" +
+                  std::to_string(checkpoints[p].size()) + " bytes)");
+      }
+      // Periodic checkpoints of the peers that are up (round 1 is the
+      // mandatory initial checkpoint).
+      if (round == 1 || (run_options.checkpoint_every_rounds > 0 &&
+                         (round - 1) % run_options.checkpoint_every_rounds ==
+                             0)) {
+        for (int p = 0; p < num_peers(); ++p) {
+          if (down_until[p] != 0) continue;
+          checkpoints[p] = peers_[p].db.SerializeSnapshot();
+          ++dist_stats_.checkpoints;
+          dist_stats_.checkpoint_bytes +=
+              static_cast<int64_t>(checkpoints[p].size());
+          OBS_SPAN("dist.checkpoint", {{"peer", p}, {"round", round}});
+          log_event("round " + std::to_string(round) + ": checkpoint " +
+                    peers_[p].name + " (" +
+                    std::to_string(checkpoints[p].size()) + " bytes)");
+        }
+      }
+      // Crashes due this round: the peer loses its in-flight traffic and
+      // fires no rules until it restarts.
+      for (const CrashEvent& ev : crashes.events) {
+        if (ev.at_round != round) continue;
+        down_until[ev.peer] = round + ev.down_rounds;
+        transport->OnPeerDown(ev.peer);
+        ++dist_stats_.crashes;
+        OBS_SPAN("dist.crash", {{"peer", ev.peer}, {"round", round}});
+        log_event("round " + std::to_string(round) + ": " +
+                  peers_[ev.peer].name + " crashed for " +
+                  std::to_string(ev.down_rounds) + " rounds");
+      }
+    }
+
+    // One global round: every live peer fires all its rules against its
+    // frozen local instance; derived facts go to the transport, which
+    // applies whatever arrives this round at the end (asynchronous
+    // delivery).
     for (size_t i = 0; i < compiled.size(); ++i) {
       const CompiledRule& cr = compiled[i];
+      if (down_until[cr.peer] != 0) continue;  // crashed peers are silent
       const Peer& peer = peers_[cr.peer];
       EvalContext& ctx = contexts[cr.peer];
       DbView view{&peer.db, &peer.db};
       const std::vector<Value>& adom = ctx.Adom(peer.program, peer.db);
       const Atom& head = cr.rule->heads[0].atom;
-      int dest = cr.destination < 0 ? cr.peer : cr.destination;
-      auto [it, created] = outboxes.try_emplace(dest, Instance(catalog_));
-      Instance& outbox = it->second;
+      const int dest = cr.destination < 0 ? cr.peer : cr.destination;
+      const bool remote = cr.destination >= 0;
       matchers[i].ForEachMatch(
           view, adom, &ctx.index, [&](const Valuation& val) -> bool {
             ++ctx.stats.instantiations;
-            Tuple t = InstantiateAtom(head, val);
-            if (!peers_[dest].db.Contains(cr.local_pred, t)) {
-              bool fresh = outbox.Insert(cr.local_pred, std::move(t));
-              if (fresh && cr.destination >= 0) ++messages_delivered_;
-            }
+            transport->Send(cr.peer, dest, remote, cr.local_pred,
+                            InstantiateAtom(head, val));
             return true;
           });
     }
-    for (auto& [dest, outbox] : outboxes) {
-      if (peers_[dest].db.UnionWith(outbox) > 0) any_new = true;
+
+    const int64_t new_facts = transport->EndRound(round, &sink);
+    bool any_down = false;
+    for (int until : down_until) any_down = any_down || until != 0;
+    if (new_facts > 0) {
+      ++rounds;
+    } else if (transport->Idle() && !any_down) {
+      // Global quiescence: a silent round with nothing in flight and
+      // every peer up. (A pending crash event beyond this round never
+      // fires — the system already converged.)
+      break;
     }
-    if (!any_new) break;
-    ++rounds;
   }
 
-  last_run_stats_ = EvalStats{};
-  for (EvalContext& ctx : contexts) {
-    ctx.Finalize();
-    last_run_stats_.MergeFrom(ctx.stats);
-  }
-  last_run_stats_.rounds = rounds;
+  finish(rounds);
   return rounds;
 }
 

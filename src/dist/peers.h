@@ -7,10 +7,43 @@
 #include "ast/ast.h"
 #include "base/result.h"
 #include "base/symbols.h"
+#include "dist/transport.h"
 #include "eval/context.h"
 #include "ra/instance.h"
 
 namespace datalog {
+
+/// Counters of one PeerSystem::Run over the distribution machinery: the
+/// transport's deterministic message counters plus the crash/recovery
+/// bookkeeping. Published as `dist.*` metrics through the registry.
+struct DistStats {
+  TransportStats transport;
+  int64_t crashes = 0;
+  int64_t restarts = 0;
+  int64_t checkpoints = 0;
+  int64_t checkpoint_bytes = 0;
+};
+
+/// Per-run configuration beyond the engine budgets.
+struct PeerRunOptions {
+  EvalOptions eval;
+  /// Message delivery; nullptr selects the built-in ReliableTransport
+  /// (the exact historical synchronous semantics). The transport must
+  /// outlive the Run call and must not be reused across runs.
+  Transport* transport = nullptr;
+  /// Scripted peer crashes; nullptr/empty disables crash simulation and
+  /// checkpointing entirely.
+  const CrashSchedule* crashes = nullptr;
+  /// Checkpoint cadence in rounds while a crash schedule is present: the
+  /// initial databases are always checkpointed at round 1, then every
+  /// `checkpoint_every_rounds` rounds. A restarting peer restores its
+  /// latest checkpoint and re-derives/re-receives the rest.
+  int checkpoint_every_rounds = 4;
+  /// When non-null, structural events (checkpoints, crashes, restarts,
+  /// partitions) are appended as stable one-line strings — the golden
+  /// crash-restart trace pins this log.
+  std::vector<std::string>* event_log = nullptr;
+};
 
 /// Distributed forward chaining in the style of Webdamlog / declarative
 /// networking (Section 6, [11, 93]): a system of peers, each holding a
@@ -26,6 +59,15 @@ namespace datalog {
 /// the destination in round r+1. Evaluation is inflationary (facts are
 /// never retracted) and runs all peers round-robin until global
 /// quiescence; it therefore always terminates on finite domains.
+///
+/// Delivery is pluggable (dist/transport.h): the default reliable
+/// transport is synchronous and lossless, while UnreliableTransport
+/// injects deterministic seeded faults (drops, duplicates, reordering,
+/// delays, partitions) recovered by an at-least-once protocol, and a
+/// CrashSchedule adds peer crash/restart with checkpoint recovery. For
+/// the monotone peer dialect every such run converges to the reliable
+/// run's instances — the empirical CALM argument checked by
+/// dist/convergence.h and documented in docs/distribution.md.
 class PeerSystem {
  public:
   /// `catalog`/`symbols` are shared by all peers and must outlive the
@@ -36,19 +78,41 @@ class PeerSystem {
   PeerSystem& operator=(const PeerSystem&) = delete;
 
   /// Adds a peer with the given name, rules and initial local facts.
-  /// Returns its index. Peer names must be unique and are referenced by
-  /// `at_<name>_<pred>` head predicates anywhere in the system.
+  /// Returns its index. Peer names must be unique, non-empty and must not
+  /// contain '_' — the `at_<peer>_<pred>` head convention could not be
+  /// split unambiguously otherwise (with peers "a" and "a_b", the head
+  /// `at_a_b_p` would resolve to either).
   Result<int> AddPeer(std::string name, Program program, Instance facts);
 
   int num_peers() const { return static_cast<int>(peers_.size()); }
-  const std::string& PeerName(int peer) const { return peers_[peer].name; }
+  const std::string& PeerName(int peer) const {
+    return peers_[static_cast<size_t>(peer)].name;
+  }
 
-  /// Runs to global quiescence. Returns the number of rounds executed.
+  /// Runs to global quiescence over the default reliable transport.
+  /// Returns the number of rounds that delivered new facts.
+  ///
+  /// Interrupted runs mutate state: a kBudgetExhausted (round budget or
+  /// deadline) or kCancelled return leaves every round delivered so far
+  /// in the peers' local instances, including the final, possibly
+  /// partially propagated one. This is safe precisely because the peer
+  /// dialect is inflationary — facts are never retracted, so the partial
+  /// state is a subset of the fixpoint and calling Run again simply
+  /// continues from it and converges to the same instances as an
+  /// uninterrupted run (asserted by PeersFaultTest.RerunAfterExhaustion).
   Result<int> Run(const EvalOptions& options);
+
+  /// As above, with an explicit transport, crash schedule and checkpoint
+  /// cadence. Given the same system, options, transport schedule and
+  /// seed, a rerun reproduces the same instances, rounds and DistStats
+  /// bit for bit.
+  Result<int> Run(const PeerRunOptions& run_options);
 
   /// The local instance of a peer (valid after Run or before, for the
   /// initial facts).
-  const Instance& LocalInstance(int peer) const { return peers_[peer].db; }
+  const Instance& LocalInstance(int peer) const {
+    return peers_[static_cast<size_t>(peer)].db;
+  }
 
   /// Total facts delivered across peers during the last Run.
   int64_t messages_delivered() const { return messages_delivered_; }
@@ -56,6 +120,9 @@ class PeerSystem {
   /// Scalar counters aggregated over every peer's evaluation context
   /// during the last Run (rounds = global rounds to quiescence).
   const EvalStats& last_run_stats() const { return last_run_stats_; }
+
+  /// Transport and crash/checkpoint counters of the last Run.
+  const DistStats& last_dist_stats() const { return dist_stats_; }
 
  private:
   struct Peer {
@@ -66,7 +133,8 @@ class PeerSystem {
 
   /// Resolves `at_<peer>_<pred>` heads to (destination peer, local pred);
   /// returns {-1, pred} for plain local heads. Unknown destination names
-  /// yield an error at Run() start.
+  /// yield an error at Run() start. Unambiguous because peer names cannot
+  /// contain '_' (enforced by AddPeer).
   Result<std::pair<int, PredId>> ResolveHead(PredId head_pred) const;
 
   Catalog* catalog_;
@@ -74,6 +142,7 @@ class PeerSystem {
   std::vector<Peer> peers_;
   int64_t messages_delivered_ = 0;
   EvalStats last_run_stats_;
+  DistStats dist_stats_;
 };
 
 }  // namespace datalog

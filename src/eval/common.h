@@ -1,6 +1,7 @@
 #ifndef UNCHAINED_EVAL_COMMON_H_
 #define UNCHAINED_EVAL_COMMON_H_
 
+#include <atomic>
 #include <cstddef>
 #include <cstdint>
 #include <vector>
@@ -8,6 +9,28 @@
 namespace datalog {
 
 class DerivationLog;
+
+/// Cooperative cancellation flag shared between an evaluation and the
+/// caller that may abort it (another thread, a signal handler, a driving
+/// event loop). Engines poll it at every round boundary and inside
+/// ThreadPool chunk boundaries; once set, the evaluation returns
+/// kCancelled with finalized stats at the next check point. Tokens are
+/// sticky: there is deliberately no Reset — use a fresh token per run so
+/// a late cancel can never leak into the next evaluation.
+class CancelToken {
+ public:
+  CancelToken() = default;
+  CancelToken(const CancelToken&) = delete;
+  CancelToken& operator=(const CancelToken&) = delete;
+
+  void Cancel() { cancelled_.store(true, std::memory_order_relaxed); }
+  bool cancelled() const {
+    return cancelled_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<bool> cancelled_{false};
+};
 
 /// Per-rule counters (indexed like `Program::rules`), collected by the
 /// engines that evaluate a program rule-by-rule. Units: `matches` counts
@@ -112,6 +135,18 @@ struct EvalOptions {
   int64_t max_facts = 50'000'000;
   /// Datalog¬new: maximum invented values (kBudgetExhausted beyond).
   int64_t max_invented = 1'000'000;
+  /// Wall-clock deadline for the whole evaluation in milliseconds;
+  /// <= 0 disables. Checked cooperatively at every round boundary and
+  /// inside ThreadPool chunk boundaries, so overshoot is bounded by one
+  /// chunk. An expired deadline returns kBudgetExhausted with finalized
+  /// stats, exactly like the round budget. Note the check makes the
+  /// *abort point* wall-clock dependent: results of deadline-exceeded
+  /// runs are partial and not reproducible (use max_rounds for
+  /// deterministic truncation).
+  int64_t deadline_ms = 0;
+  /// When non-null, engines poll this token alongside the deadline and
+  /// return kCancelled once it is set. The token must outlive the run.
+  const CancelToken* cancel = nullptr;
   /// When non-null, the semi-naive/stratified/inflationary engines record
   /// the first derivation of every fact here (see eval/provenance.h). The
   /// well-founded engine ignores it (its inner fixpoints run on

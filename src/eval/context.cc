@@ -40,7 +40,12 @@ EvalMetrics& Metrics() {
 EvalContext::EvalContext() : start_(Clock::now()) {}
 
 EvalContext::EvalContext(const EvalOptions& opts)
-    : options(opts), provenance(opts.provenance), start_(Clock::now()) {}
+    : options(opts), provenance(opts.provenance), start_(Clock::now()) {
+  if (opts.deadline_ms > 0) {
+    has_deadline_ = true;
+    deadline_ = start_ + std::chrono::milliseconds(opts.deadline_ms);
+  }
+}
 
 EvalContext::~EvalContext() { PublishMetrics(); }
 

@@ -3,11 +3,14 @@
 
 #include <chrono>
 #include <cstdint>
+#include <functional>
 #include <memory>
+#include <string>
 #include <unordered_map>
 #include <vector>
 
 #include "ast/ast.h"
+#include "base/status.h"
 #include "eval/common.h"
 #include "ra/index.h"
 #include "ra/instance.h"
@@ -91,6 +94,52 @@ class EvalContext {
   /// context, so strata/rounds reuse the same workers.
   ThreadPool* pool();
 
+  /// Cooperative interruption gate, polled by every engine at its round
+  /// boundary (the same sites as the max_rounds budget): kCancelled when
+  /// options.cancel is set, kBudgetExhausted when options.deadline_ms has
+  /// elapsed since construction, OK otherwise. Callers follow the budget
+  /// contract: flush engine-local counters, Finalize(), return the
+  /// status.
+  Status CheckInterrupt() const {
+    if (options.cancel != nullptr && options.cancel->cancelled()) {
+      return Status::Cancelled("evaluation cancelled via CancelToken");
+    }
+    if (has_deadline_ && Clock::now() >= deadline_) {
+      return Status::BudgetExhausted(
+          "deadline of " + std::to_string(options.deadline_ms) +
+          " ms exceeded");
+    }
+    return Status::OK();
+  }
+
+  /// Cheap boolean probe of the same condition, for ThreadPool chunk
+  /// boundaries (one relaxed atomic load and, with a deadline, one clock
+  /// read).
+  bool InterruptRequested() const {
+    if (options.cancel != nullptr && options.cancel->cancelled()) {
+      return true;
+    }
+    return has_deadline_ && Clock::now() >= deadline_;
+  }
+
+  /// The stop probe handed to ThreadPool::ParallelFor so in-flight chunks
+  /// are skipped once the run is interrupted. Empty (zero per-chunk cost)
+  /// when the run has neither a deadline nor a cancel token.
+  std::function<bool()> StopProbe() const {
+    if (options.cancel == nullptr && !has_deadline_) return {};
+    return [this] { return InterruptRequested(); };
+  }
+
+  /// Adopts `parent`'s absolute deadline and cancel token, so a
+  /// sub-evaluation (e.g. one stable-model candidate check) cannot outlive
+  /// the budget of the run that spawned it.
+  void InheritDeadline(const EvalContext& parent) {
+    has_deadline_ = parent.has_deadline_;
+    deadline_ = parent.deadline_;
+    options.deadline_ms = parent.options.deadline_ms;
+    options.cancel = parent.options.cancel;
+  }
+
   /// Round timing: call StartRound at the top of a stage and FinishRound
   /// once its new facts are merged; FinishRound appends to stats.round_ms
   /// (up to EvalStats::kMaxRoundTimings entries).
@@ -137,6 +186,10 @@ class EvalContext {
 
   Clock::time_point start_;
   Clock::time_point round_start_{};
+  /// Absolute deadline derived from options.deadline_ms at construction
+  /// (or inherited); only meaningful when has_deadline_ is set.
+  Clock::time_point deadline_{};
+  bool has_deadline_ = false;
   std::unique_ptr<ThreadPool> pool_;
   bool pool_checked_ = false;
   /// Index-counter values already folded into `stats` by Finalize.

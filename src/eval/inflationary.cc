@@ -38,6 +38,7 @@ Result<InflationaryResult> InflationaryFixpoint(const Program& program,
   // Provenance recording is sequential by nature; such runs take the
   // exact sequential path below.
   ThreadPool* pool = ctx->provenance == nullptr ? ctx->pool() : nullptr;
+  const std::function<bool()> stop = ctx->StopProbe();
   std::vector<MatchUnit> units(matchers.size());
   for (size_t i = 0; i < matchers.size(); ++i) {
     units[i].matcher = static_cast<int>(i);
@@ -47,6 +48,11 @@ Result<InflationaryResult> InflationaryFixpoint(const Program& program,
   InflationaryResult result(input);
   Instance& db = result.instance;
   while (true) {
+    // Same exit contract as the stage budget below: the caller (facade
+    // or wrapping engine) finalizes the context.
+    if (Status interrupted = ctx->CheckInterrupt(); !interrupted.ok()) {
+      return interrupted;
+    }
     if (result.stages + 1 > ctx->options.max_rounds) {
       return Status::BudgetExhausted("inflationary evaluation exceeded " +
                                      std::to_string(ctx->options.max_rounds) +
@@ -65,7 +71,14 @@ Result<InflationaryResult> InflationaryFixpoint(const Program& program,
     if (pool != nullptr) {
       std::vector<UnitOutput> outputs;
       RunProductionUnits(pool, matchers, units, view, adom, &ctx->index,
-                         &outputs);
+                         &outputs, stop);
+      // An interrupt drains the remaining pool chunks without running
+      // them, so the outputs may be missing whole units — an empty stage
+      // would misread as the fixpoint. Report the interruption instead
+      // (caller finalizes, as for the loop-top check above).
+      if (Status interrupted = ctx->CheckInterrupt(); !interrupted.ok()) {
+        return interrupted;
+      }
       MergeProductionUnits(matchers, units, &outputs, &st, &fresh);
     } else {
       for (size_t ri = 0; ri < matchers.size(); ++ri) {

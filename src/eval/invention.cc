@@ -63,6 +63,10 @@ Result<InventionResult> InventionFixpoint(const Program& program,
   std::map<std::pair<int, Tuple>, std::vector<Value>> memo;
 
   while (true) {
+    if (Status interrupted = ctx->CheckInterrupt(); !interrupted.ok()) {
+      ctx->Finalize();
+      return interrupted;
+    }
     if (result.stages + 1 > ctx->options.max_rounds) {
       // Budget-exhausted runs still get finalized stats (wall-clock,
       // index counters) — callers read them to see how far the run got.

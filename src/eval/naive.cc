@@ -41,6 +41,7 @@ Result<Instance> NaiveLeastFixpoint(const Program& program,
   // The naive engine never records provenance, so any configured pool
   // applies; units are whole rules (no delta to chunk).
   ThreadPool* pool = ctx->pool();
+  const std::function<bool()> stop = ctx->StopProbe();
   std::vector<MatchUnit> units(matchers.size());
   for (size_t i = 0; i < matchers.size(); ++i) {
     units[i].matcher = static_cast<int>(i);
@@ -49,6 +50,11 @@ Result<Instance> NaiveLeastFixpoint(const Program& program,
 
   Instance db = input;
   while (true) {
+    // Deadline/cancellation is checked at the same site as the round
+    // budget; the caller (facade or outer engine) finalizes the context.
+    if (Status interrupted = ctx->CheckInterrupt(); !interrupted.ok()) {
+      return interrupted;
+    }
     if (++st.rounds > ctx->options.max_rounds) {
       return Status::BudgetExhausted("naive evaluation exceeded " +
                                      std::to_string(ctx->options.max_rounds) +
@@ -66,7 +72,14 @@ Result<Instance> NaiveLeastFixpoint(const Program& program,
     if (pool != nullptr) {
       std::vector<UnitOutput> outputs;
       RunProductionUnits(pool, matchers, units, view, adom, &ctx->index,
-                         &outputs);
+                         &outputs, stop);
+      // An interrupt drains the remaining pool chunks without running
+      // them, so the outputs may be missing whole units — an empty round
+      // would misread as the fixpoint. Report the interruption instead
+      // (caller finalizes, as for the loop-top check above).
+      if (Status interrupted = ctx->CheckInterrupt(); !interrupted.ok()) {
+        return interrupted;
+      }
       MergeProductionUnits(matchers, units, &outputs, &st, &fresh);
     } else {
       for (size_t i = 0; i < matchers.size(); ++i) {

@@ -152,6 +152,11 @@ Result<Instance> NondetEvaluator::RunOnce(const Instance& input, uint64_t seed,
   OBS_SPAN("nondet.run");
   Instance state = input;
   for (int64_t step = 0;; ++step) {
+    if (Status interrupted = ctx.CheckInterrupt(); !interrupted.ok()) {
+      ctx.Finalize();
+      last_stats_ = ctx.stats;
+      return interrupted;
+    }
     if (step > options.eval.max_rounds) {
       ctx.Finalize();
       last_stats_ = ctx.stats;
@@ -216,6 +221,11 @@ Result<EffectSet> NondetEvaluator::Enumerate(
   lookup_or_add(input);
   stack.push_back(0);
   while (!stack.empty()) {
+    if (Status interrupted = ctx.CheckInterrupt(); !interrupted.ok()) {
+      ctx.Finalize();
+      last_stats_ = ctx.stats;
+      return interrupted;
+    }
     size_t idx = stack.back();
     stack.pop_back();
     const Instance state = states[idx];  // copy: `states` may reallocate

@@ -56,6 +56,10 @@ Result<NonInflationaryResult> NonInflationaryFixpoint(
   if (options.detect_cycles) record_state(db);
 
   while (true) {
+    if (Status interrupted = ctx->CheckInterrupt(); !interrupted.ok()) {
+      ctx->Finalize();
+      return interrupted;
+    }
     if (result.stages + 1 > ctx->options.max_rounds) {
       // Budget-exhausted runs still get complete stats: fold the index
       // counters, pool telemetry and wall-clock before returning, so a
@@ -120,10 +124,19 @@ Result<NonInflationaryResult> NonInflationaryFixpoint(
                     return true;
                   });
             }
-          });
+          },
+          ctx->StopProbe());
       ctx->index.EndParallel();
       assert(db.Generation() == frozen_gen &&
              "frozen database mutated during a parallel matching region");
+      // An interrupt drains the remaining pool chunks, so whole rules may
+      // be missing from `staged`. Reconciling a partial round would be
+      // outright wrong here (deletions make this engine non-monotone) —
+      // report the interruption and discard the round instead.
+      if (Status interrupted = ctx->CheckInterrupt(); !interrupted.ok()) {
+        ctx->Finalize();
+        return interrupted;
+      }
       for (size_t ri = 0; ri < staged.size(); ++ri) {
         RuleStage& stage = staged[ri];
         st.instantiations += stage.matches;

@@ -13,7 +13,8 @@ void RunProductionUnits(ThreadPool* pool,
                         const std::vector<MatchUnit>& units,
                         const DbView& view, const std::vector<Value>& adom,
                         IndexManager* index,
-                        std::vector<UnitOutput>* outputs) {
+                        std::vector<UnitOutput>* outputs,
+                        const std::function<bool()>& stop) {
   outputs->clear();
   outputs->resize(units.size());
   auto run_unit = [&](size_t u) {
@@ -49,10 +50,12 @@ void RunProductionUnits(ThreadPool* pool,
   const uint64_t gen_neg = view.negatives->Generation();
 #endif
   index->BeginParallel();
-  pool->ParallelFor(units.size(), /*chunk_size=*/1,
-                    [&](size_t begin, size_t end, int /*worker*/) {
-                      for (size_t u = begin; u < end; ++u) run_unit(u);
-                    });
+  pool->ParallelFor(
+      units.size(), /*chunk_size=*/1,
+      [&](size_t begin, size_t end, int /*worker*/) {
+        for (size_t u = begin; u < end; ++u) run_unit(u);
+      },
+      stop);
   index->EndParallel();
   assert(view.positives->Generation() == gen_pos &&
          "frozen database mutated during a parallel matching region");

@@ -1,6 +1,7 @@
 #ifndef UNCHAINED_EVAL_PARALLEL_H_
 #define UNCHAINED_EVAL_PARALLEL_H_
 
+#include <functional>
 #include <vector>
 
 #include "eval/common.h"
@@ -48,12 +49,18 @@ struct UnitOutput {
 /// With `pool == nullptr` the units run inline on the calling thread.
 /// Only single-positive-head rules are supported (the engines that share
 /// this path all enforce that already).
+///
+/// `stop` (EvalContext::StopProbe) is forwarded to the pool so that a
+/// deadline or cancellation interrupts the fan-out at the next chunk
+/// boundary; skipped units stage nothing, which is safe because the
+/// engine abandons the round when it observes the interrupt.
 void RunProductionUnits(ThreadPool* pool,
                         const std::vector<RuleMatcher>& matchers,
                         const std::vector<MatchUnit>& units,
                         const DbView& view, const std::vector<Value>& adom,
                         IndexManager* index,
-                        std::vector<UnitOutput>* outputs);
+                        std::vector<UnitOutput>* outputs,
+                        const std::function<bool()>& stop = {});
 
 /// Replays the staged outputs in unit order — the sequential insertion
 /// order — into `fresh` and the deterministic counters of `st`. After

@@ -25,6 +25,12 @@ Result<int64_t> SemiNaiveStep(const Program& program,
   OBS_SPAN("seminaive.step");
   EvalStats& st = ctx->stats;
   st.EnsureRuleSlots(program.rules.size());
+  // Entry gate: a stratified run calls one step per stratum, and this is
+  // its between-strata deadline/cancellation check.
+  if (Status interrupted = ctx->CheckInterrupt(); !interrupted.ok()) {
+    ctx->Finalize();
+    return interrupted;
+  }
 
   std::vector<RuleMatcher> matchers;
   std::vector<const Rule*> rules;
@@ -46,6 +52,7 @@ Result<int64_t> SemiNaiveStep(const Program& program,
   // Provenance recording is inherently sequential (first-derivation order
   // is the record); those runs take the exact sequential path below.
   ThreadPool* pool = ctx->provenance == nullptr ? ctx->pool() : nullptr;
+  const std::function<bool()> stop = ctx->StopProbe();
 
   int64_t total_added = 0;
 
@@ -66,7 +73,15 @@ Result<int64_t> SemiNaiveStep(const Program& program,
       }
       std::vector<UnitOutput> outputs;
       RunProductionUnits(pool, matchers, units, view, adom, &ctx->index,
-                         &outputs);
+                         &outputs, stop);
+      // An interrupt drains the remaining pool chunks without running
+      // them, so the outputs may be missing whole units — an empty round
+      // would misread as the fixpoint. Report the interruption instead.
+      if (Status interrupted = ctx->CheckInterrupt(); !interrupted.ok()) {
+        st.facts_derived += total_added;
+        ctx->Finalize();
+        return interrupted;
+      }
       MergeProductionUnits(matchers, units, &outputs, &st, &fresh);
     } else {
       for (size_t i = 0; i < matchers.size(); ++i) {
@@ -102,6 +117,13 @@ Result<int64_t> SemiNaiveStep(const Program& program,
   // Delta rounds. The persistent indexes over `db` are refreshed by
   // appending each round's journal tail — no per-round rebuild.
   while (!delta.empty()) {
+    if (Status interrupted = ctx->CheckInterrupt(); !interrupted.ok()) {
+      // Deadline/cancellation follows the budget contract: report the
+      // facts derived so far through finalized stats.
+      st.facts_derived += total_added;
+      ctx->Finalize();
+      return interrupted;
+    }
     if (++st.rounds > ctx->options.max_rounds) {
       // Budget-exhausted runs still report the facts derived so far:
       // callers read LastRunStats to see how far the run got.
@@ -140,7 +162,13 @@ Result<int64_t> SemiNaiveStep(const Program& program,
       }
       std::vector<UnitOutput> outputs;
       RunProductionUnits(pool, matchers, units, view, adom, &ctx->index,
-                         &outputs);
+                         &outputs, stop);
+      // See round 0: drained units must not be mistaken for quiescence.
+      if (Status interrupted = ctx->CheckInterrupt(); !interrupted.ok()) {
+        st.facts_derived += total_added;
+        ctx->Finalize();
+        return interrupted;
+      }
       MergeProductionUnits(matchers, units, &outputs, &st, &fresh);
     } else {
       for (size_t i = 0; i < matchers.size(); ++i) {

@@ -100,6 +100,9 @@ Result<StableModelsResult> StableModels(const Program& program,
             // The tally merge below folds this sub-context into `ctx` —
             // publishing it separately would double-count every event.
             cand_ctx.publish_metrics = false;
+            // Sub-evaluations share the run's absolute deadline rather
+            // than restarting the clock per candidate.
+            cand_ctx.InheritDeadline(*ctx);
             Result<Instance> reduct_lfp =
                 NaiveLeastFixpoint(program, input, &candidate, &cand_ctx);
             if (!reduct_lfp.ok()) {
@@ -114,7 +117,14 @@ Result<StableModelsResult> StableModels(const Program& program,
                                    cs.index_rebuilds, cs.index_appended};
             if (*reduct_lfp == candidate) stable[m] = 1;
           }
-        });
+        },
+        ctx->StopProbe());
+    // An interrupt may have skipped whole candidates, so the staged
+    // verdicts are not trustworthy — report the interruption instead.
+    if (Status interrupted = ctx->CheckInterrupt(); !interrupted.ok()) {
+      ctx->Finalize();
+      return interrupted;
+    }
     for (uint64_t mask = 0; mask < combinations; ++mask) {
       ++out.candidates_checked;
       auto fit = failures.find(mask);
@@ -132,6 +142,10 @@ Result<StableModelsResult> StableModels(const Program& program,
   }
 
   for (uint64_t mask = 0; mask < combinations; ++mask) {
+    if (Status interrupted = ctx->CheckInterrupt(); !interrupted.ok()) {
+      ctx->Finalize();
+      return interrupted;
+    }
     ++out.candidates_checked;
     OBS_SPAN("stable.candidate", {{"mask", static_cast<int64_t>(mask)}});
     Instance candidate = build_candidate(mask);
@@ -141,6 +155,7 @@ Result<StableModelsResult> StableModels(const Program& program,
     // useless for the next); only its scalar counters are kept.
     EvalContext cand_ctx(options);
     cand_ctx.provenance = nullptr;
+    cand_ctx.InheritDeadline(*ctx);
     // MergeFrom folds this sub-context into `ctx` — publishing it
     // separately would double-count every event.
     cand_ctx.publish_metrics = false;

@@ -26,6 +26,12 @@ Result<WellFoundedModel> WellFoundedSemantics(const Program& program,
   Instance over = input;
   int64_t outer = 0;
   while (true) {
+    // The inner naive fixpoints poll the same gate every round; this
+    // outer check only catches an interrupt landing exactly between them.
+    if (Status interrupted = ctx->CheckInterrupt(); !interrupted.ok()) {
+      ctx->provenance = saved_provenance;
+      return interrupted;
+    }
     if (++outer > ctx->options.max_rounds) {
       ctx->provenance = saved_provenance;
       return Status::BudgetExhausted(

@@ -141,4 +141,92 @@ Instance Instance::Restrict(const std::vector<PredId>& preds) const {
   return out;
 }
 
+namespace {
+
+void AppendU32(std::string* out, uint32_t v) {
+  for (int shift = 0; shift < 32; shift += 8) {
+    out->push_back(static_cast<char>((v >> shift) & 0xff));
+  }
+}
+
+bool ReadU32(const std::string& in, size_t* pos, uint32_t* v) {
+  if (*pos + 4 > in.size()) return false;
+  uint32_t out = 0;
+  for (int shift = 0; shift < 32; shift += 8) {
+    out |= static_cast<uint32_t>(static_cast<unsigned char>(in[*pos])) << shift;
+    ++*pos;
+  }
+  *v = out;
+  return true;
+}
+
+/// Snapshot format tag; bump when the layout changes.
+constexpr uint32_t kSnapshotMagic = 0x31534455;  // "UDS1"
+
+}  // namespace
+
+std::string Instance::SerializeSnapshot() const {
+  std::vector<PredId> preds;
+  preds.reserve(relations_.size());
+  for (const auto& [p, rel] : relations_) {
+    if (!rel.empty()) preds.push_back(p);
+  }
+  std::sort(preds.begin(), preds.end());
+  std::string out;
+  AppendU32(&out, kSnapshotMagic);
+  AppendU32(&out, static_cast<uint32_t>(preds.size()));
+  for (PredId p : preds) {
+    const Relation& rel = Rel(p);
+    AppendU32(&out, static_cast<uint32_t>(p));
+    AppendU32(&out, static_cast<uint32_t>(rel.arity()));
+    AppendU32(&out, static_cast<uint32_t>(rel.size()));
+    for (const Tuple& t : rel.Sorted()) {
+      for (Value v : t) AppendU32(&out, static_cast<uint32_t>(v));
+    }
+  }
+  return out;
+}
+
+Status Instance::RestoreSnapshot(const std::string& snapshot) {
+  relations_.clear();
+  size_t pos = 0;
+  uint32_t magic = 0;
+  uint32_t num_preds = 0;
+  if (!ReadU32(snapshot, &pos, &magic) || magic != kSnapshotMagic ||
+      !ReadU32(snapshot, &pos, &num_preds)) {
+    return Status::Internal("instance snapshot: bad header");
+  }
+  for (uint32_t i = 0; i < num_preds; ++i) {
+    uint32_t pred = 0;
+    uint32_t arity = 0;
+    uint32_t count = 0;
+    if (!ReadU32(snapshot, &pos, &pred) || !ReadU32(snapshot, &pos, &arity) ||
+        !ReadU32(snapshot, &pos, &count)) {
+      return Status::Internal("instance snapshot: truncated relation header");
+    }
+    const PredId p = static_cast<PredId>(pred);
+    if (p < 0 || p >= catalog_->size() ||
+        catalog_->ArityOf(p) != static_cast<int>(arity)) {
+      return Status::Internal(
+          "instance snapshot: predicate/arity mismatch with catalog");
+    }
+    Relation* rel = MutableRel(p);
+    for (uint32_t k = 0; k < count; ++k) {
+      Tuple t(arity);
+      for (uint32_t c = 0; c < arity; ++c) {
+        uint32_t v = 0;
+        if (!ReadU32(snapshot, &pos, &v)) {
+          return Status::Internal("instance snapshot: truncated tuple data");
+        }
+        t[c] = static_cast<Value>(v);
+      }
+      rel->Insert(std::move(t));
+    }
+  }
+  if (pos != snapshot.size()) {
+    return Status::Internal("instance snapshot: trailing bytes");
+  }
+  return Status::OK();
+}
+
 }  // namespace datalog

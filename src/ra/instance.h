@@ -7,6 +7,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "base/status.h"
 #include "base/symbols.h"
 #include "ra/catalog.h"
 #include "ra/relation.h"
@@ -82,6 +83,24 @@ class Instance {
   /// Copy containing only the relations in `preds` — used to project the
   /// answer/idb part of an evaluation result.
   Instance Restrict(const std::vector<PredId>& preds) const;
+
+  // -- Checkpointing -----------------------------------------------------
+
+  /// Serializes the full contents into a compact byte snapshot:
+  /// predicates ascending, tuples in lexicographic order, values as
+  /// little-endian 32-bit words. Deterministic — equal instances produce
+  /// identical bytes — so snapshot sizes (dist.checkpoint_bytes) and
+  /// golden tests are reproducible. This is the checkpoint half of the
+  /// crash/recovery story in docs/distribution.md.
+  std::string SerializeSnapshot() const;
+
+  /// Replaces the contents with the snapshot's, dropping everything the
+  /// instance currently holds (rebuilt relations take fresh epochs, so
+  /// incremental caches over this instance fall back to a full rebuild).
+  /// The catalog must declare every predicate in the snapshot with a
+  /// matching arity. On a corrupt snapshot, returns an error and leaves
+  /// the instance empty.
+  Status RestoreSnapshot(const std::string& snapshot);
 
  private:
   const Catalog* catalog_;

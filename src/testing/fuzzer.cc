@@ -1,5 +1,6 @@
 #include "testing/fuzzer.h"
 
+#include <chrono>
 #include <filesystem>
 #include <fstream>
 #include <utility>
@@ -140,7 +141,21 @@ FuzzReport RunFuzz(const FuzzOptions& options) {
   OracleRunner runner(options.oracle);
   Shrinker shrinker(options.shrinker);
 
+  const auto sweep_start = std::chrono::steady_clock::now();
   for (int i = 0; i < options.cases; ++i) {
+    if (options.deadline_ms > 0) {
+      const auto elapsed =
+          std::chrono::duration_cast<std::chrono::milliseconds>(
+              std::chrono::steady_clock::now() - sweep_start)
+              .count();
+      if (elapsed >= options.deadline_ms) {
+        report.deadline_hit = true;
+        Log(options, "deadline: sweep stopped after " +
+                         std::to_string(report.cases_run) + "/" +
+                         std::to_string(options.cases) + " cases");
+        break;
+      }
+    }
     const uint64_t case_seed = CaseSeed(options.seed, i);
     Rng rng(case_seed);
     const ProgramClass cls =

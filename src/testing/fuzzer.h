@@ -34,6 +34,10 @@ struct FuzzOptions {
   int mutants_per_case = 2;
   /// Minimize failures before reporting.
   bool shrink = true;
+  /// Wall-clock budget for the whole sweep (0 = none). The loop stops
+  /// cleanly between cases when the budget runs out; the report covers
+  /// exactly the cases that ran (finalized, never partial-case garbage).
+  int64_t deadline_ms = 0;
   /// Where repro files go; empty disables artifact writing.
   std::string artifacts_dir = "fuzz-artifacts";
   /// Progress / failure log; null silences.
@@ -65,6 +69,8 @@ struct FuzzFailure {
 
 struct FuzzReport {
   int cases_run = 0;
+  /// True when FuzzOptions::deadline_ms stopped the sweep early.
+  bool deadline_hit = false;
   /// Applicable oracle checks executed, keyed by pair name.
   std::map<std::string, int64_t> checks_by_name;
   /// Metamorphic mutant checks executed, keyed by mutation name.

@@ -6,6 +6,7 @@
 #include "analysis/magic.h"
 #include "base/rng.h"
 #include "core/engine.h"
+#include "dist/convergence.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "testing/translate.h"
@@ -367,6 +368,88 @@ OracleVerdict RunTraceOnVsTraceOff(ParsedCase* c) {
   return Agreed();
 }
 
+// ---- kReliableVsFaultyPeers ---------------------------------------------
+
+/// The three fault schedules every case runs against, in addition to the
+/// reliable baseline: (0) lossy/chaotic link, (1) a partition that heals,
+/// (2) a crash with checkpoint recovery under residual loss. Fixed shapes
+/// so failures reproduce from (case, salt) alone; the salt seeds the
+/// transports' Rngs through ConvergenceOptions.
+std::vector<FaultSpec> FaultyPeerSchedules() {
+  std::vector<FaultSpec> schedules(3);
+  FaultSchedule& chaos = schedules[0].faults;
+  chaos.drop = 0.25;
+  chaos.duplicate = 0.2;
+  chaos.reorder = 0.5;
+  chaos.delay = 0.3;
+  chaos.max_delay_rounds = 2;
+  FaultSchedule& split = schedules[1].faults;
+  split.drop = 0.15;
+  split.partitions.push_back(NetworkPartition{2, 6, {0}});
+  FaultSchedule& crash = schedules[2].faults;
+  crash.drop = 0.1;
+  crash.duplicate = 0.1;
+  schedules[2].crashes.events.push_back(CrashEvent{1, 2, 2});
+  return schedules;
+}
+
+OracleVerdict RunReliableVsFaultyPeers(ParsedCase* c,
+                                       const std::string& program_text,
+                                       const std::string& facts_text,
+                                       uint64_t salt) {
+  // CALM restricts the oracle to the monotone (positive) dialect: with
+  // negation in bodies the asynchronous fixpoint depends on delivery
+  // timing even between two *reliable* runs.
+  if (!c->ValidDialect(Dialect::kDatalog)) return Inapplicable();
+
+  // Three peers in a gossip ring, each running the generated program
+  // locally and forwarding every predicate it holds to the next peer; all
+  // initial facts live at the first peer. Every peer therefore converges
+  // to the same instance, and every fact crosses the (faulty) network.
+  const Catalog& catalog = c->engine.catalog();
+  const char* names[3] = {"pa", "pb", "pc"};
+  std::vector<PredId> preds = c->program->edb_preds;
+  preds.insert(preds.end(), c->program->idb_preds.begin(),
+               c->program->idb_preds.end());
+  std::vector<PeerSpec> specs(3);
+  for (int i = 0; i < 3; ++i) {
+    std::string forward;
+    for (PredId p : preds) {
+      const std::string& name = catalog.NameOf(p);
+      const int arity = catalog.ArityOf(p);
+      // Nullary predicates cannot be written as atoms, and predicates
+      // already using the location convention would nest ambiguously.
+      if (arity == 0) continue;
+      if (name.rfind("at_", 0) == 0) return Inapplicable();
+      std::string args;
+      for (int a = 0; a < arity; ++a) {
+        if (a > 0) args += ", ";
+        args += "X" + std::to_string(a);
+      }
+      forward += "at_" + std::string(names[(i + 1) % 3]) + "_" + name + "(" +
+                 args + ") :- " + name + "(" + args + ").\n";
+    }
+    specs[static_cast<size_t>(i)] =
+        PeerSpec{names[i], program_text + forward, i == 0 ? facts_text : ""};
+  }
+
+  ConvergenceOptions options;
+  // Faulty runs take many more rounds than the reliable baseline (backoff,
+  // partitions, crash recovery) but the ring is tiny; this budget is far
+  // beyond anything a converging run needs, so hitting it is a bug.
+  options.eval.max_rounds = 10'000;
+  options.schedules = FaultyPeerSchedules();
+  options.seed = salt;
+  options.checkpoint_every_rounds = 2;
+
+  Result<ConvergenceReport> report = CheckConvergence(specs, options);
+  if (!report.ok()) {
+    return Disagreed("convergence run failed: " + report.status().ToString());
+  }
+  if (!report->converged) return Disagreed(report->divergence);
+  return Agreed();
+}
+
 }  // namespace
 
 std::vector<OraclePair> AllOraclePairs() {
@@ -392,6 +475,8 @@ const char* PairName(OraclePair pair) {
       return "sequential-vs-parallel";
     case OraclePair::kTraceOnVsTraceOff:
       return "trace-on-vs-trace-off";
+    case OraclePair::kReliableVsFaultyPeers:
+      return "reliable-vs-faulty-peers";
   }
   return "unknown";
 }
@@ -424,6 +509,8 @@ OracleVerdict OracleRunner::Run(OraclePair pair, const std::string& program,
       return RunSequentialVsParallel(&c, options_.thread_counts);
     case OraclePair::kTraceOnVsTraceOff:
       return RunTraceOnVsTraceOff(&c);
+    case OraclePair::kReliableVsFaultyPeers:
+      return RunReliableVsFaultyPeers(&c, program, facts, salt);
   }
   return Inapplicable();
 }

@@ -34,6 +34,15 @@ namespace fuzz {
 ///                            enabled must produce instances and
 ///                            deterministic EvalStats identical to a run
 ///                            with observability off (stratified programs).
+///  * kReliableVsFaultyPeers — the empirical CALM check (Section 6,
+///                            docs/distribution.md): the generated program
+///                            runs on a three-peer gossip ring once over
+///                            the reliable transport and once per faulty
+///                            schedule (drop/duplicate/reorder/delay,
+///                            partitions, crash/restart); the final
+///                            instances must be byte-identical. Positive
+///                            programs only — the monotone dialect is what
+///                            CALM promises is delivery-order independent.
 enum class OraclePair {
   kNaiveVsSemiNaive,
   kMagicVsOriginal,
@@ -41,9 +50,10 @@ enum class OraclePair {
   kWellFoundedVsStratified,
   kSequentialVsParallel,
   kTraceOnVsTraceOff,
+  kReliableVsFaultyPeers,
 };
 
-inline constexpr int kNumOraclePairs = 6;
+inline constexpr int kNumOraclePairs = 7;
 
 /// All pairs, in declaration order.
 std::vector<OraclePair> AllOraclePairs();

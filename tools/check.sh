@@ -66,21 +66,37 @@ trace_check() {
     "${build_dir}/check_tc_trace.json"
 }
 
+# Fault-injection bench (docs/distribution.md): reliable vs faulty
+# transport overhead and checkpoint cost; every row self-checks CALM
+# convergence, and the JSON lands next to the other BENCH_ artifacts.
+bench_peer_faults() {
+  local build_dir="$1"
+  echo "==> bench-peer-faults ${build_dir}"
+  "${build_dir}/bench/peer_faults" \
+    --json="${build_dir}/BENCH_peer_faults.json" >/dev/null
+}
+
 run_suite "${repo}/build"
 fuzz_smoke "${repo}/build"
 trace_check "${repo}/build"
+bench_peer_faults "${repo}/build"
 if [[ "${sanitize}" -eq 1 ]]; then
+  # The dist suite (PeersFault/Snapshot/FaultSpec + Deadline) runs in the
+  # full ctest sweep, so ASan covers the transport/crash-recovery paths.
   run_suite "${repo}/build-asan" -DCMAKE_BUILD_TYPE=RelWithDebInfo \
     -DUNCHAINED_SANITIZE=ON
   fuzz_smoke "${repo}/build-asan"
   trace_check "${repo}/build-asan"
+  bench_peer_faults "${repo}/build-asan"
 fi
 if [[ "${tsan}" -eq 1 ]]; then
   # The evaluation-layer tests exercise every parallel code path (the
   # determinism sweep runs all engines at 1/2/8 threads under TSan);
-  # Trace/Obs covers the observability ring buffers and shard merges.
+  # Trace/Obs covers the observability ring buffers and shard merges;
+  # Peers/Dist/Fault/Deadline/Cancel covers the fault-tolerant peer runs
+  # and the deadline/cancellation probes at ThreadPool chunk boundaries.
   run_suite "${repo}/build-tsan" \
-    "--tests-regex=Parallel|Datalog|Stratified|WellFounded|Inflationary|NonInflationary|Stable|Engine|SemiNaive|Naive|RandomProgram|Trace|Obs|Metrics|Tracer" \
+    "--tests-regex=Parallel|Datalog|Stratified|WellFounded|Inflationary|NonInflationary|Stable|Engine|SemiNaive|Naive|RandomProgram|Trace|Obs|Metrics|Tracer|Peer|Dist|Deadline|Cancel|Fault|Snapshot" \
     -DCMAKE_BUILD_TYPE=RelWithDebInfo -DUNCHAINED_TSAN=ON
 fi
 

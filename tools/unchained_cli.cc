@@ -3,7 +3,7 @@
 // Usage:
 //   unchained_cli --semantics=NAME --program=FILE [--facts=FILE]
 //                 [--seed=N] [--policy=POLICY] [--max-candidates=N]
-//                 [--threads=N] [--trace=FILE] [--metrics]
+//                 [--threads=N] [--deadline-ms=N] [--trace=FILE] [--metrics]
 //
 //   NAME:   datalog | naive | stratified | wellfounded | inflationary |
 //           noninflationary | invention | stable |
@@ -45,6 +45,9 @@ struct Args {
   /// Worker-pool size (0 = auto, one worker per hardware thread);
   /// -1 leaves the engine default untouched.
   int threads = -1;
+  /// Wall-clock budget for one evaluation (0 = none). An exhausted run
+  /// exits nonzero but still reports the finalized stats it got to.
+  int64_t deadline_ms = 0;
   /// A ground fact ("t(a, c).") whose derivation tree to print after a
   /// datalog / stratified / inflationary evaluation.
   std::string explain;
@@ -97,7 +100,7 @@ int Usage() {
       "                     [--seed=N] [--policy=positive|negative|noop|"
       "undefined]\n"
       "                     [--explain=\"fact(a, b)\"] [--threads=N]\n"
-      "                     [--trace=FILE] [--metrics]\n"
+      "                     [--deadline-ms=N] [--trace=FILE] [--metrics]\n"
       "  NAME: datalog | naive | stratified | wellfounded | inflationary |\n"
       "        noninflationary | invention | stable | nondet-run |\n"
       "        nondet-enum | poss-cert\n");
@@ -115,6 +118,23 @@ bool ReadFile(const std::string& path, std::string* out) {
 
 void PrintInstance(const Engine& engine, const Instance& db) {
   std::fputs(db.ToString(engine.symbols()).c_str(), stdout);
+}
+
+/// Error exit shared by the engine paths: prints the status and, when the
+/// run was cut short by a deadline/cancellation/budget, the finalized
+/// stats it reached — the run still "happened" up to that point.
+int Fail(const Engine& engine, const datalog::Status& status) {
+  std::fprintf(stderr, "%s\n", status.ToString().c_str());
+  if (status.code() == datalog::StatusCode::kBudgetExhausted ||
+      status.code() == datalog::StatusCode::kCancelled) {
+    const datalog::EvalStats& st = engine.LastRunStats();
+    std::fprintf(stderr,
+                 "%% interrupted after %lld round(s), %lld fact(s) derived, "
+                 "%.3f ms\n",
+                 static_cast<long long>(st.rounds),
+                 static_cast<long long>(st.facts_derived), st.total_ms);
+  }
+  return 1;
 }
 
 }  // namespace
@@ -136,6 +156,10 @@ int main(int argc, char** argv) {
     if (ParseArg(argv[i], "explain", &args.explain)) continue;
     if (ParseArg(argv[i], "threads", &value)) {
       args.threads = std::atoi(value.c_str());
+      continue;
+    }
+    if (ParseArg(argv[i], "deadline-ms", &value)) {
+      args.deadline_ms = std::stoll(value);
       continue;
     }
     if (ParseArg(argv[i], "trace", &args.trace_path)) continue;
@@ -166,6 +190,7 @@ int main(int argc, char** argv) {
 
   Engine engine;
   if (args.threads >= 0) engine.options().num_threads = args.threads;
+  if (args.deadline_ms > 0) engine.options().deadline_ms = args.deadline_ms;
 
   // The while/fixpoint languages use their own surface syntax; everything
   // else goes through the Datalog-family parser.
@@ -261,28 +286,19 @@ int main(int argc, char** argv) {
   if (s == "datalog" || s == "naive") {
     auto r = s == "datalog" ? engine.MinimumModel(*program, db)
                             : engine.MinimumModelNaive(*program, db);
-    if (!r.ok()) {
-      std::fprintf(stderr, "%s\n", r.status().ToString().c_str());
-      return 1;
-    }
+    if (!r.ok()) return Fail(engine, r.status());
     PrintInstance(engine, *r);
     return print_explanation();
   }
   if (s == "stratified") {
     auto r = engine.Stratified(*program, db);
-    if (!r.ok()) {
-      std::fprintf(stderr, "%s\n", r.status().ToString().c_str());
-      return 1;
-    }
+    if (!r.ok()) return Fail(engine, r.status());
     PrintInstance(engine, *r);
     return print_explanation();
   }
   if (s == "wellfounded") {
     auto r = engine.WellFounded(*program, db);
-    if (!r.ok()) {
-      std::fprintf(stderr, "%s\n", r.status().ToString().c_str());
-      return 1;
-    }
+    if (!r.ok()) return Fail(engine, r.status());
     std::printf("%% true facts\n");
     PrintInstance(engine, r->true_facts);
     if (!r->IsTotal()) {
@@ -307,16 +323,16 @@ int main(int argc, char** argv) {
   }
   if (s == "inflationary") {
     auto r = engine.Inflationary(*program, db);
-    if (!r.ok()) {
-      std::fprintf(stderr, "%s\n", r.status().ToString().c_str());
-      return 1;
-    }
+    if (!r.ok()) return Fail(engine, r.status());
     std::printf("%% %d stages\n", r->stages);
     PrintInstance(engine, r->instance);
     return print_explanation();
   }
   if (s == "noninflationary") {
     datalog::NonInflationaryOptions options;
+    // This facade reads its own options struct; forward the engine-wide
+    // settings (threads, deadline) so the flags apply here too.
+    options.eval = engine.options();
     if (args.policy == "positive") {
       options.policy = datalog::ConflictPolicy::kPositiveWins;
     } else if (args.policy == "negative") {
@@ -329,20 +345,14 @@ int main(int argc, char** argv) {
       return Usage();
     }
     auto r = engine.NonInflationary(*program, db, options);
-    if (!r.ok()) {
-      std::fprintf(stderr, "%s\n", r.status().ToString().c_str());
-      return 1;
-    }
+    if (!r.ok()) return Fail(engine, r.status());
     std::printf("%% %d stages\n", r->stages);
     PrintInstance(engine, r->instance);
     return 0;
   }
   if (s == "invention") {
     auto r = engine.Invention(*program, db);
-    if (!r.ok()) {
-      std::fprintf(stderr, "%s\n", r.status().ToString().c_str());
-      return 1;
-    }
+    if (!r.ok()) return Fail(engine, r.status());
     std::printf("%% %lld invented values\n",
                 static_cast<long long>(r->invented_values));
     PrintInstance(engine, r->instance);
@@ -375,21 +385,18 @@ int main(int argc, char** argv) {
         break;
       }
     }
+    datalog::NondetOptions nondet_options;
+    nondet_options.eval = engine.options();
     if (s == "nondet-run") {
-      auto r = engine.NondetRun(*program, dialect, db, args.seed);
-      if (!r.ok()) {
-        std::fprintf(stderr, "%s\n", r.status().ToString().c_str());
-        return 1;
-      }
+      auto r =
+          engine.NondetRun(*program, dialect, db, args.seed, nondet_options);
+      if (!r.ok()) return Fail(engine, r.status());
       PrintInstance(engine, *r);
       return 0;
     }
     if (s == "nondet-enum") {
-      auto r = engine.NondetEnumerate(*program, dialect, db);
-      if (!r.ok()) {
-        std::fprintf(stderr, "%s\n", r.status().ToString().c_str());
-        return 1;
-      }
+      auto r = engine.NondetEnumerate(*program, dialect, db, nondet_options);
+      if (!r.ok()) return Fail(engine, r.status());
       std::printf("%% %zu image(s), %zu states, %zu abandoned\n",
                   r->images.size(), r->states_explored,
                   r->abandoned_branches);

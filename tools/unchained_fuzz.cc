@@ -4,7 +4,7 @@
 //   unchained_fuzz [--cases=N] [--seed=S] [--classes=a,b,...]
 //                  [--pairs=a,b,...] [--mutants=N] [--artifacts=DIR]
 //                  [--no-shrink] [--inject-bug=NAME[:RULE]] [--quiet]
-//                  [--trace=FILE] [--metrics]
+//                  [--deadline-ms=N] [--trace=FILE] [--metrics]
 //
 //   classes: positive | semi-positive | stratified | total
 //   pairs:   naive-vs-seminaive | magic-vs-original | inflationary-vs-while
@@ -70,7 +70,8 @@ int Usage() {
       "                      [--pairs=a,b,...] [--mutants=N]\n"
       "                      [--artifacts=DIR] [--no-shrink]\n"
       "                      [--inject-bug=seminaive-skip-delta[:RULE]]\n"
-      "                      [--quiet] [--trace=FILE] [--metrics]\n");
+      "                      [--quiet] [--deadline-ms=N] [--trace=FILE]\n"
+      "                      [--metrics]\n");
   return 2;
 }
 
@@ -125,6 +126,8 @@ int main(int argc, char** argv) {
         std::fprintf(stderr, "unknown bug: %s\n", name.c_str());
         return Usage();
       }
+    } else if (ParseArg(arg, "deadline-ms", &value)) {
+      options.deadline_ms = std::strtoll(value.c_str(), nullptr, 10);
     } else if (ParseArg(arg, "trace", &trace_path)) {
       // handled below
     } else if (std::strcmp(arg, "--metrics") == 0) {
@@ -192,6 +195,11 @@ int main(int argc, char** argv) {
                   failure.shrink_oracle_calls, failure.shrunk_program.c_str(),
                   failure.shrunk_facts.c_str());
     }
+  }
+  if (report.deadline_hit) {
+    std::printf("\n%% deadline reached: sweep stopped after %d of %d cases "
+                "(report covers the finished cases only)\n",
+                report.cases_run, options.cases);
   }
   std::printf("\n%d cases, %lld checks, %zu disagreements\n",
               report.cases_run, static_cast<long long>(report.TotalChecks()),
