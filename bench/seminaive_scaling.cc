@@ -14,6 +14,12 @@
 // timed google-benchmark loops use the first count, and the instrumented
 // JSON pass sweeps the whole list (row names gain a "/tN" suffix and rows
 // gain "threads" + "per_worker" fields). 0 means auto-size the pool.
+//
+// Pass `--storage=hash|columnar[,...]` to pick the semi-naive data plane
+// (docs/storage.md): the timed loops use the first backend, the JSON pass
+// sweeps the list (non-default backends suffix row names with
+// "/columnar" etc.), and every row carries the storage.* maintenance
+// counters.
 
 #include <benchmark/benchmark.h>
 
@@ -34,10 +40,15 @@ using datalog::Instance;
 // then keep the EvalOptions default and JSON rows stay in the old shape).
 std::vector<int> g_threads;
 
-// The timed loops run at one setting — the first of the sweep — so the
+// Storage backends from --storage=, empty when absent (EvalOptions
+// default, i.e. hash).
+std::vector<datalog::storage::StorageBackend> g_storage;
+
+// The timed loops run at one setting — the first of each sweep — so the
 // reported ms stay comparable across --benchmark_filter invocations.
 void ApplyThreads(Engine* engine) {
   if (!g_threads.empty()) engine->options().num_threads = g_threads.front();
+  if (!g_storage.empty()) engine->options().storage = g_storage.front();
 }
 
 constexpr const char* kTc =
@@ -168,19 +179,34 @@ BENCHMARK(BM_NondetOrientationRun)->Arg(4)->Arg(8)->Arg(16);
 template <typename Body>
 void SweepRow(datalog::bench::JsonEmitter* json, const std::string& name,
               Body body) {
-  if (g_threads.empty()) {
-    Engine engine;
-    double ms = body(&engine);
-    if (ms >= 0) json->Row(name, ms, engine.LastRunStats());
-    return;
+  // One backend per pass; the default-only sweep keeps the old row names,
+  // non-default backends are called out in the name so hash and columnar
+  // rows can sit in one file.
+  std::vector<datalog::storage::StorageBackend> backends = g_storage;
+  if (backends.empty()) {
+    backends.push_back(datalog::storage::StorageBackend::kHash);
   }
-  for (int th : g_threads) {
-    Engine engine;
-    engine.options().num_threads = th;
-    double ms = body(&engine);
-    if (ms >= 0) {
-      json->Row(name + "/t" + std::to_string(th), ms, engine.LastRunStats(),
-                th);
+  for (datalog::storage::StorageBackend backend : backends) {
+    std::string base = name;
+    if (backend != datalog::storage::StorageBackend::kHash) {
+      base += std::string("/") + datalog::storage::StorageBackendName(backend);
+    }
+    if (g_threads.empty()) {
+      Engine engine;
+      engine.options().storage = backend;
+      double ms = body(&engine);
+      if (ms >= 0) json->Row(base, ms, engine.LastRunStats());
+      continue;
+    }
+    for (int th : g_threads) {
+      Engine engine;
+      engine.options().num_threads = th;
+      engine.options().storage = backend;
+      double ms = body(&engine);
+      if (ms >= 0) {
+        json->Row(base + "/t" + std::to_string(th), ms,
+                  engine.LastRunStats(), th);
+      }
     }
   }
 }
@@ -199,7 +225,7 @@ void EmitStatsJson(const std::string& path) {
                return r.ok() ? t.ElapsedMs() : -1.0;
              });
   }
-  for (int n : {64, 128, 256}) {
+  for (int n : {64, 128, 256, 512, 1024}) {
     SweepRow(&json, "seminaive_tc_chain/" + std::to_string(n),
              [n](Engine* engine) -> double {
                auto p = engine->Parse(kTc);
@@ -271,6 +297,7 @@ int main(int argc, char** argv) {
   // before google-benchmark sees the arguments (it rejects flags it
   // doesn't recognize).
   g_threads = datalog::bench::ThreadsFromArgs(argc, argv);
+  g_storage = datalog::bench::StorageFromArgs(argc, argv);
   datalog::bench::ObsArgs observability(argc, argv);
   std::string json_path;
   std::vector<char*> passthrough;
@@ -280,6 +307,7 @@ int main(int argc, char** argv) {
     if (arg.rfind("--json=", 0) == 0) {
       json_path = arg.substr(7);
     } else if (arg.rfind("--threads=", 0) != 0 &&
+               arg.rfind("--storage=", 0) != 0 &&
                arg.rfind("--trace=", 0) != 0 && arg != "--metrics") {
       passthrough.push_back(argv[i]);
     }

@@ -1,0 +1,161 @@
+#ifndef UNCHAINED_EVAL_COLUMNAR_H_
+#define UNCHAINED_EVAL_COLUMNAR_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "ast/ast.h"
+#include "eval/context.h"
+#include "eval/grounder.h"
+#include "ra/instance.h"
+#include "ra/storage/row_set.h"
+
+namespace datalog {
+namespace columnar {
+
+/// One round's delta for a predicate on the columnar backend: flat
+/// row-major values, lexicographically sorted and duplicate-free. A delta
+/// is produced sorted once per round and then only read — the "naturally
+/// small and sorted" runs the merge joins probe from.
+struct FlatDelta {
+  int arity = 0;
+  size_t rows = 0;
+  /// rows * arity values, row-major.
+  std::vector<Value> values;
+};
+
+/// The columnar delta engine behind EvalOptions::storage == kColumnar
+/// (docs/storage.md): plans each rule's semi-naive delta step once per
+/// SemiNaiveStep and then executes the delta rounds over sorted columnar
+/// runs instead of tuple-at-a-time hash probes.
+///
+/// Plan kinds per (rule, recursive body literal):
+///  * delta scan        — single-literal bodies: stream the delta rows;
+///  * bitmap semijoin   — the other body literal is unary and fully bound
+///                        by the delta atom: probe its compressed bitmap;
+///  * merge join        — general two-literal bodies: binary-search the
+///                        other literal's sorted runs, keyed on the
+///                        columns the delta atom (or a constant) binds;
+///  * fallback          — any other shape (≥3 positive literals, negation,
+///                        equality, ∀-rules, arity-0 body atoms, head
+///                        variables outside the body atoms): the generic
+///                        RuleMatcher runs against a delta relation
+///                        materialized from the flat rows.
+///
+/// The engine enumerates exactly the satisfying valuations the sequential
+/// hash path enumerates, and counts them identically: `matches` at
+/// enumeration, `tuples_produced` against the round-start database (no
+/// candidate is inserted before every rule's produced-check ran). All
+/// deterministic EvalStats counters therefore agree with the hash backend
+/// — the claim oracle pair #8 sweeps.
+class DeltaEngine {
+ public:
+  /// Plans the rules of one SemiNaiveStep. All referenced objects must
+  /// outlive the engine; `matchers` is only used for fallback rules.
+  DeltaEngine(const std::vector<int>& rule_indexes,
+              const std::vector<const Rule*>& rules,
+              const std::vector<RuleMatcher>* matchers,
+              const std::vector<PredId>& recursive_preds);
+
+  /// Seeds the first delta from round 0's fresh facts (recursive
+  /// predicates only).
+  void SeedDelta(const Instance& fresh);
+
+  bool HasDelta() const { return !delta_.empty(); }
+
+  /// Executes one delta round against the round-start state of `*db`:
+  /// enumerates matches, counts them into ctx->stats, inserts the new
+  /// facts into `*db` and replaces the delta with the round's newly
+  /// derived recursive facts. `skip_rule` mirrors
+  /// internal::g_seminaive_skip_delta_rule (a global rule index, or -1).
+  /// Returns the number of facts added to `*db`.
+  int64_t Round(const Program& program, Instance* db, EvalContext* ctx,
+                int skip_rule);
+
+ private:
+  /// Value source: a rule constant or a bound variable.
+  struct ValueSrc {
+    bool is_const = false;
+    int var = -1;
+    Value constant = -1;
+  };
+
+  /// What to do with one column of an atom being scanned.
+  struct ColOp {
+    enum class Kind {
+      kBind,        // first occurrence of a variable: bind it
+      kCheckVar,    // repeated variable: must equal the bound value
+      kCheckConst,  // constant: must equal it
+    };
+    Kind kind = Kind::kBind;
+    int col = 0;
+    int var = -1;
+    Value constant = -1;
+  };
+
+  /// The fast-path plan for one (rule, delta body literal).
+  struct Plan {
+    enum class Kind { kDeltaScan, kBitmapSemiJoin, kMergeJoin };
+    Kind kind = Kind::kDeltaScan;
+    int delta_literal = -1;  // index into rule.body
+    PredId delta_pred = -1;
+    std::vector<ColOp> delta_cols;
+    // kBitmapSemiJoin / kMergeJoin: the other positive literal.
+    PredId other_pred = -1;
+    ValueSrc probe;  // kBitmapSemiJoin: the value probed into the bitmap
+    // kMergeJoin: determined columns of the other atom (ascending), the
+    // sources of their key values, and the ops for the free columns.
+    std::vector<int> key_cols;
+    std::vector<ValueSrc> key_src;
+    std::vector<ColOp> other_cols;
+  };
+
+  /// Everything the round needs per rule.
+  struct RulePlan {
+    bool fallback = false;
+    PredId head_pred = -1;
+    int head_arity = 0;
+    std::vector<ValueSrc> head;  // head emission, one source per column
+    std::vector<Plan> plans;     // empty when fallback
+  };
+
+  /// Flat candidate head rows of one rule for one round.
+  struct Candidates {
+    std::vector<Value> values;
+    size_t rows = 0;
+  };
+
+  /// Builds the plan for rule `i`, or marks it fallback.
+  void PlanRule(size_t i);
+
+  /// Phase A for one fast-path plan: appends candidate head rows.
+  void ExecutePlan(const Plan& plan, const RulePlan& rp,
+                   const FlatDelta& delta, const Instance& db,
+                   EvalContext* ctx, std::vector<Value>* val,
+                   Candidates* out) const;
+
+  /// The membership set mirroring `db`'s relation for head predicate `p`,
+  /// seeded from the relation's round-start contents on first use. The
+  /// engine checks produced-ness and inserts against this set, staging the
+  /// accepted rows into the relation (Relation::AppendStagedRows) without
+  /// touching its tuple set — the hash build is deferred to the first
+  /// tuple-level reader.
+  storage::RowSet& SeenFor(PredId p, const Instance& db);
+
+  const std::vector<int>& rule_indexes_;
+  const std::vector<const Rule*>& rules_;
+  const std::vector<RuleMatcher>* matchers_;
+  std::vector<PredId> recursive_preds_;
+  std::unordered_set<PredId> recursive_;
+  std::vector<RulePlan> plans_;
+  std::unordered_map<PredId, FlatDelta> delta_;
+  /// Per-head-predicate membership sets; see SeenFor.
+  std::unordered_map<PredId, storage::RowSet> seen_;
+};
+
+}  // namespace columnar
+}  // namespace datalog
+
+#endif  // UNCHAINED_EVAL_COLUMNAR_H_

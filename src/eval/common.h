@@ -6,6 +6,8 @@
 #include <cstdint>
 #include <vector>
 
+#include "ra/storage/storage.h"
+
 namespace datalog {
 
 class DerivationLog;
@@ -61,6 +63,28 @@ struct EvalStats {
   int64_t index_rebuilds = 0;
   /// Tuples appended incrementally from relation journals.
   int64_t index_appended = 0;
+  /// Bitmap-index lookups served by an up-to-date bitmap.
+  int64_t index_bitmap_hits = 0;
+  /// First-time bitmap builds for unary predicates.
+  int64_t index_bitmap_builds = 0;
+  /// Bitmap rebuilds forced by non-monotone mutation.
+  int64_t index_bitmap_rebuilds = 0;
+  /// Values appended to bitmaps from relation journals.
+  int64_t index_bitmap_appended = 0;
+
+  // -- Columnar storage (mirrors storage::ColumnStore::Counters) -------
+  /// First-time sorted-view builds of a (pred, key columns) view.
+  int64_t storage_builds = 0;
+  /// Full view rebuilds forced by non-monotone mutation.
+  int64_t storage_rebuilds = 0;
+  /// Journal tails appended as new sorted runs.
+  int64_t storage_run_appends = 0;
+  /// Rows appended across those runs.
+  int64_t storage_rows_appended = 0;
+  /// Merge-compactions (runs folded into one).
+  int64_t storage_compactions = 0;
+  /// View refreshes served by an already up-to-date view.
+  int64_t storage_hits = 0;
 
   // -- Parallel execution ----------------------------------------------
   /// Pool activity of one worker across the run's parallel regions.
@@ -113,6 +137,16 @@ struct EvalStats {
     index_builds += other.index_builds;
     index_rebuilds += other.index_rebuilds;
     index_appended += other.index_appended;
+    index_bitmap_hits += other.index_bitmap_hits;
+    index_bitmap_builds += other.index_bitmap_builds;
+    index_bitmap_rebuilds += other.index_bitmap_rebuilds;
+    index_bitmap_appended += other.index_bitmap_appended;
+    storage_builds += other.storage_builds;
+    storage_rebuilds += other.storage_rebuilds;
+    storage_run_appends += other.storage_run_appends;
+    storage_rows_appended += other.storage_rows_appended;
+    storage_compactions += other.storage_compactions;
+    storage_hits += other.storage_hits;
   }
 };
 
@@ -152,6 +186,13 @@ struct EvalOptions {
   /// well-founded engine ignores it (its inner fixpoints run on
   /// over-/under-estimates whose derivations would be misleading).
   DerivationLog* provenance = nullptr;
+  /// Data-plane representation for the semi-naive delta path
+  /// (docs/storage.md): kHash re-probes the persistent hash indexes
+  /// tuple-at-a-time; kColumnar drives merge joins over sorted columnar
+  /// runs plus bitmap semijoins for unary predicates. Results and the
+  /// deterministic stats counters are identical either way (oracle pair
+  /// #8 sweeps this); engines without a columnar path ignore the option.
+  storage::StorageBackend storage = storage::StorageBackend::kHash;
 };
 
 }  // namespace datalog

@@ -24,6 +24,16 @@ struct EvalMetrics {
   obs::CounterHandle index_builds{"index.builds"};
   obs::CounterHandle index_rebuilds{"index.rebuilds"};
   obs::CounterHandle index_appended{"index.appended"};
+  obs::CounterHandle bitmap_hits{"index.bitmap_hits"};
+  obs::CounterHandle bitmap_builds{"index.bitmap_builds"};
+  obs::CounterHandle bitmap_rebuilds{"index.bitmap_rebuilds"};
+  obs::CounterHandle bitmap_appended{"index.bitmap_appended"};
+  obs::CounterHandle storage_builds{"storage.builds"};
+  obs::CounterHandle storage_rebuilds{"storage.rebuilds"};
+  obs::CounterHandle storage_run_appends{"storage.run_appends"};
+  obs::CounterHandle storage_rows_appended{"storage.rows_appended"};
+  obs::CounterHandle storage_compactions{"storage.compactions"};
+  obs::CounterHandle storage_hits{"storage.hits"};
   obs::CounterHandle pool_chunks{"threadpool.chunks"};
   obs::CounterHandle pool_steals{"threadpool.steals"};
   obs::CounterHandle pool_busy_us{"threadpool.busy_us"};
@@ -70,6 +80,16 @@ void EvalContext::PublishMetrics() {
   m.index_builds.Add(stats.index_builds);
   m.index_rebuilds.Add(stats.index_rebuilds);
   m.index_appended.Add(stats.index_appended);
+  m.bitmap_hits.Add(stats.index_bitmap_hits);
+  m.bitmap_builds.Add(stats.index_bitmap_builds);
+  m.bitmap_rebuilds.Add(stats.index_bitmap_rebuilds);
+  m.bitmap_appended.Add(stats.index_bitmap_appended);
+  m.storage_builds.Add(stats.storage_builds);
+  m.storage_rebuilds.Add(stats.storage_rebuilds);
+  m.storage_run_appends.Add(stats.storage_run_appends);
+  m.storage_rows_appended.Add(stats.storage_rows_appended);
+  m.storage_compactions.Add(stats.storage_compactions);
+  m.storage_hits.Add(stats.storage_hits);
   for (const EvalStats::WorkerActivity& w : stats.per_worker) {
     m.pool_chunks.Add(w.chunks);
     m.pool_steals.Add(w.steals);

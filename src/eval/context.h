@@ -14,6 +14,7 @@
 #include "eval/common.h"
 #include "ra/index.h"
 #include "ra/instance.h"
+#include "ra/storage/column_store.h"
 
 namespace datalog {
 
@@ -69,6 +70,9 @@ class EvalContext {
   EvalStats stats;
   IndexManager index;
   AdomCache adom_cache;
+  /// Sorted columnar views for the columnar backend (docs/storage.md);
+  /// idle (never populated) when options.storage is kHash.
+  storage::ColumnStore column_store;
   /// When non-null, engines record first derivations here (mirrors
   /// options.provenance; kept as a member so engines no longer thread a
   /// third parameter around).
@@ -168,6 +172,30 @@ class EvalContext {
     folded_index_builds_ = c.builds;
     folded_index_rebuilds_ = c.rebuilds;
     folded_index_appended_ = c.appended;
+    stats.index_bitmap_hits += c.bitmap_hits - folded_bitmap_hits_;
+    stats.index_bitmap_builds += c.bitmap_builds - folded_bitmap_builds_;
+    stats.index_bitmap_rebuilds +=
+        c.bitmap_rebuilds - folded_bitmap_rebuilds_;
+    stats.index_bitmap_appended +=
+        c.bitmap_appended - folded_bitmap_appended_;
+    folded_bitmap_hits_ = c.bitmap_hits;
+    folded_bitmap_builds_ = c.bitmap_builds;
+    folded_bitmap_rebuilds_ = c.bitmap_rebuilds;
+    folded_bitmap_appended_ = c.bitmap_appended;
+    const storage::ColumnStore::Counters& s = column_store.counters();
+    stats.storage_builds += s.builds - folded_storage_builds_;
+    stats.storage_rebuilds += s.rebuilds - folded_storage_rebuilds_;
+    stats.storage_run_appends += s.run_appends - folded_storage_run_appends_;
+    stats.storage_rows_appended +=
+        s.rows_appended - folded_storage_rows_appended_;
+    stats.storage_compactions += s.compactions - folded_storage_compactions_;
+    stats.storage_hits += s.hits - folded_storage_hits_;
+    folded_storage_builds_ = s.builds;
+    folded_storage_rebuilds_ = s.rebuilds;
+    folded_storage_run_appends_ = s.run_appends;
+    folded_storage_rows_appended_ = s.rows_appended;
+    folded_storage_compactions_ = s.compactions;
+    folded_storage_hits_ = s.hits;
     FoldWorkerStats();
   }
 
@@ -197,6 +225,17 @@ class EvalContext {
   int64_t folded_index_builds_ = 0;
   int64_t folded_index_rebuilds_ = 0;
   int64_t folded_index_appended_ = 0;
+  int64_t folded_bitmap_hits_ = 0;
+  int64_t folded_bitmap_builds_ = 0;
+  int64_t folded_bitmap_rebuilds_ = 0;
+  int64_t folded_bitmap_appended_ = 0;
+  /// Column-store counter values already folded into `stats`.
+  int64_t folded_storage_builds_ = 0;
+  int64_t folded_storage_rebuilds_ = 0;
+  int64_t folded_storage_run_appends_ = 0;
+  int64_t folded_storage_rows_appended_ = 0;
+  int64_t folded_storage_compactions_ = 0;
+  int64_t folded_storage_hits_ = 0;
 };
 
 }  // namespace datalog

@@ -1,10 +1,12 @@
 #include "eval/seminaive.h"
 
 #include <cassert>
+#include <memory>
 #include <unordered_map>
 #include <unordered_set>
 
 #include "base/thread_pool.h"
+#include "eval/columnar.h"
 #include "eval/grounder.h"
 #include "eval/parallel.h"
 #include "eval/provenance.h"
@@ -53,6 +55,17 @@ Result<int64_t> SemiNaiveStep(const Program& program,
   // is the record); those runs take the exact sequential path below.
   ThreadPool* pool = ctx->provenance == nullptr ? ctx->pool() : nullptr;
   const std::function<bool()> stop = ctx->StopProbe();
+
+  // Columnar backend (docs/storage.md): round 0 runs the generic full
+  // evaluation either way, but the delta rounds below are replaced by
+  // merge joins over sorted runs. Provenance runs stay on the generic
+  // sequential path — first-derivation order is the record.
+  std::unique_ptr<columnar::DeltaEngine> columnar_engine;
+  if (ctx->options.storage == storage::StorageBackend::kColumnar &&
+      ctx->provenance == nullptr) {
+    columnar_engine = std::make_unique<columnar::DeltaEngine>(
+        rule_indexes, rules, &matchers, recursive_preds);
+  }
 
   int64_t total_added = 0;
 
@@ -106,12 +119,51 @@ Result<int64_t> SemiNaiveStep(const Program& program,
       }
     }
     ++st.rounds;
-    for (PredId p : recursive_preds) {
-      const Relation& rel = fresh.Rel(p);
-      if (!rel.empty()) delta.emplace(p, rel);
+    if (columnar_engine != nullptr) {
+      columnar_engine->SeedDelta(fresh);
+    } else {
+      for (PredId p : recursive_preds) {
+        const Relation& rel = fresh.Rel(p);
+        if (!rel.empty()) delta.emplace(p, rel);
+      }
     }
     total_added += static_cast<int64_t>(db->UnionWith(fresh));
     ctx->FinishRound();
+  }
+
+  // Columnar delta rounds: same budget/interrupt contract as the hash
+  // loop below, but each round is one DeltaEngine::Round — merge joins
+  // and bitmap semijoins over sorted runs, candidates staged flat, new
+  // facts inserted at end of round. Runs on the evaluating thread: deltas
+  // are small, and determinism across thread counts is then structural.
+  if (columnar_engine != nullptr) {
+    while (columnar_engine->HasDelta()) {
+      if (Status interrupted = ctx->CheckInterrupt(); !interrupted.ok()) {
+        st.facts_derived += total_added;
+        ctx->Finalize();
+        return interrupted;
+      }
+      if (++st.rounds > ctx->options.max_rounds) {
+        st.facts_derived += total_added;
+        ctx->Finalize();
+        return Status::BudgetExhausted(
+            "semi-naive evaluation exceeded " +
+            std::to_string(ctx->options.max_rounds) + " rounds");
+      }
+      ctx->StartRound();
+      OBS_SPAN("seminaive.round", {{"round", st.rounds}});
+      total_added += columnar_engine->Round(
+          program, db, ctx, internal::g_seminaive_skip_delta_rule);
+      ctx->FinishRound();
+      if (static_cast<int64_t>(db->TotalFacts()) > ctx->options.max_facts) {
+        st.facts_derived += total_added;
+        ctx->Finalize();
+        return Status::BudgetExhausted(
+            "semi-naive evaluation exceeded fact budget");
+      }
+    }
+    st.facts_derived += total_added;
+    return total_added;
   }
 
   // Delta rounds. The persistent indexes over `db` are refreshed by

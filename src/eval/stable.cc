@@ -88,6 +88,11 @@ Result<StableModelsResult> StableModels(const Program& program,
     const size_t chunk = std::max<size_t>(
         1, static_cast<size_t>(combinations) /
                (static_cast<size_t>(pool->num_workers()) * 8));
+    // The workers copy `wf->true_facts` and read `input` concurrently;
+    // fold any staged columnar rows on this thread first — lazy
+    // materialization must not race (see Relation::MaterializeStaged).
+    wf->true_facts.MaterializeStaged();
+    input.MaterializeStaged();
     pool->ParallelFor(
         static_cast<size_t>(combinations), chunk,
         [&](size_t begin, size_t end, int /*worker*/) {

@@ -6,11 +6,12 @@ Result<PredId> Catalog::Declare(std::string_view name, int arity) {
   auto it = by_name_.find(std::string(name));
   if (it != by_name_.end()) {
     PredId id = it->second;
-    if (arities_[id] != arity) {
+    const size_t slot = static_cast<size_t>(id);
+    if (arities_[slot] != arity) {
       return Status::SchemaError("predicate '" + std::string(name) +
                                  "' used with arity " + std::to_string(arity) +
                                  " but declared with arity " +
-                                 std::to_string(arities_[id]));
+                                 std::to_string(arities_[slot]));
     }
     return id;
   }

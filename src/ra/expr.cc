@@ -41,7 +41,9 @@ class ProjectExpr final : public RaExpr {
     Relation out(arity());
     Tuple t(cols_.size());
     for (const Tuple& row : in) {
-      for (size_t i = 0; i < cols_.size(); ++i) t[i] = row[cols_[i]];
+      for (size_t i = 0; i < cols_.size(); ++i) {
+      t[i] = row[static_cast<size_t>(cols_[i])];
+    }
       out.Insert(t);
     }
     return out;
@@ -71,8 +73,10 @@ class SelectExpr final : public RaExpr {
  private:
   bool Matches(const Tuple& row) const {
     for (const SelCondition& c : conds_) {
-      Value l = c.lhs.is_column ? row[c.lhs.index] : c.lhs.constant;
-      Value r = c.rhs.is_column ? row[c.rhs.index] : c.rhs.constant;
+      Value l =
+          c.lhs.is_column ? row[static_cast<size_t>(c.lhs.index)] : c.lhs.constant;
+      Value r =
+          c.rhs.is_column ? row[static_cast<size_t>(c.rhs.index)] : c.rhs.constant;
       if ((l == r) != c.equal) return false;
     }
     return true;
@@ -125,11 +129,15 @@ class JoinExpr final : public RaExpr {
     std::unordered_map<Tuple, std::vector<const Tuple*>, TupleHash> index;
     Tuple key(eq_cols_.size());
     for (const Tuple& rt : r) {
-      for (size_t i = 0; i < eq_cols_.size(); ++i) key[i] = rt[eq_cols_[i].second];
+      for (size_t i = 0; i < eq_cols_.size(); ++i) {
+        key[i] = rt[static_cast<size_t>(eq_cols_[i].second)];
+      }
       index[key].push_back(&rt);
     }
     for (const Tuple& lt : l) {
-      for (size_t i = 0; i < eq_cols_.size(); ++i) key[i] = lt[eq_cols_[i].first];
+      for (size_t i = 0; i < eq_cols_.size(); ++i) {
+        key[i] = lt[static_cast<size_t>(eq_cols_[i].first)];
+      }
       auto it = index.find(key);
       if (it == index.end()) continue;
       for (const Tuple* rt : it->second) {
@@ -199,7 +207,7 @@ class AdomExpr final : public RaExpr {
     dom.insert(extra_.begin(), extra_.end());
     std::vector<Value> values(dom.begin(), dom.end());
     Relation out(arity());
-    Tuple t(arity());
+    Tuple t(static_cast<size_t>(arity()));
     FillFrom(values, 0, &t, &out);
     return out;
   }
@@ -212,7 +220,7 @@ class AdomExpr final : public RaExpr {
       return;
     }
     for (Value v : values) {
-      (*t)[pos] = v;
+      (*t)[static_cast<size_t>(pos)] = v;
       FillFrom(values, pos + 1, t, out);
     }
   }

@@ -1,5 +1,6 @@
 #include "ra/index.h"
 
+#include <cassert>
 #include <mutex>
 
 #include "obs/trace.h"
@@ -69,6 +70,42 @@ const IndexManager::Bucket* IndexManager::LookupLocked(const Relation& rel,
   }
   auto bit = index.buckets.find(key);
   return bit == index.buckets.end() ? nullptr : &bit->second;
+}
+
+const storage::ValueBitmap* IndexManager::UnaryBitmap(const Instance& db,
+                                                      PredId pred) {
+  assert(!parallel_ &&
+         "bitmap indexes serve the sequential columnar path only");
+  const Relation& rel = db.Rel(pred);
+  if (rel.arity() != 1) return nullptr;
+  auto [it, created] = bitmaps_.try_emplace(pred);
+  BitmapIndex& index = it->second;
+  if (created || index.epoch != rel.epoch()) {
+    if (created) {
+      counters_.bitmap_builds.fetch_add(1, std::memory_order_relaxed);
+      OBS_SPAN("index.bitmap_build", {{"pred", pred}});
+    } else {
+      counters_.bitmap_rebuilds.fetch_add(1, std::memory_order_relaxed);
+      OBS_SPAN("index.bitmap_rebuild", {{"pred", pred}});
+    }
+    index.bitmap.Clear();
+    for (const Tuple& t : rel) index.bitmap.Add(t[0]);
+    index.epoch = rel.epoch();
+    index.journal_pos = rel.journal().size();
+  } else if (index.journal_pos != rel.journal().size()) {
+    OBS_SPAN("index.bitmap_append", {{"pred", pred}});
+    const auto& journal = rel.journal();
+    counters_.bitmap_appended.fetch_add(
+        static_cast<int64_t>(journal.size() - index.journal_pos),
+        std::memory_order_relaxed);
+    for (size_t i = index.journal_pos; i < journal.size(); ++i) {
+      index.bitmap.Add((*journal[i])[0]);
+    }
+    index.journal_pos = journal.size();
+  } else {
+    counters_.bitmap_hits.fetch_add(1, std::memory_order_relaxed);
+  }
+  return &index.bitmap;
 }
 
 const IndexManager::Bucket* IndexManager::Lookup(const Instance& db,

@@ -10,6 +10,7 @@
 
 #include "ra/instance.h"
 #include "ra/relation.h"
+#include "ra/storage/bitmap.h"
 #include "ra/tuple.h"
 
 namespace datalog {
@@ -58,6 +59,14 @@ class IndexManager {
     std::atomic<int64_t> rebuilds{0};
     /// Tuples appended incrementally from relation journals.
     std::atomic<int64_t> appended{0};
+    /// Bitmap-index lookups served by an up-to-date bitmap.
+    std::atomic<int64_t> bitmap_hits{0};
+    /// First-time bitmap builds for a unary predicate.
+    std::atomic<int64_t> bitmap_builds{0};
+    /// Bitmap rebuilds forced by an epoch change.
+    std::atomic<int64_t> bitmap_rebuilds{0};
+    /// Values appended to bitmaps from relation journals.
+    std::atomic<int64_t> bitmap_appended{0};
   };
 
   IndexManager() = default;
@@ -71,6 +80,14 @@ class IndexManager {
   const Bucket* Lookup(const Instance& db, PredId pred, uint32_t mask,
                        const Tuple& key);
 
+  /// The compressed bitmap index over the unary relation `db.Rel(pred)`
+  /// (docs/storage.md), brought up to date first through the same
+  /// epoch/journal protocol as the hash indexes. Returns nullptr if the
+  /// predicate is not unary. Bitmap indexes serve the columnar backend's
+  /// sequential delta path and are not part of the frozen-parallel
+  /// contract: calling this between BeginParallel/EndParallel is a bug.
+  const storage::ValueBitmap* UnaryBitmap(const Instance& db, PredId pred);
+
   /// Enters frozen parallel mode: until EndParallel, Lookup may be called
   /// from multiple threads (see class comment for the freeze contract).
   void BeginParallel() { parallel_ = true; }
@@ -78,7 +95,10 @@ class IndexManager {
 
   /// Drops every index (used by tests; evaluation contexts simply let the
   /// manager go out of scope).
-  void Clear() { indexes_.clear(); }
+  void Clear() {
+    indexes_.clear();
+    bitmaps_.clear();
+  }
 
   const Counters& counters() const { return counters_; }
 
@@ -91,6 +111,14 @@ class IndexManager {
     size_t journal_pos = 0;
   };
 
+  /// A compressed bitmap over a unary relation, maintained by the same
+  /// epoch/journal protocol as Index.
+  struct BitmapIndex {
+    storage::ValueBitmap bitmap;
+    uint64_t epoch = 0;
+    size_t journal_pos = 0;
+  };
+
   /// Appends journal entries [index->journal_pos, journal.size()) of `rel`.
   void Append(const Relation& rel, uint32_t mask, Index* index);
   /// Rebuilds `index` from the full contents of `rel`.
@@ -100,6 +128,7 @@ class IndexManager {
                              const Tuple& key);
 
   std::map<std::pair<PredId, uint32_t>, Index> indexes_;
+  std::map<PredId, BitmapIndex> bitmaps_;
   Counters counters_;
   bool parallel_ = false;
   std::shared_mutex mu_;

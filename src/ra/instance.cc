@@ -18,7 +18,7 @@ const Relation& EmptyRelation(int arity) {
     for (int a = 0; a < kPrebuilt; ++a) v->emplace_back(a);
     return v;
   }();
-  if (arity < kPrebuilt) return (*cache)[arity];
+  if (arity < kPrebuilt) return (*cache)[static_cast<size_t>(arity)];
   static std::mutex overflow_mu;
   static std::map<int, Relation>* overflow = new std::map<int, Relation>();
   std::lock_guard<std::mutex> lock(overflow_mu);
@@ -96,12 +96,15 @@ uint64_t Instance::Fingerprint() const {
   uint64_t h = 0;
   for (const auto& [p, rel] : relations_) {
     if (rel.empty()) continue;
-    uint64_t x = rel.ContentHash() + 0x9e3779b97f4a7c15ull *
-                                         static_cast<uint64_t>(p + 1);
+    uint64_t x =
+        rel.ContentHash() +
+        uint64_t{0x9e3779b97f4a7c15} * static_cast<uint64_t>(p + 1);
     x ^= x >> 29;
-    x *= 0xbf58476d1ce4e5b9ull;
+    x *= uint64_t{0xbf58476d1ce4e5b9};
     x ^= x >> 32;
-    h ^= x;
+    // Sum, not XOR, for the same cancellation-resistance reason as
+    // Relation::ContentHash.
+    h += x;
   }
   return h;
 }

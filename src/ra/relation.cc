@@ -14,16 +14,21 @@ uint64_t Relation::NextEpoch() {
 
 Relation::Relation(const Relation& other)
     : arity_(other.arity_),
-      tuples_(other.tuples_),
       epoch_(NextEpoch()),
       generation_(other.generation_),
-      journal_complete_(other.tuples_.empty()) {}
+      journal_complete_(false) {
+  other.MaterializeStaged();
+  tuples_ = other.tuples_;
+  journal_complete_ = tuples_.empty();
+}
 
 Relation& Relation::operator=(const Relation& other) {
   if (this == &other) return *this;
+  other.MaterializeStaged();
   arity_ = other.arity_;
   tuples_ = other.tuples_;
   journal_.clear();
+  staged_.clear();
   epoch_ = NextEpoch();
   ++generation_;
   journal_complete_ = tuples_.empty();
@@ -34,6 +39,7 @@ Relation::Relation(Relation&& other) noexcept
     : arity_(other.arity_),
       tuples_(std::move(other.tuples_)),
       journal_(std::move(other.journal_)),
+      staged_(std::move(other.staged_)),
       epoch_(other.epoch_),
       generation_(other.generation_),
       journal_complete_(other.journal_complete_) {
@@ -41,6 +47,7 @@ Relation::Relation(Relation&& other) noexcept
   // cache still keyed on it rebuilds rather than reading stolen nodes.
   other.tuples_.clear();
   other.journal_.clear();
+  other.staged_.clear();
   other.epoch_ = NextEpoch();
   other.journal_complete_ = true;
 }
@@ -50,11 +57,13 @@ Relation& Relation::operator=(Relation&& other) noexcept {
   arity_ = other.arity_;
   tuples_ = std::move(other.tuples_);
   journal_ = std::move(other.journal_);
+  staged_ = std::move(other.staged_);
   epoch_ = other.epoch_;
   generation_ = other.generation_ + 1;
   journal_complete_ = other.journal_complete_;
   other.tuples_.clear();
   other.journal_.clear();
+  other.staged_.clear();
   other.epoch_ = NextEpoch();
   other.journal_complete_ = true;
   return *this;
@@ -62,6 +71,7 @@ Relation& Relation::operator=(Relation&& other) noexcept {
 
 bool Relation::Insert(const Tuple& t) {
   assert(static_cast<int>(t.size()) == arity_);
+  MaterializeStaged();
   auto [it, inserted] = tuples_.insert(t);
   if (inserted) {
     ++generation_;
@@ -72,6 +82,7 @@ bool Relation::Insert(const Tuple& t) {
 
 bool Relation::Insert(Tuple&& t) {
   assert(static_cast<int>(t.size()) == arity_);
+  MaterializeStaged();
   auto [it, inserted] = tuples_.insert(std::move(t));
   if (inserted) {
     ++generation_;
@@ -80,7 +91,31 @@ bool Relation::Insert(Tuple&& t) {
   return inserted;
 }
 
+void Relation::AppendStagedRows(const Value* data, size_t rows) {
+  assert(arity_ >= 1);
+  if (rows == 0) return;
+  staged_.insert(staged_.end(), data,
+                 data + rows * static_cast<size_t>(arity_));
+  generation_ += rows;
+}
+
+void Relation::MaterializeStaged() const {
+  if (staged_.empty()) return;
+  const size_t stride = static_cast<size_t>(arity_);
+  const size_t rows = staged_.size() / stride;
+  tuples_.reserve(tuples_.size() + rows);
+  journal_.reserve(journal_.size() + rows);
+  const Value* row = staged_.data();
+  for (size_t r = 0; r < rows; ++r, row += stride) {
+    auto [it, inserted] = tuples_.insert(Tuple(row, row + stride));
+    if (inserted) journal_.push_back(&*it);
+  }
+  staged_.clear();
+  staged_.shrink_to_fit();
+}
+
 bool Relation::Erase(const Tuple& t) {
+  MaterializeStaged();
   if (tuples_.erase(t) == 0) return false;
   ++generation_;
   epoch_ = NextEpoch();
@@ -90,9 +125,10 @@ bool Relation::Erase(const Tuple& t) {
 }
 
 void Relation::Clear() {
-  if (tuples_.empty()) return;
+  if (tuples_.empty() && staged_.empty()) return;
   tuples_.clear();
   journal_.clear();
+  staged_.clear();
   ++generation_;
   epoch_ = NextEpoch();
   journal_complete_ = true;  // empty contents, empty journal: consistent
@@ -100,6 +136,8 @@ void Relation::Clear() {
 
 size_t Relation::UnionWith(const Relation& other) {
   assert(arity_ == other.arity_);
+  MaterializeStaged();
+  other.MaterializeStaged();
   size_t added = 0;
   for (const Tuple& t : other.tuples_) {
     auto [it, inserted] = tuples_.insert(t);
@@ -113,22 +151,29 @@ size_t Relation::UnionWith(const Relation& other) {
 }
 
 std::vector<Tuple> Relation::Sorted() const {
+  MaterializeStaged();
   std::vector<Tuple> out(tuples_.begin(), tuples_.end());
   std::sort(out.begin(), out.end());
   return out;
 }
 
 uint64_t Relation::ContentHash() const {
-  // XOR keeps the fingerprint order-independent over the unordered set.
-  uint64_t h = 0x9e3779b97f4a7c15ull * static_cast<uint64_t>(arity_ + 1);
+  MaterializeStaged();
+  // Summing (mod 2^64) keeps the fingerprint order-independent over the
+  // unordered set without XOR's cancellation: under XOR, any multiset in
+  // which every tuple hash appears an even number of times — e.g. two
+  // colliding pairs split across different relations — fingerprints to
+  // the seed. Sums only collide when the hash totals coincide.
+  uint64_t h =
+      uint64_t{0x9e3779b97f4a7c15} * static_cast<uint64_t>(arity_ + 1);
   TupleHash th;
   for (const Tuple& t : tuples_) {
-    // Mix each tuple hash before XOR to spread single-bit differences.
+    // Mix each tuple hash before adding to spread single-bit differences.
     uint64_t x = th(t);
     x ^= x >> 33;
-    x *= 0xff51afd7ed558ccdull;
+    x *= uint64_t{0xff51afd7ed558ccd};
     x ^= x >> 33;
-    h ^= x;
+    h += x;
   }
   return h;
 }

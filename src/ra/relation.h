@@ -26,6 +26,17 @@ namespace datalog {
 ///    epoch by accident, which makes the check sound even when engines
 ///    swap whole instances in and out (the caches then fall back to a full
 ///    rebuild).
+///
+/// Columnar staging (docs/storage.md): the columnar delta engine appends
+/// batches of known-new rows as flat values (`AppendStagedRows`) without
+/// touching the tuple set. Staged rows count toward `size()` immediately
+/// but are folded into the set — and journaled, preserving the contract
+/// above — only when some consumer actually needs tuple-level access
+/// (`Contains`, iteration, `journal()`, equality, ...). Staging is a
+/// monotone event: the epoch is unchanged and materialization appends to
+/// the journal in staging order. Materialization is not thread-safe
+/// against concurrent reads; call `MaterializeStaged()` from a single
+/// thread before sharing a possibly-staged relation across workers.
 class Relation {
  public:
   using TupleSet = std::unordered_set<Tuple, TupleHash>;
@@ -46,8 +57,8 @@ class Relation {
   Relation& operator=(Relation&& other) noexcept;
 
   int arity() const { return arity_; }
-  size_t size() const { return tuples_.size(); }
-  bool empty() const { return tuples_.empty(); }
+  size_t size() const { return tuples_.size() + staged_rows(); }
+  bool empty() const { return tuples_.empty() && staged_.empty(); }
 
   /// Inserts `t` (whose size must equal `arity()`); returns true if the
   /// tuple was not already present.
@@ -58,7 +69,27 @@ class Relation {
   /// non-monotone event: the epoch changes and the journal resets.
   bool Erase(const Tuple& t);
 
-  bool Contains(const Tuple& t) const { return tuples_.count(t) > 0; }
+  bool Contains(const Tuple& t) const {
+    MaterializeStaged();
+    return tuples_.count(t) > 0;
+  }
+
+  /// Appends `rows` flat rows of `arity()` values each (arity >= 1). The
+  /// caller guarantees the rows are mutually distinct and not already
+  /// present — the columnar delta engine's produced-check establishes
+  /// exactly that. The rows join the tuple set lazily; see the class
+  /// comment.
+  void AppendStagedRows(const Value* data, size_t rows);
+
+  /// Rows appended but not yet folded into the tuple set.
+  size_t staged_rows() const {
+    return arity_ > 0 ? staged_.size() / static_cast<size_t>(arity_) : 0;
+  }
+
+  /// Folds staged rows into the tuple set and the journal (in staging
+  /// order). No-op when nothing is staged; called implicitly by every
+  /// tuple-level reader. Single-threaded: see the class comment.
+  void MaterializeStaged() const;
 
   /// Inserts every tuple of `other` (same arity); returns the number of
   /// tuples that were new.
@@ -66,7 +97,10 @@ class Relation {
 
   void Clear();
 
-  const_iterator begin() const { return tuples_.begin(); }
+  const_iterator begin() const {
+    MaterializeStaged();
+    return tuples_.begin();
+  }
   const_iterator end() const { return tuples_.end(); }
 
   /// Tuples in lexicographic order — canonical form for printing, hashing
@@ -75,12 +109,15 @@ class Relation {
 
   /// Set equality (arity and contents).
   bool operator==(const Relation& other) const {
+    MaterializeStaged();
+    other.MaterializeStaged();
     return arity_ == other.arity_ && tuples_ == other.tuples_;
   }
   bool operator!=(const Relation& other) const { return !(*this == other); }
 
-  /// Order-independent hash of the contents (XOR of per-tuple hashes), used
-  /// for instance-state fingerprinting in cycle detection.
+  /// Order-independent hash of the contents (sum of mixed per-tuple
+  /// hashes — not XOR, which lets even multisets of colliding pairs
+  /// cancel), used for instance-state fingerprinting in cycle detection.
   uint64_t ContentHash() const;
 
   // -- Incremental-maintenance introspection ---------------------------
@@ -95,7 +132,10 @@ class Relation {
   /// Tuples inserted during the current epoch, in insertion order. The
   /// pointers are stable for the relation's lifetime (unordered_set node
   /// stability) while the epoch is unchanged.
-  const std::vector<const Tuple*>& journal() const { return journal_; }
+  const std::vector<const Tuple*>& journal() const {
+    MaterializeStaged();
+    return journal_;
+  }
 
   /// True if the journal covers every tuple of the relation (no erase /
   /// clear / copy lost history) — i.e. a consumer starting at journal
@@ -107,8 +147,13 @@ class Relation {
   static uint64_t NextEpoch();
 
   int arity_;
-  TupleSet tuples_;
-  std::vector<const Tuple*> journal_;
+  /// Mutable with `journal_` and `staged_`: lazy materialization of
+  /// staged rows is logically non-mutating (the contents were already
+  /// part of the relation), it only changes their physical home.
+  mutable TupleSet tuples_;
+  mutable std::vector<const Tuple*> journal_;
+  /// Staged flat rows, row-major, `arity_` values per row.
+  mutable std::vector<Value> staged_;
   uint64_t epoch_;
   uint64_t generation_ = 0;
   bool journal_complete_ = true;

@@ -1,0 +1,111 @@
+#include "ra/storage/bitmap.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace datalog {
+namespace storage {
+
+namespace {
+
+constexpr uint32_t kLowMask = 0xffffu;
+
+uint16_t HighBits(Value v) {
+  return static_cast<uint16_t>(static_cast<uint32_t>(v) >> 16);
+}
+
+uint16_t LowBits(Value v) {
+  return static_cast<uint16_t>(static_cast<uint32_t>(v) & kLowMask);
+}
+
+}  // namespace
+
+ValueBitmap::Chunk* ValueBitmap::FindOrCreate(uint16_t key) {
+  auto it = std::lower_bound(
+      chunks_.begin(), chunks_.end(), key,
+      [](const Chunk& c, uint16_t k) { return c.key < k; });
+  if (it != chunks_.end() && it->key == key) return &*it;
+  it = chunks_.insert(it, Chunk{});
+  it->key = key;
+  return &*it;
+}
+
+const ValueBitmap::Chunk* ValueBitmap::Find(uint16_t key) const {
+  auto it = std::lower_bound(
+      chunks_.begin(), chunks_.end(), key,
+      [](const Chunk& c, uint16_t k) { return c.key < k; });
+  if (it != chunks_.end() && it->key == key) return &*it;
+  return nullptr;
+}
+
+bool ValueBitmap::Add(Value v) {
+  assert(v >= 0 && "bitmaps index the interned (non-negative) domain");
+  Chunk* chunk = FindOrCreate(HighBits(v));
+  const uint16_t low = LowBits(v);
+  if (chunk->dense()) {
+    uint64_t& word = chunk->bits[low >> 6];
+    const uint64_t bit = uint64_t{1} << (low & 63);
+    if (word & bit) return false;
+    word |= bit;
+    ++cardinality_;
+    return true;
+  }
+  auto it = std::lower_bound(chunk->array.begin(), chunk->array.end(), low);
+  if (it != chunk->array.end() && *it == low) return false;
+  chunk->array.insert(it, low);
+  ++cardinality_;
+  if (chunk->array.size() > kArrayMax) {
+    // Promote: spill the sorted array into a bitset and drop it.
+    chunk->bits.assign(1024, 0);
+    for (uint16_t entry : chunk->array) {
+      chunk->bits[entry >> 6] |= uint64_t{1} << (entry & 63);
+    }
+    chunk->array.clear();
+    chunk->array.shrink_to_fit();
+  }
+  return true;
+}
+
+bool ValueBitmap::Contains(Value v) const {
+  if (v < 0) return false;
+  const Chunk* chunk = Find(HighBits(v));
+  if (chunk == nullptr) return false;
+  const uint16_t low = LowBits(v);
+  if (chunk->dense()) {
+    return (chunk->bits[low >> 6] >> (low & 63)) & 1;
+  }
+  return std::binary_search(chunk->array.begin(), chunk->array.end(), low);
+}
+
+void ValueBitmap::ForEach(const std::function<void(Value)>& fn) const {
+  for (const Chunk& chunk : chunks_) {
+    const uint32_t high = static_cast<uint32_t>(chunk.key) << 16;
+    if (chunk.dense()) {
+      for (size_t w = 0; w < chunk.bits.size(); ++w) {
+        uint64_t word = chunk.bits[w];
+        while (word != 0) {
+          const unsigned bit =
+              static_cast<unsigned>(__builtin_ctzll(word));
+          fn(static_cast<Value>(high | (static_cast<uint32_t>(w) << 6) |
+                                bit));
+          word &= word - 1;
+        }
+      }
+    } else {
+      for (uint16_t low : chunk.array) {
+        fn(static_cast<Value>(high | low));
+      }
+    }
+  }
+}
+
+size_t ValueBitmap::dense_chunks() const {
+  size_t n = 0;
+  for (const Chunk& chunk : chunks_) {
+    if (chunk.dense()) ++n;
+  }
+  return n;
+}
+
+}  // namespace storage
+}  // namespace datalog

@@ -1,0 +1,81 @@
+#ifndef UNCHAINED_RA_STORAGE_BITMAP_H_
+#define UNCHAINED_RA_STORAGE_BITMAP_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "base/symbols.h"
+
+namespace datalog {
+namespace storage {
+
+/// A compressed set of interned domain values, in the roaring-bitmap
+/// style: the 32-bit value space is chunked by its high 16 bits, and each
+/// chunk holds its low 16 bits either as a sorted array (sparse) or as a
+/// 64 Ki bitset (dense). A chunk is promoted from array to bitset when it
+/// exceeds kArrayMax entries — past that point the 8 KiB bitset is both
+/// smaller and O(1) to probe. Chunks never demote: the evaluation layer
+/// only grows bitmaps (non-monotone relation mutations rebuild the whole
+/// bitmap, mirroring IndexManager's epoch contract).
+///
+/// This is the unary-predicate index of the columnar backend
+/// (docs/storage.md): membership probes and semijoin filters over an
+/// arity-1 relation hit this instead of a hash bucket.
+class ValueBitmap {
+ public:
+  /// Array chunks exceeding this many entries become bitsets. 4096
+  /// 16-bit entries = 8 KiB, the size of a full bitset — the classic
+  /// break-even point.
+  static constexpr size_t kArrayMax = 4096;
+
+  ValueBitmap() = default;
+
+  /// Inserts `v` (must be a non-negative interned value); returns true if
+  /// it was not already present.
+  bool Add(Value v);
+
+  bool Contains(Value v) const;
+
+  /// Number of distinct values in the set.
+  size_t cardinality() const { return cardinality_; }
+  bool empty() const { return cardinality_ == 0; }
+
+  void Clear() {
+    chunks_.clear();
+    cardinality_ = 0;
+  }
+
+  /// Invokes `fn` for every value in ascending order.
+  void ForEach(const std::function<void(Value)>& fn) const;
+
+  /// Chunks currently stored as dense bitsets (introspection for tests
+  /// and the storage counters).
+  size_t dense_chunks() const;
+
+ private:
+  struct Chunk {
+    uint16_t key = 0;  // high 16 bits of the values in this chunk
+    /// Sparse form: sorted low-16-bit entries. Empty once promoted.
+    std::vector<uint16_t> array;
+    /// Dense form: 1024 words covering the 64 Ki low values; empty until
+    /// the chunk is promoted.
+    std::vector<uint64_t> bits;
+
+    bool dense() const { return !bits.empty(); }
+  };
+
+  /// The chunk for `key`, created (sparse, empty) if absent. Chunks are
+  /// kept sorted by key so ForEach streams values in ascending order.
+  Chunk* FindOrCreate(uint16_t key);
+  const Chunk* Find(uint16_t key) const;
+
+  std::vector<Chunk> chunks_;
+  size_t cardinality_ = 0;
+};
+
+}  // namespace storage
+}  // namespace datalog
+
+#endif  // UNCHAINED_RA_STORAGE_BITMAP_H_

@@ -1,0 +1,191 @@
+#include "ra/storage/column_store.h"
+
+#include <algorithm>
+#include <cassert>
+#include <numeric>
+
+namespace datalog {
+namespace storage {
+
+int SortedView::CompareRows(const ColumnRun& a, size_t ra, const ColumnRun& b,
+                            size_t rb) const {
+  for (int col : order_) {
+    const Value va = a.cols[static_cast<size_t>(col)][ra];
+    const Value vb = b.cols[static_cast<size_t>(col)][rb];
+    if (va != vb) return va < vb ? -1 : 1;
+  }
+  return 0;
+}
+
+int SortedView::CompareRowToFlat(const ColumnRun& a, size_t ra,
+                                 const Value* row) const {
+  for (int col : order_) {
+    const Value va = a.cols[static_cast<size_t>(col)][ra];
+    const Value vb = row[col];
+    if (va != vb) return va < vb ? -1 : 1;
+  }
+  return 0;
+}
+
+ColumnRun SortedView::BuildRun(const std::vector<const Tuple*>& tuples) const {
+  ColumnRun run;
+  run.rows = tuples.size();
+  run.cols.resize(static_cast<size_t>(arity_));
+  if (tuples.empty()) return run;
+
+  std::vector<size_t> perm(tuples.size());
+  std::iota(perm.begin(), perm.end(), size_t{0});
+  std::sort(perm.begin(), perm.end(), [&](size_t x, size_t y) {
+    const Tuple& tx = *tuples[x];
+    const Tuple& ty = *tuples[y];
+    for (int col : order_) {
+      const Value vx = tx[static_cast<size_t>(col)];
+      const Value vy = ty[static_cast<size_t>(col)];
+      if (vx != vy) return vx < vy;
+    }
+    return false;
+  });
+
+  for (size_t c = 0; c < static_cast<size_t>(arity_); ++c) {
+    std::vector<Value>& col = run.cols[c];
+    col.reserve(tuples.size());
+    for (size_t r : perm) col.push_back((*tuples[r])[c]);
+  }
+  return run;
+}
+
+void SortedView::Compact() {
+  if (runs_.size() <= 1) return;
+  ColumnRun merged;
+  merged.rows = total_rows_;
+  merged.cols.resize(static_cast<size_t>(arity_));
+  for (auto& col : merged.cols) col.reserve(total_rows_);
+  ForEachRowSorted([&](const ColumnRun& run, size_t row) {
+    for (size_t c = 0; c < static_cast<size_t>(arity_); ++c) {
+      merged.cols[c].push_back(run.cols[c][row]);
+    }
+  });
+  runs_.clear();
+  runs_.push_back(std::move(merged));
+}
+
+void SortedView::FindRanges(const Value* key, std::vector<Range>* out) const {
+  const size_t key_width = key_cols_.size();
+  for (const ColumnRun& run : runs_) {
+    // Binary-search the first and last row matching the key prefix.
+    size_t lo = 0, hi = run.rows;
+    while (lo < hi) {
+      const size_t mid = lo + (hi - lo) / 2;
+      bool less = false;
+      for (size_t i = 0; i < key_width; ++i) {
+        const Value v = run.cols[static_cast<size_t>(key_cols_[i])][mid];
+        if (v != key[i]) {
+          less = v < key[i];
+          break;
+        }
+      }
+      if (less) {
+        lo = mid + 1;
+      } else {
+        hi = mid;
+      }
+    }
+    const size_t begin = lo;
+    hi = run.rows;
+    while (lo < hi) {
+      const size_t mid = lo + (hi - lo) / 2;
+      bool greater = false;
+      for (size_t i = 0; i < key_width; ++i) {
+        const Value v = run.cols[static_cast<size_t>(key_cols_[i])][mid];
+        if (v != key[i]) {
+          greater = v > key[i];
+          break;
+        }
+      }
+      if (greater) {
+        hi = mid;
+      } else {
+        lo = mid + 1;
+      }
+    }
+    if (lo > begin) out->push_back(Range{&run, begin, lo});
+  }
+}
+
+bool SortedView::ContainsRow(const Value* row) const {
+  for (const ColumnRun& run : runs_) {
+    size_t lo = 0, hi = run.rows;
+    while (lo < hi) {
+      const size_t mid = lo + (hi - lo) / 2;
+      const int cmp = CompareRowToFlat(run, mid, row);
+      if (cmp == 0) return true;
+      if (cmp < 0) {
+        lo = mid + 1;
+      } else {
+        hi = mid;
+      }
+    }
+  }
+  return false;
+}
+
+const SortedView& ColumnStore::View(const Instance& db, PredId pred,
+                                    const std::vector<int>& key_cols) {
+  const Relation& rel = db.Rel(pred);
+  auto [it, created] = views_.try_emplace({pred, key_cols});
+  SortedView& view = it->second;
+  if (created) {
+    view.arity_ = rel.arity();
+    view.key_cols_ = key_cols;
+    view.order_ = key_cols;
+    for (int c = 0; c < rel.arity(); ++c) {
+      if (std::find(key_cols.begin(), key_cols.end(), c) == key_cols.end()) {
+        view.order_.push_back(c);
+      }
+    }
+  }
+  assert(view.arity_ == rel.arity());
+
+  if (created || view.epoch_ != rel.epoch()) {
+    // Fresh view or non-monotone mutation: rebuild from the full relation.
+    if (created) {
+      ++counters_.builds;
+    } else {
+      ++counters_.rebuilds;
+    }
+    view.runs_.clear();
+    std::vector<const Tuple*> tuples;
+    tuples.reserve(rel.size());
+    for (const Tuple& t : rel) tuples.push_back(&t);
+    if (!tuples.empty()) view.runs_.push_back(view.BuildRun(tuples));
+    view.total_rows_ = rel.size();
+    view.epoch_ = rel.epoch();
+    view.journal_pos_ = rel.journal().size();
+    return view;
+  }
+
+  const auto& journal = rel.journal();
+  if (view.journal_pos_ < journal.size()) {
+    // Monotone growth: sort the journal tail into one new run.
+    std::vector<const Tuple*> tuples;
+    tuples.reserve(journal.size() - view.journal_pos_);
+    for (size_t i = view.journal_pos_; i < journal.size(); ++i) {
+      tuples.push_back(journal[i]);
+    }
+    view.runs_.push_back(view.BuildRun(tuples));
+    view.total_rows_ += tuples.size();
+    view.journal_pos_ = journal.size();
+    ++counters_.run_appends;
+    counters_.rows_appended += static_cast<int64_t>(tuples.size());
+    if (view.runs_.size() > SortedView::kMaxRuns) {
+      view.Compact();
+      ++counters_.compactions;
+    }
+  } else {
+    ++counters_.hits;
+  }
+  return view;
+}
+
+}  // namespace storage
+}  // namespace datalog

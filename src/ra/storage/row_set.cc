@@ -1,0 +1,91 @@
+#include "ra/storage/row_set.h"
+
+#include <cassert>
+
+#include "ra/relation.h"
+
+namespace datalog {
+namespace storage {
+
+namespace {
+
+bool SameRow(const Value* a, const Value* b, size_t arity) {
+  for (size_t c = 0; c < arity; ++c) {
+    if (a[c] != b[c]) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+void RowSet::Init(const Relation& rel) {
+  assert(rel.arity() >= 1);
+  arity_ = static_cast<size_t>(rel.arity());
+  rows_ = 0;
+  log_.clear();
+  size_t cap = 16;
+  while (cap < 2 * (rel.size() + 16)) cap <<= 1;
+  slots_.assign(cap, 0);
+  mask_ = cap - 1;
+  log_.reserve(rel.size() * arity_);
+  for (const Tuple& t : rel) Insert(t.data());
+}
+
+uint64_t RowSet::HashRow(const Value* row) const {
+  uint64_t h = uint64_t{0x9e3779b97f4a7c15};
+  for (size_t c = 0; c < arity_; ++c) {
+    h ^= static_cast<uint64_t>(static_cast<int64_t>(row[c]));
+    h *= uint64_t{0xff51afd7ed558ccd};
+    h ^= h >> 33;
+  }
+  return h;
+}
+
+bool RowSet::Contains(const Value* row) const {
+  size_t s = static_cast<size_t>(HashRow(row)) & mask_;
+  while (true) {
+    const uint32_t e = slots_[s];
+    if (e == 0) return false;
+    if (SameRow(log_.data() + (static_cast<size_t>(e) - 1) * arity_, row,
+                arity_)) {
+      return true;
+    }
+    s = (s + 1) & mask_;
+  }
+}
+
+bool RowSet::Insert(const Value* row) {
+  if ((rows_ + 1) * 2 > slots_.size()) Grow();
+  size_t s = static_cast<size_t>(HashRow(row)) & mask_;
+  while (true) {
+    const uint32_t e = slots_[s];
+    if (e == 0) {
+      slots_[s] = static_cast<uint32_t>(rows_ + 1);
+      log_.insert(log_.end(), row, row + arity_);
+      ++rows_;
+      return true;
+    }
+    if (SameRow(log_.data() + (static_cast<size_t>(e) - 1) * arity_, row,
+                arity_)) {
+      return false;
+    }
+    s = (s + 1) & mask_;
+  }
+}
+
+void RowSet::Grow() {
+  const size_t cap = slots_.empty() ? 16 : slots_.size() * 2;
+  std::vector<uint32_t> fresh(cap, 0);
+  const size_t mask = cap - 1;
+  for (size_t r = 0; r < rows_; ++r) {
+    const Value* row = log_.data() + r * arity_;
+    size_t s = static_cast<size_t>(HashRow(row)) & mask;
+    while (fresh[s] != 0) s = (s + 1) & mask;
+    fresh[s] = static_cast<uint32_t>(r + 1);
+  }
+  slots_ = std::move(fresh);
+  mask_ = mask;
+}
+
+}  // namespace storage
+}  // namespace datalog

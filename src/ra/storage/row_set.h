@@ -1,0 +1,58 @@
+#ifndef UNCHAINED_RA_STORAGE_ROW_SET_H_
+#define UNCHAINED_RA_STORAGE_ROW_SET_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "ra/tuple.h"
+
+namespace datalog {
+
+class Relation;
+
+namespace storage {
+
+/// Exact membership set over fixed-arity flat rows, built for the columnar
+/// delta engine's produced-checks (docs/storage.md): an open-addressing
+/// table of row indexes into an append-order column log. Compared to
+/// probing `Relation`'s tuple set, a lookup touches no per-tuple heap
+/// nodes — the slot array and the flat log are the only memory — and an
+/// insert appends `arity` values instead of allocating a `Tuple`. Rows are
+/// never removed; the delta engine rebuilds per stratum.
+class RowSet {
+ public:
+  /// Prepares the set for rows of `rel.arity()` (must be >= 1) and seeds
+  /// it with the relation's current contents.
+  void Init(const Relation& rel);
+
+  bool initialized() const { return !slots_.empty(); }
+  size_t rows() const { return rows_; }
+  int arity() const { return static_cast<int>(arity_); }
+
+  /// `row` points at `arity` values.
+  bool Contains(const Value* row) const;
+
+  /// Inserts the row if absent; returns true when it was new.
+  bool Insert(const Value* row);
+
+  /// Rows in insertion order, row-major — `rows() * arity` values.
+  const std::vector<Value>& log() const { return log_; }
+
+ private:
+  uint64_t HashRow(const Value* row) const;
+  void Grow();
+
+  size_t arity_ = 1;
+  size_t rows_ = 0;
+  std::vector<Value> log_;
+  /// Open addressing, linear probing: each slot is a row index + 1, with 0
+  /// marking an empty slot. Sized to a power of two at most half full.
+  std::vector<uint32_t> slots_;
+  size_t mask_ = 0;
+};
+
+}  // namespace storage
+}  // namespace datalog
+
+#endif  // UNCHAINED_RA_STORAGE_ROW_SET_H_

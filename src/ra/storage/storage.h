@@ -1,0 +1,61 @@
+#ifndef UNCHAINED_RA_STORAGE_STORAGE_H_
+#define UNCHAINED_RA_STORAGE_STORAGE_H_
+
+#include <string_view>
+
+namespace datalog {
+namespace storage {
+
+/// Which data-plane representation an evaluation uses (docs/storage.md).
+///
+///  * kHash     — the original representation: every probe goes through the
+///                tuple-at-a-time hash indexes of IndexManager. The default;
+///                every golden test and the byte-identical parallel
+///                determinism contract are pinned to it.
+///  * kColumnar — sorted-run columnar views (ColumnStore) drive merge joins
+///                on the semi-naive delta path, and unary predicates are
+///                probed through compressed bitmap indexes. Results and the
+///                deterministic EvalStats counters (rounds, facts,
+///                instantiations, per-rule) are identical to kHash — oracle
+///                pair #8 (hash-vs-columnar) sweeps exactly that claim —
+///                but index-maintenance counters and journal insertion
+///                order differ.
+///
+/// The backend is chosen per evaluation through EvalOptions::storage
+/// (CLI: --storage=hash|columnar); engines that have no columnar path
+/// simply ignore the option.
+enum class StorageBackend {
+  kHash,
+  kColumnar,
+};
+
+/// Stable external name ("hash" / "columnar"), used by CLI flags, bench
+/// row labels and repro files.
+inline const char* StorageBackendName(StorageBackend backend) {
+  switch (backend) {
+    case StorageBackend::kHash:
+      return "hash";
+    case StorageBackend::kColumnar:
+      return "columnar";
+  }
+  return "unknown";
+}
+
+/// Inverse of StorageBackendName; returns false on an unknown name.
+inline bool StorageBackendFromName(std::string_view name,
+                                   StorageBackend* out) {
+  if (name == "hash") {
+    *out = StorageBackend::kHash;
+    return true;
+  }
+  if (name == "columnar") {
+    *out = StorageBackend::kColumnar;
+    return true;
+  }
+  return false;
+}
+
+}  // namespace storage
+}  // namespace datalog
+
+#endif  // UNCHAINED_RA_STORAGE_STORAGE_H_

@@ -13,6 +13,7 @@
 #include "base/rng.h"
 #include "core/engine.h"
 #include "eval/stable.h"
+#include "ra/storage/storage.h"
 #include "random_programs.h"
 #include "worked_examples.h"
 #include "worked_examples_golden.h"
@@ -63,9 +64,12 @@ TEST(ParallelWorkedExamples, GoldensAtEveryThreadCount) {
 /// count: the canonical result strings plus the stats keys of every
 /// deterministic entry point.
 std::string RunAllEngines(const std::string& program_text,
-                          const std::string& facts_text, int num_threads) {
+                          const std::string& facts_text, int num_threads,
+                          storage::StorageBackend backend =
+                              storage::StorageBackend::kHash) {
   Engine engine;
   engine.options().num_threads = num_threads;
+  engine.options().storage = backend;
   Result<Program> p = engine.Parse(program_text);
   EXPECT_TRUE(p.ok()) << p.status().ToString();
   Instance db = engine.NewInstance();
@@ -126,6 +130,35 @@ TEST_P(ParallelRandomSweep, EnginesIdenticalAcrossThreadCounts) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, ParallelRandomSweep,
                          ::testing::Range(uint64_t{1}, uint64_t{21}),
+                         [](const ::testing::TestParamInfo<uint64_t>& info) {
+                           return "seed" + std::to_string(info.param);
+                         });
+
+/// The columnar backend's round-0 evaluation still runs on the pool (only
+/// the delta rounds are single-threaded merge joins), so it owes the same
+/// determinism contract at every thread count. Named *Columnar* so the
+/// TSan lane in tools/check.sh can select these cases by filter.
+class ColumnarRandomSweep : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(ColumnarRandomSweep, ColumnarEnginesIdenticalAcrossThreadCounts) {
+  Rng rng(GetParam());
+  const std::string program_text = random_programs::RandomProgram(&rng);
+  const std::string facts_text = random_programs::RandomFacts(&rng, 5, 8, 3);
+  SCOPED_TRACE("program:\n" + program_text + "facts:\n" + facts_text);
+
+  const std::string sequential = RunAllEngines(
+      program_text, facts_text, 1, storage::StorageBackend::kColumnar);
+  for (int t : kThreadCounts) {
+    if (t == 1) continue;
+    SCOPED_TRACE("num_threads=" + std::to_string(t));
+    EXPECT_EQ(sequential,
+              RunAllEngines(program_text, facts_text, t,
+                            storage::StorageBackend::kColumnar));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ColumnarRandomSweep,
+                         ::testing::Range(uint64_t{1}, uint64_t{11}),
                          [](const ::testing::TestParamInfo<uint64_t>& info) {
                            return "seed" + std::to_string(info.param);
                          });

@@ -46,11 +46,18 @@ run_suite() {
 
 # Fixed-seed differential fuzzing sweep (docs/testing.md): all oracle
 # pairs + metamorphic mutants over 200 cases; any disagreement fails.
+# Runs once on the default (hash) backend and once with every pair
+# evaluating on the columnar backend (docs/storage.md) — pair #8 diffs
+# the backends either way, the sweep-wide flag puts the *other* pairs'
+# engines on columnar storage too.
 fuzz_smoke() {
   local build_dir="$1"
   echo "==> fuzz-smoke ${build_dir}"
   "${build_dir}/tools/unchained_fuzz" --cases=200 --seed=1 --quiet \
     --artifacts="${build_dir}/fuzz-artifacts"
+  echo "==> fuzz-smoke ${build_dir} (columnar)"
+  "${build_dir}/tools/unchained_fuzz" --cases=200 --seed=1 --quiet \
+    --storage=columnar --artifacts="${build_dir}/fuzz-artifacts"
 }
 
 # Traced end-to-end run (docs/observability.md): --trace must produce a
@@ -94,9 +101,13 @@ if [[ "${tsan}" -eq 1 ]]; then
   # determinism sweep runs all engines at 1/2/8 threads under TSan);
   # Trace/Obs covers the observability ring buffers and shard merges;
   # Peers/Dist/Fault/Deadline/Cancel covers the fault-tolerant peer runs
-  # and the deadline/cancellation probes at ThreadPool chunk boundaries.
+  # and the deadline/cancellation probes at ThreadPool chunk boundaries;
+  # Columnar/Storage/Bitmap/RowSet/HashVsColumnar covers the columnar
+  # storage backend (docs/storage.md) — in particular that the lazy
+  # staged-row materialization never races the pool (the ColumnarRandom
+  # sweep runs the columnar engines at 1/2/8 threads).
   run_suite "${repo}/build-tsan" \
-    "--tests-regex=Parallel|Datalog|Stratified|WellFounded|Inflationary|NonInflationary|Stable|Engine|SemiNaive|Naive|RandomProgram|Trace|Obs|Metrics|Tracer|Peer|Dist|Deadline|Cancel|Fault|Snapshot" \
+    "--tests-regex=Parallel|Datalog|Stratified|WellFounded|Inflationary|NonInflationary|Stable|Engine|SemiNaive|Naive|RandomProgram|Trace|Obs|Metrics|Tracer|Peer|Dist|Deadline|Cancel|Fault|Snapshot|Columnar|Storage|ColumnStore|Bitmap|RowSet|RelationStaging" \
     -DCMAKE_BUILD_TYPE=RelWithDebInfo -DUNCHAINED_TSAN=ON
 fi
 

@@ -5,12 +5,17 @@
 //                  [--pairs=a,b,...] [--mutants=N] [--artifacts=DIR]
 //                  [--no-shrink] [--inject-bug=NAME[:RULE]] [--quiet]
 //                  [--deadline-ms=N] [--trace=FILE] [--metrics]
+//                  [--storage=hash|columnar]
 //
 //   classes: positive | semi-positive | stratified | total
 //   pairs:   naive-vs-seminaive | magic-vs-original | inflationary-vs-while
 //            | wellfounded-vs-stratified | sequential-vs-parallel
-//            | trace-on-vs-trace-off
+//            | trace-on-vs-trace-off | reliable-vs-faulty-peers
+//            | hash-vs-columnar
 //   bugs:    seminaive-skip-delta (optional :RULE index, default 1)
+//
+// --storage selects the data plane every pair's engines evaluate with
+// (docs/storage.md); hash-vs-columnar always diffs both regardless.
 //
 // --trace writes a Chrome trace-event JSON of the whole sweep (load it in
 // Perfetto); --metrics prints the metrics-registry dump after the sweep.
@@ -33,6 +38,7 @@
 
 #include "eval/test_hooks.h"
 #include "obs/export.h"
+#include "ra/storage/storage.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "testing/fuzzer.h"
@@ -71,7 +77,7 @@ int Usage() {
       "                      [--artifacts=DIR] [--no-shrink]\n"
       "                      [--inject-bug=seminaive-skip-delta[:RULE]]\n"
       "                      [--quiet] [--deadline-ms=N] [--trace=FILE]\n"
-      "                      [--metrics]\n");
+      "                      [--metrics] [--storage=hash|columnar]\n");
   return 2;
 }
 
@@ -124,6 +130,12 @@ int main(int argc, char** argv) {
         datalog::internal::g_seminaive_skip_delta_rule = rule;
       } else {
         std::fprintf(stderr, "unknown bug: %s\n", name.c_str());
+        return Usage();
+      }
+    } else if (ParseArg(arg, "storage", &value)) {
+      if (!datalog::storage::StorageBackendFromName(value,
+                                                    &options.oracle.storage)) {
+        std::fprintf(stderr, "unknown storage backend: %s\n", value.c_str());
         return Usage();
       }
     } else if (ParseArg(arg, "deadline-ms", &value)) {
