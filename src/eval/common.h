@@ -63,6 +63,8 @@ struct EvalStats {
   int64_t index_rebuilds = 0;
   /// Tuples appended incrementally from relation journals.
   int64_t index_appended = 0;
+  /// Tuples removed incrementally from relation erase journals.
+  int64_t index_removed = 0;
   /// Bitmap-index lookups served by an up-to-date bitmap.
   int64_t index_bitmap_hits = 0;
   /// First-time bitmap builds for unary predicates.
@@ -71,6 +73,8 @@ struct EvalStats {
   int64_t index_bitmap_rebuilds = 0;
   /// Values appended to bitmaps from relation journals.
   int64_t index_bitmap_appended = 0;
+  /// Values removed from bitmaps via relation erase journals.
+  int64_t index_bitmap_removed = 0;
 
   // -- Columnar storage (mirrors storage::ColumnStore::Counters) -------
   /// First-time sorted-view builds of a (pred, key columns) view.
@@ -81,6 +85,8 @@ struct EvalStats {
   int64_t storage_run_appends = 0;
   /// Rows appended across those runs.
   int64_t storage_rows_appended = 0;
+  /// Rows spliced out of sorted runs via relation erase journals.
+  int64_t storage_rows_removed = 0;
   /// Merge-compactions (runs folded into one).
   int64_t storage_compactions = 0;
   /// View refreshes served by an already up-to-date view.
@@ -137,14 +143,17 @@ struct EvalStats {
     index_builds += other.index_builds;
     index_rebuilds += other.index_rebuilds;
     index_appended += other.index_appended;
+    index_removed += other.index_removed;
     index_bitmap_hits += other.index_bitmap_hits;
     index_bitmap_builds += other.index_bitmap_builds;
     index_bitmap_rebuilds += other.index_bitmap_rebuilds;
     index_bitmap_appended += other.index_bitmap_appended;
+    index_bitmap_removed += other.index_bitmap_removed;
     storage_builds += other.storage_builds;
     storage_rebuilds += other.storage_rebuilds;
     storage_run_appends += other.storage_run_appends;
     storage_rows_appended += other.storage_rows_appended;
+    storage_rows_removed += other.storage_rows_removed;
     storage_compactions += other.storage_compactions;
     storage_hits += other.storage_hits;
   }

@@ -24,14 +24,17 @@ struct EvalMetrics {
   obs::CounterHandle index_builds{"index.builds"};
   obs::CounterHandle index_rebuilds{"index.rebuilds"};
   obs::CounterHandle index_appended{"index.appended"};
+  obs::CounterHandle index_removed{"index.removed"};
   obs::CounterHandle bitmap_hits{"index.bitmap_hits"};
   obs::CounterHandle bitmap_builds{"index.bitmap_builds"};
   obs::CounterHandle bitmap_rebuilds{"index.bitmap_rebuilds"};
   obs::CounterHandle bitmap_appended{"index.bitmap_appended"};
+  obs::CounterHandle bitmap_removed{"index.bitmap_removed"};
   obs::CounterHandle storage_builds{"storage.builds"};
   obs::CounterHandle storage_rebuilds{"storage.rebuilds"};
   obs::CounterHandle storage_run_appends{"storage.run_appends"};
   obs::CounterHandle storage_rows_appended{"storage.rows_appended"};
+  obs::CounterHandle storage_rows_removed{"storage.rows_removed"};
   obs::CounterHandle storage_compactions{"storage.compactions"};
   obs::CounterHandle storage_hits{"storage.hits"};
   obs::CounterHandle pool_chunks{"threadpool.chunks"};
@@ -80,14 +83,17 @@ void EvalContext::PublishMetrics() {
   m.index_builds.Add(stats.index_builds);
   m.index_rebuilds.Add(stats.index_rebuilds);
   m.index_appended.Add(stats.index_appended);
+  m.index_removed.Add(stats.index_removed);
   m.bitmap_hits.Add(stats.index_bitmap_hits);
   m.bitmap_builds.Add(stats.index_bitmap_builds);
   m.bitmap_rebuilds.Add(stats.index_bitmap_rebuilds);
   m.bitmap_appended.Add(stats.index_bitmap_appended);
+  m.bitmap_removed.Add(stats.index_bitmap_removed);
   m.storage_builds.Add(stats.storage_builds);
   m.storage_rebuilds.Add(stats.storage_rebuilds);
   m.storage_run_appends.Add(stats.storage_run_appends);
   m.storage_rows_appended.Add(stats.storage_rows_appended);
+  m.storage_rows_removed.Add(stats.storage_rows_removed);
   m.storage_compactions.Add(stats.storage_compactions);
   m.storage_hits.Add(stats.storage_hits);
   for (const EvalStats::WorkerActivity& w : stats.per_worker) {
@@ -125,7 +131,8 @@ void AdomCache::Recompute(const Program& program, const Instance& instance) {
   adom_.assign(dom.begin(), dom.end());
   rel_states_.clear();
   for (const auto& [pred, rel] : instance.relations()) {
-    rel_states_[pred] = RelState{rel.epoch(), rel.journal().size()};
+    rel_states_[pred] = RelState{rel.epoch(), rel.journal().size(),
+                                 rel.erase_journal().size()};
   }
   program_ = &program;
   instance_ = &instance;
@@ -153,24 +160,27 @@ const std::vector<Value>& AdomCache::Get(const Program& program,
     return adom_;
   }
   // Walk the relations: if every previously seen relation is in the same
-  // epoch, the instance has only grown and the journal tails are exactly
-  // the new values. Any epoch change on a seen relation may have removed
-  // values — recompute. A newly materialized relation is safe to consume
-  // from journal position 0 only if its journal covers all its tuples.
-  // A tracked relation that vanished (a different instance reusing the
-  // same address) also forces a recompute, caught by counting matches.
+  // epoch and recorded no erase since, the instance has only grown and
+  // the journal tails are exactly the new values. An epoch change or an
+  // erase on a seen relation may have removed values — the active domain
+  // can shrink, so recompute. A newly materialized relation is safe to
+  // consume from journal position 0 only if its journal covers all its
+  // tuples and nothing was erased. A tracked relation that vanished (a
+  // different instance reusing the same address) also forces a recompute,
+  // caught by counting matches.
   const size_t tracked_before = rel_states_.size();
   size_t matched = 0;
   std::vector<Value> fresh;
   for (const auto& [pred, rel] : instance.relations()) {
     auto it = rel_states_.find(pred);
     if (it == rel_states_.end()) {
-      if (!rel.journal_complete()) {
+      if (!rel.journal_complete() || !rel.erase_journal().empty()) {
         Recompute(program, instance);
         return adom_;
       }
-      it = rel_states_.emplace(pred, RelState{rel.epoch(), 0}).first;
-    } else if (it->second.epoch != rel.epoch()) {
+      it = rel_states_.emplace(pred, RelState{rel.epoch(), 0, 0}).first;
+    } else if (it->second.epoch != rel.epoch() ||
+               it->second.erase_pos != rel.erase_journal().size()) {
       Recompute(program, instance);
       return adom_;
     } else {

@@ -39,6 +39,7 @@ class AdomCache {
   struct RelState {
     uint64_t epoch = 0;
     size_t journal_pos = 0;
+    size_t erase_pos = 0;
   };
 
   void Recompute(const Program& program, const Instance& instance);
@@ -77,6 +78,13 @@ class EvalContext {
   /// options.provenance; kept as a member so engines no longer thread a
   /// third parameter around).
   DerivationLog* provenance = nullptr;
+  /// When set, the sequential semi-naive sinks invoke this for every
+  /// fact the moment it is first derived (rule index, head predicate,
+  /// instantiated head tuple) — the seeding hook IncrementalView uses to
+  /// collect per-fact derivation counts during the initial evaluation.
+  /// Only honored on the sequential generic path (attach provenance to
+  /// force it); parallel and columnar paths ignore it.
+  std::function<void(size_t, PredId, const Tuple&)> on_derivation;
   /// Whether this context publishes its final stats to the global
   /// obs::MetricsRegistry on destruction (when metrics collection is
   /// enabled). Sub-contexts whose counters are merged into a parent —
@@ -168,32 +176,39 @@ class EvalContext {
     stats.index_builds += c.builds - folded_index_builds_;
     stats.index_rebuilds += c.rebuilds - folded_index_rebuilds_;
     stats.index_appended += c.appended - folded_index_appended_;
+    stats.index_removed += c.removed - folded_index_removed_;
     folded_index_hits_ = c.hits;
     folded_index_builds_ = c.builds;
     folded_index_rebuilds_ = c.rebuilds;
     folded_index_appended_ = c.appended;
+    folded_index_removed_ = c.removed;
     stats.index_bitmap_hits += c.bitmap_hits - folded_bitmap_hits_;
     stats.index_bitmap_builds += c.bitmap_builds - folded_bitmap_builds_;
     stats.index_bitmap_rebuilds +=
         c.bitmap_rebuilds - folded_bitmap_rebuilds_;
     stats.index_bitmap_appended +=
         c.bitmap_appended - folded_bitmap_appended_;
+    stats.index_bitmap_removed += c.bitmap_removed - folded_bitmap_removed_;
     folded_bitmap_hits_ = c.bitmap_hits;
     folded_bitmap_builds_ = c.bitmap_builds;
     folded_bitmap_rebuilds_ = c.bitmap_rebuilds;
     folded_bitmap_appended_ = c.bitmap_appended;
+    folded_bitmap_removed_ = c.bitmap_removed;
     const storage::ColumnStore::Counters& s = column_store.counters();
     stats.storage_builds += s.builds - folded_storage_builds_;
     stats.storage_rebuilds += s.rebuilds - folded_storage_rebuilds_;
     stats.storage_run_appends += s.run_appends - folded_storage_run_appends_;
     stats.storage_rows_appended +=
         s.rows_appended - folded_storage_rows_appended_;
+    stats.storage_rows_removed +=
+        s.rows_removed - folded_storage_rows_removed_;
     stats.storage_compactions += s.compactions - folded_storage_compactions_;
     stats.storage_hits += s.hits - folded_storage_hits_;
     folded_storage_builds_ = s.builds;
     folded_storage_rebuilds_ = s.rebuilds;
     folded_storage_run_appends_ = s.run_appends;
     folded_storage_rows_appended_ = s.rows_appended;
+    folded_storage_rows_removed_ = s.rows_removed;
     folded_storage_compactions_ = s.compactions;
     folded_storage_hits_ = s.hits;
     FoldWorkerStats();
@@ -225,15 +240,18 @@ class EvalContext {
   int64_t folded_index_builds_ = 0;
   int64_t folded_index_rebuilds_ = 0;
   int64_t folded_index_appended_ = 0;
+  int64_t folded_index_removed_ = 0;
   int64_t folded_bitmap_hits_ = 0;
   int64_t folded_bitmap_builds_ = 0;
   int64_t folded_bitmap_rebuilds_ = 0;
   int64_t folded_bitmap_appended_ = 0;
+  int64_t folded_bitmap_removed_ = 0;
   /// Column-store counter values already folded into `stats`.
   int64_t folded_storage_builds_ = 0;
   int64_t folded_storage_rebuilds_ = 0;
   int64_t folded_storage_run_appends_ = 0;
   int64_t folded_storage_rows_appended_ = 0;
+  int64_t folded_storage_rows_removed_ = 0;
   int64_t folded_storage_compactions_ = 0;
   int64_t folded_storage_hits_ = 0;
 };

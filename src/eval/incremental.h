@@ -1,0 +1,221 @@
+#ifndef UNCHAINED_EVAL_INCREMENTAL_H_
+#define UNCHAINED_EVAL_INCREMENTAL_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "analysis/stratify.h"
+#include "ast/ast.h"
+#include "base/result.h"
+#include "base/status.h"
+#include "eval/common.h"
+#include "eval/grounder.h"
+#include "eval/provenance.h"
+#include "ra/catalog.h"
+#include "ra/index.h"
+#include "ra/instance.h"
+#include "ra/relation.h"
+
+namespace datalog {
+
+/// One base-fact mutation applied to an IncrementalView: insert or retract
+/// `tuple` in the base (extensional) relation `pred`. Updates are applied
+/// in batch order; inserting a present fact or retracting an absent one is
+/// a recorded no-op.
+struct FactUpdate {
+  PredId pred = -1;
+  Tuple tuple;
+  bool insert = true;
+};
+
+/// A materialized stratified model maintained under base-fact insertions
+/// and retractions (docs/incremental.md).
+///
+/// Strategy, per stratum of the stratification:
+///  * *Counting* for flat strata (no rule consumes a same-stratum idb
+///    predicate): delta passes over the changed predicates collect the
+///    head facts whose derivation count may have changed, and each
+///    candidate is recounted exactly by matching the rule bodies with the
+///    head atom prepended as a bound delta literal. A fact is present iff
+///    it is in the base or its count is positive.
+///  * *DRed* (delete–rederive) for the remaining strata, which may be
+///    recursive: an overdeletion fixpoint removes everything a lost
+///    support could reach, the rederivation pass reinserts facts that
+///    still have a derivation (checking the recorded why-provenance of
+///    the initial run first, falling back to a bound derivability query),
+///    and a semi-naive insertion pass propagates the gains.
+///
+/// The maintenance is sequential and storage-agnostic by construction:
+/// results, serialized snapshots and the deterministic stats counters are
+/// byte-identical across thread counts and --storage backends (oracle
+/// pair #9 sweeps incremental-vs-scratch on both).
+///
+/// `program` and `catalog` must outlive the view. Programs outside the
+/// supported fragment — non-stratifiable, ∀-rules, multiple or negative
+/// heads, or unsafe rules (a variable not bound by a positive relational
+/// body literal, whose evaluation would need active-domain enumeration) —
+/// are refused at Create with kNotStratifiable / kUnsupported.
+class IncrementalView {
+ public:
+  /// Deterministic maintenance counters, accumulated across ApplyBatch
+  /// calls. Byte-identical across storage backends and thread counts.
+  struct Stats {
+    int64_t batches = 0;
+    /// Effective (state-changing) base insertions / retractions.
+    int64_t inserts = 0;
+    int64_t retracts = 0;
+    /// Updates that did not change the base (duplicate insert, retract of
+    /// an absent fact).
+    int64_t noops = 0;
+    /// Strata maintained by counting vs delete–rederive (fixed at Create;
+    /// strata with no rules are counted in neither).
+    int counting_strata = 0;
+    int dred_strata = 0;
+    /// Candidate head facts recounted in counting strata.
+    int64_t recounted = 0;
+    /// Facts removed by the DRed overdeletion fixpoint (before
+    /// rederivation).
+    int64_t overdeleted = 0;
+    /// Overdeleted facts rederived: still in the base / via a recorded
+    /// provenance entry that is valid in the current model / via a full
+    /// derivability query.
+    int64_t rederived_base = 0;
+    int64_t rederived_provenance = 0;
+    int64_t rederived_query = 0;
+    /// Net model-level fact changes across all strata (and the base
+    /// relations themselves).
+    int64_t facts_added = 0;
+    int64_t facts_removed = 0;
+  };
+
+  /// Validates `program`, runs the initial from-scratch stratified
+  /// evaluation of `base` (sequentially, recording why-provenance and
+  /// seeding per-fact derivation counts for the counting strata), and
+  /// returns the materialized view.
+  static Result<std::unique_ptr<IncrementalView>> Create(
+      const Program& program, const Catalog& catalog, const Instance& base,
+      const EvalOptions& options = EvalOptions());
+
+  IncrementalView(const IncrementalView&) = delete;
+  IncrementalView& operator=(const IncrementalView&) = delete;
+
+  /// Applies one batch of base-fact updates and repairs the model to the
+  /// exact stratified semantics of the updated base. Returns kSchemaError
+  /// (and changes nothing) if an update names an out-of-range predicate
+  /// or has the wrong arity.
+  Status ApplyBatch(const std::vector<FactUpdate>& updates);
+
+  /// The maintained model (base facts plus everything derivable).
+  const Instance& model() const { return model_; }
+  /// The current base instance (initial facts plus applied updates).
+  const Instance& base() const { return base_; }
+  /// Stats of the initial from-scratch evaluation, for comparison against
+  /// a reference run.
+  const EvalStats& initial_stats() const { return initial_stats_; }
+  const Stats& stats() const { return stats_; }
+
+ private:
+  struct FactKey {
+    PredId pred;
+    Tuple tuple;
+    bool operator==(const FactKey& o) const {
+      return pred == o.pred && tuple == o.tuple;
+    }
+  };
+  struct FactKeyHash {
+    size_t operator()(const FactKey& k) const {
+      constexpr size_t kMix = static_cast<size_t>(0x9e3779b97f4a7c15ULL);
+      size_t h = static_cast<size_t>(k.pred) * kMix;
+      for (Value v : k.tuple) {
+        h ^= static_cast<size_t>(v) + kMix + (h << 6) + (h >> 2);
+      }
+      return h;
+    }
+  };
+
+  /// Per-rule matching machinery, prepared once at Create. The rule
+  /// variants are heap-allocated so their RuleMatchers stay valid as the
+  /// containing vector moves.
+  struct PreparedRule {
+    int rule_index = -1;
+    const Rule* rule = nullptr;
+    /// Matcher over the original rule (delta = a positive body literal).
+    std::unique_ptr<RuleMatcher> matcher;
+    /// The rule with its head atom prepended as a positive body literal:
+    /// matching with delta literal 0 bound to {t} enumerates exactly the
+    /// body valuations that derive t — the recount / derivability query.
+    std::unique_ptr<Rule> head_append;
+    std::unique_ptr<RuleMatcher> head_matcher;
+    /// Per body literal: the rule with that (negated relational) literal
+    /// flipped positive, so it can serve as a delta literal ranging over
+    /// the facts that entered or left the negated predicate. Null for
+    /// literals that are not negated relational.
+    std::vector<std::unique_ptr<Rule>> flipped;
+    std::vector<std::unique_ptr<RuleMatcher>> flipped_matchers;
+  };
+
+  /// Per-predicate delta sets (net added / net removed facts).
+  using DeltaMap = std::unordered_map<PredId, Relation>;
+
+  IncrementalView(const Program& program, const Catalog& catalog,
+                  const Instance& base);
+
+  Status InitialEvaluate(const EvalOptions& options);
+  void PrepareRules();
+
+  bool SameStratum(PredId p, int s) const {
+    return program_->IsIdb(p) &&
+           strat_.stratum_of_pred[static_cast<size_t>(p)] == s;
+  }
+  void AddTo(DeltaMap* m, PredId p, const Tuple& t) const;
+
+  /// Counting maintenance of flat stratum `s` (see class comment).
+  void MaintainCounting(int s, const DbView& new_view, const DbView& old_view,
+                        bool have_old, IndexManager* old_index,
+                        const DeltaMap& base_added,
+                        const DeltaMap& base_removed, DeltaMap* added,
+                        DeltaMap* removed);
+  /// DRed maintenance of stratum `s` (see class comment).
+  void MaintainDred(int s, const DbView& new_view, const DbView& old_view,
+                    bool have_old, IndexManager* old_index,
+                    const DeltaMap& base_added, const DeltaMap& base_removed,
+                    DeltaMap* added, DeltaMap* removed);
+
+  const Program* program_;
+  const Catalog* catalog_;
+  Instance base_;
+  Instance model_;
+  Stratification strat_;
+  /// Per stratum: true when no rule of the stratum consumes a same-stratum
+  /// idb predicate (counting applies).
+  std::vector<bool> flat_;
+  bool has_negation_ = false;
+  std::vector<PreparedRule> prepared_;
+  /// Why-provenance of the initial evaluation — the rederivation fast
+  /// path.
+  DerivationLog provenance_;
+  /// Derivation counts for facts of counting strata, seeded by the
+  /// initial run's on_derivation hook and refreshed by exact recounts.
+  std::unordered_map<FactKey, int64_t, FactKeyHash> counts_;
+  /// Persistent indexes over `model_`; maintained incrementally through
+  /// the relations' insert and erase journals across batches.
+  IndexManager index_;
+  /// The model as of the end of the last completed batch — the "old
+  /// state" the lost-support passes (overdeletion seeds, counting's lost
+  /// instantiations) match against. Kept current by replaying each
+  /// batch's net delta instead of copying the model per batch, with its
+  /// own incrementally maintained indexes, so a batch costs O(delta)
+  /// index work rather than O(model) copy + rebuild. The deliberate
+  /// trade: resident memory is twice the model.
+  Instance shadow_;
+  IndexManager shadow_index_;
+  EvalStats initial_stats_;
+  Stats stats_;
+};
+
+}  // namespace datalog
+
+#endif  // UNCHAINED_EVAL_INCREMENTAL_H_

@@ -112,6 +112,10 @@ Result<int64_t> SemiNaiveStep(const Program& program,
                       head.pred, t, rule_indexes[i], stage,
                       InstantiateBodyPremises(*rules[i], val));
                 }
+                if (ctx->on_derivation) {
+                  ctx->on_derivation(static_cast<size_t>(rule_indexes[i]),
+                                     head.pred, t);
+                }
                 fresh.Insert(head.pred, std::move(t));
               }
               return true;
@@ -237,6 +241,10 @@ Result<int64_t> SemiNaiveStep(const Program& program,
             if (ctx->provenance != nullptr) {
               ctx->provenance->Record(head.pred, t, rule_indexes[i], stage,
                                       InstantiateBodyPremises(rule, val));
+            }
+            if (ctx->on_derivation) {
+              ctx->on_derivation(static_cast<size_t>(rule_indexes[i]),
+                                 head.pred, t);
             }
             fresh.Insert(head.pred, std::move(t));
           }

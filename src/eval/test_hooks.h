@@ -15,6 +15,15 @@ namespace internal {
 /// the first round: the canonical "forgot a delta rule" incompleteness.
 extern int g_seminaive_skip_delta_rule;
 
+/// When true, IncrementalView's DRed strata skip the rederivation pass:
+/// every overdeleted fact stays deleted even when an alternative
+/// derivation survives — the classic delete-rederive bug (deleting one
+/// edge of a diamond kills facts the other path still supports). Only
+/// visible on retractions through DRed-maintained strata, which is what
+/// makes it a good end-to-end probe for the incremental-vs-scratch
+/// oracle and the update-sequence shrinker.
+extern bool g_dred_skip_rederive;
+
 }  // namespace internal
 }  // namespace datalog
 

@@ -1,5 +1,6 @@
 #include "ra/index.h"
 
+#include <algorithm>
 #include <cassert>
 #include <mutex>
 
@@ -21,16 +22,40 @@ void ProjectKey(const Tuple& t, uint32_t mask, Tuple* scratch) {
 
 void IndexManager::Append(const Relation& rel, uint32_t mask, Index* index) {
   const std::vector<const Tuple*>& journal = rel.journal();
+  const std::vector<Relation::EraseEvent>& erases = rel.erase_journal();
   Tuple key;
-  for (size_t i = index->journal_pos; i < journal.size(); ++i) {
-    const Tuple* t = journal[i];
-    ProjectKey(*t, mask, &key);
-    index->buckets[key].push_back(t);
+  size_t ins = index->journal_pos;
+  auto insert_up_to = [&](size_t limit) {
+    for (; ins < limit; ++ins) {
+      const Tuple* t = journal[ins];
+      ProjectKey(*t, mask, &key);
+      index->buckets[key].push_back(t);
+    }
+  };
+  // Replay in event order: an erase whose tuple was inserted in the same
+  // unconsumed tail must see that insert land first, or the
+  // pointer-identity removal below would miss it.
+  for (size_t e = index->erase_pos; e < erases.size(); ++e) {
+    const Relation::EraseEvent& ev = erases[e];
+    insert_up_to(std::min(std::max(ev.ins_pos, ins), journal.size()));
+    ProjectKey(*ev.tuple, mask, &key);
+    auto bit = index->buckets.find(key);
+    if (bit != index->buckets.end()) {
+      Bucket& bucket = bit->second;
+      auto pos = std::find(bucket.begin(), bucket.end(), ev.tuple);
+      if (pos != bucket.end()) bucket.erase(pos);
+      if (bucket.empty()) index->buckets.erase(bit);
+    }
   }
+  insert_up_to(journal.size());
   counters_.appended.fetch_add(
       static_cast<int64_t>(journal.size() - index->journal_pos),
       std::memory_order_relaxed);
+  counters_.removed.fetch_add(
+      static_cast<int64_t>(erases.size() - index->erase_pos),
+      std::memory_order_relaxed);
   index->journal_pos = journal.size();
+  index->erase_pos = erases.size();
 }
 
 void IndexManager::Rebuild(const Relation& rel, uint32_t mask, Index* index) {
@@ -42,6 +67,7 @@ void IndexManager::Rebuild(const Relation& rel, uint32_t mask, Index* index) {
   }
   index->epoch = rel.epoch();
   index->journal_pos = rel.journal().size();
+  index->erase_pos = rel.erase_journal().size();
 }
 
 const IndexManager::Bucket* IndexManager::LookupLocked(const Relation& rel,
@@ -57,12 +83,13 @@ const IndexManager::Bucket* IndexManager::LookupLocked(const Relation& rel,
     OBS_SPAN("index.build", {{"pred", pred}, {"mask", mask}});
     Rebuild(rel, mask, &index);
   } else if (index.epoch != rel.epoch()) {
-    // Non-monotone mutation (or a different instance supplied the
+    // History-losing mutation (or a different instance supplied the
     // relation): the incremental view is unprovable — rebuild.
     counters_.rebuilds.fetch_add(1, std::memory_order_relaxed);
     OBS_SPAN("index.rebuild", {{"pred", pred}, {"mask", mask}});
     Rebuild(rel, mask, &index);
-  } else if (index.journal_pos != rel.journal().size()) {
+  } else if (index.journal_pos != rel.journal().size() ||
+             index.erase_pos != rel.erase_journal().size()) {
     OBS_SPAN("index.append", {{"pred", pred}, {"mask", mask}});
     Append(rel, mask, &index);
   } else {
@@ -92,16 +119,32 @@ const storage::ValueBitmap* IndexManager::UnaryBitmap(const Instance& db,
     for (const Tuple& t : rel) index.bitmap.Add(t[0]);
     index.epoch = rel.epoch();
     index.journal_pos = rel.journal().size();
-  } else if (index.journal_pos != rel.journal().size()) {
+    index.erase_pos = rel.erase_journal().size();
+  } else if (index.journal_pos != rel.journal().size() ||
+             index.erase_pos != rel.erase_journal().size()) {
     OBS_SPAN("index.bitmap_append", {{"pred", pred}});
     const auto& journal = rel.journal();
+    const auto& erases = rel.erase_journal();
     counters_.bitmap_appended.fetch_add(
         static_cast<int64_t>(journal.size() - index.journal_pos),
         std::memory_order_relaxed);
-    for (size_t i = index.journal_pos; i < journal.size(); ++i) {
-      index.bitmap.Add((*journal[i])[0]);
+    counters_.bitmap_removed.fetch_add(
+        static_cast<int64_t>(erases.size() - index.erase_pos),
+        std::memory_order_relaxed);
+    // Value-level replay must follow event order exactly: Add/Add/Remove
+    // of the same value ends absent, Remove-then-reinsert ends present.
+    size_t ins = index.journal_pos;
+    auto add_up_to = [&](size_t limit) {
+      for (; ins < limit; ++ins) index.bitmap.Add((*journal[ins])[0]);
+    };
+    for (size_t e = index.erase_pos; e < erases.size(); ++e) {
+      const Relation::EraseEvent& ev = erases[e];
+      add_up_to(std::min(std::max(ev.ins_pos, ins), journal.size()));
+      index.bitmap.Remove((*ev.tuple)[0]);
     }
+    add_up_to(journal.size());
     index.journal_pos = journal.size();
+    index.erase_pos = erases.size();
   } else {
     counters_.bitmap_hits.fetch_add(1, std::memory_order_relaxed);
   }
@@ -124,7 +167,8 @@ const IndexManager::Bucket* IndexManager::Lookup(const Instance& db,
     std::shared_lock<std::shared_mutex> lock(mu_);
     auto it = indexes_.find(std::make_pair(pred, mask));
     if (it != indexes_.end() && it->second.epoch == rel.epoch() &&
-        it->second.journal_pos == rel.journal().size()) {
+        it->second.journal_pos == rel.journal().size() &&
+        it->second.erase_pos == rel.erase_journal().size()) {
       counters_.hits.fetch_add(1, std::memory_order_relaxed);
       auto bit = it->second.buckets.find(key);
       return bit == it->second.buckets.end() ? nullptr : &bit->second;

@@ -22,16 +22,19 @@ namespace datalog {
 /// Unlike the per-round caches the engines used to rebuild from scratch,
 /// an IndexManager lives for a whole evaluation (it is owned by the
 /// EvalContext) and maintains its indexes *incrementally*: each index
-/// remembers the relation epoch and journal position it has consumed, and
-/// a lookup first appends any tuples inserted since — O(new tuples), not
-/// O(relation). Non-monotone mutations (erase, clear, instance swaps —
-/// anything that changes the relation's epoch) are detected by the epoch
-/// check and trigger a full rebuild of that index, which is the
-/// correctness fallback for the non-inflationary engines.
+/// remembers the relation epoch and the insert/erase journal positions it
+/// has consumed, and a lookup first replays any events since — appending
+/// inserted tuples and removing erased ones in their true interleaved
+/// order — O(new events), not O(relation). History-losing mutations
+/// (clear, instance swaps, journal compaction — anything that changes the
+/// relation's epoch) are detected by the epoch check and trigger a full
+/// rebuild of that index, which is the correctness fallback for the
+/// non-inflationary engines.
 ///
 /// Bucket tuple pointers stay valid because `Relation`'s journal pointers
-/// are node-stable for the lifetime of an epoch; an epoch change discards
-/// them before they can dangle.
+/// are node-stable for the lifetime of an epoch (erased nodes are parked
+/// in the relation's graveyard); an epoch change discards them before
+/// they can dangle.
 ///
 /// Parallel rounds use the freeze-then-fan-out protocol: the evaluating
 /// thread calls BeginParallel() before fanning a round's matching across
@@ -55,10 +58,12 @@ class IndexManager {
     std::atomic<int64_t> hits{0};
     /// First-time builds of a (pred, mask) index.
     std::atomic<int64_t> builds{0};
-    /// Full rebuilds forced by an epoch change (non-monotone mutation).
+    /// Full rebuilds forced by an epoch change (history-losing mutation).
     std::atomic<int64_t> rebuilds{0};
-    /// Tuples appended incrementally from relation journals.
+    /// Tuples appended incrementally from relation insert journals.
     std::atomic<int64_t> appended{0};
+    /// Tuples removed incrementally from relation erase journals.
+    std::atomic<int64_t> removed{0};
     /// Bitmap-index lookups served by an up-to-date bitmap.
     std::atomic<int64_t> bitmap_hits{0};
     /// First-time bitmap builds for a unary predicate.
@@ -67,6 +72,8 @@ class IndexManager {
     std::atomic<int64_t> bitmap_rebuilds{0};
     /// Values appended to bitmaps from relation journals.
     std::atomic<int64_t> bitmap_appended{0};
+    /// Values removed from bitmaps via relation erase journals.
+    std::atomic<int64_t> bitmap_removed{0};
   };
 
   IndexManager() = default;
@@ -107,8 +114,10 @@ class IndexManager {
     std::unordered_map<Tuple, Bucket, TupleHash> buckets;
     /// Epoch of the relation contents the index reflects.
     uint64_t epoch = 0;
-    /// Journal entries consumed so far within that epoch.
+    /// Insert-journal entries consumed so far within that epoch.
     size_t journal_pos = 0;
+    /// Erase-journal entries consumed so far within that epoch.
+    size_t erase_pos = 0;
   };
 
   /// A compressed bitmap over a unary relation, maintained by the same
@@ -117,9 +126,12 @@ class IndexManager {
     storage::ValueBitmap bitmap;
     uint64_t epoch = 0;
     size_t journal_pos = 0;
+    size_t erase_pos = 0;
   };
 
-  /// Appends journal entries [index->journal_pos, journal.size()) of `rel`.
+  /// Replays insert-journal entries [index->journal_pos, journal.size())
+  /// and erase-journal entries [index->erase_pos, erases.size()) of
+  /// `rel`, merged in event order.
   void Append(const Relation& rel, uint32_t mask, Index* index);
   /// Rebuilds `index` from the full contents of `rel`.
   void Rebuild(const Relation& rel, uint32_t mask, Index* index);

@@ -28,6 +28,8 @@ Relation& Relation::operator=(const Relation& other) {
   arity_ = other.arity_;
   tuples_ = other.tuples_;
   journal_.clear();
+  erase_journal_.clear();
+  graveyard_.clear();
   staged_.clear();
   epoch_ = NextEpoch();
   ++generation_;
@@ -39,6 +41,8 @@ Relation::Relation(Relation&& other) noexcept
     : arity_(other.arity_),
       tuples_(std::move(other.tuples_)),
       journal_(std::move(other.journal_)),
+      erase_journal_(std::move(other.erase_journal_)),
+      graveyard_(std::move(other.graveyard_)),
       staged_(std::move(other.staged_)),
       epoch_(other.epoch_),
       generation_(other.generation_),
@@ -47,6 +51,8 @@ Relation::Relation(Relation&& other) noexcept
   // cache still keyed on it rebuilds rather than reading stolen nodes.
   other.tuples_.clear();
   other.journal_.clear();
+  other.erase_journal_.clear();
+  other.graveyard_.clear();
   other.staged_.clear();
   other.epoch_ = NextEpoch();
   other.journal_complete_ = true;
@@ -57,12 +63,16 @@ Relation& Relation::operator=(Relation&& other) noexcept {
   arity_ = other.arity_;
   tuples_ = std::move(other.tuples_);
   journal_ = std::move(other.journal_);
+  erase_journal_ = std::move(other.erase_journal_);
+  graveyard_ = std::move(other.graveyard_);
   staged_ = std::move(other.staged_);
   epoch_ = other.epoch_;
   generation_ = other.generation_ + 1;
   journal_complete_ = other.journal_complete_;
   other.tuples_.clear();
   other.journal_.clear();
+  other.erase_journal_.clear();
+  other.graveyard_.clear();
   other.staged_.clear();
   other.epoch_ = NextEpoch();
   other.journal_complete_ = true;
@@ -116,18 +126,39 @@ void Relation::MaterializeStaged() const {
 
 bool Relation::Erase(const Tuple& t) {
   MaterializeStaged();
-  if (tuples_.erase(t) == 0) return false;
+  auto it = tuples_.find(t);
+  if (it == tuples_.end()) return false;
   ++generation_;
-  epoch_ = NextEpoch();
-  journal_.clear();
-  journal_complete_ = tuples_.empty();
+  // Extract the node rather than erasing it: the tuple's address must
+  // stay valid for every pointer already handed out through journal() —
+  // and for the erase event itself — until the next epoch change.
+  graveyard_.push_back(tuples_.extract(it));
+  erase_journal_.push_back(
+      EraseEvent{&graveyard_.back().value(), journal_.size()});
+  MaybeCompact();
   return true;
+}
+
+void Relation::MaybeCompact() {
+  // Churn bound: once the replay log outweighs the live contents 4:1
+  // (plus slack so small relations never compact), start a fresh epoch.
+  // Consumers see the epoch change and rebuild from the set.
+  if (journal_.size() + erase_journal_.size() <= 4 * tuples_.size() + 64) {
+    return;
+  }
+  journal_.clear();
+  erase_journal_.clear();
+  graveyard_.clear();
+  epoch_ = NextEpoch();
+  journal_complete_ = tuples_.empty();
 }
 
 void Relation::Clear() {
   if (tuples_.empty() && staged_.empty()) return;
   tuples_.clear();
   journal_.clear();
+  erase_journal_.clear();
+  graveyard_.clear();
   staged_.clear();
   ++generation_;
   epoch_ = NextEpoch();

@@ -66,6 +66,31 @@ bool ValueBitmap::Add(Value v) {
   return true;
 }
 
+bool ValueBitmap::Remove(Value v) {
+  if (v < 0) return false;
+  // Unlike Add, never materialize a chunk just to find the value absent.
+  const uint16_t high = HighBits(v);
+  auto cit = std::lower_bound(
+      chunks_.begin(), chunks_.end(), high,
+      [](const Chunk& c, uint16_t k) { return c.key < k; });
+  if (cit == chunks_.end() || cit->key != high) return false;
+  Chunk* chunk = &*cit;
+  const uint16_t low = LowBits(v);
+  if (chunk->dense()) {
+    uint64_t& word = chunk->bits[low >> 6];
+    const uint64_t bit = uint64_t{1} << (low & 63);
+    if ((word & bit) == 0) return false;
+    word &= ~bit;
+    --cardinality_;
+    return true;
+  }
+  auto it = std::lower_bound(chunk->array.begin(), chunk->array.end(), low);
+  if (it == chunk->array.end() || *it != low) return false;
+  chunk->array.erase(it);
+  --cardinality_;
+  return true;
+}
+
 bool ValueBitmap::Contains(Value v) const {
   if (v < 0) return false;
   const Chunk* chunk = Find(HighBits(v));

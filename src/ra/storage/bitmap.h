@@ -16,9 +16,10 @@ namespace storage {
 /// chunk holds its low 16 bits either as a sorted array (sparse) or as a
 /// 64 Ki bitset (dense). A chunk is promoted from array to bitset when it
 /// exceeds kArrayMax entries — past that point the 8 KiB bitset is both
-/// smaller and O(1) to probe. Chunks never demote: the evaluation layer
-/// only grows bitmaps (non-monotone relation mutations rebuild the whole
-/// bitmap, mirroring IndexManager's epoch contract).
+/// smaller and O(1) to probe. Chunks never demote: `Remove` clears the
+/// bit (or array entry) in place but keeps the dense representation —
+/// churny workloads would otherwise thrash across the promotion
+/// threshold, and an epoch-level rebuild already resets shape.
 ///
 /// This is the unary-predicate index of the columnar backend
 /// (docs/storage.md): membership probes and semijoin filters over an
@@ -35,6 +36,11 @@ class ValueBitmap {
   /// Inserts `v` (must be a non-negative interned value); returns true if
   /// it was not already present.
   bool Add(Value v);
+
+  /// Removes `v`; returns true if it was present. Dense chunks stay
+  /// dense (see the class comment); empty chunks are retained — they cost
+  /// a few bytes and vanish on the next Clear.
+  bool Remove(Value v);
 
   bool Contains(Value v) const;
 

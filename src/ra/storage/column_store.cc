@@ -112,6 +112,30 @@ void SortedView::FindRanges(const Value* key, std::vector<Range>* out) const {
   }
 }
 
+bool SortedView::RemoveRow(const Value* row) {
+  for (auto rit = runs_.begin(); rit != runs_.end(); ++rit) {
+    ColumnRun& run = *rit;
+    size_t lo = 0, hi = run.rows;
+    while (lo < hi) {
+      const size_t mid = lo + (hi - lo) / 2;
+      if (CompareRowToFlat(run, mid, row) < 0) {
+        lo = mid + 1;
+      } else {
+        hi = mid;
+      }
+    }
+    if (lo >= run.rows || CompareRowToFlat(run, lo, row) != 0) continue;
+    for (std::vector<Value>& col : run.cols) {
+      col.erase(col.begin() + static_cast<std::ptrdiff_t>(lo));
+    }
+    --run.rows;
+    --total_rows_;
+    if (run.rows == 0) runs_.erase(rit);
+    return true;
+  }
+  return false;
+}
+
 bool SortedView::ContainsRow(const Value* row) const {
   for (const ColumnRun& run : runs_) {
     size_t lo = 0, hi = run.rows;
@@ -147,7 +171,7 @@ const SortedView& ColumnStore::View(const Instance& db, PredId pred,
   assert(view.arity_ == rel.arity());
 
   if (created || view.epoch_ != rel.epoch()) {
-    // Fresh view or non-monotone mutation: rebuild from the full relation.
+    // Fresh view or history-losing mutation: rebuild from the relation.
     if (created) {
       ++counters_.builds;
     } else {
@@ -161,22 +185,38 @@ const SortedView& ColumnStore::View(const Instance& db, PredId pred,
     view.total_rows_ = rel.size();
     view.epoch_ = rel.epoch();
     view.journal_pos_ = rel.journal().size();
+    view.erase_pos_ = rel.erase_journal().size();
     return view;
   }
 
   const auto& journal = rel.journal();
-  if (view.journal_pos_ < journal.size()) {
-    // Monotone growth: sort the journal tail into one new run.
-    std::vector<const Tuple*> tuples;
-    tuples.reserve(journal.size() - view.journal_pos_);
-    for (size_t i = view.journal_pos_; i < journal.size(); ++i) {
-      tuples.push_back(journal[i]);
+  const auto& erases = rel.erase_journal();
+  if (view.journal_pos_ < journal.size() ||
+      view.erase_pos_ < erases.size()) {
+    // Replay the journal tails in event order: pending inserts flush as
+    // one sorted run at each erase boundary, so an erase of a
+    // just-inserted row finds it, and a removed-then-reinserted row ends
+    // present.
+    size_t ins = view.journal_pos_;
+    auto flush_up_to = [&](size_t limit) {
+      if (ins >= limit) return;
+      std::vector<const Tuple*> tuples(
+          journal.begin() + static_cast<std::ptrdiff_t>(ins),
+          journal.begin() + static_cast<std::ptrdiff_t>(limit));
+      view.runs_.push_back(view.BuildRun(tuples));
+      view.total_rows_ += tuples.size();
+      ++counters_.run_appends;
+      counters_.rows_appended += static_cast<int64_t>(tuples.size());
+      ins = limit;
+    };
+    for (size_t e = view.erase_pos_; e < erases.size(); ++e) {
+      const Relation::EraseEvent& ev = erases[e];
+      flush_up_to(std::min(std::max(ev.ins_pos, ins), journal.size()));
+      if (view.RemoveRow(ev.tuple->data())) ++counters_.rows_removed;
     }
-    view.runs_.push_back(view.BuildRun(tuples));
-    view.total_rows_ += tuples.size();
+    flush_up_to(journal.size());
     view.journal_pos_ = journal.size();
-    ++counters_.run_appends;
-    counters_.rows_appended += static_cast<int64_t>(tuples.size());
+    view.erase_pos_ = erases.size();
     if (view.runs_.size() > SortedView::kMaxRuns) {
       view.Compact();
       ++counters_.compactions;

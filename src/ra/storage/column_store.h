@@ -30,11 +30,12 @@ struct ColumnRun {
 /// run, which is what the merge-join delta path binary-searches.
 ///
 /// A view is maintained incrementally against its relation exactly like an
-/// IndexManager index: it remembers the (epoch, journal position) it has
-/// consumed; a monotone growth appends the journal tail as one new sorted
-/// run, a non-monotone mutation (epoch change) rebuilds from scratch.
-/// When the run count passes kMaxRuns, all runs are merged into one
-/// (merge-compaction), so probes touch a bounded number of runs.
+/// IndexManager index: it remembers the (epoch, insert/erase journal
+/// positions) it has consumed; monotone growth appends the journal tail
+/// as new sorted runs, erases splice the row out of its containing run in
+/// event order, and a history-losing mutation (epoch change) rebuilds
+/// from scratch. When the run count passes kMaxRuns, all runs are merged
+/// into one (merge-compaction), so probes touch a bounded number of runs.
 class SortedView {
  public:
   /// A contiguous row range [begin, end) of one run.
@@ -81,6 +82,9 @@ class SortedView {
   ColumnRun BuildRun(const std::vector<const Tuple*>& tuples) const;
   /// Replaces all runs with their merge (no-op for 0/1 runs).
   void Compact();
+  /// Splices `row` out of its containing run (binary search per run);
+  /// returns true if found. An emptied run is dropped.
+  bool RemoveRow(const Value* row);
 
   int arity_ = 0;
   std::vector<int> key_cols_;
@@ -91,6 +95,7 @@ class SortedView {
   size_t total_rows_ = 0;
   uint64_t epoch_ = 0;
   size_t journal_pos_ = 0;
+  size_t erase_pos_ = 0;
 };
 
 /// The per-evaluation manager of columnar views — the columnar half of the
@@ -113,6 +118,8 @@ class ColumnStore {
     int64_t run_appends = 0;
     /// Rows appended across those runs.
     int64_t rows_appended = 0;
+    /// Rows spliced out of runs via relation erase journals.
+    int64_t rows_removed = 0;
     /// Merge-compactions (runs folded into one).
     int64_t compactions = 0;
     /// View() calls served by an already up-to-date view.

@@ -189,12 +189,43 @@ std::string ProgramGenerator::GenerateFacts(Rng* rng, int num_values,
   return facts;
 }
 
+std::string ProgramGenerator::GenerateUpdates(Rng* rng) const {
+  if (options_.max_update_batches <= 0 ||
+      options_.max_updates_per_batch <= 0) {
+    return "";
+  }
+  std::string out;
+  const int batches = 1 + rng->UniformInt(options_.max_update_batches);
+  for (int b = 0; b < batches; ++b) {
+    out += "%~";
+    const int updates = 1 + rng->UniformInt(options_.max_updates_per_batch);
+    for (int u = 0; u < updates; ++u) {
+      // Inserts lean positive so maintenance exercises growth and decay;
+      // retract targets are drawn from the same small domain as the
+      // initial facts, so they frequently hit live tuples. No spaces
+      // inside a token: the shrinker minimizes update lines
+      // token-by-token on whitespace.
+      out += rng->Chance(0.6) ? " +" : " -";
+      if (rng->Chance(0.7)) {
+        out += "e1(" + std::to_string(rng->UniformInt(options_.num_values)) +
+               "," + std::to_string(rng->UniformInt(options_.num_values)) +
+               ")";
+      } else {
+        out += "e2(" + std::to_string(rng->UniformInt(options_.num_values)) +
+               ")";
+      }
+    }
+    out += "\n";
+  }
+  return out;
+}
+
 GeneratedCase ProgramGenerator::GenerateCase(ProgramClass cls,
                                              Rng* rng) const {
   GeneratedCase c;
   c.cls = cls;
   c.program = GenerateProgram(cls, rng);
-  c.facts = GenerateFacts(rng);
+  c.facts = GenerateFacts(rng) + GenerateUpdates(rng);
   return c;
 }
 

@@ -62,6 +62,11 @@ struct GeneratorOptions {
   int e2_facts = 3;
   /// kTotal only: per-argument probability of an inline constant.
   double constant_prob = 0.2;
+  /// Update batches per case: 1 + U[0, max_update_batches), each with
+  /// 1 + U[0, max_updates_per_batch) signed edb updates. Zero disables
+  /// update generation (no `%~` lines; pair #9 reads as inapplicable).
+  int max_update_batches = 4;
+  int max_updates_per_batch = 4;
 };
 
 /// A generated (program, instance) pair.
@@ -92,7 +97,12 @@ class ProgramGenerator {
   std::string GenerateFacts(Rng* rng, int num_values, int e1_facts,
                             int e2_facts) const;
 
-  /// Program plus instance in one call.
+  /// Random `%~ +e1(0,1) -e2(3)` update-batch lines over the edb schema —
+  /// one line per batch. The parser skips them as `%` comments; oracle
+  /// pair #9 replays them against an IncrementalView.
+  std::string GenerateUpdates(Rng* rng) const;
+
+  /// Program plus instance (including update-batch lines) in one call.
   GeneratedCase GenerateCase(ProgramClass cls, Rng* rng) const;
 
  private:

@@ -1,5 +1,7 @@
 #include "testing/oracle.h"
 
+#include <cctype>
+#include <memory>
 #include <optional>
 #include <utility>
 
@@ -7,6 +9,7 @@
 #include "base/rng.h"
 #include "core/engine.h"
 #include "dist/convergence.h"
+#include "eval/incremental.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "testing/translate.h"
@@ -482,6 +485,203 @@ OracleVerdict RunHashVsColumnar(ParsedCase* c) {
   return Agreed();
 }
 
+// ---- kIncrementalVsScratch ----------------------------------------------
+
+/// Parses the `%~` update-batch lines out of a facts text: one batch per
+/// line, one `+pred(v,...)` / `-pred(v,...)` token per update, integer
+/// arguments only (the generator's value domain). Returns false on any
+/// malformed token or unknown/wrong-arity predicate — the pair then reads
+/// as inapplicable, which is what the shrinker's blind line edits need.
+bool ParseUpdateBatches(const std::string& facts_text, Engine* engine,
+                        std::vector<std::vector<FactUpdate>>* batches) {
+  size_t pos = 0;
+  while (pos < facts_text.size()) {
+    size_t eol = facts_text.find('\n', pos);
+    if (eol == std::string::npos) eol = facts_text.size();
+    std::string_view line(facts_text.data() + pos, eol - pos);
+    pos = eol + 1;
+    while (!line.empty() && (line.front() == ' ' || line.front() == '\t')) {
+      line.remove_prefix(1);
+    }
+    if (line.substr(0, 2) != "%~") continue;
+    line.remove_prefix(2);
+    std::vector<FactUpdate> batch;
+    size_t i = 0;
+    while (i < line.size()) {
+      if (line[i] == ' ' || line[i] == '\t') {
+        ++i;
+        continue;
+      }
+      FactUpdate u;
+      if (line[i] == '+') {
+        u.insert = true;
+      } else if (line[i] == '-') {
+        u.insert = false;
+      } else {
+        return false;
+      }
+      ++i;
+      const size_t name_start = i;
+      while (i < line.size() &&
+             (std::isalnum(static_cast<unsigned char>(line[i])) != 0 ||
+              line[i] == '_')) {
+        ++i;
+      }
+      if (i == name_start || i >= line.size() || line[i] != '(') return false;
+      u.pred = engine->catalog().Find(line.substr(name_start, i - name_start));
+      if (u.pred < 0) return false;
+      ++i;  // '('
+      while (i < line.size() && line[i] != ')') {
+        int64_t v = 0;
+        const size_t digit_start = i;
+        while (i < line.size() &&
+               std::isdigit(static_cast<unsigned char>(line[i])) != 0) {
+          v = v * 10 + (line[i] - '0');
+          ++i;
+        }
+        if (i == digit_start) return false;
+        u.tuple.push_back(engine->symbols().InternInt(v));
+        if (i < line.size() && line[i] == ',') ++i;
+      }
+      if (i >= line.size()) return false;
+      ++i;  // ')'
+      if (static_cast<int>(u.tuple.size()) !=
+          engine->catalog().ArityOf(u.pred)) {
+        return false;
+      }
+      batch.push_back(std::move(u));
+    }
+    if (!batch.empty()) batches->push_back(std::move(batch));
+  }
+  return true;
+}
+
+bool SameMaintenanceStats(const IncrementalView::Stats& a,
+                          const IncrementalView::Stats& b,
+                          std::string* detail) {
+  auto diff = [&](const char* name, int64_t x, int64_t y) {
+    if (x == y) return false;
+    *detail = std::string("maintenance counter ") + name + " diverges: " +
+              std::to_string(x) + " vs " + std::to_string(y);
+    return true;
+  };
+  if (diff("batches", a.batches, b.batches) ||
+      diff("inserts", a.inserts, b.inserts) ||
+      diff("retracts", a.retracts, b.retracts) ||
+      diff("noops", a.noops, b.noops) ||
+      diff("counting_strata", a.counting_strata, b.counting_strata) ||
+      diff("dred_strata", a.dred_strata, b.dred_strata) ||
+      diff("recounted", a.recounted, b.recounted) ||
+      diff("overdeleted", a.overdeleted, b.overdeleted) ||
+      diff("rederived_base", a.rederived_base, b.rederived_base) ||
+      diff("rederived_provenance", a.rederived_provenance,
+           b.rederived_provenance) ||
+      diff("rederived_query", a.rederived_query, b.rederived_query) ||
+      diff("facts_added", a.facts_added, b.facts_added) ||
+      diff("facts_removed", a.facts_removed, b.facts_removed)) {
+    return false;
+  }
+  return true;
+}
+
+OracleVerdict RunIncrementalVsScratch(ParsedCase* c,
+                                      const std::string& facts_text) {
+  if (!c->ValidDialect(Dialect::kStratified)) return Inapplicable();
+  std::vector<std::vector<FactUpdate>> batches;
+  if (!ParseUpdateBatches(facts_text, &c->engine, &batches) ||
+      batches.empty()) {
+    return Inapplicable();
+  }
+
+  Result<std::unique_ptr<IncrementalView>> view = IncrementalView::Create(
+      *c->program, c->engine.catalog(), *c->db, c->engine.options());
+  if (!view.ok()) {
+    // The incremental fragment is narrower than the stratified dialect
+    // (no ∀-rules, adom-free safety); refusal is not a disagreement.
+    if (view.status().code() == StatusCode::kUnsupported ||
+        view.status().code() == StatusCode::kNotStratifiable) {
+      return Inapplicable();
+    }
+    return Disagreed("incremental create: " + view.status().ToString());
+  }
+
+  // The initial from-scratch evaluation inside the view (sequential,
+  // provenance-recording) must match a plain stratified run under the
+  // sweep's storage/thread configuration, stats included.
+  EvalStats initial_stats;
+  Result<Instance> initial =
+      c->engine.Stratified(*c->program, *c->db, &initial_stats);
+  if (!initial.ok()) {
+    return Disagreed("scratch initial: " + initial.status().ToString());
+  }
+  if ((*view)->model().SerializeSnapshot() != initial->SerializeSnapshot()) {
+    return Disagreed("initial model diverges\n" +
+                     DescribeDiff("incremental", (*view)->model(), "scratch",
+                                  *initial, c->engine.symbols()));
+  }
+  std::string stats_detail;
+  if (!SameDeterministicStats((*view)->initial_stats(), initial_stats,
+                              &stats_detail)) {
+    return Disagreed("initial " + stats_detail);
+  }
+
+  // Replay every batch on the view and mirror it into a scratch base; the
+  // maintained model must be byte-identical to a from-scratch stratified
+  // run on the mirrored base after each batch.
+  Instance base = *c->db;
+  for (size_t bi = 0; bi < batches.size(); ++bi) {
+    const std::string label = "batch " + std::to_string(bi);
+    if (Status st = (*view)->ApplyBatch(batches[bi]); !st.ok()) {
+      return Disagreed(label + " apply: " + st.ToString());
+    }
+    for (const FactUpdate& u : batches[bi]) {
+      if (u.insert) {
+        base.Insert(u.pred, u.tuple);
+      } else {
+        base.Erase(u.pred, u.tuple);
+      }
+    }
+    if ((*view)->base().SerializeSnapshot() != base.SerializeSnapshot()) {
+      return Disagreed(label + " maintained base diverges\n" +
+                       DescribeDiff("incremental", (*view)->base(), "mirror",
+                                    base, c->engine.symbols()));
+    }
+    Result<Instance> fresh = c->engine.Stratified(*c->program, base);
+    if (!fresh.ok()) {
+      return Disagreed(label + " scratch: " + fresh.status().ToString());
+    }
+    if ((*view)->model().SerializeSnapshot() != fresh->SerializeSnapshot()) {
+      return Disagreed(label + " maintained model diverges\n" +
+                       DescribeDiff("incremental", (*view)->model(),
+                                    "scratch", *fresh, c->engine.symbols()));
+    }
+  }
+
+  // Determinism of the maintenance itself: a second view fed the same
+  // update sequence must land on the same bytes and the same counters.
+  Result<std::unique_ptr<IncrementalView>> replay = IncrementalView::Create(
+      *c->program, c->engine.catalog(), *c->db, c->engine.options());
+  if (!replay.ok()) {
+    return Disagreed("replay create: " + replay.status().ToString());
+  }
+  for (const std::vector<FactUpdate>& batch : batches) {
+    if (Status st = (*replay)->ApplyBatch(batch); !st.ok()) {
+      return Disagreed("replay apply: " + st.ToString());
+    }
+  }
+  if ((*replay)->model().SerializeSnapshot() !=
+      (*view)->model().SerializeSnapshot()) {
+    return Disagreed("replayed maintenance model diverges\n" +
+                     DescribeDiff("first", (*view)->model(), "replay",
+                                  (*replay)->model(), c->engine.symbols()));
+  }
+  if (!SameMaintenanceStats((*view)->stats(), (*replay)->stats(),
+                            &stats_detail)) {
+    return Disagreed("replay " + stats_detail);
+  }
+  return Agreed();
+}
+
 }  // namespace
 
 std::vector<OraclePair> AllOraclePairs() {
@@ -511,6 +711,8 @@ const char* PairName(OraclePair pair) {
       return "reliable-vs-faulty-peers";
     case OraclePair::kHashVsColumnar:
       return "hash-vs-columnar";
+    case OraclePair::kIncrementalVsScratch:
+      return "incremental-vs-scratch";
   }
   return "unknown";
 }
@@ -550,6 +752,8 @@ OracleVerdict OracleRunner::Run(OraclePair pair, const std::string& program,
       return RunReliableVsFaultyPeers(&c, program, facts, salt);
     case OraclePair::kHashVsColumnar:
       return RunHashVsColumnar(&c);
+    case OraclePair::kIncrementalVsScratch:
+      return RunIncrementalVsScratch(&c, facts);
   }
   return Inapplicable();
 }

@@ -52,6 +52,14 @@ namespace fuzz {
 ///                            rounds run tuple-at-a-time over hash indexes
 ///                            or as merge joins / bitmap semijoins over
 ///                            the columnar backend.
+///  * kIncrementalVsScratch — the maintenance contract
+///                            (docs/incremental.md): an IncrementalView
+///                            applying the case's `%~` update batches must
+///                            match a from-scratch stratified run after
+///                            every batch — byte-identical serialized
+///                            snapshots, identical deterministic stats on
+///                            the initial run, and a replayed view must
+///                            reproduce the exact maintenance counters.
 enum class OraclePair {
   kNaiveVsSemiNaive,
   kMagicVsOriginal,
@@ -61,9 +69,10 @@ enum class OraclePair {
   kTraceOnVsTraceOff,
   kReliableVsFaultyPeers,
   kHashVsColumnar,
+  kIncrementalVsScratch,
 };
 
-inline constexpr int kNumOraclePairs = 8;
+inline constexpr int kNumOraclePairs = 9;
 
 /// All pairs, in declaration order.
 std::vector<OraclePair> AllOraclePairs();
@@ -103,6 +112,12 @@ struct OracleVerdict {
 /// can never leak state between cases. `salt` seeds the pair's internal
 /// random choices (magic adornments): the same (case, salt) always runs
 /// the same comparison, which the shrinker relies on.
+///
+/// The facts text may carry update-batch lines of the form
+/// `%~ +e1(0,1) -e2(3)` — one line per batch, one signed ground atom per
+/// token. The parser reads them as `%` comments, so they are invisible to
+/// every pair except kIncrementalVsScratch, which replays them against an
+/// IncrementalView.
 class OracleRunner {
  public:
   OracleRunner() = default;

@@ -29,6 +29,41 @@ std::string JoinLines(const std::vector<std::string>& lines) {
   return out;
 }
 
+/// Update-batch lines (`%~ +e1(0,1) -e2(3)`; see testing/oracle.h) get
+/// finer-grained minimization than whole-line removal: batches merge and
+/// individual update tokens drop.
+bool IsUpdateLine(const std::string& line) {
+  const size_t i = line.find_first_not_of(" \t");
+  return i != std::string::npos && line.compare(i, 2, "%~") == 0;
+}
+
+std::vector<std::string> UpdateTokens(const std::string& line) {
+  std::vector<std::string> tokens;
+  size_t i = line.find("%~");
+  if (i == std::string::npos) return tokens;
+  i += 2;
+  while (i < line.size()) {
+    if (line[i] == ' ' || line[i] == '\t') {
+      ++i;
+      continue;
+    }
+    size_t end = i;
+    while (end < line.size() && line[end] != ' ' && line[end] != '\t') ++end;
+    tokens.push_back(line.substr(i, end - i));
+    i = end;
+  }
+  return tokens;
+}
+
+std::string MakeUpdateLine(const std::vector<std::string>& tokens) {
+  std::string out = "%~";
+  for (const std::string& t : tokens) {
+    out += ' ';
+    out += t;
+  }
+  return out;
+}
+
 /// Drives the two line lists through the oracle under the call budget.
 class ShrinkDriver {
  public:
@@ -88,6 +123,77 @@ class ShrinkDriver {
     return any_removed;
   }
 
+  /// Minimizes the update-batch lines among `facts` with `rules` held
+  /// fixed: (a) merge each batch into the previous one (fewer batches,
+  /// same update sequence), (b) ddmin the tokens within each batch. Line
+  /// removal itself is the fact pass's job; token passes keep at least
+  /// one token per line. Returns true if anything changed.
+  bool UpdateMinimizePass(const std::vector<std::string>& rules,
+                          std::vector<std::string>* facts) {
+    bool any_changed = false;
+    // Merge pass: append batch j's tokens to the previous batch i.
+    for (size_t i = 0; i < facts->size() && !budget_exhausted_;) {
+      if (!IsUpdateLine((*facts)[i])) {
+        ++i;
+        continue;
+      }
+      size_t j = i + 1;
+      while (j < facts->size() && !IsUpdateLine((*facts)[j])) ++j;
+      if (j >= facts->size()) break;
+      std::vector<std::string> merged = UpdateTokens((*facts)[i]);
+      const std::vector<std::string> next = UpdateTokens((*facts)[j]);
+      merged.insert(merged.end(), next.begin(), next.end());
+      std::vector<std::string> candidate = *facts;
+      candidate[i] = MakeUpdateLine(merged);
+      candidate.erase(candidate.begin() + static_cast<ptrdiff_t>(j));
+      if (StillFails(rules, candidate)) {
+        *facts = std::move(candidate);
+        any_changed = true;
+        // Stay on i: the next batch slid into merging range.
+      } else {
+        i = j;
+      }
+    }
+    // Token ddmin within each surviving update line.
+    for (size_t i = 0; i < facts->size() && !budget_exhausted_; ++i) {
+      if (!IsUpdateLine((*facts)[i])) continue;
+      std::vector<std::string> tokens = UpdateTokens((*facts)[i]);
+      size_t chunk = std::max<size_t>(1, (tokens.size() + 1) / 2);
+      while (tokens.size() > 1 && !budget_exhausted_) {
+        bool removed_at_this_chunk = false;
+        for (size_t start = 0; start < tokens.size() && !budget_exhausted_;) {
+          const size_t end = std::min(tokens.size(), start + chunk);
+          if (end - start >= tokens.size()) {
+            // Dropping every token would empty the line — whole-line
+            // removal belongs to the fact pass.
+            start += chunk;
+            continue;
+          }
+          std::vector<std::string> kept(
+              tokens.begin(), tokens.begin() + static_cast<ptrdiff_t>(start));
+          kept.insert(kept.end(),
+                      tokens.begin() + static_cast<ptrdiff_t>(end),
+                      tokens.end());
+          std::vector<std::string> candidate = *facts;
+          candidate[i] = MakeUpdateLine(kept);
+          if (StillFails(rules, candidate)) {
+            tokens = std::move(kept);
+            (*facts)[i] = MakeUpdateLine(tokens);
+            removed_at_this_chunk = any_changed = true;
+          } else {
+            start += chunk;
+          }
+        }
+        if (chunk == 1) {
+          if (!removed_at_this_chunk) break;
+          continue;
+        }
+        chunk = std::max<size_t>(1, chunk / 2);
+      }
+    }
+    return any_changed;
+  }
+
  private:
   const Shrinker::Options& options_;
   const ShrinkOracle& oracle_;
@@ -118,14 +224,16 @@ ShrinkResult Shrinker::Shrink(const std::string& program,
     return result;
   }
 
-  // Alternate rule and fact passes until neither removes anything: rules
-  // shrink the search space for facts and vice versa (a dropped rule often
-  // strands facts that can then go too).
+  // Alternate rule, fact and update passes until none removes anything:
+  // rules shrink the search space for facts and vice versa (a dropped rule
+  // often strands facts that can then go too), and a merged or thinned
+  // update batch can unlock further fact-line drops.
   bool changed = true;
   while (changed && !driver.budget_exhausted()) {
     changed = driver.DdminPass(&rules, fact_lines, /*primary_is_rules=*/true);
     changed |= driver.DdminPass(&fact_lines, rules,
                                 /*primary_is_rules=*/false);
+    changed |= driver.UpdateMinimizePass(rules, &fact_lines);
   }
 
   result.program = JoinLines(rules);

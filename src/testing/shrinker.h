@@ -5,6 +5,11 @@
 // removes rules and facts in shrinking chunks (classic ddmin scheduling)
 // until the repro is locally 1-minimal — no single remaining rule or fact
 // can be removed without losing the failure.
+//
+// Facts lines of the form `%~ +e1(0,1) -e2(3)` are update batches for the
+// incremental-vs-scratch oracle (testing/oracle.h); those additionally get
+// batch merging and per-token ddmin, so a failing update *sequence*
+// minimizes down to the few updates that trip the maintenance bug.
 
 #include <functional>
 #include <string>

@@ -12,6 +12,7 @@
 
 #include "base/rng.h"
 #include "core/engine.h"
+#include "eval/incremental.h"
 #include "eval/stable.h"
 #include "ra/storage/storage.h"
 #include "random_programs.h"
@@ -158,6 +159,110 @@ TEST_P(ColumnarRandomSweep, ColumnarEnginesIdenticalAcrossThreadCounts) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, ColumnarRandomSweep,
+                         ::testing::Range(uint64_t{1}, uint64_t{11}),
+                         [](const ::testing::TestParamInfo<uint64_t>& info) {
+                           return "seed" + std::to_string(info.param);
+                         });
+
+/// One incremental-maintenance pass under a given engine configuration:
+/// random update batches (a pure function of `update_seed`) applied to an
+/// IncrementalView, keyed by the serialized model after every batch plus
+/// the full maintenance counters — and cross-checked against a
+/// from-scratch stratified run on the final base.
+std::string RunIncrementalMaintenance(const std::string& program_text,
+                                      const std::string& facts_text,
+                                      uint64_t update_seed, int num_threads,
+                                      storage::StorageBackend backend) {
+  Engine engine;
+  engine.options().num_threads = num_threads;
+  engine.options().storage = backend;
+  Result<Program> p = engine.Parse(program_text);
+  EXPECT_TRUE(p.ok()) << p.status().ToString();
+  Instance db = engine.NewInstance();
+  EXPECT_TRUE(engine.AddFacts(facts_text, &db).ok());
+
+  Result<std::unique_ptr<IncrementalView>> view =
+      IncrementalView::Create(*p, engine.catalog(), db, engine.options());
+  EXPECT_TRUE(view.ok()) << view.status().ToString();
+  if (!view.ok()) return "";
+  const PredId e1 = engine.catalog().Find("e1");
+  const PredId e2 = engine.catalog().Find("e2");
+  EXPECT_GE(e1, 0);
+  EXPECT_GE(e2, 0);
+
+  Rng urng(update_seed);
+  std::string out = "initial:\n" + (*view)->model().SerializeSnapshot();
+  for (int b = 0; b < 4; ++b) {
+    std::vector<FactUpdate> batch;
+    const int n = 1 + urng.UniformInt(3);
+    for (int u = 0; u < n; ++u) {
+      FactUpdate up;
+      up.insert = urng.Chance(0.55);
+      if (urng.Chance(0.7)) {
+        up.pred = e1;
+        up.tuple = {engine.symbols().InternInt(urng.UniformInt(5)),
+                    engine.symbols().InternInt(urng.UniformInt(5))};
+      } else {
+        up.pred = e2;
+        up.tuple = {engine.symbols().InternInt(urng.UniformInt(5))};
+      }
+      batch.push_back(std::move(up));
+    }
+    EXPECT_TRUE((*view)->ApplyBatch(batch).ok());
+    out += "batch" + std::to_string(b) + ":\n" +
+           (*view)->model().SerializeSnapshot();
+  }
+
+  Result<Instance> scratch = engine.Stratified(*p, (*view)->base());
+  EXPECT_TRUE(scratch.ok()) << scratch.status().ToString();
+  if (scratch.ok()) {
+    EXPECT_EQ((*view)->model().SerializeSnapshot(),
+              scratch->SerializeSnapshot())
+        << "maintained model diverges from scratch under t=" << num_threads;
+  }
+
+  const IncrementalView::Stats& st = (*view)->stats();
+  out += "stats=" + std::to_string(st.batches) + "/" +
+         std::to_string(st.inserts) + "/" + std::to_string(st.retracts) +
+         "/" + std::to_string(st.noops) + "/" + std::to_string(st.recounted) +
+         "/" + std::to_string(st.overdeleted) + "/" +
+         std::to_string(st.rederived_base) + "/" +
+         std::to_string(st.rederived_provenance) + "/" +
+         std::to_string(st.rederived_query) + "/" +
+         std::to_string(st.facts_added) + "/" +
+         std::to_string(st.facts_removed) + "\n";
+  return out;
+}
+
+/// The maintenance contract of docs/incremental.md: the maintained model
+/// bytes and every maintenance counter are identical at every thread
+/// count and on both storage backends.
+class IncrementalRandomSweep : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(IncrementalRandomSweep, MaintenanceIdenticalAcrossThreadsAndStorage) {
+  Rng rng(GetParam());
+  const std::string program_text = random_programs::RandomProgram(&rng);
+  const std::string facts_text = random_programs::RandomFacts(&rng, 5, 8, 3);
+  SCOPED_TRACE("program:\n" + program_text + "facts:\n" + facts_text);
+  const uint64_t update_seed = GetParam() * 977 + 1;
+
+  const std::string reference =
+      RunIncrementalMaintenance(program_text, facts_text, update_seed, 1,
+                                storage::StorageBackend::kHash);
+  for (int t : kThreadCounts) {
+    for (storage::StorageBackend backend :
+         {storage::StorageBackend::kHash, storage::StorageBackend::kColumnar}) {
+      if (t == 1 && backend == storage::StorageBackend::kHash) continue;
+      SCOPED_TRACE("num_threads=" + std::to_string(t) + " backend=" +
+                   storage::StorageBackendName(backend));
+      EXPECT_EQ(reference,
+                RunIncrementalMaintenance(program_text, facts_text,
+                                          update_seed, t, backend));
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, IncrementalRandomSweep,
                          ::testing::Range(uint64_t{1}, uint64_t{11}),
                          [](const ::testing::TestParamInfo<uint64_t>& info) {
                            return "seed" + std::to_string(info.param);

@@ -8,11 +8,16 @@
 #include <string>
 #include <vector>
 
+#include "eval/test_hooks.h"
+#include "testing/oracle.h"
 #include "testing/shrinker.h"
 
 namespace datalog {
 namespace {
 
+using fuzz::OraclePair;
+using fuzz::OracleRunner;
+using fuzz::OracleVerdict;
 using fuzz::ShrinkResult;
 using fuzz::Shrinker;
 
@@ -135,6 +140,87 @@ TEST(ShrinkerTest, BudgetIsRespected) {
   EXPECT_FALSE(result.one_minimal);
   // Whatever partial progress was made, the kept repro must still fail.
   EXPECT_TRUE(HasLine(result.program, "r63."));
+}
+
+/// Update tokens across every `%~` line of a facts text (the update-batch
+/// convention of testing/oracle.h).
+int CountUpdateTokens(const std::string& facts) {
+  int tokens = 0;
+  size_t pos = 0;
+  while (pos < facts.size()) {
+    size_t eol = facts.find('\n', pos);
+    if (eol == std::string::npos) eol = facts.size();
+    const std::string line = facts.substr(pos, eol - pos);
+    pos = eol + 1;
+    if (line.rfind("%~", 0) != 0) continue;
+    bool in_token = false;
+    for (size_t i = 2; i < line.size(); ++i) {
+      const bool space = line[i] == ' ' || line[i] == '\t';
+      if (!space && !in_token) ++tokens;
+      in_token = !space;
+    }
+  }
+  return tokens;
+}
+
+TEST(ShrinkerTest, UpdateBatchesMergeAndTokensDrop) {
+  // Two culprit update tokens planted in different batches, among decoy
+  // facts, decoy tokens and a decoy batch: the shrinker must merge the
+  // batches and drop everything else, down to one two-token line.
+  const std::string facts = Lines({"f0.", "%~ +e1(0,1) +e1(4,4)", "f1.",
+                                   "%~ -e2(3)", "%~ +e2(0)"});
+  auto oracle = [](const std::string&, const std::string& f) {
+    return f.find("+e1(0,1)") != std::string::npos &&
+           f.find("-e2(3)") != std::string::npos;
+  };
+
+  ShrinkResult result = Shrinker().Shrink("", facts, oracle);
+  EXPECT_EQ(result.facts, "%~ +e1(0,1) -e2(3)\n");
+  EXPECT_EQ(CountUpdateTokens(result.facts), 2);
+  EXPECT_TRUE(result.one_minimal);
+}
+
+TEST(ShrinkerTest, PlantedDredBugShrinksToTinyUpdateRepro) {
+  // The full find -> shrink loop against the real engine: with the DRed
+  // rederivation pass disabled, the incremental-vs-scratch oracle fails on
+  // this fuzzer-found case, and the shrinker must reduce the update
+  // sequence to at most 3 update tokens (this one minimizes to a single
+  // insert) while staying locally 1-minimal.
+  const std::string program =
+      "p1(Y) :- e2(Z), p3(Y, W), p3(X, Y), !e1(X, W).\n"
+      "p3(Y, X) :- e1(Y, X).\n"
+      "p3(W, Z) :- e1(W, Z).\n"
+      "p3(W, Y) :- p1(Y), e2(W), e2(Y), !e1(W, W).\n";
+  const std::string facts =
+      "e1(4, 0).\ne1(2, 3).\ne1(3, 4).\ne1(4, 2).\ne1(2, 4).\n"
+      "e1(1, 3).\ne1(4, 2).\ne1(2, 0).\ne2(1).\ne2(1).\ne2(2).\n"
+      "%~ +e1(2,2) +e1(2,2)\n"
+      "%~ -e1(2,1) +e1(2,4) -e1(2,3)\n";
+
+  internal::g_dred_skip_rederive = true;
+  OracleRunner runner;
+  auto oracle = [&runner](const std::string& p, const std::string& f) {
+    const OracleVerdict v =
+        runner.Run(OraclePair::kIncrementalVsScratch, p, f, 17);
+    return v.applicable && !v.agreed;
+  };
+  ASSERT_TRUE(oracle(program, facts)) << "planted bug must fail unshrunk";
+
+  ShrinkResult result = Shrinker().Shrink(program, facts, oracle);
+  internal::g_dred_skip_rederive = false;
+
+  EXPECT_TRUE(result.one_minimal);
+  EXPECT_LE(result.RuleCount(), 4);
+  EXPECT_GE(CountUpdateTokens(result.facts), 1);
+  EXPECT_LE(CountUpdateTokens(result.facts), 3);
+  // The shrunk repro must still trip the planted bug...
+  internal::g_dred_skip_rederive = true;
+  EXPECT_TRUE(oracle(result.program, result.facts));
+  internal::g_dred_skip_rederive = false;
+  // ... and be clean once the bug is lifted.
+  const OracleVerdict healthy = runner.Run(OraclePair::kIncrementalVsScratch,
+                                           result.program, result.facts, 17);
+  EXPECT_TRUE(healthy.ok()) << healthy.detail;
 }
 
 TEST(ShrinkerTest, OracleCallsScaleGently) {

@@ -237,15 +237,17 @@ TEST(ColumnStoreTest, EpochChangesForceRebuild) {
   for (Value v = 0; v < 30; ++v) db.MutableRel(p)->Insert(Tuple{v, v + 1});
   ExpectViewMatches(store.View(db, p, key_cols), db.Rel(p), key_cols);
 
-  // Erase: non-monotone, epoch changes, view must rebuild (not reuse runs).
+  // Erase: the epoch survives and the view splices the row out of its
+  // sorted runs instead of rebuilding.
   ASSERT_TRUE(db.Erase(p, Tuple{3, 4}));
   ExpectViewMatches(store.View(db, p, key_cols), db.Rel(p), key_cols);
-  EXPECT_EQ(store.counters().rebuilds, 1);
+  EXPECT_EQ(store.counters().rebuilds, 0);
+  EXPECT_EQ(store.counters().rows_removed, 1);
 
-  // Clear: empty relation, empty view.
+  // Clear: empty relation, empty view; the epoch change forces a rebuild.
   db.MutableRel(p)->Clear();
   ExpectViewMatches(store.View(db, p, key_cols), db.Rel(p), key_cols);
-  EXPECT_EQ(store.counters().rebuilds, 2);
+  EXPECT_EQ(store.counters().rebuilds, 1);
 
   // Copy assignment takes a fresh epoch even though contents grow.
   Relation other(2);
@@ -253,7 +255,7 @@ TEST(ColumnStoreTest, EpochChangesForceRebuild) {
   other.Insert(Tuple{1, 2});
   *db.MutableRel(p) = other;
   ExpectViewMatches(store.View(db, p, key_cols), db.Rel(p), key_cols);
-  EXPECT_EQ(store.counters().rebuilds, 3);
+  EXPECT_EQ(store.counters().rebuilds, 2);
 
   // Move assignment keeps the source's epoch/journal; the view sees a new
   // epoch (it was synced to the destination's old one) and rebuilds.
@@ -335,13 +337,15 @@ TEST(UnaryBitmapIndexTest, BuildAppendRebuild) {
   EXPECT_EQ(index.counters().bitmap_rebuilds.load(), 0);
   EXPECT_GT(index.counters().bitmap_appended.load(), 0);
 
-  // Erase changes the epoch: full rebuild without the erased value.
+  // Erase keeps the epoch: the value is cleared from the bitmap in place
+  // via the erase journal, no rebuild.
   ASSERT_TRUE(db.Erase(u, Tuple{0}));
   bm = index.UnaryBitmap(db, u);
   ASSERT_NE(bm, nullptr);
   EXPECT_FALSE(bm->Contains(0));
   EXPECT_EQ(bm->cardinality(), 25u);
-  EXPECT_EQ(index.counters().bitmap_rebuilds.load(), 1);
+  EXPECT_EQ(index.counters().bitmap_rebuilds.load(), 0);
+  EXPECT_EQ(index.counters().bitmap_removed.load(), 1);
 
   // An up-to-date probe is a hit.
   index.UnaryBitmap(db, u);
@@ -464,13 +468,18 @@ TEST(RelationStagingTest, EqualityCopyMoveEraseClearWithStagedRows) {
   EXPECT_EQ(moved.staged_rows(), 1u);
   EXPECT_TRUE(moved.Contains(Tuple{3, 4}));
 
-  // Erase of a staged row materializes first, then resets the journal.
+  // Erase of a staged row materializes first, then records the removal in
+  // the erase journal — the epoch survives, so incremental consumers can
+  // apply the event instead of rebuilding.
   Relation erased(2);
   erased.AppendStagedRows(rows, 1);
   const uint64_t erased_epoch = erased.epoch();
   EXPECT_TRUE(erased.Erase(Tuple{3, 4}));
   EXPECT_TRUE(erased.empty());
-  EXPECT_NE(erased.epoch(), erased_epoch);
+  EXPECT_EQ(erased.epoch(), erased_epoch);
+  ASSERT_EQ(erased.erase_journal().size(), 1u);
+  EXPECT_EQ(*erased.erase_journal()[0].tuple, (Tuple{3, 4}));
+  EXPECT_EQ(erased.erase_journal()[0].ins_pos, 1u);
 
   // Clear drops staged rows with the rest.
   Relation cleared(2);

@@ -60,6 +60,33 @@ fuzz_smoke() {
     --storage=columnar --artifacts="${build_dir}/fuzz-artifacts"
 }
 
+# Incremental-maintenance smoke (docs/incremental.md): a focused
+# incremental-vs-scratch sweep (oracle pair #9 — the default fuzz_smoke
+# sweep covers it too, this lane goes deeper on the one pair), plus the
+# maintenance-vs-from-scratch bench with its built-in byte-identity
+# self-check and the >= 10x single-fact acceptance bar.
+incremental_smoke() {
+  local build_dir="$1"
+  echo "==> incremental-smoke ${build_dir}"
+  "${build_dir}/tools/unchained_fuzz" --cases=400 --seed=11 --quiet \
+    --mutants=0 --pairs=incremental-vs-scratch \
+    --artifacts="${build_dir}/fuzz-artifacts-incremental"
+  echo "==> incremental-smoke ${build_dir} (columnar)"
+  "${build_dir}/tools/unchained_fuzz" --cases=400 --seed=11 --quiet \
+    --mutants=0 --pairs=incremental-vs-scratch --storage=columnar \
+    --artifacts="${build_dir}/fuzz-artifacts-incremental"
+}
+
+# Maintenance bench (docs/incremental.md): every row self-checks the
+# maintained model byte-identical to from-scratch re-evaluation, and the
+# binary fails unless single-fact maintenance clears the 10x bar.
+bench_incremental() {
+  local build_dir="$1"
+  echo "==> bench-incremental ${build_dir}"
+  "${build_dir}/bench/incremental_updates" \
+    --json="${build_dir}/BENCH_incremental.json" >/dev/null
+}
+
 # Traced end-to-end run (docs/observability.md): --trace must produce a
 # Chrome trace file that the schema/monotonic-timestamp checker accepts.
 trace_check() {
@@ -85,14 +112,19 @@ bench_peer_faults() {
 
 run_suite "${repo}/build"
 fuzz_smoke "${repo}/build"
+incremental_smoke "${repo}/build"
 trace_check "${repo}/build"
 bench_peer_faults "${repo}/build"
+bench_incremental "${repo}/build"
 if [[ "${sanitize}" -eq 1 ]]; then
   # The dist suite (PeersFault/Snapshot/FaultSpec + Deadline) runs in the
   # full ctest sweep, so ASan covers the transport/crash-recovery paths.
+  # The incremental sweep repeats under ASan because maintenance is where
+  # the erase journals recycle tuple nodes — the use-after-free surface.
   run_suite "${repo}/build-asan" -DCMAKE_BUILD_TYPE=RelWithDebInfo \
     -DUNCHAINED_SANITIZE=ON
   fuzz_smoke "${repo}/build-asan"
+  incremental_smoke "${repo}/build-asan"
   trace_check "${repo}/build-asan"
   bench_peer_faults "${repo}/build-asan"
 fi
@@ -105,9 +137,12 @@ if [[ "${tsan}" -eq 1 ]]; then
   # Columnar/Storage/Bitmap/RowSet/HashVsColumnar covers the columnar
   # storage backend (docs/storage.md) — in particular that the lazy
   # staged-row materialization never races the pool (the ColumnarRandom
-  # sweep runs the columnar engines at 1/2/8 threads).
+  # sweep runs the columnar engines at 1/2/8 threads);
+  # Incremental/Retract/Dred/Counting covers IncrementalView maintenance
+  # and the erase-journal index replay (the IncrementalRandomSweep drives
+  # its scratch reference engines at 1/2/8 threads).
   run_suite "${repo}/build-tsan" \
-    "--tests-regex=Parallel|Datalog|Stratified|WellFounded|Inflationary|NonInflationary|Stable|Engine|SemiNaive|Naive|RandomProgram|Trace|Obs|Metrics|Tracer|Peer|Dist|Deadline|Cancel|Fault|Snapshot|Columnar|Storage|ColumnStore|Bitmap|RowSet|RelationStaging" \
+    "--tests-regex=Parallel|Datalog|Stratified|WellFounded|Inflationary|NonInflationary|Stable|Engine|SemiNaive|Naive|RandomProgram|Trace|Obs|Metrics|Tracer|Peer|Dist|Deadline|Cancel|Fault|Snapshot|Columnar|Storage|ColumnStore|Bitmap|RowSet|RelationStaging|Incremental|Retract|Dred|Counting" \
     -DCMAKE_BUILD_TYPE=RelWithDebInfo -DUNCHAINED_TSAN=ON
 fi
 

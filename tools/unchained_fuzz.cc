@@ -11,8 +11,10 @@
 //   pairs:   naive-vs-seminaive | magic-vs-original | inflationary-vs-while
 //            | wellfounded-vs-stratified | sequential-vs-parallel
 //            | trace-on-vs-trace-off | reliable-vs-faulty-peers
-//            | hash-vs-columnar
+//            | hash-vs-columnar | incremental-vs-scratch
 //   bugs:    seminaive-skip-delta (optional :RULE index, default 1)
+//            dred-skip-rederive (incremental maintenance drops the
+//            delete-rederive pass; caught by incremental-vs-scratch)
 //
 // --storage selects the data plane every pair's engines evaluate with
 // (docs/storage.md); hash-vs-columnar always diffs both regardless.
@@ -75,7 +77,8 @@ int Usage() {
       "usage: unchained_fuzz [--cases=N] [--seed=S] [--classes=a,b,...]\n"
       "                      [--pairs=a,b,...] [--mutants=N]\n"
       "                      [--artifacts=DIR] [--no-shrink]\n"
-      "                      [--inject-bug=seminaive-skip-delta[:RULE]]\n"
+      "                      [--inject-bug=seminaive-skip-delta[:RULE]\n"
+      "                                   |dred-skip-rederive]\n"
       "                      [--quiet] [--deadline-ms=N] [--trace=FILE]\n"
       "                      [--metrics] [--storage=hash|columnar]\n");
   return 2;
@@ -128,6 +131,8 @@ int main(int argc, char** argv) {
       }
       if (name == "seminaive-skip-delta") {
         datalog::internal::g_seminaive_skip_delta_rule = rule;
+      } else if (name == "dred-skip-rederive") {
+        datalog::internal::g_dred_skip_rederive = true;
       } else {
         std::fprintf(stderr, "unknown bug: %s\n", name.c_str());
         return Usage();
