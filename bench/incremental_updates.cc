@@ -20,9 +20,16 @@
 // from-scratch at n >= 256.
 //
 // Usage: incremental_updates [--json=<path>] [--storage=hash,columnar]
+//                            [--chain=N]
+//
+// --chain overrides the chain length (default 512) so smoke lanes can run
+// a cheap configuration; the >= 10x acceptance bar only applies at
+// n >= 256 (the criterion's stated floor — shorter chains don't amortize
+// the per-batch overhead and the bar would be noise).
 
 #include <algorithm>
 #include <cstdio>
+#include <cstdlib>
 #include <memory>
 #include <string>
 #include <vector>
@@ -41,8 +48,22 @@ using datalog::GraphBuilder;
 using datalog::IncrementalView;
 using datalog::Instance;
 
-constexpr int kChain = 512;       // >= 256 per the acceptance criterion
+constexpr int kDefaultChain = 512;
+constexpr int kBarMinChain = 256;  // the acceptance criterion's floor
 constexpr double kSpeedupBar = 10.0;
+
+/// Scans argv for `--chain=N`; returns the default when absent.
+int ChainFromArgs(int argc, char** argv) {
+  const std::string flag = "--chain=";
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind(flag, 0) == 0) {
+      const int n = std::atoi(arg.substr(flag.size()).c_str());
+      if (n > 0) return n;
+    }
+  }
+  return kDefaultChain;
+}
 
 // Left-linear TC: a tip edge's consequences land in one delta pass
 // (t(X, tip) × g(tip, new)), so maintenance cost tracks the delta size;
@@ -71,15 +92,15 @@ double Median(std::vector<double> v) {
 /// index builds; the reported numbers are medians over kReps steady-state
 /// cycles (maintenance latency is a steady-state property — a real
 /// deployment applies many batches per view). Appends two Scenario rows.
-bool RunBatch(datalog::storage::StorageBackend backend, int batch,
-              std::vector<Scenario>* out) {
+bool RunBatch(datalog::storage::StorageBackend backend, int chain,
+              int batch, std::vector<Scenario>* out) {
   constexpr int kReps = 3;
   Engine engine;
   engine.options().storage = backend;
   auto program = engine.Parse(kProgram);
   if (!program.ok()) return false;
   GraphBuilder graphs(&engine.catalog(), &engine.symbols());
-  const Instance base = graphs.Chain(kChain);
+  const Instance base = graphs.Chain(chain);
 
   auto view = IncrementalView::Create(*program, engine.catalog(), base,
                                       engine.options());
@@ -89,13 +110,13 @@ bool RunBatch(datalog::storage::StorageBackend backend, int batch,
     return false;
   }
 
-  // Tip edges kChain-1+i -> kChain+i, i in [0, batch).
+  // Tip edges chain-1+i -> chain+i, i in [0, batch).
   std::vector<FactUpdate> inserts;
   std::vector<FactUpdate> retracts;
   for (int i = 0; i < batch; ++i) {
     FactUpdate u;
     u.pred = graphs.edge_pred();
-    u.tuple = {graphs.Node(kChain - 1 + i), graphs.Node(kChain + i)};
+    u.tuple = {graphs.Node(chain - 1 + i), graphs.Node(chain + i)};
     u.insert = true;
     inserts.push_back(u);
     u.insert = false;
@@ -151,8 +172,10 @@ bool RunBatch(datalog::storage::StorageBackend backend, int batch,
 
 int main(int argc, char** argv) {
   datalog::bench::ObsArgs obs(argc, argv);
+  const int chain = ChainFromArgs(argc, argv);
   datalog::bench::Header(
-      "Incremental maintenance vs from-scratch (TC chain, n=512)");
+      "Incremental maintenance vs from-scratch (TC chain, n=" +
+      std::to_string(chain) + ")");
   datalog::bench::JsonEmitter json(argc, argv);
 
   std::vector<Scenario> scenarios;
@@ -164,7 +187,7 @@ int main(int argc, char** argv) {
   }
   for (auto backend : backends) {
     for (int batch : {1, 16, 256}) {
-      if (!RunBatch(backend, batch, &scenarios)) return 1;
+      if (!RunBatch(backend, chain, batch, &scenarios)) return 1;
     }
   }
 
@@ -180,7 +203,9 @@ int main(int argc, char** argv) {
                 s.maintain_ms, s.scratch_ms, speedup,
                 s.agree ? "yes" : "NO");
     all_agree = all_agree && s.agree;
-    if (s.single_fact && speedup < kSpeedupBar) bar_met = false;
+    if (s.single_fact && chain >= kBarMinChain && speedup < kSpeedupBar) {
+      bar_met = false;
+    }
     json.Row("maintain/" + s.name, s.maintain_ms, datalog::EvalStats());
     json.Row("scratch/" + s.name, s.scratch_ms, s.scratch_stats);
   }
@@ -189,9 +214,14 @@ int main(int argc, char** argv) {
       "\nSelf-check: maintained model byte-identical to from-scratch "
       "after every batch: %s\n",
       all_agree ? "yes" : "NO");
-  std::printf(
-      "Acceptance (docs/incremental.md): single-fact maintenance >= %.0fx "
-      "faster than from-scratch at n=%d: %s\n",
-      kSpeedupBar, kChain, bar_met ? "yes" : "NO");
+  if (chain >= kBarMinChain) {
+    std::printf(
+        "Acceptance (docs/incremental.md): single-fact maintenance >= "
+        "%.0fx faster than from-scratch at n=%d: %s\n",
+        kSpeedupBar, chain, bar_met ? "yes" : "NO");
+  } else {
+    std::printf("Acceptance bar skipped: n=%d below the n>=%d floor\n",
+                chain, kBarMinChain);
+  }
   return all_agree && bar_met ? 0 : 1;
 }

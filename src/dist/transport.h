@@ -1,10 +1,12 @@
 #ifndef UNCHAINED_DIST_TRANSPORT_H_
 #define UNCHAINED_DIST_TRANSPORT_H_
 
+#include <atomic>
 #include <cstdint>
 #include <deque>
 #include <functional>
 #include <map>
+#include <memory>
 #include <set>
 #include <string>
 #include <utility>
@@ -296,6 +298,57 @@ class UnreliableTransport : public Transport {
   std::vector<bool> partition_open_;
   std::vector<std::string>* event_log_ = nullptr;
 };
+
+// -- Byte-stream channels (the server's wire substrate) -----------------
+//
+// The concurrent Datalog server (src/server/, docs/server.md) speaks
+// length-prefixed frames over a reliable, ordered byte stream. Unlike the
+// round-clocked peer transports above, these channels are plain blocking
+// streams driven by real threads: an in-process duplex pair for tests and
+// benches, and localhost TCP sockets for the `unchained_serve` binary.
+
+/// A reliable, ordered, blocking byte-stream endpoint. Write is
+/// all-or-nothing; Read blocks until exactly `n` bytes arrived and
+/// returns false on a clean close or error. One writer thread and one
+/// reader thread may use an endpoint concurrently (full duplex), but each
+/// direction has a single owner.
+class ByteChannel {
+ public:
+  virtual ~ByteChannel() = default;
+  virtual bool Write(const void* data, size_t n) = 0;
+  virtual bool Read(void* data, size_t n) = 0;
+  /// Closes both directions; pending and future Reads return false.
+  virtual void Close() = 0;
+};
+
+/// An in-process duplex channel pair: bytes written to one endpoint are
+/// read from the other, each direction a mutex/condvar byte queue.
+/// Closing either endpoint closes the pair.
+std::pair<std::unique_ptr<ByteChannel>, std::unique_ptr<ByteChannel>>
+InProcessChannelPair();
+
+/// Listening half of a localhost TCP (IPv4) socket transport.
+class SocketListener {
+ public:
+  /// Binds and listens on 127.0.0.1:`port`; port 0 picks an ephemeral
+  /// port (read it back with port()).
+  static Result<std::unique_ptr<SocketListener>> Listen(int port);
+  ~SocketListener();
+
+  int port() const { return port_; }
+  /// Blocks for the next connection; nullptr once the listener is closed.
+  std::unique_ptr<ByteChannel> Accept();
+  /// Unblocks pending and future Accepts. Safe from another thread.
+  void Close();
+
+ private:
+  SocketListener(int fd, int port) : fd_(fd), port_(port) {}
+  std::atomic<int> fd_{-1};  // Close races Accept from another thread
+  int port_ = 0;
+};
+
+/// Connects to 127.0.0.1:`port`.
+Result<std::unique_ptr<ByteChannel>> SocketConnect(int port);
 
 }  // namespace datalog
 

@@ -24,6 +24,17 @@ extern int g_seminaive_skip_delta_rule;
 /// oracle and the update-sequence shrinker.
 extern bool g_dred_skip_rederive;
 
+/// When true, the concurrent server serializes its snapshot *before*
+/// applying the writer batch and publishes those stale bytes under the
+/// new epoch — a snapshot-publish-before-resync bug: every reader at
+/// epoch e >= 1 sees epoch e-1's data, i.e. a torn read between the
+/// epoch counter and the model it is supposed to version. Caught by
+/// oracle pair #10's per-epoch byte diff against the sequential library
+/// replay, and the canonical target of the session-minimization shrinker
+/// pass (a 1-update schedule already fails). Defined in
+/// server/server.cc.
+extern bool g_server_publish_stale;
+
 }  // namespace internal
 }  // namespace datalog
 

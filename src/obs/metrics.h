@@ -23,6 +23,7 @@
 // static). Gauges are last-write-wins process globals, not sharded.
 
 #include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <memory>
 #include <mutex>
@@ -191,6 +192,35 @@ class HistogramHandle {
 
  private:
   MetricId id_;
+};
+
+/// RAII latency sample: observes the enclosing scope's wall-clock
+/// duration (µs) into a histogram on destruction. Honors goal 1 above —
+/// when the registry is disabled at construction, neither clock is read.
+///
+///   static obs::HistogramHandle request_us("server.request_us");
+///   obs::ScopedLatency sample(&request_us);
+class ScopedLatency {
+ public:
+  explicit ScopedLatency(HistogramHandle* histogram) {
+    if (MetricsRegistry::Get().enabled()) {
+      histogram_ = histogram;
+      start_ = std::chrono::steady_clock::now();
+    }
+  }
+  ScopedLatency(const ScopedLatency&) = delete;
+  ScopedLatency& operator=(const ScopedLatency&) = delete;
+  ~ScopedLatency() {
+    if (histogram_ == nullptr) return;
+    const auto elapsed = std::chrono::steady_clock::now() - start_;
+    histogram_->Observe(
+        std::chrono::duration_cast<std::chrono::microseconds>(elapsed)
+            .count());
+  }
+
+ private:
+  HistogramHandle* histogram_ = nullptr;
+  std::chrono::steady_clock::time_point start_;
 };
 
 }  // namespace obs

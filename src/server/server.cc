@@ -1,0 +1,427 @@
+#include "server/server.h"
+
+#include <utility>
+
+#include "dist/transport.h"
+#include "eval/test_hooks.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "server/session.h"
+
+namespace datalog {
+
+namespace internal {
+bool g_server_publish_stale = false;
+}  // namespace internal
+
+namespace server {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+obs::CounterHandle& RequestsCounter() {
+  static obs::CounterHandle c("server.requests");
+  return c;
+}
+obs::CounterHandle& QueriesCounter() {
+  static obs::CounterHandle c("server.queries");
+  return c;
+}
+obs::CounterHandle& UpdatesCounter() {
+  static obs::CounterHandle c("server.updates");
+  return c;
+}
+obs::CounterHandle& BatchesAppliedCounter() {
+  static obs::CounterHandle c("server.batches_applied");
+  return c;
+}
+obs::CounterHandle& CancelledCounter() {
+  static obs::CounterHandle c("server.cancelled");
+  return c;
+}
+obs::CounterHandle& DeadlineExhaustedCounter() {
+  static obs::CounterHandle c("server.deadline_exhausted");
+  return c;
+}
+obs::GaugeHandle& EpochGauge() {
+  static obs::GaugeHandle g("server.epoch");
+  return g;
+}
+obs::HistogramHandle& RequestLatency() {
+  static obs::HistogramHandle h("server.request_us");
+  return h;
+}
+obs::HistogramHandle& ApplyLatency() {
+  static obs::HistogramHandle h("server.apply_us");
+  return h;
+}
+
+Response Refuse(StatusCode code, std::string error) {
+  Response r;
+  r.status = code;
+  r.error = std::move(error);
+  return r;
+}
+
+}  // namespace
+
+Result<std::unique_ptr<Server>> Server::Create(const Program& program,
+                                               const Catalog* catalog,
+                                               SymbolTable* symbols,
+                                               const Instance& base,
+                                               const ServerOptions& options) {
+  Result<std::unique_ptr<IncrementalView>> view =
+      IncrementalView::Create(program, *catalog, base, options.eval);
+  if (!view.ok()) return view.status();
+  std::unique_ptr<Server> server(
+      new Server(std::move(view).value(), catalog, symbols, options));
+  server->PublishCurrentModel(0);
+  return server;
+}
+
+Server::Server(std::unique_ptr<IncrementalView> view, const Catalog* catalog,
+               SymbolTable* symbols, const ServerOptions& options)
+    : catalog_(catalog),
+      symbols_(symbols),
+      options_(options),
+      view_(std::move(view)) {
+  if (options_.num_readers < 1) options_.num_readers = 1;
+}
+
+Server::~Server() { Stop(); }
+
+void Server::PublishCurrentModel(int64_t epoch) {
+  OBS_SPAN("server.publish", {{"epoch", static_cast<int>(epoch)}});
+  Instance model = view_->model();
+  std::string bytes = model.SerializeSnapshot();
+  auto snapshot =
+      std::make_unique<Snapshot>(epoch, std::move(model), std::move(bytes));
+  const Snapshot* published = snapshot.get();
+  registry_.Publish(std::move(snapshot));
+  EpochGauge().Set(epoch);
+  if (on_publish_) on_publish_(epoch, published->model_bytes());
+}
+
+Result<int64_t> Server::SubmitUpdate(const std::string& tokens) {
+  RequestsCounter().Add(1);
+  UpdatesCounter().Add(1);
+  // The whole submission — including the parse — runs under mu_:
+  // ParseUpdateTokens interns values into the shared SymbolTable, which
+  // is not thread-safe, and concurrent clients reach here from their own
+  // threads. Nothing else server-side mutates the table (readers serve
+  // frozen bytes; ApplyBatch consumes already-interned values), so mu_
+  // is the table's sole writer gate.
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<FactUpdate> batch;
+  if (!ParseUpdateTokens(tokens, *catalog_, symbols_, &batch) ||
+      batch.empty()) {
+    return Status(StatusCode::kSchemaError,
+                  "malformed update batch: " + tokens);
+  }
+  // Enqueue-or-refuse under the lock Stop sets `stopping_` under: a
+  // batch queued here is guaranteed to be drained by the writer before
+  // it exits, so every accepted ticket settles.
+  if (stopping_) {
+    return Status(StatusCode::kCancelled, "server stopping");
+  }
+  const int64_t ticket = next_ticket_++;
+  queue_.push_back(PendingUpdate{ticket, std::move(batch)});
+  tickets_.emplace(ticket, TicketState{});
+  writer_cv_.notify_one();
+  return ticket;
+}
+
+bool Server::ApplyOneQueued() {
+  PendingUpdate pending;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (queue_.empty()) return false;
+    pending = std::move(queue_.front());
+    queue_.pop_front();
+  }
+
+  OBS_SPAN("server.apply_batch",
+           {{"updates", static_cast<int>(pending.batch.size())}});
+  obs::ScopedLatency latency(&ApplyLatency());
+
+  // Planted torn-read bug (test_hooks.h): snapshot the model *before*
+  // the batch lands, then publish those stale bytes under the new epoch.
+  std::unique_ptr<Snapshot> stale;
+  if (internal::g_server_publish_stale) {
+    Instance model = view_->model();
+    std::string bytes = model.SerializeSnapshot();
+    stale = std::make_unique<Snapshot>(registry_.current_epoch() + 1,
+                                       std::move(model), std::move(bytes));
+  }
+
+  const Status st = view_->ApplyBatch(pending.batch);
+  Response response;
+  if (!st.ok()) {
+    response.status = st.code();
+    response.error = st.message();
+  } else {
+    BatchesAppliedCounter().Add(1);
+    const int64_t epoch = registry_.current_epoch() + 1;
+    if (stale != nullptr) {
+      const Snapshot* published = stale.get();
+      registry_.Publish(std::move(stale));
+      EpochGauge().Set(epoch);
+      if (on_publish_) on_publish_(epoch, published->model_bytes());
+    } else {
+      PublishCurrentModel(epoch);
+    }
+    response.epoch = epoch;
+    std::lock_guard<std::mutex> lock(mu_);
+    commit_log_.push_back(CommitRecord{epoch, std::move(pending.batch)});
+  }
+
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    TicketState& ticket = tickets_[pending.ticket];
+    ticket.done = true;
+    ticket.response = std::move(response);
+  }
+  tickets_cv_.notify_all();
+  return true;
+}
+
+bool Server::UpdateOutcome(int64_t ticket, Response* response) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = tickets_.find(ticket);
+  if (it == tickets_.end() || !it->second.done) return false;
+  *response = it->second.response;
+  return true;
+}
+
+int64_t Server::pending_updates() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return static_cast<int64_t>(queue_.size());
+}
+
+Response Server::ServeQuery(const Request& request) {
+  return ServeQuery(request, Clock::now());
+}
+
+Response Server::ServeQuery(const Request& request,
+                            Clock::time_point admit) {
+  RequestsCounter().Add(1);
+  QueriesCounter().Add(1);
+  OBS_SPAN("server.query",
+           {{"kind", static_cast<int>(request.kind)}});
+  obs::ScopedLatency latency(&RequestLatency());
+
+  auto expired = [&] {
+    return request.deadline_ms != 0 &&
+           Clock::now() - admit >=
+               std::chrono::milliseconds(request.deadline_ms);
+  };
+  // Budget checks bracket the pin: a cancelled or deadline-exhausted
+  // request must not pin a snapshot (checked before) nor hold its pin
+  // through the payload serialization (checked after the pin; the RAII
+  // pin releases on every return path, so refused requests leave the
+  // reclamation counters balanced).
+  if (request.cancel != nullptr && request.cancel->cancelled()) {
+    CancelledCounter().Add(1);
+    return Refuse(StatusCode::kCancelled, "cancelled before pin");
+  }
+  if (expired()) {
+    DeadlineExhaustedCounter().Add(1);
+    return Refuse(StatusCode::kBudgetExhausted, "deadline before pin");
+  }
+
+  SnapshotPin pin = registry_.Pin();
+  if (!pin.valid()) {
+    return Refuse(StatusCode::kInternal, "no snapshot published");
+  }
+  if (request.cancel != nullptr && request.cancel->cancelled()) {
+    CancelledCounter().Add(1);
+    return Refuse(StatusCode::kCancelled, "cancelled at pinned snapshot");
+  }
+  if (expired()) {
+    DeadlineExhaustedCounter().Add(1);
+    return Refuse(StatusCode::kBudgetExhausted,
+                  "deadline at pinned snapshot");
+  }
+
+  Response response;
+  response.epoch = pin->epoch();
+  switch (request.kind) {
+    case Request::Kind::kPing:
+      break;
+    case Request::Kind::kSnapshotQuery:
+      response.body = pin->model_bytes();
+      break;
+    case Request::Kind::kQuery: {
+      const PredId pred = catalog_->Find(request.text);
+      if (pred < 0) {
+        return Refuse(StatusCode::kSchemaError,
+                      "unknown predicate: " + request.text);
+      }
+      response.body = pin->PredBytes(pred);
+      break;
+    }
+    case Request::Kind::kUpdate:
+    case Request::Kind::kClose:
+      return Refuse(StatusCode::kInvalidProgram,
+                    "not a read request");
+  }
+  return response;
+}
+
+// -- Threaded mode ------------------------------------------------------
+
+void Server::Start() {
+  std::lock_guard<std::mutex> lock(threads_mu_);
+  if (started_) return;
+  started_ = true;
+  {
+    std::lock_guard<std::mutex> l1(mu_);
+    std::lock_guard<std::mutex> l2(jobs_mu_);
+    stopping_ = false;
+  }
+  writer_thread_ = std::thread([this] { WriterLoop(); });
+  reader_threads_.reserve(static_cast<size_t>(options_.num_readers));
+  for (int i = 0; i < options_.num_readers; ++i) {
+    reader_threads_.emplace_back([this] { ReaderLoop(); });
+  }
+}
+
+void Server::Stop() {
+  std::lock_guard<std::mutex> lock(threads_mu_);
+  if (!started_) return;
+  {
+    std::lock_guard<std::mutex> l1(mu_);
+    std::lock_guard<std::mutex> l2(jobs_mu_);
+    stopping_ = true;
+  }
+  writer_cv_.notify_all();
+  jobs_cv_.notify_all();
+  if (writer_thread_.joinable()) writer_thread_.join();
+  for (std::thread& t : reader_threads_) {
+    if (t.joinable()) t.join();
+  }
+  reader_threads_.clear();
+  // Unblock connection pumps stuck in ReadFrame, then join them. Their
+  // in-flight Calls have already settled: pre-stop work was drained
+  // above, post-stop work is refused at enqueue.
+  for (const std::unique_ptr<ByteChannel>& channel : conn_channels_) {
+    channel->Close();
+  }
+  for (std::thread& t : conn_threads_) {
+    if (t.joinable()) t.join();
+  }
+  conn_threads_.clear();
+  conn_channels_.clear();
+  started_ = false;
+}
+
+void Server::WriterLoop() {
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      writer_cv_.wait(lock, [&] { return stopping_ || !queue_.empty(); });
+      if (stopping_ && queue_.empty()) return;
+    }
+    ApplyOneQueued();
+  }
+}
+
+void Server::ReaderLoop() {
+  for (;;) {
+    QueryJob* job = nullptr;
+    {
+      std::unique_lock<std::mutex> lock(jobs_mu_);
+      jobs_cv_.wait(lock, [&] { return stopping_ || !jobs_.empty(); });
+      if (jobs_.empty()) return;  // stopping and drained
+      job = jobs_.front();
+      jobs_.pop_front();
+    }
+    Response response = ServeQuery(job->request, job->admit);
+    {
+      std::lock_guard<std::mutex> lock(jobs_mu_);
+      job->response = std::move(response);
+      job->done = true;
+    }
+    jobs_done_cv_.notify_all();
+  }
+}
+
+Response Server::Call(const Request& request) {
+  const Clock::time_point admit = Clock::now();
+  if (request.kind == Request::Kind::kUpdate) {
+    Result<int64_t> ticket = SubmitUpdate(request.text);
+    if (!ticket.ok()) {
+      return Refuse(ticket.status().code(), ticket.status().message());
+    }
+    std::unique_lock<std::mutex> lock(mu_);
+    tickets_cv_.wait(lock, [&] {
+      auto it = tickets_.find(*ticket);
+      return it != tickets_.end() && it->second.done;
+    });
+    Response response = tickets_[*ticket].response;
+    tickets_.erase(*ticket);  // settled tickets are single-reader
+    return response;
+  }
+  if (request.kind == Request::Kind::kClose) {
+    return Refuse(StatusCode::kInvalidProgram, "close is not callable");
+  }
+
+  QueryJob job;
+  job.request = request;
+  job.admit = admit;
+  {
+    std::lock_guard<std::mutex> lock(jobs_mu_);
+    // Same enqueue-or-refuse discipline as SubmitUpdate: a job pushed
+    // while !stopping_ is drained by the reader pool before it exits.
+    if (stopping_) {
+      return Refuse(StatusCode::kCancelled, "server stopping");
+    }
+    jobs_.push_back(&job);
+  }
+  jobs_cv_.notify_one();
+  std::unique_lock<std::mutex> lock(jobs_mu_);
+  jobs_done_cv_.wait(lock, [&] { return job.done; });
+  return std::move(job.response);
+}
+
+void Server::Serve(ByteChannel* channel) {
+  std::string payload;
+  while (ReadFrame(channel, &payload)) {
+    Request request;
+    if (!DecodeRequest(payload, &request)) {
+      WriteFrame(channel, EncodeResponse(Refuse(StatusCode::kParseError,
+                                                "malformed request")));
+      break;
+    }
+    if (request.kind == Request::Kind::kClose) break;
+    const Response response = Call(request);
+    if (!WriteFrame(channel, EncodeResponse(response))) break;
+  }
+  channel->Close();
+}
+
+void Server::ServeListener(SocketListener* listener) {
+  for (;;) {
+    std::unique_ptr<ByteChannel> channel = listener->Accept();
+    if (channel == nullptr) return;
+    std::lock_guard<std::mutex> lock(threads_mu_);
+    // The server keeps ownership so Stop can Close (unblock) the pump;
+    // the channel is freed with the containers at Stop.
+    ByteChannel* raw = channel.get();
+    conn_channels_.push_back(std::move(channel));
+    conn_threads_.emplace_back([this, raw] { Serve(raw); });
+  }
+}
+
+std::vector<CommitRecord> Server::CommitLog() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return commit_log_;
+}
+
+IncrementalView::Stats Server::view_stats() const {
+  return view_->stats();
+}
+
+}  // namespace server
+}  // namespace datalog

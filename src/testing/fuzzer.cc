@@ -103,11 +103,10 @@ std::string WriteRepro(const std::string& dir, const FuzzFailure& failure,
   }
   const std::string stem =
       dir + "/case" + std::to_string(failure.case_index) + "-" + check;
-  const std::string& program = failure.shrunk_program.empty()
-                                   ? failure.program
-                                   : failure.shrunk_program;
+  const std::string& program =
+      failure.shrunk ? failure.shrunk_program : failure.program;
   const std::string& facts =
-      failure.shrunk_program.empty() ? failure.facts : failure.shrunk_facts;
+      failure.shrunk ? failure.shrunk_facts : failure.facts;
   {
     std::ofstream f(stem + ".dl");
     if (!f) return "";
@@ -176,6 +175,7 @@ FuzzReport RunFuzz(const FuzzOptions& options) {
       failure.facts = c.facts;
       if (options.shrink) {
         ShrinkResult shrunk = shrinker.Shrink(c.program, c.facts, oracle);
+        failure.shrunk = true;
         failure.shrunk_program = shrunk.program;
         failure.shrunk_facts = shrunk.facts;
         failure.shrunk_rule_count = shrunk.RuleCount();

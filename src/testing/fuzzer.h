@@ -57,6 +57,10 @@ struct FuzzFailure {
   std::string detail;
   std::string program;
   std::string facts;
+  /// True once the shrinker ran; the shrunk fields below are then
+  /// authoritative even when empty (a server-side bug can shrink to zero
+  /// rules — the program is not the culprit).
+  bool shrunk = false;
   std::string shrunk_program;
   std::string shrunk_facts;
   int shrunk_rule_count = 0;

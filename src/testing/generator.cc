@@ -220,12 +220,63 @@ std::string ProgramGenerator::GenerateUpdates(Rng* rng) const {
   return out;
 }
 
+std::string ProgramGenerator::GenerateSessions(Rng* rng) const {
+  if (options_.max_sessions <= 0 || options_.max_session_ops <= 0) {
+    return "";
+  }
+  std::string out;
+  // Both edb and idb predicates are queryable: idb reads are the ones a
+  // torn publish corrupts (derived facts lag the epoch), edb reads pin
+  // down the base/view boundary.
+  static const char* const kPreds[] = {"e1", "e2", "p1", "p2", "p3"};
+  const int sessions = 1 + rng->UniformInt(options_.max_sessions);
+  for (int s = 0; s < sessions; ++s) {
+    const int num_ops = 1 + rng->UniformInt(options_.max_session_ops);
+    for (int o = 0; o < num_ops; ++o) {
+      out += "%@ " + std::to_string(s) + " ";
+      const double roll = static_cast<double>(rng->UniformInt(100)) / 100.0;
+      if (roll < 0.45) {
+        out += "q ";
+        out += kPreds[rng->UniformInt(5)];
+      } else if (roll < 0.55) {
+        out += "s";
+      } else {
+        // An update batch of 1-3 tokens, same token shapes as
+        // GenerateUpdates so the session-minimization shrinker pass can
+        // ddmin them on whitespace.
+        out += "u";
+        const int updates = 1 + rng->UniformInt(3);
+        for (int u = 0; u < updates; ++u) {
+          out += rng->Chance(0.6) ? " +" : " -";
+          if (rng->Chance(0.7)) {
+            out += "e1(" +
+                   std::to_string(rng->UniformInt(options_.num_values)) +
+                   "," +
+                   std::to_string(rng->UniformInt(options_.num_values)) +
+                   ")";
+          } else {
+            out += "e2(" +
+                   std::to_string(rng->UniformInt(options_.num_values)) +
+                   ")";
+          }
+        }
+      }
+      out += "\n";
+    }
+  }
+  return out;
+}
+
 GeneratedCase ProgramGenerator::GenerateCase(ProgramClass cls,
                                              Rng* rng) const {
   GeneratedCase c;
   c.cls = cls;
   c.program = GenerateProgram(cls, rng);
-  c.facts = GenerateFacts(rng) + GenerateUpdates(rng);
+  // Session lines are appended *after* the update lines: earlier draws
+  // for a given seed are unchanged, so pre-PR-9 cases replay as before
+  // with sessions tacked on.
+  c.facts = GenerateFacts(rng) + GenerateUpdates(rng) +
+            GenerateSessions(rng);
   return c;
 }
 

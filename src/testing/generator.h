@@ -67,6 +67,11 @@ struct GeneratorOptions {
   /// update generation (no `%~` lines; pair #9 reads as inapplicable).
   int max_update_batches = 4;
   int max_updates_per_batch = 4;
+  /// Concurrent sessions per case: 1 + U[0, max_sessions), each with
+  /// 1 + U[0, max_session_ops) script ops (`%@` lines, server/session.h).
+  /// Zero disables session generation (pair #10 reads as inapplicable).
+  int max_sessions = 3;
+  int max_session_ops = 4;
 };
 
 /// A generated (program, instance) pair.
@@ -101,6 +106,12 @@ class ProgramGenerator {
   /// one line per batch. The parser skips them as `%` comments; oracle
   /// pair #9 replays them against an IncrementalView.
   std::string GenerateUpdates(Rng* rng) const;
+
+  /// Random `%@ <sid> q|s|u ...` session-script lines (server/session.h):
+  /// a multi-client mix of predicate queries, full-snapshot queries and
+  /// update submissions. Comment-invisible to the parser; oracle pair #10
+  /// schedules them against a concurrent Server.
+  std::string GenerateSessions(Rng* rng) const;
 
   /// Program plus instance (including update-batch lines) in one call.
   GeneratedCase GenerateCase(ProgramClass cls, Rng* rng) const;

@@ -1,6 +1,7 @@
 #include "testing/oracle.h"
 
 #include <cctype>
+#include <map>
 #include <memory>
 #include <optional>
 #include <utility>
@@ -12,6 +13,9 @@
 #include "eval/incremental.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "server/scheduler.h"
+#include "server/server.h"
+#include "server/session.h"
 #include "testing/translate.h"
 #include "while/while_lang.h"
 
@@ -489,9 +493,11 @@ OracleVerdict RunHashVsColumnar(ParsedCase* c) {
 
 /// Parses the `%~` update-batch lines out of a facts text: one batch per
 /// line, one `+pred(v,...)` / `-pred(v,...)` token per update, integer
-/// arguments only (the generator's value domain). Returns false on any
-/// malformed token or unknown/wrong-arity predicate — the pair then reads
-/// as inapplicable, which is what the shrinker's blind line edits need.
+/// arguments only (the generator's value domain). Token parsing is shared
+/// with the server's session scripts (server::ParseUpdateTokens). Returns
+/// false on any malformed token or unknown/wrong-arity predicate — the
+/// pair then reads as inapplicable, which is what the shrinker's blind
+/// line edits need.
 bool ParseUpdateBatches(const std::string& facts_text, Engine* engine,
                         std::vector<std::vector<FactUpdate>>* batches) {
   size_t pos = 0;
@@ -506,50 +512,9 @@ bool ParseUpdateBatches(const std::string& facts_text, Engine* engine,
     if (line.substr(0, 2) != "%~") continue;
     line.remove_prefix(2);
     std::vector<FactUpdate> batch;
-    size_t i = 0;
-    while (i < line.size()) {
-      if (line[i] == ' ' || line[i] == '\t') {
-        ++i;
-        continue;
-      }
-      FactUpdate u;
-      if (line[i] == '+') {
-        u.insert = true;
-      } else if (line[i] == '-') {
-        u.insert = false;
-      } else {
-        return false;
-      }
-      ++i;
-      const size_t name_start = i;
-      while (i < line.size() &&
-             (std::isalnum(static_cast<unsigned char>(line[i])) != 0 ||
-              line[i] == '_')) {
-        ++i;
-      }
-      if (i == name_start || i >= line.size() || line[i] != '(') return false;
-      u.pred = engine->catalog().Find(line.substr(name_start, i - name_start));
-      if (u.pred < 0) return false;
-      ++i;  // '('
-      while (i < line.size() && line[i] != ')') {
-        int64_t v = 0;
-        const size_t digit_start = i;
-        while (i < line.size() &&
-               std::isdigit(static_cast<unsigned char>(line[i])) != 0) {
-          v = v * 10 + (line[i] - '0');
-          ++i;
-        }
-        if (i == digit_start) return false;
-        u.tuple.push_back(engine->symbols().InternInt(v));
-        if (i < line.size() && line[i] == ',') ++i;
-      }
-      if (i >= line.size()) return false;
-      ++i;  // ')'
-      if (static_cast<int>(u.tuple.size()) !=
-          engine->catalog().ArityOf(u.pred)) {
-        return false;
-      }
-      batch.push_back(std::move(u));
+    if (!server::ParseUpdateTokens(line, engine->catalog(),
+                                   &engine->symbols(), &batch)) {
+      return false;
     }
     if (!batch.empty()) batches->push_back(std::move(batch));
   }
@@ -682,6 +647,233 @@ OracleVerdict RunIncrementalVsScratch(ParsedCase* c,
   return Agreed();
 }
 
+// ---- kServerVsLibrary ---------------------------------------------------
+
+/// One virtual-clock run of the case's session script against a fresh
+/// Server. Create-refusals surface as !created (inapplicable upstream
+/// when the fragment is the reason).
+struct ServerRunOutcome {
+  bool created = false;
+  Status create_status;
+  server::ScheduleRun run;
+};
+
+ServerRunOutcome RunServerSchedule(ParsedCase* c,
+                                   const std::vector<server::SessionOp>& ops,
+                                   uint64_t salt) {
+  ServerRunOutcome outcome;
+  server::ServerOptions options;
+  options.eval = c->engine.options();
+  Result<std::unique_ptr<server::Server>> srv = server::Server::Create(
+      *c->program, &c->engine.catalog(), &c->engine.symbols(), *c->db,
+      options);
+  if (!srv.ok()) {
+    outcome.create_status = srv.status();
+    return outcome;
+  }
+  outcome.created = true;
+  server::SchedulerOptions sched;
+  sched.seed = salt;
+  // A seeded fraction of reads arrives pre-cancelled, so every fuzzed
+  // schedule also exercises the refuse-without-leaking-a-pin path.
+  sched.cancel_prob = 0.15;
+  outcome.run = server::RunSessions(srv->get(), ops, sched);
+  return outcome;
+}
+
+OracleVerdict RunServerVsLibrary(ParsedCase* c, const std::string& facts_text,
+                                 uint64_t salt) {
+  if (!c->ValidDialect(Dialect::kStratified)) return Inapplicable();
+  std::vector<server::SessionOp> ops;
+  if (!server::ParseSessionScript(facts_text, &ops) || ops.empty()) {
+    return Inapplicable();
+  }
+
+  ServerRunOutcome first = RunServerSchedule(c, ops, salt);
+  if (!first.created) {
+    // Same fragment gate as pair #9: the server wraps an IncrementalView.
+    if (first.create_status.code() == StatusCode::kUnsupported ||
+        first.create_status.code() == StatusCode::kNotStratifiable) {
+      return Inapplicable();
+    }
+    return Disagreed("server create: " + first.create_status.ToString());
+  }
+  const server::ScheduleRun& run = first.run;
+  if (!run.ok) return Disagreed("schedule: " + run.error);
+
+  // 1. Sequential library replay of the commit log: one model copy per
+  // epoch. Epoch e's published bytes must match the replay after the
+  // first e batches — the torn-read check.
+  Result<std::unique_ptr<IncrementalView>> view = IncrementalView::Create(
+      *c->program, c->engine.catalog(), *c->db, c->engine.options());
+  if (!view.ok()) {
+    return Disagreed("library create: " + view.status().ToString());
+  }
+  std::vector<Instance> models;
+  models.push_back((*view)->model());
+  for (size_t i = 0; i < run.commits.size(); ++i) {
+    if (run.commits[i].epoch != static_cast<int64_t>(i) + 1) {
+      return Disagreed("commit log epoch " +
+                       std::to_string(run.commits[i].epoch) +
+                       " at position " + std::to_string(i));
+    }
+    if (Status st = (*view)->ApplyBatch(run.commits[i].batch); !st.ok()) {
+      return Disagreed("library replay apply: " + st.ToString());
+    }
+    models.push_back((*view)->model());
+  }
+  if (run.epoch_bytes.size() != models.size()) {
+    return Disagreed("server published " +
+                     std::to_string(run.epoch_bytes.size()) +
+                     " epochs but committed " +
+                     std::to_string(run.commits.size()) + " batches");
+  }
+  for (size_t e = 0; e < models.size(); ++e) {
+    if (models[e].SerializeSnapshot() != run.epoch_bytes[e]) {
+      return Disagreed(
+          "epoch " + std::to_string(e) +
+          " published snapshot diverges from the sequential replay "
+          "(torn read?)\nlibrary at epoch " + std::to_string(e) + ":\n  " +
+          Truncate(models[e].ToString(c->engine.symbols())));
+    }
+  }
+
+  // 2. Per-response checks: status discipline, payload bytes against the
+  // replay model at the served epoch, monotone epochs per session (with
+  // read-your-writes via the blocking update semantics).
+  std::map<int, int64_t> last_epoch;
+  for (const server::ScheduledEvent& ev : run.events) {
+    const server::SessionOp& op = ops[ev.op_index];
+    const std::string where = "session " + std::to_string(ev.session) +
+                              " op " + std::to_string(ev.op_index) + " (" +
+                              server::FormatSessionOp(op) + ")";
+    if (ev.cancelled_injected) {
+      if (ev.response.status != StatusCode::kCancelled) {
+        return Disagreed(where + ": pre-cancelled read returned status " +
+                         std::to_string(static_cast<int>(
+                             ev.response.status)));
+      }
+      continue;
+    }
+    if (ev.response.status != StatusCode::kOk) {
+      // Two refusals are legitimate, and both must be kSchemaError:
+      // querying a predicate the program never mentions (the catalog has
+      // no entry for it), and submitting an update batch the library-side
+      // parser rejects too (unknown predicate or wrong arity). Anything
+      // else — or a refusal of a request the library accepts — is a
+      // disagreement.
+      if (ev.response.status == StatusCode::kSchemaError) {
+        if (op.kind == server::SessionOp::Kind::kQuery &&
+            c->engine.catalog().Find(op.pred) < 0) {
+          continue;
+        }
+        if (op.kind == server::SessionOp::Kind::kUpdate) {
+          std::vector<FactUpdate> batch;
+          if (!server::ParseUpdateTokens(op.update_tokens,
+                                         c->engine.catalog(),
+                                         &c->engine.symbols(), &batch)) {
+            continue;
+          }
+        }
+      }
+      return Disagreed(where + ": " + ev.response.error);
+    }
+    const int64_t epoch = ev.response.epoch;
+    if (epoch < 0 || epoch >= static_cast<int64_t>(models.size())) {
+      return Disagreed(where + ": served epoch " + std::to_string(epoch) +
+                       " out of range");
+    }
+    auto [it, inserted] = last_epoch.emplace(ev.session, epoch);
+    if (!inserted) {
+      if (epoch < it->second) {
+        return Disagreed(where + ": epoch went backwards (" +
+                         std::to_string(it->second) + " -> " +
+                         std::to_string(epoch) + ")");
+      }
+      it->second = epoch;
+    }
+    const Instance& at = models[static_cast<size_t>(epoch)];
+    switch (op.kind) {
+      case server::SessionOp::Kind::kQuery: {
+        const PredId pred = c->engine.catalog().Find(op.pred);
+        if (pred < 0) {
+          return Disagreed(where + ": unknown predicate served OK");
+        }
+        if (ev.response.body !=
+            at.Restrict({pred}).SerializeSnapshot()) {
+          return Disagreed(where + ": predicate bytes diverge from the "
+                                   "replay at epoch " +
+                           std::to_string(epoch));
+        }
+        break;
+      }
+      case server::SessionOp::Kind::kSnapshot:
+        if (ev.response.body != run.epoch_bytes[static_cast<size_t>(epoch)]) {
+          return Disagreed(where + ": snapshot bytes diverge at epoch " +
+                           std::to_string(epoch));
+        }
+        break;
+      case server::SessionOp::Kind::kUpdate:
+        if (epoch < 1) {
+          return Disagreed(where + ": update committed at epoch " +
+                           std::to_string(epoch));
+        }
+        break;
+    }
+  }
+
+  // 3. Maintenance counters: the server's view walked the same batches
+  // in the same order as the replay view.
+  std::string stats_detail;
+  if (!SameMaintenanceStats(run.view_stats, (*view)->stats(),
+                            &stats_detail)) {
+    return Disagreed("server " + stats_detail);
+  }
+
+  // 4. Epoch-based reclamation quiesced: no pins held, every retired
+  // snapshot reclaimed, exactly the current epoch alive.
+  if (run.pinned != 0 || run.live_snapshots != 1 ||
+      run.counters.pins != run.counters.unpins ||
+      run.counters.reclaimed != run.counters.retired ||
+      run.counters.retired != run.counters.published - 1) {
+    return Disagreed(
+        "reclamation counters unbalanced at quiescence: pinned=" +
+        std::to_string(run.pinned) + " live=" +
+        std::to_string(run.live_snapshots) + " pins=" +
+        std::to_string(run.counters.pins) + " unpins=" +
+        std::to_string(run.counters.unpins) + " published=" +
+        std::to_string(run.counters.published) + " retired=" +
+        std::to_string(run.counters.retired) + " reclaimed=" +
+        std::to_string(run.counters.reclaimed));
+  }
+
+  // 5. Schedule determinism: the same seed must reproduce the identical
+  // event stream, commit order and published bytes.
+  ServerRunOutcome second = RunServerSchedule(c, ops, salt);
+  if (!second.created || !second.run.ok) {
+    return Disagreed("deterministic re-run failed to run");
+  }
+  if (second.run.events.size() != run.events.size() ||
+      second.run.epoch_bytes != run.epoch_bytes ||
+      second.run.commits.size() != run.commits.size()) {
+    return Disagreed("deterministic re-run diverged in shape");
+  }
+  for (size_t i = 0; i < run.events.size(); ++i) {
+    const server::ScheduledEvent& a = run.events[i];
+    const server::ScheduledEvent& b = second.run.events[i];
+    if (a.vtime != b.vtime || a.op_index != b.op_index ||
+        a.session != b.session ||
+        a.cancelled_injected != b.cancelled_injected ||
+        a.response.status != b.response.status ||
+        a.response.epoch != b.response.epoch ||
+        a.response.body != b.response.body) {
+      return Disagreed("deterministic re-run diverged at event " +
+                       std::to_string(i));
+    }
+  }
+  return Agreed();
+}
+
 }  // namespace
 
 std::vector<OraclePair> AllOraclePairs() {
@@ -713,6 +905,8 @@ const char* PairName(OraclePair pair) {
       return "hash-vs-columnar";
     case OraclePair::kIncrementalVsScratch:
       return "incremental-vs-scratch";
+    case OraclePair::kServerVsLibrary:
+      return "server-vs-library";
   }
   return "unknown";
 }
@@ -754,6 +948,8 @@ OracleVerdict OracleRunner::Run(OraclePair pair, const std::string& program,
       return RunHashVsColumnar(&c);
     case OraclePair::kIncrementalVsScratch:
       return RunIncrementalVsScratch(&c, facts);
+    case OraclePair::kServerVsLibrary:
+      return RunServerVsLibrary(&c, facts, salt);
   }
   return Inapplicable();
 }

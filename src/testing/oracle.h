@@ -60,6 +60,19 @@ namespace fuzz {
 ///                            snapshots, identical deterministic stats on
 ///                            the initial run, and a replayed view must
 ///                            reproduce the exact maintenance counters.
+///  * kServerVsLibrary      — the snapshot-isolation contract
+///                            (docs/server.md): the case's `%@` session
+///                            script runs against a concurrent Server
+///                            under a seeded virtual-clock schedule; the
+///                            bytes published for every epoch, every
+///                            query response, and the maintenance
+///                            counters must match a *sequential*
+///                            IncrementalView replay of the committed
+///                            batches — plus monotone epochs per session,
+///                            read-your-writes, balanced pin/reclaim
+///                            counters at quiescence, and a re-run of the
+///                            same seed reproducing the identical event
+///                            stream.
 enum class OraclePair {
   kNaiveVsSemiNaive,
   kMagicVsOriginal,
@@ -70,9 +83,10 @@ enum class OraclePair {
   kReliableVsFaultyPeers,
   kHashVsColumnar,
   kIncrementalVsScratch,
+  kServerVsLibrary,
 };
 
-inline constexpr int kNumOraclePairs = 9;
+inline constexpr int kNumOraclePairs = 10;
 
 /// All pairs, in declaration order.
 std::vector<OraclePair> AllOraclePairs();
@@ -117,7 +131,9 @@ struct OracleVerdict {
 /// `%~ +e1(0,1) -e2(3)` — one line per batch, one signed ground atom per
 /// token. The parser reads them as `%` comments, so they are invisible to
 /// every pair except kIncrementalVsScratch, which replays them against an
-/// IncrementalView.
+/// IncrementalView. It may also carry `%@ <sid> q|s|u ...` session-script
+/// lines (server/session.h), equally comment-invisible, consumed only by
+/// kServerVsLibrary.
 class OracleRunner {
  public:
   OracleRunner() = default;

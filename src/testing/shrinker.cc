@@ -64,6 +64,96 @@ std::string MakeUpdateLine(const std::vector<std::string>& tokens) {
   return out;
 }
 
+/// Session-script lines (`%@ <sid> q|s|u ...`; see server/session.h) get
+/// their own passes on top of whole-line removal: drop entire sessions,
+/// merge two sessions into one client, and ddmin the tokens of `u` ops.
+bool IsSessionLine(const std::string& line) {
+  const size_t i = line.find_first_not_of(" \t");
+  return i != std::string::npos && line.compare(i, 2, "%@") == 0;
+}
+
+/// The session id of a `%@` line, or -1 if it is not one / is malformed.
+/// `sid_begin`/`sid_end` (optional) receive the digit span.
+int SessionSid(const std::string& line, size_t* sid_begin = nullptr,
+               size_t* sid_end = nullptr) {
+  size_t i = line.find("%@");
+  if (i == std::string::npos) return -1;
+  i = line.find_first_not_of(" \t", i + 2);
+  if (i == std::string::npos) return -1;
+  size_t end = i;
+  int sid = 0;
+  while (end < line.size() && line[end] >= '0' && line[end] <= '9') {
+    sid = sid * 10 + (line[end] - '0');
+    ++end;
+  }
+  if (end == i) return -1;
+  if (sid_begin != nullptr) *sid_begin = i;
+  if (sid_end != nullptr) *sid_end = end;
+  return sid;
+}
+
+std::string WithSessionSid(const std::string& line, int sid) {
+  size_t begin = 0;
+  size_t end = 0;
+  if (SessionSid(line, &begin, &end) < 0) return line;
+  return line.substr(0, begin) + std::to_string(sid) + line.substr(end);
+}
+
+/// Splits a session `u` op into its signed update tokens. Returns false
+/// for non-`u` session lines; `prefix` receives everything up to and
+/// including the `u` keyword.
+bool SessionUpdateTokens(const std::string& line, std::string* prefix,
+                         std::vector<std::string>* tokens) {
+  size_t end = 0;
+  if (SessionSid(line, nullptr, &end) < 0) return false;
+  const size_t op = line.find_first_not_of(" \t", end);
+  if (op == std::string::npos || line[op] != 'u') return false;
+  if (op + 1 < line.size() && line[op + 1] != ' ' && line[op + 1] != '\t') {
+    return false;
+  }
+  *prefix = line.substr(0, op + 1);
+  tokens->clear();
+  size_t i = op + 1;
+  while (i < line.size()) {
+    if (line[i] == ' ' || line[i] == '\t') {
+      ++i;
+      continue;
+    }
+    size_t tok_end = i;
+    while (tok_end < line.size() && line[tok_end] != ' ' &&
+           line[tok_end] != '\t') {
+      ++tok_end;
+    }
+    tokens->push_back(line.substr(i, tok_end - i));
+    i = tok_end;
+  }
+  return !tokens->empty();
+}
+
+std::string MakeSessionUpdateLine(const std::string& prefix,
+                                  const std::vector<std::string>& tokens) {
+  std::string out = prefix;
+  for (const std::string& t : tokens) {
+    out += ' ';
+    out += t;
+  }
+  return out;
+}
+
+/// Distinct session ids among `lines`, in order of first appearance.
+std::vector<int> SessionIds(const std::vector<std::string>& lines) {
+  std::vector<int> sids;
+  for (const std::string& line : lines) {
+    if (!IsSessionLine(line)) continue;
+    const int sid = SessionSid(line);
+    if (sid < 0) continue;
+    if (std::find(sids.begin(), sids.end(), sid) == sids.end()) {
+      sids.push_back(sid);
+    }
+  }
+  return sids;
+}
+
 /// Drives the two line lists through the oracle under the call budget.
 class ShrinkDriver {
  public:
@@ -194,6 +284,97 @@ class ShrinkDriver {
     return any_changed;
   }
 
+  /// Minimizes the session-script lines among `facts` with `rules` held
+  /// fixed: (a) drop whole sessions (every `%@` line of one sid at once —
+  /// removes a client the single-line pass would only erode), (b) merge a
+  /// session into its predecessor by renaming its sid (fewer concurrent
+  /// clients, same ops), (c) ddmin the update tokens of each `u` op. Like
+  /// UpdateMinimizePass, token passes keep at least one token per line:
+  /// whole-line removal is the fact pass's job. Returns true if anything
+  /// changed.
+  bool SessionMinimizePass(const std::vector<std::string>& rules,
+                           std::vector<std::string>* facts) {
+    bool any_changed = false;
+    // (a) Whole-session drops, smallest surviving script first.
+    for (size_t s = 0; !budget_exhausted_;) {
+      const std::vector<int> sids = SessionIds(*facts);
+      if (s >= sids.size()) break;
+      std::vector<std::string> candidate;
+      candidate.reserve(facts->size());
+      for (const std::string& line : *facts) {
+        if (IsSessionLine(line) && SessionSid(line) == sids[s]) continue;
+        candidate.push_back(line);
+      }
+      if (StillFails(rules, candidate)) {
+        *facts = std::move(candidate);
+        any_changed = true;
+        // Stay at s: the next sid slid into this slot.
+      } else {
+        ++s;
+      }
+    }
+    // (b) Merge each session into the previous one (rename sid j -> i).
+    // The renamed ops keep their schedule positions; only the client
+    // attribution changes, so a repro that needs K concurrent clients
+    // keeps K and one that does not loses a client.
+    for (size_t s = 1; !budget_exhausted_;) {
+      const std::vector<int> sids = SessionIds(*facts);
+      if (s >= sids.size()) break;
+      std::vector<std::string> candidate = *facts;
+      for (std::string& line : candidate) {
+        if (IsSessionLine(line) && SessionSid(line) == sids[s]) {
+          line = WithSessionSid(line, sids[s - 1]);
+        }
+      }
+      if (StillFails(rules, candidate)) {
+        *facts = std::move(candidate);
+        any_changed = true;
+        // Stay at s: the next sid slid into this slot.
+      } else {
+        ++s;
+      }
+    }
+    // (c) Token ddmin within each surviving session `u` op.
+    for (size_t i = 0; i < facts->size() && !budget_exhausted_; ++i) {
+      std::string prefix;
+      std::vector<std::string> tokens;
+      if (!SessionUpdateTokens((*facts)[i], &prefix, &tokens)) continue;
+      size_t chunk = std::max<size_t>(1, (tokens.size() + 1) / 2);
+      while (tokens.size() > 1 && !budget_exhausted_) {
+        bool removed_at_this_chunk = false;
+        for (size_t start = 0; start < tokens.size() && !budget_exhausted_;) {
+          const size_t end = std::min(tokens.size(), start + chunk);
+          if (end - start >= tokens.size()) {
+            // Dropping every token would leave a bare `u` op — removing
+            // the whole line belongs to the fact pass.
+            start += chunk;
+            continue;
+          }
+          std::vector<std::string> kept(
+              tokens.begin(), tokens.begin() + static_cast<ptrdiff_t>(start));
+          kept.insert(kept.end(),
+                      tokens.begin() + static_cast<ptrdiff_t>(end),
+                      tokens.end());
+          std::vector<std::string> candidate = *facts;
+          candidate[i] = MakeSessionUpdateLine(prefix, kept);
+          if (StillFails(rules, candidate)) {
+            tokens = std::move(kept);
+            (*facts)[i] = MakeSessionUpdateLine(prefix, tokens);
+            removed_at_this_chunk = any_changed = true;
+          } else {
+            start += chunk;
+          }
+        }
+        if (chunk == 1) {
+          if (!removed_at_this_chunk) break;
+          continue;
+        }
+        chunk = std::max<size_t>(1, chunk / 2);
+      }
+    }
+    return any_changed;
+  }
+
  private:
   const Shrinker::Options& options_;
   const ShrinkOracle& oracle_;
@@ -224,16 +405,18 @@ ShrinkResult Shrinker::Shrink(const std::string& program,
     return result;
   }
 
-  // Alternate rule, fact and update passes until none removes anything:
-  // rules shrink the search space for facts and vice versa (a dropped rule
-  // often strands facts that can then go too), and a merged or thinned
-  // update batch can unlock further fact-line drops.
+  // Alternate rule, fact, update and session passes until none removes
+  // anything: rules shrink the search space for facts and vice versa (a
+  // dropped rule often strands facts that can then go too), and a merged
+  // or thinned update batch or session can unlock further fact-line
+  // drops.
   bool changed = true;
   while (changed && !driver.budget_exhausted()) {
     changed = driver.DdminPass(&rules, fact_lines, /*primary_is_rules=*/true);
     changed |= driver.DdminPass(&fact_lines, rules,
                                 /*primary_is_rules=*/false);
     changed |= driver.UpdateMinimizePass(rules, &fact_lines);
+    changed |= driver.SessionMinimizePass(rules, &fact_lines);
   }
 
   result.program = JoinLines(rules);

@@ -1,0 +1,774 @@
+// Tests for the concurrent Datalog server (docs/server.md): the wire
+// codec, session-script parsing, MVCC snapshot publication/pinning with
+// epoch-based reclamation, the deterministic virtual-clock scheduler,
+// oracle pair #10 (server-vs-library) with its planted torn-read bug and
+// session shrinking, and the threaded mode — including snapshot-isolation
+// invariants under real reader/writer concurrency at 1, 2 and 8 threads.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <memory>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "core/engine.h"
+#include "dist/transport.h"
+#include "eval/incremental.h"
+#include "eval/test_hooks.h"
+#include "server/scheduler.h"
+#include "server/server.h"
+#include "server/session.h"
+#include "server/snapshot.h"
+#include "server/wire.h"
+#include "testing/oracle.h"
+#include "testing/shrinker.h"
+
+namespace datalog {
+namespace server {
+namespace {
+
+// -- Wire codec ---------------------------------------------------------
+
+TEST(ServerWireTest, RequestRoundTrip) {
+  Request request;
+  request.kind = Request::Kind::kUpdate;
+  request.text = "+e1(0,1) -e2(3)";
+  request.deadline_ms = 250;
+
+  Request decoded;
+  ASSERT_TRUE(DecodeRequest(EncodeRequest(request), &decoded));
+  EXPECT_EQ(decoded.kind, Request::Kind::kUpdate);
+  EXPECT_EQ(decoded.text, request.text);
+  EXPECT_EQ(decoded.deadline_ms, 250);
+  EXPECT_EQ(decoded.cancel, nullptr);  // never crosses the wire
+}
+
+TEST(ServerWireTest, ResponseRoundTrip) {
+  Response response;
+  response.status = StatusCode::kOk;
+  response.epoch = 7;
+  response.body = std::string("\x00\x01snapshot", 10);
+  response.error = "local only";
+
+  Response decoded;
+  ASSERT_TRUE(DecodeResponse(EncodeResponse(response), &decoded));
+  EXPECT_EQ(decoded.status, StatusCode::kOk);
+  EXPECT_EQ(decoded.epoch, 7);
+  EXPECT_EQ(decoded.body, response.body);
+  EXPECT_TRUE(decoded.error.empty());  // not serialized
+}
+
+TEST(ServerWireTest, DecodeRejectsMalformedPayloads) {
+  Request request;
+  EXPECT_FALSE(DecodeRequest("", &request));
+  EXPECT_FALSE(DecodeRequest("\xff", &request));  // unknown kind
+  std::string truncated = EncodeRequest(Request{});
+  truncated.pop_back();
+  // kPing has no text, so the only droppable byte is the length field's.
+  EXPECT_FALSE(DecodeRequest(truncated, &request));
+  std::string trailing = EncodeRequest(Request{});
+  trailing += '\0';
+  EXPECT_FALSE(DecodeRequest(trailing, &request));
+}
+
+TEST(ServerWireTest, FramesRoundTripOverInProcessChannel) {
+  auto [a, b] = InProcessChannelPair();
+  const std::string payload = EncodeRequest(
+      Request{Request::Kind::kQuery, "e1", 0, nullptr});
+  ASSERT_TRUE(WriteFrame(a.get(), payload));
+  std::string read_back;
+  ASSERT_TRUE(ReadFrame(b.get(), &read_back));
+  EXPECT_EQ(read_back, payload);
+  a->Close();
+  EXPECT_FALSE(ReadFrame(b.get(), &read_back));  // clean close
+}
+
+TEST(ServerWireTest, ReadFrameRejectsOverCapLength) {
+  auto [a, b] = InProcessChannelPair();
+  const uint32_t huge = kMaxFrameBytes + 1;
+  char header[4];
+  header[0] = static_cast<char>(huge & 0xff);
+  header[1] = static_cast<char>((huge >> 8) & 0xff);
+  header[2] = static_cast<char>((huge >> 16) & 0xff);
+  header[3] = static_cast<char>((huge >> 24) & 0xff);
+  ASSERT_TRUE(a->Write(header, 4));
+  std::string payload;
+  EXPECT_FALSE(ReadFrame(b.get(), &payload));
+}
+
+// -- Session scripts ----------------------------------------------------
+
+TEST(SessionScriptTest, ParsesQueriesSnapshotsAndUpdates) {
+  std::vector<SessionOp> ops;
+  ASSERT_TRUE(ParseSessionScript(
+      "e1(0, 1).\n"
+      "%~ +e1(2,2)\n"         // update-batch line: not a session op
+      "% plain comment\n"
+      "%@ 0 q e1\n"
+      "  %@ 1 s\n"
+      "%@ 0 u +e1(0,1) -e2(3)\n",
+      &ops));
+  ASSERT_EQ(ops.size(), 3u);
+  EXPECT_EQ(ops[0].session, 0);
+  EXPECT_EQ(ops[0].kind, SessionOp::Kind::kQuery);
+  EXPECT_EQ(ops[0].pred, "e1");
+  EXPECT_EQ(ops[1].session, 1);
+  EXPECT_EQ(ops[1].kind, SessionOp::Kind::kSnapshot);
+  EXPECT_EQ(ops[2].kind, SessionOp::Kind::kUpdate);
+  EXPECT_EQ(ops[2].update_tokens, "+e1(0,1) -e2(3)");
+}
+
+TEST(SessionScriptTest, FormatParsesBackToTheSameOp) {
+  std::vector<SessionOp> ops;
+  ASSERT_TRUE(ParseSessionScript(
+      "%@ 2 q p3\n%@ 0 s\n%@ 1 u +e2(4)\n", &ops));
+  for (const SessionOp& op : ops) {
+    std::vector<SessionOp> again;
+    ASSERT_TRUE(ParseSessionScript(FormatSessionOp(op) + "\n", &again));
+    ASSERT_EQ(again.size(), 1u);
+    EXPECT_EQ(again[0].session, op.session);
+    EXPECT_EQ(again[0].kind, op.kind);
+    EXPECT_EQ(again[0].pred, op.pred);
+    EXPECT_EQ(again[0].update_tokens, op.update_tokens);
+  }
+}
+
+TEST(SessionScriptTest, MalformedLinesFailTheParse) {
+  std::vector<SessionOp> ops;
+  EXPECT_FALSE(ParseSessionScript("%@\n", &ops));
+  EXPECT_FALSE(ParseSessionScript("%@ x q e1\n", &ops));  // non-numeric sid
+  EXPECT_FALSE(ParseSessionScript("%@ 0 z e1\n", &ops));  // unknown op
+  EXPECT_FALSE(ParseSessionScript("%@ 0 q\n", &ops));     // missing pred
+  EXPECT_FALSE(ParseSessionScript("%@ 0 u\n", &ops));     // empty batch
+}
+
+TEST(SessionScriptTest, UpdateTokensValidateAgainstTheCatalog) {
+  Engine engine;
+  Instance db(&engine.catalog());
+  ASSERT_TRUE(engine.AddFacts("e1(0, 1). e2(3).", &db).ok());
+
+  std::vector<FactUpdate> batch;
+  ASSERT_TRUE(ParseUpdateTokens("+e1(2,3) -e2(3)", engine.catalog(),
+                                &engine.symbols(), &batch));
+  ASSERT_EQ(batch.size(), 2u);
+  EXPECT_TRUE(batch[0].insert);
+  EXPECT_FALSE(batch[1].insert);
+  EXPECT_EQ(batch[0].pred, engine.catalog().Find("e1"));
+
+  batch.clear();
+  EXPECT_FALSE(ParseUpdateTokens("+nosuch(1)", engine.catalog(),
+                                 &engine.symbols(), &batch));
+  EXPECT_FALSE(ParseUpdateTokens("+e1(1)", engine.catalog(),
+                                 &engine.symbols(), &batch));  // arity
+  EXPECT_FALSE(ParseUpdateTokens("e1(1,2)", engine.catalog(),
+                                 &engine.symbols(), &batch));  // no sign
+}
+
+// -- Snapshot registry: pinning and epoch-based reclamation -------------
+
+std::unique_ptr<Snapshot> MakeSnapshot(const Catalog* catalog, int64_t epoch,
+                                       Engine* engine,
+                                       const std::string& facts) {
+  Instance model(catalog);
+  EXPECT_TRUE(engine->AddFacts(facts, &model).ok());
+  std::string bytes = model.SerializeSnapshot();
+  return std::make_unique<Snapshot>(epoch, std::move(model),
+                                    std::move(bytes));
+}
+
+TEST(ReclaimTest, PinBeforeFirstPublishIsInvalid) {
+  SnapshotRegistry registry;
+  EXPECT_EQ(registry.current_epoch(), -1);
+  SnapshotPin pin = registry.Pin();
+  EXPECT_FALSE(pin.valid());
+  pin.Release();  // no-op, must not crash or count
+  EXPECT_EQ(registry.counters().pins, 0);
+}
+
+TEST(ReclaimTest, PinnedReaderSeesUnchangedBytesAcrossPublishes) {
+  Engine engine;
+  Instance seed(&engine.catalog());
+  ASSERT_TRUE(engine.AddFacts("e1(0, 0).", &seed).ok());
+
+  SnapshotRegistry registry;
+  registry.Publish(MakeSnapshot(&engine.catalog(), 0, &engine, "e1(0, 0)."));
+  SnapshotPin pin = registry.Pin();
+  ASSERT_TRUE(pin.valid());
+  const std::string bytes_at_0 = pin->model_bytes();
+
+  registry.Publish(MakeSnapshot(&engine.catalog(), 1, &engine,
+                                "e1(0, 0). e1(1, 1)."));
+  registry.Publish(MakeSnapshot(&engine.catalog(), 2, &engine, "e2(5)."));
+
+  // The pinned epoch-0 snapshot survives both publishes, byte-identical.
+  EXPECT_EQ(pin->epoch(), 0);
+  EXPECT_EQ(pin->model_bytes(), bytes_at_0);
+  EXPECT_EQ(registry.live(), 2);  // epoch 0 (pinned) + epoch 2 (current)
+  EXPECT_EQ(registry.counters().reclaimed, 1);  // epoch 1: retired unpinned
+
+  pin.Release();
+  EXPECT_EQ(registry.live(), 1);  // epoch 0 reclaimed at last unpin
+  const SnapshotRegistry::Counters c = registry.counters();
+  EXPECT_EQ(c.published, 3);
+  EXPECT_EQ(c.retired, 2);
+  EXPECT_EQ(c.reclaimed, 2);
+  EXPECT_EQ(c.pins, c.unpins);
+}
+
+TEST(ReclaimTest, MovedPinUnpinsExactlyOnce) {
+  Engine engine;
+  SnapshotRegistry registry;
+  registry.Publish(MakeSnapshot(&engine.catalog(), 0, &engine, "e1(0, 0)."));
+  {
+    SnapshotPin pin = registry.Pin();
+    SnapshotPin moved = std::move(pin);
+    EXPECT_FALSE(pin.valid());  // NOLINT(bugprone-use-after-move)
+    EXPECT_TRUE(moved.valid());
+    EXPECT_EQ(registry.pinned(), 1);
+  }
+  EXPECT_EQ(registry.pinned(), 0);
+  EXPECT_EQ(registry.counters().pins, 1);
+  EXPECT_EQ(registry.counters().unpins, 1);
+}
+
+// -- Server fixtures ----------------------------------------------------
+
+constexpr const char* kTcProgram =
+    "t(X, Y) :- e1(X, Y).\n"
+    "t(X, Z) :- t(X, Y), e1(Y, Z).\n";
+
+class ServerTest : public ::testing::Test {
+ protected:
+  std::unique_ptr<Server> MustCreate(const std::string& program_text,
+                                     const std::string& facts_text,
+                                     const ServerOptions& options = {}) {
+    Result<Program> program = engine_.Parse(program_text);
+    EXPECT_TRUE(program.ok()) << program.status().ToString();
+    program_ = std::move(program).value();
+    Instance base(&engine_.catalog());
+    EXPECT_TRUE(engine_.AddFacts(facts_text, &base).ok());
+    auto server = Server::Create(program_, &engine_.catalog(),
+                                 &engine_.symbols(), base, options);
+    EXPECT_TRUE(server.ok()) << server.status().ToString();
+    return std::move(*server);
+  }
+
+  /// Replays `log` against a fresh IncrementalView of the same base and
+  /// returns the serialized model after all batches.
+  std::string ReplayAll(const std::string& facts_text,
+                        const std::vector<CommitRecord>& log) {
+    Instance base(&engine_.catalog());
+    EXPECT_TRUE(engine_.AddFacts(facts_text, &base).ok());
+    auto view = IncrementalView::Create(program_, engine_.catalog(), base);
+    EXPECT_TRUE(view.ok()) << view.status().ToString();
+    for (const CommitRecord& commit : log) {
+      EXPECT_TRUE((*view)->ApplyBatch(commit.batch).ok());
+    }
+    return (*view)->model().SerializeSnapshot();
+  }
+
+  Engine engine_;
+  Program program_;
+};
+
+// -- Scheduler-driven mode ----------------------------------------------
+
+TEST_F(ServerTest, EpochZeroIsPublishedByCreate) {
+  auto server = MustCreate(kTcProgram, "e1(0, 1). e1(1, 2).");
+  EXPECT_EQ(server->epoch(), 0);
+
+  Response r = server->ServeQuery(Request{Request::Kind::kQuery, "t", 0,
+                                          nullptr});
+  EXPECT_EQ(r.status, StatusCode::kOk);
+  EXPECT_EQ(r.epoch, 0);
+  EXPECT_FALSE(r.body.empty());
+}
+
+TEST_F(ServerTest, UpdateCommitAdvancesTheEpoch) {
+  auto server = MustCreate(kTcProgram, "e1(0, 1).");
+  Result<int64_t> ticket = server->SubmitUpdate("+e1(1,2)");
+  ASSERT_TRUE(ticket.ok());
+  Response pending;
+  EXPECT_FALSE(server->UpdateOutcome(*ticket, &pending));
+  EXPECT_EQ(server->pending_updates(), 1);
+
+  ASSERT_TRUE(server->ApplyOneQueued());
+  Response done;
+  ASSERT_TRUE(server->UpdateOutcome(*ticket, &done));
+  EXPECT_EQ(done.status, StatusCode::kOk);
+  EXPECT_EQ(done.epoch, 1);
+  EXPECT_EQ(server->epoch(), 1);
+
+  // The new model serves the transitively derived fact.
+  const PredId t = engine_.catalog().Find("t");
+  Response r = server->ServeQuery(Request{Request::Kind::kQuery, "t", 0,
+                                          nullptr});
+  ASSERT_EQ(r.status, StatusCode::kOk);
+  const std::vector<CommitRecord> log = server->CommitLog();
+  ASSERT_EQ(log.size(), 1u);
+  EXPECT_EQ(log[0].epoch, 1);
+  // Served bytes match the sequential replay, restricted to t.
+  Instance base(&engine_.catalog());
+  ASSERT_TRUE(engine_.AddFacts("e1(0, 1).", &base).ok());
+  auto view = IncrementalView::Create(program_, engine_.catalog(), base);
+  ASSERT_TRUE(view.ok());
+  ASSERT_TRUE((*view)->ApplyBatch(log[0].batch).ok());
+  EXPECT_EQ(r.body, (*view)->model().Restrict({t}).SerializeSnapshot());
+}
+
+TEST_F(ServerTest, MalformedUpdateIsRefusedWithoutEnqueueing) {
+  auto server = MustCreate(kTcProgram, "e1(0, 1).");
+  EXPECT_EQ(server->SubmitUpdate("+nosuch(1)").status().code(),
+            StatusCode::kSchemaError);
+  EXPECT_EQ(server->SubmitUpdate("garbage").status().code(),
+            StatusCode::kSchemaError);
+  EXPECT_EQ(server->SubmitUpdate("").status().code(),
+            StatusCode::kSchemaError);
+  EXPECT_EQ(server->pending_updates(), 0);
+  EXPECT_FALSE(server->ApplyOneQueued());
+  EXPECT_EQ(server->epoch(), 0);
+}
+
+TEST_F(ServerTest, CancelledAndExpiredRequestsLeaveNoPins) {
+  auto server = MustCreate(kTcProgram, "e1(0, 1).");
+
+  CancelToken cancel;
+  cancel.Cancel();
+  Request cancelled{Request::Kind::kSnapshotQuery, "", 0, &cancel};
+  EXPECT_EQ(server->ServeQuery(cancelled).status, StatusCode::kCancelled);
+
+  // deadline_ms < 0 is deterministically already expired.
+  Request expired{Request::Kind::kSnapshotQuery, "", -1, nullptr};
+  EXPECT_EQ(server->ServeQuery(expired).status,
+            StatusCode::kBudgetExhausted);
+
+  const SnapshotRegistry& registry = server->snapshots();
+  EXPECT_EQ(registry.pinned(), 0);
+  EXPECT_EQ(registry.counters().pins, registry.counters().unpins);
+}
+
+// -- Virtual-clock scheduler --------------------------------------------
+
+std::vector<SessionOp> MustParseScript(const std::string& text) {
+  std::vector<SessionOp> ops;
+  EXPECT_TRUE(ParseSessionScript(text, &ops));
+  return ops;
+}
+
+TEST_F(ServerTest, ScheduleReplaysDeterministically) {
+  const std::string script =
+      "%@ 0 q t\n"
+      "%@ 0 u +e1(2,3) +e1(3,4)\n"
+      "%@ 0 s\n"
+      "%@ 1 u -e1(0,1)\n"
+      "%@ 1 q e1\n"
+      "%@ 2 s\n";
+  const std::vector<SessionOp> ops = MustParseScript(script);
+
+  SchedulerOptions sched;
+  sched.seed = 42;
+  sched.cancel_prob = 0.25;
+
+  auto s1 = MustCreate(kTcProgram, "e1(0, 1). e1(1, 2).");
+  ScheduleRun r1 = RunSessions(s1.get(), ops, sched);
+  ASSERT_TRUE(r1.ok) << r1.error;
+
+  Engine other;  // fresh engine: determinism across processes, not state
+  Result<Program> p = other.Parse(kTcProgram);
+  ASSERT_TRUE(p.ok());
+  Instance base(&other.catalog());
+  ASSERT_TRUE(other.AddFacts("e1(0, 1). e1(1, 2).", &base).ok());
+  auto s2 = Server::Create(*p, &other.catalog(), &other.symbols(), base, {});
+  ASSERT_TRUE(s2.ok());
+  ScheduleRun r2 = RunSessions(s2->get(), ops, sched);
+  ASSERT_TRUE(r2.ok) << r2.error;
+
+  ASSERT_EQ(r1.events.size(), r2.events.size());
+  for (size_t i = 0; i < r1.events.size(); ++i) {
+    EXPECT_EQ(r1.events[i].vtime, r2.events[i].vtime);
+    EXPECT_EQ(r1.events[i].op_index, r2.events[i].op_index);
+    EXPECT_EQ(r1.events[i].session, r2.events[i].session);
+    EXPECT_EQ(r1.events[i].cancelled_injected,
+              r2.events[i].cancelled_injected);
+    EXPECT_EQ(r1.events[i].response.status, r2.events[i].response.status);
+    EXPECT_EQ(r1.events[i].response.epoch, r2.events[i].response.epoch);
+    EXPECT_EQ(r1.events[i].response.body, r2.events[i].response.body);
+  }
+  EXPECT_EQ(r1.epoch_bytes, r2.epoch_bytes);
+  EXPECT_EQ(r1.final_epoch, r2.final_epoch);
+}
+
+TEST_F(ServerTest, ScheduleGivesReadYourWritesAndMonotoneEpochs) {
+  const std::vector<SessionOp> ops = MustParseScript(
+      "%@ 0 u +e1(5,6)\n"
+      "%@ 0 q e1\n"
+      "%@ 1 s\n"
+      "%@ 1 u -e1(0,1)\n"
+      "%@ 1 s\n");
+  for (uint64_t seed = 0; seed < 20; ++seed) {
+    auto server = MustCreate(kTcProgram, "e1(0, 1).");
+    SchedulerOptions sched;
+    sched.seed = seed;
+    ScheduleRun run = RunSessions(server.get(), ops, sched);
+    ASSERT_TRUE(run.ok) << run.error;
+
+    int64_t commit_epoch_of_op0 = -1;
+    int64_t session0_read_epoch = -1;
+    std::vector<int64_t> last_epoch(3, -1);
+    for (const ScheduledEvent& ev : run.events) {
+      ASSERT_EQ(ev.response.status, StatusCode::kOk);
+      // Monotone epochs per session.
+      EXPECT_GE(ev.response.epoch, last_epoch[static_cast<size_t>(
+                                       ev.session)]);
+      last_epoch[static_cast<size_t>(ev.session)] = ev.response.epoch;
+      if (ev.op_index == 0) commit_epoch_of_op0 = ev.response.epoch;
+      if (ev.op_index == 1) session0_read_epoch = ev.response.epoch;
+    }
+    // Read-your-writes: session 0's read happens after its commit.
+    ASSERT_GE(commit_epoch_of_op0, 1);
+    EXPECT_GE(session0_read_epoch, commit_epoch_of_op0);
+  }
+}
+
+TEST_F(ServerTest, ScheduleQuiescesWithBalancedReclamation) {
+  const std::vector<SessionOp> ops = MustParseScript(
+      "%@ 0 u +e1(2,3)\n%@ 0 s\n%@ 1 u +e1(3,4)\n%@ 1 q t\n%@ 2 s\n");
+  auto server = MustCreate(kTcProgram, "e1(0, 1). e1(1, 2).");
+  SchedulerOptions sched;
+  sched.seed = 9;
+  sched.cancel_prob = 0.5;  // heavy cancellation still leaks no pins
+  ScheduleRun run = RunSessions(server.get(), ops, sched);
+  ASSERT_TRUE(run.ok) << run.error;
+
+  EXPECT_EQ(run.pinned, 0);
+  EXPECT_EQ(run.live_snapshots, 1);
+  EXPECT_EQ(run.counters.pins, run.counters.unpins);
+  EXPECT_EQ(run.counters.reclaimed, run.counters.retired);
+  EXPECT_EQ(run.counters.retired, run.counters.published - 1);
+
+  // Every epoch's published bytes equal the sequential replay.
+  ASSERT_EQ(run.epoch_bytes.size(), run.commits.size() + 1);
+  EXPECT_EQ(run.epoch_bytes.back(),
+            ReplayAll("e1(0, 1). e1(1, 2).", run.commits));
+}
+
+// -- Oracle pair #10 and the planted torn-read bug ----------------------
+
+TEST(ServerOracleTest, ServerVsLibrarySweepAgrees) {
+  fuzz::OracleRunner runner;
+  const std::string program = kTcProgram;
+  const std::string facts =
+      "e1(0, 1). e1(1, 2). e1(2, 3).\n"
+      "%@ 0 q t\n"
+      "%@ 0 u +e1(3,4)\n"
+      "%@ 1 s\n"
+      "%@ 1 u -e1(0,1)\n"
+      "%@ 2 q e1\n";
+  for (uint64_t salt = 0; salt < 50; ++salt) {
+    fuzz::OracleVerdict verdict = runner.Run(
+        fuzz::OraclePair::kServerVsLibrary, program, facts, salt);
+    ASSERT_TRUE(verdict.applicable);
+    EXPECT_TRUE(verdict.agreed) << "salt " << salt << ": " << verdict.detail;
+  }
+}
+
+TEST(ServerOracleTest, CaseWithoutSessionLinesIsInapplicable) {
+  fuzz::OracleRunner runner;
+  fuzz::OracleVerdict verdict =
+      runner.Run(fuzz::OraclePair::kServerVsLibrary, kTcProgram,
+                 "e1(0, 1).\n%~ +e1(1,2)\n", 3);
+  EXPECT_FALSE(verdict.applicable);
+  EXPECT_TRUE(verdict.ok());
+}
+
+class ServerPlantedBugTest : public ::testing::Test {
+ protected:
+  void TearDown() override { internal::g_server_publish_stale = false; }
+};
+
+TEST_F(ServerPlantedBugTest, TornPublishIsCaughtAndShrinksToOneOp) {
+  internal::g_server_publish_stale = true;
+
+  fuzz::OracleRunner runner;
+  const std::string program = kTcProgram;
+  const std::string facts =
+      "e1(0, 1). e1(1, 2).\n"
+      "%@ 0 q t\n"
+      "%@ 0 u +e1(2,3)\n"
+      "%@ 1 s\n"
+      "%@ 1 u -e1(0,1) +e1(4,5)\n";
+  const uint64_t salt = 5;
+  fuzz::OracleVerdict verdict = runner.Run(
+      fuzz::OraclePair::kServerVsLibrary, program, facts, salt);
+  ASSERT_TRUE(verdict.applicable);
+  ASSERT_FALSE(verdict.agreed);
+  EXPECT_NE(verdict.detail.find("torn read"), std::string::npos)
+      << verdict.detail;
+
+  // The shrinker's session-minimization pass must reduce the repro to a
+  // single session op (<= 3 is the acceptance bar; one update op is the
+  // true minimum — the bug needs exactly one model-changing commit).
+  fuzz::Shrinker shrinker;
+  fuzz::ShrinkResult shrunk = shrinker.Shrink(
+      program, facts, [&](const std::string& p, const std::string& f) {
+        fuzz::OracleVerdict v =
+            runner.Run(fuzz::OraclePair::kServerVsLibrary, p, f, salt);
+        return v.applicable && !v.agreed;
+      });
+  EXPECT_TRUE(shrunk.one_minimal);
+
+  std::vector<SessionOp> remaining;
+  ASSERT_TRUE(ParseSessionScript(shrunk.facts, &remaining));
+  EXPECT_LE(remaining.size(), 3u);
+  EXPECT_GE(remaining.size(), 1u);
+  // Whatever survived must still be a failing torn-read repro.
+  fuzz::OracleVerdict still = runner.Run(
+      fuzz::OraclePair::kServerVsLibrary, shrunk.program, shrunk.facts,
+      salt);
+  EXPECT_TRUE(still.applicable);
+  EXPECT_FALSE(still.agreed);
+}
+
+TEST_F(ServerPlantedBugTest, CleanServerPassesTheSameCase) {
+  // Control: with the hook off, the exact case above agrees.
+  fuzz::OracleRunner runner;
+  fuzz::OracleVerdict verdict = runner.Run(
+      fuzz::OraclePair::kServerVsLibrary, kTcProgram,
+      "e1(0, 1). e1(1, 2).\n%@ 0 u +e1(2,3)\n%@ 1 s\n", 5);
+  ASSERT_TRUE(verdict.applicable);
+  EXPECT_TRUE(verdict.agreed) << verdict.detail;
+}
+
+// -- Threaded mode ------------------------------------------------------
+
+class ServerThreadedTest : public ServerTest {
+ protected:
+  /// Runs `writers` mutator clients and `readers` query clients against a
+  /// Start()ed server, then checks the snapshot-isolation invariants and
+  /// the commit-log replay. Thread counts deliberately exceed
+  /// num_readers so jobs queue up.
+  void RunMixedLoad(int num_readers, int writers, int readers) {
+    ServerOptions options;
+    options.num_readers = num_readers;
+    auto server = MustCreate(kTcProgram, "e1(0, 1). e1(1, 2).", options);
+    server->Start();
+
+    std::atomic<int> bad{0};
+    std::vector<std::thread> clients;
+    for (int w = 0; w < writers; ++w) {
+      clients.emplace_back([&, w] {
+        for (int i = 0; i < 8; ++i) {
+          const std::string tokens =
+              "+e1(" + std::to_string(10 + w) + "," +
+              std::to_string(20 + i) + ")";
+          Response r = server->Call(
+              Request{Request::Kind::kUpdate, tokens, 0, nullptr});
+          if (r.status != StatusCode::kOk || r.epoch < 1) bad.fetch_add(1);
+        }
+      });
+    }
+    for (int r = 0; r < readers; ++r) {
+      clients.emplace_back([&] {
+        int64_t last_epoch = -1;
+        for (int i = 0; i < 16; ++i) {
+          Request request{i % 2 == 0 ? Request::Kind::kSnapshotQuery
+                                     : Request::Kind::kQuery,
+                          i % 2 == 0 ? "" : "t", 0, nullptr};
+          Response response = server->Call(request);
+          if (response.status != StatusCode::kOk) bad.fetch_add(1);
+          if (response.epoch < last_epoch) bad.fetch_add(1);
+          last_epoch = response.epoch;
+        }
+      });
+    }
+    for (std::thread& t : clients) t.join();
+    server->Stop();
+
+    EXPECT_EQ(bad.load(), 0);
+    EXPECT_EQ(server->epoch(), static_cast<int64_t>(writers) * 8);
+
+    // Byte-identity vs the sequential replay of the commit log.
+    Response final_snapshot = server->ServeQuery(
+        Request{Request::Kind::kSnapshotQuery, "", 0, nullptr});
+    ASSERT_EQ(final_snapshot.status, StatusCode::kOk);
+    EXPECT_EQ(final_snapshot.body,
+              ReplayAll("e1(0, 1). e1(1, 2).", server->CommitLog()));
+
+    // Quiescent reclamation: one live snapshot, no pins, balanced
+    // counters.
+    const SnapshotRegistry& registry = server->snapshots();
+    EXPECT_EQ(registry.pinned(), 0);
+    EXPECT_EQ(registry.live(), 1);
+    const SnapshotRegistry::Counters c = registry.counters();
+    EXPECT_EQ(c.pins, c.unpins);
+    EXPECT_EQ(c.reclaimed, c.retired);
+    EXPECT_EQ(c.retired, c.published - 1);
+  }
+};
+
+TEST_F(ServerThreadedTest, MixedLoadOneReaderThread) {
+  RunMixedLoad(/*num_readers=*/1, /*writers=*/2, /*readers=*/2);
+}
+
+TEST_F(ServerThreadedTest, MixedLoadTwoReaderThreads) {
+  RunMixedLoad(/*num_readers=*/2, /*writers=*/2, /*readers=*/4);
+}
+
+TEST_F(ServerThreadedTest, MixedLoadEightReaderThreads) {
+  RunMixedLoad(/*num_readers=*/8, /*writers=*/3, /*readers=*/8);
+}
+
+TEST_F(ServerThreadedTest, StartStopIsIdempotentAndRestartable) {
+  auto server = MustCreate(kTcProgram, "e1(0, 1).");
+  server->Start();
+  server->Start();
+  EXPECT_EQ(server->Call(Request{Request::Kind::kPing, "", 0, nullptr})
+                .status,
+            StatusCode::kOk);
+  server->Stop();
+  server->Stop();
+  server->Start();
+  Response r = server->Call(
+      Request{Request::Kind::kUpdate, "+e1(1,2)", 0, nullptr});
+  EXPECT_EQ(r.status, StatusCode::kOk);
+  EXPECT_EQ(r.epoch, 1);
+  server->Stop();
+}
+
+TEST_F(ServerThreadedTest, CallAfterStopIsRefusedNotHung) {
+  auto server = MustCreate(kTcProgram, "e1(0, 1).");
+  server->Start();
+  server->Stop();
+  EXPECT_EQ(server->Call(Request{Request::Kind::kPing, "", 0, nullptr})
+                .status,
+            StatusCode::kCancelled);
+  EXPECT_EQ(server
+                ->Call(Request{Request::Kind::kUpdate, "+e1(1,2)", 0,
+                               nullptr})
+                .status,
+            StatusCode::kCancelled);
+}
+
+TEST_F(ServerThreadedTest, DeadlineStormLeavesNoPinnedSnapshots) {
+  ServerOptions options;
+  options.num_readers = 2;
+  auto server = MustCreate(kTcProgram, "e1(0, 1).", options);
+  server->Start();
+
+  CancelToken cancel;
+  cancel.Cancel();
+  std::vector<std::thread> clients;
+  std::atomic<int> refused{0};
+  for (int t = 0; t < 4; ++t) {
+    clients.emplace_back([&] {
+      for (int i = 0; i < 16; ++i) {
+        // Alternate pre-cancelled and already-expired requests.
+        Request request{Request::Kind::kSnapshotQuery, "",
+                        i % 2 == 0 ? int64_t{-1} : int64_t{0},
+                        i % 2 == 0 ? nullptr : &cancel};
+        Response response = server->Call(request);
+        if (response.status == StatusCode::kCancelled ||
+            response.status == StatusCode::kBudgetExhausted) {
+          refused.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (std::thread& t : clients) t.join();
+  server->Stop();
+
+  EXPECT_EQ(refused.load(), 64);
+  EXPECT_EQ(server->snapshots().pinned(), 0);
+  EXPECT_EQ(server->snapshots().counters().pins,
+            server->snapshots().counters().unpins);
+}
+
+// -- Wire serving over channels -----------------------------------------
+
+TEST_F(ServerThreadedTest, ServesFramesOverAnInProcessChannel) {
+  auto server = MustCreate(kTcProgram, "e1(0, 1). e1(1, 2).");
+  server->Start();
+
+  auto [client_end, server_end] = InProcessChannelPair();
+  std::thread pump([&server, channel = server_end.get()] {
+    server->Serve(channel);
+  });
+
+  auto call = [&](const Request& request) {
+    Response response;
+    EXPECT_TRUE(WriteFrame(client_end.get(), EncodeRequest(request)));
+    std::string payload;
+    EXPECT_TRUE(ReadFrame(client_end.get(), &payload));
+    EXPECT_TRUE(DecodeResponse(payload, &response));
+    return response;
+  };
+
+  Response ping = call(Request{Request::Kind::kPing, "", 0, nullptr});
+  EXPECT_EQ(ping.status, StatusCode::kOk);
+  EXPECT_EQ(ping.epoch, 0);
+
+  Response update = call(
+      Request{Request::Kind::kUpdate, "+e1(2,3)", 0, nullptr});
+  EXPECT_EQ(update.status, StatusCode::kOk);
+  EXPECT_EQ(update.epoch, 1);
+
+  Response query = call(Request{Request::Kind::kQuery, "t", 0, nullptr});
+  EXPECT_EQ(query.status, StatusCode::kOk);
+  EXPECT_EQ(query.epoch, 1);
+  EXPECT_FALSE(query.body.empty());
+
+  // kClose ends the pump cleanly; no response crosses the wire.
+  EXPECT_TRUE(WriteFrame(client_end.get(),
+                         EncodeRequest(Request{Request::Kind::kClose, "", 0,
+                                               nullptr})));
+  pump.join();
+  server->Stop();
+}
+
+TEST_F(ServerThreadedTest, ServesOverLocalhostSockets) {
+  auto server = MustCreate(kTcProgram, "e1(0, 1).");
+  server->Start();
+
+  Result<std::unique_ptr<SocketListener>> listener = SocketListener::Listen(0);
+  ASSERT_TRUE(listener.ok()) << listener.status().ToString();
+  const int port = (*listener)->port();
+  std::thread accept_loop([&server, l = listener->get()] {
+    server->ServeListener(l);
+  });
+
+  Result<std::unique_ptr<ByteChannel>> connected = SocketConnect(port);
+  ASSERT_TRUE(connected.ok()) << connected.status().ToString();
+  std::unique_ptr<ByteChannel> client = std::move(*connected);
+
+  ASSERT_TRUE(WriteFrame(
+      client.get(),
+      EncodeRequest(Request{Request::Kind::kUpdate, "+e1(1,2)", 0,
+                            nullptr})));
+  std::string payload;
+  ASSERT_TRUE(ReadFrame(client.get(), &payload));
+  Response response;
+  ASSERT_TRUE(DecodeResponse(payload, &response));
+  EXPECT_EQ(response.status, StatusCode::kOk);
+  EXPECT_EQ(response.epoch, 1);
+
+  ASSERT_TRUE(WriteFrame(
+      client.get(),
+      EncodeRequest(Request{Request::Kind::kSnapshotQuery, "", 0,
+                            nullptr})));
+  ASSERT_TRUE(ReadFrame(client.get(), &payload));
+  ASSERT_TRUE(DecodeResponse(payload, &response));
+  EXPECT_EQ(response.status, StatusCode::kOk);
+  EXPECT_EQ(response.body, ReplayAll("e1(0, 1).", server->CommitLog()));
+
+  client->Close();
+  (*listener)->Close();
+  accept_loop.join();
+  server->Stop();
+}
+
+}  // namespace
+}  // namespace server
+}  // namespace datalog

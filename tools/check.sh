@@ -87,6 +87,35 @@ bench_incremental() {
     --json="${build_dir}/BENCH_incremental.json" >/dev/null
 }
 
+# Server smoke (docs/server.md): a focused server-vs-library sweep
+# (oracle pair #10) — published snapshot bytes per epoch vs a sequential
+# IncrementalView replay, per-session epoch monotonicity, reclamation
+# quiescence — on both storage backends. Runs in the plain and ASan
+# lanes; the threaded server suites run under TSan via run_suite's
+# filter.
+server_smoke() {
+  local build_dir="$1"
+  echo "==> server-smoke ${build_dir}"
+  "${build_dir}/tools/unchained_fuzz" --cases=400 --seed=11 --quiet \
+    --mutants=0 --pairs=server-vs-library \
+    --artifacts="${build_dir}/fuzz-artifacts-server"
+  echo "==> server-smoke ${build_dir} (columnar)"
+  "${build_dir}/tools/unchained_fuzz" --cases=400 --seed=11 --quiet \
+    --mutants=0 --pairs=server-vs-library --storage=columnar \
+    --artifacts="${build_dir}/fuzz-artifacts-server"
+}
+
+# Mixed-load server bench (docs/server.md): reader/writer clients against
+# the threaded Server; every row self-checks the final served snapshot
+# byte-identical to a sequential commit-log replay and reclamation
+# quiescence.
+bench_server() {
+  local build_dir="$1"
+  echo "==> bench-server ${build_dir}"
+  "${build_dir}/bench/server_throughput" \
+    --json="${build_dir}/BENCH_server.json" >/dev/null
+}
+
 # Traced end-to-end run (docs/observability.md): --trace must produce a
 # Chrome trace file that the schema/monotonic-timestamp checker accepts.
 trace_check() {
@@ -113,9 +142,11 @@ bench_peer_faults() {
 run_suite "${repo}/build"
 fuzz_smoke "${repo}/build"
 incremental_smoke "${repo}/build"
+server_smoke "${repo}/build"
 trace_check "${repo}/build"
 bench_peer_faults "${repo}/build"
 bench_incremental "${repo}/build"
+bench_server "${repo}/build"
 if [[ "${sanitize}" -eq 1 ]]; then
   # The dist suite (PeersFault/Snapshot/FaultSpec + Deadline) runs in the
   # full ctest sweep, so ASan covers the transport/crash-recovery paths.
@@ -125,6 +156,7 @@ if [[ "${sanitize}" -eq 1 ]]; then
     -DUNCHAINED_SANITIZE=ON
   fuzz_smoke "${repo}/build-asan"
   incremental_smoke "${repo}/build-asan"
+  server_smoke "${repo}/build-asan"
   trace_check "${repo}/build-asan"
   bench_peer_faults "${repo}/build-asan"
 fi
@@ -140,9 +172,12 @@ if [[ "${tsan}" -eq 1 ]]; then
   # sweep runs the columnar engines at 1/2/8 threads);
   # Incremental/Retract/Dred/Counting covers IncrementalView maintenance
   # and the erase-journal index replay (the IncrementalRandomSweep drives
-  # its scratch reference engines at 1/2/8 threads).
+  # its scratch reference engines at 1/2/8 threads);
+  # Server/Session/Epoch/Reclaim covers the concurrent Datalog server
+  # (docs/server.md) — the writer thread, reader pools at 1/2/8 threads,
+  # MVCC snapshot pin/unpin reclamation, and the wire/session parsers.
   run_suite "${repo}/build-tsan" \
-    "--tests-regex=Parallel|Datalog|Stratified|WellFounded|Inflationary|NonInflationary|Stable|Engine|SemiNaive|Naive|RandomProgram|Trace|Obs|Metrics|Tracer|Peer|Dist|Deadline|Cancel|Fault|Snapshot|Columnar|Storage|ColumnStore|Bitmap|RowSet|RelationStaging|Incremental|Retract|Dred|Counting" \
+    "--tests-regex=Parallel|Datalog|Stratified|WellFounded|Inflationary|NonInflationary|Stable|Engine|SemiNaive|Naive|RandomProgram|Trace|Obs|Metrics|Tracer|Peer|Dist|Deadline|Cancel|Fault|Snapshot|Columnar|Storage|ColumnStore|Bitmap|RowSet|RelationStaging|Incremental|Retract|Dred|Counting|Server|Session|Epoch|Reclaim" \
     -DCMAKE_BUILD_TYPE=RelWithDebInfo -DUNCHAINED_TSAN=ON
 fi
 

@@ -12,9 +12,13 @@
 //            | wellfounded-vs-stratified | sequential-vs-parallel
 //            | trace-on-vs-trace-off | reliable-vs-faulty-peers
 //            | hash-vs-columnar | incremental-vs-scratch
+//            | server-vs-library
 //   bugs:    seminaive-skip-delta (optional :RULE index, default 1)
 //            dred-skip-rederive (incremental maintenance drops the
 //            delete-rederive pass; caught by incremental-vs-scratch)
+//            server-publish-stale (the server publishes the pre-batch
+//            model bytes under the new epoch — a torn read; caught by
+//            server-vs-library)
 //
 // --storage selects the data plane every pair's engines evaluate with
 // (docs/storage.md); hash-vs-columnar always diffs both regardless.
@@ -78,7 +82,8 @@ int Usage() {
       "                      [--pairs=a,b,...] [--mutants=N]\n"
       "                      [--artifacts=DIR] [--no-shrink]\n"
       "                      [--inject-bug=seminaive-skip-delta[:RULE]\n"
-      "                                   |dred-skip-rederive]\n"
+      "                                   |dred-skip-rederive\n"
+      "                                   |server-publish-stale]\n"
       "                      [--quiet] [--deadline-ms=N] [--trace=FILE]\n"
       "                      [--metrics] [--storage=hash|columnar]\n");
   return 2;
@@ -133,6 +138,8 @@ int main(int argc, char** argv) {
         datalog::internal::g_seminaive_skip_delta_rule = rule;
       } else if (name == "dred-skip-rederive") {
         datalog::internal::g_dred_skip_rederive = true;
+      } else if (name == "server-publish-stale") {
+        datalog::internal::g_server_publish_stale = true;
       } else {
         std::fprintf(stderr, "unknown bug: %s\n", name.c_str());
         return Usage();
@@ -205,7 +212,7 @@ int main(int argc, char** argv) {
                 failure.artifact_path.empty()
                     ? ""
                     : (" -> " + failure.artifact_path).c_str());
-    if (!failure.shrunk_program.empty()) {
+    if (failure.shrunk) {
       std::printf("shrunk repro (%d rules, %s, %d oracle calls):\n%s-- facts:\n%s",
                   failure.shrunk_rule_count,
                   failure.shrunk_one_minimal ? "1-minimal" : "unverified",

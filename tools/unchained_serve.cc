@@ -1,0 +1,309 @@
+// unchained_serve — run the concurrent Datalog server (docs/server.md).
+//
+// Usage:
+//   unchained_serve --program=FILE --facts=FILE
+//                   [--script=FILE --seed=S [--cancel-prob=P]]
+//                   [--port=N] [--readers=N] [--socket-smoke] [--metrics]
+//
+// Three modes, picked by flag:
+//
+//   --script=FILE   Replay a `%@` session script (docs/server.md
+//                   #session-scripts) under the deterministic virtual-
+//                   clock scheduler with the given seed and print the
+//                   event log — the same machinery oracle pair #10 runs,
+//                   exposed for replaying shrunken repros by hand.
+//   --port=N        Serve the binary wire protocol (docs/server.md
+//                   #wire-format) on 127.0.0.1:N until the process is
+//                   killed. Port 0 picks an ephemeral port (printed).
+//   --socket-smoke  End-to-end self-test: serve on an ephemeral port,
+//                   connect a client socket, run an update + queries and
+//                   verify the served bytes against a sequential replay
+//                   of the commit log. Exits 0 on success.
+//
+// With none of the three, the server evaluates the initial model,
+// prints epoch 0's stats and exits — a configuration check.
+
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/engine.h"
+#include "dist/transport.h"
+#include "eval/incremental.h"
+#include "obs/metrics.h"
+#include "server/scheduler.h"
+#include "server/server.h"
+#include "server/session.h"
+#include "server/wire.h"
+
+namespace {
+
+using datalog::ByteChannel;
+using datalog::Engine;
+using datalog::Instance;
+using datalog::Program;
+using datalog::Result;
+using datalog::SocketConnect;
+using datalog::SocketListener;
+using datalog::StatusCode;
+namespace server = datalog::server;
+
+bool ParseArg(const char* arg, const char* name, std::string* out) {
+  std::string prefix = std::string("--") + name + "=";
+  if (std::strncmp(arg, prefix.c_str(), prefix.size()) == 0) {
+    *out = arg + prefix.size();
+    return true;
+  }
+  return false;
+}
+
+bool ReadFile(const std::string& path, std::string* out) {
+  std::ifstream in(path);
+  if (!in) return false;
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  *out = ss.str();
+  return true;
+}
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: unchained_serve --program=FILE --facts=FILE\n"
+               "                       [--script=FILE --seed=S"
+               " [--cancel-prob=P]]\n"
+               "                       [--port=N] [--readers=N]"
+               " [--socket-smoke]\n"
+               "                       [--metrics]\n");
+  return 2;
+}
+
+int Fail(const std::string& what) {
+  std::fprintf(stderr, "unchained_serve: %s\n", what.c_str());
+  return 1;
+}
+
+/// One framed request/response exchange on a client channel.
+bool Exchange(ByteChannel* channel, const server::Request& request,
+              server::Response* response) {
+  if (!server::WriteFrame(channel, server::EncodeRequest(request))) {
+    return false;
+  }
+  std::string payload;
+  if (!server::ReadFrame(channel, &payload)) return false;
+  return server::DecodeResponse(payload, response);
+}
+
+int RunScript(server::Server* srv, const std::string& script_text,
+              uint64_t seed, double cancel_prob) {
+  std::vector<server::SessionOp> ops;
+  if (!server::ParseSessionScript(script_text, &ops)) {
+    return Fail("malformed session script");
+  }
+  if (ops.empty()) return Fail("script has no %@ session lines");
+  server::SchedulerOptions sched;
+  sched.seed = seed;
+  sched.cancel_prob = cancel_prob;
+  server::ScheduleRun run = server::RunSessions(srv, ops, sched);
+  if (!run.ok) return Fail("schedule: " + run.error);
+  for (const server::ScheduledEvent& ev : run.events) {
+    std::printf("t=%-4lld s%d %-24s -> %s epoch=%lld body=%zuB%s\n",
+                static_cast<long long>(ev.vtime), ev.session,
+                server::FormatSessionOp(ops[ev.op_index]).c_str(),
+                datalog::StatusCodeName(ev.response.status),
+                static_cast<long long>(ev.response.epoch),
+                ev.response.body.size(),
+                ev.cancelled_injected ? " (injected cancel)" : "");
+  }
+  std::printf("final epoch %lld, %zu commits, %zu epochs published\n",
+              static_cast<long long>(run.final_epoch), run.commits.size(),
+              run.epoch_bytes.size());
+  return 0;
+}
+
+int RunSocketSmoke(server::Server* srv, Engine* engine,
+                   const Program& program, const std::string& facts_text) {
+  srv->Start();
+  Result<std::unique_ptr<SocketListener>> listener = SocketListener::Listen(0);
+  if (!listener.ok()) {
+    return Fail("listen: " + listener.status().ToString());
+  }
+  std::thread accept_loop(
+      [srv, l = listener->get()] { srv->ServeListener(l); });
+
+  int failures = 0;
+  {
+    Result<std::unique_ptr<ByteChannel>> client =
+        SocketConnect((*listener)->port());
+    if (!client.ok()) {
+      (*listener)->Close();
+      accept_loop.join();
+      return Fail("connect: " + client.status().ToString());
+    }
+    server::Response response;
+    if (!Exchange(client->get(),
+                  server::Request{server::Request::Kind::kPing, "", 0,
+                                  nullptr},
+                  &response) ||
+        response.status != StatusCode::kOk) {
+      ++failures;
+    }
+    if (!Exchange(client->get(),
+                  server::Request{server::Request::Kind::kUpdate,
+                                  "+e1(0,1)", 0, nullptr},
+                  &response) ||
+        response.status != StatusCode::kOk || response.epoch != 1) {
+      ++failures;
+    }
+    if (!Exchange(client->get(),
+                  server::Request{server::Request::Kind::kSnapshotQuery, "",
+                                  0, nullptr},
+                  &response) ||
+        response.status != StatusCode::kOk) {
+      ++failures;
+    }
+    // Byte-identity self-check: the served snapshot equals a sequential
+    // replay of the commit log against a fresh view.
+    Instance base(&engine->catalog());
+    if (!engine->AddFacts(facts_text, &base).ok()) ++failures;
+    auto view =
+        datalog::IncrementalView::Create(program, engine->catalog(), base);
+    if (!view.ok()) {
+      ++failures;
+    } else {
+      for (const server::CommitRecord& commit : srv->CommitLog()) {
+        if (!(*view)->ApplyBatch(commit.batch).ok()) ++failures;
+      }
+      if (response.body != (*view)->model().SerializeSnapshot()) {
+        ++failures;
+      }
+    }
+    server::WriteFrame(client->get(),
+                       server::EncodeRequest(server::Request{
+                           server::Request::Kind::kClose, "", 0, nullptr}));
+  }
+  (*listener)->Close();
+  accept_loop.join();
+  srv->Stop();
+  if (failures != 0) {
+    return Fail("socket smoke: " + std::to_string(failures) + " failures");
+  }
+  std::printf("socket smoke ok: epoch %lld, served bytes match replay\n",
+              static_cast<long long>(srv->epoch()));
+  return 0;
+}
+
+int RunListener(server::Server* srv, int port) {
+  srv->Start();
+  Result<std::unique_ptr<SocketListener>> listener =
+      SocketListener::Listen(port);
+  if (!listener.ok()) {
+    return Fail("listen: " + listener.status().ToString());
+  }
+  std::printf("serving on 127.0.0.1:%d (epoch %lld)\n", (*listener)->port(),
+              static_cast<long long>(srv->epoch()));
+  std::fflush(stdout);
+  srv->ServeListener(listener->get());
+  srv->Stop();
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string program_path;
+  std::string facts_path;
+  std::string script_path;
+  uint64_t seed = 0;
+  double cancel_prob = 0.0;
+  int port = -1;
+  int readers = 2;
+  bool socket_smoke = false;
+  bool metrics = false;
+
+  std::string value;
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (ParseArg(arg, "program", &program_path)) {
+    } else if (ParseArg(arg, "facts", &facts_path)) {
+    } else if (ParseArg(arg, "script", &script_path)) {
+    } else if (ParseArg(arg, "seed", &value)) {
+      seed = std::strtoull(value.c_str(), nullptr, 10);
+    } else if (ParseArg(arg, "cancel-prob", &value)) {
+      cancel_prob = std::atof(value.c_str());
+    } else if (ParseArg(arg, "port", &value)) {
+      port = std::atoi(value.c_str());
+    } else if (ParseArg(arg, "readers", &value)) {
+      readers = std::atoi(value.c_str());
+    } else if (std::strcmp(arg, "--socket-smoke") == 0) {
+      socket_smoke = true;
+    } else if (std::strcmp(arg, "--metrics") == 0) {
+      metrics = true;
+    } else {
+      std::fprintf(stderr, "unknown argument: %s\n", arg);
+      return Usage();
+    }
+  }
+  if (program_path.empty() || facts_path.empty()) return Usage();
+  if (readers < 1) return Usage();
+
+  std::string program_text;
+  std::string facts_text;
+  if (!ReadFile(program_path, &program_text)) {
+    return Fail("cannot read " + program_path);
+  }
+  if (!ReadFile(facts_path, &facts_text)) {
+    return Fail("cannot read " + facts_path);
+  }
+
+  if (metrics) {
+    datalog::obs::MetricsRegistry::Get().Reset();
+    datalog::obs::MetricsRegistry::Get().SetEnabled(true);
+  }
+
+  Engine engine;
+  Result<Program> program = engine.Parse(program_text);
+  if (!program.ok()) return Fail("parse: " + program.status().ToString());
+  Instance base(&engine.catalog());
+  if (datalog::Status st = engine.AddFacts(facts_text, &base); !st.ok()) {
+    return Fail("facts: " + st.ToString());
+  }
+
+  server::ServerOptions options;
+  options.num_readers = readers;
+  Result<std::unique_ptr<server::Server>> srv = server::Server::Create(
+      *program, &engine.catalog(), &engine.symbols(), base, options);
+  if (!srv.ok()) return Fail("create: " + srv.status().ToString());
+
+  int rc = 0;
+  if (!script_path.empty()) {
+    std::string script_text;
+    if (!ReadFile(script_path, &script_text)) {
+      return Fail("cannot read " + script_path);
+    }
+    rc = RunScript(srv->get(), script_text, seed, cancel_prob);
+  } else if (socket_smoke) {
+    rc = RunSocketSmoke(srv->get(), &engine, *program, facts_text);
+  } else if (port >= 0) {
+    rc = RunListener(srv->get(), port);
+  } else {
+    const datalog::IncrementalView::Stats stats = (*srv)->view_stats();
+    std::printf("epoch 0 published: %lld facts added, %d strata "
+                "(counting %lld, dred %lld)\n",
+                static_cast<long long>(stats.facts_added),
+                stats.counting_strata + stats.dred_strata,
+                static_cast<long long>(stats.counting_strata),
+                static_cast<long long>(stats.dred_strata));
+  }
+
+  if (metrics) {
+    datalog::obs::MetricsRegistry::Get().SetEnabled(false);
+    std::printf("%s", datalog::obs::MetricsRegistry::Get().DumpText().c_str());
+  }
+  return rc;
+}
