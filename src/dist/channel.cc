@@ -2,6 +2,7 @@
 // duplex pair used by tests/benches and the localhost TCP transport used
 // by unchained_serve.
 
+#include <errno.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
 #include <sys/socket.h>
@@ -95,11 +96,15 @@ class SocketChannel : public ByteChannel {
     ::close(fd_);
   }
 
+  // A signal landing mid-syscall makes send/recv fail with EINTR; that
+  // is a retry, not a peer disconnect — only a real error or EOF (recv
+  // returning 0) ends the stream.
   bool Write(const void* data, size_t n) override {
     const char* p = static_cast<const char*>(data);
     size_t off = 0;
     while (off < n) {
       const ssize_t w = ::send(fd_, p + off, n - off, MSG_NOSIGNAL);
+      if (w < 0 && errno == EINTR) continue;
       if (w <= 0) return false;
       off += static_cast<size_t>(w);
     }
@@ -111,6 +116,7 @@ class SocketChannel : public ByteChannel {
     size_t off = 0;
     while (off < n) {
       const ssize_t r = ::recv(fd_, p + off, n - off, 0);
+      if (r < 0 && errno == EINTR) continue;
       if (r <= 0) return false;
       off += static_cast<size_t>(r);
     }

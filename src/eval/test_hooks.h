@@ -35,6 +35,15 @@ extern bool g_dred_skip_rederive;
 /// server/server.cc.
 extern bool g_server_publish_stale;
 
+/// When true, durability recovery (store/recover.cc) skips truncating a
+/// torn or corrupt WAL tail after replay — the recovered state is still
+/// correct, but the next recovery (or the post-recovery oracle check)
+/// finds garbage after the last valid record: a forgot-to-repair bug
+/// that only a crash schedule producing a torn tail can expose. The
+/// canonical target of oracle pair #11 (crash-recover-vs-replay) and the
+/// durability-spec shrinker pass. Defined in store/recover.cc.
+extern bool g_store_skip_truncate;
+
 }  // namespace internal
 }  // namespace datalog
 

@@ -137,9 +137,11 @@ ScheduleRun RunSessions(Server* server, const std::vector<SessionOp>& ops,
   run.live_snapshots = server->snapshots().live();
   run.pinned = server->snapshots().pinned();
 
-  // Flatten the per-epoch bytes; the epochs seen must be exactly
-  // 0..final_epoch (fresh server) with no gaps.
-  int64_t expected = 0;
+  // Flatten the per-epoch bytes; the epochs seen must be contiguous from
+  // the first observed one (0 for a fresh server, the recovered epoch for
+  // one restarted from a durable store) through final_epoch.
+  int64_t expected = epoch_bytes.empty() ? 0 : epoch_bytes.begin()->first;
+  run.base_epoch = expected;
   for (auto& [epoch, bytes] : epoch_bytes) {
     if (epoch != expected++) {
       run.error = "epoch gap in published snapshots at " +

@@ -63,9 +63,12 @@ struct ScheduleRun {
   std::vector<ScheduledEvent> events;
   /// The server's commit log after the run (publication order).
   std::vector<CommitRecord> commits;
-  /// Published model bytes per epoch: epoch_bytes[e] is epoch e's
-  /// canonical snapshot, starting at the initial epoch 0.
+  /// Published model bytes per epoch: epoch_bytes[i] is epoch
+  /// (base_epoch + i)'s canonical snapshot. base_epoch is 0 for a fresh
+  /// server and the recovered epoch when the run drives a server that
+  /// restarted from a durable store (server.h RecoveryInfo).
   std::vector<std::string> epoch_bytes;
+  int64_t base_epoch = 0;
   int64_t final_epoch = 0;
   /// Maintenance counters and reclamation state at quiescence.
   IncrementalView::Stats view_stats;

@@ -7,6 +7,7 @@
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "server/session.h"
+#include "store/recover.h"
 
 namespace datalog {
 
@@ -56,6 +57,26 @@ obs::HistogramHandle& ApplyLatency() {
   static obs::HistogramHandle h("server.apply_us");
   return h;
 }
+obs::CounterHandle& WalAppendsCounter() {
+  static obs::CounterHandle c("server.wal_appends");
+  return c;
+}
+obs::CounterHandle& WalSyncsCounter() {
+  static obs::CounterHandle c("server.wal_syncs");
+  return c;
+}
+obs::CounterHandle& WalRefusedCounter() {
+  static obs::CounterHandle c("server.wal_refused");
+  return c;
+}
+obs::CounterHandle& WalSnapshotsCounter() {
+  static obs::CounterHandle c("server.wal_snapshots");
+  return c;
+}
+obs::GaugeHandle& WalBytesGauge() {
+  static obs::GaugeHandle g("server.wal_bytes");
+  return g;
+}
 
 Response Refuse(StatusCode code, std::string error) {
   Response r;
@@ -71,12 +92,38 @@ Result<std::unique_ptr<Server>> Server::Create(const Program& program,
                                                SymbolTable* symbols,
                                                const Instance& base,
                                                const ServerOptions& options) {
-  Result<std::unique_ptr<IncrementalView>> view =
-      IncrementalView::Create(program, *catalog, base, options.eval);
-  if (!view.ok()) return view.status();
-  std::unique_ptr<Server> server(
-      new Server(std::move(view).value(), catalog, symbols, options));
-  server->PublishCurrentModel(0);
+  if (options.durability.dir.empty()) {
+    Result<std::unique_ptr<IncrementalView>> view =
+        IncrementalView::Create(program, *catalog, base, options.eval);
+    if (!view.ok()) return view.status();
+    std::unique_ptr<Server> server(
+        new Server(std::move(view).value(), catalog, symbols, options));
+    server->PublishCurrentModel(0);
+    return server;
+  }
+
+  // Durable mode: rebuild the view from the store directory (snapshot +
+  // WAL tail), then open the store for appending — in this order, so a
+  // torn WAL tail is repaired before the new writer appends after it.
+  OBS_SPAN("server.recover", {});
+  Result<store::Recovered> recovered = store::Recover(
+      options.durability.dir, program, *catalog, symbols, base, options.eval);
+  if (!recovered.ok()) return recovered.status();
+  Result<std::unique_ptr<store::DurableStore>> store =
+      store::DurableStore::Open(options.durability);
+  if (!store.ok()) return store.status();
+  std::unique_ptr<Server> server(new Server(std::move(recovered->view),
+                                            catalog, symbols, options));
+  server->store_ = std::move(*store);
+  server->recovery_.ran = true;
+  server->recovery_.epoch = recovered->epoch;
+  server->recovery_.replayed = recovered->replayed;
+  server->recovery_.from_snapshot = recovered->from_snapshot;
+  server->recovery_.truncated_tail = recovered->truncated_tail;
+  WalBytesGauge().Set(server->store_->wal().size());
+  // The first publish carries the recovered epoch: clients resume at the
+  // exact version the directory proves durable.
+  server->PublishCurrentModel(recovered->epoch);
   return server;
 }
 
@@ -89,7 +136,20 @@ Server::Server(std::unique_ptr<IncrementalView> view, const Catalog* catalog,
   if (options_.num_readers < 1) options_.num_readers = 1;
 }
 
-Server::~Server() { Stop(); }
+Status Server::FlushStore() {
+  if (store_ == nullptr || store_->crashed()) return Status::OK();
+  return store_->Flush();
+}
+
+Server::~Server() {
+  Stop();
+  // Clean shutdown closes the group-commit window, so only a real (or
+  // scheduled) crash can lose the unsynced tail. A crashed store refuses
+  // the flush; ignore it — the directory is already in its final state.
+  if (store_ != nullptr && !store_->crashed()) {
+    (void)store_->Flush();
+  }
+}
 
 void Server::PublishCurrentModel(int64_t epoch) {
   OBS_SPAN("server.publish", {{"epoch", static_cast<int>(epoch)}});
@@ -145,6 +205,23 @@ bool Server::ApplyOneQueued() {
            {{"updates", static_cast<int>(pending.batch.size())}});
   obs::ScopedLatency latency(&ApplyLatency());
 
+  // A crashed store refuses all further writes without touching the
+  // view: the view may already hold a batch whose WAL append failed, and
+  // that dirty state must never be published or extended.
+  if (store_ != nullptr && store_->crashed()) {
+    WalRefusedCounter().Add(1);
+    Response refused = Refuse(StatusCode::kInternal,
+                              "store crashed (commit refused)");
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      TicketState& ticket = tickets_[pending.ticket];
+      ticket.done = true;
+      ticket.response = std::move(refused);
+    }
+    tickets_cv_.notify_all();
+    return true;
+  }
+
   // Planted torn-read bug (test_hooks.h): snapshot the model *before*
   // the batch lands, then publish those stale bytes under the new epoch.
   std::unique_ptr<Snapshot> stale;
@@ -155,25 +232,74 @@ bool Server::ApplyOneQueued() {
                                        std::move(model), std::move(bytes));
   }
 
+  const int64_t syncs_before =
+      store_ != nullptr ? store_->wal().syncs() : 0;
   const Status st = view_->ApplyBatch(pending.batch);
   Response response;
+  bool logged = true;
   if (!st.ok()) {
     response.status = st.code();
     response.error = st.message();
   } else {
-    BatchesAppliedCounter().Add(1);
     const int64_t epoch = registry_.current_epoch() + 1;
-    if (stale != nullptr) {
-      const Snapshot* published = stale.get();
-      registry_.Publish(std::move(stale));
-      EpochGauge().Set(epoch);
-      if (on_publish_) on_publish_(epoch, published->model_bytes());
-    } else {
-      PublishCurrentModel(epoch);
+    // WAL append sits between apply and publish: an acknowledged commit
+    // is always in the log (modulo the group-commit window), and a
+    // rejected batch never is. On append failure (the crash schedule, or
+    // a real I/O error) the epoch is neither published nor acked — the
+    // view is dirty now, but the crashed() gate above keeps it private.
+    if (store_ != nullptr) {
+      OBS_SPAN("server.wal_append", {{"epoch", static_cast<int>(epoch)}});
+      const std::string tokens =
+          FormatUpdateTokens(pending.batch, *catalog_, *symbols_);
+      const Status append = store_->AppendCommit(epoch, tokens);
+      if (!append.ok()) {
+        logged = false;
+        WalRefusedCounter().Add(1);
+        response.status = append.code();
+        response.error = append.message();
+      } else {
+        WalAppendsCounter().Add(1);
+        WalBytesGauge().Set(store_->wal().size());
+      }
     }
-    response.epoch = epoch;
-    std::lock_guard<std::mutex> lock(mu_);
-    commit_log_.push_back(CommitRecord{epoch, std::move(pending.batch)});
+    if (logged) {
+      BatchesAppliedCounter().Add(1);
+      if (stale != nullptr) {
+        const Snapshot* published = stale.get();
+        registry_.Publish(std::move(stale));
+        EpochGauge().Set(epoch);
+        if (on_publish_) on_publish_(epoch, published->model_bytes());
+      } else {
+        PublishCurrentModel(epoch);
+      }
+      response.epoch = epoch;
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        commit_log_.push_back(CommitRecord{epoch, std::move(pending.batch)});
+      }
+      // Compaction after publish: the ack does not wait on the snapshot
+      // write, and a compaction crash cannot retract an acked commit —
+      // it only kills the store for *future* writes.
+      if (store_ != nullptr && store_->CompactionDue()) {
+        OBS_SPAN("server.compact", {{"epoch", static_cast<int>(epoch)}});
+        // The snapshot's raw value words are only decodable with this
+        // writer's interning order, so the full spelling table rides
+        // along (snapshotter.h).
+        std::vector<std::string> spellings;
+        spellings.reserve(static_cast<size_t>(symbols_->size()));
+        for (int v = 0; v < symbols_->size(); ++v) {
+          spellings.push_back(symbols_->NameOf(static_cast<Value>(v)));
+        }
+        const int64_t before = store_->snapshots();
+        (void)store_->MaybeCompact(epoch, view_->base().SerializeSnapshot(),
+                                   std::move(spellings));
+        if (store_->snapshots() > before) WalSnapshotsCounter().Add(1);
+        WalBytesGauge().Set(store_->wal().size());
+      }
+      if (store_ != nullptr) {
+        WalSyncsCounter().Add(store_->wal().syncs() - syncs_before);
+      }
+    }
   }
 
   {

@@ -45,6 +45,7 @@
 #include "eval/incremental.h"
 #include "server/snapshot.h"
 #include "server/wire.h"
+#include "store/store.h"
 
 namespace datalog {
 
@@ -62,6 +63,14 @@ struct ServerOptions {
   /// per-request deadline/cancel fields are ignored here — budgets ride
   /// the requests.
   EvalOptions eval;
+  /// Durability (docs/durability.md). When `durability.dir` is non-empty
+  /// Create recovers from that directory (snapshot + WAL replay) before
+  /// publishing, and the writer logs every committed batch through a
+  /// DurableStore — WAL append between apply and publish, so an acked
+  /// commit is in the log, plus periodic snapshot compaction. An empty
+  /// dir keeps the PR-9 in-memory behavior. The embedded fault schedule
+  /// drives the crash fuzzing (store/fault.h).
+  store::StoreOptions durability;
 };
 
 /// One applied mutation batch: `epoch` is the snapshot it produced.
@@ -140,6 +149,29 @@ class Server {
 
   // -- Introspection ----------------------------------------------------
 
+  /// What recovery-on-start found (all defaults when the server runs
+  /// without durability or from a fresh directory).
+  struct RecoveryInfo {
+    /// True when Create ran recovery (durability.dir was non-empty).
+    bool ran = false;
+    /// Epoch recovered to — the first publish and the base the commit
+    /// log continues from. CommitLog() only holds post-recovery commits.
+    int64_t epoch = 0;
+    int64_t replayed = 0;
+    bool from_snapshot = false;
+    bool truncated_tail = false;
+  };
+  const RecoveryInfo& recovery() const { return recovery_; }
+  /// The durable store, or null when running in-memory. The store is the
+  /// writer's — readers may only touch the const counters at quiescence.
+  const store::DurableStore* store() const { return store_.get(); }
+  /// Closes the store's group-commit window now — the shutdown flush the
+  /// destructor would otherwise issue. Lets a caller that needs the
+  /// store's final state (oracle pair #11) settle it first: a scheduled
+  /// crash pending on the fsync path fires here, not mid-destruction.
+  /// OK when running in-memory or when the store already crashed.
+  Status FlushStore();
+
   /// Epoch of the currently published snapshot (0 right after Create).
   int64_t epoch() const { return registry_.current_epoch(); }
   const SnapshotRegistry& snapshots() const { return registry_; }
@@ -190,6 +222,11 @@ class Server {
   ServerOptions options_;
   /// Mutated only by the writer (thread or ApplyOneQueued caller).
   std::unique_ptr<IncrementalView> view_;
+  /// Durable commit path (null = in-memory). Writer-only, like view_;
+  /// flushed (group-commit window closed) by the destructor on a clean
+  /// shutdown.
+  std::unique_ptr<store::DurableStore> store_;
+  RecoveryInfo recovery_;
   SnapshotRegistry registry_;
   PublishHook on_publish_;
 

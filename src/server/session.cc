@@ -56,6 +56,24 @@ bool ParseUpdateTokens(std::string_view tokens, const Catalog& catalog,
   return true;
 }
 
+std::string FormatUpdateTokens(const std::vector<FactUpdate>& updates,
+                               const Catalog& catalog,
+                               const SymbolTable& symbols) {
+  std::string out;
+  for (const FactUpdate& u : updates) {
+    if (!out.empty()) out += ' ';
+    out += u.insert ? '+' : '-';
+    out += catalog.NameOf(u.pred);
+    out += '(';
+    for (size_t i = 0; i < u.tuple.size(); ++i) {
+      if (i > 0) out += ',';
+      out += symbols.NameOf(u.tuple[i]);
+    }
+    out += ')';
+  }
+  return out;
+}
+
 namespace {
 
 /// Identifier charset of predicate names (matches the program grammar).

@@ -49,6 +49,16 @@ struct SessionOp {
 bool ParseUpdateTokens(std::string_view tokens, const Catalog& catalog,
                        SymbolTable* symbols, std::vector<FactUpdate>* out);
 
+/// Renders a batch back into canonical `+pred(v,...)` tokens, space
+/// separated — the exact inverse of ParseUpdateTokens on its integer
+/// value domain. The WAL stores these bytes per committed batch
+/// (store/wal.h), so Format ∘ Parse must be the identity: recovery
+/// replays what was logged, and the crash-recover-vs-replay oracle
+/// diffs the two byte-for-byte.
+std::string FormatUpdateTokens(const std::vector<FactUpdate>& updates,
+                               const Catalog& catalog,
+                               const SymbolTable& symbols);
+
 /// Extracts the `%@` session ops from a facts text, in line order. Lines
 /// not starting with `%@` (after leading blanks) are ignored. Returns
 /// false on any malformed `%@` line; `out` is then unspecified. Note the

@@ -1,0 +1,116 @@
+#include "store/fault.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+
+namespace datalog {
+namespace store {
+
+const char* CrashPointName(CrashPoint p) {
+  switch (p) {
+    case CrashPoint::kWalAppend:
+      return "wal-append";
+    case CrashPoint::kWalBeforeFsync:
+      return "wal-before-fsync";
+    case CrashPoint::kSnapBeforeRename:
+      return "snap-before-rename";
+    case CrashPoint::kSnapAfterRename:
+      return "snap-after-rename";
+  }
+  return "unknown";
+}
+
+namespace {
+
+// Parses "key=<int>" into *value; the accepted keys are fixed so a typo
+// in a hand-edited case fails loudly instead of silently defaulting.
+bool ParseField(const std::string& token, const char* key, int64_t* value,
+                bool* matched) {
+  const std::string prefix = std::string(key) + "=";
+  if (token.compare(0, prefix.size(), prefix) != 0) {
+    *matched = false;
+    return true;
+  }
+  *matched = true;
+  const std::string digits = token.substr(prefix.size());
+  if (digits.empty()) return false;
+  errno = 0;
+  char* end = nullptr;
+  const long long v = std::strtoll(digits.c_str(), &end, 10);
+  if (errno != 0 || end == nullptr || *end != '\0') return false;
+  *value = static_cast<int64_t>(v);
+  return true;
+}
+
+}  // namespace
+
+bool ParseDurabilitySpec(const std::string& facts_text, DurabilitySpec* out,
+                         bool* found) {
+  *found = false;
+  std::istringstream lines(facts_text);
+  std::string line;
+  while (std::getline(lines, line)) {
+    if (line.compare(0, 2, "%!") != 0) continue;
+    DurabilitySpec spec;
+    std::istringstream words(line.substr(2));
+    std::string token;
+    bool saw_crash = false, saw_torn = false, saw_flip = false;
+    bool saw_sync = false, saw_snap = false;
+    while (words >> token) {
+      int64_t value = 0;
+      bool matched = false;
+      if (!ParseField(token, "crash", &value, &matched)) return false;
+      if (matched) {
+        if (saw_crash) return false;
+        saw_crash = true;
+        spec.crash_at = value;
+        continue;
+      }
+      if (!ParseField(token, "torn", &value, &matched)) return false;
+      if (matched) {
+        if (saw_torn) return false;
+        saw_torn = true;
+        spec.torn_keep = static_cast<int>(value);
+        continue;
+      }
+      if (!ParseField(token, "flip", &value, &matched)) return false;
+      if (matched) {
+        if (saw_flip) return false;
+        saw_flip = true;
+        spec.flip_bit = static_cast<int>(value);
+        continue;
+      }
+      if (!ParseField(token, "sync", &value, &matched)) return false;
+      if (matched) {
+        if (saw_sync || value < 0) return false;
+        saw_sync = true;
+        spec.sync_every = static_cast<int>(value);
+        continue;
+      }
+      if (!ParseField(token, "snap", &value, &matched)) return false;
+      if (matched) {
+        if (saw_snap || value < 0) return false;
+        saw_snap = true;
+        spec.snapshot_every = static_cast<int>(value);
+        continue;
+      }
+      return false;  // Unknown field.
+    }
+    *found = true;
+    *out = spec;
+    return true;
+  }
+  return true;  // No %! line: fine, *found stays false.
+}
+
+std::string FormatDurabilitySpec(const DurabilitySpec& spec) {
+  std::ostringstream out;
+  out << "%! crash=" << spec.crash_at << " torn=" << spec.torn_keep
+      << " flip=" << spec.flip_bit << " sync=" << spec.sync_every
+      << " snap=" << spec.snapshot_every;
+  return out.str();
+}
+
+}  // namespace store
+}  // namespace datalog

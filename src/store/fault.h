@@ -1,0 +1,125 @@
+#ifndef UNCHAINED_STORE_FAULT_H_
+#define UNCHAINED_STORE_FAULT_H_
+
+// Seeded fault injection for the durability layer (docs/durability.md
+// #fault-schedule). Every failure mode a `kill -9` (or a torn page) can
+// inflict on the WAL + snapshot files is modeled as a *crash point* the
+// store passes through on its write paths; a `DurabilityFaultSchedule`
+// names the hit at which the simulated crash fires and how the unsynced
+// tail is mutilated when it does:
+//
+//   * crash-before-fsync  — the record bytes are in the page cache only;
+//                           the schedule may tear them (keep a prefix of
+//                           the final record) or flip a bit.
+//   * crash-after-fsync-before-rename — a finished snapshot.tmp never
+//                           becomes snapshot.bin; recovery must fall back
+//                           to the previous snapshot plus the full log.
+//   * torn tail writes    — the final append is cut at `torn_keep` bytes.
+//   * bit flips           — one bit of the unsynced tail region is
+//                           inverted, so a checksum stops the replay.
+//
+// The schedule is deterministic: (spec, write sequence) fully determines
+// where the crash lands and what the directory looks like afterwards,
+// which is what lets oracle pair #11 (crash-recover-vs-replay) re-run and
+// the shrinker minimize (script, crash point) repros. After the crash
+// fires the store is dead: every later append/sync/compact fails, the
+// same way a killed process stops writing.
+
+#include <cstdint>
+#include <string>
+
+namespace datalog {
+namespace store {
+
+/// Where the store is standing when it asks "do I crash here?". The hit
+/// counter spans *all* points, so a schedule's `crash_at` indexes one
+/// global sequence of durability side effects.
+enum class CrashPoint : uint8_t {
+  /// About to write a WAL record. A crash here tears the record at
+  /// `torn_keep` bytes (-1 keeps all of it: written but unacknowledged).
+  kWalAppend = 0,
+  /// Record fully written, fsync not yet issued — the classic
+  /// crash-before-fsync window. The unsynced tail survives only as well
+  /// as the schedule's `flip_bit` lets it.
+  kWalBeforeFsync = 1,
+  /// snapshot.tmp written and fsynced, rename to snapshot.bin pending.
+  kSnapBeforeRename = 2,
+  /// snapshot.bin renamed into place, WAL truncation pending — recovery
+  /// must dedup replayed epochs against the snapshot.
+  kSnapAfterRename = 3,
+};
+
+const char* CrashPointName(CrashPoint p);
+
+/// One seeded crash schedule, parsed from a case's `%!` line (see
+/// Parse/FormatDurabilitySpec) or built directly by tests. Plain data —
+/// the store mutates only the runtime fields at the bottom.
+struct DurabilityFaultSchedule {
+  /// Crash on the Nth crash-point hit (1-based). <= 0 never crashes.
+  int64_t crash_at = -1;
+  /// When the crash lands on kWalAppend: bytes of the final record kept
+  /// on disk (clamped to the record size). -1 writes the whole record.
+  int torn_keep = -1;
+  /// When >= 0: after the crash, flip bit (flip_bit % 8) of byte
+  /// (flip_bit / 8 % tail_len) inside the unsynced WAL tail. -1 disables.
+  int flip_bit = -1;
+
+  // -- Runtime state (owned by the store once installed) ----------------
+  int64_t hits = 0;
+  bool crashed = false;
+  /// The point the crash actually fired at (diagnostics).
+  CrashPoint crash_point = CrashPoint::kWalAppend;
+
+  /// Counts a hit; true when this hit is the crashing one (the caller
+  /// then applies the configured mutilation and goes dead).
+  bool Hit(CrashPoint p) {
+    if (crashed) return false;
+    ++hits;
+    if (crash_at > 0 && hits == crash_at) {
+      crashed = true;
+      crash_point = p;
+      return true;
+    }
+    return false;
+  }
+};
+
+/// The `%!` durability line riding in a case's facts text, invisible to
+/// every parser (a `%` comment) and consumed by oracle pair #11:
+///
+///   %! crash=<N> torn=<K> flip=<B> sync=<S> snap=<M>
+///
+/// crash/torn/flip seed the DurabilityFaultSchedule above; sync is the
+/// store's group-commit window (fsync every S commits, 0 = never) and
+/// snap its compaction cadence (snapshot + WAL truncate every M commits,
+/// 0 = never). Parsing is strict and total like session scripts: any
+/// malformed `%!` line fails, and Format ∘ Parse is the identity on
+/// canonical lines (the shrinker edits them blindly).
+struct DurabilitySpec {
+  int64_t crash_at = -1;
+  int torn_keep = -1;
+  int flip_bit = -1;
+  int sync_every = 1;
+  int snapshot_every = 0;
+
+  DurabilityFaultSchedule Schedule() const {
+    DurabilityFaultSchedule s;
+    s.crash_at = crash_at;
+    s.torn_keep = torn_keep;
+    s.flip_bit = flip_bit;
+    return s;
+  }
+};
+
+/// Extracts the first `%!` line of `facts_text`. Returns false on a
+/// malformed line; `*found` distinguishes "no line" from "parsed one".
+bool ParseDurabilitySpec(const std::string& facts_text, DurabilitySpec* out,
+                         bool* found);
+
+/// Renders the canonical `%!` line (no trailing newline).
+std::string FormatDurabilitySpec(const DurabilitySpec& spec);
+
+}  // namespace store
+}  // namespace datalog
+
+#endif  // UNCHAINED_STORE_FAULT_H_

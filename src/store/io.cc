@@ -1,0 +1,92 @@
+#include "store/io.h"
+
+#include <errno.h>
+#include <fcntl.h>
+#include <string.h>
+#include <unistd.h>
+
+namespace datalog {
+namespace store {
+
+void PutU32(std::string* out, uint32_t v) {
+  out->push_back(static_cast<char>(v & 0xFFu));
+  out->push_back(static_cast<char>((v >> 8) & 0xFFu));
+  out->push_back(static_cast<char>((v >> 16) & 0xFFu));
+  out->push_back(static_cast<char>((v >> 24) & 0xFFu));
+}
+
+void PutI64(std::string* out, int64_t v) {
+  const uint64_t u = static_cast<uint64_t>(v);
+  PutU32(out, static_cast<uint32_t>(u & 0xFFFFFFFFu));
+  PutU32(out, static_cast<uint32_t>(u >> 32));
+}
+
+uint32_t GetU32(const unsigned char* p) {
+  return static_cast<uint32_t>(p[0]) | (static_cast<uint32_t>(p[1]) << 8) |
+         (static_cast<uint32_t>(p[2]) << 16) |
+         (static_cast<uint32_t>(p[3]) << 24);
+}
+
+int64_t GetI64(const unsigned char* p) {
+  const uint64_t lo = GetU32(p);
+  const uint64_t hi = GetU32(p + 4);
+  return static_cast<int64_t>(lo | (hi << 32));
+}
+
+Status PWriteAll(int fd, const char* data, size_t n, int64_t offset) {
+  size_t off = 0;
+  while (off < n) {
+    const ssize_t w =
+        ::pwrite(fd, data + off, n - off,
+                 static_cast<off_t>(offset) + static_cast<off_t>(off));
+    if (w < 0) {
+      if (errno == EINTR) continue;
+      return Status::Internal(std::string("pwrite: ") + ::strerror(errno));
+    }
+    off += static_cast<size_t>(w);
+  }
+  return Status::OK();
+}
+
+Result<std::string> ReadFileBytes(const std::string& path) {
+  const int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+  if (fd < 0) {
+    return Status::Internal("open " + path + ": " + ::strerror(errno));
+  }
+  std::string data;
+  char buf[1 << 16];
+  for (;;) {
+    const ssize_t r = ::read(fd, buf, sizeof buf);
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      const std::string err = ::strerror(errno);
+      ::close(fd);
+      return Status::Internal("read " + path + ": " + err);
+    }
+    if (r == 0) break;
+    data.append(buf, static_cast<size_t>(r));
+  }
+  ::close(fd);
+  return data;
+}
+
+Status SyncDirOf(const std::string& path) {
+  const size_t slash = path.find_last_of('/');
+  const std::string dir = slash == std::string::npos
+                              ? std::string(".")
+                              : path.substr(0, slash == 0 ? 1 : slash);
+  const int fd = ::open(dir.c_str(), O_RDONLY | O_CLOEXEC);
+  if (fd < 0) {
+    return Status::Internal("open dir " + dir + ": " + ::strerror(errno));
+  }
+  if (::fsync(fd) != 0) {
+    const std::string err = ::strerror(errno);
+    ::close(fd);
+    return Status::Internal("fsync dir " + dir + ": " + err);
+  }
+  ::close(fd);
+  return Status::OK();
+}
+
+}  // namespace store
+}  // namespace datalog

@@ -1,0 +1,120 @@
+#include "store/recover.h"
+
+#include <errno.h>
+#include <string.h>
+#include <unistd.h>
+
+#include <vector>
+
+#include "eval/test_hooks.h"
+#include "server/session.h"
+#include "store/snapshotter.h"
+#include "store/wal.h"
+
+namespace datalog {
+
+namespace internal {
+bool g_store_skip_truncate = false;
+}  // namespace internal
+
+namespace store {
+
+Result<Recovered> Recover(const std::string& dir, const Program& program,
+                          const Catalog& catalog, SymbolTable* symbols,
+                          const Instance& initial_base,
+                          const EvalOptions& options) {
+  Recovered out;
+
+  bool have_snapshot = false;
+  Result<SnapshotData> snap = LoadSnapshot(dir, &have_snapshot);
+  if (!snap.ok()) return snap.status();
+
+  Instance base(&catalog);
+  int64_t expected_epoch = 0;
+  if (have_snapshot) {
+    // The snapshot's raw value words carry the *writer's* interning
+    // order. Restore into a scratch instance, then rebuild through this
+    // process's symbol table via the recorded spellings — a recovering
+    // process that interned in a different order (or nothing yet) ends
+    // up with semantically identical facts under its own Value ids.
+    Instance scratch(&catalog);
+    DATALOG_RETURN_IF_ERROR(scratch.RestoreSnapshot(snap->base_bytes));
+    std::vector<Value> remap;
+    remap.reserve(snap->symbols.size());
+    for (const std::string& spelling : snap->symbols) {
+      remap.push_back(symbols->Intern(spelling));
+    }
+    for (const auto& [pred, rel] : scratch.relations()) {
+      for (const Tuple& tuple : rel.Sorted()) {
+        Tuple mapped;
+        mapped.reserve(tuple.size());
+        for (Value v : tuple) {
+          if (v < 0 || static_cast<size_t>(v) >= remap.size()) {
+            return Status::Internal(
+                "snapshot value " + std::to_string(v) +
+                " outside the recorded symbol table (" +
+                std::to_string(remap.size()) + " spellings)");
+          }
+          mapped.push_back(remap[static_cast<size_t>(v)]);
+        }
+        base.Insert(pred, mapped);
+      }
+    }
+    expected_epoch = snap->epoch;
+    out.from_snapshot = true;
+  } else {
+    base = initial_base;
+  }
+
+  Result<std::unique_ptr<IncrementalView>> view =
+      IncrementalView::Create(program, catalog, base, options);
+  if (!view.ok()) return view.status();
+
+  const std::string wal_path = WalPath(dir);
+  Result<WalScan> scan = ScanWal(wal_path);
+  if (!scan.ok()) return scan.status();
+  out.wal_was_clean = scan->clean;
+  out.detail = scan->detail;
+
+  for (const WalRecord& record : scan->records) {
+    if (record.epoch <= expected_epoch) {
+      // Already covered by the snapshot: a compaction crashed between
+      // rename and truncate. Benign, skip.
+      ++out.skipped;
+      continue;
+    }
+    if (record.epoch != expected_epoch + 1) {
+      return Status::Internal(
+          "wal epoch gap: have " + std::to_string(expected_epoch) +
+          ", next record is epoch " + std::to_string(record.epoch));
+    }
+    std::vector<FactUpdate> updates;
+    if (!server::ParseUpdateTokens(record.update_tokens, catalog, symbols,
+                                   &updates)) {
+      return Status::Internal("wal record for epoch " +
+                              std::to_string(record.epoch) +
+                              " holds unparseable update tokens");
+    }
+    DATALOG_RETURN_IF_ERROR((*view)->ApplyBatch(updates));
+    expected_epoch = record.epoch;
+    ++out.replayed;
+  }
+
+  if (!scan->clean && !internal::g_store_skip_truncate) {
+    // Cut the torn/corrupt tail so the next writer appends onto a log
+    // every byte of which is a valid record.
+    if (::truncate(wal_path.c_str(), static_cast<off_t>(scan->valid_end)) !=
+        0) {
+      return Status::Internal("wal tail truncate: " +
+                              std::string(::strerror(errno)));
+    }
+    out.truncated_tail = true;
+  }
+
+  out.view = std::move(*view);
+  out.epoch = expected_epoch;
+  return out;
+}
+
+}  // namespace store
+}  // namespace datalog

@@ -1,0 +1,170 @@
+#include "store/snapshotter.h"
+
+#include <errno.h>
+#include <fcntl.h>
+#include <stdio.h>
+#include <string.h>
+#include <unistd.h>
+
+#include "store/io.h"
+#include "store/wal.h"
+
+namespace datalog {
+namespace store {
+
+namespace {
+
+constexpr uint32_t kMagic = 0x4E534455u;  // 'UDSN' little-endian
+constexpr uint32_t kVersion = 1;
+/// Bytes before the checksummed region: magic + version.
+constexpr size_t kPreambleBytes = 8;
+/// Checksummed header: epoch + wal_offset + base_len.
+constexpr size_t kBodyHeaderBytes = 20;
+
+}  // namespace
+
+std::string WalPath(const std::string& dir) { return dir + "/wal.log"; }
+std::string SnapshotPath(const std::string& dir) {
+  return dir + "/snapshot.bin";
+}
+std::string SnapshotTmpPath(const std::string& dir) {
+  return dir + "/snapshot.tmp";
+}
+
+Snapshotter::Snapshotter(std::string dir, const SnapshotterOptions& options)
+    : dir_(std::move(dir)), options_(options) {}
+
+Status Snapshotter::Write(const SnapshotData& snap) {
+  if (crashed_) {
+    return Status::Internal("store crashed (snapshot refused)");
+  }
+  std::string body;
+  body.reserve(kBodyHeaderBytes + snap.base_bytes.size());
+  PutI64(&body, snap.epoch);
+  PutI64(&body, snap.wal_offset);
+  PutU32(&body, static_cast<uint32_t>(snap.base_bytes.size()));
+  body += snap.base_bytes;
+  PutU32(&body, static_cast<uint32_t>(snap.symbols.size()));
+  for (const std::string& spelling : snap.symbols) {
+    PutU32(&body, static_cast<uint32_t>(spelling.size()));
+    body += spelling;
+  }
+
+  std::string file;
+  file.reserve(kPreambleBytes + body.size() + 4);
+  PutU32(&file, kMagic);
+  PutU32(&file, kVersion);
+  file += body;
+  PutU32(&file, Crc32(body.data(), body.size()));
+
+  const std::string tmp = SnapshotTmpPath(dir_);
+  const std::string final_path = SnapshotPath(dir_);
+  const int fd =
+      ::open(tmp.c_str(), O_CREAT | O_WRONLY | O_TRUNC | O_CLOEXEC, 0644);
+  if (fd < 0) {
+    return Status::Internal("snapshot open " + tmp + ": " +
+                            ::strerror(errno));
+  }
+  const Status write_status = PWriteAll(fd, file.data(), file.size(), 0);
+  if (!write_status.ok()) {
+    ::close(fd);
+    return write_status;
+  }
+  if (!options_.simulate_sync && ::fsync(fd) != 0) {
+    const std::string err = ::strerror(errno);
+    ::close(fd);
+    return Status::Internal("snapshot fsync " + tmp + ": " + err);
+  }
+  ::close(fd);
+
+  DurabilityFaultSchedule* faults = options_.faults;
+  if (faults != nullptr && faults->Hit(CrashPoint::kSnapBeforeRename)) {
+    // The finished tmp file is stranded; recovery ignores it and uses
+    // the previous snapshot (or none) plus the intact WAL.
+    crashed_ = true;
+    return Status::Internal(std::string("store crashed at ") +
+                            CrashPointName(CrashPoint::kSnapBeforeRename));
+  }
+  if (::rename(tmp.c_str(), final_path.c_str()) != 0) {
+    return Status::Internal("snapshot rename: " +
+                            std::string(::strerror(errno)));
+  }
+  if (!options_.simulate_sync) {
+    DATALOG_RETURN_IF_ERROR(SyncDirOf(final_path));
+  }
+  ++writes_;
+  if (faults != nullptr && faults->Hit(CrashPoint::kSnapAfterRename)) {
+    // Snapshot published, WAL truncation lost — recovery must dedup the
+    // still-present records against the snapshot epoch.
+    crashed_ = true;
+    return Status::Internal(std::string("store crashed at ") +
+                            CrashPointName(CrashPoint::kSnapAfterRename));
+  }
+  return Status::OK();
+}
+
+Result<SnapshotData> LoadSnapshot(const std::string& dir, bool* found) {
+  *found = false;
+  SnapshotData snap;
+  const std::string path = SnapshotPath(dir);
+  if (::access(path.c_str(), F_OK) != 0) return snap;
+  Result<std::string> file = ReadFileBytes(path);
+  if (!file.ok()) return file.status();
+  const std::string& data = *file;
+  if (data.size() < kPreambleBytes + kBodyHeaderBytes + 4) {
+    return Status::Internal("snapshot " + path + ": truncated header");
+  }
+  const unsigned char* bytes =
+      reinterpret_cast<const unsigned char*>(data.data());
+  if (GetU32(bytes) != kMagic) {
+    return Status::Internal("snapshot " + path + ": bad magic");
+  }
+  if (GetU32(bytes + 4) != kVersion) {
+    return Status::Internal("snapshot " + path + ": unsupported version " +
+                            std::to_string(GetU32(bytes + 4)));
+  }
+  const unsigned char* body = bytes + kPreambleBytes;
+  const size_t body_size = data.size() - kPreambleBytes - 4;
+  const uint32_t stored_crc =
+      GetU32(bytes + data.size() - 4);
+  if (Crc32(body, body_size) != stored_crc) {
+    return Status::Internal("snapshot " + path + ": crc mismatch");
+  }
+  snap.epoch = GetI64(body);
+  snap.wal_offset = GetI64(body + 8);
+  const uint32_t base_len = GetU32(body + 16);
+  if (base_len > body_size - kBodyHeaderBytes - 4) {
+    return Status::Internal("snapshot " + path + ": length mismatch");
+  }
+  snap.base_bytes.assign(
+      reinterpret_cast<const char*>(body + kBodyHeaderBytes), base_len);
+  size_t pos = kBodyHeaderBytes + base_len;
+  const auto remaining = [&] { return body_size - pos; };
+  if (remaining() < 4) {
+    return Status::Internal("snapshot " + path + ": missing symbol table");
+  }
+  const uint32_t sym_count = GetU32(body + pos);
+  pos += 4;
+  snap.symbols.reserve(sym_count);
+  for (uint32_t i = 0; i < sym_count; ++i) {
+    if (remaining() < 4) {
+      return Status::Internal("snapshot " + path + ": torn symbol table");
+    }
+    const uint32_t len = GetU32(body + pos);
+    pos += 4;
+    if (remaining() < len) {
+      return Status::Internal("snapshot " + path + ": torn symbol entry");
+    }
+    snap.symbols.emplace_back(reinterpret_cast<const char*>(body + pos),
+                              len);
+    pos += len;
+  }
+  if (pos != body_size) {
+    return Status::Internal("snapshot " + path + ": trailing bytes");
+  }
+  *found = true;
+  return snap;
+}
+
+}  // namespace store
+}  // namespace datalog

@@ -4,6 +4,8 @@
 #include <string>
 #include <vector>
 
+#include "store/fault.h"
+
 namespace datalog {
 namespace fuzz {
 namespace {
@@ -267,16 +269,34 @@ std::string ProgramGenerator::GenerateSessions(Rng* rng) const {
   return out;
 }
 
+std::string ProgramGenerator::GenerateDurability(Rng* rng) const {
+  if (!options_.durability_specs) return "";
+  store::DurabilitySpec spec;
+  // Mostly crash early in the hit sequence (a handful of commits yields
+  // only a few crash points each); sometimes never, covering the clean
+  // shutdown-and-recover path.
+  if (rng->Chance(0.8)) spec.crash_at = 1 + rng->UniformInt(8);
+  // Torn tails and bit flips ride on roughly half the crashes each — the
+  // WAL header is 8 bytes, so small torn_keep values cut mid-header and
+  // larger ones cut mid-payload.
+  if (rng->Chance(0.5)) spec.torn_keep = rng->UniformInt(24);
+  if (rng->Chance(0.5)) spec.flip_bit = rng->UniformInt(256);
+  spec.sync_every = rng->UniformInt(4);      // 0 = never fsync.
+  spec.snapshot_every = rng->UniformInt(4);  // 0 = never compact.
+  return store::FormatDurabilitySpec(spec) + "\n";
+}
+
 GeneratedCase ProgramGenerator::GenerateCase(ProgramClass cls,
                                              Rng* rng) const {
   GeneratedCase c;
   c.cls = cls;
   c.program = GenerateProgram(cls, rng);
-  // Session lines are appended *after* the update lines: earlier draws
+  // Each new line kind is appended *after* every older one: earlier draws
   // for a given seed are unchanged, so pre-PR-9 cases replay as before
-  // with sessions tacked on.
+  // with sessions tacked on, and pre-PR-10 cases with the durability line
+  // tacked on after those.
   c.facts = GenerateFacts(rng) + GenerateUpdates(rng) +
-            GenerateSessions(rng);
+            GenerateSessions(rng) + GenerateDurability(rng);
   return c;
 }
 

@@ -72,6 +72,10 @@ struct GeneratorOptions {
   /// Zero disables session generation (pair #10 reads as inapplicable).
   int max_sessions = 3;
   int max_session_ops = 4;
+  /// Whether each case carries a `%!` durability line (store/fault.h):
+  /// a seeded crash schedule plus fsync/compaction cadences. False
+  /// disables it (pair #11 then reads as inapplicable).
+  bool durability_specs = true;
 };
 
 /// A generated (program, instance) pair.
@@ -112,6 +116,12 @@ class ProgramGenerator {
   /// update submissions. Comment-invisible to the parser; oracle pair #10
   /// schedules them against a concurrent Server.
   std::string GenerateSessions(Rng* rng) const;
+
+  /// One random `%! crash=... torn=... flip=... sync=... snap=...`
+  /// durability line (store/fault.h), canonical per FormatDurabilitySpec.
+  /// Comment-invisible to the parser; oracle pair #11 runs the session
+  /// script under its crash schedule. Empty when durability_specs is off.
+  std::string GenerateDurability(Rng* rng) const;
 
   /// Program plus instance (including update-batch lines) in one call.
   GeneratedCase GenerateCase(ProgramClass cls, Rng* rng) const;

@@ -1,5 +1,8 @@
 #include "testing/oracle.h"
 
+#include <stdlib.h>
+#include <unistd.h>
+
 #include <cctype>
 #include <map>
 #include <memory>
@@ -16,6 +19,11 @@
 #include "server/scheduler.h"
 #include "server/server.h"
 #include "server/session.h"
+#include "store/fault.h"
+#include "store/recover.h"
+#include "store/snapshotter.h"
+#include "store/store.h"
+#include "store/wal.h"
 #include "testing/translate.h"
 #include "while/while_lang.h"
 
@@ -651,19 +659,23 @@ OracleVerdict RunIncrementalVsScratch(ParsedCase* c,
 
 /// One virtual-clock run of the case's session script against a fresh
 /// Server. Create-refusals surface as !created (inapplicable upstream
-/// when the fragment is the reason).
+/// when the fragment is the reason). The server itself stays alive in
+/// `server` — pair #11 reads its DurableStore after the run, pair #10
+/// just lets it drop.
 struct ServerRunOutcome {
   bool created = false;
   Status create_status;
+  std::unique_ptr<server::Server> server;
   server::ScheduleRun run;
 };
 
-ServerRunOutcome RunServerSchedule(ParsedCase* c,
-                                   const std::vector<server::SessionOp>& ops,
-                                   uint64_t salt) {
+ServerRunOutcome RunServerSchedule(
+    ParsedCase* c, const std::vector<server::SessionOp>& ops, uint64_t salt,
+    const store::StoreOptions* durability = nullptr) {
   ServerRunOutcome outcome;
   server::ServerOptions options;
   options.eval = c->engine.options();
+  if (durability != nullptr) options.durability = *durability;
   Result<std::unique_ptr<server::Server>> srv = server::Server::Create(
       *c->program, &c->engine.catalog(), &c->engine.symbols(), *c->db,
       options);
@@ -672,12 +684,13 @@ ServerRunOutcome RunServerSchedule(ParsedCase* c,
     return outcome;
   }
   outcome.created = true;
+  outcome.server = std::move(*srv);
   server::SchedulerOptions sched;
   sched.seed = salt;
   // A seeded fraction of reads arrives pre-cancelled, so every fuzzed
   // schedule also exercises the refuse-without-leaking-a-pin path.
   sched.cancel_prob = 0.15;
-  outcome.run = server::RunSessions(srv->get(), ops, sched);
+  outcome.run = server::RunSessions(outcome.server.get(), ops, sched);
   return outcome;
 }
 
@@ -874,6 +887,199 @@ OracleVerdict RunServerVsLibrary(ParsedCase* c, const std::string& facts_text,
   return Agreed();
 }
 
+// ---- kCrashRecoverVsReplay ----------------------------------------------
+
+/// mkdtemp-backed store directory for one oracle run, emptied and removed
+/// (best-effort) on scope exit so 1000-case sweeps don't litter TMPDIR.
+class ScratchStoreDir {
+ public:
+  ScratchStoreDir() {
+    const char* tmpdir = ::getenv("TMPDIR");
+    std::string tmpl =
+        std::string(tmpdir != nullptr && *tmpdir != '\0' ? tmpdir : "/tmp") +
+        "/unchained-dur.XXXXXX";
+    buf_.assign(tmpl.begin(), tmpl.end());
+    buf_.push_back('\0');
+    ok_ = ::mkdtemp(buf_.data()) != nullptr;
+  }
+  ~ScratchStoreDir() {
+    if (!ok_) return;
+    const std::string d = dir();
+    ::unlink(store::WalPath(d).c_str());
+    ::unlink(store::SnapshotPath(d).c_str());
+    ::unlink(store::SnapshotTmpPath(d).c_str());
+    ::rmdir(d.c_str());
+  }
+  bool ok() const { return ok_; }
+  std::string dir() const { return std::string(buf_.data()); }
+
+ private:
+  std::vector<char> buf_;
+  bool ok_ = false;
+};
+
+OracleVerdict RunCrashRecoverVsReplay(ParsedCase* c,
+                                      const std::string& facts_text,
+                                      uint64_t salt) {
+  if (!c->ValidDialect(Dialect::kStratified)) return Inapplicable();
+  std::vector<server::SessionOp> ops;
+  if (!server::ParseSessionScript(facts_text, &ops) || ops.empty()) {
+    return Inapplicable();
+  }
+  store::DurabilitySpec spec;
+  bool have_spec = false;
+  if (!store::ParseDurabilitySpec(facts_text, &spec, &have_spec) ||
+      !have_spec) {
+    // No (or blind-edit-mangled) `%!` line: nothing durable to check.
+    return Inapplicable();
+  }
+
+  ScratchStoreDir scratch;
+  if (!scratch.ok()) return Disagreed("mkdtemp for the store dir failed");
+
+  store::StoreOptions durability;
+  durability.dir = scratch.dir();
+  durability.sync_every = spec.sync_every;
+  durability.snapshot_every = spec.snapshot_every;
+  // The crash is the schedule's, not the kernel's: tracking fsync
+  // bookkeeping without fdatasync keeps 1000-case sweeps off the disk.
+  durability.simulate_sync = true;
+  durability.faults = spec.Schedule();
+
+  ServerRunOutcome outcome = RunServerSchedule(c, ops, salt, &durability);
+  if (!outcome.created) {
+    // Same fragment gate as pairs #9/#10.
+    if (outcome.create_status.code() == StatusCode::kUnsupported ||
+        outcome.create_status.code() == StatusCode::kNotStratifiable) {
+      return Inapplicable();
+    }
+    return Disagreed("durable server create: " +
+                     outcome.create_status.ToString());
+  }
+  const server::ScheduleRun& run = outcome.run;
+  if (!run.ok) return Disagreed("schedule: " + run.error);
+
+  // Settle the shutdown flush first — a crash pending on the fsync path
+  // fires here — then freeze the store's ground truth and destroy the
+  // server (whose own destructor flush is now a no-op).
+  (void)outcome.server->FlushStore();
+  const store::DurableStore* st = outcome.server->store();
+  if (st == nullptr) return Disagreed("durable server has no store");
+  const std::vector<store::CommitAttempt> attempts = st->attempts();
+  const bool store_crashed = st->crashed();
+  const int64_t durable_epoch = st->durable_epoch();
+  const char* crash_point =
+      store_crashed ? store::CrashPointName(st->faults().crash_point) : "none";
+  for (size_t i = 0; i < attempts.size(); ++i) {
+    if (attempts[i].epoch != static_cast<int64_t>(i) + 1) {
+      return Disagreed("commit attempt " + std::to_string(i) +
+                       " carries epoch " + std::to_string(attempts[i].epoch));
+    }
+  }
+  const int64_t last_attempt = static_cast<int64_t>(attempts.size());
+  outcome.server.reset();
+
+  Result<store::Recovered> rec =
+      store::Recover(scratch.dir(), *c->program, c->engine.catalog(),
+                     &c->engine.symbols(), *c->db, c->engine.options());
+  const std::string where = std::string("(crash point ") + crash_point +
+                            " after " + std::to_string(last_attempt) +
+                            " attempts)";
+  if (!rec.ok()) {
+    return Disagreed("recover " + where + ": " + rec.status().ToString());
+  }
+
+  // 1. Bounded loss: everything durable survives, nothing beyond the last
+  // attempted commit appears. Without a crash the shutdown flush makes
+  // every attempt durable, so recovery must land exactly on the last one.
+  if (rec->epoch < durable_epoch || rec->epoch > last_attempt) {
+    return Disagreed("recovered epoch " + std::to_string(rec->epoch) +
+                     " outside [durable " + std::to_string(durable_epoch) +
+                     ", attempted " + std::to_string(last_attempt) + "] " +
+                     where);
+  }
+  if (!store_crashed && rec->epoch != last_attempt) {
+    return Disagreed("clean shutdown lost commits: recovered to epoch " +
+                     std::to_string(rec->epoch) + " of " +
+                     std::to_string(last_attempt));
+  }
+
+  // 2. Byte-identity against an independent replay of the surviving
+  // prefix: a fresh IncrementalView walks attempts 1..recovered_epoch.
+  Result<std::unique_ptr<IncrementalView>> replay = IncrementalView::Create(
+      *c->program, c->engine.catalog(), *c->db, c->engine.options());
+  if (!replay.ok()) {
+    return Disagreed("replay create: " + replay.status().ToString());
+  }
+  for (int64_t e = 1; e <= rec->epoch; ++e) {
+    std::vector<FactUpdate> batch;
+    if (!server::ParseUpdateTokens(attempts[static_cast<size_t>(e - 1)]
+                                       .update_tokens,
+                                   c->engine.catalog(), &c->engine.symbols(),
+                                   &batch)) {
+      return Disagreed("attempt for epoch " + std::to_string(e) +
+                       " holds unparseable tokens");
+    }
+    if (Status s = (*replay)->ApplyBatch(batch); !s.ok()) {
+      return Disagreed("replay apply at epoch " + std::to_string(e) + ": " +
+                       s.ToString());
+    }
+  }
+  if (rec->view->model().SerializeSnapshot() !=
+      (*replay)->model().SerializeSnapshot()) {
+    return Disagreed("recovered model diverges from the replay of " +
+                     std::to_string(rec->epoch) + " surviving commits " +
+                     where + "\n" +
+                     DescribeDiff("recovered", rec->view->model(), "replay",
+                                  (*replay)->model(), c->engine.symbols()));
+  }
+  if (rec->view->base().SerializeSnapshot() !=
+      (*replay)->base().SerializeSnapshot()) {
+    return Disagreed("recovered base diverges from the replay " + where);
+  }
+
+  // 3. What clients saw: when the recovered epoch was published before
+  // the crash, its bytes must match what the server handed out then.
+  if (rec->epoch >= run.base_epoch &&
+      rec->epoch - run.base_epoch <
+          static_cast<int64_t>(run.epoch_bytes.size()) &&
+      rec->view->model().SerializeSnapshot() !=
+          run.epoch_bytes[static_cast<size_t>(rec->epoch - run.base_epoch)]) {
+    return Disagreed("recovered model diverges from the bytes published at "
+                     "epoch " +
+                     std::to_string(rec->epoch) + " " + where);
+  }
+
+  // 4. Tail repair: after recovery the log must re-scan clean — a torn or
+  // bit-flipped tail left behind (internal::g_store_skip_truncate) would
+  // poison the next writer's appends.
+  Result<store::WalScan> rescan = store::ScanWal(store::WalPath(scratch.dir()));
+  if (!rescan.ok()) {
+    return Disagreed("post-recovery wal scan: " + rescan.status().ToString());
+  }
+  if (!rescan->clean) {
+    return Disagreed("wal still dirty after recovery " + where + ": " +
+                     rescan->detail);
+  }
+
+  // 5. Idempotence: recovering the repaired directory again must land on
+  // the same epoch and the same bytes.
+  Result<store::Recovered> again =
+      store::Recover(scratch.dir(), *c->program, c->engine.catalog(),
+                     &c->engine.symbols(), *c->db, c->engine.options());
+  if (!again.ok()) {
+    return Disagreed("second recover: " + again.status().ToString());
+  }
+  if (again->epoch != rec->epoch ||
+      again->view->model().SerializeSnapshot() !=
+          rec->view->model().SerializeSnapshot()) {
+    return Disagreed("recovery is not idempotent: epoch " +
+                     std::to_string(rec->epoch) + " then " +
+                     std::to_string(again->epoch) + " " + where);
+  }
+  return Agreed();
+}
+
 }  // namespace
 
 std::vector<OraclePair> AllOraclePairs() {
@@ -907,6 +1113,8 @@ const char* PairName(OraclePair pair) {
       return "incremental-vs-scratch";
     case OraclePair::kServerVsLibrary:
       return "server-vs-library";
+    case OraclePair::kCrashRecoverVsReplay:
+      return "crash-recover-vs-replay";
   }
   return "unknown";
 }
@@ -950,6 +1158,8 @@ OracleVerdict OracleRunner::Run(OraclePair pair, const std::string& program,
       return RunIncrementalVsScratch(&c, facts);
     case OraclePair::kServerVsLibrary:
       return RunServerVsLibrary(&c, facts, salt);
+    case OraclePair::kCrashRecoverVsReplay:
+      return RunCrashRecoverVsReplay(&c, facts, salt);
   }
   return Inapplicable();
 }

@@ -73,6 +73,22 @@ namespace fuzz {
 ///                            counters at quiescence, and a re-run of the
 ///                            same seed reproducing the identical event
 ///                            stream.
+///  * kCrashRecoverVsReplay — the durability contract
+///                            (docs/durability.md): the case's session
+///                            script runs against a *durable* server in a
+///                            scratch store directory under the `%!`
+///                            line's fault schedule (store/fault.h) — a
+///                            seeded crash may fire mid-commit, tearing or
+///                            bit-flipping the unsynced WAL tail. The
+///                            server is then destroyed and the directory
+///                            recovered (store/recover.h); the recovered
+///                            epoch must land in [durable_epoch,
+///                            last-attempted], the recovered model must be
+///                            byte-identical to a fresh IncrementalView
+///                            replay of the surviving commit prefix (and
+///                            to the bytes the server published for that
+///                            epoch), the repaired WAL must re-scan clean,
+///                            and a second recovery must be idempotent.
 enum class OraclePair {
   kNaiveVsSemiNaive,
   kMagicVsOriginal,
@@ -84,9 +100,10 @@ enum class OraclePair {
   kHashVsColumnar,
   kIncrementalVsScratch,
   kServerVsLibrary,
+  kCrashRecoverVsReplay,
 };
 
-inline constexpr int kNumOraclePairs = 10;
+inline constexpr int kNumOraclePairs = 11;
 
 /// All pairs, in declaration order.
 std::vector<OraclePair> AllOraclePairs();
@@ -132,8 +149,10 @@ struct OracleVerdict {
 /// token. The parser reads them as `%` comments, so they are invisible to
 /// every pair except kIncrementalVsScratch, which replays them against an
 /// IncrementalView. It may also carry `%@ <sid> q|s|u ...` session-script
-/// lines (server/session.h), equally comment-invisible, consumed only by
-/// kServerVsLibrary.
+/// lines (server/session.h), equally comment-invisible, consumed by
+/// kServerVsLibrary and kCrashRecoverVsReplay — the latter additionally
+/// requires a `%! crash=... torn=... flip=... sync=... snap=...`
+/// durability line (store/fault.h) naming its crash schedule.
 class OracleRunner {
  public:
   OracleRunner() = default;

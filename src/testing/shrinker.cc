@@ -4,6 +4,8 @@
 #include <cstddef>
 #include <vector>
 
+#include "store/fault.h"
+
 namespace datalog {
 namespace fuzz {
 namespace {
@@ -138,6 +140,13 @@ std::string MakeSessionUpdateLine(const std::string& prefix,
     out += t;
   }
   return out;
+}
+
+/// Durability lines (`%! crash=...`; see store/fault.h) get a dedicated
+/// pass simplifying the crash schedule in place of whole-line removal.
+bool IsDurabilityLine(const std::string& line) {
+  const size_t i = line.find_first_not_of(" \t");
+  return i != std::string::npos && line.compare(i, 2, "%!") == 0;
 }
 
 /// Distinct session ids among `lines`, in order of first appearance.
@@ -375,6 +384,60 @@ class ShrinkDriver {
     return any_changed;
   }
 
+  /// Minimizes the `%!` durability line among `facts` (store/fault.h)
+  /// with `rules` held fixed: drop the torn-tail and bit-flip damage,
+  /// halve `crash` toward 1 (the smallest hit index that still fails
+  /// names the culprit crash point), and reset the sync/compaction
+  /// cadences to their quiet defaults. Whole-line removal stays the fact
+  /// pass's job. Returns true if anything changed.
+  bool DurabilityMinimizePass(const std::vector<std::string>& rules,
+                              std::vector<std::string>* facts) {
+    bool any_changed = false;
+    for (size_t i = 0; i < facts->size() && !budget_exhausted_; ++i) {
+      if (!IsDurabilityLine((*facts)[i])) continue;
+      store::DurabilitySpec spec;
+      bool found = false;
+      if (!store::ParseDurabilitySpec((*facts)[i], &spec, &found) || !found) {
+        continue;  // Mangled by a blind edit; leave it to line removal.
+      }
+      auto try_spec = [&](const store::DurabilitySpec& simpler) {
+        std::vector<std::string> candidate = *facts;
+        candidate[i] = store::FormatDurabilitySpec(simpler);
+        if (!StillFails(rules, candidate)) return false;
+        spec = simpler;
+        (*facts)[i] = store::FormatDurabilitySpec(spec);
+        any_changed = true;
+        return true;
+      };
+      if (spec.torn_keep != -1 && !budget_exhausted_) {
+        store::DurabilitySpec s = spec;
+        s.torn_keep = -1;
+        try_spec(s);
+      }
+      if (spec.flip_bit != -1 && !budget_exhausted_) {
+        store::DurabilitySpec s = spec;
+        s.flip_bit = -1;
+        try_spec(s);
+      }
+      while (spec.crash_at > 1 && !budget_exhausted_) {
+        store::DurabilitySpec s = spec;
+        s.crash_at = spec.crash_at / 2;
+        if (!try_spec(s)) break;
+      }
+      if (spec.snapshot_every != 0 && !budget_exhausted_) {
+        store::DurabilitySpec s = spec;
+        s.snapshot_every = 0;
+        try_spec(s);
+      }
+      if (spec.sync_every != 1 && !budget_exhausted_) {
+        store::DurabilitySpec s = spec;
+        s.sync_every = 1;
+        try_spec(s);
+      }
+    }
+    return any_changed;
+  }
+
  private:
   const Shrinker::Options& options_;
   const ShrinkOracle& oracle_;
@@ -405,11 +468,11 @@ ShrinkResult Shrinker::Shrink(const std::string& program,
     return result;
   }
 
-  // Alternate rule, fact, update and session passes until none removes
-  // anything: rules shrink the search space for facts and vice versa (a
-  // dropped rule often strands facts that can then go too), and a merged
-  // or thinned update batch or session can unlock further fact-line
-  // drops.
+  // Alternate rule, fact, update, session and durability passes until
+  // none removes anything: rules shrink the search space for facts and
+  // vice versa (a dropped rule often strands facts that can then go too),
+  // and a merged or thinned update batch, session or crash schedule can
+  // unlock further fact-line drops.
   bool changed = true;
   while (changed && !driver.budget_exhausted()) {
     changed = driver.DdminPass(&rules, fact_lines, /*primary_is_rules=*/true);
@@ -417,6 +480,7 @@ ShrinkResult Shrinker::Shrink(const std::string& program,
                                 /*primary_is_rules=*/false);
     changed |= driver.UpdateMinimizePass(rules, &fact_lines);
     changed |= driver.SessionMinimizePass(rules, &fact_lines);
+    changed |= driver.DurabilityMinimizePass(rules, &fact_lines);
   }
 
   result.program = JoinLines(rules);

@@ -3,7 +3,9 @@
 // epoch-based reclamation, the deterministic virtual-clock scheduler,
 // oracle pair #10 (server-vs-library) with its planted torn-read bug and
 // session shrinking, and the threaded mode — including snapshot-isolation
-// invariants under real reader/writer concurrency at 1, 2 and 8 threads.
+// invariants under real reader/writer concurrency at 1, 2 and 8 threads,
+// and malformed wire input (truncated frames, unknown request kinds,
+// over-cap frame lengths) answered cleanly without leaking snapshot pins.
 
 #include <gtest/gtest.h>
 
@@ -726,6 +728,106 @@ TEST_F(ServerThreadedTest, ServesFramesOverAnInProcessChannel) {
                                                nullptr})));
   pump.join();
   server->Stop();
+}
+
+TEST_F(ServerThreadedTest, TruncatedRequestFrameGetsParseErrorThenClose) {
+  auto server = MustCreate(kTcProgram, "e1(0, 1).");
+  server->Start();
+
+  auto [client_end, server_end] = InProcessChannelPair();
+  std::thread pump([&server, channel = server_end.get()] {
+    server->Serve(channel);
+  });
+
+  // A well-framed but truncated payload: the frame arrives intact, the
+  // request inside it is cut short.
+  std::string payload = EncodeRequest(
+      Request{Request::Kind::kQuery, "e1", 0, nullptr});
+  payload.pop_back();
+  ASSERT_TRUE(WriteFrame(client_end.get(), payload));
+
+  std::string back;
+  ASSERT_TRUE(ReadFrame(client_end.get(), &back));
+  Response response;
+  ASSERT_TRUE(DecodeResponse(back, &response));
+  EXPECT_EQ(response.status, StatusCode::kParseError);
+
+  // The pump closes the connection after answering: EOF, not a hang.
+  EXPECT_FALSE(ReadFrame(client_end.get(), &back));
+  pump.join();
+  server->Stop();
+
+  EXPECT_EQ(server->snapshots().pinned(), 0);
+  EXPECT_EQ(server->snapshots().counters().pins,
+            server->snapshots().counters().unpins);
+}
+
+TEST_F(ServerThreadedTest, UnknownRequestKindGetsParseErrorThenClose) {
+  auto server = MustCreate(kTcProgram, "e1(0, 1).");
+  server->Start();
+
+  auto [client_end, server_end] = InProcessChannelPair();
+  std::thread pump([&server, channel = server_end.get()] {
+    server->Serve(channel);
+  });
+
+  // A pinned read first, so the pin counters are live before the
+  // malformed frame arrives.
+  const std::string good = EncodeRequest(
+      Request{Request::Kind::kSnapshotQuery, "", 0, nullptr});
+  ASSERT_TRUE(WriteFrame(client_end.get(), good));
+  std::string back;
+  ASSERT_TRUE(ReadFrame(client_end.get(), &back));
+  Response response;
+  ASSERT_TRUE(DecodeResponse(back, &response));
+  EXPECT_EQ(response.status, StatusCode::kOk);
+
+  // Structurally valid encoding with an out-of-range kind byte.
+  std::string payload = EncodeRequest(Request{Request::Kind::kPing, "", 0,
+                                              nullptr});
+  payload[0] = '\x09';
+  ASSERT_TRUE(WriteFrame(client_end.get(), payload));
+  ASSERT_TRUE(ReadFrame(client_end.get(), &back));
+  ASSERT_TRUE(DecodeResponse(back, &response));
+  EXPECT_EQ(response.status, StatusCode::kParseError);
+
+  EXPECT_FALSE(ReadFrame(client_end.get(), &back));
+  pump.join();
+  server->Stop();
+
+  EXPECT_EQ(server->snapshots().pinned(), 0);
+  EXPECT_EQ(server->snapshots().counters().pins,
+            server->snapshots().counters().unpins);
+}
+
+TEST_F(ServerThreadedTest, OverCapFrameLengthClosesWithoutAResponse) {
+  auto server = MustCreate(kTcProgram, "e1(0, 1).");
+  server->Start();
+
+  auto [client_end, server_end] = InProcessChannelPair();
+  std::thread pump([&server, channel = server_end.get()] {
+    server->Serve(channel);
+  });
+
+  // A length header past kMaxFrameBytes (256 MiB): the server refuses to
+  // allocate and drops the connection before reading a payload.
+  const uint32_t huge = kMaxFrameBytes + 1;
+  char header[4];
+  header[0] = static_cast<char>(huge & 0xff);
+  header[1] = static_cast<char>((huge >> 8) & 0xff);
+  header[2] = static_cast<char>((huge >> 16) & 0xff);
+  header[3] = static_cast<char>((huge >> 24) & 0xff);
+  ASSERT_TRUE(client_end->Write(header, 4));
+
+  // No error frame comes back — just EOF once the pump closes its end.
+  std::string back;
+  EXPECT_FALSE(ReadFrame(client_end.get(), &back));
+  pump.join();
+  server->Stop();
+
+  EXPECT_EQ(server->snapshots().pinned(), 0);
+  EXPECT_EQ(server->snapshots().counters().pins,
+            server->snapshots().counters().unpins);
 }
 
 TEST_F(ServerThreadedTest, ServesOverLocalhostSockets) {

@@ -116,6 +116,50 @@ bench_server() {
     --json="${build_dir}/BENCH_server.json" >/dev/null
 }
 
+# Durability smoke (docs/durability.md): a focused crash-recover-vs-replay
+# sweep (oracle pair #11) — every generated case carries a seeded crash
+# schedule, and recovery must land in the bounded-loss window with bytes
+# identical to a sequential replay of the surviving commit prefix — on
+# both storage backends, plus the fsync-policy bench (its rows self-check
+# a fresh-engine recovery) and the real kill -9 smoke, run from a scratch
+# CWD so the WAL paths stay CWD-independent.
+durability_smoke() {
+  local build_dir="$1"
+  echo "==> durability-smoke ${build_dir}"
+  "${build_dir}/tools/unchained_fuzz" --cases=400 --seed=13 --quiet \
+    --mutants=0 --pairs=crash-recover-vs-replay \
+    --artifacts="${build_dir}/fuzz-artifacts-durability"
+  echo "==> durability-smoke ${build_dir} (columnar)"
+  "${build_dir}/tools/unchained_fuzz" --cases=400 --seed=13 --quiet \
+    --mutants=0 --pairs=crash-recover-vs-replay --storage=columnar \
+    --artifacts="${build_dir}/fuzz-artifacts-durability"
+}
+
+# WAL bench (docs/durability.md): commit throughput vs fsync policy;
+# every durable row self-checks a fresh-engine recovery byte-identical to
+# the sequential replay.
+bench_wal() {
+  local build_dir="$1"
+  echo "==> bench-wal ${build_dir}"
+  "${build_dir}/bench/wal_throughput" \
+    --json="${build_dir}/BENCH_wal.json" >/dev/null
+}
+
+# Real-process crash smoke (docs/durability.md#kill-smoke): the serve
+# tool forks a child, SIGKILLs it mid-commit, recovers the directory and
+# checks byte-identity against replay — from a scratch CWD so relative
+# --wal paths keep working.
+kill_recover_smoke() {
+  local build_dir="$1"
+  echo "==> kill-recover-smoke ${build_dir}"
+  local scratch="${build_dir}/kill-smoke-cwd"
+  mkdir -p "${scratch}"
+  (cd "${scratch}" && "${build_dir}/tools/unchained_serve" \
+    --program="${repo}/tools/testdata/server_tc.dl" \
+    --facts="${repo}/tools/testdata/server_tc_facts.dl" \
+    --wal=kill-smoke-store --snap-every=3 --kill-smoke >/dev/null)
+}
+
 # Traced end-to-end run (docs/observability.md): --trace must produce a
 # Chrome trace file that the schema/monotonic-timestamp checker accepts.
 trace_check() {
@@ -143,20 +187,26 @@ run_suite "${repo}/build"
 fuzz_smoke "${repo}/build"
 incremental_smoke "${repo}/build"
 server_smoke "${repo}/build"
+durability_smoke "${repo}/build"
 trace_check "${repo}/build"
 bench_peer_faults "${repo}/build"
 bench_incremental "${repo}/build"
 bench_server "${repo}/build"
+bench_wal "${repo}/build"
+kill_recover_smoke "${repo}/build"
 if [[ "${sanitize}" -eq 1 ]]; then
   # The dist suite (PeersFault/Snapshot/FaultSpec + Deadline) runs in the
   # full ctest sweep, so ASan covers the transport/crash-recovery paths.
   # The incremental sweep repeats under ASan because maintenance is where
   # the erase journals recycle tuple nodes — the use-after-free surface.
+  # The durability sweep repeats under ASan because recovery replays
+  # attacker-shaped (torn, bit-flipped) WAL bytes — the parser surface.
   run_suite "${repo}/build-asan" -DCMAKE_BUILD_TYPE=RelWithDebInfo \
     -DUNCHAINED_SANITIZE=ON
   fuzz_smoke "${repo}/build-asan"
   incremental_smoke "${repo}/build-asan"
   server_smoke "${repo}/build-asan"
+  durability_smoke "${repo}/build-asan"
   trace_check "${repo}/build-asan"
   bench_peer_faults "${repo}/build-asan"
 fi
@@ -175,9 +225,12 @@ if [[ "${tsan}" -eq 1 ]]; then
   # its scratch reference engines at 1/2/8 threads);
   # Server/Session/Epoch/Reclaim covers the concurrent Datalog server
   # (docs/server.md) — the writer thread, reader pools at 1/2/8 threads,
-  # MVCC snapshot pin/unpin reclamation, and the wire/session parsers.
+  # MVCC snapshot pin/unpin reclamation, and the wire/session parsers;
+  # Wal/Snapshotter/Recover/Durab covers the durability layer
+  # (docs/durability.md) — the writer-thread WAL appends and compaction
+  # against concurrent readers, and the restart/recovery paths.
   run_suite "${repo}/build-tsan" \
-    "--tests-regex=Parallel|Datalog|Stratified|WellFounded|Inflationary|NonInflationary|Stable|Engine|SemiNaive|Naive|RandomProgram|Trace|Obs|Metrics|Tracer|Peer|Dist|Deadline|Cancel|Fault|Snapshot|Columnar|Storage|ColumnStore|Bitmap|RowSet|RelationStaging|Incremental|Retract|Dred|Counting|Server|Session|Epoch|Reclaim" \
+    "--tests-regex=Parallel|Datalog|Stratified|WellFounded|Inflationary|NonInflationary|Stable|Engine|SemiNaive|Naive|RandomProgram|Trace|Obs|Metrics|Tracer|Peer|Dist|Deadline|Cancel|Fault|Snapshot|Columnar|Storage|ColumnStore|Bitmap|RowSet|RelationStaging|Incremental|Retract|Dred|Counting|Server|Session|Epoch|Reclaim|Wal|Snapshotter|Recover|Durab" \
     -DCMAKE_BUILD_TYPE=RelWithDebInfo -DUNCHAINED_TSAN=ON
 fi
 

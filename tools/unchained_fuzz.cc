@@ -12,13 +12,16 @@
 //            | wellfounded-vs-stratified | sequential-vs-parallel
 //            | trace-on-vs-trace-off | reliable-vs-faulty-peers
 //            | hash-vs-columnar | incremental-vs-scratch
-//            | server-vs-library
+//            | server-vs-library | crash-recover-vs-replay
 //   bugs:    seminaive-skip-delta (optional :RULE index, default 1)
 //            dred-skip-rederive (incremental maintenance drops the
 //            delete-rederive pass; caught by incremental-vs-scratch)
 //            server-publish-stale (the server publishes the pre-batch
 //            model bytes under the new epoch — a torn read; caught by
 //            server-vs-library)
+//            store-skip-truncate (crash recovery leaves the torn WAL
+//            tail in place instead of truncating it; caught by
+//            crash-recover-vs-replay)
 //
 // --storage selects the data plane every pair's engines evaluate with
 // (docs/storage.md); hash-vs-columnar always diffs both regardless.
@@ -83,7 +86,8 @@ int Usage() {
       "                      [--artifacts=DIR] [--no-shrink]\n"
       "                      [--inject-bug=seminaive-skip-delta[:RULE]\n"
       "                                   |dred-skip-rederive\n"
-      "                                   |server-publish-stale]\n"
+      "                                   |server-publish-stale\n"
+      "                                   |store-skip-truncate]\n"
       "                      [--quiet] [--deadline-ms=N] [--trace=FILE]\n"
       "                      [--metrics] [--storage=hash|columnar]\n");
   return 2;
@@ -140,6 +144,8 @@ int main(int argc, char** argv) {
         datalog::internal::g_dred_skip_rederive = true;
       } else if (name == "server-publish-stale") {
         datalog::internal::g_server_publish_stale = true;
+      } else if (name == "store-skip-truncate") {
+        datalog::internal::g_store_skip_truncate = true;
       } else {
         std::fprintf(stderr, "unknown bug: %s\n", name.c_str());
         return Usage();

@@ -4,8 +4,10 @@
 //   unchained_serve --program=FILE --facts=FILE
 //                   [--script=FILE --seed=S [--cancel-prob=P]]
 //                   [--port=N] [--readers=N] [--socket-smoke] [--metrics]
+//                   [--wal=DIR [--sync-every=S] [--snap-every=M]]
+//                   [--kill-smoke]
 //
-// Three modes, picked by flag:
+// Modes, picked by flag:
 //
 //   --script=FILE   Replay a `%@` session script (docs/server.md
 //                   #session-scripts) under the deterministic virtual-
@@ -19,9 +21,25 @@
 //                   connect a client socket, run an update + queries and
 //                   verify the served bytes against a sequential replay
 //                   of the commit log. Exits 0 on success.
+//   --kill-smoke    Real crash-recovery self-test (docs/durability.md):
+//                   fork a child that serves durably into --wal's
+//                   directory with real fsyncs, pump updates over a
+//                   socket, SIGKILL the child mid-commit, then recover
+//                   in the parent and verify bounded loss (no acked
+//                   commit beyond the group-commit window is missing)
+//                   and byte-identity against a sequential replay of the
+//                   surviving prefix. Requires --wal. Exits 0 on success.
 //
-// With none of the three, the server evaluates the initial model,
-// prints epoch 0's stats and exits — a configuration check.
+// --wal=DIR makes any mode durable: recovery-on-start from DIR, then
+// WAL-logged commits (--sync-every, default 1 = fsync per commit) with
+// snapshot compaction every --snap-every commits (default 0 = never).
+//
+// With no mode flag, the server evaluates the initial model, prints
+// epoch 0's stats and exits — a configuration check.
+
+#include <signal.h>
+#include <sys/wait.h>
+#include <unistd.h>
 
 #include <cstdint>
 #include <cstdio>
@@ -41,6 +59,7 @@
 #include "server/server.h"
 #include "server/session.h"
 #include "server/wire.h"
+#include "store/snapshotter.h"
 
 namespace {
 
@@ -79,7 +98,9 @@ int Usage() {
                " [--cancel-prob=P]]\n"
                "                       [--port=N] [--readers=N]"
                " [--socket-smoke]\n"
-               "                       [--metrics]\n");
+               "                       [--wal=DIR [--sync-every=S]"
+               " [--snap-every=M]]\n"
+               "                       [--kill-smoke] [--metrics]\n");
   return 2;
 }
 
@@ -198,6 +219,177 @@ int RunSocketSmoke(server::Server* srv, Engine* engine,
   return 0;
 }
 
+/// The batch committed as epoch `i` by the kill smoke: deterministic, so
+/// the parent can reconstruct the exact surviving prefix from the
+/// recovered epoch alone.
+std::string KillSmokeTokens(int64_t i) {
+  return "+e1(" + std::to_string(i) + "," + std::to_string(100 + i) + ")";
+}
+
+int RunKillSmoke(Engine* engine, const Program& program,
+                 const std::string& program_text,
+                 const std::string& facts_text, const Instance& base,
+                 const server::ServerOptions& options) {
+  const std::string& dir = options.durability.dir;
+  // Scratch start: the smoke owns its directory and must be re-runnable
+  // from a dirty CWD (ctest reruns, check.sh scratch lanes).
+  ::unlink(datalog::store::WalPath(dir).c_str());
+  ::unlink(datalog::store::SnapshotPath(dir).c_str());
+  ::unlink(datalog::store::SnapshotTmpPath(dir).c_str());
+
+  int port_pipe[2];
+  if (::pipe(port_pipe) != 0) return Fail("pipe failed");
+  const pid_t child = ::fork();
+  if (child < 0) return Fail("fork failed");
+
+  if (child == 0) {
+    // Child: serve durably (real fsyncs) until killed. Build everything
+    // after the fork — the parent has spawned no threads yet, and the
+    // child gets its own engine, store fds, and server threads.
+    ::close(port_pipe[0]);
+    Engine child_engine;
+    Result<Program> child_program = child_engine.Parse(program_text);
+    if (!child_program.ok()) ::_exit(3);
+    Instance child_base(&child_engine.catalog());
+    if (!child_engine.AddFacts(facts_text, &child_base).ok()) ::_exit(3);
+    Result<std::unique_ptr<server::Server>> srv =
+        server::Server::Create(*child_program, &child_engine.catalog(),
+                               &child_engine.symbols(), child_base, options);
+    if (!srv.ok()) ::_exit(3);
+    (*srv)->Start();
+    Result<std::unique_ptr<SocketListener>> listener =
+        SocketListener::Listen(0);
+    if (!listener.ok()) ::_exit(3);
+    const std::string port_line = std::to_string((*listener)->port()) + "\n";
+    if (::write(port_pipe[1], port_line.data(), port_line.size()) !=
+        static_cast<ssize_t>(port_line.size())) {
+      ::_exit(3);
+    }
+    ::close(port_pipe[1]);
+    (*srv)->ServeListener(listener->get());
+    ::_exit(0);  // Unreached: the parent SIGKILLs us mid-commit.
+  }
+
+  // Parent: read the child's port.
+  ::close(port_pipe[1]);
+  std::string port_text;
+  char c = 0;
+  while (::read(port_pipe[0], &c, 1) == 1 && c != '\n') port_text += c;
+  ::close(port_pipe[0]);
+  const int port = std::atoi(port_text.c_str());
+  if (port <= 0) {
+    ::kill(child, SIGKILL);
+    ::waitpid(child, nullptr, 0);
+    return Fail("child reported no port");
+  }
+
+  Result<std::unique_ptr<ByteChannel>> client = SocketConnect(port);
+  if (!client.ok()) {
+    ::kill(child, SIGKILL);
+    ::waitpid(child, nullptr, 0);
+    return Fail("connect: " + client.status().ToString());
+  }
+
+  // Pump deterministic single-fact commits; fire the SIGKILL right after
+  // a mid-stream ack, so it lands while later commits are in flight
+  // (socket-buffered or mid-fsync in the writer).
+  constexpr int64_t kTotal = 12;
+  constexpr int64_t kKillAfter = 5;
+  int64_t acked = 0;
+  for (int64_t i = 1; i <= kTotal; ++i) {
+    server::Response response;
+    if (!Exchange(client->get(),
+                  server::Request{server::Request::Kind::kUpdate,
+                                  KillSmokeTokens(i), 0, nullptr},
+                  &response)) {
+      break;  // Connection died: the kill landed.
+    }
+    if (response.status != StatusCode::kOk) break;
+    acked = response.epoch;
+    if (acked == kKillAfter) ::kill(child, SIGKILL);
+  }
+  ::kill(child, SIGKILL);  // Idempotent; covers the all-acked fast path.
+  ::waitpid(child, nullptr, 0);
+
+  // Recover in this process. Server::Create replays the directory.
+  Result<std::unique_ptr<server::Server>> recovered = server::Server::Create(
+      program, &engine->catalog(), &engine->symbols(), base, options);
+  if (!recovered.ok()) {
+    return Fail("recover: " + recovered.status().ToString());
+  }
+  const server::Server::RecoveryInfo& info = (*recovered)->recovery();
+  const int64_t epoch = info.epoch;
+
+  // Bounded loss: with a group-commit window of S, at most S-1 acked
+  // commits may be lost (sync-every=1 ⇒ none).
+  const int64_t window =
+      options.durability.sync_every > 0 ? options.durability.sync_every : 1;
+  int failures = 0;
+  if (epoch < acked - (window - 1)) {
+    std::fprintf(stderr, "kill smoke: acked epoch %lld but recovered %lld "
+                         "(window %lld)\n",
+                 static_cast<long long>(acked), static_cast<long long>(epoch),
+                 static_cast<long long>(window));
+    ++failures;
+  }
+  if (epoch > kTotal) {
+    std::fprintf(stderr, "kill smoke: recovered epoch %lld beyond %lld "
+                         "attempted\n",
+                 static_cast<long long>(epoch),
+                 static_cast<long long>(kTotal));
+    ++failures;
+  }
+
+  // Byte identity: the recovered model equals a sequential replay of the
+  // surviving prefix against a fresh view.
+  auto view =
+      datalog::IncrementalView::Create(program, engine->catalog(), base);
+  if (!view.ok()) {
+    ++failures;
+  } else {
+    for (int64_t i = 1; i <= epoch; ++i) {
+      std::vector<datalog::FactUpdate> updates;
+      if (!server::ParseUpdateTokens(KillSmokeTokens(i), engine->catalog(),
+                                     &engine->symbols(), &updates) ||
+          !(*view)->ApplyBatch(updates).ok()) {
+        ++failures;
+        break;
+      }
+    }
+    server::Response snap = (*recovered)->ServeQuery(server::Request{
+        server::Request::Kind::kSnapshotQuery, "", 0, nullptr});
+    if (snap.status != StatusCode::kOk ||
+        snap.body != (*view)->model().SerializeSnapshot()) {
+      std::fprintf(stderr, "kill smoke: recovered bytes differ from replay "
+                           "of %lld surviving commits\n",
+                   static_cast<long long>(epoch));
+      ++failures;
+    }
+  }
+
+  // Continuity: the recovered server keeps committing where the dead one
+  // stopped.
+  Result<int64_t> ticket =
+      (*recovered)->SubmitUpdate(KillSmokeTokens(kTotal + 1));
+  if (!ticket.ok() || !(*recovered)->ApplyOneQueued() ||
+      (*recovered)->epoch() != epoch + 1) {
+    std::fprintf(stderr, "kill smoke: post-recovery commit failed\n");
+    ++failures;
+  }
+
+  if (failures != 0) {
+    return Fail("kill smoke: " + std::to_string(failures) + " failures");
+  }
+  std::printf("kill smoke ok: acked=%lld recovered=%lld replayed=%lld%s%s, "
+              "bytes match replay, continued to epoch %lld\n",
+              static_cast<long long>(acked), static_cast<long long>(epoch),
+              static_cast<long long>(info.replayed),
+              info.from_snapshot ? ", from snapshot" : "",
+              info.truncated_tail ? ", torn tail truncated" : "",
+              static_cast<long long>((*recovered)->epoch()));
+  return 0;
+}
+
 int RunListener(server::Server* srv, int port) {
   srv->Start();
   Result<std::unique_ptr<SocketListener>> listener =
@@ -224,7 +416,11 @@ int main(int argc, char** argv) {
   int port = -1;
   int readers = 2;
   bool socket_smoke = false;
+  bool kill_smoke = false;
   bool metrics = false;
+  std::string wal_dir;
+  int sync_every = 1;
+  int snap_every = 0;
 
   std::string value;
   for (int i = 1; i < argc; ++i) {
@@ -240,8 +436,15 @@ int main(int argc, char** argv) {
       port = std::atoi(value.c_str());
     } else if (ParseArg(arg, "readers", &value)) {
       readers = std::atoi(value.c_str());
+    } else if (ParseArg(arg, "wal", &wal_dir)) {
+    } else if (ParseArg(arg, "sync-every", &value)) {
+      sync_every = std::atoi(value.c_str());
+    } else if (ParseArg(arg, "snap-every", &value)) {
+      snap_every = std::atoi(value.c_str());
     } else if (std::strcmp(arg, "--socket-smoke") == 0) {
       socket_smoke = true;
+    } else if (std::strcmp(arg, "--kill-smoke") == 0) {
+      kill_smoke = true;
     } else if (std::strcmp(arg, "--metrics") == 0) {
       metrics = true;
     } else {
@@ -276,9 +479,30 @@ int main(int argc, char** argv) {
 
   server::ServerOptions options;
   options.num_readers = readers;
+  if (!wal_dir.empty()) {
+    options.durability.dir = wal_dir;
+    options.durability.sync_every = sync_every;
+    options.durability.snapshot_every = snap_every;
+  }
+  if (kill_smoke) {
+    if (wal_dir.empty()) return Fail("--kill-smoke requires --wal=DIR");
+    // The smoke forks before building any server; it recovers in the
+    // parent afterwards.
+    return RunKillSmoke(&engine, *program, program_text, facts_text, base,
+                        options);
+  }
+
   Result<std::unique_ptr<server::Server>> srv = server::Server::Create(
       *program, &engine.catalog(), &engine.symbols(), base, options);
   if (!srv.ok()) return Fail("create: " + srv.status().ToString());
+  if ((*srv)->recovery().ran && (*srv)->recovery().epoch > 0) {
+    std::printf("recovered to epoch %lld (%lld wal records%s%s)\n",
+                static_cast<long long>((*srv)->recovery().epoch),
+                static_cast<long long>((*srv)->recovery().replayed),
+                (*srv)->recovery().from_snapshot ? ", from snapshot" : "",
+                (*srv)->recovery().truncated_tail ? ", torn tail truncated"
+                                                  : "");
+  }
 
   int rc = 0;
   if (!script_path.empty()) {
