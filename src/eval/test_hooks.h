@@ -44,6 +44,14 @@ extern bool g_server_publish_stale;
 /// durability-spec shrinker pass. Defined in store/recover.cc.
 extern bool g_store_skip_truncate;
 
+/// When > 0, each store::PWriteAll call consumes one unit and fails with
+/// a synthetic EIO — the injectable stand-in for a *real* disk error
+/// (ENOSPC, yanked device) as opposed to a scheduled crash. Used to
+/// prove genuine I/O failures latch the WAL/snapshotter crashed flag so
+/// the server's crashed() gate quarantines the dirtied view. Defined in
+/// store/io.cc.
+extern int g_store_fail_pwrites;
+
 }  // namespace internal
 }  // namespace datalog
 

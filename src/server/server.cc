@@ -244,9 +244,11 @@ bool Server::ApplyOneQueued() {
     const int64_t epoch = registry_.current_epoch() + 1;
     // WAL append sits between apply and publish: an acknowledged commit
     // is always in the log (modulo the group-commit window), and a
-    // rejected batch never is. On append failure (the crash schedule, or
-    // a real I/O error) the epoch is neither published nor acked — the
-    // view is dirty now, but the crashed() gate above keeps it private.
+    // rejected batch never is. On append failure the epoch is neither
+    // published nor acked — the view is dirty now, but both failure
+    // kinds (the crash schedule AND a real I/O error, e.g. ENOSPC) latch
+    // the store's crashed flag, so the crashed() gate above keeps the
+    // dirty state private forever.
     if (store_ != nullptr) {
       OBS_SPAN("server.wal_append", {{"epoch", static_cast<int>(epoch)}});
       const std::string tokens =

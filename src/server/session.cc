@@ -1,6 +1,8 @@
 #include "server/session.h"
 
 #include <cctype>
+#include <cstdint>
+#include <limits>
 
 namespace datalog {
 namespace server {
@@ -39,7 +41,15 @@ bool ParseUpdateTokens(std::string_view tokens, const Catalog& catalog,
       const size_t digit_start = i;
       while (i < tokens.size() &&
              std::isdigit(static_cast<unsigned char>(tokens[i])) != 0) {
-        v = v * 10 + (tokens[i] - '0');
+        const int64_t digit = tokens[i] - '0';
+        // Reject the token on int64 overflow: tokens arrive from the
+        // wire and from WAL replay, and a wrapped value would break the
+        // Format∘Parse identity recovery depends on (overflow of signed
+        // arithmetic is UB besides).
+        if (v > (std::numeric_limits<int64_t>::max() - digit) / 10) {
+          return false;
+        }
+        v = v * 10 + digit;
         ++i;
       }
       if (i == digit_start) return false;
@@ -92,7 +102,11 @@ bool ParseSessionLine(std::string_view line, SessionOp* op) {
   int sid = 0;
   while (i < line.size() &&
          std::isdigit(static_cast<unsigned char>(line[i])) != 0) {
-    sid = sid * 10 + (line[i] - '0');
+    const int digit = line[i] - '0';
+    // Same overflow discipline as ParseUpdateTokens: reject rather than
+    // wrap on untrusted digit runs.
+    if (sid > (std::numeric_limits<int>::max() - digit) / 10) return false;
+    sid = sid * 10 + digit;
     ++i;
   }
   if (i == id_start) return false;

@@ -5,7 +5,14 @@
 #include <string.h>
 #include <unistd.h>
 
+#include "eval/test_hooks.h"
+
 namespace datalog {
+
+namespace internal {
+int g_store_fail_pwrites = 0;
+}  // namespace internal
+
 namespace store {
 
 void PutU32(std::string* out, uint32_t v) {
@@ -34,6 +41,11 @@ int64_t GetI64(const unsigned char* p) {
 }
 
 Status PWriteAll(int fd, const char* data, size_t n, int64_t offset) {
+  if (internal::g_store_fail_pwrites > 0) {
+    --internal::g_store_fail_pwrites;
+    return Status::Internal(std::string("pwrite: ") + ::strerror(EIO) +
+                            " (injected)");
+  }
   size_t off = 0;
   while (off < n) {
     const ssize_t w =

@@ -59,20 +59,26 @@ Status Snapshotter::Write(const SnapshotData& snap) {
 
   const std::string tmp = SnapshotTmpPath(dir_);
   const std::string final_path = SnapshotPath(dir_);
+  // Any real I/O failure below latches crashed_: the protocol was
+  // interrupted mid-flight, and like the WAL the only safe continuation
+  // after a disk error is to refuse all further writes.
   const int fd =
       ::open(tmp.c_str(), O_CREAT | O_WRONLY | O_TRUNC | O_CLOEXEC, 0644);
   if (fd < 0) {
+    crashed_ = true;
     return Status::Internal("snapshot open " + tmp + ": " +
                             ::strerror(errno));
   }
   const Status write_status = PWriteAll(fd, file.data(), file.size(), 0);
   if (!write_status.ok()) {
     ::close(fd);
+    crashed_ = true;
     return write_status;
   }
   if (!options_.simulate_sync && ::fsync(fd) != 0) {
     const std::string err = ::strerror(errno);
     ::close(fd);
+    crashed_ = true;
     return Status::Internal("snapshot fsync " + tmp + ": " + err);
   }
   ::close(fd);
@@ -86,11 +92,16 @@ Status Snapshotter::Write(const SnapshotData& snap) {
                             CrashPointName(CrashPoint::kSnapBeforeRename));
   }
   if (::rename(tmp.c_str(), final_path.c_str()) != 0) {
+    crashed_ = true;
     return Status::Internal("snapshot rename: " +
                             std::string(::strerror(errno)));
   }
   if (!options_.simulate_sync) {
-    DATALOG_RETURN_IF_ERROR(SyncDirOf(final_path));
+    const Status dir_sync = SyncDirOf(final_path);
+    if (!dir_sync.ok()) {
+      crashed_ = true;
+      return dir_sync;
+    }
   }
   ++writes_;
   if (faults != nullptr && faults->Hit(CrashPoint::kSnapAfterRename)) {
@@ -133,7 +144,11 @@ Result<SnapshotData> LoadSnapshot(const std::string& dir, bool* found) {
   snap.epoch = GetI64(body);
   snap.wal_offset = GetI64(body + 8);
   const uint32_t base_len = GetU32(body + 16);
-  if (base_len > body_size - kBodyHeaderBytes - 4) {
+  // Added-form bounds check: `base_len > body_size - kBodyHeaderBytes - 4`
+  // underflows size_t for body_size in [20, 24) and would wave through a
+  // base_len that reads past the buffer.
+  if (static_cast<uint64_t>(base_len) + kBodyHeaderBytes + 4 >
+      static_cast<uint64_t>(body_size)) {
     return Status::Internal("snapshot " + path + ": length mismatch");
   }
   snap.base_bytes.assign(
@@ -145,6 +160,12 @@ Result<SnapshotData> LoadSnapshot(const std::string& dir, bool* found) {
   }
   const uint32_t sym_count = GetU32(body + pos);
   pos += 4;
+  // Each entry takes at least its 4-byte length prefix, so a count the
+  // remaining bytes cannot hold is corrupt — reject before reserve()
+  // turns it into a multi-GiB allocation.
+  if (sym_count > remaining() / 4) {
+    return Status::Internal("snapshot " + path + ": torn symbol table");
+  }
   snap.symbols.reserve(sym_count);
   for (uint32_t i = 0; i < sym_count; ++i) {
     if (remaining() < 4) {

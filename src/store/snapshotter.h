@@ -70,7 +70,8 @@ struct SnapshotterOptions {
 };
 
 /// Writes snapshots for one store directory. Like the WAL, a schedule
-/// crash makes the snapshotter permanently refuse further writes.
+/// crash — or a real I/O failure anywhere in the write protocol — makes
+/// the snapshotter permanently refuse further writes.
 class Snapshotter {
  public:
   Snapshotter(std::string dir, const SnapshotterOptions& options);

@@ -96,6 +96,11 @@ Status Wal::Crash(CrashPoint point) {
                           CrashPointName(point));
 }
 
+Status Wal::Poison(Status st) {
+  if (!st.ok()) crashed_ = true;
+  return st;
+}
+
 Status Wal::Append(int64_t epoch, const std::string& update_tokens) {
   if (crashed_) {
     return Status::Internal("store crashed (wal append refused)");
@@ -123,14 +128,15 @@ Status Wal::Append(int64_t epoch, const std::string& update_tokens) {
       keep = static_cast<size_t>(faults->torn_keep);
     }
     if (keep > 0) {
-      DATALOG_RETURN_IF_ERROR(PWriteAll(fd_, record.data(), keep, size_));
+      DATALOG_RETURN_IF_ERROR(
+          Poison(PWriteAll(fd_, record.data(), keep, size_)));
       size_ += static_cast<int64_t>(keep);
     }
     return Crash(CrashPoint::kWalAppend);
   }
 
   DATALOG_RETURN_IF_ERROR(
-      PWriteAll(fd_, record.data(), record.size(), size_));
+      Poison(PWriteAll(fd_, record.data(), record.size(), size_)));
   size_ += static_cast<int64_t>(record.size());
   last_appended_epoch_ = epoch;
   ++appends_;
@@ -158,8 +164,8 @@ Status Wal::Sync() {
 Status Wal::DoSync() {
   if (!options_.simulate_sync) {
     if (::fdatasync(fd_) != 0) {
-      return Status::Internal(std::string("wal fdatasync: ") +
-                              ::strerror(errno));
+      return Poison(Status::Internal(std::string("wal fdatasync: ") +
+                                     ::strerror(errno)));
     }
   }
   synced_size_ = size_;
@@ -174,8 +180,8 @@ Status Wal::Truncate(int64_t offset) {
     return Status::Internal("store crashed (wal truncate refused)");
   }
   if (::ftruncate(fd_, static_cast<off_t>(offset)) != 0) {
-    return Status::Internal(std::string("wal ftruncate: ") +
-                            ::strerror(errno));
+    return Poison(Status::Internal(std::string("wal ftruncate: ") +
+                                   ::strerror(errno)));
   }
   size_ = offset;
   if (synced_size_ > size_) synced_size_ = size_;

@@ -20,7 +20,10 @@
 // mutilates its own tail exactly as configured (torn final record,
 // flipped bit — always within the *unsynced* region, mirroring what a
 // real power cut can and cannot do to fsynced data) and goes dead:
-// every later operation returns kInternal("store crashed ...").
+// every later operation returns kInternal("store crashed ..."). A real
+// I/O failure (pwrite/fdatasync/ftruncate returning an error, e.g.
+// ENOSPC) latches the same dead state — the file no longer matches the
+// in-memory offsets, so continuing would publish unlogged state.
 
 #include <cstdint>
 #include <memory>
@@ -91,6 +94,11 @@ class Wal {
   /// Marks the WAL dead and applies the schedule's bit flip to the
   /// unsynced tail [synced_size_, size_).
   Status Crash(CrashPoint point);
+  /// Latches crashed_ when `st` is a real I/O failure, then returns it:
+  /// after a failed pwrite/fdatasync/ftruncate the on-disk log no longer
+  /// matches the in-memory offsets, so the log must refuse all further
+  /// writes exactly like a scheduled crash.
+  Status Poison(Status st);
   Status DoSync();
 
   std::string path_;

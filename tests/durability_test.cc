@@ -24,6 +24,7 @@
 #include "server/session.h"
 #include "server/wire.h"
 #include "store/fault.h"
+#include "store/io.h"
 #include "store/recover.h"
 #include "store/snapshotter.h"
 #include "store/store.h"
@@ -243,6 +244,49 @@ TEST(WalTest, ScheduledCrashTearsTheTailAndKillsTheLog) {
   EXPECT_FALSE(scan->clean);
 }
 
+TEST(WalTest, RealIoErrorPoisonsTheLog) {
+  ScratchDir dir;
+  auto wal = Wal::Open(store::WalPath(dir.path()), WalOptions{});
+  ASSERT_TRUE(wal.ok());
+  ASSERT_TRUE((*wal)->Append(1, "+e1(2,3)").ok());
+
+  // A *real* disk error (not the fault schedule) must latch the same
+  // dead state a scheduled crash does — otherwise a view dirtied by the
+  // refused batch slips past the server's crashed() gate and gets
+  // published with effects the WAL never logged.
+  internal::g_store_fail_pwrites = 1;
+  const Status append = (*wal)->Append(2, "+e1(3,4)");
+  internal::g_store_fail_pwrites = 0;
+  EXPECT_EQ(append.code(), StatusCode::kInternal);
+  EXPECT_TRUE((*wal)->crashed());
+  EXPECT_EQ((*wal)->last_appended_epoch(), 1);
+  // The fault is gone, but the log stays dead.
+  EXPECT_EQ((*wal)->Append(3, "+e1(4,5)").code(), StatusCode::kInternal);
+  EXPECT_EQ((*wal)->Sync().code(), StatusCode::kInternal);
+  EXPECT_EQ((*wal)->Truncate(0).code(), StatusCode::kInternal);
+}
+
+TEST(StoreTest, RealIoErrorCrashesTheStoreAndRefusesCommits) {
+  ScratchDir dir;
+  StoreOptions options;
+  options.dir = dir.path();
+  auto store = DurableStore::Open(options);
+  ASSERT_TRUE(store.ok()) << store.status().ToString();
+  ASSERT_TRUE((*store)->AppendCommit(1, "+e1(2,3)").ok());
+
+  internal::g_store_fail_pwrites = 1;
+  EXPECT_EQ((*store)->AppendCommit(2, "+e1(3,4)").code(),
+            StatusCode::kInternal);
+  internal::g_store_fail_pwrites = 0;
+  // crashed() is what the server's commit gate consults: with the store
+  // latched, later commits are refused even though the fault is gone,
+  // and the durable epoch never advances past the last logged commit.
+  EXPECT_TRUE((*store)->crashed());
+  EXPECT_EQ((*store)->AppendCommit(3, "+e1(4,5)").code(),
+            StatusCode::kInternal);
+  EXPECT_EQ((*store)->durable_epoch(), 1);
+}
+
 // -- Fault schedule and the `%!` spec line ------------------------------
 
 TEST(FaultTest, HitCountsOneGlobalSequence) {
@@ -361,6 +405,74 @@ TEST(SnapshotterTest, CorruptSnapshotFailsLoudly) {
   bool found = false;
   Result<SnapshotData> loaded = LoadSnapshot(dir.path(), &found);
   EXPECT_FALSE(loaded.ok());
+}
+
+TEST(SnapshotterTest, RealIoErrorPoisonsTheSnapshotter) {
+  ScratchDir dir;
+  Snapshotter snapshotter(dir.path(), store::SnapshotterOptions{});
+  internal::g_store_fail_pwrites = 1;
+  EXPECT_EQ(snapshotter.Write(MakeSnapshotData()).code(),
+            StatusCode::kInternal);
+  internal::g_store_fail_pwrites = 0;
+  EXPECT_TRUE(snapshotter.crashed());
+  // Dead for good, exactly like a scheduled crash.
+  EXPECT_EQ(snapshotter.Write(MakeSnapshotData()).code(),
+            StatusCode::kInternal);
+  EXPECT_EQ(snapshotter.writes(), 0);
+}
+
+void WriteFileRaw(const std::string& path, const std::string& bytes) {
+  std::ofstream f(path, std::ios::binary | std::ios::trunc);
+  ASSERT_TRUE(f.good()) << path;
+  f.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+}
+
+/// A snapshot file whose 20-byte body header claims `base_len` and
+/// `sym_count`, with a correct CRC — structurally minimal, semantically
+/// hostile.
+std::string CraftSnapshotFile(uint32_t base_len, bool with_sym_count,
+                              uint32_t sym_count) {
+  std::string body;
+  store::PutI64(&body, 7);   // epoch
+  store::PutI64(&body, 0);   // wal_offset
+  store::PutU32(&body, base_len);
+  if (with_sym_count) store::PutU32(&body, sym_count);
+  std::string file;
+  store::PutU32(&file, 0x4E534455u);  // magic 'UDSN'
+  store::PutU32(&file, 1);            // version
+  file += body;
+  store::PutU32(&file, store::Crc32(body.data(), body.size()));
+  return file;
+}
+
+TEST(SnapshotterTest, TinyBodyWithHugeBaseLenIsRejected) {
+  ScratchDir dir;
+  // body_size = 20 (header only): the old subtractive bounds check
+  // `base_len > body_size - 24` underflowed size_t here, accepted the
+  // absurd base_len, and read ~4 GiB past the buffer. CRC is valid, so
+  // only the length check can stop it.
+  WriteFileRaw(store::SnapshotPath(dir.path()),
+               CraftSnapshotFile(0xFFFFFFFFu, /*with_sym_count=*/false, 0));
+  bool found = false;
+  Result<SnapshotData> loaded = LoadSnapshot(dir.path(), &found);
+  EXPECT_FALSE(loaded.ok());
+  EXPECT_FALSE(found);
+  EXPECT_NE(loaded.status().message().find("length mismatch"),
+            std::string::npos)
+      << loaded.status().ToString();
+}
+
+TEST(SnapshotterTest, HugeSymbolCountIsRejectedBeforeAllocation) {
+  ScratchDir dir;
+  // Valid empty base, then a symbol count the remaining bytes cannot
+  // hold — must fail the structural check, not attempt a multi-GiB
+  // reserve.
+  WriteFileRaw(store::SnapshotPath(dir.path()),
+               CraftSnapshotFile(0, /*with_sym_count=*/true, 0xFFFFFFFFu));
+  bool found = false;
+  Result<SnapshotData> loaded = LoadSnapshot(dir.path(), &found);
+  EXPECT_FALSE(loaded.ok());
+  EXPECT_FALSE(found);
 }
 
 TEST(SnapshotterTest, CrashBeforeRenameKeepsTheOldSnapshot) {

@@ -169,6 +169,27 @@ TEST(SessionScriptTest, UpdateTokensValidateAgainstTheCatalog) {
                                  &engine.symbols(), &batch));  // no sign
 }
 
+TEST(SessionScriptTest, OverflowingValuesAreRejectedNotWrapped) {
+  Engine engine;
+  Instance db(&engine.catalog());
+  ASSERT_TRUE(engine.AddFacts("e1(0, 1). e2(3).", &db).ok());
+
+  // A digit run past int64 range must fail the parse cleanly — wrapping
+  // would be UB and would intern a nondeterministic value, breaking the
+  // Format∘Parse identity WAL replay relies on.
+  std::vector<FactUpdate> batch;
+  EXPECT_FALSE(ParseUpdateTokens("+e2(99999999999999999999)",
+                                 engine.catalog(), &engine.symbols(),
+                                 &batch));
+  // INT64_MAX itself still parses.
+  EXPECT_TRUE(ParseUpdateTokens("+e2(9223372036854775807)",
+                                engine.catalog(), &engine.symbols(),
+                                &batch));
+  // An overflowing session id fails the script parse too.
+  std::vector<SessionOp> ops;
+  EXPECT_FALSE(ParseSessionScript("%@ 99999999999 q e1\n", &ops));
+}
+
 // -- Snapshot registry: pinning and epoch-based reclamation -------------
 
 std::unique_ptr<Snapshot> MakeSnapshot(const Catalog* catalog, int64_t epoch,
